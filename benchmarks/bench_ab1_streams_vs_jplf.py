@@ -1,0 +1,78 @@
+"""AB1 — map/reduce: stream adaptation vs JPLF (Section III/V claim).
+
+Claim under test: "for applications based on simple concatenation, the
+performance results are similar" between Java parallel streams and JPLF.
+The virtual series compares both engines on identical DAG shapes; the
+real-wall-clock benches time both implementations at laptop scale.
+"""
+
+import pytest
+
+from repro.bench.figures import ab1_streams_vs_jplf_series
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_integers
+from repro.core import PowerMapCollector, PowerReduceCollector, power_collect
+from repro.forkjoin import ForkJoinPool
+from repro.jplf import ForkJoinExecutor, JplfMap, JplfReduce
+from repro.powerlist import PowerList
+
+REAL_N = 2**14
+
+
+@pytest.fixture(scope="module")
+def data():
+    return random_integers(REAL_N)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=8, name="ab1")
+    yield p
+    p.shutdown()
+
+
+def bench_ab1_series(benchmark, write_report):
+    rows = benchmark(ab1_streams_vs_jplf_series)
+    table = format_table(
+        ["function", "n", "stream_ms", "jplf_ms", "stream/jplf"],
+        [
+            [r["function"], r["n"], r["stream_ms"], r["jplf_ms"], r["ratio"]]
+            for r in rows
+        ],
+        title="AB1: map/reduce — stream adaptation vs JPLF (modeled ms, 8 cores)",
+    )
+    write_report("ab1_streams_vs_jplf", table)
+    # "Similar": within 5% at every size, converging as n grows.
+    assert all(0.95 < r["ratio"] < 1.05 for r in rows)
+    biggest = [r for r in rows if r["n"] == max(x["n"] for x in rows)]
+    assert all(abs(r["ratio"] - 1) < 0.01 for r in biggest)
+
+
+def bench_ab1_real_stream_map(benchmark, data, pool):
+    out = benchmark(
+        lambda: power_collect(PowerMapCollector(lambda x: x * 2, "tie"), data, pool=pool)
+    )
+    assert out == [x * 2 for x in data]
+
+
+def bench_ab1_real_jplf_map(benchmark, data, pool):
+    executor = ForkJoinExecutor(pool)
+    out = benchmark(lambda: executor.execute(JplfMap(PowerList(data), lambda x: x * 2)))
+    assert out == [x * 2 for x in data]
+
+
+def bench_ab1_real_stream_reduce(benchmark, data, pool):
+    out = benchmark(
+        lambda: power_collect(
+            PowerReduceCollector(lambda a, b: a + b, "tie"), data, pool=pool
+        )
+    )
+    assert out == sum(data)
+
+
+def bench_ab1_real_jplf_reduce(benchmark, data, pool):
+    executor = ForkJoinExecutor(pool)
+    out = benchmark(
+        lambda: executor.execute(JplfReduce(PowerList(data), lambda a, b: a + b))
+    )
+    assert out == sum(data)

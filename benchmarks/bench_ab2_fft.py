@@ -1,0 +1,65 @@
+"""AB2 — FFT: the zip-operator function (Section V claim).
+
+Claim under test: zip-based functions (fft) are where the two-operator
+PowerList theory pays off; the stream adaptation handles them through the
+specialized ``ZipSpliterator`` + leaf ``basic_case`` mechanism.  Virtual
+series for the speedup trend; real benches exercise the stream FFT, the
+JPLF FFT and numpy's FFT for scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import ab2_fft_series
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_complex_signal
+from repro.core import fft
+from repro.forkjoin import ForkJoinPool
+from repro.jplf import ForkJoinExecutor, JplfFft
+from repro.powerlist import PowerList
+
+REAL_N = 2**12
+
+
+@pytest.fixture(scope="module")
+def signal():
+    return random_complex_signal(REAL_N)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=8, name="ab2")
+    yield p
+    p.shutdown()
+
+
+def bench_ab2_series(benchmark, write_report):
+    rows = benchmark(ab2_fft_series)
+    table = format_table(
+        ["n", "sequential_ms", "parallel_ms", "speedup", "combine_levels"],
+        [
+            [r["n"], r["sequential_ms"], r["parallel_ms"], r["speedup"],
+             r["combine_levels"]]
+            for r in rows
+        ],
+        title="AB2: FFT — modeled sequential vs parallel (8 cores)",
+    )
+    write_report("ab2_fft", table)
+    speedups = [r["speedup"] for r in rows]
+    assert speedups == sorted(speedups), "FFT speedup grows with size"
+    assert speedups[-1] > 5.0
+
+
+def bench_ab2_real_stream_fft(benchmark, signal, pool):
+    out = benchmark(lambda: fft(signal, pool=pool))
+    np.testing.assert_allclose(out, np.fft.fft(signal), rtol=1e-8, atol=1e-8)
+
+
+def bench_ab2_real_jplf_fft(benchmark, signal, pool):
+    executor = ForkJoinExecutor(pool)
+    out = benchmark(lambda: executor.execute(JplfFft(PowerList(signal))))
+    np.testing.assert_allclose(out, np.fft.fft(signal), rtol=1e-8, atol=1e-8)
+
+
+def bench_ab2_real_numpy_fft(benchmark, signal):
+    benchmark(lambda: np.fft.fft(signal))

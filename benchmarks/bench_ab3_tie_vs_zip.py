@@ -1,0 +1,59 @@
+"""AB3 — tie vs zip memory-access patterns (Section V claim).
+
+Claim under test: "depending on the system (caches, etc.) properties or
+data representation, linear or cyclic data distributions could lead to
+better performance" — i.e. the choice of deconstruction operator matters
+through locality.  Under the cache-aware cost model (stride penalty), tie
+keeps unit stride and wins; the penalty-free model shows parity.  The
+real benches time both spliterators on actual lists (Python lists have no
+hardware stride effect — that is exactly why the model carries the knob).
+"""
+
+import pytest
+
+from repro.bench.figures import ab3_tie_vs_zip_series
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_integers
+from repro.core import PowerMapCollector, power_collect
+from repro.forkjoin import ForkJoinPool
+
+REAL_N = 2**14
+
+
+@pytest.fixture(scope="module")
+def data():
+    return random_integers(REAL_N)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=8, name="ab3")
+    yield p
+    p.shutdown()
+
+
+def bench_ab3_series(benchmark, write_report):
+    rows = benchmark(lambda: ab3_tie_vs_zip_series(stride_penalty=0.25))
+    flat = ab3_tie_vs_zip_series(stride_penalty=0.0, sizes=[2**18])
+    table = format_table(
+        ["n", "tie_ms", "zip_ms", "zip/tie"],
+        [[r["n"], r["tie_ms"], r["zip_ms"], r["zip_over_tie"]] for r in rows],
+        title="AB3: map under tie vs zip decomposition (stride penalty 0.25)",
+    )
+    write_report("ab3_tie_vs_zip", table)
+    assert all(r["zip_over_tie"] > 1.2 for r in rows), "strided zip pays locality cost"
+    assert abs(flat[0]["zip_over_tie"] - 1.0) < 0.01, "no penalty → parity"
+
+
+def bench_ab3_real_tie_map(benchmark, data, pool):
+    out = benchmark(
+        lambda: power_collect(PowerMapCollector(lambda x: x + 1, "tie"), data, pool=pool)
+    )
+    assert out == [x + 1 for x in data]
+
+
+def bench_ab3_real_zip_map(benchmark, data, pool):
+    out = benchmark(
+        lambda: power_collect(PowerMapCollector(lambda x: x + 1, "zip"), data, pool=pool)
+    )
+    assert out == [x + 1 for x in data]

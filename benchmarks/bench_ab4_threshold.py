@@ -1,0 +1,59 @@
+"""AB4 — leaf-size (split-threshold) sensitivity (Section V discussion).
+
+The paper notes that "the splitting is automatically stopped when a limit
+that depends on the system is attained" and that basic cases land on
+non-singleton sublists.  This ablation sweeps the leaf size for
+polynomial evaluation at fixed n: tiny leaves drown in per-node overhead,
+huge leaves starve the 8 workers; the sweet spot brackets Java's
+``n/(4p)`` rule, validating the default.
+"""
+
+import pytest
+
+from repro.bench.figures import ab4_threshold_series
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_coefficients
+from repro.core import polynomial_value
+from repro.forkjoin import ForkJoinPool
+
+N = 2**16
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=8, name="ab4")
+    yield p
+    p.shutdown()
+
+
+def bench_ab4_series(benchmark, write_report):
+    rows = benchmark(lambda: ab4_threshold_series(n=N, workers=8))
+    table = format_table(
+        ["leaf_size", "leaves", "parallel_ms", "speedup", "steals"],
+        [
+            [r["leaf_size"], r["leaves"], r["parallel_ms"], r["speedup"], r["steals"]]
+            for r in rows
+        ],
+        title=f"AB4: leaf-size sweep, polynomial value, n=2^16, 8 simulated cores",
+    )
+    write_report("ab4_threshold", table)
+    by_leaf = {r["leaf_size"]: r["speedup"] for r in rows}
+    best_leaf = max(by_leaf, key=by_leaf.get)
+    java_default = N // (4 * 8)
+    # The optimum brackets Java's target-size rule within ~8x.
+    assert java_default / 8 <= best_leaf <= java_default * 8
+    # Monotone penalties on both flanks.
+    assert by_leaf[1] < by_leaf[best_leaf] / 10, "singleton leaves are overhead-bound"
+    assert by_leaf[max(by_leaf)] <= by_leaf[best_leaf], "oversized leaves starve workers"
+
+
+@pytest.mark.parametrize("target_size", [64, 512, 4096])
+def bench_ab4_real_threshold(benchmark, pool, target_size):
+    """Real wall-clock at three thresholds (code-path validation)."""
+    coeffs = random_coefficients(2**13)
+    import numpy as np
+
+    out = benchmark(
+        lambda: polynomial_value(coeffs, 0.999, pool=pool, target_size=target_size)
+    )
+    assert out == pytest.approx(np.polyval(coeffs, 0.999), rel=1e-9)

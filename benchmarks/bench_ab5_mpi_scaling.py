@@ -1,0 +1,37 @@
+"""AB5 — simulated-MPI scalability (Section III claim).
+
+Claim under test: "The MPI executors facilitate a much larger scalability
+and so better performance" — distributing a large reduce over ranks each
+running 8 virtual cores beats the single 8-core node, until communication
+overtakes the shrinking local work.
+"""
+
+import pytest
+
+from repro.bench.figures import ab5_mpi_series
+from repro.bench.reporting import format_table
+
+N = 2**20
+
+
+def bench_ab5_series(benchmark, write_report):
+    rows = benchmark.pedantic(
+        lambda: ab5_mpi_series(n=N), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["ranks", "cores", "time_ms", "vs 1 node", "scatter_ms", "local_ms"],
+        [
+            [r["ranks"], r["cores_total"], r["time_ms"], r["vs_single_node"],
+             r["scatter_ms"], r["local_ms"]]
+            for r in rows
+        ],
+        title=f"AB5: reduce at n=2^20 on R ranks x 8 threads (alpha-beta comms)",
+    )
+    write_report("ab5_mpi_scaling", table)
+    by_ranks = {r["ranks"]: r["vs_single_node"] for r in rows}
+    assert by_ranks[1] == pytest.approx(1.0, rel=0.05), "1 rank ≈ single node"
+    assert max(by_ranks.values()) > 1.5, "MPI scales beyond one node"
+    best = max(by_ranks, key=by_ranks.get)
+    assert best > 1, "the optimum uses multiple ranks"
+    # Communication eventually erodes the gain (scalability limit visible).
+    assert by_ranks[64] < max(by_ranks.values())

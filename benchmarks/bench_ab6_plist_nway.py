@@ -1,0 +1,61 @@
+"""AB6 — PList n-way divide-and-conquer (Section V future work).
+
+The paper proposes extending ``trySplit`` to return a set of spliterators
+so PList functions become expressible; :mod:`repro.core.nway` implements
+the proposal.  Virtual series compares arities on matched sizes (fewer
+combine levels at higher arity); real benches run the actual n-way
+executor.
+"""
+
+import pytest
+
+from repro.bench.figures import ab6_nway_series
+from repro.bench.reporting import format_table
+from repro.core.nway import NWayMapCollector, NWayReduceCollector, nway_collect
+from repro.forkjoin import ForkJoinPool
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=8, name="ab6")
+    yield p
+    p.shutdown()
+
+
+def bench_ab6_series(benchmark, write_report):
+    rows = benchmark(ab6_nway_series)
+    table = format_table(
+        ["n", "arity", "levels", "parallel_ms", "speedup"],
+        [
+            [r["n"], r["arity"], r["levels"], r["parallel_ms"], r["speedup"]]
+            for r in rows
+        ],
+        title="AB6: PList n-way map across arities (8 simulated cores)",
+    )
+    write_report("ab6_plist_nway", table)
+    same_n = {r["arity"]: r["speedup"] for r in rows if r["n"] == 2**12}
+    # Flatter trees (higher arity) reduce combine-chain cost for map.
+    assert same_n[8] > same_n[2]
+
+
+@pytest.mark.parametrize("arity", [2, 3, 4])
+def bench_ab6_real_nway_map(benchmark, pool, arity):
+    n = arity**6
+    data = list(range(n))
+    out = benchmark(
+        lambda: nway_collect(
+            NWayMapCollector(lambda x: x * 3), data, arity=arity, pool=pool,
+            target_size=max(n // (arity * 8), 1),
+        )
+    )
+    assert out == [x * 3 for x in data]
+
+
+def bench_ab6_real_nway_reduce(benchmark, pool):
+    data = list(range(3**8))
+    out = benchmark(
+        lambda: nway_collect(
+            NWayReduceCollector(lambda a, b: a + b), data, arity=3, pool=pool
+        )
+    )
+    assert out == sum(data)

@@ -1,0 +1,120 @@
+"""AB7 — program transformations: descend-state vs tupled vs vectorized.
+
+Two claims orthogonal to the figures:
+
+1. §II (citing [22]): "function transformations could be applied — such
+   as tupling — in order to eliminate these additional computations".
+   ``PolynomialValueTupled`` removes the descending phase entirely; the
+   bench measures what that buys in real wall-clock against the faithful
+   shared-state ``PolynomialValue``.
+2. §V: leaf computations can be specialized via ``forEachRemaining``;
+   the vectorized collectors replace per-element accumulation with numpy
+   kernels — the one axis where this host shows *real* (non-simulated)
+   speedups.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import random_coefficients
+from repro.core import (
+    polynomial_value,
+    polynomial_value_tupled,
+    vectorized_fft,
+    vectorized_polynomial_value,
+)
+from repro.core.fft import fft_sequential
+from repro.forkjoin import ForkJoinPool
+
+N = 2**14
+X = 0.9999
+
+
+@pytest.fixture(scope="module")
+def coeffs():
+    return random_coefficients(N, seed=77)
+
+
+@pytest.fixture(scope="module")
+def coeffs_array(coeffs):
+    return np.asarray(coeffs)
+
+
+@pytest.fixture(scope="module")
+def reference(coeffs):
+    return np.polyval(coeffs, X)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=8, name="ab7")
+    yield p
+    p.shutdown()
+
+
+def bench_ab7_poly_descend_state(benchmark, coeffs, reference, pool):
+    """Faithful §IV collector: PZipSpliterator + shared x_degree."""
+    out = benchmark(lambda: polynomial_value(coeffs, X, pool=pool))
+    assert out == pytest.approx(reference, rel=1e-9)
+
+
+def bench_ab7_poly_tupled(benchmark, coeffs, reference, pool):
+    """The [22] tupling transformation: plain tie, no descend phase."""
+    out = benchmark(lambda: polynomial_value_tupled(coeffs, X, pool=pool))
+    assert out == pytest.approx(reference, rel=1e-9)
+
+
+def bench_ab7_poly_vectorized(benchmark, coeffs_array, reference, pool):
+    """Vectorized leaves: numpy dot-product basic cases."""
+    out = benchmark(lambda: vectorized_polynomial_value(coeffs_array, X, pool=pool))
+    assert out == pytest.approx(reference, rel=1e-9)
+
+
+def bench_ab7_fft_scalar_leaf(benchmark):
+    """Scalar recursive FFT (the reference basic case)."""
+    rng = np.random.default_rng(5)
+    data = list(rng.standard_normal(2**12) + 0j)
+    out = benchmark(lambda: fft_sequential(data))
+    np.testing.assert_allclose(out, np.fft.fft(data), rtol=1e-8, atol=1e-8)
+
+
+def bench_ab7_fft_vectorized(benchmark, pool):
+    """Vectorized FFT collector: np.fft leaves + array butterflies."""
+    rng = np.random.default_rng(5)
+    data = rng.standard_normal(2**12) + 0j
+    out = benchmark(lambda: vectorized_fft(data, pool=pool))
+    np.testing.assert_allclose(out, np.fft.fft(data), rtol=1e-8, atol=1e-8)
+
+
+def bench_ab7_summary(benchmark, coeffs, coeffs_array, reference, write_report):
+    """One-shot comparison table (5-run averages, paper protocol)."""
+    from repro.bench import format_table, repeat_average
+
+    def build():
+        engines = {
+            "descend-state (faithful §IV)": lambda: polynomial_value(
+                coeffs, X, parallel=False
+            ),
+            "tupled ([22] transformation)": lambda: polynomial_value_tupled(
+                coeffs, X, parallel=False
+            ),
+            "vectorized leaves (numpy)": lambda: vectorized_polynomial_value(
+                coeffs_array, X, parallel=False
+            ),
+        }
+        rows = []
+        for name, fn in engines.items():
+            assert fn() == pytest.approx(reference, rel=1e-9)
+            rows.append([name, repeat_average(fn, runs=5).mean_ms])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report(
+        "ab7_transformations",
+        format_table(
+            ["engine", "wall_ms (5-run avg, sequential)"], rows,
+            title=f"AB7: polynomial value engines at n=2^14 (real wall-clock)",
+        ),
+    )
+    times = {row[0]: row[1] for row in rows}
+    assert times["vectorized leaves (numpy)"] < times["descend-state (faithful §IV)"]

@@ -1,0 +1,80 @@
+"""AB8 — scheduler design choices: steal policy and combine placement.
+
+DESIGN.md §5 calls out the deterministic work-stealing scheduler as a
+design decision; this ablation quantifies its two main knobs on the
+FIG3 workload shape:
+
+* **victim selection** — round-robin (the real pool's scan order) vs
+  seeded-random (the Blumofe–Leiserson analysis model);
+* **steal latency** — how sensitive the makespan is to the cost of
+  moving work between workers.
+
+Both policies must land within the greedy bound; the interesting output
+is how little they differ on balanced D&C trees (the paper's workloads)
+— evidence that the simulated speedups aren't an artifact of one policy.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.simcore import CostModel, SimMachine, build_dc_dag, greedy_bound_check
+
+N = 2**20
+THRESHOLD = N // 32
+
+
+def _run(policy: str, latency: float, seed: int = 0):
+    dag = build_dc_dag(N, THRESHOLD, CostModel(), "zip")
+    return SimMachine(8, steal_latency=latency, steal_policy=policy, seed=seed).run(dag)
+
+
+def bench_ab8_series(benchmark, write_report):
+    def build():
+        rows = []
+        for policy in ("round_robin", "random"):
+            for latency in (0.0, 50.0, 500.0):
+                result = _run(policy, latency)
+                rows.append(
+                    [policy, latency, result.makespan, result.steals,
+                     f"{result.utilization:.4f}"]
+                )
+        return rows
+
+    rows = benchmark(build)
+    write_report(
+        "ab8_scheduler",
+        format_table(
+            ["steal_policy", "steal_latency", "makespan", "steals", "utilization"],
+            rows,
+            title="AB8: scheduler ablation, polynomial DAG n=2^20, 8 cores",
+        ),
+    )
+    # Policies agree closely on balanced trees (within 5%)...
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    for latency in (0.0, 50.0, 500.0):
+        rr = by_key[("round_robin", latency)]
+        rnd = by_key[("random", latency)]
+        assert abs(rr - rnd) / rr < 0.05
+    # ...and higher steal latency never helps.
+    for policy in ("round_robin", "random"):
+        series = [by_key[(policy, lat)] for lat in (0.0, 50.0, 500.0)]
+        assert series == sorted(series)
+
+
+def bench_ab8_bounds_hold_under_latency(benchmark):
+    def check():
+        result = _run("round_robin", 0.0)
+        report = greedy_bound_check(result)
+        assert report.all_ok
+        return report
+
+    report = benchmark(check)
+    assert report.tp <= report.t1 / report.p + report.tinf + 1e-9
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def bench_ab8_random_seeds_consistent(benchmark, seed):
+    result = benchmark.pedantic(
+        lambda: _run("random", 0.0, seed=seed), rounds=1, iterations=1
+    )
+    assert greedy_bound_check(result).all_ok

@@ -1,0 +1,32 @@
+"""FIG4 — absolute execution times (ms), sequential vs parallel.
+
+Paper: Figure 4 — execution times over degrees 2^20..2^26; the sequential
+time at 2^24 sits ≈3× below trend (the JVM anomaly).  Reproduced from the
+same simulated series as FIG3, reported in modeled milliseconds.
+"""
+
+from repro.bench.figures import fig3_fig4_series
+from repro.bench.reporting import format_table
+
+
+def bench_fig4_series(benchmark, write_report):
+    """Regenerate Figure 4 (times the simulation sweep)."""
+    rows = benchmark(lambda: fig3_fig4_series(workers=8, anomaly=True))
+    table = format_table(
+        ["log2(n)", "sequential_ms", "parallel_ms"],
+        [[r["log2_n"], r["sequential_ms"], r["parallel_ms"]] for r in rows],
+        title="FIG4: polynomial-value execution times (modeled ms), 8 simulated cores",
+    )
+    write_report("fig4_times", table)
+
+    by_log = {r["log2_n"]: r for r in rows}
+    # Times grow ~2x per doubling, except the anomalous sequential 2^24.
+    for log_n in range(20, 23):
+        ratio = by_log[log_n + 1]["sequential_ms"] / by_log[log_n]["sequential_ms"]
+        assert 1.8 < ratio < 2.2 or log_n + 1 == 24
+    # The paper: sequential(2^24) is ~3x *less* than sequential(2^23).
+    assert by_log[24]["sequential_ms"] < by_log[23]["sequential_ms"]
+    # Parallel times are unaffected by the sequential anomaly.
+    assert by_log[24]["parallel_ms"] > by_log[23]["parallel_ms"]
+    # Parallel beats sequential at every size.
+    assert all(r["parallel_ms"] < r["sequential_ms"] for r in rows)

@@ -1,0 +1,74 @@
+"""The paper's evaluation workload, end to end.
+
+Evaluates random polynomials through every execution engine in the
+repository — sequential Horner, the parallel stream adaptation, the JPLF
+fork/join executor, the simulated 8-core machine, and the simulated MPI
+cluster — and prints a small comparison table.
+
+Run:  python examples/polynomial_evaluation.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table, random_coefficients, repeat_average
+from repro.core import polynomial_value
+from repro.core.polynomial import horner
+from repro.forkjoin import ForkJoinPool
+from repro.jplf import ForkJoinExecutor, JplfPolynomialValue
+from repro.mpi import CommModel, MpiExecutor
+from repro.powerlist import PowerList
+from repro.simcore import sequential_time, simulate_power_function, speedup
+from repro.simcore.costmodel import polynomial_cost_model
+
+N = 2**14
+X = 0.9995
+
+
+def main() -> None:
+    coeffs = random_coefficients(N, seed=7)
+    reference = np.polyval(coeffs, X)
+    print(f"degree {N - 1} polynomial at x={X}; numpy reference = {reference:.6f}\n")
+
+    with ForkJoinPool(parallelism=8, name="poly-example") as pool:
+        engines = {
+            "sequential Horner": lambda: horner(coeffs, X),
+            "stream adaptation (parallel)": lambda: polynomial_value(
+                coeffs, X, pool=pool
+            ),
+            "JPLF fork/join": lambda: ForkJoinExecutor(pool).execute(
+                JplfPolynomialValue(PowerList(coeffs), X)
+            ),
+        }
+        rows = []
+        for name, fn in engines.items():
+            value = fn()
+            timing = repeat_average(fn, runs=5)
+            rows.append([name, f"{value:.6f}", timing.mean_ms])
+            assert abs(value - reference) < 1e-6 * max(1.0, abs(reference))
+        print(format_table(["engine", "value", "wall_ms (5-run avg)"], rows))
+
+    # The paper's Figure-3 machine, simulated (DESIGN.md §3).
+    print("\nSimulated 8-core machine (virtual time):")
+    model = polynomial_cost_model(anomaly=False)
+    rows = []
+    for log_n in (20, 22, 24, 26):
+        n = 2**log_n
+        result = simulate_power_function(n, 8, "polynomial", model=model)
+        s = speedup(sequential_time(n, "polynomial", model), result.makespan)
+        rows.append([f"2^{log_n}", model.to_ms(result.makespan), s])
+    print(format_table(["n", "parallel_ms", "speedup"], rows))
+
+    # And a simulated 8-rank cluster, each rank 8 virtual cores.
+    report = MpiExecutor(
+        ranks=8,
+        threads_per_rank=8,
+        comm=CommModel(alpha=2000, beta=0.002),
+        operator_profile="polynomial",
+    ).execute(JplfPolynomialValue(PowerList(coeffs), X))
+    print(f"\nsimulated MPI (8 ranks x 8 cores): value={report.result:.6f}, "
+          f"virtual finish={report.finish_time:.0f} units")
+    print("polynomial_evaluation OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: streams, PowerLists, and the PowerList-stream adaptation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    IdentityCollector,
+    PowerMapCollector,
+    polynomial_value,
+    power_collect,
+)
+from repro.forkjoin import ForkJoinPool
+from repro.powerlist import PowerList
+from repro.streams import Collectors, Stream
+
+
+def plain_streams() -> None:
+    """The Java-Streams-style API, sequential and parallel."""
+    # A classic pipeline: filter → map → collect.
+    squares_of_evens = (
+        Stream.range(0, 20)
+        .filter(lambda x: x % 2 == 0)
+        .map(lambda x: x * x)
+        .to_list()
+    )
+    print("squares of evens:", squares_of_evens)
+
+    # The paper's joining example: the comma between partial results is
+    # added by the *combiner*, which only runs on parallel execution.
+    words = ["power", "lists", "meet", "streams"]
+    joined = Stream.of_iterable(words).parallel().collect(Collectors.joining(", "))
+    print("joined:", joined)
+
+    # Grouping with a downstream collector.
+    by_parity = Stream.range(0, 10).collect(
+        Collectors.grouping_by(lambda x: "even" if x % 2 == 0 else "odd")
+    )
+    print("grouped:", by_parity)
+
+
+def powerlist_views() -> None:
+    """The two deconstruction operators, as O(1) views."""
+    p = PowerList([10, 20, 30, 40, 50, 60, 70, 80])
+    left, right = p.tie_split()
+    even, odd = p.zip_split()
+    print("tie_split :", left.to_list(), right.to_list())
+    print("zip_split :", even.to_list(), odd.to_list())
+    # All four are views into the same storage — nothing was copied.
+    assert left.storage is p.storage and even.storage is p.storage
+
+
+def powerlist_streams(pool: ForkJoinPool) -> None:
+    """PowerList functions executed through the stream adaptation."""
+    data = [float(i) for i in range(16)]
+
+    # The identity function verifies decomposition/recomposition.
+    assert power_collect(IdentityCollector("zip"), data, pool=pool) == data
+
+    # map as a collector: accumulator applies f before adding.
+    doubled = power_collect(PowerMapCollector(lambda x: 2 * x, "zip"), data, pool=pool)
+    print("mapped    :", doubled[:8], "...")
+
+    # The paper's running example: polynomial evaluation with
+    # descending-phase state (x_degree) updated during splits.
+    coeffs = [1.0, -2.0, 3.0, 0.5]  # x³ − 2x² + 3x + 0.5
+    value = polynomial_value(coeffs, 2.0, pool=pool)
+    print("p(2.0)    :", value, "(expect", 1 * 8 - 2 * 4 + 3 * 2 + 0.5, ")")
+
+
+def main() -> None:
+    plain_streams()
+    powerlist_views()
+    with ForkJoinPool(parallelism=4, name="quickstart") as pool:
+        powerlist_streams(pool)
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

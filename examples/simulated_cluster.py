@@ -1,0 +1,79 @@
+"""Exploring the simulated machines: scaling curves and execution traces.
+
+Uses the discrete-event simulator directly — worker sweeps, a Gantt-style
+trace dump, scheduling-law checks — and the simulated MPI cluster for a
+multi-node scaling curve, reproducing the shape of the paper's
+scalability discussion without an 8-core box or a cluster.
+
+Run:  python examples/simulated_cluster.py
+"""
+
+from repro.bench import format_table
+from repro.jplf import JplfReduce
+from repro.mpi import CommModel, MpiExecutor
+from repro.powerlist import PowerList
+from repro.simcore import (
+    CostModel,
+    SimMachine,
+    build_dc_dag,
+    greedy_bound_check,
+    sequential_time,
+    simulate_power_function,
+    speedup,
+)
+
+N = 2**20
+
+
+def worker_sweep() -> None:
+    print(f"polynomial value, n=2^20, worker sweep:")
+    rows = []
+    seq = sequential_time(N, "polynomial")
+    for workers in (1, 2, 4, 8, 16, 32):
+        result = simulate_power_function(N, workers, "polynomial")
+        report = greedy_bound_check(result)
+        assert report.all_ok, "work/span laws must hold"
+        rows.append([workers, result.makespan, speedup(seq, result.makespan),
+                     f"{result.utilization:.3f}", result.steals])
+    print(format_table(["workers", "makespan", "speedup", "utilization", "steals"], rows))
+
+
+def small_trace() -> None:
+    print("\nexecution trace, n=64, threshold=16, 4 workers:")
+    model = CostModel(split_overhead=5, combine_overhead=5, fork_overhead=2)
+    dag = build_dc_dag(64, 16, model)
+    result = SimMachine(4).run(dag)
+    rows = [
+        [t.worker, t.sid, t.kind, f"{t.start:.0f}", f"{t.end:.0f}",
+         "steal" if t.stolen else ""]
+        for t in sorted(result.trace, key=lambda t: (t.start, t.worker))
+    ]
+    print(format_table(["worker", "strand", "kind", "start", "end", ""], rows))
+
+
+def mpi_scaling() -> None:
+    print("\nsimulated MPI: reduce at n=2^18, rank sweep (8 threads each):")
+    data = list(range(2**18))
+    rows = []
+    for ranks in (1, 2, 4, 8, 16):
+        report = MpiExecutor(
+            ranks=ranks,
+            threads_per_rank=8,
+            comm=CommModel(alpha=2000, beta=0.002),
+            operator_profile="reduce",
+        ).execute(JplfReduce(PowerList(data), lambda a, b: a + b))
+        assert report.result == sum(data)
+        rows.append([ranks, f"{report.finish_time:.0f}",
+                     f"{report.scatter_time:.0f}", f"{report.local_time:.0f}"])
+    print(format_table(["ranks", "finish", "scatter", "local"], rows))
+
+
+def main() -> None:
+    worker_sweep()
+    small_trace()
+    mpi_scaling()
+    print("simulated_cluster OK")
+
+
+if __name__ == "__main__":
+    main()

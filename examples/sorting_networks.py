@@ -1,0 +1,54 @@
+"""Sorting networks on PowerLists: Batcher merge sort and bitonic sort.
+
+Sorts a shuffled record set three ways — the Batcher-merge collector on a
+parallel stream, the JPLF sort function, and the bitonic network — and
+shows the `inv` permutation and Gray-code utilities along the way.
+
+Run:  python examples/sorting_networks.py
+"""
+
+import random
+
+from repro.core import (
+    batcher_merge_sort,
+    bitonic_sort,
+    gray_code_sequence,
+    inv,
+    to_gray,
+)
+from repro.forkjoin import ForkJoinPool
+from repro.jplf import ForkJoinExecutor, JplfSort
+from repro.powerlist import PowerList
+
+N = 2**10
+
+
+def main() -> None:
+    rng = random.Random(23)
+    keys = [rng.randint(0, 99_999) for _ in range(N)]
+    expected = sorted(keys)
+
+    with ForkJoinPool(parallelism=8, name="sort-example") as pool:
+        stream_sorted = batcher_merge_sort(keys, pool=pool)
+        jplf_sorted = ForkJoinExecutor(pool).execute(JplfSort(PowerList(keys)))
+    network_sorted = bitonic_sort(keys)
+
+    assert stream_sorted == expected
+    assert jplf_sorted == expected
+    assert network_sorted == expected
+    print(f"sorted {N} keys with 3 engines; first 8: {stream_sorted[:8]}")
+
+    # The inv permutation: the data layout FFT needs (bit reversal).
+    order = inv(list(range(16)), parallel=False)
+    print("bit-reversal of 0..15:", order)
+    assert sorted(order) == list(range(16))
+
+    # Gray-code sequences from the PowerList recursion.
+    gray = gray_code_sequence(4)
+    print("4-bit Gray walk:", [format(g, '04b') for g in gray[:8]], "...")
+    assert gray == [to_gray(i) for i in range(16)]
+    print("sorting_networks OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""A tour of the streams substrate: word statistics over a text corpus.
+
+Exercises the general-purpose stream API the adaptation is built on —
+spliterators over arbitrary sources, lazy pipelines, stateful ops, stock
+collectors, short-circuiting searches — on a realistic text-processing
+task, sequential and parallel.
+
+Run:  python examples/streams_tour.py
+"""
+
+from repro.forkjoin import ForkJoinPool
+from repro.streams import Collectors, Stream, stream_of
+
+CORPUS = """
+the theory of powerlists offers an elegant way for defining divide and
+conquer programs at a high level of abstraction the functions on power
+lists are defined recursively by splitting their arguments based on two
+deconstruction operators the parallelism of the functions is implicit
+each application of a deconstruction operator implies two independent
+computations that may be performed in parallel java streams provide the
+ability to do parallelisation easily and in a reliable manner
+""".split()
+
+
+def main() -> None:
+    with ForkJoinPool(parallelism=4, name="tour") as pool:
+        # Word frequencies (grouping + counting), in parallel.
+        frequencies = (
+            stream_of(CORPUS)
+            .parallel()
+            .with_pool(pool)
+            .collect(Collectors.grouping_by(lambda w: w, Collectors.counting()))
+        )
+        top = sorted(frequencies.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        print("top words:", top)
+
+        # Longest words: stateful sorted + limit after a distinct pass.
+        longest = (
+            stream_of(CORPUS)
+            .parallel()
+            .with_pool(pool)
+            .distinct()
+            .sorted(key=len, reverse=True)
+            .limit(5)
+            .to_list()
+        )
+        print("longest distinct words:", longest)
+
+        # Average word length via teeing (sum / count in one pass).
+        avg = stream_of(CORPUS).collect(
+            Collectors.tee(
+                Collectors.summing(len),
+                Collectors.counting(),
+                lambda total, n: total / n,
+            )
+        )
+        print(f"average word length: {avg:.2f}")
+
+        # Short-circuiting search over an infinite stream.
+        first_pow2_gt = (
+            Stream.iterate(1, lambda x: 2 * x)
+            .filter(lambda x: x > len(CORPUS))
+            .find_first()
+            .get()
+        )
+        print(f"first power of two above corpus size: {first_pow2_gt}")
+
+        # Index words by initial letter, joined compactly.
+        by_initial = (
+            stream_of(sorted(set(CORPUS)))
+            .collect(
+                Collectors.grouping_by(
+                    lambda w: w[0],
+                    Collectors.mapping(lambda w: w, Collectors.joining("/")),
+                )
+            )
+        )
+        print("p-words:", by_initial.get("p", ""))
+    print("streams_tour OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Benchmark harness: workload generators, repetition, figure series.
+
+The modules here generate the data behind every table/figure bench in
+``benchmarks/`` (see DESIGN.md §2 for the experiment index):
+
+* :mod:`repro.bench.workloads` — seeded input generators;
+* :mod:`repro.bench.harness`   — repetition/averaging and wall-clock
+  timing (the paper averages 5 runs per point);
+* :mod:`repro.bench.figures`   — the series for FIG3/FIG4 and AB1–AB6;
+* :mod:`repro.bench.reporting` — fixed-width table rendering.
+"""
+
+from repro.bench.harness import repeat_average, time_call
+from repro.bench.reporting import format_table
+from repro.bench.workloads import (
+    random_coefficients,
+    random_complex_signal,
+    random_integers,
+)
+
+__all__ = [
+    "format_table",
+    "random_coefficients",
+    "random_complex_signal",
+    "random_integers",
+    "repeat_average",
+    "time_call",
+]

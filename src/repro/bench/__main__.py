@@ -1,0 +1,173 @@
+"""Regenerate every figure/ablation table without pytest.
+
+Usage::
+
+    python -m repro.bench               # all experiments → stdout
+    python -m repro.bench fig3 ab4      # a subset
+    python -m repro.bench --calibrated  # FIG3/FIG4 with measured constants
+    python -m repro.bench --out DIR     # also write one .txt per table
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.bench.figures import (
+    ab1_streams_vs_jplf_series,
+    ab2_fft_series,
+    ab3_tie_vs_zip_series,
+    ab4_threshold_series,
+    ab5_mpi_series,
+    ab6_nway_series,
+    fig3_fig4_series,
+)
+from repro.bench.reporting import format_table
+
+
+def _fig3(calibrated: bool) -> str:
+    model = None
+    if calibrated:
+        from dataclasses import replace
+
+        from repro.simcore.calibrate import calibrate_polynomial_model
+
+        model = replace(
+            calibrate_polynomial_model(), sequential_anomaly={2**24: 1 / 3}
+        )
+    rows = fig3_fig4_series(workers=8, anomaly=True) if model is None else _series_with(model)
+    title = "FIG3: polynomial-value speedup, 8 simulated cores" + (
+        " (calibrated constants)" if calibrated else ""
+    )
+    return format_table(
+        ["log2(n)", "sequential_ms", "parallel_ms", "speedup"],
+        [[r["log2_n"], r["sequential_ms"], r["parallel_ms"], r["speedup"]] for r in rows],
+        title,
+    )
+
+
+def _series_with(model) -> list[dict]:
+    from repro.bench.figures import FIG34_SIZES
+    from repro.simcore import sequential_time, simulate_power_function, speedup
+
+    rows = []
+    for n in FIG34_SIZES:
+        seq = sequential_time(n, "polynomial", model)
+        result = simulate_power_function(n, 8, "polynomial", model=model)
+        rows.append(
+            {
+                "log2_n": n.bit_length() - 1,
+                "sequential_ms": model.to_ms(seq),
+                "parallel_ms": model.to_ms(result.makespan),
+                "speedup": speedup(seq, result.makespan),
+            }
+        )
+    return rows
+
+
+def _fig4(calibrated: bool) -> str:
+    rows = fig3_fig4_series(workers=8, anomaly=True)
+    return format_table(
+        ["log2(n)", "sequential_ms", "parallel_ms"],
+        [[r["log2_n"], r["sequential_ms"], r["parallel_ms"]] for r in rows],
+        "FIG4: polynomial-value execution times (modeled ms)",
+    )
+
+
+EXPERIMENTS = {
+    "fig3": lambda args: _fig3(args.calibrated),
+    "fig4": lambda args: _fig4(args.calibrated),
+    "ab1": lambda args: format_table(
+        ["function", "n", "stream_ms", "jplf_ms", "ratio"],
+        [[r["function"], r["n"], r["stream_ms"], r["jplf_ms"], r["ratio"]]
+         for r in ab1_streams_vs_jplf_series()],
+        "AB1: stream adaptation vs JPLF",
+    ),
+    "ab2": lambda args: format_table(
+        ["n", "sequential_ms", "parallel_ms", "speedup"],
+        [[r["n"], r["sequential_ms"], r["parallel_ms"], r["speedup"]]
+         for r in ab2_fft_series()],
+        "AB2: FFT",
+    ),
+    "ab3": lambda args: format_table(
+        ["n", "tie_ms", "zip_ms", "zip/tie"],
+        [[r["n"], r["tie_ms"], r["zip_ms"], r["zip_over_tie"]]
+         for r in ab3_tie_vs_zip_series()],
+        "AB3: tie vs zip locality",
+    ),
+    "ab4": lambda args: format_table(
+        ["leaf_size", "leaves", "parallel_ms", "speedup"],
+        [[r["leaf_size"], r["leaves"], r["parallel_ms"], r["speedup"]]
+         for r in ab4_threshold_series()],
+        "AB4: leaf-size sweep",
+    ),
+    "ab5": lambda args: format_table(
+        ["ranks", "cores", "time_ms", "vs_single_node"],
+        [[r["ranks"], r["cores_total"], r["time_ms"], r["vs_single_node"]]
+         for r in ab5_mpi_series()],
+        "AB5: simulated MPI scaling",
+    ),
+    "ab6": lambda args: format_table(
+        ["n", "arity", "levels", "speedup"],
+        [[r["n"], r["arity"], r["levels"], r["speedup"]]
+         for r in ab6_nway_series()],
+        "AB6: PList n-way",
+    ),
+    "ab8": lambda args: _ab8(),
+}
+
+
+def _ab8() -> str:
+    from repro.simcore import CostModel, SimMachine, build_dc_dag
+
+    rows = []
+    for policy in ("round_robin", "random"):
+        for latency in (0.0, 50.0, 500.0):
+            dag = build_dc_dag(2**20, 2**15, CostModel(), "zip")
+            result = SimMachine(8, steal_latency=latency,
+                                steal_policy=policy).run(dag)
+            rows.append([policy, latency, result.makespan, result.steals])
+    return format_table(
+        ["steal_policy", "steal_latency", "makespan", "steals"], rows,
+        "AB8: scheduler ablation",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help=f"subset of {sorted(EXPERIMENTS)} (default: all)")
+    parser.add_argument("--calibrated", action="store_true",
+                        help="rebase FIG3 constants on measured wall-clock")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory to write one .txt per table")
+    parser.add_argument("--csv", type=pathlib.Path, default=None,
+                        help="directory to export all series as CSV")
+    args = parser.parse_args(argv)
+
+    if args.csv is not None:
+        from repro.bench.export import export_all
+
+        for path in export_all(args.csv):
+            print(f"[csv] {path}")
+
+    names = args.experiments or sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        table = EXPERIMENTS[name](args)
+        print(table, end="\n\n")
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""CSV export of experiment series — for plotting outside this repo.
+
+``python -m repro.bench`` prints text tables; downstream users who want
+to re-plot Figures 3–4 feed the CSV forms to their plotting stack.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Sequence
+
+from repro.common import IllegalArgumentError
+
+
+def rows_to_csv(rows: Sequence[dict]) -> str:
+    """Render a list of uniform row dicts as CSV text (header included)."""
+    if not rows:
+        raise IllegalArgumentError("no rows to export")
+    fieldnames = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != fieldnames:
+            raise IllegalArgumentError("rows have inconsistent columns")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def export_series(rows: Sequence[dict], path: str | pathlib.Path) -> pathlib.Path:
+    """Write a series to ``path`` as CSV; returns the resolved path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(rows_to_csv(rows))
+    return target
+
+
+def export_all(directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Write every figure/ablation series as CSV under ``directory``."""
+    from repro.bench import figures
+
+    series = {
+        "fig3_fig4": figures.fig3_fig4_series(),
+        "ab1_streams_vs_jplf": figures.ab1_streams_vs_jplf_series(),
+        "ab2_fft": figures.ab2_fft_series(),
+        "ab3_tie_vs_zip": figures.ab3_tie_vs_zip_series(),
+        "ab4_threshold": figures.ab4_threshold_series(),
+        "ab6_nway": figures.ab6_nway_series(),
+    }
+    base = pathlib.Path(directory)
+    return [
+        export_series(rows, base / f"{name}.csv") for name, rows in series.items()
+    ]

@@ -1,0 +1,259 @@
+"""Series generators for every paper figure and ablation (DESIGN.md §2).
+
+Each function returns plain row dictionaries; the benches render them with
+:func:`repro.bench.reporting.format_table` and record the headline values
+in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.mpi import CommModel, MpiExecutor
+from repro.simcore import SimMachine, build_dc_dag, sequential_time, simulate_power_function, speedup
+from repro.simcore.adapters import default_threshold, profile_model
+from repro.simcore.costmodel import CostModel, polynomial_cost_model
+from repro.simcore.dag import build_nway_dag
+
+#: The paper's sweep: polynomial degrees 2^20 .. 2^26.
+FIG34_SIZES = [2**k for k in range(20, 27)]
+PAPER_CORES = 8
+
+
+def fig3_fig4_series(
+    workers: int = PAPER_CORES,
+    anomaly: bool = True,
+    sizes: list[int] | None = None,
+) -> list[dict]:
+    """Figures 3 and 4: speedup and execution times for polynomial value.
+
+    One row per size with modeled sequential/parallel times (ms) and the
+    speedup; ``anomaly`` injects the paper's 2^24 sequential dropout.
+    """
+    model = polynomial_cost_model(anomaly)
+    rows = []
+    for n in sizes if sizes is not None else FIG34_SIZES:
+        seq_units = sequential_time(n, "polynomial", model)
+        result = simulate_power_function(n, workers, "polynomial", model=model)
+        rows.append(
+            {
+                "n": n,
+                "log2_n": n.bit_length() - 1,
+                "sequential_ms": model.to_ms(seq_units),
+                "parallel_ms": model.to_ms(result.makespan),
+                "speedup": speedup(seq_units, result.makespan),
+                "workers": workers,
+                "leaves": n // default_threshold(n, workers),
+                "utilization": result.utilization,
+            }
+        )
+    return rows
+
+
+def ab1_streams_vs_jplf_series(
+    sizes: list[int] | None = None, workers: int = PAPER_CORES
+) -> list[dict]:
+    """AB1: map/reduce — stream adaptation vs JPLF fork/join (virtual).
+
+    JPLF's descending phase only re-views storage, while the stream
+    adaptation pays spliterator bookkeeping per split; both share leaf and
+    combine costs.  The claim under test: for simple-concatenation
+    functions the two are *similar* (within a few percent).
+    """
+    if sizes is None:
+        sizes = [2**k for k in range(16, 23)]
+    rows = []
+    for function in ("map", "reduce"):
+        stream_model, operator = profile_model(function)
+        jplf_model = replace(stream_model, split_overhead=stream_model.split_overhead * 0.75)
+        for n in sizes:
+            threshold = default_threshold(n, workers)
+            stream_t = SimMachine(workers, stream_model.steal_latency).run(
+                build_dc_dag(n, threshold, stream_model, operator)
+            ).makespan
+            jplf_t = SimMachine(workers, jplf_model.steal_latency).run(
+                build_dc_dag(n, threshold, jplf_model, operator)
+            ).makespan
+            rows.append(
+                {
+                    "function": function,
+                    "n": n,
+                    "stream_ms": stream_model.to_ms(stream_t),
+                    "jplf_ms": jplf_model.to_ms(jplf_t),
+                    "ratio": stream_t / jplf_t,
+                }
+            )
+    return rows
+
+
+def ab2_fft_series(
+    sizes: list[int] | None = None, workers: int = PAPER_CORES
+) -> list[dict]:
+    """AB2: FFT — sequential vs parallel stream adaptation vs JPLF."""
+    if sizes is None:
+        sizes = [2**k for k in range(10, 17)]
+    base, operator = profile_model("fft")
+    rows = []
+    for n in sizes:
+        log_n = n.bit_length() - 1
+        # FFT is Θ(n log n): the sequential baseline does log2(n) passes.
+        seq_units = base.seq_work_per_element * n * max(log_n, 1)
+        threshold = default_threshold(n, workers)
+        log_t = max(threshold.bit_length() - 1, 1)
+        # A leaf runs a sequential sub-FFT of size t → t·log2(t) work; the
+        # combine strands above it charge the remaining levels butterfly
+        # by butterfly (combine_per_element × node size, per level).
+        model = replace(base, work_per_element=base.work_per_element * log_t)
+        par = SimMachine(workers, model.steal_latency).run(
+            build_dc_dag(n, threshold, model, operator)
+        )
+        rows.append(
+            {
+                "n": n,
+                "sequential_ms": model.to_ms(seq_units),
+                "parallel_ms": model.to_ms(par.makespan),
+                "speedup": seq_units / par.makespan,
+                "combine_levels": log_n - (threshold.bit_length() - 1),
+            }
+        )
+    return rows
+
+
+def ab3_tie_vs_zip_series(
+    sizes: list[int] | None = None,
+    workers: int = PAPER_CORES,
+    stride_penalty: float = 0.25,
+) -> list[dict]:
+    """AB3: tie vs zip memory access patterns under a cache-aware model.
+
+    zip decomposition doubles the stride each level, losing spatial
+    locality; tie keeps unit stride.  The paper predicts "linear or cyclic
+    data distributions could lead to better performance" depending on the
+    system — with a positive stride penalty, tie wins by a growing margin.
+    """
+    if sizes is None:
+        sizes = [2**k for k in range(18, 23)]
+    base = CostModel(stride_penalty=stride_penalty)
+    model, _ = profile_model("map", base)
+    rows = []
+    for n in sizes:
+        threshold = default_threshold(n, workers)
+        machine = SimMachine(workers, model.steal_latency)
+        tie_t = machine.run(build_dc_dag(n, threshold, model, "tie")).makespan
+        zip_t = machine.run(build_dc_dag(n, threshold, model, "zip")).makespan
+        rows.append(
+            {
+                "n": n,
+                "tie_ms": model.to_ms(tie_t),
+                "zip_ms": model.to_ms(zip_t),
+                "zip_over_tie": zip_t / tie_t,
+            }
+        )
+    return rows
+
+
+def ab4_threshold_series(
+    n: int = 2**16,
+    workers: int = PAPER_CORES,
+    leaf_logs: list[int] | None = None,
+) -> list[dict]:
+    """AB4: leaf-size sensitivity for polynomial value.
+
+    Tiny leaves drown in per-node overhead; huge leaves starve the
+    workers.  The sweet spot sits near Java's ``n/(4p)`` rule.
+    """
+    if leaf_logs is None:
+        leaf_logs = list(range(0, 15, 2))
+    model, operator = profile_model("polynomial")
+    seq_units = sequential_time(n, "polynomial", model)
+    rows = []
+    for log_t in leaf_logs:
+        threshold = min(2**log_t, n)
+        result = SimMachine(workers, model.steal_latency).run(
+            build_dc_dag(n, threshold, model, operator)
+        )
+        rows.append(
+            {
+                "leaf_size": threshold,
+                "leaves": max(n // threshold, 1),
+                "parallel_ms": model.to_ms(result.makespan),
+                "speedup": speedup(seq_units, result.makespan),
+                "steals": result.steals,
+            }
+        )
+    return rows
+
+
+def ab5_mpi_series(
+    n: int = 2**20,
+    rank_counts: list[int] | None = None,
+    threads_per_rank: int = PAPER_CORES,
+) -> list[dict]:
+    """AB5: simulated-MPI scalability of reduce beyond one node."""
+    from repro.jplf import JplfReduce
+    from repro.powerlist import PowerList
+
+    if rank_counts is None:
+        rank_counts = [1, 2, 4, 8, 16, 32, 64]
+    comm = CommModel(alpha=2000, beta=0.002)
+    model, _ = profile_model("reduce")
+    single_node = simulate_power_function(n, threads_per_rank, "reduce").makespan
+    data = list(range(n))
+    rows = []
+    for ranks in rank_counts:
+        ex = MpiExecutor(
+            ranks=ranks,
+            threads_per_rank=threads_per_rank,
+            comm=comm,
+            operator_profile="reduce",
+        )
+        report = ex.execute(JplfReduce(PowerList(data), lambda a, b: a + b))
+        rows.append(
+            {
+                "ranks": ranks,
+                "cores_total": ranks * threads_per_rank,
+                "time_ms": model.to_ms(report.finish_time),
+                "vs_single_node": single_node / report.finish_time,
+                "scatter_ms": model.to_ms(report.scatter_time),
+                "local_ms": model.to_ms(report.local_time),
+            }
+        )
+    return rows
+
+
+def ab6_nway_series(
+    workers: int = PAPER_CORES,
+    configs: list[tuple[int, int]] | None = None,
+) -> list[dict]:
+    """AB6: PList n-way divide-and-conquer vs binary, matched sizes.
+
+    Higher arity flattens the tree (fewer split/combine levels) at the
+    price of coarser steal granularity.
+    """
+    if configs is None:
+        configs = [(2**12, 2), (2**12, 4), (2**12, 8), (3**8, 3), (6**5, 6)]
+    model, _ = profile_model("map")
+    rows = []
+    for n, arity in configs:
+        threshold = max(n // (arity * workers), 1)
+        dag = build_nway_dag(n, threshold, model, arity)
+        result = SimMachine(workers, model.steal_latency).run(dag)
+        seq_units = model.sequential_cost(n)
+        rows.append(
+            {
+                "n": n,
+                "arity": arity,
+                "levels": _levels(n, threshold, arity),
+                "parallel_ms": model.to_ms(result.makespan),
+                "speedup": speedup(seq_units, result.makespan),
+            }
+        )
+    return rows
+
+
+def _levels(n: int, threshold: int, arity: int) -> int:
+    levels = 0
+    while n > threshold and n % arity == 0 and n >= arity:
+        n //= arity
+        levels += 1
+    return levels

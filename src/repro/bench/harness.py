@@ -1,0 +1,52 @@
+"""Timing helpers: wall-clock measurement with the paper's 5-run averaging."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.common import check_positive
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Aggregated wall-clock timings of repeated calls (seconds)."""
+
+    mean: float
+    stdev: float
+    minimum: float
+    runs: int
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once; return (result, elapsed seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def repeat_average(fn: Callable[[], T], runs: int = 5) -> TimingResult:
+    """Average ``fn``'s wall-clock over ``runs`` executions.
+
+    Five runs per point is the paper's protocol ("we performed 5 runs of
+    tests and we averaged the obtained results").
+    """
+    check_positive(runs, "runs")
+    samples = []
+    for _ in range(runs):
+        _, elapsed = time_call(fn)
+        samples.append(elapsed)
+    return TimingResult(
+        mean=statistics.fmean(samples),
+        stdev=statistics.stdev(samples) if runs > 1 else 0.0,
+        minimum=min(samples),
+        runs=runs,
+    )

@@ -1,0 +1,36 @@
+"""Seeded workload generators for benchmarks and examples.
+
+The paper evaluates polynomial evaluation over random coefficient lists of
+degrees 2^20..2^26; these helpers produce such inputs reproducibly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common import check_positive
+
+
+def random_coefficients(n: int, seed: int = 2020, lo: float = -1.0, hi: float = 1.0) -> list[float]:
+    """``n`` uniform floats in ``[lo, hi)`` — polynomial coefficients.
+
+    Coefficients bounded by 1 keep |value| finite for |x| ≤ 1, matching
+    how such benchmarks avoid overflow at degree 2^26.
+    """
+    check_positive(n, "n")
+    rng = random.Random(seed)
+    return [rng.uniform(lo, hi) for _ in range(n)]
+
+
+def random_complex_signal(n: int, seed: int = 2020) -> list[complex]:
+    """``n`` complex samples with components in ``[-1, 1)`` (FFT input)."""
+    check_positive(n, "n")
+    rng = random.Random(seed)
+    return [complex(rng.uniform(-1, 1), rng.uniform(-1, 1)) for _ in range(n)]
+
+
+def random_integers(n: int, seed: int = 2020, lo: int = 0, hi: int = 10**6) -> list[int]:
+    """``n`` uniform integers in ``[lo, hi]`` (sorting/reduce input)."""
+    check_positive(n, "n")
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(n)]

@@ -1,0 +1,45 @@
+"""Shared low-level utilities used across the reproduction packages.
+
+This subpackage deliberately has no dependencies on the rest of ``repro``
+so that every other subpackage may import it freely.
+"""
+
+from repro.common.bits import (
+    bit_reverse,
+    ceil_div,
+    exact_log2,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.common.checks import (
+    check_index,
+    check_not_none,
+    check_positive,
+    check_power_of_two,
+    check_range,
+)
+from repro.common.errors import (
+    IllegalArgumentError,
+    IllegalStateError,
+    NotPowerOfTwoError,
+    NotSimilarError,
+    ReproError,
+)
+
+__all__ = [
+    "IllegalArgumentError",
+    "IllegalStateError",
+    "NotPowerOfTwoError",
+    "NotSimilarError",
+    "ReproError",
+    "bit_reverse",
+    "ceil_div",
+    "check_index",
+    "check_not_none",
+    "check_positive",
+    "check_power_of_two",
+    "check_range",
+    "exact_log2",
+    "is_power_of_two",
+    "next_power_of_two",
+]

@@ -1,0 +1,65 @@
+"""Bit-manipulation helpers underlying PowerList index arithmetic.
+
+``zip`` deconstruction, the ``inv`` (bit-reversal) permutation and the FFT
+butterfly all reduce to manipulations of element indices in base 2; these
+helpers centralize that arithmetic so it is implemented (and tested) once.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True iff ``n`` is a positive integral power of two.
+
+    Uses the classic ``n & (n - 1)`` trick: powers of two have exactly one
+    set bit, so clearing the lowest set bit yields zero.
+    """
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def exact_log2(n: int) -> int:
+    """Return ``k`` such that ``2**k == n``.
+
+    Raises:
+        ValueError: if ``n`` is not a power of two.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"exact_log2 requires a power of two, got {n}")
+    return n.bit_length() - 1
+
+
+def next_power_of_two(n: int) -> int:
+    """Return the smallest power of two ``>= n`` (``n`` must be positive)."""
+    if n <= 0:
+        raise ValueError(f"next_power_of_two requires n > 0, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def bit_reverse(index: int, width: int) -> int:
+    """Reverse the lowest ``width`` bits of ``index``.
+
+    This is the index mapping computed by the PowerList function ``inv``:
+    the element at position ``b`` moves to the position whose binary
+    representation is ``b`` reversed (over ``width`` bits).
+
+    >>> bit_reverse(0b001, 3)
+    4
+    >>> bit_reverse(0b110, 3)
+    3
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if index < 0 or index >= (1 << width):
+        raise ValueError(f"index {index} out of range for width {width}")
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (index & 1)
+        index >>= 1
+    return out
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)

@@ -1,0 +1,50 @@
+"""Argument-validation helpers.
+
+Small, uniform guard functions keep validation one line at call sites and
+make the raised exception types consistent across the library.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+from repro.common.bits import is_power_of_two
+from repro.common.errors import IllegalArgumentError, NotPowerOfTwoError
+
+T = TypeVar("T")
+
+
+def check_not_none(value: T | None, name: str) -> T:
+    """Raise :class:`IllegalArgumentError` if ``value`` is None."""
+    if value is None:
+        raise IllegalArgumentError(f"{name} must not be None")
+    return value
+
+
+def check_positive(value: int, name: str) -> int:
+    """Raise unless ``value`` is a positive integer."""
+    if value <= 0:
+        raise IllegalArgumentError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_power_of_two(value: int, what: str = "length") -> int:
+    """Raise :class:`NotPowerOfTwoError` unless ``value`` is ``2**k``."""
+    if not is_power_of_two(value):
+        raise NotPowerOfTwoError(value, what)
+    return value
+
+
+def check_range(lo: int, hi: int, size: int) -> None:
+    """Validate a half-open index range ``[lo, hi)`` against ``size``."""
+    if not (0 <= lo <= hi <= size):
+        raise IllegalArgumentError(
+            f"invalid range [{lo}, {hi}) for size {size}"
+        )
+
+
+def check_index(index: int, size: int) -> int:
+    """Validate ``0 <= index < size`` and return the index."""
+    if not (0 <= index < size):
+        raise IllegalArgumentError(f"index {index} out of range [0, {size})")
+    return index

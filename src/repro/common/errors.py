@@ -1,0 +1,52 @@
+"""Exception hierarchy for the reproduction library.
+
+The Java reference implementation relies on ``IllegalArgumentException`` and
+``IllegalStateException``; we mirror those with Python-idiomatic classes so
+that callers can catch a single :class:`ReproError` for anything raised by
+this library while still discriminating the precise failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the ``repro`` library."""
+
+
+class IllegalArgumentError(ReproError, ValueError):
+    """An argument failed validation (mirrors ``IllegalArgumentException``)."""
+
+
+class IllegalStateError(ReproError, RuntimeError):
+    """An object was used in a state that does not admit the operation
+    (mirrors ``IllegalStateException``), e.g. re-consuming a linked stream.
+    """
+
+
+class NotPowerOfTwoError(IllegalArgumentError):
+    """A length that must be a power of two was not.
+
+    PowerList theory only defines lists whose length is ``2**k``; both the
+    data structure constructors and the ``POWER2`` spliterator
+    characteristic check enforce this.
+    """
+
+    def __init__(self, length: int, what: str = "length") -> None:
+        super().__init__(f"{what} must be a power of two, got {length}")
+        self.length = length
+
+
+class NotSimilarError(IllegalArgumentError):
+    """Two PowerLists that must be *similar* (same length) were not.
+
+    ``tie`` and ``zip`` are only defined on similar lists; the extended
+    element-wise operators likewise require similarity.
+    """
+
+    def __init__(self, left_len: int, right_len: int) -> None:
+        super().__init__(
+            "PowerLists must be similar (equal length): "
+            f"got lengths {left_len} and {right_len}"
+        )
+        self.left_len = left_len
+        self.right_len = right_len

@@ -1,0 +1,101 @@
+"""The paper's contribution: PowerList computation inside the Streams API.
+
+Section IV of the paper adapts Java Streams to execute PowerList
+divide-and-conquer functions.  The ingredients, reproduced here:
+
+* :mod:`repro.core.containers` — ``PowerArray``, the mutable result
+  container with ``tie_all``/``zip_all`` combination (paper Figure 2);
+* :mod:`repro.core.power_spliterators` — ``TieSpliterator`` and
+  ``ZipSpliterator`` with the ``POWER2`` characteristic (paper Figure 1),
+  plus split hooks for descending-phase operations;
+* :mod:`repro.core.power_collector` — the ``PowerCollector`` template and
+  the four-step spliterator↔collector communication mechanism of
+  Section V, together with the :func:`power_collect` driver;
+* one module per PowerList function: identity, map/reduce, polynomial
+  value (the paper's running example), ``inv``, FFT, prefix sums, the
+  Equation-5 descending-transform family (instantiated as the fast
+  Walsh–Hadamard transform), Batcher/bitonic sorting networks, Gray
+  codes, and the PList n-way extension proposed in Section V.
+"""
+
+from repro.core.containers import PowerArray
+from repro.core.power_spliterators import (
+    SpliteratorPower2,
+    TieSpliterator,
+    ZipSpliterator,
+)
+from repro.core.power_collector import PowerCollector, power_collect, power_stream
+from repro.core.identity import IdentityCollector
+from repro.core.map_reduce import (
+    HomomorphismCollector,
+    PowerMapCollector,
+    PowerReduceCollector,
+)
+from repro.core.polynomial import PolynomialValue, polynomial_value
+from repro.core.inv import InvCollector, inv
+from repro.core.fft import FftCollector, fft, rfft
+from repro.core.prefix import PrefixSumCollector, prefix_sum
+from repro.core.extended_ops import DescendTransformCollector, walsh_hadamard
+from repro.core.sorting import batcher_merge_sort, bitonic_sort
+from repro.core.gray import gray_code_sequence, to_gray
+from repro.core.nway import NWayTieSpliterator, NWayZipSpliterator, nway_collect
+from repro.core.tupling import PolynomialValueTupled, polynomial_value_tupled
+from repro.core.permutations import RevCollector, rev_collect
+from repro.core.adder import add_integers, carry_lookahead_add, ripple_carry_add
+from repro.core.predicates import all_equal, count_if, is_sorted
+from repro.core.vectorized import (
+    VectorizedFftCollector,
+    VectorizedMapCollector,
+    VectorizedPolynomialValue,
+    VectorizedReduceCollector,
+    vectorized_fft,
+    vectorized_polynomial_value,
+)
+
+__all__ = [
+    "HomomorphismCollector",
+    "all_equal",
+    "count_if",
+    "is_sorted",
+    "VectorizedFftCollector",
+    "VectorizedMapCollector",
+    "VectorizedPolynomialValue",
+    "VectorizedReduceCollector",
+    "vectorized_fft",
+    "vectorized_polynomial_value",
+    "PolynomialValueTupled",
+    "RevCollector",
+    "add_integers",
+    "carry_lookahead_add",
+    "polynomial_value_tupled",
+    "rev_collect",
+    "ripple_carry_add",
+    "DescendTransformCollector",
+    "FftCollector",
+    "IdentityCollector",
+    "InvCollector",
+    "NWayTieSpliterator",
+    "NWayZipSpliterator",
+    "PolynomialValue",
+    "PowerArray",
+    "PowerCollector",
+    "PowerMapCollector",
+    "PowerReduceCollector",
+    "PrefixSumCollector",
+    "SpliteratorPower2",
+    "TieSpliterator",
+    "ZipSpliterator",
+    "batcher_merge_sort",
+    "bitonic_sort",
+    "fft",
+    "gray_code_sequence",
+    "inv",
+    "nway_collect",
+    "polynomial_value",
+    "power_collect",
+    "power_stream",
+    "prefix_sum",
+    "rfft",
+    "to_gray",
+    "walsh_hadamard",
+]

@@ -1,0 +1,98 @@
+"""``PowerArray`` — the mutable result container of the adaptation.
+
+The paper (Figure 2) extends ``ArrayList`` with two combination methods so
+that the ``collect`` combiner can reassemble results according to either
+PowerList constructor:
+
+* ``tie_all``  — append the other container's elements (concatenation);
+* ``zip_all``  — interleave the two containers element by element.
+
+A source decomposed by a ``ZipSpliterator`` cannot be recomposed by plain
+concatenation — ``zip_all`` is what makes zip-based functions expressible
+in ``collect`` at all.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, TypeVar
+
+from repro.common import NotSimilarError
+
+T = TypeVar("T")
+
+
+class PowerArray(Generic[T]):
+    """A growable result container combinable by *tie* or *zip*.
+
+    The interleaving invariant: if ``self`` holds the results of the
+    even-indexed sub-view of some node and ``other`` the odd-indexed ones
+    (each in sub-view traversal order), then ``zip_all`` restores the
+    node's traversal order.  Applied recursively up the combining phase,
+    this reconstructs the original encounter order regardless of the leaf
+    size at which decomposition stopped.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._items: list[T] = list(items)
+
+    def add(self, item: T) -> None:
+        """Append one element (the accumulator's job)."""
+        self._items.append(item)
+
+    def tie_all(self, other: "PowerArray[T]") -> "PowerArray[T]":
+        """Combine by concatenation (the *tie* constructor); returns self."""
+        self._items.extend(other._items)
+        return self
+
+    def zip_all(self, other: "PowerArray[T]") -> "PowerArray[T]":
+        """Combine by interleaving (the *zip* constructor); returns self.
+
+        Raises:
+            NotSimilarError: when the two containers differ in length —
+                zip is only defined on similar PowerLists.
+        """
+        mine, theirs = self._items, other._items
+        if len(mine) != len(theirs):
+            raise NotSimilarError(len(mine), len(theirs))
+        out: list[T] = [None] * (2 * len(mine))  # type: ignore[list-item]
+        out[0::2] = mine
+        out[1::2] = theirs
+        self._items = out
+        return self
+
+    def replace(self, items: list[T]) -> "PowerArray[T]":
+        """Swap in a new backing list (used by combiners that rebuild the
+        container wholesale, e.g. the FFT butterfly); returns self."""
+        self._items = items
+        return self
+
+    def to_list(self) -> list[T]:
+        """The accumulated elements as a plain list."""
+        return list(self._items)
+
+    @property
+    def items(self) -> list[T]:
+        """Direct (mutable) access to the backing list."""
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __getitem__(self, i: int) -> T:
+        return self._items[i]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PowerArray):
+            return self._items == other._items
+        return NotImplemented
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("PowerArray is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"PowerArray({self._items!r})"

@@ -1,0 +1,127 @@
+"""The Equation-5 family: descending-phase element transforms.
+
+The paper singles out tie-based functions of the shape::
+
+    f([a])    = [a]
+    f(p | q)  = f(p ⊕ q) | f(p ⊗ q)
+
+where ``⊕``/``⊗`` are extended (element-wise) binary operators: the *input*
+is rewritten at every split, but — unlike polynomial evaluation — no global
+shared state is needed ("the elements should be updated correspondingly,
+before the new Spliterator instance is created", Section V).
+
+:class:`DescendTransformCollector` implements the pattern with a
+specialized ``TieSpliterator`` whose ``try_split`` materializes the two
+transformed halves.  Instantiated with ``⊕ = +`` and ``⊗ = −`` this is
+precisely the **fast Walsh–Hadamard transform**::
+
+    wht(p | q) = wht(p + q) | wht(p − q)
+
+which gives the family a non-trivial, independently checkable member
+(oracle: ``scipy.linalg.hadamard(n) @ x``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.containers import PowerArray
+from repro.core.power_collector import PowerCollector, power_collect
+from repro.core.power_spliterators import SpliteratorPower2, TieSpliterator
+from repro.forkjoin.pool import ForkJoinPool
+
+T = TypeVar("T")
+
+
+class DescendTieSpliterator(TieSpliterator[T]):
+    """``TieSpliterator`` applying ``(⊕, ⊗)`` to the halves on each split.
+
+    Splitting materializes a fresh backing list ``[p ⊕ q] ++ [p ⊗ q]`` —
+    the transformed halves — and re-views it.  No collector state is
+    touched: the paper's "simpler case".
+    """
+
+    __slots__ = ()
+
+    def try_split(self):
+        if self.count < 2:
+            return None
+        fo = self.function_object
+        half = self.count // 2
+        src, s0, inc = self.source, self.start, self.incr
+        p = [src[s0 + i * inc] for i in range(half)]
+        q = [src[s0 + (half + i) * inc] for i in range(half)]
+        left = [fo.op_plus(a, b) for a, b in zip(p, q)]
+        right = [fo.op_times(a, b) for a, b in zip(p, q)]
+        # Re-root self on the transformed right half; hand off the left.
+        self.source = right
+        self.start = 0
+        self.incr = 1
+        self.count = half
+        return DescendTieSpliterator(left, 0, half, 1, fo)
+
+
+class DescendTransformCollector(PowerCollector[T, PowerArray, list]):
+    """Computes ``f(p|q) = f(p ⊕ q) | f(p ⊗ q)`` as a collector.
+
+    Args:
+        op_plus: the ``⊕`` operator fed to the left recursion.
+        op_times: the ``⊗`` operator fed to the right recursion.
+
+    The leaf ``basic_case`` applies the same recursion sequentially, so
+    decomposition may stop at any layer.
+    """
+
+    operator = "tie"
+
+    def __init__(
+        self,
+        op_plus: Callable[[T, T], T],
+        op_times: Callable[[T, T], T],
+    ) -> None:
+        super().__init__()
+        self.op_plus = op_plus
+        self.op_times = op_times
+
+    def specialized_spliterator(self, data: Sequence[T]) -> SpliteratorPower2[T]:
+        return DescendTieSpliterator(data, 0, len(data), 1, function_object=self)
+
+    def basic_case(self, view: list, incr: int) -> list:
+        return self._recurse(view)
+
+    def _recurse(self, values: list) -> list:
+        if len(values) <= 1:
+            return list(values)
+        half = len(values) // 2
+        p, q = values[:half], values[half:]
+        left = self._recurse([self.op_plus(a, b) for a, b in zip(p, q)])
+        right = self._recurse([self.op_times(a, b) for a, b in zip(p, q)])
+        return left + right
+
+    def supplier(self) -> Callable[[], PowerArray]:
+        return PowerArray
+
+    def accumulator(self) -> Callable[[PowerArray, T], None]:
+        return PowerArray.add
+
+    def combiner(self) -> Callable[[PowerArray, PowerArray], PowerArray]:
+        return PowerArray.tie_all
+
+    def finisher(self) -> Callable[[PowerArray], list]:
+        return PowerArray.to_list
+
+
+def walsh_hadamard(
+    data: Sequence[float],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> list[float]:
+    """Fast Walsh–Hadamard transform of ``data`` (length ``2**k``).
+
+    Equals ``scipy.linalg.hadamard(n) @ data`` (natural/Hadamard order).
+    """
+    collector = DescendTransformCollector(
+        op_plus=lambda a, b: a + b, op_times=lambda a, b: a - b
+    )
+    return power_collect(collector, data, parallel, pool, target_size)

@@ -1,0 +1,120 @@
+"""Fast Fourier Transform as a PowerList collector (Equation 3).
+
+The Cooley–Tukey decimation-in-time recursion has the famous two-operator
+PowerList form::
+
+    fft([a])     = [a]
+    fft(p ♮ q)   = (P + u×Q) | (P − u×Q)
+
+with ``P = fft(p)``, ``Q = fft(q)`` and ``u = powers(p)`` the first ``n``
+powers of the ``2n``-th principal root of unity.  Decomposition therefore
+uses the ``ZipSpliterator`` and combination concatenates the two butterfly
+halves (*tie*).
+
+Root convention: ``w = exp(-2πi / 2n)`` — the *forward* transform of
+``numpy.fft.fft``, our test oracle.
+
+Leaf handling: decomposition stops at a system-chosen layer (paper,
+Section V), so leaves are generally non-singleton sub-views.  The paper
+suggests specializing ``forEachRemaining`` to run a sequential basic case;
+here ``basic_case`` computes the leaf's DFT directly (a sequential
+radix-2 FFT), after which the butterfly combining phase is exact at every
+level above.
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Callable, Sequence
+
+from repro.common import check_power_of_two
+from repro.core.containers import PowerArray
+from repro.core.power_collector import PowerCollector, power_collect
+from repro.forkjoin.pool import ForkJoinPool
+
+
+def powers(n: int) -> list[complex]:
+    """``u = (w^0, w^1, …, w^{n-1})`` with ``w`` the (2n)-th principal root.
+
+    The twiddle factors of one butterfly level (forward-transform sign).
+    """
+    w = cmath.exp(-2j * cmath.pi / (2 * n))
+    out = [1 + 0j]
+    for _ in range(n - 1):
+        out.append(out[-1] * w)
+    return out
+
+
+def fft_sequential(values: Sequence[complex]) -> list[complex]:
+    """Reference radix-2 DIT FFT (recursive, forward transform)."""
+    n = len(values)
+    check_power_of_two(n, "fft length")
+    if n == 1:
+        return [complex(values[0])]
+    even = fft_sequential(values[0::2])
+    odd = fft_sequential(values[1::2])
+    u = powers(n // 2)
+    left = [even[k] + u[k] * odd[k] for k in range(n // 2)]
+    right = [even[k] - u[k] * odd[k] for k in range(n // 2)]
+    return left + right
+
+
+class FftCollector(PowerCollector[complex, PowerArray, list]):
+    """``fft`` via zip decomposition and butterfly combination."""
+
+    operator = "zip"
+
+    # Leaf basic case (paper: "a sequential computation" on the sub-list):
+    # the DFT of the leaf's strided sub-view.
+    def basic_case(self, view: list, incr: int) -> list:
+        return fft_sequential(view)
+
+    def supplier(self) -> Callable[[], PowerArray]:
+        return PowerArray
+
+    def accumulator(self) -> Callable[[PowerArray, complex], None]:
+        # Elements arriving here have already been transformed by
+        # ``basic_case`` (the leaf DFT); they are simply buffered in order.
+        return PowerArray.add
+
+    def combiner(self) -> Callable[[PowerArray, PowerArray], PowerArray]:
+        def combine(p: PowerArray, q: PowerArray) -> PowerArray:
+            # p = fft(even part), q = fft(odd part); emit (P+uQ) | (P−uQ).
+            n = len(p)
+            u = powers(n)
+            pv, qv = p.items, q.items
+            left = [pv[k] + u[k] * qv[k] for k in range(n)]
+            right = [pv[k] - u[k] * qv[k] for k in range(n)]
+            return p.replace(left + right)
+
+        return combine
+
+    def finisher(self) -> Callable[[PowerArray], list]:
+        return PowerArray.to_list
+
+
+def fft(
+    values: Sequence[complex],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> list[complex]:
+    """Compute the forward FFT of ``values`` (length ``2**k``) via the
+    stream adaptation."""
+    return power_collect(FftCollector(), values, parallel, pool, target_size)
+
+
+def rfft(
+    values: Sequence[float],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> list[complex]:
+    """FFT of a real sequence, returning the non-redundant half.
+
+    A real input's spectrum is conjugate-symmetric
+    (``X[n−k] = conj(X[k])``), so only the first ``n/2 + 1`` bins carry
+    information — the ``numpy.fft.rfft`` convention, which is the oracle.
+    """
+    full = fft([complex(v) for v in values], parallel, pool, target_size)
+    return full[: len(values) // 2 + 1]

@@ -1,0 +1,60 @@
+"""Gray codes via the PowerList recursion.
+
+The reflected binary Gray code has the textbook PowerList construction::
+
+    G(1)    = [0, 1]
+    G(k+1)  = (0 · G(k))  |  (1 · reverse(G(k)))
+
+— prefix the sequence with 0, its reversal with 1, and *tie*.  The JPLF
+function set lists Gray codes among its PowerList examples; we provide the
+sequence builder, the per-element conversions, and a collector-based bulk
+conversion (a ``map`` of ``to_gray``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common import check_positive
+from repro.core.map_reduce import PowerMapCollector
+from repro.core.power_collector import power_collect
+from repro.forkjoin.pool import ForkJoinPool
+
+
+def to_gray(i: int) -> int:
+    """The Gray code of ``i``: ``i XOR (i >> 1)``."""
+    if i < 0:
+        raise ValueError(f"Gray code undefined for negative {i}")
+    return i ^ (i >> 1)
+
+
+def from_gray(g: int) -> int:
+    """Invert :func:`to_gray` by prefix-XOR over the bits."""
+    if g < 0:
+        raise ValueError(f"Gray code undefined for negative {g}")
+    i = 0
+    while g:
+        i ^= g
+        g >>= 1
+    return i
+
+
+def gray_code_sequence(bits: int) -> list[int]:
+    """The ``2**bits``-element reflected Gray sequence, by the PowerList
+    recursion (returns code words as integers)."""
+    check_positive(bits, "bits")
+    seq = [0, 1]
+    for level in range(1, bits):
+        high = 1 << level
+        # (0·G) | (1·reverse(G)) — the tie of the two decorated copies.
+        seq = seq + [high | code for code in reversed(seq)]
+    return seq
+
+
+def gray_map(
+    values: Sequence[int],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+) -> list[int]:
+    """Bulk binary→Gray conversion as a PowerList ``map`` collector."""
+    return power_collect(PowerMapCollector(to_gray, operator="tie"), values, parallel, pool)

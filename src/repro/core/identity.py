@@ -1,0 +1,47 @@
+"""The identity PowerList function — the paper's first validation example.
+
+``identity`` rebuilds the input list through a full decompose/recompose
+round trip.  With a ``ZipSpliterator`` the source is scattered into
+interleaved sub-views, so recomposition *must* go through ``zip_all`` —
+plain concatenation would scramble the order.  Running this function
+verifies that decomposition and combination are exact inverses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.common import IllegalArgumentError
+from repro.core.containers import PowerArray
+from repro.core.power_collector import PowerCollector
+
+T = TypeVar("T")
+
+
+class IdentityCollector(PowerCollector[T, PowerArray, list]):
+    """Rebuilds the input through decompose → accumulate → recompose.
+
+    Args:
+        operator: ``"zip"`` (default, the paper's choice — it actually
+            exercises the interleaved recomposition) or ``"tie"``.
+    """
+
+    def __init__(self, operator: str = "zip") -> None:
+        super().__init__()
+        if operator not in ("tie", "zip"):
+            raise IllegalArgumentError(f"operator must be tie or zip, got {operator!r}")
+        self.operator = operator
+
+    def supplier(self) -> Callable[[], PowerArray]:
+        return PowerArray
+
+    def accumulator(self) -> Callable[[PowerArray, T], None]:
+        return PowerArray.add
+
+    def combiner(self) -> Callable[[PowerArray, PowerArray], PowerArray]:
+        if self.operator == "zip":
+            return PowerArray.zip_all
+        return PowerArray.tie_all
+
+    def finisher(self) -> Callable[[PowerArray], list]:
+        return PowerArray.to_list

@@ -1,0 +1,87 @@
+"""The ``inv`` (bit-reversal) permutation — Equation 2 of the paper.
+
+``inv`` sends the element at index ``b`` to the index whose binary
+representation (over ``log2 n`` bits) is ``b`` reversed.  Its PowerList
+definition is the canonical function needing *both* operators::
+
+    inv([a])    = [a]
+    inv(p | q)  = inv(p) ♮ inv(q)
+
+i.e. deconstruct with *tie*, reconstruct with *zip* — or, dually,
+``inv(p ♮ q) = inv(p) | inv(q)``.  Both variants are provided; they compute
+the same permutation (``inv`` is self-dual).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.common import IllegalArgumentError, bit_reverse, exact_log2
+from repro.core.containers import PowerArray
+from repro.core.power_collector import PowerCollector, power_collect
+from repro.forkjoin.pool import ForkJoinPool
+
+T = TypeVar("T")
+
+
+class InvCollector(PowerCollector[T, PowerArray, list]):
+    """Bit-reversal permutation via mismatched deconstruct/recompose pairs.
+
+    Args:
+        operator: the *deconstruction* operator — ``"tie"`` (recompose
+            with ``zip_all``) or ``"zip"`` (recompose with ``tie_all``).
+
+    Decomposition may stop above singletons (the paper notes the system
+    decides the stopping layer): the ``basic_case`` hook bit-reverses each
+    leaf sub-list locally, which composes with the mismatched recomposition
+    to the global permutation at any uniform leaf depth.
+    """
+
+    def __init__(self, operator: str = "tie") -> None:
+        super().__init__()
+        if operator not in ("tie", "zip"):
+            raise IllegalArgumentError(f"operator must be tie or zip, got {operator!r}")
+        self.operator = operator
+
+    # Leaf computation on a non-singleton sublist: bit-reverse it locally,
+    # making the collector correct at any decomposition depth.
+    def basic_case(self, view: list, incr: int) -> list:
+        n = len(view)
+        if n <= 1:
+            return view
+        k = exact_log2(n)
+        out = [None] * n
+        for i, item in enumerate(view):
+            out[bit_reverse(i, k)] = item
+        return out
+
+    def supplier(self) -> Callable[[], PowerArray]:
+        return PowerArray
+
+    def accumulator(self) -> Callable[[PowerArray, T], None]:
+        return PowerArray.add
+
+    def combiner(self) -> Callable[[PowerArray, PowerArray], PowerArray]:
+        # The *opposite* constructor of the deconstruction operator.
+        if self.operator == "tie":
+            return PowerArray.zip_all
+        return PowerArray.tie_all
+
+    def finisher(self) -> Callable[[PowerArray], list]:
+        return PowerArray.to_list
+
+
+def inv(
+    data: Sequence[T],
+    operator: str = "tie",
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+) -> list[T]:
+    """Apply the bit-reversal permutation to ``data`` (length ``2**k``)."""
+    return power_collect(InvCollector(operator), data, parallel, pool)
+
+
+def inv_indices(n: int) -> list[int]:
+    """Reference oracle: the bit-reversal permutation of ``range(n)``."""
+    k = exact_log2(n)
+    return [bit_reverse(i, k) for i in range(n)]

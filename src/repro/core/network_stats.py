@@ -1,0 +1,109 @@
+"""Comparator-network statistics for the PowerList sorting networks.
+
+Batcher's odd-even merge sort and the bitonic sorter are *networks*: fixed
+comparator sequences whose size (comparator count) and depth (parallel
+steps) obey classical closed forms.  These counters instrument the
+recursions and the tests pin them to the formulas — a structural check on
+the implementations that output-correctness tests can't provide:
+
+* odd-even merge of two ``n``-lists: ``size M(n) = n·log2(n) + 1``
+  comparators (n ≥ 1, with ``M(1) = 1``), depth ``log2(n) + 1``;
+* bitonic merge of ``n``: ``(n/2)·log2(n)`` comparators, depth
+  ``log2(n)``;
+* bitonic sort of ``n``: ``(n/4)·log2(n)·(log2(n)+1)`` comparators,
+  depth ``log2(n)·(log2(n)+1)/2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import check_power_of_two, exact_log2
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Size and depth of a comparator network."""
+
+    comparators: int
+    depth: int
+
+
+def odd_even_merge_stats(n: int) -> NetworkStats:
+    """Stats of Batcher's odd-even merge of two sorted ``n``-lists.
+
+    Recurrences: ``M(1) = 1``; ``M(n) = 2·M(n/2) + (n − 1)`` comparators,
+    depth ``D(1) = 1``; ``D(n) = D(n/2) + 1``.
+    """
+    check_power_of_two(n, "merge input length")
+    if n == 1:
+        return NetworkStats(comparators=1, depth=1)
+    sub = odd_even_merge_stats(n // 2)
+    return NetworkStats(
+        comparators=2 * sub.comparators + (n - 1),
+        depth=sub.depth + 1,
+    )
+
+
+def batcher_sort_stats(n: int) -> NetworkStats:
+    """Stats of the full odd-even merge sort of ``n`` keys.
+
+    ``S(1) = 0``; ``S(n) = 2·S(n/2) + M(n/2)``; sort depth
+    ``DS(n) = DS(n/2) + D(n/2)``.
+    """
+    check_power_of_two(n, "sort input length")
+    if n == 1:
+        return NetworkStats(comparators=0, depth=0)
+    sub_sort = batcher_sort_stats(n // 2)
+    merge = odd_even_merge_stats(n // 2)
+    return NetworkStats(
+        comparators=2 * sub_sort.comparators + merge.comparators,
+        depth=sub_sort.depth + merge.depth,
+    )
+
+
+def bitonic_merge_stats(n: int) -> NetworkStats:
+    """Stats of the bitonic merger of ``n`` keys: one rank of ``n/2``
+    comparators per level, ``log2 n`` levels."""
+    check_power_of_two(n, "bitonic merge length")
+    k = exact_log2(n)
+    return NetworkStats(comparators=(n // 2) * k, depth=k)
+
+
+def bitonic_sort_stats(n: int) -> NetworkStats:
+    """Stats of the full bitonic sorter: ``Θ(n log² n)`` size,
+    ``log n (log n + 1)/2`` depth."""
+    check_power_of_two(n, "bitonic sort length")
+    k = exact_log2(n)
+    return NetworkStats(
+        comparators=(n // 4) * k * (k + 1) if n > 1 else 0,
+        depth=k * (k + 1) // 2,
+    )
+
+
+def count_merge_comparators(n: int) -> int:
+    """Count comparators by *instrumenting* the real merge on ``n``-lists
+    (validation hook for the closed forms)."""
+    from repro.core.sorting import odd_even_merge
+
+    counter = [0]
+
+    class Probe:
+        __slots__ = ("value",)
+
+        def __init__(self, value):
+            self.value = value
+
+        def __le__(self, other):
+            counter[0] += 1
+            return self.value <= other.value
+
+        def __gt__(self, other):
+            counter[0] += 1
+            return self.value > other.value
+
+    a = [Probe(i) for i in range(0, 2 * n, 2)]
+    b = [Probe(i) for i in range(1, 2 * n, 2)]
+    merged = odd_even_merge(a, b)
+    assert [p.value for p in merged] == list(range(2 * n))
+    return counter[0]

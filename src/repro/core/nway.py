@@ -1,0 +1,276 @@
+"""The PList n-way extension proposed in Section V.
+
+Java's ``Spliterator`` can only halve, so the paper concludes that PList
+(multi-way divide-and-conquer) functions are "not possible (yet)" — unless
+``trySplit`` were extended to "return a set of Spliterators that all
+together cover all the elements of the source".  This module implements
+that proposal:
+
+* :class:`NWaySpliterator` adds ``try_split_nway() -> list[Spliterator]``;
+* :class:`NWayTieSpliterator` / :class:`NWayZipSpliterator` give the n-way
+  segment / interleave partitions (PList's ``(n-way |)`` and ``(n-way ♮)``
+  deconstructors);
+* :func:`nway_collect` is the matching fork/join driver: it forks one task
+  per part and merges the ordered results with the collector's
+  ``combine_all``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.common import IllegalArgumentError, check_positive
+from repro.core.containers import PowerArray
+from repro.core.power_spliterators import SpliteratorPower2
+from repro.forkjoin.pool import ForkJoinPool, common_pool
+from repro.forkjoin.task import RecursiveTask
+
+T = TypeVar("T")
+A = TypeVar("A")
+R = TypeVar("R")
+
+
+class NWaySpliterator(SpliteratorPower2[T]):
+    """A strided-view spliterator that can split ``arity`` ways at once."""
+
+    __slots__ = ("arity",)
+
+    def __init__(self, source, start=0, count=None, incr=1, arity: int = 2,
+                 function_object=None) -> None:
+        super().__init__(source, start, count, incr, function_object)
+        if arity < 2:
+            raise IllegalArgumentError(f"arity must be >= 2, got {arity}")
+        self.arity = arity
+
+    def try_split(self):
+        """Binary splitting is intentionally disabled: these sources go
+        through :meth:`try_split_nway` (the paper's proposed extension)."""
+        return None
+
+    @abc.abstractmethod
+    def try_split_nway(self) -> "list[NWaySpliterator[T]] | None":
+        """Partition the remaining elements into ``arity`` spliterators
+        covering the source exactly, or None when not divisible/too small.
+
+        Unlike the binary ``try_split``, *all* parts are returned and
+        ``self`` is exhausted.
+        """
+
+
+class NWayTieSpliterator(NWaySpliterator[T]):
+    """n-way segmentation: PList's ``(n-way |)`` deconstructor."""
+
+    __slots__ = ()
+
+    def try_split_nway(self):
+        n = self.arity
+        if self.count < n or self.count % n != 0:
+            return None
+        seg = self.count // n
+        parts = [
+            NWayTieSpliterator(
+                self.source,
+                self.start + k * seg * self.incr,
+                seg,
+                self.incr,
+                n,
+                self.function_object,
+            )
+            for k in range(n)
+        ]
+        self.count = 0
+        return parts
+
+
+class NWayZipSpliterator(NWaySpliterator[T]):
+    """n-way interleave: PList's ``(n-way ♮)`` deconstructor."""
+
+    __slots__ = ()
+
+    def try_split_nway(self):
+        n = self.arity
+        if self.count < n or self.count % n != 0:
+            return None
+        seg = self.count // n
+        parts = [
+            NWayZipSpliterator(
+                self.source,
+                self.start + k * self.incr,
+                seg,
+                self.incr * n,
+                n,
+                self.function_object,
+            )
+            for k in range(n)
+        ]
+        self.count = 0
+        return parts
+
+
+class NWayCollector(abc.ABC, Generic[T, A, R]):
+    """Mutable-reduction recipe for n-way divide-and-conquer.
+
+    Like a :class:`~repro.streams.collector.Collector` but the combining
+    function merges the *ordered list* of the ``arity`` partial containers.
+    """
+
+    @abc.abstractmethod
+    def supplier(self) -> Callable[[], A]:
+        """A fresh leaf container."""
+
+    @abc.abstractmethod
+    def accumulator(self) -> Callable[[A, T], None]:
+        """Fold one element into a container."""
+
+    @abc.abstractmethod
+    def combine_all(self, parts: list[A]) -> A:
+        """Merge the ordered partial containers of one node."""
+
+    def finisher(self) -> Callable[[A], R]:
+        """Container → result; identity by default."""
+        return lambda container: container  # type: ignore[return-value]
+
+    def create_spliterator(self, data: Sequence[T], arity: int) -> NWaySpliterator[T]:
+        """The source spliterator; override to choose tie vs zip."""
+        return NWayTieSpliterator(data, 0, len(data), 1, arity, self)
+
+
+class NWayMapCollector(NWayCollector[T, PowerArray, list]):
+    """PList ``map`` under either n-way deconstructor."""
+
+    def __init__(self, f: Callable[[T], object], operator: str = "tie") -> None:
+        if operator not in ("tie", "zip"):
+            raise IllegalArgumentError(f"operator must be tie or zip, got {operator!r}")
+        self.f = f
+        self.operator = operator
+
+    def supplier(self) -> Callable[[], PowerArray]:
+        return PowerArray
+
+    def accumulator(self) -> Callable[[PowerArray, T], None]:
+        f = self.f
+
+        def accumulate(container: PowerArray, item: T) -> None:
+            container.add(f(item))
+
+        return accumulate
+
+    def combine_all(self, parts: list[PowerArray]) -> PowerArray:
+        if self.operator == "tie":
+            out: list = []
+            for part in parts:
+                out.extend(part.items)
+            return parts[0].replace(out)
+        n = len(parts)
+        m = len(parts[0])
+        out = [None] * (n * m)
+        for k, part in enumerate(parts):
+            if len(part) != m:
+                raise IllegalArgumentError("n-way zip requires similar parts")
+            out[k::n] = part.items
+        return parts[0].replace(out)
+
+    def finisher(self) -> Callable[[PowerArray], list]:
+        return PowerArray.to_list
+
+    def create_spliterator(self, data: Sequence[T], arity: int) -> NWaySpliterator[T]:
+        if self.operator == "zip":
+            return NWayZipSpliterator(data, 0, len(data), 1, arity, self)
+        return NWayTieSpliterator(data, 0, len(data), 1, arity, self)
+
+
+class NWayReduceCollector(NWayCollector[T, list, T]):
+    """PList ``reduce`` with an associative operator (n-way tie)."""
+
+    def __init__(self, op: Callable[[T, T], T]) -> None:
+        self.op = op
+
+    def supplier(self) -> Callable[[], list]:
+        return lambda: []
+
+    def accumulator(self) -> Callable[[list, T], None]:
+        op = self.op
+
+        def accumulate(box: list, item: T) -> None:
+            if box:
+                box[0] = op(box[0], item)
+            else:
+                box.append(item)
+
+        return accumulate
+
+    def combine_all(self, parts: list[list]) -> list:
+        nonempty = [part for part in parts if part]
+        if not nonempty:
+            return []
+        acc = nonempty[0]
+        for part in nonempty[1:]:
+            acc[0] = self.op(acc[0], part[0])
+        return acc
+
+    def finisher(self) -> Callable[[list], T]:
+        def finish(box: list) -> T:
+            if not box:
+                raise IllegalArgumentError("reduce of an empty PList")
+            return box[0]
+
+        return finish
+
+
+class _NWayTask(RecursiveTask):
+    """Fork one task per n-way part; merge ordered results."""
+
+    __slots__ = ("spliterator", "collector", "target_size")
+
+    def __init__(self, spliterator: NWaySpliterator, collector: NWayCollector,
+                 target_size: int) -> None:
+        super().__init__()
+        self.spliterator = spliterator
+        self.collector = collector
+        self.target_size = target_size
+
+    def compute(self):
+        spliterator = self.spliterator
+        parts = None
+        if spliterator.estimate_size() > self.target_size:
+            parts = spliterator.try_split_nway()
+        if parts is None:
+            container = self.collector.supplier()()
+            accumulate = self.collector.accumulator()
+            spliterator.for_each_remaining(lambda item: accumulate(container, item))
+            return container
+        tasks = [
+            _NWayTask(part, self.collector, self.target_size) for part in parts
+        ]
+        # Fork all but the last; compute the last inline (Java idiom).
+        for task in tasks[:-1]:
+            task.fork()
+        results = [None] * len(tasks)
+        results[-1] = tasks[-1].compute()
+        for i, task in enumerate(tasks[:-1]):
+            results[i] = task.join()
+        return self.collector.combine_all(results)
+
+
+def nway_collect(
+    collector: NWayCollector,
+    data: Sequence,
+    arity: int,
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+):
+    """Execute a PList function with ``arity``-way divide-and-conquer."""
+    check_positive(len(data), "PList input length")
+    spliterator = collector.create_spliterator(data, arity)
+    if target_size is None:
+        target_size = max(len(data) // (arity * 8), 1)
+    if not parallel:
+        container = collector.supplier()()
+        accumulate = collector.accumulator()
+        spliterator.for_each_remaining(lambda item: accumulate(container, item))
+        return collector.finisher()(container)
+    effective_pool = pool if pool is not None else common_pool()
+    root = _NWayTask(spliterator, collector, target_size)
+    return collector.finisher()(effective_pool.invoke(root))

@@ -1,0 +1,75 @@
+"""Permutation functions as collectors: reversal under both operators.
+
+``rev`` joins ``inv`` in the family of pure data-rearrangement PowerList
+functions.  Its two dual definitions::
+
+    rev(p | q)  =  rev(q) | rev(p)
+    rev(p ♮ q)  =  rev(q) ♮ rev(p)
+
+map onto the collector template as an *argument-swapped* combiner — the
+mirror image of the identity function.  Leaves reverse their sub-views
+locally (``basic_case``), so any uniform decomposition depth is correct.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.common import IllegalArgumentError
+from repro.core.containers import PowerArray
+from repro.core.power_collector import PowerCollector, power_collect
+from repro.forkjoin.pool import ForkJoinPool
+
+T = TypeVar("T")
+
+
+class RevCollector(PowerCollector[T, PowerArray, list]):
+    """Reverses the input PowerList.
+
+    Args:
+        operator: deconstruction operator (``"tie"`` default or ``"zip"``);
+            both compute the same permutation via the dual equations.
+    """
+
+    def __init__(self, operator: str = "tie") -> None:
+        super().__init__()
+        if operator not in ("tie", "zip"):
+            raise IllegalArgumentError(f"operator must be tie or zip, got {operator!r}")
+        self.operator = operator
+
+    def basic_case(self, view: list, incr: int) -> list:
+        return view[::-1]
+
+    def supplier(self) -> Callable[[], PowerArray]:
+        return PowerArray
+
+    def accumulator(self) -> Callable[[PowerArray, T], None]:
+        return PowerArray.add
+
+    def combiner(self) -> Callable[[PowerArray, PowerArray], PowerArray]:
+        if self.operator == "zip":
+            # rev(p ♮ q) = rev(q) ♮ rev(p): odd results first in the zip.
+            def combine_zip(left: PowerArray, right: PowerArray) -> PowerArray:
+                return right.zip_all(left)
+
+            return combine_zip
+
+        def combine_tie(left: PowerArray, right: PowerArray) -> PowerArray:
+            # rev(p | q) = rev(q) | rev(p): swap before concatenating.
+            return right.tie_all(left)
+
+        return combine_tie
+
+    def finisher(self) -> Callable[[PowerArray], list]:
+        return PowerArray.to_list
+
+
+def rev_collect(
+    data: Sequence[T],
+    operator: str = "tie",
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> list[T]:
+    """Reverse ``data`` (length ``2**k``) through the stream adaptation."""
+    return power_collect(RevCollector(operator), data, parallel, pool, target_size)

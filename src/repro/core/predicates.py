@@ -1,0 +1,167 @@
+"""Predicate-style PowerList collectors (the cookbook's worked example).
+
+Homomorphisms whose carrier is a small summary tuple rather than a
+container: ``is_sorted`` (adjacency needs *tie*), ``count_if``, and
+``all_equal``.  These round out the function library with the
+boundary-carrying combiner pattern (`docs/cookbook.md`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.power_collector import PowerCollector, power_collect
+from repro.forkjoin.pool import ForkJoinPool
+
+T = TypeVar("T")
+
+
+class _SortedBox:
+    """Summary: sortedness flag plus boundary elements."""
+
+    __slots__ = ("ok", "first", "last", "empty")
+
+    def __init__(self) -> None:
+        self.ok = True
+        self.first = None
+        self.last = None
+        self.empty = True
+
+
+class IsSortedCollector(PowerCollector[T, _SortedBox, bool]):
+    """``True`` iff the PowerList is non-decreasing (tie-based)."""
+
+    operator = "tie"
+
+    def supplier(self) -> Callable[[], _SortedBox]:
+        return _SortedBox
+
+    def accumulator(self) -> Callable[[_SortedBox, T], None]:
+        def accumulate(box: _SortedBox, item: T) -> None:
+            if box.empty:
+                box.first = item
+                box.empty = False
+            elif box.last > item:  # type: ignore[operator]
+                box.ok = False
+            box.last = item
+
+        return accumulate
+
+    def combiner(self) -> Callable[[_SortedBox, _SortedBox], _SortedBox]:
+        def combine(a: _SortedBox, b: _SortedBox) -> _SortedBox:
+            if b.empty:
+                return a
+            if a.empty:
+                return b
+            a.ok = a.ok and b.ok and a.last <= b.first  # type: ignore[operator]
+            a.last = b.last
+            return a
+
+        return combine
+
+    def finisher(self) -> Callable[[_SortedBox], bool]:
+        return lambda box: box.ok
+
+
+class CountIfCollector(PowerCollector[T, list, int]):
+    """Number of elements satisfying a predicate (either operator works;
+    counting is commutative)."""
+
+    operator = "tie"
+
+    def __init__(self, predicate: Callable[[T], bool]) -> None:
+        super().__init__()
+        self.predicate = predicate
+
+    def supplier(self) -> Callable[[], list]:
+        return lambda: [0]
+
+    def accumulator(self) -> Callable[[list, T], None]:
+        predicate = self.predicate
+
+        def accumulate(box: list, item: T) -> None:
+            if predicate(item):
+                box[0] += 1
+
+        return accumulate
+
+    def combiner(self) -> Callable[[list, list], list]:
+        def combine(a: list, b: list) -> list:
+            a[0] += b[0]
+            return a
+
+        return combine
+
+    def finisher(self) -> Callable[[list], int]:
+        return lambda box: box[0]
+
+
+class _EqualBox:
+    __slots__ = ("ok", "witness", "empty")
+
+    def __init__(self) -> None:
+        self.ok = True
+        self.witness = None
+        self.empty = True
+
+
+class AllEqualCollector(PowerCollector[T, _EqualBox, bool]):
+    """``True`` iff every element equals every other (zip-friendly)."""
+
+    operator = "zip"
+
+    def supplier(self) -> Callable[[], _EqualBox]:
+        return _EqualBox
+
+    def accumulator(self) -> Callable[[_EqualBox, T], None]:
+        def accumulate(box: _EqualBox, item: T) -> None:
+            if box.empty:
+                box.witness = item
+                box.empty = False
+            elif box.witness != item:
+                box.ok = False
+
+        return accumulate
+
+    def combiner(self) -> Callable[[_EqualBox, _EqualBox], _EqualBox]:
+        def combine(a: _EqualBox, b: _EqualBox) -> _EqualBox:
+            if b.empty:
+                return a
+            if a.empty:
+                return b
+            a.ok = a.ok and b.ok and a.witness == b.witness
+            return a
+
+        return combine
+
+    def finisher(self) -> Callable[[_EqualBox], bool]:
+        return lambda box: box.ok
+
+
+def is_sorted(
+    data: Sequence[T],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> bool:
+    """True iff ``data`` (length ``2**k``) is non-decreasing."""
+    return power_collect(IsSortedCollector(), data, parallel, pool, target_size)
+
+
+def count_if(
+    data: Sequence[T],
+    predicate: Callable[[T], bool],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+) -> int:
+    """Number of elements of ``data`` satisfying ``predicate``."""
+    return power_collect(CountIfCollector(predicate), data, parallel, pool)
+
+
+def all_equal(
+    data: Sequence[T],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+) -> bool:
+    """True iff all elements of ``data`` are equal."""
+    return power_collect(AllEqualCollector(), data, parallel, pool)

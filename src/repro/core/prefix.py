@@ -1,0 +1,90 @@
+"""Prefix sums (scan) as a PowerList collector.
+
+The tie-based PowerList definition::
+
+    ps([a])     = [a]
+    ps(p | q)   = ps(p) | (last(ps(p)) ⊕ ps(q))
+
+Each container carries both the local prefix list and its total, so the
+combiner shifts the right container by the left total in one pass — the
+standard two-value trick that makes scan a homomorphism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.power_collector import PowerCollector, power_collect
+from repro.forkjoin.pool import ForkJoinPool
+
+T = TypeVar("T")
+
+
+class _ScanBox:
+    """Running prefix list plus its final (total) value."""
+
+    __slots__ = ("prefix", "total", "empty")
+
+    def __init__(self) -> None:
+        self.prefix: list = []
+        self.total = None
+        self.empty = True
+
+
+class PrefixSumCollector(PowerCollector[T, _ScanBox, list]):
+    """Inclusive scan with an associative operator, via tie decomposition.
+
+    Args:
+        op: associative binary operator (defaults to ``+``).
+    """
+
+    operator = "tie"
+
+    def __init__(self, op: Callable[[T, T], T] = lambda a, b: a + b) -> None:
+        super().__init__()
+        self.op = op
+
+    def supplier(self) -> Callable[[], _ScanBox]:
+        return _ScanBox
+
+    def accumulator(self) -> Callable[[_ScanBox, T], None]:
+        op = self.op
+
+        def accumulate(box: _ScanBox, item: T) -> None:
+            if box.empty:
+                box.total = item
+                box.empty = False
+            else:
+                box.total = op(box.total, item)
+            box.prefix.append(box.total)
+
+        return accumulate
+
+    def combiner(self) -> Callable[[_ScanBox, _ScanBox], _ScanBox]:
+        op = self.op
+
+        def combine(left: _ScanBox, right: _ScanBox) -> _ScanBox:
+            if right.empty:
+                return left
+            if left.empty:
+                return right
+            shift = left.total
+            left.prefix.extend(op(shift, value) for value in right.prefix)
+            left.total = op(shift, right.total)
+            return left
+
+        return combine
+
+    def finisher(self) -> Callable[[_ScanBox], list]:
+        return lambda box: box.prefix
+
+
+def prefix_sum(
+    data: Sequence[T],
+    op: Callable[[T, T], T] = lambda a, b: a + b,
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> list[T]:
+    """Inclusive prefix scan of ``data`` (length ``2**k``) with ``op``."""
+    return power_collect(PrefixSumCollector(op), data, parallel, pool, target_size)

@@ -1,0 +1,167 @@
+"""Sorting networks over PowerLists: Batcher odd-even merge sort and
+bitonic sort.
+
+Both are classical PowerList showcases (the JPLF function set, paper
+Section III).  Batcher sort has the homomorphic shape that fits ``collect``
+directly::
+
+    sort([a])    = [a]
+    sort(p | q)  = sort(p)  ⋈  sort(q)      -- ⋈ = odd-even merge
+
+so :class:`BatcherSortCollector` decomposes with *tie*, sorts each leaf
+sequentially (``basic_case``), and merges in the combiner with the
+recursive odd-even merge — the data-parallel merge network of Batcher
+(1968), whose PowerList derivation is in Misra (1994), §8.
+
+Bitonic sort is provided as the recursive reference
+(:func:`bitonic_sort`), plus the compare-exchange :func:`bitonic_merge`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.common import check_power_of_two
+from repro.core.containers import PowerArray
+from repro.core.power_collector import PowerCollector, power_collect
+from repro.forkjoin.pool import ForkJoinPool
+
+T = TypeVar("T")
+
+
+def odd_even_merge(a: list[T], b: list[T]) -> list[T]:
+    """Batcher's odd-even merge of two sorted, similar PowerLists.
+
+    Recursively merges the even-indexed and odd-indexed subsequences, then
+    repairs with one rank of compare-exchanges — O(n log n) comparators,
+    depth O(log n) as a network.
+    """
+    n = len(a)
+    if n != len(b):
+        raise ValueError(f"merge requires similar lists: {n} vs {len(b)}")
+    if n == 1:
+        x, y = a[0], b[0]
+        return [x, y] if x <= y else [y, x]
+    v = odd_even_merge(a[0::2], b[0::2])
+    w = odd_even_merge(a[1::2], b[1::2])
+    out: list[T] = [None] * (2 * n)  # type: ignore[list-item]
+    out[0] = v[0]
+    for i in range(1, n):
+        lo, hi = w[i - 1], v[i]
+        if lo > hi:
+            lo, hi = hi, lo
+        out[2 * i - 1] = lo
+        out[2 * i] = hi
+    out[2 * n - 1] = w[n - 1]
+    return out
+
+
+class BatcherSortCollector(PowerCollector[T, PowerArray, list]):
+    """Batcher merge sort as a PowerList collector (tie decomposition)."""
+
+    operator = "tie"
+
+    def basic_case(self, view: list, incr: int) -> list:
+        return sorted(view)
+
+    def supplier(self) -> Callable[[], PowerArray]:
+        return PowerArray
+
+    def accumulator(self) -> Callable[[PowerArray, T], None]:
+        return PowerArray.add
+
+    def combiner(self) -> Callable[[PowerArray, PowerArray], PowerArray]:
+        def combine(a: PowerArray, b: PowerArray) -> PowerArray:
+            return a.replace(odd_even_merge(a.items, b.items))
+
+        return combine
+
+    def finisher(self) -> Callable[[PowerArray], list]:
+        return PowerArray.to_list
+
+
+def batcher_merge_sort(
+    data: Sequence[T],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> list[T]:
+    """Sort ``data`` (length ``2**k``) with the Batcher-merge collector."""
+    return power_collect(BatcherSortCollector(), data, parallel, pool, target_size)
+
+
+class BitonicSortCollector(PowerCollector[T, PowerArray, list]):
+    """Bitonic sort as a collector.
+
+    The combiner receives two *ascending* runs; reversing the second
+    makes their concatenation bitonic, which one
+    :func:`bitonic_merge` pass sorts — so the collector shape is
+    ``combine(a, b) = bitonic_merge(a | reverse(b))``.
+    """
+
+    operator = "tie"
+
+    def basic_case(self, view: list, incr: int) -> list:
+        return sorted(view)
+
+    def supplier(self) -> Callable[[], PowerArray]:
+        return PowerArray
+
+    def accumulator(self) -> Callable[[PowerArray, T], None]:
+        return PowerArray.add
+
+    def combiner(self) -> Callable[[PowerArray, PowerArray], PowerArray]:
+        def combine(a: PowerArray, b: PowerArray) -> PowerArray:
+            return a.replace(bitonic_merge(a.items + b.items[::-1]))
+
+        return combine
+
+    def finisher(self) -> Callable[[PowerArray], list]:
+        return PowerArray.to_list
+
+
+def bitonic_sort_collect(
+    data: Sequence[T],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> list[T]:
+    """Sort ``data`` (length ``2**k``) with the bitonic collector."""
+    return power_collect(BitonicSortCollector(), data, parallel, pool, target_size)
+
+
+# --------------------------------------------------------------------------- #
+# Bitonic network (recursive reference)
+# --------------------------------------------------------------------------- #
+
+
+def bitonic_merge(values: list[T], ascending: bool = True) -> list[T]:
+    """Sort a *bitonic* sequence by the bitonic merging network.
+
+    One rank of compare-exchanges between the halves leaves two bitonic
+    halves with every element of the first ≤ (≥) every element of the
+    second; recurse on both.
+    """
+    n = len(values)
+    check_power_of_two(n, "bitonic sequence length")
+    if n == 1:
+        return list(values)
+    half = n // 2
+    lo = list(values[:half])
+    hi = list(values[half:])
+    for i in range(half):
+        if (lo[i] > hi[i]) == ascending:
+            lo[i], hi[i] = hi[i], lo[i]
+    return bitonic_merge(lo, ascending) + bitonic_merge(hi, ascending)
+
+
+def bitonic_sort(values: Sequence[T], ascending: bool = True) -> list[T]:
+    """Full bitonic sort: sort halves in opposite directions, then merge."""
+    n = len(values)
+    check_power_of_two(n, "bitonic sort length")
+    if n == 1:
+        return list(values)
+    half = n // 2
+    first = bitonic_sort(values[:half], True)
+    second = bitonic_sort(values[half:], False)
+    return bitonic_merge(first + second, ascending)

@@ -1,0 +1,96 @@
+"""The tupling transformation — eliminating descending-phase computation.
+
+The paper notes (§II, citing Niculescu & Loulergue HLPP 2018) that
+functions with splitting-phase operations can often be *transformed* —
+e.g. by tupling — "in order to eliminate these additional computations".
+Polynomial evaluation is the canonical case.  Instead of pushing ``x²``
+down through the splits (which forced the shared-state
+``PZipSpliterator`` mechanism), compute **bottom-up** the pair
+
+    g(p) = (vp(p, x), x^len(p))
+
+Under *tie* deconstruction, with coefficients in decreasing degree order::
+
+    g([c])     = (c, x)
+    g(p | q)   = (v_p · w_q + v_q,  w_p · w_q)     where (v, w) = g(·)
+
+— an ordinary homomorphism: plain ``TieSpliterator``, no split hooks, no
+locks, no uniform-depth requirement.  :class:`PolynomialValueTupled` is
+the collector; ablation AB7 measures what the transformation buys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.power_collector import PowerCollector, power_collect
+from repro.forkjoin.pool import ForkJoinPool
+
+
+class _TupleBox:
+    """Accumulation state: partial value ``v`` and point power ``w = x^m``."""
+
+    __slots__ = ("x", "val", "weight", "empty")
+
+    def __init__(self, x: float) -> None:
+        self.x = x
+        self.val = 0.0
+        self.weight = 1.0  # x^0 — the empty-product identity
+        self.empty = True
+
+    def __repr__(self) -> str:
+        return f"_TupleBox(val={self.val}, weight={self.weight})"
+
+
+class PolynomialValueTupled(PowerCollector[float, _TupleBox, float]):
+    """Polynomial evaluation as a pure bottom-up homomorphism.
+
+    Compare :class:`~repro.core.polynomial.PolynomialValue`: same result,
+    but the descending phase is empty — no specialized spliterator, no
+    shared ``x_degree``, and correctness holds for *any* (even
+    non-uniform) decomposition because each container tracks its own
+    ``x^m``.
+    """
+
+    operator = "tie"
+
+    def __init__(self, x: float) -> None:
+        super().__init__()
+        self.x = x
+
+    def supplier(self) -> Callable[[], _TupleBox]:
+        x = self.x
+        return lambda: _TupleBox(x)
+
+    def accumulator(self) -> Callable[[_TupleBox, float], None]:
+        def accumulate(box: _TupleBox, c: float) -> None:
+            # Horner step at the original point, tracking x^m alongside.
+            box.val = box.val * box.x + c
+            box.weight *= box.x
+            box.empty = False
+
+        return accumulate
+
+    def combiner(self) -> Callable[[_TupleBox, _TupleBox], _TupleBox]:
+        def combine(left: _TupleBox, right: _TupleBox) -> _TupleBox:
+            # g(p | q) = (v_p · w_q + v_q, w_p · w_q)
+            left.val = left.val * right.weight + right.val
+            left.weight *= right.weight
+            left.empty = left.empty and right.empty
+            return left
+
+        return combine
+
+    def finisher(self) -> Callable[[_TupleBox], float]:
+        return lambda box: box.val
+
+
+def polynomial_value_tupled(
+    coeffs: Sequence[float],
+    x: float,
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> float:
+    """Evaluate a polynomial via the tupled (descend-free) collector."""
+    return power_collect(PolynomialValueTupled(x), coeffs, parallel, pool, target_size)

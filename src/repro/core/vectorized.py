@@ -1,0 +1,353 @@
+"""Vectorized leaf computations — numpy bulk basic cases.
+
+Section V of the paper notes that the leaf computation can be specialized
+by overriding ``forEachRemaining``.  This module pushes that to its
+logical end on scientific-Python terms: the specialized spliterators
+deliver each leaf as **one numpy strided view** (zero copy), the
+accumulators process whole chunks with vectorized kernels, and the
+combiners splice arrays — so the per-element Python interpreter loop
+disappears from the hot path entirely.
+
+Unlike thread parallelism (GIL-bound here), vectorization yields *real*
+wall-clock speedups on this host; ablation AB7 measures scalar vs
+vectorized collectors, and the correctness tests pin both to the same
+oracles.
+
+Design notes:
+
+* chunks carry their stride: a ``(values, incr)`` pair, because for
+  zip-decomposed functions the stride encodes the recursion depth (for
+  polynomial evaluation the leaf's point is exactly ``x ** incr`` — the
+  stride replaces the paper's shared ``x_degree`` channel);
+* the polynomial collector caches the leaf power vector
+  ``(x**incr) ** [m-1 .. 0]`` on the function object under the state
+  lock — a read-mostly use of the same spliterator↔collector channel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.common import IllegalArgumentError, NotSimilarError
+from repro.core.power_collector import PowerCollector, power_collect
+from repro.core.power_spliterators import (
+    SpliteratorPower2,
+    TieSpliterator,
+    ZipSpliterator,
+)
+from repro.forkjoin.pool import ForkJoinPool
+
+
+class _ChunkMixin:
+    """Bulk traversal: hand the whole remaining strided view to the sink.
+
+    The view is a numpy basic slice — a zero-copy window over the source
+    array.  ``try_advance`` keeps per-element semantics for generic code.
+    """
+
+    def for_each_remaining(self, action) -> None:  # type: ignore[override]
+        if self.count > 0:
+            stop = self.start + self.count * self.incr
+            chunk = self.source[self.start : stop : self.incr]
+            action((chunk, self.incr))
+            self.start = stop
+            self.count = 0
+
+
+class VTieSpliterator(_ChunkMixin, TieSpliterator):
+    """Chunked tie spliterator over a numpy array."""
+
+    __slots__ = ()
+
+
+class VZipSpliterator(_ChunkMixin, ZipSpliterator):
+    """Chunked zip spliterator over a numpy array."""
+
+    __slots__ = ()
+
+
+class ArrayBox:
+    """Result container holding a numpy array (or None before the leaf)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: np.ndarray | None = None) -> None:
+        self.data = data
+
+    def tie_all(self, other: "ArrayBox") -> "ArrayBox":
+        """Concatenate (the *tie* constructor)."""
+        self.data = np.concatenate((self.data, other.data))
+        return self
+
+    def zip_all(self, other: "ArrayBox") -> "ArrayBox":
+        """Interleave (the *zip* constructor)."""
+        a, b = self.data, other.data
+        if len(a) != len(b):
+            raise NotSimilarError(len(a), len(b))
+        out = np.empty(2 * len(a), dtype=np.result_type(a, b))
+        out[0::2] = a
+        out[1::2] = b
+        self.data = out
+        return self
+
+    def __repr__(self) -> str:
+        return f"ArrayBox({self.data!r})"
+
+
+class VectorizedPowerCollector(PowerCollector):
+    """Base: numpy input, chunked spliterators, ArrayBox containers."""
+
+    def specialized_spliterator(self, data: Sequence) -> SpliteratorPower2:
+        array = np.asarray(data)
+        cls = VZipSpliterator if self.operator == "zip" else VTieSpliterator
+        return cls(array, 0, len(array), 1, function_object=self)
+
+    def supplier(self) -> Callable[[], ArrayBox]:
+        return ArrayBox
+
+    def finisher(self) -> Callable[[ArrayBox], np.ndarray]:
+        return lambda box: box.data
+
+
+class VectorizedMapCollector(VectorizedPowerCollector):
+    """``map(f)`` with ``f`` applied to whole chunks (ufunc-compatible)."""
+
+    def __init__(self, f: Callable[[np.ndarray], np.ndarray], operator: str = "tie") -> None:
+        super().__init__()
+        if operator not in ("tie", "zip"):
+            raise IllegalArgumentError(f"operator must be tie or zip, got {operator!r}")
+        self.operator = operator
+        self.f = f
+
+    def accumulator(self):
+        f = self.f
+
+        def accumulate(box: ArrayBox, chunk_incr) -> None:
+            chunk, _ = chunk_incr
+            result = np.asarray(f(chunk))
+            box.data = result if box.data is None else np.concatenate((box.data, result))
+
+        return accumulate
+
+    def combiner(self):
+        return ArrayBox.zip_all if self.operator == "zip" else ArrayBox.tie_all
+
+
+class VectorizedReduceCollector(VectorizedPowerCollector):
+    """``reduce`` with a numpy ufunc (``np.add``, ``np.maximum``, …)."""
+
+    operator = "tie"
+
+    def __init__(self, ufunc: np.ufunc = np.add) -> None:
+        super().__init__()
+        self.ufunc = ufunc
+
+    def supplier(self) -> Callable[[], ArrayBox]:
+        return ArrayBox
+
+    def accumulator(self):
+        ufunc = self.ufunc
+
+        def accumulate(box: ArrayBox, chunk_incr) -> None:
+            chunk, _ = chunk_incr
+            partial = ufunc.reduce(chunk)
+            box.data = partial if box.data is None else ufunc(box.data, partial)
+
+        return accumulate
+
+    def combiner(self):
+        ufunc = self.ufunc
+
+        def combine(a: ArrayBox, b: ArrayBox) -> ArrayBox:
+            if b.data is None:
+                return a
+            if a.data is None:
+                return b
+            a.data = ufunc(a.data, b.data)
+            return a
+
+        return combine
+
+    def finisher(self):
+        def finish(box: ArrayBox):
+            if box.data is None:
+                raise IllegalArgumentError("reduce of an empty PowerList")
+            return box.data
+
+        return finish
+
+
+class _VPolyBox:
+    """Partial polynomial value plus the node's point exponent."""
+
+    __slots__ = ("val", "x_degree")
+
+    def __init__(self) -> None:
+        self.val = 0.0
+        self.x_degree = 1
+
+
+class VectorizedPolynomialValue(VectorizedPowerCollector):
+    """Polynomial evaluation with dot-product leaves.
+
+    A leaf holds ``m`` coefficients at stride ``incr``; its sub-polynomial
+    point is ``y = x**incr`` (the stride *is* the descending-phase state),
+    and its value is the dot product with ``y**[m-1 … 0]``.  The power
+    vector depends only on ``(incr, m)`` — identical across leaves — so
+    it is computed once and cached on the function object.
+    """
+
+    operator = "zip"
+
+    def __init__(self, x: float) -> None:
+        super().__init__()
+        self.x = x
+        self._powers_cache: dict[tuple[int, int], np.ndarray] = {}
+
+    def _leaf_powers(self, incr: int, m: int) -> np.ndarray:
+        key = (incr, m)
+        cached = self._powers_cache.get(key)
+        if cached is None:
+            with self._state_lock:
+                cached = self._powers_cache.get(key)
+                if cached is None:
+                    y = self.x**incr
+                    cached = np.power(y, np.arange(m - 1, -1, -1, dtype=np.float64))
+                    self._powers_cache[key] = cached
+        return cached
+
+    def supplier(self) -> Callable[[], _VPolyBox]:
+        return _VPolyBox
+
+    def accumulator(self):
+        def accumulate(box: _VPolyBox, chunk_incr) -> None:
+            chunk, incr = chunk_incr
+            box.val = float(np.dot(chunk, self._leaf_powers(incr, len(chunk))))
+            box.x_degree = incr
+
+        return accumulate
+
+    def combiner(self):
+        x = self.x
+
+        def combine(a: _VPolyBox, b: _VPolyBox) -> _VPolyBox:
+            a.x_degree //= 2
+            a.val = a.val * x**a.x_degree + b.val
+            return a
+
+        return combine
+
+    def finisher(self):
+        return lambda box: box.val
+
+
+class _VScanBox:
+    """Running cumulative array plus its total."""
+
+    __slots__ = ("prefix", "total")
+
+    def __init__(self) -> None:
+        self.prefix: np.ndarray | None = None
+        self.total = 0.0
+
+
+class VectorizedPrefixSumCollector(VectorizedPowerCollector):
+    """Inclusive prefix sums with ``np.cumsum`` leaves.
+
+    The combiner shifts the right prefix by the left total — one
+    broadcast add per node instead of a Python loop.
+    """
+
+    operator = "tie"
+
+    def supplier(self) -> Callable[[], _VScanBox]:
+        return _VScanBox
+
+    def accumulator(self):
+        def accumulate(box: _VScanBox, chunk_incr) -> None:
+            chunk, _ = chunk_incr
+            box.prefix = np.cumsum(chunk)
+            box.total = float(box.prefix[-1]) if len(box.prefix) else 0.0
+
+        return accumulate
+
+    def combiner(self):
+        def combine(left: _VScanBox, right: _VScanBox) -> _VScanBox:
+            if right.prefix is None:
+                return left
+            if left.prefix is None:
+                return right
+            left.prefix = np.concatenate((left.prefix, right.prefix + left.total))
+            left.total += right.total
+            return left
+
+        return combine
+
+    def finisher(self):
+        return lambda box: box.prefix
+
+
+def vectorized_prefix_sum(
+    data: Sequence[float],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> np.ndarray:
+    """Inclusive prefix sums with numpy leaves (``np.cumsum`` per leaf)."""
+    return power_collect(
+        VectorizedPrefixSumCollector(), np.asarray(data, dtype=np.float64),
+        parallel, pool, target_size,
+    )
+
+
+class VectorizedFftCollector(VectorizedPowerCollector):
+    """FFT with ``np.fft.fft`` leaves and vectorized butterflies."""
+
+    operator = "zip"
+
+    def accumulator(self):
+        def accumulate(box: ArrayBox, chunk_incr) -> None:
+            chunk, _ = chunk_incr
+            box.data = np.fft.fft(chunk)
+
+        return accumulate
+
+    def combiner(self):
+        def combine(p: ArrayBox, q: ArrayBox) -> ArrayBox:
+            n = len(p.data)
+            u = np.exp(-2j * np.pi * np.arange(n) / (2 * n))
+            t = u * q.data
+            p.data = np.concatenate((p.data + t, p.data - t))
+            return p
+
+        return combine
+
+
+def vectorized_polynomial_value(
+    coeffs: Sequence[float],
+    x: float,
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> float:
+    """Evaluate a polynomial with vectorized leaves (numpy dot products)."""
+    return power_collect(
+        VectorizedPolynomialValue(x), np.asarray(coeffs, dtype=np.float64),
+        parallel, pool, target_size,
+    )
+
+
+def vectorized_fft(
+    values: Sequence[complex],
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+) -> np.ndarray:
+    """FFT with ``np.fft`` leaves and vectorized butterfly combination."""
+    return power_collect(
+        VectorizedFftCollector(), np.asarray(values, dtype=np.complex128),
+        parallel, pool, target_size,
+    )

@@ -1,0 +1,37 @@
+"""A work-stealing fork/join executor, after ``java.util.concurrent``.
+
+Java's parallel streams execute on the common ``ForkJoinPool``; this
+package reproduces that substrate:
+
+* :mod:`repro.forkjoin.deques` — the per-worker work-stealing deque
+  (owner pushes/pops LIFO at one end, thieves steal FIFO at the other);
+* :mod:`repro.forkjoin.task` — ``ForkJoinTask`` with ``fork``/``join``
+  semantics and the ``RecursiveTask``/``RecursiveAction`` conveniences;
+* :mod:`repro.forkjoin.pool` — the pool itself, with helping joins (a
+  worker blocked on ``join`` executes other tasks instead of idling).
+
+CPython's GIL means threads give concurrency, not parallel speedup — the
+pool is *functionally* faithful (decomposition, stealing, helping) and the
+performance figures are produced on the simulated machine in
+:mod:`repro.simcore` (see DESIGN.md §3).
+"""
+
+from repro.forkjoin.deques import WorkStealingDeque
+from repro.forkjoin.pool import ForkJoinPool, common_pool, set_common_pool_parallelism
+from repro.forkjoin.task import (
+    ForkJoinTask,
+    RecursiveAction,
+    RecursiveTask,
+    invoke_all,
+)
+
+__all__ = [
+    "ForkJoinPool",
+    "ForkJoinTask",
+    "RecursiveAction",
+    "RecursiveTask",
+    "WorkStealingDeque",
+    "common_pool",
+    "invoke_all",
+    "set_common_pool_parallelism",
+]

@@ -1,0 +1,65 @@
+"""The per-worker work-stealing deque.
+
+The owner treats its deque as a stack (push/pop at the "top") so that the
+most recently forked — deepest, smallest — task runs first, keeping the
+working set cache-hot.  Thieves steal from the opposite end (the "base"),
+taking the oldest — shallowest, largest — task, which maximizes the work
+moved per steal.  This is the classic Arora–Blumofe–Plaxton discipline used
+by ``ForkJoinPool``.
+
+A single mutex guards each deque.  Under the GIL a lock-free Chase–Lev
+array buys nothing, and the mutex keeps the invariants obvious.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class WorkStealingDeque(Generic[T]):
+    """A double-ended task queue with owner LIFO and thief FIFO access."""
+
+    __slots__ = ("_items", "_lock")
+
+    def __init__(self) -> None:
+        self._items: deque[T] = deque()
+        self._lock = threading.Lock()
+
+    def push(self, task: T) -> None:
+        """Owner: push a freshly forked task on the top."""
+        with self._lock:
+            self._items.append(task)
+
+    def pop(self) -> T | None:
+        """Owner: pop the most recently pushed task (LIFO), or None."""
+        with self._lock:
+            if self._items:
+                return self._items.pop()
+            return None
+
+    def steal(self) -> T | None:
+        """Thief: take the oldest task (FIFO), or None."""
+        with self._lock:
+            if self._items:
+                return self._items.popleft()
+            return None
+
+    def remove(self, task: T) -> bool:
+        """Owner: unschedule a specific task if still queued (``tryUnfork``)."""
+        with self._lock:
+            try:
+                self._items.remove(task)
+                return True
+            except ValueError:
+                return False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -1,0 +1,237 @@
+"""The work-stealing thread pool (``ForkJoinPool``).
+
+Each worker owns a :class:`~repro.forkjoin.deques.WorkStealingDeque` and
+runs the scheduling loop *own-deque → steal → external queue → idle wait*.
+``join`` from inside a worker never blocks while work exists anywhere —
+the worker helps by running other tasks (its own first, then stolen ones),
+bounding thread count regardless of recursion depth.
+
+A process-wide *common pool* mirrors Java's ``ForkJoinPool.commonPool()``:
+it is what parallel streams use unless told otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from typing import Optional
+
+from repro.common import IllegalStateError
+from repro.forkjoin.deques import WorkStealingDeque
+from repro.forkjoin.task import ForkJoinTask
+
+_tls = threading.local()
+
+
+def current_worker() -> "Optional[_Worker]":
+    """The :class:`_Worker` the calling thread belongs to, if any."""
+    return getattr(_tls, "worker", None)
+
+
+class _Worker:
+    """One pool thread plus its deque and scheduling loop."""
+
+    __slots__ = ("pool", "index", "deque", "thread", "executed", "stolen")
+
+    def __init__(self, pool: "ForkJoinPool", index: int) -> None:
+        self.pool = pool
+        self.index = index
+        self.deque: WorkStealingDeque[ForkJoinTask] = WorkStealingDeque()
+        # Observability counters (single-writer: only this worker's thread
+        # increments them, so plain ints suffice under the GIL).
+        self.executed = 0
+        self.stolen = 0
+        self.thread = threading.Thread(
+            target=self._run_loop, name=f"{pool.name}-worker-{index}", daemon=True
+        )
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def push_local(self, task: ForkJoinTask) -> None:
+        """Schedule a forked task on this worker's own deque."""
+        self.deque.push(task)
+        self.pool._signal_work()
+
+    def _next_task(self) -> ForkJoinTask | None:
+        task = self.deque.pop()
+        if task is None:
+            task = self.pool._steal_for(self)
+            if task is not None:
+                self.stolen += 1
+        if task is None:
+            task = self.pool._poll_external()
+        return task
+
+    def _run_loop(self) -> None:
+        _tls.worker = self
+        pool = self.pool
+        try:
+            while not pool._shutdown:
+                task = self._next_task()
+                if task is not None:
+                    task.run()
+                    self.executed += 1
+                else:
+                    pool._idle_wait()
+        finally:
+            _tls.worker = None
+
+    def help_join(self, awaited: ForkJoinTask) -> None:
+        """Run other tasks until ``awaited`` completes (helping join)."""
+        # Fast path: the awaited task may still be unstarted on our own
+        # deque — unfork and run it inline (Java's tryUnfork/exec).
+        if self.deque.remove(awaited):
+            awaited.run()
+            return
+        while not awaited.is_done():
+            task = self._next_task()
+            if task is not None:
+                task.run()
+                self.executed += 1
+            else:
+                # Nothing runnable anywhere: the awaited task is being
+                # executed by another worker.  Short sleep-wait on it.
+                awaited._done_event.wait(0.0005)
+
+
+class ForkJoinPool:
+    """A fixed-parallelism work-stealing executor.
+
+    Args:
+        parallelism: number of worker threads; defaults to ``os.cpu_count()``.
+        name: thread-name prefix, useful in debugging.
+    """
+
+    def __init__(self, parallelism: int | None = None, name: str = "fjp") -> None:
+        if parallelism is None:
+            parallelism = os.cpu_count() or 1
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.parallelism = parallelism
+        self.name = name
+        self._external: deque[ForkJoinTask] = deque()
+        self._external_lock = threading.Lock()
+        self._work_available = threading.Condition()
+        self._shutdown = False
+        self._workers = [_Worker(self, i) for i in range(parallelism)]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ------------------------------------------------------- #
+
+    def submit(self, task: ForkJoinTask) -> ForkJoinTask:
+        """Enqueue ``task`` for asynchronous execution and return it."""
+        if self._shutdown:
+            raise IllegalStateError("pool is shut down")
+        task._pool = self
+        self._push_external(task)
+        return task
+
+    def invoke(self, task: ForkJoinTask):
+        """Execute ``task`` and return its result.
+
+        From a worker of this pool the task runs inline (preserving
+        fork/join helping); from an external thread it is submitted and
+        awaited.
+        """
+        worker = current_worker()
+        if worker is not None and worker.pool is self:
+            task._pool = self
+            return task.invoke()
+        self.submit(task)
+        return task.join()
+
+    # -- internals used by workers/tasks ---------------------------------- #
+
+    def _push_external(self, task: ForkJoinTask) -> None:
+        with self._external_lock:
+            self._external.append(task)
+        self._signal_work()
+
+    def _poll_external(self) -> ForkJoinTask | None:
+        with self._external_lock:
+            if self._external:
+                return self._external.popleft()
+            return None
+
+    def _steal_for(self, thief: _Worker) -> ForkJoinTask | None:
+        # Scan the other workers starting just past the thief to spread
+        # contention; first non-empty deque yields its oldest task.
+        n = len(self._workers)
+        for offset in range(1, n):
+            victim = self._workers[(thief.index + offset) % n]
+            task = victim.deque.steal()
+            if task is not None:
+                return task
+        return None
+
+    def _signal_work(self) -> None:
+        with self._work_available:
+            self._work_available.notify_all()
+
+    def _idle_wait(self) -> None:
+        with self._work_available:
+            self._work_available.wait(timeout=0.001)
+
+    # -- observability ------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """Counters since pool creation: tasks run and steals, per worker
+        and total — the real-pool mirror of
+        :class:`~repro.simcore.machine.SimResult`'s metrics."""
+        per_worker = [
+            {"worker": w.index, "executed": w.executed, "stolen": w.stolen}
+            for w in self._workers
+        ]
+        return {
+            "tasks_executed": sum(w.executed for w in self._workers),
+            "steals": sum(w.stolen for w in self._workers),
+            "per_worker": per_worker,
+        }
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    def shutdown(self) -> None:
+        """Stop workers after their current task; idempotent."""
+        self._shutdown = True
+        self._signal_work()
+        for worker in self._workers:
+            worker.thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ForkJoinPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"ForkJoinPool(name={self.name!r}, parallelism={self.parallelism})"
+
+
+_common_lock = threading.Lock()
+_common: ForkJoinPool | None = None
+_common_parallelism: int | None = None
+
+
+def common_pool() -> ForkJoinPool:
+    """The lazily created process-wide pool used by parallel streams."""
+    global _common
+    with _common_lock:
+        if _common is None:
+            _common = ForkJoinPool(_common_parallelism, name="common")
+        return _common
+
+
+def set_common_pool_parallelism(parallelism: int) -> None:
+    """Configure the common pool's width; only before first use.
+
+    Mirrors the ``java.util.concurrent.ForkJoinPool.common.parallelism``
+    system property.
+    """
+    global _common_parallelism
+    with _common_lock:
+        if _common is not None:
+            raise IllegalStateError("common pool already created")
+        _common_parallelism = parallelism

@@ -1,0 +1,173 @@
+"""``ForkJoinTask`` and its ``RecursiveTask``/``RecursiveAction`` subclasses.
+
+A task passes through three states: NEW → RUNNING → DONE (normally or
+exceptionally).  ``fork()`` schedules the task on the forking worker's own
+deque (or the pool's external queue when called from outside the pool);
+``join()`` waits for completion — and, when the joiner is itself a pool
+worker, *helps* by executing queued tasks rather than blocking, which is
+what makes deeply recursive divide-and-conquer safe on a bounded pool.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import Generic, TypeVar
+
+from repro.common import IllegalStateError
+
+T = TypeVar("T")
+
+_NEW = 0
+_RUNNING = 1
+_DONE = 2
+
+
+class ForkJoinTask(abc.ABC, Generic[T]):
+    """A lightweight task executable by a :class:`~repro.forkjoin.pool.ForkJoinPool`."""
+
+    __slots__ = ("_state", "_state_lock", "_done_event", "_result", "_exception", "_pool")
+
+    def __init__(self) -> None:
+        self._state = _NEW
+        self._state_lock = threading.Lock()
+        self._done_event = threading.Event()
+        self._result: T | None = None
+        self._exception: BaseException | None = None
+        self._pool = None  # set by fork()/pool submission
+
+    # -- subclass API ---------------------------------------------------- #
+
+    @abc.abstractmethod
+    def exec(self) -> T:
+        """Perform the computation and return its result."""
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    def _claim(self) -> bool:
+        """Atomically move NEW → RUNNING; False if somebody else ran it."""
+        with self._state_lock:
+            if self._state != _NEW:
+                return False
+            self._state = _RUNNING
+            return True
+
+    def run(self) -> None:
+        """Execute the task if not already claimed (idempotent)."""
+        if not self._claim():
+            return
+        try:
+            self._result = self.exec()
+        except BaseException as exc:  # propagate through join()
+            self._exception = exc
+        finally:
+            with self._state_lock:
+                self._state = _DONE
+            self._done_event.set()
+
+    def is_done(self) -> bool:
+        """True once the task has completed (normally or exceptionally)."""
+        return self._done_event.is_set()
+
+    def fork(self) -> "ForkJoinTask[T]":
+        """Schedule this task for asynchronous execution.
+
+        When called from a pool worker the task lands on that worker's own
+        deque; otherwise it must have been given a pool via
+        :meth:`ForkJoinPool.submit`.
+        """
+        from repro.forkjoin.pool import current_worker
+
+        worker = current_worker()
+        if worker is not None:
+            self._pool = worker.pool
+            worker.push_local(self)
+        elif self._pool is not None:
+            self._pool._push_external(self)
+        else:
+            raise IllegalStateError(
+                "fork() outside a pool worker requires prior pool.submit()"
+            )
+        return self
+
+    def join(self) -> T:
+        """Wait for completion, helping with other tasks when possible.
+
+        Returns the computed result, or re-raises the task's exception.
+        """
+        from repro.forkjoin.pool import current_worker
+
+        worker = current_worker()
+        if worker is not None:
+            worker.help_join(self)
+        else:
+            self._done_event.wait()
+        return self._report()
+
+    def invoke(self) -> T:
+        """Run the task in the calling thread and return its result."""
+        self.run()
+        return self._report()
+
+    def _report(self) -> T:
+        if self._exception is not None:
+            raise self._exception
+        return self._result  # type: ignore[return-value]
+
+    def get_raw_result(self) -> T | None:
+        """The result so far (None until completion)."""
+        return self._result
+
+
+def invoke_all(*tasks: "ForkJoinTask") -> list:
+    """Fork all given tasks and join them all, in order.
+
+    Mirrors ``ForkJoinTask.invokeAll``: the *first* task runs in the
+    calling thread (saving one deque round-trip) and the rest are forked;
+    results are returned in argument order, and the first raised exception
+    propagates after all tasks settle.
+    """
+    if not tasks:
+        return []
+    first, rest = tasks[0], tasks[1:]
+    for task in rest:
+        task.fork()
+    first.run()
+    results: list = [None] * len(tasks)
+    failure: BaseException | None = None
+    for i, task in enumerate(tasks):
+        try:
+            results[i] = task._report() if task is first else task.join()
+        except BaseException as exc:  # settle every task before raising
+            if failure is None:
+                failure = exc
+    if failure is not None:
+        raise failure
+    return results
+
+
+class RecursiveTask(ForkJoinTask[T]):
+    """A result-bearing task defined by overriding :meth:`compute`."""
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def compute(self) -> T:
+        """The main computation performed by this task."""
+
+    def exec(self) -> T:
+        return self.compute()
+
+
+class RecursiveAction(ForkJoinTask[None]):
+    """A resultless task defined by overriding :meth:`compute`."""
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def compute(self) -> None:
+        """The main computation performed by this task."""
+
+    def exec(self) -> None:
+        self.compute()
+        return None

@@ -1,0 +1,74 @@
+"""A reimplementation of the JPLF framework — the paper's comparator.
+
+JPLF (Niculescu et al., PDCAT 2017) computes PowerList functions through
+the *template method* pattern: a
+:class:`~repro.jplf.power_function.PowerFunction` defines ``compute`` in
+terms of four primitives the user supplies —
+
+* ``basic_case``             — the value on a singleton (or leaf);
+* ``combine``                — merge the two sub-results;
+* ``create_left_function`` / ``create_right_function`` — build the
+  sub-problems (where descending-phase transformations happen naturally,
+  e.g. squaring the evaluation point of a polynomial).
+
+Execution is managed *separately* from the function definition (the
+framework's key advantage per Section III): the same function runs under a
+:class:`~repro.jplf.executors.SequentialExecutor`, a fork/join
+:class:`~repro.jplf.executors.ForkJoinExecutor`, the simulated-machine
+executor in :mod:`repro.simcore.adapters`, or the simulated-MPI executor in
+:mod:`repro.mpi.executor`.
+"""
+
+from repro.jplf.power_function import PowerFunction
+from repro.jplf.executors import Executor, ForkJoinExecutor, SequentialExecutor
+from repro.jplf.process_executor import ProcessExecutor
+from repro.jplf.plist_function import (
+    PListForkJoinExecutor,
+    PListFunction,
+    PListMap,
+    PListReduce,
+)
+from repro.jplf.grid_function import (
+    GridForkJoinExecutor,
+    GridFunction,
+    GridMax,
+    GridSum,
+    GridTrace,
+)
+from repro.jplf.functions import (
+    JplfFft,
+    JplfIdentity,
+    JplfInv,
+    JplfMap,
+    JplfPolynomialValue,
+    JplfPrefixSum,
+    JplfReduce,
+    JplfSort,
+    JplfWalshHadamard,
+)
+
+__all__ = [
+    "Executor",
+    "ForkJoinExecutor",
+    "GridForkJoinExecutor",
+    "GridFunction",
+    "GridMax",
+    "GridSum",
+    "GridTrace",
+    "JplfFft",
+    "JplfIdentity",
+    "JplfInv",
+    "JplfMap",
+    "JplfWalshHadamard",
+    "JplfPolynomialValue",
+    "JplfPrefixSum",
+    "JplfReduce",
+    "JplfSort",
+    "PListForkJoinExecutor",
+    "PListFunction",
+    "PListMap",
+    "PListReduce",
+    "PowerFunction",
+    "ProcessExecutor",
+    "SequentialExecutor",
+]

@@ -1,0 +1,97 @@
+"""JPLF executors: the same function, different execution engines.
+
+Separating execution from definition is the framework's design center
+(Section III).  An :class:`Executor` consumes any
+:class:`~repro.jplf.power_function.PowerFunction` through its primitives
+only:
+
+* :class:`SequentialExecutor` — recursion to a leaf threshold, leaves
+  finished by ``leaf_case``;
+* :class:`ForkJoinExecutor` — the multithreading execution used in the
+  paper's comparisons, on our work-stealing pool.
+
+The simulated-machine executor lives in :mod:`repro.simcore.adapters` and
+the simulated-MPI executor in :mod:`repro.mpi.executor`, completing the
+sequential / multithreaded / MPI triple the paper describes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generic, TypeVar
+
+from repro.common import check_positive
+from repro.forkjoin.pool import ForkJoinPool, common_pool
+from repro.forkjoin.task import RecursiveTask
+from repro.jplf.power_function import PowerFunction
+
+R = TypeVar("R")
+
+
+class Executor(abc.ABC, Generic[R]):
+    """Executes PowerFunctions; knows nothing about specific functions."""
+
+    @abc.abstractmethod
+    def execute(self, function: PowerFunction) -> R:
+        """Compute ``function`` on this executor's engine."""
+
+
+class SequentialExecutor(Executor[R]):
+    """Depth-first recursion with a leaf threshold.
+
+    Args:
+        threshold: maximum leaf length; at or below it the function's
+            ``leaf_case`` finishes the work (1 recurses to singletons).
+    """
+
+    def __init__(self, threshold: int = 1) -> None:
+        self.threshold = check_positive(threshold, "threshold")
+
+    def execute(self, function: PowerFunction) -> R:
+        if len(function.data) <= self.threshold:
+            return function.leaf_case()
+        left_fn, right_fn = function.subfunctions()
+        return function.combine(self.execute(left_fn), self.execute(right_fn))
+
+
+class _PowerFunctionTask(RecursiveTask):
+    """Fork/join mirror of the template method."""
+
+    __slots__ = ("function", "threshold")
+
+    def __init__(self, function: PowerFunction, threshold: int) -> None:
+        super().__init__()
+        self.function = function
+        self.threshold = threshold
+
+    def compute(self):
+        function = self.function
+        if len(function.data) <= self.threshold:
+            return function.leaf_case()
+        left_fn, right_fn = function.subfunctions()
+        left_task = _PowerFunctionTask(left_fn, self.threshold)
+        left_task.fork()
+        right_result = _PowerFunctionTask(right_fn, self.threshold).compute()
+        return function.combine(left_task.join(), right_result)
+
+
+class ForkJoinExecutor(Executor[R]):
+    """Multithreaded execution on a work-stealing pool.
+
+    Args:
+        pool: the fork/join pool (common pool when None).
+        threshold: leaf length at which tasks stop splitting; when None,
+            Java's heuristic ``len / (4 × parallelism)`` is applied per
+            invocation.
+    """
+
+    def __init__(self, pool: ForkJoinPool | None = None, threshold: int | None = None) -> None:
+        self.pool = pool
+        self.threshold = threshold
+
+    def execute(self, function: PowerFunction) -> R:
+        pool = self.pool if self.pool is not None else common_pool()
+        threshold = self.threshold
+        if threshold is None:
+            threshold = max(len(function.data) // (4 * pool.parallelism), 1)
+        return pool.invoke(_PowerFunctionTask(function, threshold))

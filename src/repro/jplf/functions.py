@@ -1,0 +1,281 @@
+"""The JPLF function library.
+
+Each class supplies the four primitives; note how descending-phase
+computation (``JplfPolynomialValue`` passing ``x²`` to its children) is
+*structural* here — no shared state, no synchronization — which is exactly
+the contrast the paper draws with the stream adaptation's
+``PZipSpliterator`` mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.core.fft import fft_sequential, powers
+from repro.core.sorting import odd_even_merge
+from repro.jplf.power_function import PowerFunction
+from repro.powerlist.powerlist import PowerList
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+class JplfIdentity(PowerFunction):
+    """Identity — decompose/recompose round trip (validation function)."""
+
+    operator = "tie"
+
+    def basic_case(self) -> list:
+        return [self.data[0]]
+
+    def leaf_case(self) -> list:
+        return self.data.to_list()
+
+    def combine(self, left: list, right: list) -> list:
+        left.extend(right)
+        return left
+
+    def create_left_function(self, left: PowerList) -> "JplfIdentity":
+        return JplfIdentity(left)
+
+    def create_right_function(self, right: PowerList) -> "JplfIdentity":
+        return JplfIdentity(right)
+
+
+class JplfMap(PowerFunction):
+    """``map(f)`` with a bulk leaf case."""
+
+    operator = "tie"
+
+    def __init__(self, data: PowerList, f: Callable[[T], U]) -> None:
+        super().__init__(data)
+        self.f = f
+
+    def basic_case(self) -> list:
+        return [self.f(self.data[0])]
+
+    def leaf_case(self) -> list:
+        f = self.f
+        return [f(x) for x in self.data]
+
+    def combine(self, left: list, right: list) -> list:
+        left.extend(right)
+        return left
+
+    def create_left_function(self, left: PowerList) -> "JplfMap":
+        return JplfMap(left, self.f)
+
+    def create_right_function(self, right: PowerList) -> "JplfMap":
+        return JplfMap(right, self.f)
+
+
+class JplfReduce(PowerFunction):
+    """``reduce(op)`` with an associative operator (tie order)."""
+
+    operator = "tie"
+
+    def __init__(self, data: PowerList, op: Callable[[T, T], T]) -> None:
+        super().__init__(data)
+        self.op = op
+
+    def basic_case(self):
+        return self.data[0]
+
+    def leaf_case(self):
+        it = iter(self.data)
+        acc = next(it)
+        for x in it:
+            acc = self.op(acc, x)
+        return acc
+
+    def combine(self, left, right):
+        return self.op(left, right)
+
+    def create_left_function(self, left: PowerList) -> "JplfReduce":
+        return JplfReduce(left, self.op)
+
+    def create_right_function(self, right: PowerList) -> "JplfReduce":
+        return JplfReduce(right, self.op)
+
+
+class JplfPolynomialValue(PowerFunction):
+    """Equation 4: ``vp(p ♮ q, x) = vp(p, x²) + x·vp(q, x²)``.
+
+    Coefficients in decreasing degree order (``numpy.polyval`` convention,
+    matching :mod:`repro.core.polynomial`).  The point transformation is
+    carried *down* through the sub-function constructors — the natural
+    JPLF phrasing of descending-phase computation.
+    """
+
+    operator = "zip"
+
+    def __init__(self, data: PowerList, x: float) -> None:
+        super().__init__(data)
+        self.x = x
+
+    def basic_case(self) -> float:
+        return float(self.data[0])
+
+    def leaf_case(self) -> float:
+        # Horner on the leaf's view at this node's point.
+        val = 0.0
+        for c in self.data:
+            val = val * self.x + c
+        return val
+
+    def combine(self, left: float, right: float) -> float:
+        # p holds the higher-degree coefficients of each pair: P·x + Q.
+        return left * self.x + right
+
+    def create_left_function(self, left: PowerList) -> "JplfPolynomialValue":
+        return JplfPolynomialValue(left, self.x * self.x)
+
+    def create_right_function(self, right: PowerList) -> "JplfPolynomialValue":
+        return JplfPolynomialValue(right, self.x * self.x)
+
+
+class JplfFft(PowerFunction):
+    """Equation 3: ``fft(p ♮ q) = (P + u×Q) | (P − u×Q)``."""
+
+    operator = "zip"
+
+    def basic_case(self) -> list[complex]:
+        return [complex(self.data[0])]
+
+    def leaf_case(self) -> list[complex]:
+        return fft_sequential(self.data.to_list())
+
+    def combine(self, left: list[complex], right: list[complex]) -> list[complex]:
+        n = len(left)
+        u = powers(n)
+        plus = [left[k] + u[k] * right[k] for k in range(n)]
+        minus = [left[k] - u[k] * right[k] for k in range(n)]
+        return plus + minus
+
+    def create_left_function(self, left: PowerList) -> "JplfFft":
+        return JplfFft(left)
+
+    def create_right_function(self, right: PowerList) -> "JplfFft":
+        return JplfFft(right)
+
+
+class JplfPrefixSum(PowerFunction):
+    """Inclusive scan; results carry ``(prefix_list, total)``."""
+
+    operator = "tie"
+
+    def __init__(self, data: PowerList, op: Callable = lambda a, b: a + b) -> None:
+        super().__init__(data)
+        self.op = op
+
+    def basic_case(self):
+        v = self.data[0]
+        return ([v], v)
+
+    def leaf_case(self):
+        out = []
+        acc = None
+        for x in self.data:
+            acc = x if acc is None else self.op(acc, x)
+            out.append(acc)
+        return (out, acc)
+
+    def combine(self, left, right):
+        prefix, total = left
+        rprefix, rtotal = right
+        shift = total
+        prefix.extend(self.op(shift, v) for v in rprefix)
+        return (prefix, self.op(shift, rtotal))
+
+    def create_left_function(self, left: PowerList) -> "JplfPrefixSum":
+        return JplfPrefixSum(left, self.op)
+
+    def create_right_function(self, right: PowerList) -> "JplfPrefixSum":
+        return JplfPrefixSum(right, self.op)
+
+
+class JplfInv(PowerFunction):
+    """Equation 2: ``inv(p | q) = inv(p) ♮ inv(q)`` — tie down, zip up."""
+
+    operator = "tie"
+
+    def basic_case(self) -> list:
+        return [self.data[0]]
+
+    def leaf_case(self) -> list:
+        from repro.common import bit_reverse, exact_log2
+
+        view = self.data.to_list()
+        k = exact_log2(len(view))
+        out = [None] * len(view)
+        for i, item in enumerate(view):
+            out[bit_reverse(i, k)] = item
+        return out
+
+    def combine(self, left: list, right: list) -> list:
+        out = [None] * (len(left) + len(right))
+        out[0::2] = left
+        out[1::2] = right
+        return out
+
+    def create_left_function(self, left: PowerList) -> "JplfInv":
+        return JplfInv(left)
+
+    def create_right_function(self, right: PowerList) -> "JplfInv":
+        return JplfInv(right)
+
+
+class JplfWalshHadamard(PowerFunction):
+    """Equation 5 instance: ``wht(p | q) = wht(p + q) | wht(p − q)``.
+
+    The JPLF phrasing of descending-phase element transforms: the
+    sub-problem constructors *are* the transformation — no spliterator
+    specialization, no shared state.  Contrast
+    :class:`repro.core.extended_ops.DescendTransformCollector`.
+    """
+
+    operator = "tie"
+
+    def basic_case(self) -> list:
+        return [self.data[0]]
+
+    def combine(self, left: list, right: list) -> list:
+        left.extend(right)
+        return left
+
+    def _halves(self) -> tuple[list, list]:
+        half = len(self.data) // 2
+        view = self.data.to_list()
+        return view[:half], view[half:]
+
+    def create_left_function(self, left: PowerList) -> "JplfWalshHadamard":
+        # The descending transform replaces the raw halves: left recursion
+        # receives p + q.  (The split views are discarded; the transform
+        # materializes, as any Equation-5 function must.)
+        p, q = self._halves()
+        return JplfWalshHadamard(PowerList([a + b for a, b in zip(p, q)]))
+
+    def create_right_function(self, right: PowerList) -> "JplfWalshHadamard":
+        p, q = self._halves()
+        return JplfWalshHadamard(PowerList([a - b for a, b in zip(p, q)]))
+
+
+class JplfSort(PowerFunction):
+    """Batcher merge sort: sort halves, odd-even merge."""
+
+    operator = "tie"
+
+    def basic_case(self) -> list:
+        return [self.data[0]]
+
+    def leaf_case(self) -> list:
+        return sorted(self.data)
+
+    def combine(self, left: list, right: list) -> list:
+        return odd_even_merge(left, right)
+
+    def create_left_function(self, left: PowerList) -> "JplfSort":
+        return JplfSort(left)
+
+    def create_right_function(self, right: PowerList) -> "JplfSort":
+        return JplfSort(right)

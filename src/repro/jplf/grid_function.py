@@ -1,0 +1,164 @@
+"""Quad-tree (2-D PowerList) function templates.
+
+The 2-D analogue of :class:`~repro.jplf.power_function.PowerFunction`:
+a :class:`GridFunction` deconstructs its :class:`~repro.powerlist.grid.
+Grid` argument into the four quadrants, recurses, and combines four
+sub-results — the recursion scheme of the matrix algorithms in Misra §10
+and the GPU-powerlist work ([3]).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generic, TypeVar
+
+from repro.forkjoin.pool import ForkJoinPool, common_pool
+from repro.forkjoin.task import RecursiveTask, invoke_all
+from repro.powerlist.grid import Grid
+
+R = TypeVar("R")
+
+
+class GridFunction(abc.ABC, Generic[R]):
+    """A divide-and-conquer function over a quad-decomposable Grid."""
+
+    def __init__(self, data: Grid) -> None:
+        self.data = data
+
+    @abc.abstractmethod
+    def basic_case(self) -> R:
+        """Value on a 1×1 grid."""
+
+    @abc.abstractmethod
+    def combine(self, a: R, b: R, c: R, d: R) -> R:
+        """Merge the quadrant results (top-left, top-right, bottom-left,
+        bottom-right)."""
+
+    @abc.abstractmethod
+    def create_subfunction(self, quadrant: Grid) -> "GridFunction[R]":
+        """Build the sub-problem on one quadrant."""
+
+    def splittable(self) -> bool:
+        """True while both dimensions can halve."""
+        return self.data.rows >= 2 and self.data.cols >= 2
+
+    def leaf_case(self) -> R:
+        """Value on a non-1×1 leaf; defaults to full recursion."""
+        return self.compute()
+
+    def compute(self) -> R:
+        """Sequential quad recursion."""
+        if not self.splittable():
+            if self.data.is_singleton():
+                return self.basic_case()
+            return self.leaf_case()
+        quadrants = self.data.quad_split()
+        results = [self.create_subfunction(q).compute() for q in quadrants]
+        return self.combine(*results)
+
+
+class GridSum(GridFunction[float]):
+    """Sum of all elements (the simplest quad homomorphism)."""
+
+    def basic_case(self) -> float:
+        return self.data.get(0, 0)
+
+    def leaf_case(self) -> float:
+        return sum(
+            self.data.get(i, j)
+            for i in range(self.data.rows)
+            for j in range(self.data.cols)
+        )
+
+    def combine(self, a, b, c, d):
+        return a + b + c + d
+
+    def create_subfunction(self, quadrant: Grid) -> "GridSum":
+        return GridSum(quadrant)
+
+
+class GridMax(GridFunction[float]):
+    """Maximum element."""
+
+    def basic_case(self) -> float:
+        return self.data.get(0, 0)
+
+    def leaf_case(self) -> float:
+        return max(
+            self.data.get(i, j)
+            for i in range(self.data.rows)
+            for j in range(self.data.cols)
+        )
+
+    def combine(self, a, b, c, d):
+        return max(a, b, c, d)
+
+    def create_subfunction(self, quadrant: Grid) -> "GridMax":
+        return GridMax(quadrant)
+
+
+class GridTrace(GridFunction[float]):
+    """Sum of the main diagonal (square grids).
+
+    Off-diagonal quadrants contribute nothing — the combiner simply drops
+    them, a quad function that is *not* a plain fold.
+    """
+
+    def basic_case(self) -> float:
+        return self.data.get(0, 0)
+
+    def leaf_case(self) -> float:
+        n = min(self.data.rows, self.data.cols)
+        return sum(self.data.get(i, i) for i in range(n))
+
+    def combine(self, a, b, c, d):
+        return a + d  # only the diagonal quadrants carry diagonal entries
+
+    def create_subfunction(self, quadrant: Grid) -> "GridTrace":
+        return GridTrace(quadrant)
+
+
+class _GridTask(RecursiveTask):
+    __slots__ = ("function", "threshold")
+
+    def __init__(self, function: GridFunction, threshold: int) -> None:
+        super().__init__()
+        self.function = function
+        self.threshold = threshold
+
+    def compute(self):
+        function = self.function
+        if (
+            not function.splittable()
+            or function.data.rows * function.data.cols <= self.threshold
+        ):
+            return function.leaf_case()
+        quadrants = function.data.quad_split()
+        tasks = [
+            _GridTask(function.create_subfunction(q), self.threshold)
+            for q in quadrants
+        ]
+        results = invoke_all(*tasks)
+        return function.combine(*results)
+
+
+class GridForkJoinExecutor:
+    """Fork/join executor for quad-tree functions.
+
+    Args:
+        pool: fork/join pool (common pool when None).
+        threshold: element count below which a node is a leaf; defaults
+            to ``elements / (4 × parallelism)``.
+    """
+
+    def __init__(self, pool: ForkJoinPool | None = None, threshold: int | None = None) -> None:
+        self.pool = pool
+        self.threshold = threshold
+
+    def execute(self, function: GridFunction):
+        pool = self.pool if self.pool is not None else common_pool()
+        threshold = self.threshold
+        if threshold is None:
+            elements = function.data.rows * function.data.cols
+            threshold = max(elements // (4 * pool.parallelism), 1)
+        return pool.invoke(_GridTask(function, threshold))

@@ -1,0 +1,185 @@
+"""JPLF PList functions — multi-way divide-and-conquer templates.
+
+The paper (Section III, citing [21]) notes that "the JPLF also includes
+PList functions, that express multi-way divide-and-conquer computations".
+:class:`PListFunction` is the n-way analogue of
+:class:`~repro.jplf.power_function.PowerFunction`: the deconstruction
+yields ``arity`` sub-problems, the combination merges the ordered list of
+sub-results.
+
+The arity may vary per level — :meth:`PListFunction.arity_of` picks a
+divisor of the current length (default: the smallest prime factor, which
+maximizes decomposition depth).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Generic, TypeVar
+
+from repro.common import IllegalArgumentError
+from repro.forkjoin.pool import ForkJoinPool, common_pool
+from repro.forkjoin.task import RecursiveTask, invoke_all
+from repro.powerlist.plist import PList
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def smallest_prime_factor(n: int) -> int:
+    """The smallest prime dividing ``n`` (``n`` itself when prime)."""
+    if n < 2:
+        raise IllegalArgumentError(f"need n >= 2, got {n}")
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            return d
+        d += 1
+    return n
+
+
+class PListFunction(abc.ABC, Generic[T, R]):
+    """A multi-way divide-and-conquer function over a PList argument."""
+
+    #: ``"tie"`` (segment) or ``"zip"`` (interleave) deconstruction.
+    operator: str = "tie"
+
+    def __init__(self, data: PList[T]) -> None:
+        self.data = data
+
+    # -- primitives --------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def basic_case(self) -> R:
+        """The value on a singleton."""
+
+    @abc.abstractmethod
+    def combine_all(self, results: list[R]) -> R:
+        """Merge the ordered sub-results of one node."""
+
+    @abc.abstractmethod
+    def create_subfunction(self, part: PList[T]) -> "PListFunction[T, R]":
+        """Build the sub-problem on one deconstruction component."""
+
+    # -- template machinery -------------------------------------------------- #
+
+    def arity_of(self, length: int) -> int:
+        """The split arity at a node of ``length`` elements (override to
+        change the decomposition shape)."""
+        return smallest_prime_factor(length)
+
+    def split(self) -> list[PList[T]]:
+        """Deconstruct with the declared operator at the chosen arity."""
+        arity = self.arity_of(len(self.data))
+        if self.operator == "tie":
+            return self.data.tie_split_n(arity)
+        if self.operator == "zip":
+            return self.data.zip_split_n(arity)
+        raise IllegalArgumentError(f"unknown operator {self.operator!r}")
+
+    def leaf_case(self) -> R:
+        """Value on a non-singleton leaf; defaults to full recursion."""
+        return self.compute()
+
+    def compute(self) -> R:
+        """Sequential template method."""
+        if self.data.is_singleton():
+            return self.basic_case()
+        parts = self.split()
+        return self.combine_all(
+            [self.create_subfunction(part).compute() for part in parts]
+        )
+
+
+class PListMap(PListFunction[T, list]):
+    """n-way ``map``."""
+
+    def __init__(self, data: PList[T], f: Callable[[T], object]) -> None:
+        super().__init__(data)
+        self.f = f
+
+    def basic_case(self) -> list:
+        return [self.f(self.data[0])]
+
+    def leaf_case(self) -> list:
+        f = self.f
+        return [f(x) for x in self.data]
+
+    def combine_all(self, results: list[list]) -> list:
+        out = results[0]
+        for part in results[1:]:
+            out.extend(part)
+        return out
+
+    def create_subfunction(self, part: PList[T]) -> "PListMap":
+        return PListMap(part, self.f)
+
+
+class PListReduce(PListFunction[T, T]):
+    """n-way ``reduce`` with an associative operator (tie order)."""
+
+    def __init__(self, data: PList[T], op: Callable[[T, T], T]) -> None:
+        super().__init__(data)
+        self.op = op
+
+    def basic_case(self) -> T:
+        return self.data[0]
+
+    def leaf_case(self) -> T:
+        it = iter(self.data)
+        acc = next(it)
+        for x in it:
+            acc = self.op(acc, x)
+        return acc
+
+    def combine_all(self, results: list[T]) -> T:
+        acc = results[0]
+        for value in results[1:]:
+            acc = self.op(acc, value)
+        return acc
+
+    def create_subfunction(self, part: PList[T]) -> "PListReduce":
+        return PListReduce(part, self.op)
+
+
+class _PListTask(RecursiveTask):
+    """Fork/join execution: fork all parts but the last."""
+
+    __slots__ = ("function", "threshold")
+
+    def __init__(self, function: PListFunction, threshold: int) -> None:
+        super().__init__()
+        self.function = function
+        self.threshold = threshold
+
+    def compute(self):
+        function = self.function
+        if len(function.data) <= self.threshold:
+            return function.leaf_case()
+        parts = function.split()
+        subtasks = [
+            _PListTask(function.create_subfunction(part), self.threshold)
+            for part in parts
+        ]
+        results = invoke_all(*subtasks)
+        return function.combine_all(results)
+
+
+class PListForkJoinExecutor:
+    """Multithreaded executor for PList functions.
+
+    Args:
+        pool: fork/join pool (common pool when None).
+        threshold: leaf size; defaults to ``len / (4 × parallelism)``.
+    """
+
+    def __init__(self, pool: ForkJoinPool | None = None, threshold: int | None = None) -> None:
+        self.pool = pool
+        self.threshold = threshold
+
+    def execute(self, function: PListFunction):
+        pool = self.pool if self.pool is not None else common_pool()
+        threshold = self.threshold
+        if threshold is None:
+            threshold = max(len(function.data) // (4 * pool.parallelism), 1)
+        return pool.invoke(_PListTask(function, threshold))

@@ -1,0 +1,90 @@
+"""The JPLF ``PowerFunction`` template.
+
+A PowerList function is specified by its primitives; the template method
+:meth:`PowerFunction.compute` implements the solving strategy (deconstruct
+→ recurse → combine) once, and executors re-express the same strategy with
+different scheduling (this separation is the framework's design center).
+
+Unlike the stream adaptation, JPLF works on
+:class:`~repro.powerlist.powerlist.PowerList` *views*: no element is copied
+during the descending phase unless the function itself transforms data.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generic, Sequence, TypeVar
+
+from repro.common import IllegalArgumentError
+from repro.powerlist.powerlist import PowerList
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class PowerFunction(abc.ABC, Generic[T, R]):
+    """A divide-and-conquer function over a PowerList argument.
+
+    Attributes:
+        operator: ``"tie"`` or ``"zip"`` — the deconstruction operator the
+            recursion uses.
+        data: the (view-based) argument list.
+    """
+
+    operator: str = "tie"
+
+    def __init__(self, data: PowerList[T]) -> None:
+        self.data = data
+
+    # -- primitives supplied per function --------------------------------- #
+
+    @abc.abstractmethod
+    def basic_case(self) -> R:
+        """The function's value when ``self.data`` is a singleton."""
+
+    @abc.abstractmethod
+    def combine(self, left: R, right: R) -> R:
+        """Merge the results of the two sub-functions (ascending phase)."""
+
+    @abc.abstractmethod
+    def create_left_function(self, left: PowerList[T]) -> "PowerFunction[T, R]":
+        """The sub-problem on the first deconstruction component.
+
+        Descending-phase computation (e.g. squaring a polynomial's
+        evaluation point) belongs here.
+        """
+
+    @abc.abstractmethod
+    def create_right_function(self, right: PowerList[T]) -> "PowerFunction[T, R]":
+        """The sub-problem on the second deconstruction component."""
+
+    # -- template machinery ------------------------------------------------ #
+
+    def split(self) -> tuple[PowerList[T], PowerList[T]]:
+        """Deconstruct the argument with the declared operator (O(1))."""
+        if self.operator == "tie":
+            return self.data.tie_split()
+        if self.operator == "zip":
+            return self.data.zip_split()
+        raise IllegalArgumentError(f"unknown operator {self.operator!r}")
+
+    def subfunctions(self) -> tuple["PowerFunction[T, R]", "PowerFunction[T, R]"]:
+        """Deconstruct and build both sub-problems."""
+        left, right = self.split()
+        return self.create_left_function(left), self.create_right_function(right)
+
+    def leaf_case(self) -> R:
+        """The value on a (possibly non-singleton) leaf.
+
+        Executors stop decomposing at a threshold; by default the leaf is
+        finished by sequential recursion, but functions may override this
+        with a bulk computation (JPLF's specialized basic cases).
+        """
+        return self.compute()
+
+    def compute(self) -> R:
+        """The template method: full sequential recursion to singletons."""
+        if self.data.is_singleton():
+            return self.basic_case()
+        left_fn, right_fn = self.subfunctions()
+        return self.combine(left_fn.compute(), right_fn.compute())

@@ -1,0 +1,38 @@
+"""Simulated message-passing execution (DESIGN.md substitution S7).
+
+JPLF's cluster story ("the MPI executors facilitate a much larger
+scalability", paper Section III, and reference [20]) needs a cluster; we
+model one with the standard **alpha–beta (postal) cost model**: sending
+``b`` bytes costs ``alpha + beta·b`` virtual time units.
+
+The :class:`~repro.mpi.executor.MpiExecutor` runs a
+:class:`~repro.jplf.power_function.PowerFunction` the way the JPLF MPI
+backend does:
+
+1. *scatter*: descend the function's own deconstruction tree ``log2 R``
+   levels, shipping one sub-problem to each of the ``R`` ranks (binomial
+   tree, alpha–beta charged per hop);
+2. *local phase*: each rank computes its sub-function for real (the
+   result is exact) while its virtual time advances by a simulated
+   multithreaded execution on ``threads_per_rank`` virtual cores;
+3. *combine tree*: partial results flow back up in ``log2 R`` paired
+   exchanges, each charged communication plus combine cost.
+
+Results are bit-identical to the sequential execution; only the clock is
+simulated.
+"""
+
+from repro.mpi.costs import CommModel
+from repro.mpi.executor import MpiExecutor, MpiRunReport
+from repro.mpi.simcomm import Compute, Recv, Send, SimComm, hypercube_allreduce
+
+__all__ = [
+    "CommModel",
+    "Compute",
+    "MpiExecutor",
+    "MpiRunReport",
+    "Recv",
+    "Send",
+    "SimComm",
+    "hypercube_allreduce",
+]

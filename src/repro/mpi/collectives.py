@@ -1,0 +1,146 @@
+"""Simulated MPI collectives: data movement plus alpha–beta timing.
+
+Functional counterparts of the mpi4py collective set used by JPLF's MPI
+backend — each operation really moves Python data between per-rank
+buffers *and* returns the virtual completion time under the binomial-tree
+algorithms standard in MPI implementations:
+
+* :func:`bcast`      — binomial broadcast: ``⌈log2 R⌉`` rounds;
+* :func:`scatter`    — binomial scatter: each hop ships half the data;
+* :func:`gather`     — the mirror of scatter;
+* :func:`reduce`     — binomial reduction tree with an operator;
+* :func:`allreduce`  — reduce + broadcast;
+* :func:`alltoall`   — pairwise exchange rounds.
+
+The times assume equal-ready ranks (a synchronized collective entry);
+the :class:`~repro.mpi.executor.MpiExecutor` models skewed readiness
+explicitly instead, which is why it uses its own recursion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, TypeVar
+
+from repro.common import IllegalArgumentError, check_positive, is_power_of_two
+from repro.mpi.costs import CommModel
+
+T = TypeVar("T")
+
+
+def _check_ranks(ranks: int) -> int:
+    check_positive(ranks, "ranks")
+    return ranks
+
+
+def _rounds(ranks: int) -> int:
+    return max(math.ceil(math.log2(ranks)), 0) if ranks > 1 else 0
+
+
+def bcast(data: Sequence[T], ranks: int, comm: CommModel) -> tuple[list[Sequence[T]], float]:
+    """Broadcast ``data`` to every rank.
+
+    Returns ``(per_rank_data, virtual_time)``; binomial tree — the number
+    of senders doubles each round, so time is ``⌈log2 R⌉`` full-payload
+    messages.
+    """
+    _check_ranks(ranks)
+    time = _rounds(ranks) * comm.element_message_time(len(data))
+    return [data for _ in range(ranks)], time
+
+
+def scatter(data: Sequence[T], ranks: int, comm: CommModel) -> tuple[list[Sequence[T]], float]:
+    """Partition ``data`` into ``ranks`` equal chunks, one per rank.
+
+    Binomial scatter: the root first ships half the payload, then each
+    holder recursively halves — total time ``Σ alpha + beta·n/2^k``.
+    """
+    _check_ranks(ranks)
+    if len(data) % ranks != 0:
+        raise IllegalArgumentError(
+            f"data of {len(data)} elements not divisible by {ranks} ranks"
+        )
+    chunk = len(data) // ranks
+    parts = [data[r * chunk : (r + 1) * chunk] for r in range(ranks)]
+    time = sum(
+        comm.element_message_time(len(data) // (1 << k))
+        for k in range(1, _rounds(ranks) + 1)
+    )
+    return parts, time
+
+
+def gather(parts: Sequence[Sequence[T]], comm: CommModel) -> tuple[list[T], float]:
+    """Concatenate per-rank chunks back at the root (mirror of scatter)."""
+    ranks = _check_ranks(len(parts))
+    out: list[T] = []
+    for part in parts:
+        out.extend(part)
+    total = len(out)
+    time = sum(
+        comm.element_message_time(total // (1 << k))
+        for k in range(1, _rounds(ranks) + 1)
+    )
+    return out, time
+
+
+def reduce(
+    values: Sequence[T], op: Callable[[T, T], T], comm: CommModel
+) -> tuple[T, float]:
+    """Combine one value per rank down to the root via a binomial tree.
+
+    Each of the ``⌈log2 R⌉`` rounds costs one single-element message (the
+    local combine is charged to compute, not here).  Ordered pairing keeps
+    non-commutative operators correct.
+    """
+    ranks = _check_ranks(len(values))
+    current = list(values)
+    while len(current) > 1:
+        if len(current) % 2 == 1:
+            current.append(None)  # type: ignore[arg-type]
+        current = [
+            current[i] if current[i + 1] is None else op(current[i], current[i + 1])
+            for i in range(0, len(current), 2)
+        ]
+    time = _rounds(ranks) * comm.element_message_time(1)
+    return current[0], time
+
+
+def allreduce(
+    values: Sequence[T], op: Callable[[T, T], T], comm: CommModel
+) -> tuple[list[T], float]:
+    """Reduce then broadcast: every rank ends with the combined value.
+
+    (Recursive-doubling allreduce has the same ``log R`` round count.)
+    """
+    ranks = len(values)
+    result, reduce_time = reduce(values, op, comm)
+    replicated, bcast_time = bcast([result], ranks, comm)
+    return [result] * ranks, reduce_time + bcast_time
+
+
+def alltoall(
+    matrix: Sequence[Sequence[T]], comm: CommModel
+) -> tuple[list[list[T]], float]:
+    """Transpose the rank×rank block matrix (personalized exchange).
+
+    ``matrix[i][j]`` is the block rank ``i`` sends to rank ``j``; the
+    result's ``[j][i]`` holds it.  Pairwise-exchange: ``R − 1`` rounds of
+    one block each.
+    """
+    ranks = _check_ranks(len(matrix))
+    for row in matrix:
+        if len(row) != ranks:
+            raise IllegalArgumentError("alltoall needs a square block matrix")
+    transposed = [[matrix[i][j] for i in range(ranks)] for j in range(ranks)]
+    block = max((_block_len(matrix)), 1)
+    time = (ranks - 1) * comm.element_message_time(block)
+    return transposed, time
+
+
+def _block_len(matrix) -> int:
+    for row in matrix:
+        for block in row:
+            if hasattr(block, "__len__"):
+                return len(block)
+            return 1
+    return 1

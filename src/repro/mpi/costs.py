@@ -1,0 +1,40 @@
+"""The alpha–beta communication cost model.
+
+``time(b) = alpha + beta · b`` for a ``b``-byte point-to-point message —
+the standard first-order model of interconnect behaviour (latency plus
+inverse bandwidth), adequate for scalability *trends*, which is all the
+AB5 ablation claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import IllegalArgumentError
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Cluster interconnect parameters, in cost units (see CostModel).
+
+    Attributes:
+        alpha: per-message latency.
+        beta: per-byte transfer cost.
+        element_bytes: serialized size of one data element.
+    """
+
+    alpha: float = 5_000.0
+    beta: float = 0.05
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.element_bytes <= 0:
+            raise IllegalArgumentError("invalid communication parameters")
+
+    def message_time(self, nbytes: float) -> float:
+        """Virtual time to ship ``nbytes`` point-to-point."""
+        return self.alpha + self.beta * nbytes
+
+    def element_message_time(self, nelements: int) -> float:
+        """Virtual time to ship ``nelements`` data elements."""
+        return self.message_time(nelements * self.element_bytes)

@@ -1,0 +1,157 @@
+"""The simulated-MPI executor for PowerFunctions.
+
+Executes the real computation (results are exact) while advancing a
+virtual clock through the scatter → local-compute → combine-tree pattern
+of JPLF's MPI backend.  See the package docstring for the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common import IllegalArgumentError, exact_log2, is_power_of_two
+from repro.jplf.executors import SequentialExecutor
+from repro.jplf.power_function import PowerFunction
+from repro.mpi.costs import CommModel
+from repro.simcore.costmodel import CostModel
+from repro.simcore.dag import build_dc_dag
+from repro.simcore.machine import SimMachine
+
+
+@dataclass
+class MpiRunReport:
+    """Outcome of one simulated distributed execution.
+
+    Attributes:
+        result: the real computed value (identical to sequential).
+        finish_time: virtual completion time (makespan across ranks).
+        scatter_time: virtual time when the slowest rank received its
+            sub-problem.
+        local_time: the slowest rank's local compute duration.
+        combine_time: time spent in the combine tree (critical path).
+        ranks: number of simulated ranks.
+        threads_per_rank: virtual cores per rank.
+    """
+
+    result: object
+    finish_time: float
+    scatter_time: float
+    local_time: float
+    combine_time: float
+    ranks: int
+    threads_per_rank: int
+
+
+def _default_result_elements(result: object) -> int:
+    """Number of elements in a partial result (for message sizing)."""
+    if hasattr(result, "__len__"):
+        return len(result)  # type: ignore[arg-type]
+    if isinstance(result, tuple):
+        return sum(_default_result_elements(part) for part in result)
+    return 1
+
+
+class MpiExecutor:
+    """Runs PowerFunctions on a simulated cluster.
+
+    Args:
+        ranks: number of MPI ranks (a power of two — the deconstruction
+            tree is binary).
+        threads_per_rank: virtual cores for each rank's local phase.
+        comm: interconnect model.
+        cost: node-level compute cost model (same meaning as in simcore).
+        operator_profile: simcore function profile for local-phase DAG
+            shape (e.g. ``"polynomial"``, ``"reduce"``, ``"map"``).
+        result_elements: sizing function for partial-result messages.
+    """
+
+    def __init__(
+        self,
+        ranks: int,
+        threads_per_rank: int = 1,
+        comm: CommModel | None = None,
+        cost: CostModel | None = None,
+        operator_profile: str = "reduce",
+        result_elements: Callable[[object], int] = _default_result_elements,
+    ) -> None:
+        if not is_power_of_two(ranks):
+            raise IllegalArgumentError(f"ranks must be a power of two, got {ranks}")
+        if threads_per_rank < 1:
+            raise IllegalArgumentError("threads_per_rank must be >= 1")
+        self.ranks = ranks
+        self.threads_per_rank = threads_per_rank
+        self.comm = comm if comm is not None else CommModel()
+        self.cost = cost if cost is not None else CostModel()
+        self.operator_profile = operator_profile
+        self.result_elements = result_elements
+        # Real results come from sequential recursion; a bulk leaf keeps
+        # the Python-side cost of large local phases reasonable.
+        self._local_executor = SequentialExecutor(threshold=1024)
+
+    # -- local phase ------------------------------------------------------- #
+
+    def _local_time(self, n: int) -> float:
+        """Virtual duration of one rank's local computation of ``n``
+        elements on ``threads_per_rank`` virtual cores."""
+        from repro.simcore.adapters import default_threshold, profile_model
+
+        model, operator = profile_model(self.operator_profile, self.cost)
+        if self.threads_per_rank == 1:
+            return model.leaf_cost(n)
+        threshold = default_threshold(n, self.threads_per_rank)
+        dag = build_dc_dag(n, threshold, model, operator)
+        return SimMachine(self.threads_per_rank, model.steal_latency).run(dag).makespan
+
+    # -- the scatter / compute / combine recursion -------------------------- #
+
+    def execute(self, function: PowerFunction) -> MpiRunReport:
+        """Run ``function`` on the simulated cluster."""
+        levels = exact_log2(self.ranks)
+        if len(function.data) < self.ranks:
+            raise IllegalArgumentError(
+                f"input of {len(function.data)} elements cannot feed "
+                f"{self.ranks} ranks"
+            )
+        scatter_times: list[float] = []
+        local_times: list[float] = []
+
+        def recurse(fn: PowerFunction, depth: int, ready: float) -> tuple[object, float]:
+            """Returns (result, virtual finish time of this subtree)."""
+            if depth == 0:
+                # One rank: data arrived at `ready`; compute locally.
+                local = self._local_time(len(fn.data))
+                scatter_times.append(ready)
+                local_times.append(local)
+                return self._local_executor.execute(fn), ready + local
+
+            left_fn, right_fn = fn.subfunctions()
+            # The holder keeps the left half and ships the right half to a
+            # peer rank (binomial scatter): the peer starts after transfer.
+            transfer = self.comm.element_message_time(len(right_fn.data))
+            left_result, left_done = recurse(left_fn, depth - 1, ready)
+            right_result, right_done = recurse(right_fn, depth - 1, ready + transfer)
+
+            # The peer ships its partial result back; combining runs on the
+            # holder after both the local result and the message arrive.
+            result_msg = self.comm.element_message_time(
+                self.result_elements(right_result)
+            )
+            combine_start = max(left_done, right_done + result_msg)
+            combined = fn.combine(left_result, right_result)
+            return combined, combine_start + self.cost.combine_cost(len(fn.data))
+
+        result, finish = recurse(function, levels, 0.0)
+        scatter_time = max(scatter_times)
+        local_time = max(local_times)
+        return MpiRunReport(
+            result=result,
+            finish_time=finish,
+            scatter_time=scatter_time,
+            local_time=local_time,
+            combine_time=finish - scatter_time - local_time
+            if finish > scatter_time + local_time
+            else 0.0,
+            ranks=self.ranks,
+            threads_per_rank=self.threads_per_rank,
+        )

@@ -1,0 +1,211 @@
+"""SPMD rank programs on the simulated cluster — the point-to-point layer.
+
+The collectives in :mod:`repro.mpi.collectives` are closed-form; this
+module lets you *write rank programs* (mpi4py style) and run them on the
+virtual cluster with per-rank clocks:
+
+    def program(rank: int, size: int):
+        if rank == 0:
+            yield Send(dest=1, data={"a": 7}, tag=11)
+        elif rank == 1:
+            data = yield Recv(source=0, tag=11)
+        yield Compute(cost=100.0)
+
+    times, results = SimComm(ranks=2, comm=CommModel()).run(program)
+
+Execution model (deterministic):
+
+* programs are generators yielding :class:`Send`, :class:`Recv` or
+  :class:`Compute` requests;
+* ``Send`` is *eager/buffered*: the sender deposits the message and
+  continues (its clock advances by the injection overhead ``alpha``);
+* ``Recv`` blocks until a matching message exists; the receiver's clock
+  becomes ``max(receiver_ready, sender_send_time + alpha + beta·bytes)``;
+* matching is FIFO per ``(source, dest, tag)`` channel — non-overtaking,
+  like MPI;
+* ranks are stepped in index order, each until it blocks; a global round
+  with no progress and unfinished ranks is a deadlock and raises.
+
+The payloads are real Python objects — algorithms written against
+``SimComm`` compute real results while the clock is simulated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+from repro.common import IllegalArgumentError, IllegalStateError, check_positive
+from repro.mpi.costs import CommModel
+
+
+@dataclass(frozen=True)
+class Send:
+    """Deposit ``data`` for ``dest`` (eager, non-blocking)."""
+
+    dest: int
+    data: Any
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Block until a message from ``source`` with ``tag`` arrives; the
+    yield expression evaluates to the payload."""
+
+    source: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Advance this rank's clock by ``cost`` units of local work."""
+
+    cost: float
+
+
+@dataclass
+class _Message:
+    data: Any
+    available_at: float  # sender-side send time (+ injection overhead)
+    nbytes: int
+
+
+def _payload_bytes(data: Any, element_bytes: int) -> int:
+    if hasattr(data, "__len__"):
+        return max(len(data), 1) * element_bytes
+    return element_bytes
+
+
+RankProgram = Callable[[int, int], Generator]
+
+
+class SimComm:
+    """Runs one SPMD generator program per rank with virtual clocks."""
+
+    def __init__(self, ranks: int, comm: CommModel | None = None) -> None:
+        check_positive(ranks, "ranks")
+        self.ranks = ranks
+        self.comm = comm if comm is not None else CommModel()
+
+    def run(self, program: RankProgram) -> tuple[list[float], list[Any]]:
+        """Execute ``program`` on every rank.
+
+        Returns:
+            ``(finish_times, return_values)`` — the per-rank virtual
+            completion times and the generators' return values.
+
+        Raises:
+            IllegalStateError: on communication deadlock.
+        """
+        comm = self.comm
+        generators = [program(rank, self.ranks) for rank in range(self.ranks)]
+        clocks = [0.0] * self.ranks
+        mailboxes: dict[tuple[int, int, int], deque[_Message]] = {}
+        blocked: list[Recv | None] = [None] * self.ranks
+        finished = [False] * self.ranks
+        results: list[Any] = [None] * self.ranks
+        # What to send into each generator at its next step.
+        inbox: list[Any] = [None] * self.ranks
+
+        def step(rank: int) -> bool:
+            """Advance one rank until it blocks/finishes; True if progressed."""
+            progressed = False
+            while not finished[rank]:
+                if blocked[rank] is not None:
+                    request = blocked[rank]
+                    key = (request.source, rank, request.tag)
+                    queue = mailboxes.get(key)
+                    if not queue:
+                        return progressed
+                    message = queue.popleft()
+                    transfer = comm.message_time(message.nbytes)
+                    clocks[rank] = max(
+                        clocks[rank], message.available_at + transfer
+                    )
+                    inbox[rank] = message.data
+                    blocked[rank] = None
+                try:
+                    request = generators[rank].send(inbox[rank])
+                except StopIteration as stop:
+                    finished[rank] = True
+                    results[rank] = stop.value
+                    return True
+                inbox[rank] = None
+                progressed = True
+                if isinstance(request, Send):
+                    if not (0 <= request.dest < self.ranks):
+                        raise IllegalArgumentError(
+                            f"rank {rank} sent to invalid rank {request.dest}"
+                        )
+                    clocks[rank] += comm.alpha  # injection overhead
+                    key = (rank, request.dest, request.tag)
+                    mailboxes.setdefault(key, deque()).append(
+                        _Message(
+                            data=request.data,
+                            available_at=clocks[rank],
+                            nbytes=_payload_bytes(request.data, comm.element_bytes),
+                        )
+                    )
+                elif isinstance(request, Recv):
+                    if not (0 <= request.source < self.ranks):
+                        raise IllegalArgumentError(
+                            f"rank {rank} receives from invalid rank {request.source}"
+                        )
+                    blocked[rank] = request
+                elif isinstance(request, Compute):
+                    if request.cost < 0:
+                        raise IllegalArgumentError("Compute cost must be >= 0")
+                    clocks[rank] += request.cost
+                else:
+                    raise IllegalArgumentError(
+                        f"rank {rank} yielded {request!r}; expected Send/Recv/Compute"
+                    )
+            return progressed
+
+        # Prime every generator to its first yield.
+        while not all(finished):
+            any_progress = False
+            for rank in range(self.ranks):
+                if not finished[rank]:
+                    if step(rank):
+                        any_progress = True
+            if not any_progress:
+                waiting = [
+                    (rank, blocked[rank])
+                    for rank in range(self.ranks)
+                    if not finished[rank]
+                ]
+                raise IllegalStateError(f"communication deadlock: {waiting}")
+        return clocks, results
+
+
+def hypercube_allreduce(data_of_rank: Callable[[int], Any], op, ranks: int,
+                        comm: CommModel | None = None):
+    """Recursive-doubling allreduce written as an SPMD program.
+
+    Each of ``log2 R`` rounds pairs ranks differing in one address bit;
+    after the last round every rank holds the full reduction.  Returns
+    ``(finish_times, per_rank_results)``.
+    """
+    from repro.common import exact_log2, is_power_of_two
+
+    if not is_power_of_two(ranks):
+        raise IllegalArgumentError(f"ranks must be a power of two, got {ranks}")
+    rounds = exact_log2(ranks)
+
+    def program(rank: int, size: int):
+        value = data_of_rank(rank)
+        for level in range(rounds):
+            partner = rank ^ (1 << level)
+            yield Send(dest=partner, data=value, tag=level)
+            other = yield Recv(source=partner, tag=level)
+            # Deterministic combine order: lower rank's value first.
+            if rank < partner:
+                value = op(value, other)
+            else:
+                value = op(other, value)
+        return value
+
+    return SimComm(ranks, comm).run(program)

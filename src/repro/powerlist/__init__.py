@@ -1,0 +1,62 @@
+"""PowerList theory (Misra 1994) and its PList generalization (Kornerup 1997).
+
+A :class:`~repro.powerlist.powerlist.PowerList` is a linear structure whose
+length is always a power of two, equipped with two constructors —
+
+* ``tie``  (written ``p | q`` in the theory): elements of ``p`` followed by
+  the elements of ``q``;
+* ``zip``  (written ``p ♮ q``): elements of ``p`` and ``q`` taken
+  alternately;
+
+and the two corresponding deconstructors.  Functions over PowerLists are
+defined by structural recursion on either operator, which yields a balanced
+divide-and-conquer decomposition with implicit parallelism.
+
+Following JPLF, the implementation is *view based*: deconstruction never
+copies data, it only adjusts the ``(start, stride, length)`` access pattern
+over shared storage.
+"""
+
+from repro.powerlist.powerlist import PowerList
+from repro.powerlist.operators import (
+    elementwise,
+    pl_add,
+    pl_mul,
+    pl_scale,
+    pl_sub,
+    similar,
+    tie,
+    tie_split,
+    zip_,
+    zip_split,
+)
+from repro.powerlist.plist import PList
+from repro.powerlist.algebra import (
+    depth,
+    from_function,
+    induction_tie,
+    induction_zip,
+)
+from repro.powerlist.grid import Grid
+from repro.powerlist.show import decomposition_tree
+
+__all__ = [
+    "Grid",
+    "PList",
+    "PowerList",
+    "decomposition_tree",
+    "depth",
+    "elementwise",
+    "from_function",
+    "induction_tie",
+    "induction_zip",
+    "pl_add",
+    "pl_mul",
+    "pl_scale",
+    "pl_sub",
+    "similar",
+    "tie",
+    "tie_split",
+    "zip_",
+    "zip_split",
+]

@@ -1,0 +1,75 @@
+"""Structural-recursion schemes over PowerLists.
+
+PowerList functions are defined by case analysis — a base case on
+singletons plus an inductive case on either ``tie`` or ``zip``
+deconstruction.  :func:`induction_tie` and :func:`induction_zip` capture
+those two schemes directly, so that *specifications* of functions (used as
+test oracles for the parallel implementations) are one-liners:
+
+>>> from repro.powerlist import PowerList, induction_tie
+>>> double = lambda p: induction_tie(p, lambda a: [2 * a], lambda l, r: l + r)
+>>> double(PowerList([1, 2, 3, 4]))
+[2, 4, 6, 8]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.powerlist.powerlist import PowerList
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def depth(p: PowerList) -> int:
+    """Depth of the balanced decomposition tree of ``p`` (``log2 len``)."""
+    return p.loglen
+
+
+def from_function(f: Callable[[int], T], length: int) -> PowerList[T]:
+    """Build the PowerList ``[f(0), f(1), ..., f(length-1)]``.
+
+    Used e.g. for the ``powers`` list of the FFT: ``from_function(lambda
+    i: w**i, n)``.
+    """
+    return PowerList([f(i) for i in range(length)])
+
+
+def induction_tie(
+    p: PowerList[T],
+    base: Callable[[T], R],
+    combine: Callable[[R, R], R],
+) -> R:
+    """Fold ``p`` by structural recursion on the ``tie`` deconstructor.
+
+    ``base`` maps a singleton's element to a result; ``combine`` merges the
+    results of the two halves (left half first).  This is the sequential
+    *reference semantics* of every tie-based PowerList function.
+    """
+    if p.is_singleton():
+        return base(p[0])
+    left, right = p.tie_split()
+    return combine(
+        induction_tie(left, base, combine),
+        induction_tie(right, base, combine),
+    )
+
+
+def induction_zip(
+    p: PowerList[T],
+    base: Callable[[T], R],
+    combine: Callable[[R, R], R],
+) -> R:
+    """Fold ``p`` by structural recursion on the ``zip`` deconstructor.
+
+    ``combine`` receives the result on the even-indexed sublist first,
+    then the odd-indexed sublist — matching ``f(p ♮ q)`` notation.
+    """
+    if p.is_singleton():
+        return base(p[0])
+    even, odd = p.zip_split()
+    return combine(
+        induction_zip(even, base, combine),
+        induction_zip(odd, base, combine),
+    )

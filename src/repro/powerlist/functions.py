@@ -1,0 +1,98 @@
+"""Specification-level PowerList functions from the literature.
+
+Misra's paper (and the JPLF function set) define a zoo of functions whose
+elegance *is* the PowerList notation; this module implements them directly
+by structural recursion, serving both as usable algorithms and as oracles
+for the parallel engines:
+
+* :func:`rev` — reversal: ``rev(p | q) = rev(q) | rev(p)``;
+* :func:`rotate_right` / :func:`rotate_left` — cyclic shifts via the zip
+  recursions ``rr(p ♮ q) = rr(q) ♮ p`` and ``rl(p ♮ q) = q ♮ rl(p)``
+  (log-depth hypercube rotations);
+* :func:`shuffle` / :func:`unshuffle` — the perfect shuffle
+  ``sh(p | q) = p ♮ q`` and its inverse (one constructor application each:
+  the deconstruction side is a view, the constructor materializes);
+* :func:`ladner_fischer_scan` — the zip-based parallel prefix
+  ``ps(p ♮ q) = (shift(t) ⊕ p) ♮ t`` with ``t = ps(p ⊕ q)``, the
+  O(n)-work, O(log n)-depth scan network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.powerlist.operators import elementwise, tie, zip_
+from repro.powerlist.powerlist import PowerList
+
+T = TypeVar("T")
+
+
+def rev(p: PowerList[T]) -> PowerList[T]:
+    """Reversal: ``rev([a]) = [a]``, ``rev(p | q) = rev(q) | rev(p)``."""
+    if p.is_singleton():
+        return p
+    left, right = p.tie_split()
+    return tie(rev(right), rev(left))
+
+
+def rotate_right(p: PowerList[T]) -> PowerList[T]:
+    """Cyclic right shift by one: ``rr(p ♮ q) = rr(q) ♮ p``.
+
+    The recursion mirrors a one-step rotation on a hypercube: depth
+    ``log2 n``, each level one zip.
+    """
+    if p.is_singleton():
+        return p
+    even, odd = p.zip_split()
+    return zip_(rotate_right(odd), even)
+
+
+def rotate_left(p: PowerList[T]) -> PowerList[T]:
+    """Cyclic left shift by one: ``rl(p ♮ q) = q ♮ rl(p)``."""
+    if p.is_singleton():
+        return p
+    even, odd = p.zip_split()
+    return zip_(odd, rotate_left(even))
+
+
+def shuffle(p: PowerList[T]) -> PowerList[T]:
+    """The perfect shuffle: ``sh(p | q) = p ♮ q``.
+
+    Interleaves the two halves (card-shuffle); a pure view operation.
+    """
+    if p.is_singleton():
+        return p
+    left, right = p.tie_split()
+    return zip_(left, right)
+
+
+def unshuffle(p: PowerList[T]) -> PowerList[T]:
+    """Inverse perfect shuffle: ``ush(p ♮ q) = p | q``."""
+    if p.is_singleton():
+        return p
+    even, odd = p.zip_split()
+    return tie(even, odd)
+
+
+def ladner_fischer_scan(
+    p: PowerList[T],
+    op: Callable[[T, T], T] = lambda a, b: a + b,
+    identity: T = 0,
+) -> PowerList[T]:
+    """Inclusive prefix scan by the Ladner–Fischer zip recursion.
+
+    ``ps(p ♮ q) = (shift(t) ⊕ p) ♮ t`` with ``t = ps(p ⊕ q)`` and
+    ``shift`` prepending the identity: O(2n) work, O(log n) depth —
+    the work-efficient scan network, in four lines of PowerList algebra.
+
+    Args:
+        p: the input PowerList.
+        op: associative binary operator.
+        identity: ``op``'s identity element (seed for the shift).
+    """
+    if p.is_singleton():
+        return p
+    even, odd = p.zip_split()
+    t = ladner_fischer_scan(elementwise(op, even, odd), op, identity)
+    shifted = PowerList([identity] + t.to_list()[:-1])
+    return zip_(elementwise(op, shifted, even), t)

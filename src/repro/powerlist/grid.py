@@ -1,0 +1,323 @@
+"""Two-dimensional PowerLists (Misra §10: higher-dimensional structures).
+
+Misra's paper extends PowerLists to multiple dimensions: a 2-D PowerList
+(here :class:`Grid`) admits *tie* and *zip* deconstruction **along each
+axis**, and functions like matrix transposition and multiplication get
+the same elegant recursive definitions the related work ([3], scheduling
+partitioned matrices on GPUs) exploits::
+
+    transpose([a])              = [a]
+    transpose(A B; C D)         = (Aᵀ Cᵀ; Bᵀ Dᵀ)          (quad split)
+
+    mul([a], [b])               = [a·b]
+    mul((A B; C D), (E F; G H)) = (AE+BG  AF+BH; CE+DG  CF+DH)
+
+Like the 1-D structure, a Grid is a *view*: flat storage plus
+``(offset, row_stride, col_stride)``, so every deconstruction — and even
+transposition — is O(1) stride arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.common import IllegalArgumentError, check_power_of_two
+from repro.forkjoin.pool import ForkJoinPool
+from repro.forkjoin.task import RecursiveTask, invoke_all
+
+T = TypeVar("T")
+
+
+class Grid:
+    """A ``2**r × 2**c`` matrix view over flat storage."""
+
+    __slots__ = ("storage", "offset", "row_stride", "col_stride", "rows", "cols")
+
+    def __init__(
+        self,
+        storage: list,
+        offset: int,
+        row_stride: int,
+        col_stride: int,
+        rows: int,
+        cols: int,
+    ) -> None:
+        check_power_of_two(rows, "rows")
+        check_power_of_two(cols, "cols")
+        self.storage = storage
+        self.offset = offset
+        self.row_stride = row_stride
+        self.col_stride = col_stride
+        self.rows = rows
+        self.cols = cols
+
+    # -- constructors ----------------------------------------------------- #
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Sequence[T]]) -> "Grid":
+        """Build a Grid from a row-major nested sequence."""
+        if not rows:
+            raise IllegalArgumentError("Grid needs at least one row")
+        n_cols = len(rows[0])
+        flat: list = []
+        for row in rows:
+            if len(row) != n_cols:
+                raise IllegalArgumentError("ragged rows")
+            flat.extend(row)
+        return cls(flat, 0, n_cols, 1, len(rows), n_cols)
+
+    @classmethod
+    def filled(cls, value: T, rows: int, cols: int) -> "Grid":
+        """A rows×cols Grid of one repeated value (fresh storage)."""
+        return cls([value] * (rows * cols), 0, cols, 1, rows, cols)
+
+    # -- element access ---------------------------------------------------- #
+
+    def get(self, i: int, j: int) -> T:
+        """Element at row ``i``, column ``j``."""
+        self._check(i, j)
+        return self.storage[self.offset + i * self.row_stride + j * self.col_stride]
+
+    def set(self, i: int, j: int, value: T) -> None:
+        """Write through the view."""
+        self._check(i, j)
+        self.storage[self.offset + i * self.row_stride + j * self.col_stride] = value
+
+    def _check(self, i: int, j: int) -> None:
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise IndexError(f"({i}, {j}) out of range {self.rows}x{self.cols}")
+
+    def to_rows(self) -> list[list[T]]:
+        """Materialize as a row-major nested list."""
+        return [
+            [self.get(i, j) for j in range(self.cols)] for i in range(self.rows)
+        ]
+
+    def is_singleton(self) -> bool:
+        """True iff 1×1."""
+        return self.rows == 1 and self.cols == 1
+
+    # -- deconstruction (all O(1) views) ----------------------------------- #
+
+    def tie_split_rows(self) -> tuple["Grid", "Grid"]:
+        """Top half | bottom half."""
+        if self.rows < 2:
+            raise IllegalArgumentError("cannot row-split a single row")
+        half = self.rows // 2
+        top = Grid(self.storage, self.offset, self.row_stride, self.col_stride,
+                   half, self.cols)
+        bottom = Grid(self.storage, self.offset + half * self.row_stride,
+                      self.row_stride, self.col_stride, half, self.cols)
+        return top, bottom
+
+    def zip_split_rows(self) -> tuple["Grid", "Grid"]:
+        """Even rows ♮ odd rows."""
+        if self.rows < 2:
+            raise IllegalArgumentError("cannot row-split a single row")
+        half = self.rows // 2
+        even = Grid(self.storage, self.offset, self.row_stride * 2,
+                    self.col_stride, half, self.cols)
+        odd = Grid(self.storage, self.offset + self.row_stride,
+                   self.row_stride * 2, self.col_stride, half, self.cols)
+        return even, odd
+
+    def tie_split_cols(self) -> tuple["Grid", "Grid"]:
+        """Left half | right half."""
+        if self.cols < 2:
+            raise IllegalArgumentError("cannot col-split a single column")
+        half = self.cols // 2
+        left = Grid(self.storage, self.offset, self.row_stride, self.col_stride,
+                    self.rows, half)
+        right = Grid(self.storage, self.offset + half * self.col_stride,
+                     self.row_stride, self.col_stride, self.rows, half)
+        return left, right
+
+    def zip_split_cols(self) -> tuple["Grid", "Grid"]:
+        """Even columns ♮ odd columns."""
+        if self.cols < 2:
+            raise IllegalArgumentError("cannot col-split a single column")
+        half = self.cols // 2
+        even = Grid(self.storage, self.offset, self.row_stride,
+                    self.col_stride * 2, self.rows, half)
+        odd = Grid(self.storage, self.offset + self.col_stride,
+                   self.row_stride, self.col_stride * 2, self.rows, half)
+        return even, odd
+
+    def quad_split(self) -> tuple["Grid", "Grid", "Grid", "Grid"]:
+        """The four quadrants ``(A, B, C, D)`` = (top-left, top-right,
+        bottom-left, bottom-right) — tie along both axes."""
+        top, bottom = self.tie_split_rows()
+        a, b = top.tie_split_cols()
+        c, d = bottom.tie_split_cols()
+        return a, b, c, d
+
+    # -- views ------------------------------------------------------------- #
+
+    def transposed_view(self) -> "Grid":
+        """The transpose as an O(1) view (swap the stride roles)."""
+        return Grid(self.storage, self.offset, self.col_stride, self.row_stride,
+                    self.cols, self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Grid):
+            return self.to_rows() == other.to_rows()
+        return NotImplemented
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("Grid views are unhashable")
+
+    def __repr__(self) -> str:
+        return f"Grid({self.rows}x{self.cols})"
+
+
+def transpose(grid: Grid) -> Grid:
+    """Recursive transposition per the 2-D PowerList definition.
+
+    Materializes the result (use :meth:`Grid.transposed_view` for the
+    zero-copy form); the recursion is the theory's quad-swap.
+    """
+    if grid.is_singleton():
+        return Grid.from_rows([[grid.get(0, 0)]])
+    if grid.rows == 1:
+        return Grid.from_rows([[grid.get(0, j)] for j in range(grid.cols)])
+    if grid.cols == 1:
+        return Grid.from_rows([[grid.get(i, 0) for i in range(grid.rows)]])
+    a, b, c, d = grid.quad_split()
+    ta, tb, tc, td = transpose(a), transpose(b), transpose(c), transpose(d)
+    return _assemble_quads(ta, tc, tb, td)
+
+
+def _assemble_quads(a: Grid, b: Grid, c: Grid, d: Grid) -> Grid:
+    """Build ``(a b; c d)`` into fresh storage."""
+    rows, cols = a.rows * 2, a.cols * 2
+    out = Grid.filled(None, rows, cols)
+    for (quad, oi, oj) in ((a, 0, 0), (b, 0, a.cols), (c, a.rows, 0), (d, a.rows, a.cols)):
+        for i in range(quad.rows):
+            for j in range(quad.cols):
+                out.set(oi + i, oj + j, quad.get(i, j))
+    return out
+
+
+def grid_add(x: Grid, y: Grid) -> Grid:
+    """Element-wise sum of similar grids."""
+    if (x.rows, x.cols) != (y.rows, y.cols):
+        raise IllegalArgumentError("grids must be similar")
+    out = Grid.filled(None, x.rows, x.cols)
+    for i in range(x.rows):
+        for j in range(x.cols):
+            out.set(i, j, x.get(i, j) + y.get(i, j))
+    return out
+
+
+def grid_sub(x: Grid, y: Grid) -> Grid:
+    """Element-wise difference of similar grids."""
+    if (x.rows, x.cols) != (y.rows, y.cols):
+        raise IllegalArgumentError("grids must be similar")
+    out = Grid.filled(None, x.rows, x.cols)
+    for i in range(x.rows):
+        for j in range(x.cols):
+            out.set(i, j, x.get(i, j) - y.get(i, j))
+    return out
+
+
+def strassen(x: Grid, y: Grid, threshold: int = 2) -> Grid:
+    """Strassen multiplication: seven sub-products per quad level.
+
+    Requires square ``2**k`` operands; falls back to the naive kernel at
+    or below ``threshold``.  The quad algebra is the textbook one:
+
+        M1=(A+D)(E+H)  M2=(C+D)E  M3=A(F−H)  M4=D(G−E)
+        M5=(A+B)H      M6=(C−A)(E+F)         M7=(B−D)(G+H)
+
+        (C11 C12; C21 C22) = (M1+M4−M5+M7,  M3+M5;
+                              M2+M4,        M1−M2+M3+M6)
+    """
+    _check_mul(x, y)
+    if x.rows != x.cols or y.rows != y.cols:
+        raise IllegalArgumentError("strassen requires square operands")
+    if x.rows <= threshold or x.rows <= 1:
+        return _matmul_base(x, y)
+    a, b, c, d = x.quad_split()
+    e, f, g, h = y.quad_split()
+    m1 = strassen(grid_add(a, d), grid_add(e, h), threshold)
+    m2 = strassen(grid_add(c, d), Grid.from_rows(e.to_rows()), threshold)
+    m3 = strassen(Grid.from_rows(a.to_rows()), grid_sub(f, h), threshold)
+    m4 = strassen(Grid.from_rows(d.to_rows()), grid_sub(g, e), threshold)
+    m5 = strassen(grid_add(a, b), Grid.from_rows(h.to_rows()), threshold)
+    m6 = strassen(grid_sub(c, a), grid_add(e, f), threshold)
+    m7 = strassen(grid_sub(b, d), grid_add(g, h), threshold)
+    return _assemble_quads(
+        grid_add(grid_sub(grid_add(m1, m4), m5), m7),
+        grid_add(m3, m5),
+        grid_add(m2, m4),
+        grid_add(grid_sub(m1, m2), grid_add(m3, m6)),
+    )
+
+
+def matmul(x: Grid, y: Grid, threshold: int = 1) -> Grid:
+    """Divide-and-conquer matrix multiplication (the 8-multiply quad
+    recursion), sequential."""
+    _check_mul(x, y)
+    if x.rows <= threshold or x.cols <= 1 or y.cols <= 1 or x.rows <= 1:
+        return _matmul_base(x, y)
+    a, b, c, d = x.quad_split()
+    e, f, g, h = y.quad_split()
+    return _assemble_quads(
+        grid_add(matmul(a, e, threshold), matmul(b, g, threshold)),
+        grid_add(matmul(a, f, threshold), matmul(b, h, threshold)),
+        grid_add(matmul(c, e, threshold), matmul(d, g, threshold)),
+        grid_add(matmul(c, f, threshold), matmul(d, h, threshold)),
+    )
+
+
+def _check_mul(x: Grid, y: Grid) -> None:
+    if x.cols != y.rows:
+        raise IllegalArgumentError(
+            f"shape mismatch: {x.rows}x{x.cols} @ {y.rows}x{y.cols}"
+        )
+
+
+def _matmul_base(x: Grid, y: Grid) -> Grid:
+    out = Grid.filled(0, x.rows, y.cols)
+    for i in range(x.rows):
+        for j in range(y.cols):
+            acc = 0
+            for k in range(x.cols):
+                acc += x.get(i, k) * y.get(k, j)
+            out.set(i, j, acc)
+    return out
+
+
+class _MatmulTask(RecursiveTask):
+    """Fork/join quad-recursive multiply (eight sub-products in parallel)."""
+
+    def __init__(self, x: Grid, y: Grid, threshold: int) -> None:
+        super().__init__()
+        self.x, self.y, self.threshold = x, y, threshold
+
+    def compute(self) -> Grid:
+        x, y, threshold = self.x, self.y, self.threshold
+        if x.rows <= threshold or x.rows <= 1 or x.cols <= 1 or y.cols <= 1:
+            return _matmul_base(x, y)
+        a, b, c, d = x.quad_split()
+        e, f, g, h = y.quad_split()
+        products = invoke_all(
+            _MatmulTask(a, e, threshold), _MatmulTask(b, g, threshold),
+            _MatmulTask(a, f, threshold), _MatmulTask(b, h, threshold),
+            _MatmulTask(c, e, threshold), _MatmulTask(d, g, threshold),
+            _MatmulTask(c, f, threshold), _MatmulTask(d, h, threshold),
+        )
+        return _assemble_quads(
+            grid_add(products[0], products[1]),
+            grid_add(products[2], products[3]),
+            grid_add(products[4], products[5]),
+            grid_add(products[6], products[7]),
+        )
+
+
+def parallel_matmul(
+    x: Grid, y: Grid, pool: ForkJoinPool, threshold: int = 8
+) -> Grid:
+    """Multiply on the fork/join pool (eight-way task recursion)."""
+    _check_mul(x, y)
+    return pool.invoke(_MatmulTask(x, y, threshold))

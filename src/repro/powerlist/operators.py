@@ -1,0 +1,136 @@
+"""Constructors and extended operators of the PowerList algebra.
+
+``tie(p, q)`` and ``zip_(p, q)`` are the two binary constructors.  When both
+operands are views with compatible access patterns into the *same* storage
+the result is returned as a view (zero copy) — this is precisely what
+happens when a function reassembles the two halves it was handed by a
+deconstructor.  Otherwise a fresh compact storage is allocated.
+
+The *extended* operators (``pl_add``, ``pl_mul``, generic
+:func:`elementwise`) lift scalar binary operators pointwise onto similar
+PowerLists, as used in the FFT definition ``(P + u×Q) | (P − u×Q)``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, TypeVar
+
+from repro.common import NotSimilarError
+from repro.powerlist.powerlist import PowerList
+
+T = TypeVar("T")
+U = TypeVar("U")
+V = TypeVar("V")
+
+
+def similar(p: PowerList[T], q: PowerList[U]) -> bool:
+    """True iff ``p`` and ``q`` are *similar*: equal (power-of-two) length.
+
+    In the typed theory similarity also requires equal element type; in
+    Python we keep the structural half of the condition.
+    """
+    return len(p) == len(q)
+
+
+def _require_similar(p: PowerList[T], q: PowerList[T]) -> None:
+    if not similar(p, q):
+        raise NotSimilarError(len(p), len(q))
+
+
+def _as_view_tie(p: PowerList[T], q: PowerList[T]) -> PowerList[T] | None:
+    """Return a zero-copy view equal to ``p | q`` if one exists."""
+    if not p.same_storage(q) or p.stride != q.stride:
+        return None
+    if q.start == p.start + len(p) * p.stride:
+        return PowerList(p.storage, p.start, p.stride, 2 * len(p))
+    return None
+
+
+def _as_view_zip(p: PowerList[T], q: PowerList[T]) -> PowerList[T] | None:
+    """Return a zero-copy view equal to ``p ♮ q`` if one exists."""
+    if not p.same_storage(q) or p.stride != q.stride:
+        return None
+    if p.stride % 2 != 0:
+        return None
+    half_stride = p.stride // 2
+    if q.start == p.start + half_stride:
+        return PowerList(p.storage, p.start, half_stride, 2 * len(p))
+    return None
+
+
+def tie(p: PowerList[T], q: PowerList[T]) -> PowerList[T]:
+    """The constructor ``p | q``: elements of ``p`` followed by ``q``.
+
+    Returns a view when the operands are adjacent halves of one storage
+    (the common reassembly case); otherwise materializes.
+    """
+    _require_similar(p, q)
+    view = _as_view_tie(p, q)
+    if view is not None:
+        return view
+    out: list[T] = list(p)
+    out.extend(q)
+    return PowerList(out)
+
+
+def zip_(p: PowerList[T], q: PowerList[T]) -> PowerList[T]:
+    """The constructor ``p ♮ q``: elements taken alternately from ``p``, ``q``.
+
+    Returns a view when the operands are the even/odd interleave of one
+    storage; otherwise materializes.
+    """
+    _require_similar(p, q)
+    view = _as_view_zip(p, q)
+    if view is not None:
+        return view
+    out: list[T] = [None] * (2 * len(p))  # type: ignore[list-item]
+    out[0::2] = list(p)
+    out[1::2] = list(q)
+    return PowerList(out)
+
+
+def tie_split(r: PowerList[T]) -> tuple[PowerList[T], PowerList[T]]:
+    """Deconstructor for ``tie``; forwards to :meth:`PowerList.tie_split`."""
+    return r.tie_split()
+
+
+def zip_split(r: PowerList[T]) -> tuple[PowerList[T], PowerList[T]]:
+    """Deconstructor for ``zip``; forwards to :meth:`PowerList.zip_split`."""
+    return r.zip_split()
+
+
+def elementwise(
+    op: Callable[[T, U], V], p: PowerList[T], q: PowerList[U]
+) -> PowerList[V]:
+    """Lift a scalar binary operator pointwise over two similar PowerLists.
+
+    ``elementwise(add, p, q)[i] == add(p[i], q[i])``.  This is the extended
+    operator construction used in the FFT combining step.
+    """
+    _require_similar(p, q)
+    return PowerList([op(a, b) for a, b in zip(iter(p), iter(q))])
+
+
+def pl_add(p: PowerList, q: PowerList) -> PowerList:
+    """Extended ``+``: pointwise addition of similar PowerLists."""
+    return elementwise(operator.add, p, q)
+
+
+def pl_sub(p: PowerList, q: PowerList) -> PowerList:
+    """Extended ``−``: pointwise subtraction of similar PowerLists."""
+    return elementwise(operator.sub, p, q)
+
+
+def pl_mul(p: PowerList, q: PowerList) -> PowerList:
+    """Extended ``×``: pointwise multiplication of similar PowerLists."""
+    return elementwise(operator.mul, p, q)
+
+
+def pl_scale(x, p: PowerList) -> PowerList:
+    """The scalar extension ``x · p``: multiply every element by ``x``.
+
+    The polynomial-value function of the paper (Equation 4) uses this to
+    weight the odd-coefficient subpolynomial.
+    """
+    return PowerList([x * a for a in p])

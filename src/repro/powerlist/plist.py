@@ -1,0 +1,253 @@
+"""PList: the multi-way generalization of PowerList (Kornerup 1997).
+
+A PList drops the power-of-two restriction.  Its three constructors are
+
+* ``[.]``          — singleton;
+* ``(n-way |)``    — ordered concatenation of ``n`` similar PLists;
+* ``(n-way ♮)``    — ordered interleaving of ``n`` similar PLists.
+
+The deconstructors :meth:`PList.tie_split_n` and :meth:`PList.zip_split_n`
+require the arity ``n`` to divide the length; a length ``l`` therefore
+admits any decomposition arity in the divisor set of ``l``.  Like
+:class:`~repro.powerlist.powerlist.PowerList`, PLists are views.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar, Union, overload
+
+from repro.common import IllegalArgumentError, check_positive
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+class PList(Sequence[T]):
+    """An arbitrary-length view with n-way tie and zip deconstruction."""
+
+    __slots__ = ("_storage", "_start", "_stride", "_length")
+
+    def __init__(
+        self,
+        storage: Sequence[T],
+        start: int | None = None,
+        stride: int | None = None,
+        length: int | None = None,
+    ) -> None:
+        if start is None and stride is None and length is None:
+            start, stride, length = 0, 1, len(storage)
+        if start is None or stride is None or length is None:
+            raise IllegalArgumentError(
+                "either pass storage only, or all of start/stride/length"
+            )
+        check_positive(length, "PList length")
+        if stride == 0:
+            raise IllegalArgumentError("stride must be non-zero")
+        last = start + (length - 1) * stride
+        n = len(storage)
+        if not (0 <= start < n) or not (0 <= last < n):
+            raise IllegalArgumentError(
+                f"view (start={start}, stride={stride}, length={length}) "
+                f"exceeds storage of size {n}"
+            )
+        self._storage = storage
+        self._start = start
+        self._stride = stride
+        self._length = length
+
+    # -- constructors --------------------------------------------------- #
+
+    @classmethod
+    def singleton(cls, value: T) -> "PList[T]":
+        """The PList ``[value]``."""
+        return cls([value])
+
+    @classmethod
+    def from_iterable(cls, items: Iterable[T]) -> "PList[T]":
+        """Materialize ``items`` into fresh storage and wrap it."""
+        return cls(list(items))
+
+    @classmethod
+    def tie_all(cls, parts: Sequence["PList[T]"]) -> "PList[T]":
+        """The n-way ``|``: concatenation of similar PLists, in order.
+
+        ``[ | i : i ∈ n̄ : p.i ]`` in the ordered-quantifier notation.
+        """
+        cls._require_similar(parts)
+        out: list[T] = []
+        for part in parts:
+            out.extend(part)
+        return cls(out)
+
+    @classmethod
+    def zip_all(cls, parts: Sequence["PList[T]"]) -> "PList[T]":
+        """The n-way ``♮``: interleaving of similar PLists, in order.
+
+        Element ``j`` of part ``i`` lands at output index ``j*n + i``.
+        """
+        cls._require_similar(parts)
+        n = len(parts)
+        m = len(parts[0])
+        out: list[T] = [None] * (n * m)  # type: ignore[list-item]
+        for i, part in enumerate(parts):
+            out[i :: n] = list(part)
+        return cls(out)
+
+    @staticmethod
+    def _require_similar(parts: Sequence["PList[T]"]) -> None:
+        if not parts:
+            raise IllegalArgumentError("need at least one PList")
+        first = len(parts[0])
+        for part in parts[1:]:
+            if len(part) != first:
+                raise IllegalArgumentError(
+                    f"PLists must be similar: lengths {first} and {len(part)}"
+                )
+
+    # -- accessors ------------------------------------------------------ #
+
+    @property
+    def storage(self) -> Sequence[T]:
+        """The backing sequence (shared between views)."""
+        return self._storage
+
+    @property
+    def start(self) -> int:
+        """Storage index of the first visible element."""
+        return self._start
+
+    @property
+    def stride(self) -> int:
+        """Storage distance between consecutive visible elements."""
+        return self._stride
+
+    def is_singleton(self) -> bool:
+        """True iff the view has exactly one element."""
+        return self._length == 1
+
+    def __len__(self) -> int:
+        return self._length
+
+    @overload
+    def __getitem__(self, i: int) -> T: ...
+
+    @overload
+    def __getitem__(self, i: slice) -> "PList[T]": ...
+
+    def __getitem__(self, i: Union[int, slice]):
+        if isinstance(i, slice):
+            start, stop, step = i.indices(self._length)
+            length = max(0, (stop - start + (step - (1 if step > 0 else -1))) // step)
+            if length == 0:
+                raise IllegalArgumentError("empty PList slices are not defined")
+            return PList(
+                self._storage,
+                self._start + start * self._stride,
+                self._stride * step,
+                length,
+            )
+        if i < 0:
+            i += self._length
+        if not (0 <= i < self._length):
+            raise IndexError(f"index {i} out of range for length {self._length}")
+        return self._storage[self._start + i * self._stride]
+
+    def __setitem__(self, i: int, value: T) -> None:
+        if i < 0:
+            i += self._length
+        if not (0 <= i < self._length):
+            raise IndexError(f"index {i} out of range for length {self._length}")
+        self._storage[self._start + i * self._stride] = value  # type: ignore[index]
+
+    def __iter__(self) -> Iterator[T]:
+        idx = self._start
+        for _ in range(self._length):
+            yield self._storage[idx]
+            idx += self._stride
+
+    # -- deconstruction -------------------------------------------------- #
+
+    def tie_split_n(self, n: int) -> list["PList[T]"]:
+        """Deconstruct into ``n`` consecutive similar segments (n-way tie).
+
+        Raises:
+            IllegalArgumentError: unless ``1 < n`` and ``n`` divides the
+                length.
+        """
+        self._check_arity(n)
+        seg = self._length // n
+        return [
+            PList(self._storage, self._start + k * seg * self._stride, self._stride, seg)
+            for k in range(n)
+        ]
+
+    def zip_split_n(self, n: int) -> list["PList[T]"]:
+        """Deconstruct into ``n`` interleaved similar sublists (n-way zip).
+
+        Sublist ``k`` holds the elements with index ``≡ k (mod n)``.
+        """
+        self._check_arity(n)
+        seg = self._length // n
+        return [
+            PList(self._storage, self._start + k * self._stride, self._stride * n, seg)
+            for k in range(n)
+        ]
+
+    def _check_arity(self, n: int) -> None:
+        if n < 2:
+            raise IllegalArgumentError(f"split arity must be >= 2, got {n}")
+        if self._length % n != 0:
+            raise IllegalArgumentError(
+                f"arity {n} does not divide PList length {self._length}"
+            )
+
+    # -- conveniences ---------------------------------------------------- #
+
+    def to_list(self) -> list[T]:
+        """Copy the visible elements into a fresh Python list."""
+        return list(self)
+
+    def map(self, f: Callable[[T], U]) -> "PList[U]":
+        """Apply ``f`` elementwise, materializing a fresh PList."""
+        return PList([f(x) for x in self])
+
+    def same_storage(self, other: "PList") -> bool:
+        """True iff both views share one backing storage object."""
+        return self._storage is other._storage
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PList):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(iter(self), iter(other))
+            )
+        return NotImplemented
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("PList views are unhashable (mutable storage)")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(x) for x in self)
+        return f"PList([{inner}])"
+
+
+def plist_induction(
+    p: PList[T],
+    arity_of: Callable[[int], int],
+    base: Callable[[T], U],
+    combine: Callable[[list[U]], U],
+    *,
+    use_zip: bool = False,
+) -> U:
+    """Multi-way structural recursion over a PList.
+
+    ``arity_of(length)`` chooses the split arity at each level (it must
+    divide the current length; returning the length itself degenerates to a
+    flat fold).  ``combine`` merges the ordered list of sub-results.
+    """
+    if p.is_singleton():
+        return base(p[0])
+    n = arity_of(len(p))
+    parts = p.zip_split_n(n) if use_zip else p.tie_split_n(n)
+    return combine(
+        [plist_induction(part, arity_of, base, combine, use_zip=use_zip) for part in parts]
+    )

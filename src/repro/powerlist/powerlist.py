@@ -1,0 +1,267 @@
+"""The view-based PowerList data structure.
+
+A PowerList is a length ``2**k`` sequence.  Mirroring the JPLF design (and
+the "use views, not copies" idiom of numerical Python), a ``PowerList`` does
+not own its elements: it references a storage sequence together with an
+access pattern ``(start, stride, length)``.  The two deconstruction
+operators therefore cost O(1):
+
+* ``tie`` deconstruction keeps the stride and halves the extent — the left
+  half is ``storage[start : start + stride*n/2 : stride]``;
+* ``zip`` deconstruction doubles the stride — the "even" view starts at
+  ``start`` and the "odd" view at ``start + stride``.
+
+Mutation through a view writes into the shared storage, which is exactly
+what the combining phase of a divide-and-conquer computation needs in order
+to assemble results without copying.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    MutableSequence,
+    Sequence,
+    TypeVar,
+    Union,
+    overload,
+)
+
+from repro.common import (
+    IllegalArgumentError,
+    NotPowerOfTwoError,
+    NotSimilarError,
+    check_power_of_two,
+    exact_log2,
+    is_power_of_two,
+)
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+class PowerList(Sequence[T]):
+    """A power-of-two-length view over shared storage.
+
+    Args:
+        storage: the backing sequence.  Any random-access sequence works;
+            a mutable sequence (``list``, ``numpy.ndarray``) is required
+            only if the view will be written through.
+        start: index in ``storage`` of this view's first element.
+        stride: distance in ``storage`` between consecutive view elements.
+        length: number of elements visible through this view; must be a
+            power of two.
+
+    The zero-argument form ``PowerList(data)`` wraps an entire sequence
+    (which must itself have power-of-two length) with ``start=0, stride=1``.
+    """
+
+    __slots__ = ("_storage", "_start", "_stride", "_length")
+
+    def __init__(
+        self,
+        storage: Sequence[T],
+        start: int | None = None,
+        stride: int | None = None,
+        length: int | None = None,
+    ) -> None:
+        if start is None and stride is None and length is None:
+            start, stride, length = 0, 1, len(storage)
+        if start is None or stride is None or length is None:
+            raise IllegalArgumentError(
+                "either pass storage only, or all of start/stride/length"
+            )
+        check_power_of_two(length, "PowerList length")
+        if stride == 0:
+            raise IllegalArgumentError("stride must be non-zero")
+        last = start + (length - 1) * stride
+        n = len(storage)
+        if not (0 <= start < n) or not (0 <= last < n):
+            raise IllegalArgumentError(
+                f"view (start={start}, stride={stride}, length={length}) "
+                f"exceeds storage of size {n}"
+            )
+        self._storage = storage
+        self._start = start
+        self._stride = stride
+        self._length = length
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def of(cls, *elements: T) -> "PowerList[T]":
+        """Create a PowerList owning a fresh list of the given elements."""
+        return cls(list(elements))
+
+    @classmethod
+    def from_iterable(cls, items: Iterable[T]) -> "PowerList[T]":
+        """Materialize ``items`` into fresh storage and wrap it."""
+        return cls(list(items))
+
+    @classmethod
+    def singleton(cls, value: T) -> "PowerList[T]":
+        """The PowerList ``[value]`` — the base case of the theory."""
+        return cls([value])
+
+    @classmethod
+    def filled(cls, value: T, length: int) -> "PowerList[T]":
+        """A PowerList of ``length`` copies of ``value``."""
+        check_power_of_two(length, "length")
+        return cls([value] * length)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def storage(self) -> Sequence[T]:
+        """The backing sequence (shared between views)."""
+        return self._storage
+
+    @property
+    def start(self) -> int:
+        """Storage index of the first element of this view."""
+        return self._start
+
+    @property
+    def stride(self) -> int:
+        """Storage distance between consecutive elements of this view."""
+        return self._stride
+
+    @property
+    def loglen(self) -> int:
+        """``k`` such that ``len(self) == 2**k``."""
+        return exact_log2(self._length)
+
+    def is_singleton(self) -> bool:
+        """True iff the view has exactly one element (the base case)."""
+        return self._length == 1
+
+    def __len__(self) -> int:
+        return self._length
+
+    def _storage_index(self, i: int) -> int:
+        if i < 0:
+            i += self._length
+        if not (0 <= i < self._length):
+            raise IndexError(f"index {i} out of range for length {self._length}")
+        return self._start + i * self._stride
+
+    @overload
+    def __getitem__(self, i: int) -> T: ...
+
+    @overload
+    def __getitem__(self, i: slice) -> "PowerList[T]": ...
+
+    def __getitem__(self, i: Union[int, slice]):
+        if isinstance(i, slice):
+            start, stop, step = i.indices(self._length)
+            length = max(0, (stop - start + (step - (1 if step > 0 else -1))) // step)
+            if not is_power_of_two(length):
+                raise NotPowerOfTwoError(length, "sliced length")
+            return PowerList(
+                self._storage,
+                self._start + start * self._stride,
+                self._stride * step,
+                length,
+            )
+        return self._storage[self._storage_index(i)]
+
+    def __setitem__(self, i: int, value: T) -> None:
+        storage = self._storage
+        if not isinstance(storage, MutableSequence) and not hasattr(
+            storage, "__setitem__"
+        ):
+            raise TypeError("backing storage is not mutable")
+        storage[self._storage_index(i)] = value  # type: ignore[index]
+
+    def __iter__(self) -> Iterator[T]:
+        storage, stride = self._storage, self._stride
+        idx = self._start
+        for _ in range(self._length):
+            yield storage[idx]
+            idx += stride
+
+    def __reversed__(self) -> Iterator[T]:
+        storage, stride = self._storage, self._stride
+        idx = self._start + (self._length - 1) * stride
+        for _ in range(self._length):
+            yield storage[idx]
+            idx -= stride
+
+    # ------------------------------------------------------------------ #
+    # Deconstruction (the heart of the theory) — O(1), no copying
+    # ------------------------------------------------------------------ #
+
+    def tie_split(self) -> tuple["PowerList[T]", "PowerList[T]"]:
+        """Deconstruct as ``p | q``: first half and second half.
+
+        Raises:
+            IllegalArgumentError: on a singleton (no deconstruction exists).
+        """
+        if self._length < 2:
+            raise IllegalArgumentError("cannot tie-split a singleton")
+        half = self._length // 2
+        left = PowerList(self._storage, self._start, self._stride, half)
+        right = PowerList(
+            self._storage, self._start + half * self._stride, self._stride, half
+        )
+        return left, right
+
+    def zip_split(self) -> tuple["PowerList[T]", "PowerList[T]"]:
+        """Deconstruct as ``p ♮ q``: even-indexed and odd-indexed elements.
+
+        Raises:
+            IllegalArgumentError: on a singleton (no deconstruction exists).
+        """
+        if self._length < 2:
+            raise IllegalArgumentError("cannot zip-split a singleton")
+        half = self._length // 2
+        even = PowerList(self._storage, self._start, self._stride * 2, half)
+        odd = PowerList(
+            self._storage, self._start + self._stride, self._stride * 2, half
+        )
+        return even, odd
+
+    # ------------------------------------------------------------------ #
+    # Derived conveniences
+    # ------------------------------------------------------------------ #
+
+    def to_list(self) -> list[T]:
+        """Copy the visible elements into a fresh Python list."""
+        return list(self)
+
+    def map(self, f: Callable[[T], U]) -> "PowerList[U]":
+        """Apply ``f`` to every element, materializing a fresh PowerList.
+
+        This is the *specification* of ``map`` — the parallel execution
+        variants live in :mod:`repro.core` and :mod:`repro.jplf`.
+        """
+        return PowerList([f(x) for x in self])
+
+    def copy(self) -> "PowerList[T]":
+        """A compact (stride-1) copy of this view."""
+        return PowerList(self.to_list())
+
+    def same_storage(self, other: "PowerList[Any]") -> bool:
+        """True iff both views share one backing storage object."""
+        return self._storage is other._storage
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PowerList):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(iter(self), iter(other))
+            )
+        return NotImplemented
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("PowerList views are unhashable (mutable storage)")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(x) for x in self)
+        return f"PowerList([{inner}])"

@@ -1,0 +1,78 @@
+"""Pretty-printing of PowerList decomposition trees.
+
+Teaching/debugging aid: render how a PowerList decomposes under ``tie``
+or ``zip`` down to a given depth, showing each node's view parameters —
+making the O(1) stride arithmetic of the deconstruction operators
+visible.
+"""
+
+from __future__ import annotations
+
+from repro.common import IllegalArgumentError
+from repro.powerlist.powerlist import PowerList
+
+_MAX_SHOWN = 8
+
+
+def _node_label(p: PowerList, show_elements: bool) -> str:
+    label = f"[start={p.start} stride={p.stride} len={len(p)}]"
+    if show_elements:
+        items = list(p)[:_MAX_SHOWN]
+        ellipsis = ", …" if len(p) > _MAX_SHOWN else ""
+        label += " " + "⟨" + ", ".join(repr(x) for x in items) + ellipsis + "⟩"
+    return label
+
+
+def decomposition_tree(
+    p: PowerList,
+    operator: str = "tie",
+    depth: int | None = None,
+    show_elements: bool = True,
+) -> str:
+    """Render the decomposition of ``p`` as an indented ASCII tree.
+
+    Args:
+        p: the PowerList to decompose.
+        operator: ``"tie"`` or ``"zip"``.
+        depth: maximum levels to expand (full depth when None).
+        show_elements: include (up to 8 of) each node's elements.
+
+    >>> from repro.powerlist import PowerList
+    >>> print(decomposition_tree(PowerList([0, 1, 2, 3]), "zip",
+    ...                          show_elements=False))
+    zip [start=0 stride=1 len=4]
+    ├── [start=0 stride=2 len=2]
+    │   ├── [start=0 stride=4 len=1]
+    │   └── [start=2 stride=4 len=1]
+    └── [start=1 stride=2 len=2]
+        ├── [start=1 stride=4 len=1]
+        └── [start=3 stride=4 len=1]
+    """
+    if operator not in ("tie", "zip"):
+        raise IllegalArgumentError(f"operator must be tie or zip, got {operator!r}")
+    if depth is None:
+        depth = p.loglen
+    lines: list[str] = [f"{operator} {_node_label(p, show_elements)}"]
+
+    def walk(node: PowerList, level: int, prefix: str) -> None:
+        if level >= depth or node.is_singleton():
+            return
+        first, second = (
+            node.tie_split() if operator == "tie" else node.zip_split()
+        )
+        lines.append(f"{prefix}├── {_node_label(first, show_elements)}")
+        walk(first, level + 1, prefix + "│   ")
+        lines.append(f"{prefix}└── {_node_label(second, show_elements)}")
+        walk(second, level + 1, prefix + "    ")
+
+    walk(p, 0, "")
+    return "\n".join(lines)
+
+
+def side_by_side(p: PowerList, depth: int | None = None) -> str:
+    """Both operators' trees, stacked — the two 'views over the data'."""
+    return (
+        decomposition_tree(p, "tie", depth, show_elements=True)
+        + "\n\n"
+        + decomposition_tree(p, "zip", depth, show_elements=True)
+    )

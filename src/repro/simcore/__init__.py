@@ -1,0 +1,39 @@
+"""A deterministic simulated parallel machine (DESIGN.md substitution S6).
+
+The paper's evaluation ran on an 8-core JVM.  This host has one core and
+CPython's GIL, so wall-clock speedup is unobservable; instead, parallel
+executions are *simulated*: the same divide-and-conquer decomposition the
+real fork/join pool performs is expressed as a DAG of sequential *strands*
+(split / leaf / combine work), each strand is charged a cost from a
+:class:`~repro.simcore.costmodel.CostModel`, and a deterministic
+work-stealing scheduler places strands on N virtual workers.
+
+Outputs are a virtual makespan, a full execution trace, and scheduling
+metrics.  Classical bounds hold by construction and are asserted in tests:
+
+    T_p ≥ T_1 / p,   T_p ≥ T_∞,   and (greedy)  T_p ≤ T_1 / p + T_∞.
+
+Speedup figures report ``sequential_time / makespan`` where the sequential
+time is separately modeled (the sequential stream implementation does less
+bookkeeping per element than a parallel leaf — and carries the paper's
+2^24 JVM-anomaly knob; see DESIGN.md §3).
+"""
+
+from repro.simcore.costmodel import CostModel
+from repro.simcore.dag import Strand, StrandDag, build_dc_dag
+from repro.simcore.machine import SimMachine, SimResult
+from repro.simcore.metrics import greedy_bound_check, speedup
+from repro.simcore.adapters import simulate_power_function, sequential_time
+
+__all__ = [
+    "CostModel",
+    "SimMachine",
+    "SimResult",
+    "Strand",
+    "StrandDag",
+    "build_dc_dag",
+    "greedy_bound_check",
+    "sequential_time",
+    "simulate_power_function",
+    "speedup",
+]

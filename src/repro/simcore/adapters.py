@@ -1,0 +1,129 @@
+"""Bridges from PowerList computations to the simulated machine.
+
+:func:`simulate_power_function` produces the virtual parallel time of a
+function with a given cost profile; :func:`sequential_time` the modeled
+baseline.  The benches drive these for every figure/ablation.
+
+Cost profiles capture the per-function shape knobs:
+
+* ``map``      — per-element combine cost (containers are concatenated);
+* ``reduce`` / ``polynomial`` — O(1) combine;
+* ``fft``      — per-element combine (butterfly) and zip strides;
+* ``descend``  — per-element split cost (Equation-5 family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common import IllegalArgumentError
+from repro.simcore.costmodel import CostModel
+from repro.simcore.dag import StrandDag, build_dc_dag
+from repro.simcore.machine import SimMachine, SimResult
+
+#: Named per-function cost-shape presets (see module docstring).
+FUNCTION_PROFILES: dict[str, dict] = {
+    "map": {"operator": "tie", "combine_per_element": 0.15},
+    "map_zip": {"operator": "zip", "combine_per_element": 0.15},
+    "reduce": {"operator": "tie", "combine_per_element": 0.0},
+    "polynomial": {"operator": "zip", "combine_per_element": 0.0},
+    "fft": {
+        "operator": "zip",
+        "combine_per_element": 0.6,
+        "work_per_element": 1.4,
+        "seq_work_per_element": 1.3,
+    },
+    "descend": {"operator": "tie", "descend_per_element": 0.5},
+}
+
+
+def profile_model(function: str, base: CostModel | None = None) -> tuple[CostModel, str]:
+    """Resolve a named profile into ``(cost_model, operator)``."""
+    if function not in FUNCTION_PROFILES:
+        raise IllegalArgumentError(
+            f"unknown function profile {function!r}; "
+            f"choose one of {sorted(FUNCTION_PROFILES)}"
+        )
+    profile = dict(FUNCTION_PROFILES[function])
+    operator = profile.pop("operator")
+    model = base if base is not None else CostModel()
+    model = replace(model, **profile)
+    return model, operator
+
+
+def default_threshold(n: int, workers: int) -> int:
+    """Java's target size: ``max(n / (4·workers), 1)``."""
+    return max(n // (4 * workers), 1)
+
+
+def simulate_power_function(
+    n: int,
+    workers: int,
+    function: str = "polynomial",
+    threshold: int | None = None,
+    model: CostModel | None = None,
+    steal_latency: float | None = None,
+) -> SimResult:
+    """Simulate one parallel PowerList-function execution.
+
+    Args:
+        n: input length (any positive size; powers of two give the
+            uniform trees of the theory).
+        workers: virtual core count (the paper used 8).
+        function: cost profile name from :data:`FUNCTION_PROFILES`.
+        threshold: leaf size; defaults to Java's target-size rule.
+        model: base cost model (profile knobs are overlaid).
+        steal_latency: overrides the model's steal latency.
+
+    Returns:
+        the :class:`~repro.simcore.machine.SimResult` with virtual
+        makespan, trace and metrics.
+    """
+    resolved, operator = profile_model(function, model)
+    if threshold is None:
+        threshold = default_threshold(n, workers)
+    dag = build_dc_dag(n, threshold, resolved, operator)
+    latency = resolved.steal_latency if steal_latency is None else steal_latency
+    machine = SimMachine(workers, steal_latency=latency)
+    return machine.run(dag)
+
+
+def sequential_time(
+    n: int,
+    function: str = "polynomial",
+    model: CostModel | None = None,
+) -> float:
+    """Modeled sequential-baseline time (with any configured anomaly)."""
+    resolved, _ = profile_model(function, model)
+    return resolved.sequential_cost(n)
+
+
+def simulate_jplf(
+    function,
+    workers: int,
+    profile: str = "reduce",
+    threshold: int | None = None,
+    model: CostModel | None = None,
+):
+    """Execute a JPLF :class:`~repro.jplf.power_function.PowerFunction`
+    for real while predicting its parallel time on the virtual machine.
+
+    The JPLF executor triple (sequential / fork-join / simulated) of
+    DESIGN.md S5: this is the simulated leg.  Returns
+    ``(result, SimResult)`` — the result is computed sequentially (so it
+    is exact) and the :class:`~repro.simcore.machine.SimResult` carries
+    the virtual parallel execution of the same decomposition.
+    """
+    from repro.jplf.executors import SequentialExecutor
+
+    n = len(function.data)
+    resolved, operator_kind = profile_model(profile, model)
+    if threshold is None:
+        threshold = max(n // (4 * workers), 1)
+    # JPLF declares its own deconstruction operator; it overrides the
+    # profile's default when present.
+    operator = getattr(function, "operator", operator_kind)
+    dag = build_dc_dag(n, threshold, resolved, operator)
+    sim = SimMachine(workers, resolved.steal_latency).run(dag)
+    result = SequentialExecutor(threshold=threshold).execute(function)
+    return result, sim

@@ -1,0 +1,135 @@
+"""Calibrating cost models from real measurements on this host.
+
+The default :class:`~repro.simcore.costmodel.CostModel` encodes magnitude
+*relations*; this module grounds the absolute scale by timing the real
+implementation's primitive operations (no optimization without measuring
+— the profiling-first rule of the guides):
+
+* the per-element accumulator cost (a Horner step through the collector
+  machinery);
+* the per-split cost (one ``try_split`` of the specialized spliterator);
+* the per-combine cost (one combiner call);
+* the tuned sequential per-element cost.
+
+``calibrate_polynomial_model()`` returns a :class:`CostModel` whose
+``unit_ms`` converts virtual units into *this machine's* milliseconds, so
+FIG3/FIG4 can be re-based on measured constants (`--calibrated` mode of
+the benches' underlying series functions).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.common import check_positive
+from repro.simcore.costmodel import CostModel
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Minimum wall-clock of several runs (noise-robust point estimate)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_sequential_per_element(n: int = 2**14, x: float = 0.999) -> float:
+    """Seconds per element of the tuned sequential Horner loop."""
+    check_positive(n, "n")
+    coeffs = [1.0] * n
+
+    def run():
+        val = 0.0
+        for c in coeffs:
+            val = val * x + c
+        return val
+
+    return _best_of(run) / n
+
+
+def measure_leaf_per_element(n: int = 2**12, x: float = 0.999) -> float:
+    """Seconds per element through the collector accumulator path."""
+    check_positive(n, "n")
+    from repro.core.polynomial import PolynomialValue
+
+    coeffs = [1.0] * n
+    pv = PolynomialValue(x)
+    accumulate = pv.accumulator()
+    supply = pv.supplier()
+
+    def run():
+        box = supply()
+        for c in coeffs:
+            accumulate(box, c)
+        return box.val
+
+    return _best_of(run) / n
+
+
+def measure_split_cost(n: int = 2**12) -> float:
+    """Seconds for one specialized ``try_split`` (averaged over a full
+    decomposition)."""
+    from repro.core.polynomial import PolynomialValue
+
+    pv = PolynomialValue(0.999)
+
+    def run():
+        splits = 0
+        frontier = [pv.specialized_spliterator([0.0] * n)]
+        while frontier:
+            s = frontier.pop()
+            prefix = s.try_split()
+            if prefix is not None:
+                splits += 1
+                frontier.append(prefix)
+                frontier.append(s)
+        return splits
+
+    total = _best_of(run)
+    return total / max(n - 1, 1)
+
+
+def measure_combine_cost(repeats: int = 2**10, x: float = 0.999) -> float:
+    """Seconds for one combiner call of the polynomial collector."""
+    from repro.core.polynomial import PolynomialValue, _PolyContainer
+
+    combine = PolynomialValue(x).combiner()
+
+    def run():
+        for _ in range(repeats):
+            a = _PolyContainer(x, 4)
+            b = _PolyContainer(x, 4)
+            combine(a, b)
+
+    return _best_of(run) / repeats
+
+
+def calibrate_polynomial_model(base: CostModel | None = None) -> CostModel:
+    """A cost model whose constants come from this machine.
+
+    Keeps the base model's *relative* shape for anything not measured
+    (steal latency, stride penalty) and rescales:
+
+    * ``unit_ms`` so one unit = the measured parallel-leaf element cost;
+    * ``seq_work_per_element`` to the measured sequential/leaf ratio;
+    * ``split_overhead``/``combine_overhead`` to their measured ratios.
+    """
+    if base is None:
+        base = CostModel()
+    leaf = measure_leaf_per_element()
+    seq = measure_sequential_per_element()
+    split = measure_split_cost()
+    combine = measure_combine_cost()
+    unit_seconds = leaf  # one cost unit == one leaf element
+    return replace(
+        base,
+        work_per_element=1.0,
+        seq_work_per_element=max(min(seq / leaf, 1.5), 0.05),
+        split_overhead=split / unit_seconds,
+        combine_overhead=combine / unit_seconds,
+        fork_overhead=split / unit_seconds,  # scheduling ≈ split bookkeeping
+        unit_ms=unit_seconds * 1e3,
+    )

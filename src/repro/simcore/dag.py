@@ -1,0 +1,235 @@
+"""Strand DAGs: the unit of simulated scheduling.
+
+A *strand* is a maximal run of sequential work (one split, one leaf
+traversal, one combine).  A fork/join divide-and-conquer computation over
+``n`` elements with leaf threshold ``t`` unrolls into the classic
+series-parallel DAG::
+
+          split(n)
+          /      \\
+      subtree   subtree          (recursively, until size ≤ t)
+          \\      /
+         combine(n)
+
+:func:`build_dc_dag` constructs it from a :class:`~repro.simcore.costmodel.
+CostModel`, tracking the element stride of each node so that zip-style
+decomposition (stride doubling) can be charged differently from tie-style
+(stride constant) — the lever behind ablation AB3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.common import IllegalArgumentError
+from repro.simcore.costmodel import CostModel
+
+StrandKind = Literal["split", "leaf", "combine"]
+
+
+@dataclass
+class Strand:
+    """One schedulable unit of sequential work.
+
+    Attributes:
+        sid: dense strand id (index into the dag's strand list;
+            dependencies always have smaller ids, so ids are a
+            topological order).
+        kind: ``"split"``, ``"leaf"`` or ``"combine"``.
+        cost: duration in cost units.
+        deps: ids of strands that must finish first.
+        forks: ids of strands this strand *forks* when it completes; the
+            first entry is pushed on the worker's deque (stealable) and
+            the last is continued inline by the same worker — the
+            fork-left/continue-right discipline of the real pool.
+        size: node size in elements (diagnostics).
+    """
+
+    sid: int
+    kind: StrandKind
+    cost: float
+    deps: list[int] = field(default_factory=list)
+    forks: list[int] = field(default_factory=list)
+    size: int = 0
+
+
+class StrandDag:
+    """A series-parallel strand DAG plus aggregate measures."""
+
+    def __init__(self) -> None:
+        self.strands: list[Strand] = []
+        self.root: int | None = None
+        self.sink: int | None = None
+
+    def new_strand(self, kind: StrandKind, cost: float, size: int = 0) -> Strand:
+        """Append a strand and return it."""
+        strand = Strand(sid=len(self.strands), kind=kind, cost=cost, size=size)
+        self.strands.append(strand)
+        return strand
+
+    def total_work(self) -> float:
+        """``T_1``: the sum of every strand's cost."""
+        return sum(s.cost for s in self.strands)
+
+    def critical_path(self) -> float:
+        """``T_∞``: the longest cost-weighted dependency chain.
+
+        One forward pass over the (topologically ordered) strand list.
+        """
+        finish = [0.0] * len(self.strands)
+        for strand in self.strands:
+            start = max((finish[d] for d in strand.deps), default=0.0)
+            finish[strand.sid] = start + strand.cost
+        return max(finish, default=0.0)
+
+    def leaf_count(self) -> int:
+        """Number of leaf strands (parallel grain count)."""
+        return sum(1 for s in self.strands if s.kind == "leaf")
+
+    def critical_path_strands(self) -> list[int]:
+        """The strand ids along one longest cost-weighted chain.
+
+        The certificate behind ``critical_path()``: the returned chain's
+        total cost equals ``T_∞``, giving the span law a checkable
+        witness (and the profiler a target to shorten).
+        """
+        if not self.strands:
+            return []
+        finish = [0.0] * len(self.strands)
+        argmax_dep: list[int | None] = [None] * len(self.strands)
+        for strand in self.strands:
+            best, best_dep = 0.0, None
+            for dep in strand.deps:
+                if finish[dep] > best:
+                    best, best_dep = finish[dep], dep
+            finish[strand.sid] = best + strand.cost
+            argmax_dep[strand.sid] = best_dep
+        tail = max(range(len(self.strands)), key=lambda i: finish[i])
+        chain = []
+        current: int | None = tail
+        while current is not None:
+            chain.append(current)
+            current = argmax_dep[current]
+        chain.reverse()
+        return chain
+
+    def validate(self) -> None:
+        """Check topological ordering and fork consistency (test hook)."""
+        for strand in self.strands:
+            for dep in strand.deps:
+                if dep >= strand.sid:
+                    raise IllegalArgumentError(
+                        f"strand {strand.sid} depends on later strand {dep}"
+                    )
+            for fork in strand.forks:
+                if strand.sid not in self.strands[fork].deps:
+                    raise IllegalArgumentError(
+                        f"fork edge {strand.sid}->{fork} without dependency"
+                    )
+
+
+def build_dc_dag(
+    n: int,
+    threshold: int,
+    model: CostModel,
+    operator: str = "tie",
+    stride: int = 1,
+) -> StrandDag:
+    """The strand DAG of a binary divide-and-conquer over ``n`` elements.
+
+    Splitting stops when a node's size drops to ``threshold`` or below
+    (Java's target-size rule).  ``operator`` selects the stride evolution:
+    ``"tie"`` keeps the parent's stride in both children, ``"zip"``
+    doubles it — feeding the cost model's stride penalty.
+    """
+    if n < 1:
+        raise IllegalArgumentError(f"n must be >= 1, got {n}")
+    if threshold < 1:
+        raise IllegalArgumentError(f"threshold must be >= 1, got {threshold}")
+    if operator not in ("tie", "zip"):
+        raise IllegalArgumentError(f"operator must be tie or zip, got {operator!r}")
+
+    dag = StrandDag()
+
+    def node(size: int, node_stride: int, entry_dep: int | None) -> tuple[int, int]:
+        """Build the subtree; returns ``(entry_sid, final_sid)``."""
+        if size <= threshold or size < 2:
+            leaf = dag.new_strand("leaf", model.leaf_cost(size, node_stride), size)
+            if entry_dep is not None:
+                leaf.deps.append(entry_dep)
+            return leaf.sid, leaf.sid
+
+        split = dag.new_strand("split", model.split_cost(size, node_stride), size)
+        if entry_dep is not None:
+            split.deps.append(entry_dep)
+
+        child_stride = node_stride * 2 if operator == "zip" else node_stride
+        half = size // 2
+        left_entry, left_final = node(half, child_stride, split.sid)
+        right_entry, right_final = node(size - half, child_stride, split.sid)
+
+        combine = dag.new_strand("combine", model.combine_cost(size), size)
+        combine.deps.extend((left_final, right_final))
+
+        # Fork-left (stealable), continue-right (inline).
+        split.forks = [left_entry, right_entry]
+        return split.sid, combine.sid
+
+    _, final = node(n, stride, None)
+    dag.root = 0
+    dag.sink = final
+    return dag
+
+
+def build_nway_dag(
+    n: int,
+    threshold: int,
+    model: CostModel,
+    arity: int,
+    operator: str = "tie",
+) -> StrandDag:
+    """The strand DAG of an ``arity``-way divide-and-conquer (PList, AB6).
+
+    A node splits when its size exceeds ``threshold`` *and* is divisible
+    by ``arity`` (mirroring :class:`~repro.core.nway.NWaySpliterator`);
+    the splitting strand forks ``arity − 1`` stealable children and
+    continues into the last.
+    """
+    if arity < 2:
+        raise IllegalArgumentError(f"arity must be >= 2, got {arity}")
+    if n < 1 or threshold < 1:
+        raise IllegalArgumentError("n and threshold must be >= 1")
+    if operator not in ("tie", "zip"):
+        raise IllegalArgumentError(f"operator must be tie or zip, got {operator!r}")
+
+    dag = StrandDag()
+
+    def node(size: int, node_stride: int, entry_dep: int | None) -> tuple[int, int]:
+        if size <= threshold or size % arity != 0 or size < arity:
+            leaf = dag.new_strand("leaf", model.leaf_cost(size, node_stride), size)
+            if entry_dep is not None:
+                leaf.deps.append(entry_dep)
+            return leaf.sid, leaf.sid
+
+        split = dag.new_strand("split", model.split_cost(size, node_stride), size)
+        if entry_dep is not None:
+            split.deps.append(entry_dep)
+
+        child_stride = node_stride * arity if operator == "zip" else node_stride
+        seg = size // arity
+        entries, finals = [], []
+        for _ in range(arity):
+            entry, final = node(seg, child_stride, split.sid)
+            entries.append(entry)
+            finals.append(final)
+
+        combine = dag.new_strand("combine", model.combine_cost(size), size)
+        combine.deps.extend(finals)
+        split.forks = entries
+        return split.sid, combine.sid
+
+    _, final = node(n, stride := 1, None)
+    dag.root = 0
+    dag.sink = final
+    return dag

@@ -1,0 +1,160 @@
+"""Instrumented execution: record a *real* decomposition, replay as a DAG.
+
+``build_dc_dag`` predicts the decomposition shape analytically; this
+module instead *observes* it.  :func:`record_decomposition` wraps any
+spliterator so every ``try_split`` and leaf traversal is logged while a
+real parallel ``collect`` runs; :func:`dag_from_recording` converts the
+log into a :class:`~repro.simcore.dag.StrandDag` with costs from a
+:class:`~repro.simcore.costmodel.CostModel`.
+
+This closes the model-validation loop: an integration test asserts the
+analytic DAG and the observed DAG agree (same leaves, same work) for the
+standard spliterators — and for exotic sources (batching iterators,
+n-way) the observed DAG is the ground truth to simulate.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.common import IllegalStateError
+from repro.simcore.costmodel import CostModel
+from repro.simcore.dag import StrandDag
+from repro.streams.spliterator import Spliterator
+
+
+@dataclass
+class _Node:
+    """One node of the observed decomposition tree."""
+
+    nid: int
+    size_hint: int
+    stride: int = 1
+    children: list[int] = field(default_factory=list)  # [left(prefix), right(self)]
+    leaf_elements: int | None = None
+
+
+@dataclass
+class Recording:
+    """The observed decomposition of one execution."""
+
+    nodes: list[_Node] = field(default_factory=list)
+
+    @property
+    def root(self) -> _Node:
+        return self.nodes[0]
+
+    def leaves(self) -> list[_Node]:
+        """Nodes that traversed elements (no children)."""
+        return [n for n in self.nodes if n.leaf_elements is not None]
+
+    def splits(self) -> list[_Node]:
+        """Nodes that split."""
+        return [n for n in self.nodes if n.children]
+
+    def total_elements(self) -> int:
+        return sum(n.leaf_elements or 0 for n in self.nodes)
+
+
+class RecordingSpliterator(Spliterator):
+    """Wraps a spliterator, logging splits and leaf traversals."""
+
+    def __init__(self, inner: Spliterator, recording: Recording,
+                 node: _Node | None = None, _lock: threading.Lock | None = None) -> None:
+        self._inner = inner
+        self._recording = recording
+        self._lock = _lock if _lock is not None else threading.Lock()
+        if node is None:
+            node = _Node(nid=0, size_hint=inner.estimate_size())
+            recording.nodes.append(node)
+        self._node = node
+        self._elements = 0
+
+    def try_advance(self, action) -> bool:
+        advanced = self._inner.try_advance(action)
+        if advanced:
+            self._count(1)
+        return advanced
+
+    def for_each_remaining(self, action) -> None:
+        count = [0]
+
+        def counting(item):
+            count[0] += 1
+            action(item)
+
+        self._inner.for_each_remaining(counting)
+        self._count(count[0])
+
+    def _count(self, n: int) -> None:
+        self._elements += n
+        with self._lock:
+            if self._node.leaf_elements is None:
+                self._node.leaf_elements = 0
+            self._node.leaf_elements += n
+
+    def try_split(self):
+        prefix = self._inner.try_split()
+        if prefix is None:
+            return None
+        with self._lock:
+            left = _Node(nid=len(self._recording.nodes),
+                         size_hint=prefix.estimate_size(),
+                         stride=getattr(prefix, "incr", 1))
+            self._recording.nodes.append(left)
+            right = _Node(nid=len(self._recording.nodes),
+                          size_hint=self._inner.estimate_size(),
+                          stride=getattr(self._inner, "incr", 1))
+            self._recording.nodes.append(right)
+            self._node.children = [left.nid, right.nid]
+        new_self_node = right
+        wrapped_prefix = RecordingSpliterator(
+            prefix, self._recording, left, self._lock
+        )
+        self._node = new_self_node
+        return wrapped_prefix
+
+    def estimate_size(self) -> int:
+        return self._inner.estimate_size()
+
+    def characteristics(self):
+        return self._inner.characteristics()
+
+
+def record_decomposition(spliterator: Spliterator) -> tuple[RecordingSpliterator, Recording]:
+    """Wrap ``spliterator`` for observation; returns (wrapped, recording)."""
+    recording = Recording()
+    return RecordingSpliterator(spliterator, recording), recording
+
+
+def dag_from_recording(recording: Recording, model: CostModel) -> StrandDag:
+    """Convert an observed decomposition into a schedulable strand DAG."""
+    if not recording.nodes:
+        raise IllegalStateError("empty recording")
+    dag = StrandDag()
+
+    def walk(nid: int, entry_dep: int | None) -> tuple[int, int]:
+        node = recording.nodes[nid]
+        if not node.children:
+            elements = node.leaf_elements or 0
+            leaf = dag.new_strand("leaf", model.leaf_cost(elements, node.stride),
+                                  elements)
+            if entry_dep is not None:
+                leaf.deps.append(entry_dep)
+            return leaf.sid, leaf.sid
+        size = node.size_hint
+        split = dag.new_strand("split", model.split_cost(size, node.stride), size)
+        if entry_dep is not None:
+            split.deps.append(entry_dep)
+        left_entry, left_final = walk(node.children[0], split.sid)
+        right_entry, right_final = walk(node.children[1], split.sid)
+        combine = dag.new_strand("combine", model.combine_cost(size), size)
+        combine.deps.extend((left_final, right_final))
+        split.forks = [left_entry, right_entry]
+        return split.sid, combine.sid
+
+    _, final = walk(0, None)
+    dag.root = 0
+    dag.sink = final
+    return dag

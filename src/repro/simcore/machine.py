@@ -1,0 +1,213 @@
+"""The deterministic work-stealing scheduler over strand DAGs.
+
+The machine mirrors the real pool's discipline:
+
+* completing a ``split`` pushes the forked (left) subtree entry on the
+  worker's own deque and continues into the right subtree inline;
+* a ``combine`` runs as the continuation of the worker that satisfies its
+  last dependency (the "last finisher" rule — the helping-join
+  approximation);
+* an idle worker pops its own deque LIFO, then steals FIFO from the first
+  non-empty victim in deterministic id order, paying ``steal_latency``.
+
+Everything is deterministic: the event queue is keyed ``(time, sequence)``
+and ties break by worker id, so a given (dag, workers, latency) triple
+always yields the identical trace — the property the reproducibility tests
+pin down.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.common import IllegalArgumentError
+from repro.simcore.dag import StrandDag
+
+
+@dataclass
+class TraceEntry:
+    """One scheduled strand execution."""
+
+    worker: int
+    sid: int
+    kind: str
+    start: float
+    end: float
+    stolen: bool
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated execution."""
+
+    makespan: float
+    total_work: float
+    critical_path: float
+    workers: int
+    steals: int
+    trace: list[TraceEntry] = field(repr=False, default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Busy time over total worker-time."""
+        if self.makespan <= 0:
+            return 1.0
+        return self.total_work / (self.makespan * self.workers)
+
+    def busy_time(self, worker: int) -> float:
+        """Total busy time of one worker."""
+        return sum(t.end - t.start for t in self.trace if t.worker == worker)
+
+
+class SimMachine:
+    """A fixed number of virtual workers executing strand DAGs.
+
+    Args:
+        workers: number of virtual cores.
+        steal_latency: delay added when a worker starts a stolen strand.
+        steal_policy: victim selection — ``"round_robin"`` (scan from the
+            next worker id; the default, matching the real pool) or
+            ``"random"`` (seeded uniform victim order, the
+            Blumofe–Leiserson analysis model).  Both are deterministic.
+        seed: RNG seed for the random policy.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        steal_latency: float = 0.0,
+        steal_policy: str = "round_robin",
+        seed: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise IllegalArgumentError(f"workers must be >= 1, got {workers}")
+        if steal_latency < 0:
+            raise IllegalArgumentError("steal_latency must be >= 0")
+        if steal_policy not in ("round_robin", "random"):
+            raise IllegalArgumentError(
+                f"steal_policy must be round_robin or random, got {steal_policy!r}"
+            )
+        self.workers = workers
+        self.steal_latency = steal_latency
+        self.steal_policy = steal_policy
+        self.seed = seed
+
+    def run(self, dag: StrandDag) -> SimResult:
+        """Schedule ``dag`` and return the deterministic result."""
+        strands = dag.strands
+        n = len(strands)
+        if n == 0:
+            return SimResult(0.0, 0.0, 0.0, self.workers, 0)
+
+        indegree = [len(s.deps) for s in strands]
+        dependents: list[list[int]] = [[] for _ in range(n)]
+        for strand in strands:
+            for dep in strand.deps:
+                dependents[dep].append(strand.sid)
+
+        deques: list[deque[int]] = [deque() for _ in range(self.workers)]
+        busy = [False] * self.workers
+        done = [False] * n
+        trace: list[TraceEntry] = []
+        steals = 0
+        completed = 0
+
+        # Event queue of strand completions: (end_time, seq, worker, sid, stolen)
+        events: list[tuple[float, int, int, int, bool]] = []
+        seq = 0
+
+        def start_strand(worker: int, sid: int, at: float, stolen: bool) -> None:
+            nonlocal seq
+            busy[worker] = True
+            begin = at + (self.steal_latency if stolen else 0.0)
+            heapq.heappush(
+                events, (begin + strands[sid].cost, seq, worker, sid, stolen)
+            )
+            seq += 1
+            trace.append(
+                TraceEntry(worker, sid, strands[sid].kind, begin,
+                           begin + strands[sid].cost, stolen)
+            )
+
+        import random as _random
+
+        rng = _random.Random(self.seed)
+
+        def victim_order(worker: int) -> list[int]:
+            others = [(worker + offset) % self.workers
+                      for offset in range(1, self.workers)]
+            if self.steal_policy == "random":
+                rng.shuffle(others)
+            return others
+
+        def try_acquire(worker: int, at: float) -> bool:
+            """Idle worker looks for work: own deque, then steal."""
+            nonlocal steals
+            if deques[worker]:
+                start_strand(worker, deques[worker].pop(), at, stolen=False)
+                return True
+            for victim in victim_order(worker):
+                if deques[victim]:
+                    steals += 1
+                    start_strand(worker, deques[victim].popleft(), at, stolen=True)
+                    return True
+            return False
+
+        # Bootstrap: worker 0 runs the root strand.
+        start_strand(0, dag.root if dag.root is not None else 0, 0.0, stolen=False)
+
+        makespan = 0.0
+        while events:
+            end_time, _, worker, sid, _ = heapq.heappop(events)
+            makespan = max(makespan, end_time)
+            busy[worker] = False
+            done[sid] = True
+            completed += 1
+            strand = strands[sid]
+
+            # Resolve newly ready strands.
+            ready: list[int] = []
+            for child in dependents[sid]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+
+            fork_set = [c for c in strand.forks if c in ready]
+            other_ready = [c for c in ready if c not in strand.forks]
+
+            inline_next: int | None = None
+            if fork_set:
+                # Push all but the last fork target; continue into the last.
+                for child in fork_set[:-1]:
+                    deques[worker].append(child)
+                inline_next = fork_set[-1]
+            for child in other_ready:
+                if inline_next is None:
+                    inline_next = child
+                else:
+                    deques[worker].append(child)
+
+            if inline_next is not None:
+                start_strand(worker, inline_next, end_time, stolen=False)
+            else:
+                try_acquire(worker, end_time)
+
+            # Newly pushed work may feed idle workers.
+            for idle in range(self.workers):
+                if not busy[idle]:
+                    try_acquire(idle, end_time)
+
+        if completed != n:
+            raise IllegalArgumentError(
+                f"deadlocked DAG: only {completed}/{n} strands executed"
+            )
+        return SimResult(
+            makespan=makespan,
+            total_work=dag.total_work(),
+            critical_path=dag.critical_path(),
+            workers=self.workers,
+            steals=steals,
+            trace=trace,
+        )

@@ -1,0 +1,71 @@
+"""Scheduling metrics and classical bound checks.
+
+The simulator's results must respect the textbook work/span laws; the
+property tests call :func:`greedy_bound_check` over random DAG shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simcore.machine import SimResult
+
+
+def speedup(sequential_time: float, parallel_time: float) -> float:
+    """``sequential / parallel`` — the quantity of the paper's Figure 3."""
+    if parallel_time <= 0:
+        raise ValueError("parallel time must be positive")
+    return sequential_time / parallel_time
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """Result of the work/span law checks for one simulated run."""
+
+    work_law_ok: bool  # T_p >= T_1 / p
+    span_law_ok: bool  # T_p >= T_inf
+    greedy_ok: bool  # T_p <= T_1/p + T_inf   (exact for zero steal latency)
+    t1: float
+    tinf: float
+    tp: float
+    p: int
+
+    @property
+    def all_ok(self) -> bool:
+        return self.work_law_ok and self.span_law_ok and self.greedy_ok
+
+
+def greedy_bound_check(result: SimResult, tolerance: float = 1e-9) -> BoundReport:
+    """Verify the work law, span law and greedy-scheduler upper bound.
+
+    The greedy bound only holds when no worker idles while ready work
+    exists; the machine satisfies this at zero steal latency, and with a
+    latency ``L`` the bound loosens by ``L`` per critical-path steal —
+    callers using nonzero latency should pass a proportional tolerance.
+    """
+    t1 = result.total_work
+    tinf = result.critical_path
+    tp = result.makespan
+    p = result.workers
+    return BoundReport(
+        work_law_ok=tp + tolerance >= t1 / p,
+        span_law_ok=tp + tolerance >= tinf,
+        greedy_ok=tp <= t1 / p + tinf + tolerance,
+        t1=t1,
+        tinf=tinf,
+        tp=tp,
+        p=p,
+    )
+
+
+def trace_is_consistent(result: SimResult) -> bool:
+    """No worker executes two strands at once and times are monotone."""
+    by_worker: dict[int, list] = {}
+    for entry in result.trace:
+        by_worker.setdefault(entry.worker, []).append(entry)
+    for entries in by_worker.values():
+        entries.sort(key=lambda e: e.start)
+        for a, b in zip(entries, entries[1:]):
+            if b.start < a.end - 1e-9:
+                return False
+    return True

@@ -1,0 +1,93 @@
+"""Execution-trace analysis and ASCII Gantt rendering.
+
+The simulator returns a full trace; these helpers turn it into the
+artifacts a performance engineer actually reads — per-worker timelines,
+busy/idle breakdowns, and per-strand-kind accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import IllegalArgumentError
+from repro.simcore.machine import SimResult
+
+#: Glyph per strand kind in the Gantt rendering.
+_KIND_GLYPH = {"split": "s", "leaf": "#", "combine": "c"}
+
+
+@dataclass(frozen=True)
+class WorkerSummary:
+    """Aggregate activity of one virtual worker."""
+
+    worker: int
+    busy: float
+    idle: float
+    strands: int
+    steals: int
+    by_kind: dict
+
+    @property
+    def utilization(self) -> float:
+        total = self.busy + self.idle
+        return self.busy / total if total > 0 else 1.0
+
+
+def summarize_workers(result: SimResult) -> list[WorkerSummary]:
+    """Per-worker busy/idle/steal statistics over the whole run."""
+    summaries = []
+    for worker in range(result.workers):
+        entries = [t for t in result.trace if t.worker == worker]
+        busy = sum(t.end - t.start for t in entries)
+        by_kind: dict[str, float] = {}
+        for t in entries:
+            by_kind[t.kind] = by_kind.get(t.kind, 0.0) + (t.end - t.start)
+        summaries.append(
+            WorkerSummary(
+                worker=worker,
+                busy=busy,
+                idle=result.makespan - busy,
+                strands=len(entries),
+                steals=sum(1 for t in entries if t.stolen),
+                by_kind=by_kind,
+            )
+        )
+    return summaries
+
+
+def kind_breakdown(result: SimResult) -> dict:
+    """Total time per strand kind across all workers."""
+    out: dict[str, float] = {}
+    for t in result.trace:
+        out[t.kind] = out.get(t.kind, 0.0) + (t.end - t.start)
+    return out
+
+
+def render_gantt(result: SimResult, width: int = 72) -> str:
+    """An ASCII Gantt chart: one row per worker, time left to right.
+
+    ``s`` = split, ``#`` = leaf, ``c`` = combine, ``.`` = idle; uppercase
+    marks a stolen strand's first cell.
+    """
+    if width < 10:
+        raise IllegalArgumentError("width must be >= 10")
+    if result.makespan <= 0:
+        return "(empty trace)"
+    scale = width / result.makespan
+    rows = []
+    for worker in range(result.workers):
+        cells = ["."] * width
+        for t in result.trace:
+            if t.worker != worker:
+                continue
+            lo = min(int(t.start * scale), width - 1)
+            hi = min(max(int(t.end * scale), lo + 1), width)
+            glyph = _KIND_GLYPH.get(t.kind, "?")
+            for i in range(lo, hi):
+                cells[i] = glyph
+            if t.stolen:
+                cells[lo] = cells[lo].upper()
+        rows.append(f"w{worker:<2} |{''.join(cells)}|")
+    legend = "     s=split  #=leaf  c=combine  .=idle  UPPERCASE=stolen"
+    header = f"makespan={result.makespan:.1f}  T1={result.total_work:.1f}  Tinf={result.critical_path:.1f}"
+    return "\n".join([header, *rows, legend])

@@ -1,0 +1,124 @@
+"""The ``Collector`` abstraction — mutable reduction as a template method.
+
+A collector packages the three functions of
+``Stream.collect(supplier, accumulator, combiner)`` (plus an optional
+finisher), exactly as ``java.util.stream.Collector<T, A, R>`` does:
+
+* ``supplier()``      → fresh mutable result container ``A``;
+* ``accumulator()``   → ``(A, T) -> None``, folds one element in;
+* ``combiner()``      → ``(A, A) -> A``, merges two partial containers
+  (used *only* by parallel execution — the paper leans on this to place
+  the divide-and-conquer combining phase here);
+* ``finisher()``      → ``A -> R`` final transform (identity when the
+  ``IDENTITY_FINISH`` characteristic is set).
+
+The paper's central move is to implement each PowerList function as a class
+implementing this interface; :mod:`repro.core.power_collector` builds on the
+definitions here.
+"""
+
+from __future__ import annotations
+
+import abc
+from enum import Flag, auto
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")  # input element type
+A = TypeVar("A")  # mutable accumulation type
+R = TypeVar("R")  # result type
+
+
+class CollectorCharacteristics(Flag):
+    """Hints that allow the implementation to optimize reduction."""
+
+    NONE = 0
+    #: The combiner may fold containers in any pairing order.
+    UNORDERED = auto()
+    #: The accumulator may be called concurrently on one container.
+    CONCURRENT = auto()
+    #: ``finisher`` is the identity; the container *is* the result.
+    IDENTITY_FINISH = auto()
+
+
+class Collector(abc.ABC, Generic[T, A, R]):
+    """Abstract mutable-reduction recipe ``Collector<T, A, R>``."""
+
+    @abc.abstractmethod
+    def supplier(self) -> Callable[[], A]:
+        """A function creating a new mutable result container.
+
+        In a parallel execution this is called once per leaf of the
+        decomposition tree and must return a fresh value each time.
+        """
+
+    @abc.abstractmethod
+    def accumulator(self) -> Callable[[A, T], None]:
+        """An associative, non-interfering fold of one element into a
+        container."""
+
+    @abc.abstractmethod
+    def combiner(self) -> Callable[[A, A], A]:
+        """Merge two partial containers, folding the second into the first
+        (and returning the merged container)."""
+
+    def finisher(self) -> Callable[[A], R]:
+        """Final container-to-result transform; identity by default."""
+        return lambda container: container  # type: ignore[return-value]
+
+    def characteristics(self) -> CollectorCharacteristics:
+        """This collector's :class:`CollectorCharacteristics`."""
+        return CollectorCharacteristics.IDENTITY_FINISH
+
+    @staticmethod
+    def of(
+        supplier: Callable[[], A],
+        accumulator: Callable[[A, T], None],
+        combiner: Callable[[A, A], A],
+        finisher: Callable[[A], R] | None = None,
+        characteristics: CollectorCharacteristics | None = None,
+    ) -> "Collector[T, A, R]":
+        """Build a collector from plain functions (Java's ``Collector.of``)."""
+        return _FunctionCollector(supplier, accumulator, combiner, finisher, characteristics)
+
+
+class _FunctionCollector(Collector[T, A, R]):
+    """A collector assembled from free functions."""
+
+    __slots__ = ("_supplier", "_accumulator", "_combiner", "_finisher", "_chars")
+
+    def __init__(
+        self,
+        supplier: Callable[[], A],
+        accumulator: Callable[[A, T], None],
+        combiner: Callable[[A, A], A],
+        finisher: Callable[[A], R] | None,
+        characteristics: CollectorCharacteristics | None,
+    ) -> None:
+        self._supplier = supplier
+        self._accumulator = accumulator
+        self._combiner = combiner
+        self._finisher = finisher
+        if characteristics is None:
+            characteristics = (
+                CollectorCharacteristics.IDENTITY_FINISH
+                if finisher is None
+                else CollectorCharacteristics.NONE
+            )
+        self._chars = characteristics
+
+    def supplier(self) -> Callable[[], A]:
+        return self._supplier
+
+    def accumulator(self) -> Callable[[A, T], None]:
+        return self._accumulator
+
+    def combiner(self) -> Callable[[A, A], A]:
+        return self._combiner
+
+    def finisher(self) -> Callable[[A], R]:
+        if self._finisher is None:
+            return lambda container: container  # type: ignore[return-value]
+        return self._finisher
+
+    def characteristics(self) -> CollectorCharacteristics:
+        return self._chars

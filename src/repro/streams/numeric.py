@@ -1,0 +1,133 @@
+"""Numeric stream helpers — the ``IntStream``/``DoubleStream`` surface.
+
+Java specializes streams over primitives with extra terminals
+(``average``, ``summaryStatistics``, ``toArray``) and conversions
+(``boxed``, ``mapToObj``, ``asDoubleStream``).  Python has no primitive
+specialization, so :class:`NumericStream` is a thin wrapper adding the
+numeric terminal set over any stream of numbers, plus numpy array output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.streams.optional import Optional
+from repro.streams.statistics import SummaryStatistics, summarizing
+from repro.streams.stream import Stream
+
+
+class NumericStream:
+    """A stream of numbers with the numeric terminal operations.
+
+    Wraps a :class:`~repro.streams.stream.Stream`; intermediate ops
+    return NumericStream so chains stay in the numeric world, and
+    :meth:`boxed` drops back to the generic stream.
+    """
+
+    __slots__ = ("_stream",)
+
+    def __init__(self, stream: Stream) -> None:
+        self._stream = stream
+
+    # -- factories ---------------------------------------------------------- #
+
+    @staticmethod
+    def of(source: Iterable[float]) -> "NumericStream":
+        """A numeric stream over any iterable of numbers."""
+        return NumericStream(Stream.of_iterable(source))
+
+    @staticmethod
+    def range(lo: int, hi: int) -> "NumericStream":
+        """``IntStream.range`` equivalent."""
+        return NumericStream(Stream.range(lo, hi))
+
+    @staticmethod
+    def range_closed(lo: int, hi: int) -> "NumericStream":
+        """``IntStream.rangeClosed`` equivalent."""
+        return NumericStream(Stream.range_closed(lo, hi))
+
+    # -- mode / intermediate ops (stay numeric) ----------------------------- #
+
+    def parallel(self) -> "NumericStream":
+        """Parallel mode."""
+        return NumericStream(self._stream.parallel())
+
+    def with_pool(self, pool) -> "NumericStream":
+        """Use a specific fork/join pool."""
+        return NumericStream(self._stream.with_pool(pool))
+
+    def map(self, f: Callable[[float], float]) -> "NumericStream":
+        """Numeric-to-numeric transform."""
+        return NumericStream(self._stream.map(f))
+
+    def filter(self, predicate: Callable[[float], bool]) -> "NumericStream":
+        """Keep matching numbers."""
+        return NumericStream(self._stream.filter(predicate))
+
+    def limit(self, n: int) -> "NumericStream":
+        """Truncate to ``n`` elements."""
+        return NumericStream(self._stream.limit(n))
+
+    def skip(self, n: int) -> "NumericStream":
+        """Drop the first ``n`` elements."""
+        return NumericStream(self._stream.skip(n))
+
+    def distinct(self) -> "NumericStream":
+        """Drop duplicates."""
+        return NumericStream(self._stream.distinct())
+
+    def sorted(self) -> "NumericStream":
+        """Ascending order."""
+        return NumericStream(self._stream.sorted())
+
+    # -- conversions --------------------------------------------------------- #
+
+    def boxed(self) -> Stream:
+        """The underlying generic stream (``IntStream.boxed``)."""
+        return self._stream
+
+    def map_to_obj(self, f: Callable[[float], object]) -> Stream:
+        """Numeric-to-object transform, leaving the numeric world."""
+        return self._stream.map(f)
+
+    def as_float_stream(self) -> "NumericStream":
+        """Coerce every element to float (``asDoubleStream``)."""
+        return NumericStream(self._stream.map(float))
+
+    # -- numeric terminals ---------------------------------------------------- #
+
+    def sum(self) -> float:
+        """Sum (0 when empty)."""
+        return self._stream.sum()
+
+    def min(self) -> Optional:
+        """Minimum as an Optional."""
+        return self._stream.min()
+
+    def max(self) -> Optional:
+        """Maximum as an Optional."""
+        return self._stream.max()
+
+    def count(self) -> int:
+        """Element count."""
+        return self._stream.count()
+
+    def average(self) -> Optional:
+        """Arithmetic mean as an Optional (empty for an empty stream)."""
+        stats = self.summary_statistics()
+        if stats.count == 0:
+            return Optional.empty()
+        return Optional.of(stats.mean)
+
+    def summary_statistics(self) -> SummaryStatistics:
+        """Count/sum/min/max/mean in a single pass."""
+        return self._stream.collect(summarizing())
+
+    def to_array(self, dtype=np.float64) -> np.ndarray:
+        """Collect into a numpy array (``toArray``)."""
+        return np.asarray(self._stream.to_list(), dtype=dtype)
+
+    def __iter__(self):
+        return iter(self._stream)

@@ -1,0 +1,436 @@
+"""Pipeline stages and the fused sink chain.
+
+Java streams fuse intermediate operations into a chain of ``Sink`` objects:
+each stage wraps the downstream sink so that a single traversal of the
+source pushes every element through the whole chain (``map`` → ``filter`` →
+… → terminal) without intermediate collections.  We reproduce that design:
+
+* :class:`Sink` — receiver protocol with ``begin``/``accept``/``end`` and
+  short-circuit polling (``cancellation_requested``);
+* :class:`Op` subclasses — one per intermediate operation, each able to
+  wrap a downstream sink; *stateful* ops additionally expose
+  ``apply_to_buffer`` used by parallel execution as a barrier.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Generic, Iterable, TypeVar
+
+from repro.common import IllegalArgumentError
+from repro.streams.spliterator import Spliterator
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+class Sink(Generic[T]):
+    """Consumer of a stream stage's output.
+
+    ``begin(size)`` announces the (possibly unknown, -1) number of elements
+    to come; ``accept`` receives each element; ``end`` flushes; a True
+    ``cancellation_requested`` asks upstream to stop sending (used by
+    ``limit`` and the matching terminal ops).
+    """
+
+    def begin(self, size: int) -> None:
+        """Prepare to receive up to ``size`` elements (-1 when unknown)."""
+
+    def accept(self, item: T) -> None:
+        """Receive one element."""
+
+    def end(self) -> None:
+        """Flush after the last element."""
+
+    def cancellation_requested(self) -> bool:
+        """True when no further elements are wanted."""
+        return False
+
+
+class ChainedSink(Sink[T]):
+    """A sink stage that forwards (possibly transformed) output downstream."""
+
+    __slots__ = ("downstream",)
+
+    def __init__(self, downstream: Sink) -> None:
+        self.downstream = downstream
+
+    def begin(self, size: int) -> None:
+        self.downstream.begin(size)
+
+    def end(self) -> None:
+        self.downstream.end()
+
+    def cancellation_requested(self) -> bool:
+        return self.downstream.cancellation_requested()
+
+
+class TerminalSink(Sink[T]):
+    """A sink that also yields a result once traversal finishes."""
+
+    def get(self) -> Any:
+        """The terminal operation's result."""
+        raise NotImplementedError
+
+
+class Op(abc.ABC):
+    """An intermediate operation (one pipeline stage)."""
+
+    #: Stateful ops need the whole (prefix) result before emitting and act
+    #: as barriers in parallel execution.
+    stateful: bool = False
+    #: Short-circuiting ops may stop the traversal early.
+    short_circuit: bool = False
+
+    @abc.abstractmethod
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        """Fuse this op in front of ``downstream``."""
+
+    def apply_to_buffer(self, buffer: list) -> list:
+        """Barrier semantics for parallel execution (stateful ops only)."""
+        raise NotImplementedError(f"{type(self).__name__} is stateless")
+
+
+# --------------------------------------------------------------------------- #
+# Stateless ops
+# --------------------------------------------------------------------------- #
+
+
+class MapOp(Op):
+    """``map(f)`` — transform each element."""
+
+    def __init__(self, f: Callable[[T], U]) -> None:
+        self.f = f
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        f = self.f
+
+        class _MapSink(ChainedSink):
+            def accept(self, item):
+                self.downstream.accept(f(item))
+
+        return _MapSink(downstream)
+
+
+class FilterOp(Op):
+    """``filter(predicate)`` — keep only matching elements."""
+
+    def __init__(self, predicate: Callable[[T], bool]) -> None:
+        self.predicate = predicate
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        predicate = self.predicate
+
+        class _FilterSink(ChainedSink):
+            def begin(self, size):
+                # Filtering invalidates any size promise.
+                self.downstream.begin(-1)
+
+            def accept(self, item):
+                if predicate(item):
+                    self.downstream.accept(item)
+
+        return _FilterSink(downstream)
+
+
+class FlatMapOp(Op):
+    """``flat_map(f)`` — explode each element into an iterable of outputs."""
+
+    def __init__(self, f: Callable[[T], Iterable[U]]) -> None:
+        self.f = f
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        f = self.f
+
+        class _FlatMapSink(ChainedSink):
+            def begin(self, size):
+                self.downstream.begin(-1)
+
+            def accept(self, item):
+                down = self.downstream
+                for out in f(item):
+                    if down.cancellation_requested():
+                        break
+                    down.accept(out)
+
+        return _FlatMapSink(downstream)
+
+
+class PeekOp(Op):
+    """``peek(action)`` — observe elements without changing them."""
+
+    def __init__(self, action: Callable[[T], None]) -> None:
+        self.action = action
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        action = self.action
+
+        class _PeekSink(ChainedSink):
+            def accept(self, item):
+                action(item)
+                self.downstream.accept(item)
+
+        return _PeekSink(downstream)
+
+
+class MapMultiOp(Op):
+    """``map_multi(f)`` (Java 16): ``f(item, emit)`` pushes 0..n outputs.
+
+    A consumer-driven flat map — cheaper than building an intermediate
+    iterable when most elements expand to zero or one output.
+    """
+
+    def __init__(self, f: Callable[[T, Callable[[U], None]], None]) -> None:
+        self.f = f
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        f = self.f
+
+        class _MapMultiSink(ChainedSink):
+            def begin(self, size):
+                self.downstream.begin(-1)
+
+            def accept(self, item):
+                f(item, self.downstream.accept)
+
+        return _MapMultiSink(downstream)
+
+
+# --------------------------------------------------------------------------- #
+# Stateful ops
+# --------------------------------------------------------------------------- #
+
+
+class SortedOp(Op):
+    """``sorted(key=..., reverse=...)`` — emit elements in sorted order."""
+
+    stateful = True
+
+    def __init__(self, key: Callable[[T], Any] | None = None, reverse: bool = False) -> None:
+        self.key = key
+        self.reverse = reverse
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        op = self
+
+        class _SortedSink(ChainedSink):
+            def begin(self, size):
+                self.buffer: list = []
+
+            def accept(self, item):
+                self.buffer.append(item)
+
+            def end(self):
+                out = sorted(self.buffer, key=op.key, reverse=op.reverse)
+                down = self.downstream
+                down.begin(len(out))
+                for item in out:
+                    if down.cancellation_requested():
+                        break
+                    down.accept(item)
+                down.end()
+
+            def cancellation_requested(self):
+                # Must see every element before sorting; never cancel upstream.
+                return False
+
+        return _SortedSink(downstream)
+
+    def apply_to_buffer(self, buffer: list) -> list:
+        return sorted(buffer, key=self.key, reverse=self.reverse)
+
+
+class DistinctOp(Op):
+    """``distinct()`` — drop duplicates, keeping first occurrences."""
+
+    stateful = True
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        class _DistinctSink(ChainedSink):
+            def begin(self, size):
+                self.seen: set = set()
+                self.downstream.begin(-1)
+
+            def accept(self, item):
+                if item not in self.seen:
+                    self.seen.add(item)
+                    self.downstream.accept(item)
+
+        return _DistinctSink(downstream)
+
+    def apply_to_buffer(self, buffer: list) -> list:
+        return list(dict.fromkeys(buffer))
+
+
+class LimitOp(Op):
+    """``limit(n)`` — truncate after the first ``n`` elements."""
+
+    stateful = True
+    short_circuit = True
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise IllegalArgumentError(f"limit must be >= 0, got {n}")
+        self.n = n
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        n = self.n
+
+        class _LimitSink(ChainedSink):
+            def begin(self, size):
+                self.remaining = n
+                self.downstream.begin(min(size, n) if size >= 0 else -1)
+
+            def accept(self, item):
+                if self.remaining > 0:
+                    self.remaining -= 1
+                    self.downstream.accept(item)
+
+            def cancellation_requested(self):
+                return self.remaining <= 0 or self.downstream.cancellation_requested()
+
+        return _LimitSink(downstream)
+
+    def apply_to_buffer(self, buffer: list) -> list:
+        return buffer[: self.n]
+
+
+class SkipOp(Op):
+    """``skip(n)`` — drop the first ``n`` elements."""
+
+    stateful = True
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise IllegalArgumentError(f"skip must be >= 0, got {n}")
+        self.n = n
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        n = self.n
+
+        class _SkipSink(ChainedSink):
+            def begin(self, size):
+                self.to_skip = n
+                self.downstream.begin(max(size - n, 0) if size >= 0 else -1)
+
+            def accept(self, item):
+                if self.to_skip > 0:
+                    self.to_skip -= 1
+                else:
+                    self.downstream.accept(item)
+
+        return _SkipSink(downstream)
+
+    def apply_to_buffer(self, buffer: list) -> list:
+        return buffer[self.n :]
+
+
+class TakeWhileOp(Op):
+    """``take_while(predicate)`` — longest matching prefix (Java 9)."""
+
+    stateful = True
+    short_circuit = True
+
+    def __init__(self, predicate: Callable[[T], bool]) -> None:
+        self.predicate = predicate
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        predicate = self.predicate
+
+        class _TakeWhileSink(ChainedSink):
+            def begin(self, size):
+                self.taking = True
+                self.downstream.begin(-1)
+
+            def accept(self, item):
+                if self.taking:
+                    if predicate(item):
+                        self.downstream.accept(item)
+                    else:
+                        self.taking = False
+
+            def cancellation_requested(self):
+                return not self.taking or self.downstream.cancellation_requested()
+
+        return _TakeWhileSink(downstream)
+
+    def apply_to_buffer(self, buffer: list) -> list:
+        out = []
+        for item in buffer:
+            if not self.predicate(item):
+                break
+            out.append(item)
+        return out
+
+
+class DropWhileOp(Op):
+    """``drop_while(predicate)`` — complement of ``take_while`` (Java 9)."""
+
+    stateful = True
+
+    def __init__(self, predicate: Callable[[T], bool]) -> None:
+        self.predicate = predicate
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        predicate = self.predicate
+
+        class _DropWhileSink(ChainedSink):
+            def begin(self, size):
+                self.dropping = True
+                self.downstream.begin(-1)
+
+            def accept(self, item):
+                if self.dropping:
+                    if predicate(item):
+                        return
+                    self.dropping = False
+                self.downstream.accept(item)
+
+        return _DropWhileSink(downstream)
+
+    def apply_to_buffer(self, buffer: list) -> list:
+        out = []
+        dropping = True
+        for item in buffer:
+            if dropping:
+                if self.predicate(item):
+                    continue
+                dropping = False
+            out.append(item)
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# Traversal
+# --------------------------------------------------------------------------- #
+
+
+def wrap_ops(ops: list[Op], terminal: Sink) -> Sink:
+    """Fuse ``ops`` (pipeline order) in front of the terminal sink."""
+    sink = terminal
+    for op in reversed(ops):
+        sink = op.wrap_sink(sink)
+    return sink
+
+
+def copy_into(spliterator: Spliterator, sink: Sink, short_circuit: bool) -> None:
+    """Push every element of ``spliterator`` through ``sink``.
+
+    ``short_circuit`` selects element-at-a-time traversal with cancellation
+    polling; otherwise the bulk ``for_each_remaining`` fast path is used.
+    """
+    size = spliterator.get_exact_size_if_known()
+    sink.begin(size)
+    if short_circuit:
+        if not sink.cancellation_requested():
+            while spliterator.try_advance(sink.accept):
+                if sink.cancellation_requested():
+                    break
+    else:
+        spliterator.for_each_remaining(sink.accept)
+    sink.end()
+
+
+def pipeline_is_short_circuit(ops: list[Op]) -> bool:
+    """True if any stage may cancel the traversal early."""
+    return any(op.short_circuit for op in ops)

@@ -1,0 +1,302 @@
+"""Fork/join evaluation of stream pipelines.
+
+The parallel terminal operations mirror ``java.util.stream.AbstractTask``:
+starting from the source spliterator, a task tree is grown by repeatedly
+calling ``try_split`` until a node's estimated size drops to the *target
+size* (``source size / (4 × parallelism)``, Java's heuristic) or the
+spliterator refuses to split.  Each leaf builds a fresh result container
+(the collector's ``supplier``), pushes its elements through the fused op
+chain into the ``accumulator``, and the interior nodes merge containers
+with the ``combiner`` in encounter order — prefix (the spliterator returned
+by ``try_split``) first.
+
+Only *stateless* ops reach these functions; :mod:`repro.streams.stream`
+segments pipelines at stateful operations first.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, TypeVar
+
+from repro.forkjoin.pool import ForkJoinPool
+from repro.forkjoin.task import RecursiveTask
+from repro.streams.collector import Collector
+from repro.streams.ops import (
+    Op,
+    Sink,
+    copy_into,
+    pipeline_is_short_circuit,
+    wrap_ops,
+)
+from repro.streams.optional import Optional
+from repro.streams.spliterator import UNKNOWN_SIZE, Spliterator
+
+T = TypeVar("T")
+A = TypeVar("A")
+
+#: Number of leaves per worker Java aims for (AbstractTask.LEAF_TARGET).
+LEAF_FACTOR = 4
+
+
+def compute_target_size(size: int, parallelism: int) -> int:
+    """Java's split threshold: ``max(size / (parallelism * 4), 1)``."""
+    if size == UNKNOWN_SIZE:
+        return 1 << 10
+    return max(size // (parallelism * LEAF_FACTOR), 1)
+
+
+class _AccumulateSink(Sink):
+    """Terminal sink folding elements into a mutable container."""
+
+    __slots__ = ("container", "_accumulate", "_cancel")
+
+    def __init__(
+        self,
+        container: Any,
+        accumulate: Callable[[Any, Any], None],
+        cancel: threading.Event | None = None,
+    ) -> None:
+        self.container = container
+        self._accumulate = accumulate
+        self._cancel = cancel
+
+    def accept(self, item: Any) -> None:
+        self._accumulate(self.container, item)
+
+    def cancellation_requested(self) -> bool:
+        return self._cancel is not None and self._cancel.is_set()
+
+
+class _ReduceTask(RecursiveTask):
+    """Generic ordered divide-and-conquer over a spliterator.
+
+    Parameterized by a ``leaf`` function (spliterator → partial result) and
+    a ``merge`` function (prefix result, suffix result → result), it
+    expresses every parallel terminal operation in this module.
+    """
+
+    __slots__ = ("spliterator", "target_size", "leaf", "merge", "cancel")
+
+    def __init__(
+        self,
+        spliterator: Spliterator,
+        target_size: int,
+        leaf: Callable[[Spliterator], Any],
+        merge: Callable[[Any, Any], Any],
+        cancel: threading.Event | None = None,
+    ) -> None:
+        super().__init__()
+        self.spliterator = spliterator
+        self.target_size = target_size
+        self.leaf = leaf
+        self.merge = merge
+        self.cancel = cancel
+
+    def compute(self) -> Any:
+        spliterator = self.spliterator
+        while True:
+            if self.cancel is not None and self.cancel.is_set():
+                return self.leaf(spliterator)
+            if spliterator.estimate_size() <= self.target_size:
+                return self.leaf(spliterator)
+            prefix = spliterator.try_split()
+            if prefix is None:
+                return self.leaf(spliterator)
+            left = _ReduceTask(
+                prefix, self.target_size, self.leaf, self.merge, self.cancel
+            )
+            left.fork()
+            right_result = _ReduceTask(
+                spliterator, self.target_size, self.leaf, self.merge, self.cancel
+            ).compute()
+            left_result = left.join()
+            return self.merge(left_result, right_result)
+
+
+def parallel_collect(
+    spliterator: Spliterator,
+    ops: list[Op],
+    collector: Collector,
+    pool: ForkJoinPool,
+    target_size: int | None = None,
+) -> Any:
+    """Parallel mutable reduction (``Stream.collect``) over the pool.
+
+    This is the paper's template method: the supplier creates the leaves of
+    the divide-and-conquer tree, the accumulator fills them, the combiner
+    computes interior nodes.
+    """
+    supplier = collector.supplier()
+    accumulate = collector.accumulator()
+    combine = collector.combiner()
+    finish = collector.finisher()
+    short_circuit = pipeline_is_short_circuit(ops)
+    if target_size is None:
+        target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
+
+    def leaf(leaf_spliterator: Spliterator) -> Any:
+        container = supplier()
+        sink = wrap_ops(ops, _AccumulateSink(container, accumulate))
+        copy_into(leaf_spliterator, sink, short_circuit)
+        return container
+
+    root = _ReduceTask(spliterator, target_size, leaf, combine)
+    return finish(pool.invoke(root))
+
+
+def parallel_reduce(
+    spliterator: Spliterator,
+    ops: list[Op],
+    op: Callable[[T, T], T],
+    pool: ForkJoinPool,
+    identity: T | None = None,
+    has_identity: bool = False,
+    target_size: int | None = None,
+):
+    """Parallel immutable reduction (``Stream.reduce``).
+
+    With an identity the result is the bare value; without one it is an
+    :class:`Optional` (empty for an empty stream).
+    """
+    short_circuit = pipeline_is_short_circuit(ops)
+    if target_size is None:
+        target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
+
+    def leaf(leaf_spliterator: Spliterator):
+        # Container: [value, seen_any]
+        state = [identity, has_identity]
+
+        def accumulate(container, item):
+            if container[1]:
+                container[0] = op(container[0], item)
+            else:
+                container[0] = item
+                container[1] = True
+
+        sink = wrap_ops(ops, _AccumulateSink(state, accumulate))
+        copy_into(leaf_spliterator, sink, short_circuit)
+        return state
+
+    def merge(a, b):
+        if not b[1]:
+            return a
+        if not a[1]:
+            return b
+        a[0] = op(a[0], b[0])
+        return a
+
+    result = pool.invoke(_ReduceTask(spliterator, target_size, leaf, merge))
+    if has_identity:
+        return result[0]
+    return Optional.of(result[0]) if result[1] else Optional.empty()
+
+
+def parallel_for_each(
+    spliterator: Spliterator,
+    ops: list[Op],
+    action: Callable[[T], None],
+    pool: ForkJoinPool,
+    target_size: int | None = None,
+) -> None:
+    """Parallel ``for_each`` (unordered, like Java's)."""
+    short_circuit = pipeline_is_short_circuit(ops)
+    if target_size is None:
+        target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
+
+    def leaf(leaf_spliterator: Spliterator) -> None:
+        class _ForEach(Sink):
+            def accept(self, item):
+                action(item)
+
+        copy_into(leaf_spliterator, wrap_ops(ops, _ForEach()), short_circuit)
+
+    pool.invoke(_ReduceTask(spliterator, target_size, leaf, lambda a, b: None))
+
+
+def parallel_match(
+    spliterator: Spliterator,
+    ops: list[Op],
+    predicate: Callable[[T], bool],
+    pool: ForkJoinPool,
+    kind: str,
+    target_size: int | None = None,
+) -> bool:
+    """Parallel short-circuiting match (``any``/``all``/``none``).
+
+    A shared cancellation event stops all branches as soon as the answer is
+    determined (a witness for ``any``, a counterexample for ``all``/``none``).
+    """
+    if kind not in ("any", "all", "none"):
+        raise ValueError(f"unknown match kind: {kind}")
+    if target_size is None:
+        target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
+    cancel = threading.Event()
+    # For "any": looking for an element satisfying predicate → result True.
+    # For "all": looking for a counterexample (not predicate) → result False.
+    # For "none": looking for a witness (predicate) → result False.
+    if kind == "any":
+        trigger = predicate
+    elif kind == "all":
+        trigger = lambda item: not predicate(item)
+    else:
+        trigger = predicate
+
+    def leaf(leaf_spliterator: Spliterator) -> bool:
+        found = [False]
+
+        class _MatchSink(Sink):
+            def accept(self, item):
+                if not found[0] and trigger(item):
+                    found[0] = True
+                    cancel.set()
+
+            def cancellation_requested(self):
+                return found[0] or cancel.is_set()
+
+        copy_into(leaf_spliterator, wrap_ops(ops, _MatchSink()), True)
+        return found[0]
+
+    triggered = pool.invoke(
+        _ReduceTask(spliterator, target_size, leaf, lambda a, b: a or b, cancel)
+    )
+    return triggered if kind == "any" else not triggered
+
+
+def parallel_find(
+    spliterator: Spliterator,
+    ops: list[Op],
+    pool: ForkJoinPool,
+    first: bool,
+    target_size: int | None = None,
+) -> Optional:
+    """Parallel ``find_first``/``find_any``.
+
+    ``find_any`` cancels globally on the first hit anywhere; ``find_first``
+    must honor encounter order, so each leaf stops at its own first element
+    and the ordered merge keeps the leftmost.
+    """
+    if target_size is None:
+        target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
+    cancel = threading.Event() if not first else None
+
+    def leaf(leaf_spliterator: Spliterator) -> Optional:
+        result: list = []
+
+        class _FindSink(Sink):
+            def accept(self, item):
+                if not result:
+                    result.append(item)
+                    if cancel is not None:
+                        cancel.set()
+
+            def cancellation_requested(self):
+                return bool(result) or (cancel is not None and cancel.is_set())
+
+        copy_into(leaf_spliterator, wrap_ops(ops, _FindSink()), True)
+        return Optional.of(result[0]) if result else Optional.empty()
+
+    def merge(a: Optional, b: Optional) -> Optional:
+        return a if a.is_present() else b
+
+    return pool.invoke(_ReduceTask(spliterator, target_size, leaf, merge, cancel))

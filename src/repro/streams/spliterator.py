@@ -1,0 +1,100 @@
+"""The ``Spliterator`` protocol — the engine of stream parallelism.
+
+A spliterator traverses *and partitions* a source.  Sequential traversal
+uses :meth:`Spliterator.try_advance` / :meth:`Spliterator.for_each_remaining`;
+parallel decomposition repeatedly calls :meth:`Spliterator.try_split`, which
+carves off a prefix of the remaining elements as a new spliterator.
+
+Characteristics advertise structural properties of the source that the
+pipeline may exploit.  We reproduce Java's flag set and add ``POWER2`` — the
+paper's extension that marks a source whose remaining element count is an
+exact power of two, the precondition for applying PowerList functions.
+"""
+
+from __future__ import annotations
+
+import abc
+from enum import IntFlag
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+#: Sentinel returned by :meth:`Spliterator.estimate_size` when unknown.
+UNKNOWN_SIZE = (1 << 63) - 1  # Java's Long.MAX_VALUE
+
+
+class Characteristics(IntFlag):
+    """Structural properties a spliterator may advertise.
+
+    The first eight match ``java.util.Spliterator``; ``POWER2`` is the
+    paper's addition (Section IV-A): the number of remaining elements is an
+    exact power of two, and every split halves it exactly.
+    """
+
+    NONE = 0
+    ORDERED = 0x00000010
+    DISTINCT = 0x00000001
+    SORTED = 0x00000004
+    SIZED = 0x00000040
+    NONNULL = 0x00000100
+    IMMUTABLE = 0x00000400
+    CONCURRENT = 0x00001000
+    SUBSIZED = 0x00004000
+    #: Paper extension: remaining length is an exact power of two.
+    POWER2 = 0x00010000
+
+
+class Spliterator(abc.ABC, Generic[T]):
+    """Abstract traversing-and-partitioning iterator over a source.
+
+    Contract (mirroring Java):
+
+    * :meth:`try_advance` performs the action on the next element if one
+      exists and returns True, else returns False;
+    * :meth:`try_split` either returns a new spliterator covering a strict
+      prefix of this one's remaining elements (shrinking ``self`` to the
+      suffix) or None when the source cannot or should not be split
+      further;
+    * after :meth:`try_split`, if the spliterator is ``SUBSIZED``, the sizes
+      of the two parts must sum to the size before the split.
+    """
+
+    @abc.abstractmethod
+    def try_advance(self, action: Callable[[T], None]) -> bool:
+        """If an element remains, run ``action`` on it and return True."""
+
+    @abc.abstractmethod
+    def try_split(self) -> "Spliterator[T] | None":
+        """Carve off a prefix as a new spliterator, or return None."""
+
+    @abc.abstractmethod
+    def estimate_size(self) -> int:
+        """Estimated number of remaining elements (``UNKNOWN_SIZE`` if
+        unknown)."""
+
+    def characteristics(self) -> Characteristics:
+        """The set of :class:`Characteristics` of this spliterator."""
+        return Characteristics.NONE
+
+    # -- default methods -------------------------------------------------- #
+
+    def for_each_remaining(self, action: Callable[[T], None]) -> None:
+        """Apply ``action`` to every remaining element, in encounter order.
+
+        The default repeatedly calls :meth:`try_advance`.  Sources with
+        random access override this with a tight loop; the paper notes that
+        PowerList *basic cases on non-singleton leaves* are implemented
+        precisely by overriding this method.
+        """
+        while self.try_advance(action):
+            pass
+
+    def has_characteristics(self, mask: Characteristics) -> bool:
+        """True iff all flags in ``mask`` are advertised."""
+        return (self.characteristics() & mask) == mask
+
+    def get_exact_size_if_known(self) -> int:
+        """The exact remaining count if ``SIZED``, else -1."""
+        if self.has_characteristics(Characteristics.SIZED):
+            return self.estimate_size()
+        return -1

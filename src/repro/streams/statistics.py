@@ -1,0 +1,76 @@
+"""``SummaryStatistics`` — single-pass count/sum/min/max/mean reduction.
+
+Port of ``java.util.IntSummaryStatistics`` and the
+``Collectors.summarizingInt`` family: a mutable container designed to be a
+``collect`` target, merging correctly under parallel combination.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.streams.collector import Collector, CollectorCharacteristics
+
+T = TypeVar("T")
+
+
+class SummaryStatistics:
+    """Running count, sum, min, max and mean of observed values."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def accept(self, value: float) -> None:
+        """Fold one value in (the accumulator)."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def combine(self, other: "SummaryStatistics") -> "SummaryStatistics":
+        """Merge another partial summary in (the combiner); returns self."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty, like Java's ``getAverage``)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "SummaryStatistics(empty)"
+        return (
+            f"SummaryStatistics(count={self.count}, sum={self.total}, "
+            f"min={self.minimum}, mean={self.mean:.6g}, max={self.maximum})"
+        )
+
+
+def summarizing(
+    value_fn: Callable[[T], float] = lambda t: t,
+) -> Collector[T, SummaryStatistics, SummaryStatistics]:
+    """Collector producing a :class:`SummaryStatistics` over ``value_fn``."""
+
+    def accumulate(stats: SummaryStatistics, item: T) -> None:
+        stats.accept(value_fn(item))
+
+    return Collector.of(
+        SummaryStatistics,
+        accumulate,
+        SummaryStatistics.combine,
+        None,
+        CollectorCharacteristics.IDENTITY_FINISH
+        | CollectorCharacteristics.UNORDERED,
+    )

@@ -1,0 +1,639 @@
+"""The ``Stream`` pipeline class.
+
+A stream is a *conduit*: a source spliterator, a chain of lazy intermediate
+operations, and at most one terminal operation.  Streams are single-use —
+invoking an intermediate or terminal operation *links* (consumes) the
+receiver, and further use raises ``IllegalStateError``, exactly as in Java.
+
+Parallel execution is selected per-stream with :meth:`Stream.parallel` and
+runs on a :class:`~repro.forkjoin.pool.ForkJoinPool` (the common pool by
+default, or one supplied via :meth:`Stream.with_pool`).  Pipelines with
+stateful operations (``sorted``, ``distinct``, ``limit``, ``skip``, …) are
+evaluated in parallel *segments*: the stateless prefix runs as a parallel
+mutable reduction into a buffer, the stateful op is applied as a barrier,
+and evaluation resumes on the buffered data — the same semantic barriers
+the JDK inserts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, TypeVar
+
+from repro.common import IllegalArgumentError, IllegalStateError
+from repro.forkjoin.pool import ForkJoinPool, common_pool
+from repro.streams import parallel as _parallel
+from repro.streams.collector import Collector, CollectorCharacteristics
+from repro.streams.ops import (
+    DistinctOp,
+    DropWhileOp,
+    FilterOp,
+    FlatMapOp,
+    LimitOp,
+    MapOp,
+    Op,
+    PeekOp,
+    SkipOp,
+    SortedOp,
+    TakeWhileOp,
+    TerminalSink,
+    copy_into,
+    pipeline_is_short_circuit,
+    wrap_ops,
+)
+from repro.streams.optional import Optional
+from repro.streams.spliterator import Spliterator
+from repro.streams.spliterators import (
+    EmptySpliterator,
+    IteratorSpliterator,
+    ListSpliterator,
+    RangeSpliterator,
+    spliterator_of,
+)
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+class Stream:
+    """A lazy, possibly parallel pipeline over a spliterator source."""
+
+    __slots__ = (
+        "_spliterator", "_ops", "_parallel", "_pool", "_consumed",
+        "_target_size", "_close_handlers",
+    )
+
+    def __init__(
+        self,
+        spliterator: Spliterator,
+        ops: list[Op] | None = None,
+        parallel: bool = False,
+        pool: ForkJoinPool | None = None,
+        target_size: int | None = None,
+    ) -> None:
+        self._spliterator = spliterator
+        self._ops: list[Op] = ops if ops is not None else []
+        self._parallel = parallel
+        self._pool = pool
+        self._consumed = False
+        self._target_size = target_size
+        self._close_handlers: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Factories
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def of_items(*items: T) -> "Stream":
+        """A sequential stream of the given elements."""
+        return Stream(ListSpliterator(items))
+
+    @staticmethod
+    def of_iterable(source: Iterable[T]) -> "Stream":
+        """A sequential stream over any iterable (sequences split well)."""
+        return Stream(spliterator_of(source))
+
+    @staticmethod
+    def empty() -> "Stream":
+        """The empty stream."""
+        return Stream(EmptySpliterator())
+
+    @staticmethod
+    def range(lo: int, hi: int) -> "Stream":
+        """The integers ``lo, lo+1, …, hi-1`` (like ``IntStream.range``)."""
+        return Stream(RangeSpliterator(lo, hi))
+
+    @staticmethod
+    def range_closed(lo: int, hi: int) -> "Stream":
+        """The integers ``lo, …, hi`` inclusive (``IntStream.rangeClosed``)."""
+        return Stream(RangeSpliterator(lo, hi + 1))
+
+    @staticmethod
+    def of_nullable(value: T | None) -> "Stream":
+        """A one-element stream, or empty when ``value`` is None
+        (``Stream.ofNullable``)."""
+        if value is None:
+            return Stream.empty()
+        return Stream.of_items(value)
+
+    @staticmethod
+    def iterate(
+        seed: T,
+        f_or_predicate: Callable[[T], T] | Callable[[T], bool],
+        f: Callable[[T], T] | None = None,
+    ) -> "Stream":
+        """``iterate(seed, f)`` — the infinite stream ``seed, f(seed), …``;
+        ``iterate(seed, has_next, f)`` — the Java 9 bounded form, stopping
+        before the first value failing ``has_next``."""
+        if f is None:
+            step = f_or_predicate
+
+            def gen() -> Iterator[T]:
+                value = seed
+                while True:
+                    yield value
+                    value = step(value)
+
+        else:
+            has_next = f_or_predicate
+            step = f
+
+            def gen() -> Iterator[T]:
+                value = seed
+                while has_next(value):
+                    yield value
+                    value = step(value)
+
+        return Stream(IteratorSpliterator(gen()))
+
+    @staticmethod
+    def generate(supplier: Callable[[], T]) -> "Stream":
+        """An infinite stream of ``supplier()`` values."""
+
+        def gen() -> Iterator[T]:
+            while True:
+                yield supplier()
+
+        return Stream(IteratorSpliterator(gen()))
+
+    @staticmethod
+    def concat(first: "Stream", second: "Stream") -> "Stream":
+        """Concatenate two streams (both are consumed)."""
+        a = first._materialize()
+        b = second._materialize()
+        out = Stream.of_iterable(a + b)
+        out._parallel = first._parallel or second._parallel
+        out._pool = first._pool or second._pool
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Close handlers (``Stream.onClose`` / ``close`` / try-with-resources)
+    # ------------------------------------------------------------------ #
+
+    def on_close(self, handler: Callable[[], None]) -> "Stream":
+        """Register a handler invoked by :meth:`close`, in order."""
+        self._close_handlers.append(handler)
+        return self
+
+    def close(self) -> None:
+        """Run all close handlers (each once), even if some raise.
+
+        The first raised exception propagates after every handler ran,
+        mirroring Java's suppression semantics (without the attachment).
+        """
+        handlers, self._close_handlers = self._close_handlers, []
+        failure: BaseException | None = None
+        for handler in handlers:
+            try:
+                handler()
+            except BaseException as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+
+    def __enter__(self) -> "Stream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Mode control
+    # ------------------------------------------------------------------ #
+
+    def parallel(self) -> "Stream":
+        """Mark the pipeline for parallel execution."""
+        self._check_linked()
+        return self._derive(self._spliterator, self._ops, parallel=True)
+
+    def sequential(self) -> "Stream":
+        """Mark the pipeline for sequential execution."""
+        self._check_linked()
+        return self._derive(self._spliterator, self._ops, parallel=False)
+
+    @property
+    def is_parallel(self) -> bool:
+        """True if terminal ops will run on the fork/join pool."""
+        return self._parallel
+
+    def with_pool(self, pool: ForkJoinPool) -> "Stream":
+        """Use ``pool`` instead of the common pool for parallel execution."""
+        self._check_linked()
+        out = self._derive(self._spliterator, self._ops, parallel=self._parallel)
+        out._pool = pool
+        return out
+
+    def with_target_size(self, target_size: int) -> "Stream":
+        """Override the split threshold (leaf size) for parallel execution.
+
+        Java computes ``size / (4 × parallelism)``; the paper's analysis of
+        where decomposition "automatically stops" corresponds to this knob.
+        """
+        if target_size < 1:
+            raise IllegalArgumentError("target_size must be >= 1")
+        self._check_linked()
+        out = self._derive(self._spliterator, self._ops, parallel=self._parallel)
+        out._target_size = target_size
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Intermediate operations (lazy)
+    # ------------------------------------------------------------------ #
+
+    def map(self, f: Callable[[T], U]) -> "Stream":
+        """Transform each element with ``f``."""
+        return self._append(MapOp(f))
+
+    def filter(self, predicate: Callable[[T], bool]) -> "Stream":
+        """Keep only elements satisfying ``predicate``."""
+        return self._append(FilterOp(predicate))
+
+    def flat_map(self, f: Callable[[T], Iterable[U]]) -> "Stream":
+        """Replace each element with the elements of ``f(element)``."""
+        return self._append(FlatMapOp(f))
+
+    def map_multi(self, f: Callable[[T, Callable[[U], None]], None]) -> "Stream":
+        """Consumer-driven flat map (Java 16's ``mapMulti``): ``f`` is
+        called with each element and an ``emit`` callback."""
+        from repro.streams.ops import MapMultiOp
+
+        return self._append(MapMultiOp(f))
+
+    def peek(self, action: Callable[[T], None]) -> "Stream":
+        """Observe each element as it flows by (for debugging)."""
+        return self._append(PeekOp(action))
+
+    def distinct(self) -> "Stream":
+        """Drop duplicate elements (first occurrence wins)."""
+        return self._append(DistinctOp())
+
+    def sorted(self, key: Callable[[T], Any] | None = None, reverse: bool = False) -> "Stream":
+        """Emit elements in sorted order (stable)."""
+        return self._append(SortedOp(key, reverse))
+
+    def limit(self, n: int) -> "Stream":
+        """Truncate to at most ``n`` elements."""
+        return self._append(LimitOp(n))
+
+    def skip(self, n: int) -> "Stream":
+        """Discard the first ``n`` elements."""
+        return self._append(SkipOp(n))
+
+    def take_while(self, predicate: Callable[[T], bool]) -> "Stream":
+        """Longest prefix of elements satisfying ``predicate``."""
+        return self._append(TakeWhileOp(predicate))
+
+    def drop_while(self, predicate: Callable[[T], bool]) -> "Stream":
+        """Drop the longest prefix satisfying ``predicate``."""
+        return self._append(DropWhileOp(predicate))
+
+    # ------------------------------------------------------------------ #
+    # Terminal operations
+    # ------------------------------------------------------------------ #
+
+    def collect(
+        self,
+        collector_or_supplier,
+        accumulator: Callable[[Any, T], None] | None = None,
+        combiner: Callable[[Any, Any], Any] | None = None,
+    ):
+        """Mutable reduction — the template method of the paper.
+
+        Accepts either a :class:`Collector` or the raw
+        ``(supplier, accumulator, combiner)`` triple.  The combiner is
+        exercised only on parallel execution, per the Java contract.
+        """
+        if isinstance(collector_or_supplier, Collector):
+            collector = collector_or_supplier
+        else:
+            if accumulator is None or combiner is None:
+                raise IllegalArgumentError(
+                    "collect needs a Collector or all of supplier/accumulator/combiner"
+                )
+            def _wrap(combine):
+                def merged(a, b):
+                    result = combine(a, b)
+                    return a if result is None else result
+                return merged
+            collector = Collector.of(
+                collector_or_supplier,
+                accumulator,
+                _wrap(combiner),
+                None,
+                CollectorCharacteristics.IDENTITY_FINISH,
+            )
+        spliterator, ops = self._terminal()
+        if self._parallel:
+            spliterator, ops = self._barrier_stateful(spliterator, ops)
+            return _parallel.parallel_collect(
+                spliterator, ops, collector, self._effective_pool(), self._target_size
+            )
+        container = collector.supplier()()
+        accumulate = collector.accumulator()
+
+        class _Acc(TerminalSink):
+            def accept(self, item):
+                accumulate(container, item)
+
+        copy_into(
+            spliterator,
+            wrap_ops(ops, _Acc()),
+            pipeline_is_short_circuit(ops),
+        )
+        return collector.finisher()(container)
+
+    def reduce(self, *args):
+        """Immutable reduction.
+
+        * ``reduce(op)`` → :class:`Optional`;
+        * ``reduce(identity, op)`` → value;
+        * ``reduce(identity, accumulator, combiner)`` → value (the Java
+          three-argument form; the combiner merges partial results in
+          parallel runs).
+        """
+        if len(args) == 1:
+            (op,) = args
+            identity, has_identity, combiner = None, False, op
+            accumulator = op
+        elif len(args) == 2:
+            identity, accumulator = args
+            has_identity, combiner = True, accumulator
+        elif len(args) == 3:
+            identity, accumulator, combiner = args
+            has_identity = True
+        else:
+            raise IllegalArgumentError("reduce takes 1, 2 or 3 arguments")
+
+        spliterator, ops = self._terminal()
+        if self._parallel:
+            spliterator, ops = self._barrier_stateful(spliterator, ops)
+            if len(args) == 3:
+                # Distinct accumulator/combiner: leaf-fold with accumulator,
+                # merge partials with combiner via a collector.
+                collector = Collector.of(
+                    lambda: [identity],
+                    lambda acc, t: acc.__setitem__(0, accumulator(acc[0], t)),
+                    lambda a, b: ([a.__setitem__(0, combiner(a[0], b[0]))], a)[1],
+                    lambda acc: acc[0],
+                    CollectorCharacteristics.NONE,
+                )
+                return _parallel.parallel_collect(
+                    spliterator, ops, collector, self._effective_pool(), self._target_size
+                )
+            return _parallel.parallel_reduce(
+                spliterator,
+                ops,
+                combiner,
+                self._effective_pool(),
+                identity,
+                has_identity,
+                self._target_size,
+            )
+        # Sequential fold.
+        state = [identity, has_identity]
+
+        class _Reduce(TerminalSink):
+            def accept(self, item):
+                if state[1]:
+                    state[0] = accumulator(state[0], item)
+                else:
+                    state[0] = item
+                    state[1] = True
+
+        copy_into(spliterator, wrap_ops(ops, _Reduce()), pipeline_is_short_circuit(ops))
+        if has_identity:
+            return state[0]
+        return Optional.of(state[0]) if state[1] else Optional.empty()
+
+    def for_each(self, action: Callable[[T], None]) -> None:
+        """Apply ``action`` to each element (unordered when parallel)."""
+        spliterator, ops = self._terminal()
+        if self._parallel:
+            spliterator, ops = self._barrier_stateful(spliterator, ops)
+            _parallel.parallel_for_each(
+                spliterator, ops, action, self._effective_pool(), self._target_size
+            )
+            return
+
+        class _ForEach(TerminalSink):
+            def accept(self, item):
+                action(item)
+
+        copy_into(spliterator, wrap_ops(ops, _ForEach()), pipeline_is_short_circuit(ops))
+
+    def for_each_ordered(self, action: Callable[[T], None]) -> None:
+        """Apply ``action`` in encounter order even on parallel streams."""
+        for item in self._materialize_terminal():
+            action(item)
+
+    def to_list(self) -> list:
+        """Collect into a list (encounter order)."""
+        from repro.streams import collectors
+
+        return self.collect(collectors.to_list())
+
+    def to_set(self) -> set:
+        """Collect into a set."""
+        from repro.streams import collectors
+
+        return self.collect(collectors.to_set())
+
+    def to_dict(self, key_fn: Callable[[T], Any], value_fn: Callable[[T], Any]) -> dict:
+        """Collect into a dict (duplicate keys raise, like ``toMap``)."""
+        from repro.streams import collectors
+
+        return self.collect(collectors.to_dict(key_fn, value_fn))
+
+    def count(self) -> int:
+        """Number of elements."""
+        from repro.streams import collectors
+
+        return self.collect(collectors.counting())
+
+    def sum(self) -> Any:
+        """Sum of the elements (0 for an empty stream)."""
+        return self.reduce(0, lambda a, b: a + b)
+
+    def min(self, key: Callable[[T], Any] | None = None) -> Optional:
+        """Minimum element as an :class:`Optional`."""
+        key_fn = key if key is not None else (lambda x: x)
+        return self.reduce(lambda a, b: a if key_fn(a) <= key_fn(b) else b)
+
+    def max(self, key: Callable[[T], Any] | None = None) -> Optional:
+        """Maximum element as an :class:`Optional`."""
+        key_fn = key if key is not None else (lambda x: x)
+        return self.reduce(lambda a, b: a if key_fn(a) >= key_fn(b) else b)
+
+    def any_match(self, predicate: Callable[[T], bool]) -> bool:
+        """True if any element satisfies ``predicate`` (short-circuits)."""
+        return self._match(predicate, "any")
+
+    def all_match(self, predicate: Callable[[T], bool]) -> bool:
+        """True if every element satisfies ``predicate`` (short-circuits)."""
+        return self._match(predicate, "all")
+
+    def none_match(self, predicate: Callable[[T], bool]) -> bool:
+        """True if no element satisfies ``predicate`` (short-circuits)."""
+        return self._match(predicate, "none")
+
+    def find_first(self) -> Optional:
+        """The first element, honoring encounter order."""
+        return self._find(first=True)
+
+    def find_any(self) -> Optional:
+        """Any element (parallel-friendly)."""
+        return self._find(first=False)
+
+    def spliterator(self) -> Spliterator:
+        """A spliterator over this pipeline's output (terminal op).
+
+        With no intermediate ops the source spliterator is returned
+        directly (keeping its splitting behaviour and characteristics);
+        otherwise the pipeline output is evaluated lazily element-by-
+        element through an :class:`IteratorSpliterator`, like Java's
+        wrapping spliterator.
+        """
+        spliterator, ops = self._terminal()
+        if not ops:
+            return spliterator
+        self._consumed = False  # iterator() below re-consumes
+        self._spliterator, self._ops = spliterator, ops
+        return IteratorSpliterator(self.iterator())
+
+    def iterator(self) -> Iterator[T]:
+        """A lazy sequential iterator over the pipeline's output."""
+        spliterator, ops = self._terminal()
+
+        buffer: list = []
+
+        class _Buffer(TerminalSink):
+            def accept(self, item):
+                buffer.append(item)
+
+        sink = wrap_ops(ops, _Buffer())
+        sink.begin(spliterator.get_exact_size_if_known())
+
+        def gen() -> Iterator[T]:
+            while True:
+                while buffer:
+                    yield buffer.pop(0)
+                if sink.cancellation_requested():
+                    break
+                if not spliterator.try_advance(sink.accept):
+                    sink.end()
+                    while buffer:
+                        yield buffer.pop(0)
+                    break
+
+        return gen()
+
+    def __iter__(self) -> Iterator[T]:
+        return self.iterator()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _check_linked(self) -> None:
+        if self._consumed:
+            raise IllegalStateError(
+                "stream has already been operated upon or closed"
+            )
+
+    def _derive(self, spliterator: Spliterator, ops: list[Op], parallel: bool) -> "Stream":
+        self._consumed = True
+        derived = Stream(spliterator, ops, parallel, self._pool, self._target_size)
+        # Close handlers travel with the pipeline (Java's onClose contract).
+        derived._close_handlers = self._close_handlers
+        return derived
+
+    def _append(self, op: Op) -> "Stream":
+        self._check_linked()
+        return self._derive(self._spliterator, self._ops + [op], self._parallel)
+
+    def _terminal(self) -> tuple[Spliterator, list[Op]]:
+        self._check_linked()
+        self._consumed = True
+        return self._spliterator, self._ops
+
+    def _effective_pool(self) -> ForkJoinPool:
+        return self._pool if self._pool is not None else common_pool()
+
+    def _barrier_stateful(
+        self, spliterator: Spliterator, ops: list[Op]
+    ) -> tuple[Spliterator, list[Op]]:
+        """Evaluate stateful ops as barriers, returning the residual tail.
+
+        Splits ``ops`` at each stateful stage: the stateless run before it
+        executes as a parallel ``to_list`` reduction, the stateful op is
+        applied to the buffer sequentially, and the buffer becomes the new
+        (splittable) source.
+        """
+        from repro.streams import collectors
+
+        while any(op.stateful for op in ops):
+            cut = next(i for i, op in enumerate(ops) if op.stateful)
+            prefix, stateful, ops = ops[:cut], ops[cut], ops[cut + 1 :]
+            buffer = _parallel.parallel_collect(
+                spliterator,
+                prefix,
+                collectors.to_list(),
+                self._effective_pool(),
+                self._target_size,
+            )
+            buffer = stateful.apply_to_buffer(buffer)
+            spliterator = ListSpliterator(buffer)
+        return spliterator, ops
+
+    def _match(self, predicate: Callable[[T], bool], kind: str) -> bool:
+        spliterator, ops = self._terminal()
+        if self._parallel:
+            spliterator, ops = self._barrier_stateful(spliterator, ops)
+            return _parallel.parallel_match(
+                spliterator, ops, predicate, self._effective_pool(), kind,
+                self._target_size,
+            )
+        found = [False]
+        trigger = predicate if kind in ("any", "none") else (lambda t: not predicate(t))
+
+        class _Match(TerminalSink):
+            def accept(self, item):
+                if not found[0] and trigger(item):
+                    found[0] = True
+
+            def cancellation_requested(self):
+                return found[0]
+
+        copy_into(spliterator, wrap_ops(ops, _Match()), True)
+        return found[0] if kind == "any" else not found[0]
+
+    def _find(self, first: bool) -> Optional:
+        spliterator, ops = self._terminal()
+        if self._parallel:
+            spliterator, ops = self._barrier_stateful(spliterator, ops)
+            return _parallel.parallel_find(
+                spliterator, ops, self._effective_pool(), first, self._target_size
+            )
+        result: list = []
+
+        class _Find(TerminalSink):
+            def accept(self, item):
+                if not result:
+                    result.append(item)
+
+            def cancellation_requested(self):
+                return bool(result)
+
+        copy_into(spliterator, wrap_ops(ops, _Find()), True)
+        return Optional.of(result[0]) if result else Optional.empty()
+
+    def _materialize(self) -> list:
+        """Consume into a list, preserving mode flags for ``concat``."""
+        parallel = self._parallel
+        out = self.to_list()
+        self._parallel = parallel
+        return out
+
+    def _materialize_terminal(self) -> list:
+        return self.to_list()

@@ -1,0 +1,39 @@
+"""``StreamSupport`` — low-level stream creation from spliterators.
+
+The paper's code creates streams directly from its specialized spliterators::
+
+    myStream = StreamSupport.stream(sp_it, true);
+
+This module reproduces that entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+from repro.streams.spliterator import Spliterator
+from repro.streams.spliterators import spliterator_of
+from repro.streams.stream import Stream
+
+T = TypeVar("T")
+
+
+class StreamSupport:
+    """Namespace class mirroring ``java.util.stream.StreamSupport``."""
+
+    @staticmethod
+    def stream(spliterator: Spliterator, parallel: bool = False) -> Stream:
+        """Create a stream driven by ``spliterator``.
+
+        Args:
+            spliterator: the source; its ``try_split`` directs parallel
+                decomposition, exactly as in Java.
+            parallel: True for a parallel stream.
+        """
+        stream = Stream(spliterator)
+        return stream.parallel() if parallel else stream
+
+
+def stream_of(source: Iterable[T], parallel: bool = False) -> Stream:
+    """Convenience: a stream over any iterable (``Collection.stream()``)."""
+    return StreamSupport.stream(spliterator_of(source), parallel)

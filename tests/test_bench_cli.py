@@ -1,0 +1,51 @@
+"""Tests for the `python -m repro.bench` CLI."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestMainFunction:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig4", "ab1", "ab2", "ab3", "ab4", "ab5", "ab6", "ab8"
+        }
+
+    def test_single_experiment(self, capsys):
+        assert main(["ab6"]) == 0
+        out = capsys.readouterr().out
+        assert "AB6" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["fig4", "ab3"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG4" in out and "AB3" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_out_directory(self, tmp_path, capsys):
+        assert main(["ab8", "--out", str(tmp_path)]) == 0
+        written = tmp_path / "ab8.txt"
+        assert written.exists()
+        assert "AB8" in written.read_text()
+
+    def test_out_creates_missing_dirs(self, tmp_path, capsys):
+        target = tmp_path / "a" / "b"
+        assert main(["ab6", "--out", str(target)]) == 0
+        assert (target / "ab6.txt").exists()
+
+
+class TestSubprocess:
+    def test_help(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "--help"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "--calibrated" in result.stdout

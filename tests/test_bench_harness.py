@@ -1,0 +1,131 @@
+"""Tests for the bench harness: workloads, timing, reporting, figures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench import (
+    format_table,
+    random_coefficients,
+    random_complex_signal,
+    random_integers,
+    repeat_average,
+    time_call,
+)
+from repro.bench.figures import (
+    FIG34_SIZES,
+    ab1_streams_vs_jplf_series,
+    ab2_fft_series,
+    ab3_tie_vs_zip_series,
+    ab4_threshold_series,
+    ab6_nway_series,
+    fig3_fig4_series,
+)
+from repro.common import IllegalArgumentError
+
+
+class TestWorkloads:
+    def test_coefficients_reproducible(self):
+        assert random_coefficients(16, seed=1) == random_coefficients(16, seed=1)
+        assert random_coefficients(16, seed=1) != random_coefficients(16, seed=2)
+
+    def test_coefficients_bounded(self):
+        for c in random_coefficients(100, lo=-2, hi=3):
+            assert -2 <= c < 3
+
+    def test_complex_signal(self):
+        signal = random_complex_signal(8)
+        assert len(signal) == 8
+        assert all(isinstance(v, complex) for v in signal)
+
+    def test_integers_bounds(self):
+        for v in random_integers(50, lo=5, hi=9):
+            assert 5 <= v <= 9
+
+    @pytest.mark.parametrize("factory", [random_coefficients, random_complex_signal, random_integers])
+    def test_positive_size_required(self, factory):
+        with pytest.raises(IllegalArgumentError):
+            factory(0)
+
+
+class TestHarness:
+    def test_time_call_returns_result(self):
+        result, elapsed = time_call(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0
+
+    def test_repeat_average_five_runs(self):
+        timing = repeat_average(lambda: sum(range(1000)), runs=5)
+        assert timing.runs == 5
+        assert timing.mean > 0
+        assert timing.minimum <= timing.mean
+        assert timing.mean_ms == pytest.approx(timing.mean * 1e3)
+
+    def test_single_run_no_stdev(self):
+        timing = repeat_average(lambda: None, runs=1)
+        assert timing.stdev == 0.0
+
+    def test_runs_validated(self):
+        with pytest.raises(IllegalArgumentError):
+            repeat_average(lambda: None, runs=0)
+
+
+class TestReporting:
+    def test_basic_table(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [30, 4000.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "bb" in lines[0]
+        assert "4,000" in lines[3]
+
+    def test_title(self):
+        assert format_table(["x"], [[1]], title="T").splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        table = format_table(["x", "y"], [])
+        assert "x" in table
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=5))
+    def test_any_float_formats(self, row):
+        format_table(["c"] * len(row), [row])  # must not raise
+
+
+class TestFigureSeries:
+    """The series generators behind every bench (shape sanity)."""
+
+    def test_fig34_covers_paper_sizes(self):
+        rows = fig3_fig4_series(sizes=[2**20, 2**21])
+        assert [r["n"] for r in rows] == [2**20, 2**21]
+        assert FIG34_SIZES == [2**k for k in range(20, 27)]
+
+    def test_fig34_fields(self):
+        (row,) = fig3_fig4_series(sizes=[2**20])
+        for key in ("speedup", "sequential_ms", "parallel_ms", "utilization", "leaves"):
+            assert key in row
+        assert 0 < row["utilization"] <= 1
+
+    def test_ab1_ratio_near_one(self):
+        rows = ab1_streams_vs_jplf_series(sizes=[2**16])
+        assert all(0.9 < r["ratio"] < 1.1 for r in rows)
+
+    def test_ab2_monotone(self):
+        rows = ab2_fft_series(sizes=[2**10, 2**12, 2**14])
+        speedups = [r["speedup"] for r in rows]
+        assert speedups == sorted(speedups)
+
+    def test_ab3_penalty_toggle(self):
+        with_pen = ab3_tie_vs_zip_series(sizes=[2**18], stride_penalty=0.3)
+        without = ab3_tie_vs_zip_series(sizes=[2**18], stride_penalty=0.0)
+        assert with_pen[0]["zip_over_tie"] > 1.1
+        assert without[0]["zip_over_tie"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_ab4_has_interior_optimum(self):
+        rows = ab4_threshold_series(n=2**14, leaf_logs=[0, 4, 8, 12])
+        speedups = [r["speedup"] for r in rows]
+        best = max(range(len(speedups)), key=lambda i: speedups[i])
+        assert 0 < best < len(speedups) - 1 or speedups[best] > speedups[0]
+
+    def test_ab6_levels_counted(self):
+        rows = ab6_nway_series(configs=[(81, 3)])
+        assert rows[0]["arity"] == 3
+        assert rows[0]["levels"] >= 1

@@ -1,0 +1,180 @@
+"""Tests for the Collector interface and stock collectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import IllegalStateError
+from repro.streams import Collector, CollectorCharacteristics, Collectors, Optional, Stream, stream_of
+
+
+class TestCollectorOf:
+    def test_builds_from_functions(self):
+        c = Collector.of(list, lambda acc, t: acc.append(t), lambda a, b: a + b)
+        container = c.supplier()()
+        c.accumulator()(container, 5)
+        assert container == [5]
+        assert c.combiner()([1], [2]) == [1, 2]
+        assert c.finisher()([1]) == [1]
+
+    def test_default_characteristics_identity_finish(self):
+        c = Collector.of(list, lambda a, t: None, lambda a, b: a)
+        assert c.characteristics() & CollectorCharacteristics.IDENTITY_FINISH
+
+    def test_finisher_clears_identity_default(self):
+        c = Collector.of(list, lambda a, t: None, lambda a, b: a, finisher=len)
+        assert not (c.characteristics() & CollectorCharacteristics.IDENTITY_FINISH)
+        assert c.finisher()([1, 2]) == 2
+
+
+class TestStockCollectors:
+    def test_to_list(self):
+        assert Stream.range(0, 3).collect(Collectors.to_list()) == [0, 1, 2]
+
+    def test_to_set(self):
+        assert Stream.of_items(1, 2, 1).collect(Collectors.to_set()) == {1, 2}
+
+    def test_to_dict(self):
+        out = Stream.of_items("a", "bb").collect(
+            Collectors.to_dict(lambda s: s, len)
+        )
+        assert out == {"a": 1, "bb": 2}
+
+    def test_to_dict_duplicate_raises(self):
+        with pytest.raises(IllegalStateError):
+            Stream.of_items("x", "x").collect(
+                Collectors.to_dict(lambda s: s, len)
+            )
+
+    def test_to_dict_merge(self):
+        out = Stream.of_items("x", "x", "y").collect(
+            Collectors.to_dict(lambda s: s, lambda s: 1, lambda a, b: a + b)
+        )
+        assert out == {"x": 2, "y": 1}
+
+    def test_joining(self):
+        out = Stream.of_items("a", "b", "c").collect(Collectors.joining(", "))
+        assert out == "a, b, c"
+
+    def test_joining_prefix_suffix(self):
+        out = Stream.of_items("a", "b").collect(Collectors.joining("-", "[", "]"))
+        assert out == "[a-b]"
+
+    def test_joining_empty(self):
+        assert Stream.empty().collect(Collectors.joining(",")) == ""
+
+    def test_counting(self):
+        assert Stream.range(0, 9).collect(Collectors.counting()) == 9
+
+    def test_summing(self):
+        out = Stream.of_items("a", "bb").collect(Collectors.summing(len))
+        assert out == 3
+
+    def test_averaging(self):
+        assert Stream.of_items(2, 4).collect(Collectors.averaging()) == 3.0
+        assert Stream.empty().collect(Collectors.averaging()) == 0.0
+
+    def test_min_by_max_by(self):
+        assert Stream.of_items(3, 1, 2).collect(Collectors.min_by()) == Optional.of(1)
+        assert Stream.of_items(3, 1, 2).collect(Collectors.max_by()) == Optional.of(3)
+        assert Stream.empty().collect(Collectors.min_by()) == Optional.empty()
+
+    def test_mapping(self):
+        out = Stream.of_items("a", "bb").collect(
+            Collectors.mapping(len, Collectors.to_list())
+        )
+        assert out == [1, 2]
+
+    def test_filtering(self):
+        out = Stream.range(0, 6).collect(
+            Collectors.filtering(lambda x: x % 2 == 0, Collectors.to_list())
+        )
+        assert out == [0, 2, 4]
+
+    def test_flat_mapping(self):
+        out = Stream.of_items([1, 2], [3]).collect(
+            Collectors.flat_mapping(lambda xs: xs, Collectors.to_list())
+        )
+        assert out == [1, 2, 3]
+
+    def test_grouping_by_default_lists(self):
+        out = Stream.range(0, 6).collect(Collectors.grouping_by(lambda x: x % 2))
+        assert out == {0: [0, 2, 4], 1: [1, 3, 5]}
+
+    def test_grouping_by_downstream(self):
+        out = Stream.range(0, 6).collect(
+            Collectors.grouping_by(lambda x: x % 2, Collectors.counting())
+        )
+        assert out == {0: 3, 1: 3}
+
+    def test_partitioning_by(self):
+        out = Stream.range(0, 5).collect(Collectors.partitioning_by(lambda x: x < 2))
+        assert out == {True: [0, 1], False: [2, 3, 4]}
+
+    def test_partitioning_by_always_has_both_keys(self):
+        out = Stream.of_items(1).collect(Collectors.partitioning_by(lambda x: True))
+        assert out[False] == []
+        assert out[True] == [1]
+
+    def test_reducing(self):
+        out = Stream.of_items("a", "bb", "ccc").collect(
+            Collectors.reducing(0, len, lambda a, b: a + b)
+        )
+        assert out == 6
+
+    def test_tee(self):
+        out = Stream.range(1, 5).collect(
+            Collectors.tee(
+                Collectors.summing(),
+                Collectors.counting(),
+                lambda total, n: total / n,
+            )
+        )
+        assert out == 2.5
+
+
+class TestCollectorsParallel:
+    """Every stock collector must give identical results in parallel."""
+
+    @pytest.mark.parametrize(
+        "collector_factory,data",
+        [
+            (lambda: Collectors.to_list(), list(range(100))),
+            (lambda: Collectors.to_set(), [1, 2, 3] * 30),
+            (lambda: Collectors.counting(), list(range(57))),
+            (lambda: Collectors.summing(), list(range(57))),
+            (lambda: Collectors.averaging(), list(range(1, 41))),
+            (lambda: Collectors.min_by(), [5, 3, 9, 1, 7] * 10),
+            (lambda: Collectors.max_by(), [5, 3, 9, 1, 7] * 10),
+            (lambda: Collectors.joining(","), [str(i) for i in range(50)]),
+            (
+                lambda: Collectors.grouping_by(lambda x: x % 3),
+                list(range(60)),
+            ),
+            (
+                lambda: Collectors.to_dict(lambda x: x, lambda x: x * 2),
+                list(range(40)),
+            ),
+        ],
+    )
+    def test_parallel_equals_sequential(self, collector_factory, data):
+        sequential = stream_of(data).collect(collector_factory())
+        parallel = stream_of(data).parallel().collect(collector_factory())
+        assert parallel == sequential
+
+    def test_paper_joining_combiner_visible_in_parallel(self):
+        # The paper's point: the separator between partial results exists
+        # only because parallel execution invokes the combiner.
+        words = [f"w{i}" for i in range(64)]
+        out = stream_of(words).parallel().collect(Collectors.joining(","))
+        assert out == ",".join(words)
+
+    @given(st.lists(st.integers(-50, 50), max_size=80))
+    def test_grouping_by_property(self, xs):
+        expected = {}
+        for x in xs:
+            expected.setdefault(x % 5, []).append(x)
+        out = stream_of(xs).parallel().collect(
+            Collectors.grouping_by(lambda x: x % 5)
+        )
+        assert out == expected

@@ -1,0 +1,102 @@
+"""Unit and property tests for repro.common.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import (
+    bit_reverse,
+    ceil_div,
+    exact_log2,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 1024, 2**30])
+    def test_accepts_powers(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -1, -2, 3, 5, 6, 7, 9, 12, 1023, 2**30 + 1])
+    def test_rejects_non_powers(self, n):
+        assert not is_power_of_two(n)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_every_exact_power_accepted(self, k):
+        assert is_power_of_two(1 << k)
+
+
+class TestExactLog2:
+    @given(st.integers(min_value=0, max_value=60))
+    def test_roundtrip(self, k):
+        assert exact_log2(1 << k) == k
+
+    @pytest.mark.parametrize("n", [0, -4, 3, 6, 12])
+    def test_rejects_non_powers(self, n):
+        with pytest.raises(ValueError):
+            exact_log2(n)
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 4), (5, 8), (17, 32), (1024, 1024)]
+    )
+    def test_examples(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_is_smallest_bounding_power(self, n):
+        p = next_power_of_two(n)
+        assert is_power_of_two(p)
+        assert p >= n
+        assert p // 2 < n
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestBitReverse:
+    @pytest.mark.parametrize(
+        "index,width,expected",
+        [(0, 0, 0), (0, 3, 0), (1, 3, 4), (2, 3, 2), (3, 3, 6), (5, 3, 5), (6, 3, 3)],
+    )
+    def test_examples(self, index, width, expected):
+        assert bit_reverse(index, width) == expected
+
+    @given(st.integers(min_value=0, max_value=16).flatmap(
+        lambda w: st.tuples(st.just(w), st.integers(0, (1 << w) - 1))
+    ))
+    def test_involution(self, wi):
+        width, index = wi
+        assert bit_reverse(bit_reverse(index, width), width) == index
+
+    def test_permutation(self):
+        width = 6
+        images = {bit_reverse(i, width) for i in range(1 << width)}
+        assert images == set(range(1 << width))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_reverse(8, 3)
+        with pytest.raises(ValueError):
+            bit_reverse(-1, 3)
+        with pytest.raises(ValueError):
+            bit_reverse(0, -1)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 1, 0), (1, 1, 1), (7, 2, 4), (8, 2, 4), (9, 2, 5)]
+    )
+    def test_examples(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    @given(st.integers(0, 10**6), st.integers(1, 10**4))
+    def test_matches_float_ceil(self, a, b):
+        assert ceil_div(a, b) == (a + b - 1) // b
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, 0)

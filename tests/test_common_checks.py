@@ -1,0 +1,90 @@
+"""Unit tests for repro.common.checks and the error hierarchy."""
+
+import pytest
+
+from repro.common import (
+    IllegalArgumentError,
+    IllegalStateError,
+    NotPowerOfTwoError,
+    NotSimilarError,
+    ReproError,
+    check_index,
+    check_not_none,
+    check_positive,
+    check_power_of_two,
+    check_range,
+)
+
+
+class TestCheckNotNone:
+    def test_passes_through_value(self):
+        assert check_not_none(42, "x") == 42
+        assert check_not_none("", "x") == ""
+
+    def test_rejects_none_with_name(self):
+        with pytest.raises(IllegalArgumentError, match="myarg"):
+            check_not_none(None, "myarg")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1, "n") == 1
+
+    @pytest.mark.parametrize("n", [0, -1, -100])
+    def test_rejects_nonpositive(self, n):
+        with pytest.raises(IllegalArgumentError):
+            check_positive(n, "n")
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        assert check_power_of_two(8) == 8
+
+    def test_rejects_with_specific_error(self):
+        with pytest.raises(NotPowerOfTwoError) as exc:
+            check_power_of_two(6, "count")
+        assert exc.value.length == 6
+        assert "count" in str(exc.value)
+
+
+class TestCheckRange:
+    def test_accepts_valid(self):
+        check_range(0, 0, 0)
+        check_range(2, 5, 5)
+
+    @pytest.mark.parametrize("lo,hi,size", [(-1, 2, 4), (3, 2, 4), (0, 5, 4)])
+    def test_rejects_invalid(self, lo, hi, size):
+        with pytest.raises(IllegalArgumentError):
+            check_range(lo, hi, size)
+
+
+class TestCheckIndex:
+    def test_accepts(self):
+        assert check_index(3, 4) == 3
+
+    @pytest.mark.parametrize("i", [-1, 4, 100])
+    def test_rejects(self, i):
+        with pytest.raises(IllegalArgumentError):
+            check_index(i, 4)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc_type in (
+            IllegalArgumentError,
+            NotPowerOfTwoError,
+        ):
+            assert issubclass(exc_type, ReproError)
+        assert issubclass(IllegalStateError, ReproError)
+
+    def test_illegal_argument_is_value_error(self):
+        assert issubclass(IllegalArgumentError, ValueError)
+
+    def test_illegal_state_is_runtime_error(self):
+        assert issubclass(IllegalStateError, RuntimeError)
+
+    def test_not_similar_records_lengths(self):
+        err = NotSimilarError(4, 8)
+        assert err.left_len == 4
+        assert err.right_len == 8
+        assert issubclass(NotSimilarError, IllegalArgumentError)

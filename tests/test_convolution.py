@@ -1,0 +1,122 @@
+"""Tests for FFT-based convolution and polynomial multiplication."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convolution import (
+    circular_convolution,
+    convolve,
+    ifft,
+    polynomial_multiply,
+)
+from repro.forkjoin import ForkJoinPool
+
+floats = st.floats(-10, 10, allow_nan=False)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="conv-test")
+    yield p
+    p.shutdown()
+
+
+class TestIfft:
+    @pytest.mark.parametrize("n_log", [0, 3, 8])
+    def test_inverts_fft(self, n_log, pool):
+        from repro.core import fft
+
+        rng = random.Random(n_log)
+        data = [complex(rng.uniform(-1, 1), rng.uniform(-1, 1)) for _ in range(2**n_log)]
+        round_trip = ifft(fft(data, pool=pool), pool=pool)
+        np.testing.assert_allclose(round_trip, data, atol=1e-10)
+
+    def test_matches_numpy_ifft(self, pool):
+        data = [complex(i, -i) for i in range(16)]
+        np.testing.assert_allclose(
+            ifft(data, pool=pool), np.fft.ifft(data), atol=1e-10
+        )
+
+    def test_non_power_rejected(self):
+        from repro.common import NotPowerOfTwoError
+
+        with pytest.raises(NotPowerOfTwoError):
+            ifft([1j, 2j, 3j], parallel=False)
+
+
+class TestCircularConvolution:
+    def test_matches_numpy_circular(self, pool):
+        rng = random.Random(1)
+        a = [rng.uniform(-1, 1) for _ in range(16)]
+        b = [rng.uniform(-1, 1) for _ in range(16)]
+        expected = np.real(np.fft.ifft(np.fft.fft(a) * np.fft.fft(b)))
+        out = circular_convolution([complex(x) for x in a],
+                                   [complex(x) for x in b], pool=pool)
+        np.testing.assert_allclose([v.real for v in out], expected, atol=1e-9)
+
+    def test_identity_element(self, pool):
+        # Convolving with the unit impulse returns the input.
+        x = [complex(i) for i in range(8)]
+        delta = [1 + 0j] + [0j] * 7
+        out = circular_convolution(x, delta, pool=pool)
+        np.testing.assert_allclose(out, x, atol=1e-10)
+
+    def test_dissimilar_rejected(self):
+        with pytest.raises(ValueError):
+            circular_convolution([1j, 2j], [1j], parallel=False)
+
+
+class TestConvolve:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(floats, min_size=1, max_size=24),
+        st.lists(floats, min_size=1, max_size=24),
+    )
+    def test_matches_numpy_convolve(self, a, b):
+        out = convolve(a, b, parallel=False)
+        np.testing.assert_allclose(out, np.convolve(a, b), atol=1e-6, rtol=1e-6)
+
+    def test_parallel(self, pool):
+        rng = random.Random(2)
+        a = [rng.uniform(-1, 1) for _ in range(100)]
+        b = [rng.uniform(-1, 1) for _ in range(37)]
+        np.testing.assert_allclose(
+            convolve(a, b, pool=pool), np.convolve(a, b), atol=1e-9
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            convolve([], [1], parallel=False)
+
+
+class TestPolynomialMultiply:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(floats, min_size=1, max_size=16),
+        st.lists(floats, min_size=1, max_size=16),
+    )
+    def test_matches_coefficient_convolution(self, p, q):
+        # np.polymul trims leading zeros; the raw coefficient product is
+        # the convolution, which we compare against directly.
+        out = polynomial_multiply(p, q, parallel=False)
+        np.testing.assert_allclose(out, np.convolve(p, q), atol=1e-6, rtol=1e-6)
+
+    def test_consistent_with_evaluation(self, pool):
+        # (p·q)(x) == p(x) · q(x) — links the convolution to the paper's
+        # polynomial-value function.
+        from repro.core import polynomial_value
+
+        rng = random.Random(3)
+        p = [rng.uniform(-1, 1) for _ in range(8)]
+        q = [rng.uniform(-1, 1) for _ in range(8)]
+        product = polynomial_multiply(p, q, pool=pool)
+        # pad product to a power of two for the evaluator
+        padded = [0.0] * (16 - len(product)) + product
+        x = 0.87
+        lhs = polynomial_value(padded, x, pool=pool)
+        rhs = polynomial_value(p, x, pool=pool) * polynomial_value(q, x, pool=pool)
+        assert lhs == pytest.approx(rhs, rel=1e-8)

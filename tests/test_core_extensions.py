@@ -1,0 +1,178 @@
+"""Tests for the tupling transformation, rev collector, and the adder."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError
+from repro.core import (
+    PolynomialValueTupled,
+    add_integers,
+    carry_lookahead_add,
+    polynomial_value,
+    polynomial_value_tupled,
+    power_collect,
+    rev_collect,
+    ripple_carry_add,
+)
+from repro.core.adder import (
+    bits_to_int,
+    carry_status,
+    compose_status,
+    int_to_bits,
+)
+from repro.forkjoin import ForkJoinPool
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="ext-test")
+    yield p
+    p.shutdown()
+
+
+class TestTupledPolynomial:
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_matches_numpy(self, parallel, pool):
+        rng = random.Random(21)
+        coeffs = [rng.uniform(-1, 1) for _ in range(256)]
+        out = polynomial_value_tupled(coeffs, 0.93, parallel=parallel, pool=pool)
+        assert out == pytest.approx(np.polyval(coeffs, 0.93), rel=1e-9)
+
+    def test_agrees_with_descend_state_version(self, pool):
+        rng = random.Random(22)
+        coeffs = [rng.uniform(-1, 1) for _ in range(512)]
+        a = polynomial_value(coeffs, 0.88, pool=pool)
+        b = polynomial_value_tupled(coeffs, 0.88, pool=pool)
+        assert a == pytest.approx(b, rel=1e-11)
+
+    @pytest.mark.parametrize("target", [1, 3, 7, 64])
+    def test_any_leaf_size_even_nonuniform(self, target, pool):
+        # Tupling needs no uniform-depth property: odd target sizes force
+        # ragged leaves and the result is still exact.
+        rng = random.Random(23)
+        coeffs = [rng.uniform(-1, 1) for _ in range(128)]
+        out = polynomial_value_tupled(coeffs, 1.01, pool=pool, target_size=target)
+        assert out == pytest.approx(np.polyval(coeffs, 1.01), rel=1e-9)
+
+    def test_no_shared_state_mutated(self, pool):
+        collector = PolynomialValueTupled(2.0)
+        power_collect(collector, [1.0] * 64, pool=pool)
+        assert collector.x == 2.0  # nothing on the function object moved
+
+    @settings(deadline=None, max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(0, 6).flatmap(
+            lambda k: st.lists(
+                st.floats(-1, 1, allow_nan=False), min_size=2**k, max_size=2**k
+            )
+        ),
+        st.floats(-1.25, 1.25, allow_nan=False),
+    )
+    def test_property(self, coeffs, x):
+        out = polynomial_value_tupled(coeffs, x, parallel=False)
+        assert out == pytest.approx(np.polyval(coeffs, x), rel=1e-6, abs=1e-6)
+
+
+class TestRevCollector:
+    @pytest.mark.parametrize("operator", ["tie", "zip"])
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_reverses(self, operator, parallel, pool):
+        data = list(range(64))
+        out = rev_collect(data, operator=operator, parallel=parallel, pool=pool)
+        assert out == data[::-1]
+
+    @pytest.mark.parametrize("target", [1, 2, 8, 32])
+    def test_any_leaf_size(self, target, pool):
+        data = [(i * 17) % 101 for i in range(64)]
+        out = rev_collect(data, pool=pool, target_size=target)
+        assert out == data[::-1]
+
+    def test_agrees_with_spec(self, pool):
+        from repro.powerlist import PowerList
+        from repro.powerlist.functions import rev
+
+        data = list(range(32))
+        assert rev_collect(data, pool=pool) == rev(PowerList(data)).to_list()
+
+    def test_bad_operator(self):
+        with pytest.raises(IllegalArgumentError):
+            rev_collect([1, 2], operator="bogus", parallel=False)
+
+
+class TestAdderPrimitives:
+    def test_carry_status(self):
+        assert carry_status(1, 1) == "G"
+        assert carry_status(0, 0) == "K"
+        assert carry_status(1, 0) == "P"
+        assert carry_status(0, 1) == "P"
+
+    def test_bad_bits(self):
+        with pytest.raises(IllegalArgumentError):
+            carry_status(2, 0)
+
+    def test_compose_later_wins(self):
+        assert compose_status("G", "K") == "K"
+        assert compose_status("K", "G") == "G"
+        assert compose_status("G", "P") == "G"
+        assert compose_status("K", "P") == "K"
+        assert compose_status("P", "P") == "P"
+
+    @given(st.sampled_from("KGP"), st.sampled_from("KGP"), st.sampled_from("KGP"))
+    def test_compose_associative(self, a, b, c):
+        assert compose_status(compose_status(a, b), c) == compose_status(
+            a, compose_status(b, c)
+        )
+
+    @given(st.sampled_from("KGP"))
+    def test_p_is_identity(self, s):
+        assert compose_status("P", s) == s
+        assert compose_status(s, "P") == s
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_bits_roundtrip(self, v):
+        assert bits_to_int(int_to_bits(v, 16)) == v
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            int_to_bits(16, 4)
+
+
+class TestAdders:
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_ripple_matches_integer_add(self, a, b):
+        bits, carry = ripple_carry_add(int_to_bits(a, 16), int_to_bits(b, 16))
+        assert bits_to_int(bits) + (carry << 16) == a + b
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_lookahead_matches_integer_add(self, a, b):
+        assert add_integers(a, b, 16) == a + b
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_lookahead_equals_ripple(self, a, b):
+        a_bits, b_bits = int_to_bits(a, 16), int_to_bits(b, 16)
+        assert carry_lookahead_add(a_bits, b_bits, parallel=False) == ripple_carry_add(
+            a_bits, b_bits
+        )
+
+    def test_parallel_execution(self, pool):
+        a, b = 123456789, 987654321
+        assert add_integers(a, b, 32, parallel=True, pool=pool) == a + b
+
+    def test_carry_out(self):
+        assert add_integers(2**8 - 1, 1, 8) == 2**8
+
+    def test_width_mismatch(self):
+        with pytest.raises(IllegalArgumentError):
+            carry_lookahead_add([0, 1], [1], parallel=False)
+        with pytest.raises(IllegalArgumentError):
+            ripple_carry_add([0, 1], [1])
+
+    def test_non_power_width_rejected(self):
+        from repro.common import NotPowerOfTwoError
+
+        with pytest.raises(NotPowerOfTwoError):
+            carry_lookahead_add([0, 1, 1], [1, 0, 1], parallel=False)

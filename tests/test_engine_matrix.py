@@ -1,0 +1,172 @@
+"""The engine matrix: every function × every execution engine, one answer.
+
+The repository's core guarantee is that a PowerList function means the
+same thing everywhere.  This module drives shared workloads through all
+engines and pins exact (or fp-tight) agreement.
+"""
+
+import operator
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    batcher_merge_sort,
+    fft,
+    polynomial_value,
+    polynomial_value_tupled,
+    power_collect,
+    prefix_sum,
+    vectorized_fft,
+    vectorized_polynomial_value,
+    PowerMapCollector,
+    PowerReduceCollector,
+)
+from repro.forkjoin import ForkJoinPool
+from repro.jplf import (
+    ForkJoinExecutor,
+    JplfFft,
+    JplfMap,
+    JplfPolynomialValue,
+    JplfPrefixSum,
+    JplfReduce,
+    JplfSort,
+    SequentialExecutor,
+)
+from repro.mpi import CommModel, MpiExecutor
+from repro.powerlist import PowerList
+from repro.powerlist.algebra import induction_tie
+from repro.simcore.adapters import simulate_jplf
+
+N = 256
+SEED = 2020
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="matrix")
+    yield p
+    p.shutdown()
+
+
+@pytest.fixture(scope="module")
+def floats():
+    rng = random.Random(SEED)
+    return [rng.uniform(-1, 1) for _ in range(N)]
+
+
+@pytest.fixture(scope="module")
+def ints():
+    rng = random.Random(SEED + 1)
+    return [rng.randint(0, 10**6) for _ in range(N)]
+
+
+class TestPolynomialEngines:
+    X = 0.991
+
+    def engines(self, pool):
+        return {
+            "spec-horner": lambda cs: float(np.polyval(cs, self.X)),
+            "stream-seq": lambda cs: polynomial_value(cs, self.X, parallel=False),
+            "stream-par": lambda cs: polynomial_value(cs, self.X, pool=pool),
+            "stream-tupled": lambda cs: polynomial_value_tupled(cs, self.X, pool=pool),
+            "stream-vectorized": lambda cs: vectorized_polynomial_value(
+                cs, self.X, pool=pool
+            ),
+            "jplf-seq": lambda cs: SequentialExecutor().execute(
+                JplfPolynomialValue(PowerList(cs), self.X)
+            ),
+            "jplf-forkjoin": lambda cs: ForkJoinExecutor(pool).execute(
+                JplfPolynomialValue(PowerList(cs), self.X)
+            ),
+            "jplf-simulated": lambda cs: simulate_jplf(
+                JplfPolynomialValue(PowerList(cs), self.X), 8, "polynomial"
+            )[0],
+            "mpi-simulated": lambda cs: MpiExecutor(
+                ranks=4, operator_profile="polynomial"
+            ).execute(JplfPolynomialValue(PowerList(cs), self.X)).result,
+        }
+
+    def test_all_engines_agree(self, pool, floats):
+        results = {name: fn(floats) for name, fn in self.engines(pool).items()}
+        reference = results.pop("spec-horner")
+        for name, value in results.items():
+            assert value == pytest.approx(reference, rel=1e-9), name
+
+
+class TestFftEngines:
+    def test_all_engines_agree(self, pool, floats):
+        signal = [complex(v) for v in floats]
+        reference = np.fft.fft(signal)
+        engines = {
+            "stream": fft(signal, pool=pool),
+            "stream-seq": fft(signal, parallel=False),
+            "vectorized": vectorized_fft(signal, pool=pool),
+            "jplf": ForkJoinExecutor(pool).execute(JplfFft(PowerList(signal))),
+        }
+        for name, value in engines.items():
+            np.testing.assert_allclose(value, reference, rtol=1e-8, atol=1e-8,
+                                       err_msg=name)
+
+
+class TestMapReduceEngines:
+    def test_map_engines_agree(self, pool, ints):
+        f = lambda x: (x * 31) % 1009
+        reference = [f(x) for x in ints]
+        engines = {
+            "spec-induction": induction_tie(
+                PowerList(ints), lambda a: [f(a)], operator.add
+            ),
+            "stream-tie": power_collect(PowerMapCollector(f, "tie"), ints, pool=pool),
+            "stream-zip": power_collect(PowerMapCollector(f, "zip"), ints, pool=pool),
+            "jplf": ForkJoinExecutor(pool).execute(JplfMap(PowerList(ints), f)),
+        }
+        for name, value in engines.items():
+            assert value == reference, name
+
+    def test_reduce_engines_agree(self, pool, ints):
+        reference = sum(ints)
+        engines = {
+            "stream": power_collect(
+                PowerReduceCollector(operator.add, "tie"), ints, pool=pool
+            ),
+            "jplf": ForkJoinExecutor(pool).execute(
+                JplfReduce(PowerList(ints), operator.add)
+            ),
+            "mpi": MpiExecutor(ranks=8).execute(
+                JplfReduce(PowerList(ints), operator.add)
+            ).result,
+            "simulated": simulate_jplf(
+                JplfReduce(PowerList(ints), operator.add), 8
+            )[0],
+        }
+        for name, value in engines.items():
+            assert value == reference, name
+
+
+class TestSortScanEngines:
+    def test_sort_engines_agree(self, pool, ints):
+        reference = sorted(ints)
+        assert batcher_merge_sort(ints, pool=pool) == reference
+        assert ForkJoinExecutor(pool).execute(JplfSort(PowerList(ints))) == reference
+
+    def test_scan_engines_agree(self, pool, ints):
+        import itertools
+
+        reference = list(itertools.accumulate(ints))
+        assert prefix_sum(ints, pool=pool) == reference
+        jplf_prefix, total = ForkJoinExecutor(pool).execute(
+            JplfPrefixSum(PowerList(ints))
+        )
+        assert jplf_prefix == reference
+        assert total == reference[-1]
+        from repro.powerlist.functions import ladner_fischer_scan
+
+        assert ladner_fischer_scan(PowerList(ints)).to_list() == reference
+        from repro.core.vectorized import vectorized_prefix_sum
+
+        np.testing.assert_allclose(
+            vectorized_prefix_sum([float(v) for v in ints], pool=pool),
+            np.array(reference, dtype=np.float64),
+        )

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example ends by printing ``<name> OK``; these tests execute them in
+a subprocess (fresh interpreter, as a user would) and assert success.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert f"{script.stem} OK" in result.stdout, result.stdout[-2000:]
+
+
+def test_all_examples_discovered():
+    # Guard against the glob silently matching nothing.
+    assert len(EXAMPLES) >= 7
+
+
+def test_bench_cli_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "ab6"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "AB6" in result.stdout

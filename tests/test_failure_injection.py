@@ -1,0 +1,236 @@
+"""Failure injection: exceptions and adversarial components through the
+parallel machinery.
+
+Errors must propagate out of parallel executions promptly and leave the
+shared pool reusable — the properties that make a fork/join substrate
+trustworthy in production.
+"""
+
+import math
+
+import pytest
+
+from repro.common import IllegalStateError, NotPowerOfTwoError
+from repro.core import IdentityCollector, PowerReduceCollector, power_collect
+from repro.forkjoin import ForkJoinPool
+from repro.streams import Collector, Collectors, Stream, stream_of
+from repro.streams.spliterator import Characteristics, Spliterator
+from repro.streams.stream_support import StreamSupport
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="failure")
+    yield p
+    p.shutdown()
+
+
+class TestExceptionPropagation:
+    def test_map_exception_sequential(self):
+        with pytest.raises(ZeroDivisionError):
+            Stream.range(0, 10).map(lambda x: 1 // (x - 5)).to_list()
+
+    def test_map_exception_parallel(self, pool):
+        with pytest.raises(ZeroDivisionError):
+            (
+                Stream.range(0, 10_000)
+                .parallel()
+                .with_pool(pool)
+                .map(lambda x: 1 // (x - 7777))
+                .to_list()
+            )
+
+    def test_filter_exception_parallel(self, pool):
+        def bad(x):
+            if x == 5000:
+                raise KeyError("poison")
+            return True
+
+        with pytest.raises(KeyError):
+            Stream.range(0, 10_000).parallel().with_pool(pool).filter(bad).count()
+
+    def test_accumulator_exception_parallel(self, pool):
+        def explode(acc, t):
+            raise ValueError("acc")
+
+        with pytest.raises(ValueError, match="acc"):
+            Stream.range(0, 1000).parallel().with_pool(pool).collect(
+                lambda: [], explode, lambda a, b: a.extend(b)
+            )
+
+    def test_combiner_exception_parallel(self, pool):
+        def bad_combine(a, b):
+            raise RuntimeError("comb")
+
+        with pytest.raises(RuntimeError, match="comb"):
+            Stream.range(0, 1000).parallel().with_pool(pool).collect(
+                lambda: [], lambda acc, t: acc.append(t), bad_combine
+            )
+
+    def test_supplier_exception_parallel(self, pool):
+        collector = Collector.of(
+            lambda: (_ for _ in ()).throw(OSError("sup")),
+            lambda a, t: None,
+            lambda a, b: a,
+        )
+        with pytest.raises(OSError):
+            Stream.range(0, 1000).parallel().with_pool(pool).collect(collector)
+
+    def test_pool_reusable_after_failures(self, pool):
+        for _ in range(5):
+            with pytest.raises(ZeroDivisionError):
+                Stream.range(0, 1000).parallel().with_pool(pool).map(
+                    lambda x: 1 // 0
+                ).to_list()
+        # The pool still computes correctly afterwards.
+        assert Stream.range(0, 1000).parallel().with_pool(pool).sum() == 499500
+
+    def test_stream_consumed_even_when_terminal_raises(self):
+        s = Stream.of_items(1, 2, 3).map(lambda x: 1 // 0)
+        with pytest.raises(ZeroDivisionError):
+            s.to_list()
+        with pytest.raises(IllegalStateError):
+            s.to_list()
+
+    def test_power_collect_exception(self, pool):
+        with pytest.raises(ArithmeticError):
+            power_collect(
+                PowerReduceCollector(lambda a, b: (_ for _ in ()).throw(
+                    ArithmeticError("op")
+                )),
+                list(range(64)),
+                pool=pool,
+            )
+
+
+class TestAdversarialSpliterators:
+    def test_lying_size_estimate_still_correct(self, pool):
+        class Liar(Spliterator):
+            """Claims a huge size but delivers 10 elements."""
+
+            def __init__(self):
+                self.items = list(range(10))
+
+            def try_advance(self, action):
+                if self.items:
+                    action(self.items.pop(0))
+                    return True
+                return False
+
+            def try_split(self):
+                return None
+
+            def estimate_size(self):
+                return 10**12
+
+            def characteristics(self):
+                return Characteristics.ORDERED
+
+        out = StreamSupport.stream(Liar(), parallel=True).with_pool(pool).to_list()
+        assert out == list(range(10))
+
+    def test_never_splitting_source_parallel(self, pool):
+        class Monolith(Spliterator):
+            def __init__(self, n):
+                self.i, self.n = 0, n
+
+            def try_advance(self, action):
+                if self.i < self.n:
+                    action(self.i)
+                    self.i += 1
+                    return True
+                return False
+
+            def try_split(self):
+                return None
+
+            def estimate_size(self):
+                return self.n - self.i
+
+            def characteristics(self):
+                return Characteristics.SIZED | Characteristics.ORDERED
+
+        out = (
+            StreamSupport.stream(Monolith(100), parallel=True)
+            .with_pool(pool)
+            .map(lambda x: x + 1)
+            .sum()
+        )
+        assert out == sum(range(1, 101))
+
+    def test_non_power2_rejected_before_work_starts(self, pool):
+        calls = []
+        with pytest.raises(NotPowerOfTwoError):
+            power_collect(IdentityCollector(), list(range(6)), pool=pool)
+        assert calls == []
+
+
+class TestNumericEdgeCases:
+    def test_polynomial_nan_propagates(self, pool):
+        from repro.core import polynomial_value
+
+        out = polynomial_value([1.0, float("nan"), 0.0, 0.0], 1.0, pool=pool)
+        assert math.isnan(out)
+
+    def test_polynomial_inf(self, pool):
+        from repro.core import polynomial_value
+
+        out = polynomial_value([float("inf"), 0.0], 2.0, pool=pool)
+        assert math.isinf(out)
+
+    def test_reduce_with_huge_ints(self, pool):
+        data = [10**100] * 64
+        out = power_collect(PowerReduceCollector(lambda a, b: a + b), data, pool=pool)
+        assert out == 64 * 10**100
+
+
+class TestStress:
+    def test_deep_pipeline(self):
+        s = Stream.range(0, 100)
+        for _ in range(100):
+            s = s.map(lambda x: x + 1)
+        assert s.to_list() == list(range(100, 200))
+
+    def test_wide_flat_map(self, pool):
+        out = (
+            Stream.range(0, 100)
+            .parallel()
+            .with_pool(pool)
+            .flat_map(lambda x: range(100))
+            .count()
+        )
+        assert out == 10_000
+
+    def test_many_concurrent_parallel_streams(self, pool):
+        import threading
+
+        results = []
+        lock = threading.Lock()
+
+        def worker(seed):
+            out = Stream.range(0, 2000).parallel().with_pool(pool).map(
+                lambda x: x * seed
+            ).sum()
+            with lock:
+                results.append(out == seed * sum(range(2000)))
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(1, 9)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(results) and len(results) == 8
+
+    def test_empty_stream_all_parallel_terminals(self, pool):
+        make = lambda: Stream.empty().parallel().with_pool(pool)
+        assert make().to_list() == []
+        assert make().count() == 0
+        assert make().sum() == 0
+        assert make().reduce(lambda a, b: a + b).is_empty()
+        assert make().min().is_empty()
+        assert not make().any_match(lambda x: True)
+        assert make().all_match(lambda x: False)
+        assert make().find_first().is_empty()
+        seen = []
+        make().for_each(seen.append)
+        assert seen == []

@@ -1,0 +1,235 @@
+"""Tests for the work-stealing fork/join executor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.common import IllegalStateError
+from repro.forkjoin import (
+    ForkJoinPool,
+    RecursiveAction,
+    RecursiveTask,
+    WorkStealingDeque,
+    common_pool,
+)
+
+
+class TestWorkStealingDeque:
+    def test_owner_lifo(self):
+        d = WorkStealingDeque()
+        d.push(1)
+        d.push(2)
+        assert d.pop() == 2
+        assert d.pop() == 1
+        assert d.pop() is None
+
+    def test_thief_fifo(self):
+        d = WorkStealingDeque()
+        d.push(1)
+        d.push(2)
+        assert d.steal() == 1
+        assert d.steal() == 2
+        assert d.steal() is None
+
+    def test_remove(self):
+        d = WorkStealingDeque()
+        d.push("a")
+        d.push("b")
+        assert d.remove("a")
+        assert not d.remove("a")
+        assert d.pop() == "b"
+
+    def test_len_and_bool(self):
+        d = WorkStealingDeque()
+        assert not d
+        d.push(1)
+        assert len(d) == 1
+        assert d
+
+
+class SumTask(RecursiveTask):
+    """Canonical fork/join example: recursive range sum."""
+
+    def __init__(self, lo, hi, threshold=64):
+        super().__init__()
+        self.lo, self.hi, self.threshold = lo, hi, threshold
+
+    def compute(self):
+        if self.hi - self.lo <= self.threshold:
+            return sum(range(self.lo, self.hi))
+        mid = (self.lo + self.hi) // 2
+        left = SumTask(self.lo, mid, self.threshold)
+        right = SumTask(mid, self.hi, self.threshold)
+        left.fork()
+        right_result = right.compute()
+        return left.join() + right_result
+
+
+class FibTask(RecursiveTask):
+    """Deep, irregular task tree — stresses helping joins."""
+
+    def __init__(self, n):
+        super().__init__()
+        self.n = n
+
+    def compute(self):
+        if self.n < 2:
+            return self.n
+        a = FibTask(self.n - 1)
+        b = FibTask(self.n - 2)
+        a.fork()
+        return b.compute() + a.join()
+
+
+class TouchAction(RecursiveAction):
+    def __init__(self, out, index):
+        super().__init__()
+        self.out = out
+        self.index = index
+
+    def compute(self):
+        self.out[self.index] = threading.current_thread().name
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="test")
+    yield p
+    p.shutdown()
+
+
+class TestForkJoinPool:
+    def test_invoke_sum(self, pool):
+        n = 10_000
+        assert pool.invoke(SumTask(0, n)) == n * (n - 1) // 2
+
+    def test_deep_recursion_fib(self, pool):
+        assert pool.invoke(FibTask(15)) == 610
+
+    def test_many_roots_concurrently(self, pool):
+        tasks = [pool.submit(SumTask(0, 1000, threshold=16)) for _ in range(20)]
+        for t in tasks:
+            assert t.join() == 499500
+
+    def test_exception_propagates(self, pool):
+        class Boom(RecursiveTask):
+            def compute(self):
+                raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            pool.invoke(Boom())
+
+    def test_exception_in_forked_child_propagates(self, pool):
+        class Child(RecursiveTask):
+            def compute(self):
+                raise KeyError("child")
+
+        class Parent(RecursiveTask):
+            def compute(self):
+                c = Child()
+                c.fork()
+                return c.join()
+
+        with pytest.raises(KeyError):
+            pool.invoke(Parent())
+
+    def test_recursive_action(self, pool):
+        out = {}
+
+        class Fanout(RecursiveAction):
+            def compute(self):
+                children = [TouchAction(out, i) for i in range(8)]
+                for c in children:
+                    c.fork()
+                for c in children:
+                    c.join()
+
+        pool.invoke(Fanout())
+        assert set(out.keys()) == set(range(8))
+
+    def test_work_actually_distributed(self):
+        # With 4 workers and enough leaf tasks, more than one worker thread
+        # should participate (statistically certain with 200 sleeps).
+        with ForkJoinPool(parallelism=4, name="dist") as p:
+            seen = set()
+            lock = threading.Lock()
+
+            class Leaf(RecursiveAction):
+                def compute(self):
+                    time.sleep(0.001)
+                    with lock:
+                        seen.add(threading.current_thread().name)
+
+            class Root(RecursiveAction):
+                def compute(self):
+                    leaves = [Leaf() for _ in range(200)]
+                    for leaf in leaves:
+                        leaf.fork()
+                    for leaf in leaves:
+                        leaf.join()
+
+            p.invoke(Root())
+        assert len(seen) >= 2
+
+    def test_submit_after_shutdown_rejected(self):
+        p = ForkJoinPool(parallelism=1)
+        p.shutdown()
+        with pytest.raises(IllegalStateError):
+            p.submit(SumTask(0, 10))
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            ForkJoinPool(parallelism=0)
+
+    def test_fork_outside_pool_without_submit_rejected(self):
+        with pytest.raises(IllegalStateError):
+            SumTask(0, 10).fork()
+
+    def test_invoke_from_inside_worker_runs_inline(self, pool):
+        class Outer(RecursiveTask):
+            def compute(self):
+                return pool.invoke(SumTask(0, 100))
+
+        assert pool.invoke(Outer()) == 4950
+
+    def test_task_run_idempotent(self):
+        calls = []
+
+        class Once(RecursiveTask):
+            def compute(self):
+                calls.append(1)
+                return 1
+
+        t = Once()
+        t.run()
+        t.run()
+        assert calls == [1]
+
+    def test_invoke_returns_result_directly(self):
+        class Five(RecursiveTask):
+            def compute(self):
+                return 5
+
+        assert Five().invoke() == 5
+
+    def test_get_raw_result(self):
+        class Five(RecursiveTask):
+            def compute(self):
+                return 5
+
+        t = Five()
+        assert t.get_raw_result() is None
+        t.run()
+        assert t.get_raw_result() == 5
+
+    def test_repr(self, pool):
+        assert "parallelism=4" in repr(pool)
+
+
+class TestCommonPool:
+    def test_common_pool_singleton(self):
+        assert common_pool() is common_pool()
+
+    def test_common_pool_executes(self):
+        assert common_pool().invoke(SumTask(0, 1000)) == 499500

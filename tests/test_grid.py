@@ -1,0 +1,200 @@
+"""Tests for two-dimensional PowerLists (Grid)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError, NotPowerOfTwoError
+from repro.forkjoin import ForkJoinPool
+from repro.powerlist.grid import (
+    Grid,
+    grid_add,
+    matmul,
+    parallel_matmul,
+    transpose,
+)
+
+
+def square_grids(max_log=3):
+    """Random 2^k × 2^k integer grids."""
+    return st.integers(0, max_log).flatmap(
+        lambda k: st.lists(
+            st.lists(st.integers(-50, 50), min_size=2**k, max_size=2**k),
+            min_size=2**k,
+            max_size=2**k,
+        )
+    ).map(Grid.from_rows)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="grid")
+    yield p
+    p.shutdown()
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        g = Grid.from_rows([[1, 2], [3, 4]])
+        assert g.get(0, 1) == 2
+        assert g.get(1, 0) == 3
+        assert g.to_rows() == [[1, 2], [3, 4]]
+
+    def test_ragged_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            Grid.from_rows([[1, 2], [3]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            Grid.from_rows([])
+
+    def test_non_power_dims_rejected(self):
+        with pytest.raises(NotPowerOfTwoError):
+            Grid.from_rows([[1, 2, 3]])
+
+    def test_filled_and_set(self):
+        g = Grid.filled(0, 2, 2)
+        g.set(1, 1, 9)
+        assert g.to_rows() == [[0, 0], [0, 9]]
+
+    def test_bounds(self):
+        g = Grid.filled(0, 2, 2)
+        with pytest.raises(IndexError):
+            g.get(2, 0)
+        with pytest.raises(IndexError):
+            g.set(0, 2, 1)
+
+    def test_eq_and_repr(self):
+        assert Grid.from_rows([[1]]) == Grid.from_rows([[1]])
+        assert Grid.from_rows([[1]]).__eq__(3) is NotImplemented
+        assert repr(Grid.filled(0, 2, 4)) == "Grid(2x4)"
+        with pytest.raises(TypeError):
+            hash(Grid.filled(0, 1, 1))
+
+
+class TestSplits:
+    def setup_method(self):
+        self.g = Grid.from_rows([[1, 2, 3, 4], [5, 6, 7, 8],
+                                 [9, 10, 11, 12], [13, 14, 15, 16]])
+
+    def test_tie_split_rows(self):
+        top, bottom = self.g.tie_split_rows()
+        assert top.to_rows() == [[1, 2, 3, 4], [5, 6, 7, 8]]
+        assert bottom.to_rows() == [[9, 10, 11, 12], [13, 14, 15, 16]]
+
+    def test_zip_split_rows(self):
+        even, odd = self.g.zip_split_rows()
+        assert even.to_rows() == [[1, 2, 3, 4], [9, 10, 11, 12]]
+        assert odd.to_rows() == [[5, 6, 7, 8], [13, 14, 15, 16]]
+
+    def test_tie_split_cols(self):
+        left, right = self.g.tie_split_cols()
+        assert left.to_rows() == [[1, 2], [5, 6], [9, 10], [13, 14]]
+        assert right.to_rows() == [[3, 4], [7, 8], [11, 12], [15, 16]]
+
+    def test_zip_split_cols(self):
+        even, odd = self.g.zip_split_cols()
+        assert even.to_rows() == [[1, 3], [5, 7], [9, 11], [13, 15]]
+        assert odd.to_rows() == [[2, 4], [6, 8], [10, 12], [14, 16]]
+
+    def test_quad_split(self):
+        a, b, c, d = self.g.quad_split()
+        assert a.to_rows() == [[1, 2], [5, 6]]
+        assert b.to_rows() == [[3, 4], [7, 8]]
+        assert c.to_rows() == [[9, 10], [13, 14]]
+        assert d.to_rows() == [[11, 12], [15, 16]]
+
+    def test_splits_share_storage(self):
+        for part in self.g.quad_split():
+            assert part.storage is self.g.storage
+
+    def test_write_through_quadrant(self):
+        _, _, _, d = self.g.quad_split()
+        d.set(0, 0, 99)
+        assert self.g.get(2, 2) == 99
+
+    def test_single_row_col_refuse(self):
+        g = Grid.from_rows([[1, 2]])
+        with pytest.raises(IllegalArgumentError):
+            g.tie_split_rows()
+        h = Grid.from_rows([[1], [2]])
+        with pytest.raises(IllegalArgumentError):
+            h.tie_split_cols()
+
+
+class TestTranspose:
+    @given(square_grids())
+    def test_matches_numpy(self, g):
+        expected = np.array(g.to_rows()).T.tolist()
+        assert transpose(g).to_rows() == expected
+
+    @given(square_grids())
+    def test_view_matches_recursive(self, g):
+        assert g.transposed_view().to_rows() == transpose(g).to_rows()
+
+    def test_view_is_zero_copy(self):
+        g = Grid.from_rows([[1, 2], [3, 4]])
+        assert g.transposed_view().storage is g.storage
+
+    @given(square_grids(max_log=2))
+    def test_involution(self, g):
+        assert transpose(transpose(g)) == g
+
+    def test_rectangular(self):
+        g = Grid.from_rows([[1, 2, 3, 4], [5, 6, 7, 8]])
+        assert g.transposed_view().to_rows() == [[1, 5], [2, 6], [3, 7], [4, 8]]
+
+
+class TestMatmul:
+    @given(square_grids(max_log=2), square_grids(max_log=2))
+    @settings(deadline=None, max_examples=30)
+    def test_matches_numpy(self, x, y):
+        if x.cols != y.rows:
+            return
+        expected = (np.array(x.to_rows()) @ np.array(y.to_rows())).tolist()
+        assert matmul(x, y).to_rows() == expected
+
+    def test_identity(self):
+        i2 = Grid.from_rows([[1, 0], [0, 1]])
+        m = Grid.from_rows([[3, 4], [5, 6]])
+        assert matmul(i2, m) == m
+        assert matmul(m, i2) == m
+
+    def test_shape_mismatch(self):
+        with pytest.raises(IllegalArgumentError):
+            matmul(Grid.filled(1, 2, 2), Grid.filled(1, 4, 4))
+
+    def test_grid_add_similarity(self):
+        with pytest.raises(IllegalArgumentError):
+            grid_add(Grid.filled(1, 2, 2), Grid.filled(1, 4, 4))
+
+    def test_threshold_variants_agree(self):
+        rng = np.random.default_rng(7)
+        x = Grid.from_rows(rng.integers(-5, 5, (8, 8)).tolist())
+        y = Grid.from_rows(rng.integers(-5, 5, (8, 8)).tolist())
+        assert matmul(x, y, threshold=1) == matmul(x, y, threshold=8)
+
+    def test_parallel_matmul(self, pool):
+        rng = np.random.default_rng(8)
+        x = Grid.from_rows(rng.integers(-9, 9, (16, 16)).tolist())
+        y = Grid.from_rows(rng.integers(-9, 9, (16, 16)).tolist())
+        out = parallel_matmul(x, y, pool, threshold=4)
+        expected = (np.array(x.to_rows()) @ np.array(y.to_rows())).tolist()
+        assert out.to_rows() == expected
+
+    def test_parallel_shape_mismatch(self, pool):
+        with pytest.raises(IllegalArgumentError):
+            parallel_matmul(Grid.filled(1, 2, 2), Grid.filled(1, 4, 4), pool)
+
+    def test_transpose_product_law(self):
+        # (XY)ᵀ = Yᵀ Xᵀ
+        rng = np.random.default_rng(9)
+        x = Grid.from_rows(rng.integers(-5, 5, (4, 4)).tolist())
+        y = Grid.from_rows(rng.integers(-5, 5, (4, 4)).tolist())
+        lhs = transpose(matmul(x, y))
+        rhs = matmul(
+            Grid.from_rows(y.transposed_view().to_rows()),
+            Grid.from_rows(x.transposed_view().to_rows()),
+        )
+        assert lhs == rhs

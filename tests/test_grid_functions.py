@@ -1,0 +1,96 @@
+"""Tests for quad-tree GridFunction templates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forkjoin import ForkJoinPool
+from repro.jplf.grid_function import (
+    GridForkJoinExecutor,
+    GridMax,
+    GridSum,
+    GridTrace,
+)
+from repro.powerlist.grid import Grid
+
+
+def square_grids(max_log=3):
+    return st.integers(0, max_log).flatmap(
+        lambda k: st.lists(
+            st.lists(st.integers(-100, 100), min_size=2**k, max_size=2**k),
+            min_size=2**k,
+            max_size=2**k,
+        )
+    ).map(Grid.from_rows)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="gridfn")
+    yield p
+    p.shutdown()
+
+
+class TestSequentialCompute:
+    @given(square_grids())
+    def test_sum_matches_numpy(self, g):
+        assert GridSum(g).compute() == np.array(g.to_rows()).sum()
+
+    @given(square_grids())
+    def test_max_matches_numpy(self, g):
+        assert GridMax(g).compute() == np.array(g.to_rows()).max()
+
+    @given(square_grids())
+    def test_trace_matches_numpy(self, g):
+        assert GridTrace(g).compute() == np.trace(np.array(g.to_rows()))
+
+    def test_singleton(self):
+        g = Grid.from_rows([[7]])
+        assert GridSum(g).compute() == 7
+        assert GridTrace(g).compute() == 7
+
+    def test_rectangular_leaf(self):
+        # 1×4: not quad-splittable; the leaf case handles it.
+        g = Grid.from_rows([[1, 2, 3, 4]])
+        assert GridSum(g).compute() == 10
+        assert GridMax(g).compute() == 4
+
+
+class TestForkJoinExecution:
+    @pytest.mark.parametrize("threshold", [None, 1, 4, 64])
+    def test_sum(self, threshold, pool):
+        rng = np.random.default_rng(1)
+        g = Grid.from_rows(rng.integers(-9, 9, (16, 16)).tolist())
+        out = GridForkJoinExecutor(pool, threshold=threshold).execute(GridSum(g))
+        assert out == np.array(g.to_rows()).sum()
+
+    def test_max(self, pool):
+        rng = np.random.default_rng(2)
+        g = Grid.from_rows(rng.integers(-999, 999, (32, 32)).tolist())
+        out = GridForkJoinExecutor(pool).execute(GridMax(g))
+        assert out == np.array(g.to_rows()).max()
+
+    def test_trace(self, pool):
+        rng = np.random.default_rng(3)
+        g = Grid.from_rows(rng.integers(-9, 9, (16, 16)).tolist())
+        out = GridForkJoinExecutor(pool, threshold=4).execute(GridTrace(g))
+        assert out == np.trace(np.array(g.to_rows()))
+
+    def test_agrees_with_sequential(self, pool):
+        rng = np.random.default_rng(4)
+        g = Grid.from_rows(rng.integers(-9, 9, (8, 8)).tolist())
+        assert GridForkJoinExecutor(pool).execute(GridSum(g)) == GridSum(g).compute()
+
+
+class TestQuadDecompositionDiscipline:
+    def test_quadrants_are_views(self):
+        g = Grid.filled(1, 8, 8)
+        fn = GridSum(g)
+        subs = [fn.create_subfunction(q) for q in g.quad_split()]
+        assert all(sub.data.storage is g.storage for sub in subs)
+
+    def test_splittable_predicate(self):
+        assert GridSum(Grid.filled(0, 2, 2)).splittable()
+        assert not GridSum(Grid.filled(0, 1, 4)).splittable()
+        assert not GridSum(Grid.filled(0, 4, 1)).splittable()

@@ -1,0 +1,142 @@
+"""Tests for Strassen multiplication, the bitonic collector, the random
+steal policy, and the decomposition-tree printer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError
+from repro.core.sorting import bitonic_sort_collect
+from repro.forkjoin import ForkJoinPool
+from repro.powerlist import PowerList
+from repro.powerlist.grid import Grid, matmul, strassen
+from repro.powerlist.show import decomposition_tree, side_by_side
+from repro.simcore import CostModel, SimMachine, build_dc_dag, greedy_bound_check
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="misc")
+    yield p
+    p.shutdown()
+
+
+class TestStrassen:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        x = Grid.from_rows(rng.integers(-9, 9, (n, n)).tolist())
+        y = Grid.from_rows(rng.integers(-9, 9, (n, n)).tolist())
+        expected = (np.array(x.to_rows()) @ np.array(y.to_rows())).tolist()
+        assert strassen(x, y).to_rows() == expected
+
+    def test_agrees_with_naive_dc(self):
+        rng = np.random.default_rng(99)
+        x = Grid.from_rows(rng.integers(-5, 5, (8, 8)).tolist())
+        y = Grid.from_rows(rng.integers(-5, 5, (8, 8)).tolist())
+        assert strassen(x, y, threshold=1) == matmul(x, y, threshold=1)
+
+    def test_requires_square(self):
+        with pytest.raises(IllegalArgumentError):
+            strassen(Grid.filled(1, 2, 4), Grid.filled(1, 4, 2))
+
+    def test_exact_on_integers(self):
+        # Strassen adds/subtracts before multiplying; over ints it must
+        # stay exact (no float drift).
+        x = Grid.from_rows([[10**6, -(10**6)], [3, 4]])
+        y = Grid.from_rows([[1, 2], [3, 4]])
+        assert strassen(x, y) == matmul(x, y)
+
+
+class TestBitonicCollector:
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_sorts(self, parallel, pool):
+        import random
+
+        rng = random.Random(5)
+        data = [rng.randint(0, 999) for _ in range(128)]
+        assert bitonic_sort_collect(data, parallel=parallel, pool=pool) == sorted(data)
+
+    @pytest.mark.parametrize("target", [1, 4, 16])
+    def test_any_leaf_size(self, target, pool):
+        data = [(i * 13) % 101 for i in range(64)]
+        assert bitonic_sort_collect(data, pool=pool, target_size=target) == sorted(data)
+
+    @given(st.lists(st.integers(-100, 100), min_size=8, max_size=8))
+    def test_agrees_with_batcher(self, data):
+        from repro.core import batcher_merge_sort
+
+        assert bitonic_sort_collect(data, parallel=False) == batcher_merge_sort(
+            data, parallel=False
+        )
+
+
+class TestRandomStealPolicy:
+    def test_deterministic_given_seed(self):
+        dag = lambda: build_dc_dag(2**12, 2**6, CostModel())
+        a = SimMachine(4, steal_policy="random", seed=7).run(dag())
+        b = SimMachine(4, steal_policy="random", seed=7).run(dag())
+        assert a.makespan == b.makespan
+        assert [(t.worker, t.sid) for t in a.trace] == [
+            (t.worker, t.sid) for t in b.trace
+        ]
+
+    def test_policies_both_respect_bounds(self):
+        for policy in ("round_robin", "random"):
+            dag = build_dc_dag(2**12, 2**6, CostModel())
+            result = SimMachine(8, steal_policy=policy).run(dag)
+            assert greedy_bound_check(result).all_ok
+
+    def test_invalid_policy(self):
+        with pytest.raises(IllegalArgumentError):
+            SimMachine(2, steal_policy="chaotic")
+
+    def test_policies_may_differ_but_agree_on_work(self):
+        dag1 = build_dc_dag(2**12, 2**6, CostModel())
+        dag2 = build_dc_dag(2**12, 2**6, CostModel())
+        rr = SimMachine(8, steal_policy="round_robin").run(dag1)
+        rnd = SimMachine(8, steal_policy="random", seed=3).run(dag2)
+        assert rr.total_work == rnd.total_work
+        executed = lambda r: sorted(t.sid for t in r.trace)
+        assert executed(rr) == executed(rnd)
+
+
+class TestDecompositionTree:
+    def test_zip_tree_structure(self):
+        art = decomposition_tree(PowerList([0, 1, 2, 3]), "zip", show_elements=False)
+        lines = art.splitlines()
+        assert lines[0].startswith("zip")
+        assert sum("stride=4" in line for line in lines) == 4  # 4 singletons
+        assert "├──" in art and "└──" in art
+
+    def test_tie_tree_elements(self):
+        art = decomposition_tree(PowerList([7, 8]), "tie")
+        assert "⟨7, 8⟩" in art
+        assert "⟨7⟩" in art and "⟨8⟩" in art
+
+    def test_depth_limits(self):
+        art = decomposition_tree(PowerList(list(range(16))), "tie", depth=1,
+                                 show_elements=False)
+        assert len(art.splitlines()) == 3  # root + two children only
+
+    def test_long_lists_elided(self):
+        art = decomposition_tree(PowerList(list(range(16))), "tie", depth=0)
+        assert "…" in art
+
+    def test_invalid_operator(self):
+        with pytest.raises(IllegalArgumentError):
+            decomposition_tree(PowerList([1, 2]), "bogus")
+
+    def test_side_by_side(self):
+        art = side_by_side(PowerList([1, 2, 3, 4]))
+        assert art.count("tie [") == 1
+        assert art.count("zip [") == 1
+
+    def test_docstring_example(self):
+        import doctest
+
+        import repro.powerlist.show as show_mod
+
+        result = doctest.testmod(show_mod, verbose=False)
+        assert result.failed == 0

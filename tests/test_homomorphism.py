@@ -1,0 +1,114 @@
+"""Tests for the fused map∘reduce homomorphism collector."""
+
+import operator
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError
+from repro.core import (
+    HomomorphismCollector,
+    PowerMapCollector,
+    PowerReduceCollector,
+    power_collect,
+)
+from repro.forkjoin import ForkJoinPool
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="hom")
+    yield p
+    p.shutdown()
+
+
+def pow2_lists(max_log=6):
+    return st.integers(0, max_log).flatmap(
+        lambda k: st.lists(st.integers(-50, 50), min_size=2**k, max_size=2**k)
+    )
+
+
+class TestHomomorphism:
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_sum_of_squares(self, parallel, pool):
+        data = list(range(128))
+        out = power_collect(
+            HomomorphismCollector(lambda x: x * x, operator.add),
+            data, parallel=parallel, pool=pool,
+        )
+        assert out == sum(x * x for x in data)
+
+    def test_max_of_abs(self, pool):
+        data = [(-1) ** i * i for i in range(64)]
+        out = power_collect(HomomorphismCollector(abs, max), data, pool=pool)
+        assert out == 63
+
+    def test_string_length_concat_non_commutative(self, pool):
+        words = [chr(ord("a") + i % 26) * (i % 3 + 1) for i in range(32)]
+        out = power_collect(
+            HomomorphismCollector(lambda w: w.upper(), operator.add),
+            words, pool=pool,
+        )
+        assert out == "".join(w.upper() for w in words)
+
+    @given(pow2_lists())
+    def test_first_homomorphism_theorem(self, data):
+        # h = reduce(op) ∘ map(f): the fused collector must equal the
+        # composition of the two separate collectors.
+        f = lambda x: 2 * x - 1
+        fused = power_collect(
+            HomomorphismCollector(f, operator.add), data, parallel=False
+        )
+        mapped = power_collect(PowerMapCollector(f, "tie"), data, parallel=False)
+        composed = power_collect(
+            PowerReduceCollector(operator.add, "tie"), mapped, parallel=False
+        )
+        assert fused == composed
+
+    @pytest.mark.parametrize("target", [1, 4, 32])
+    def test_any_leaf_size(self, target, pool):
+        data = list(range(64))
+        out = power_collect(
+            HomomorphismCollector(lambda x: x + 1, operator.add),
+            data, pool=pool, target_size=target,
+        )
+        assert out == sum(range(1, 65))
+
+    def test_zip_needs_commutativity_documented(self, pool):
+        # Commutative op under zip: fine.
+        data = list(range(64))
+        out = power_collect(
+            HomomorphismCollector(lambda x: x, operator.add, "zip"),
+            data, pool=pool,
+        )
+        assert out == sum(data)
+
+    def test_empty_rejected(self):
+        collector = HomomorphismCollector(lambda x: x, operator.add)
+        box = collector.supplier()()
+        with pytest.raises(IllegalArgumentError):
+            collector.finisher()(box)
+
+    def test_bad_operator(self):
+        with pytest.raises(IllegalArgumentError):
+            HomomorphismCollector(lambda x: x, operator.add, "bogus")
+
+
+class TestStreamShortcuts:
+    def test_to_set(self):
+        from repro.streams import Stream
+
+        assert Stream.of_items(1, 2, 1).to_set() == {1, 2}
+
+    def test_to_dict(self):
+        from repro.streams import Stream
+
+        out = Stream.of_items("a", "bb").to_dict(lambda w: w, len)
+        assert out == {"a": 1, "bb": 2}
+
+    def test_to_dict_parallel(self):
+        from repro.streams import Stream
+
+        out = Stream.range(0, 100).parallel().to_dict(lambda x: x, lambda x: x * 2)
+        assert out == {x: 2 * x for x in range(100)}

@@ -1,0 +1,133 @@
+"""Tests for instrumented decomposition recording and replay."""
+
+import pytest
+
+from repro.core import IdentityCollector, PowerMapCollector
+from repro.forkjoin import ForkJoinPool
+from repro.simcore import CostModel, SimMachine, build_dc_dag
+from repro.simcore.instrument import (
+    dag_from_recording,
+    record_decomposition,
+)
+from repro.streams import Collectors, ListSpliterator
+from repro.streams.stream_support import StreamSupport
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="instr")
+    yield p
+    p.shutdown()
+
+
+def run_recorded_collect(data, collector, pool, target_size):
+    """Run a real parallel collect through a recording spliterator."""
+    inner = collector.create_spliterator(data)
+    wrapped, recording = record_decomposition(inner)
+    stream = (
+        StreamSupport.stream(wrapped, parallel=True)
+        .with_pool(pool)
+        .with_target_size(target_size)
+    )
+    result = stream.collect(collector)
+    return result, recording
+
+
+class TestRecording:
+    def test_sequential_no_splits(self):
+        wrapped, recording = record_decomposition(ListSpliterator(list(range(8))))
+        out = []
+        wrapped.for_each_remaining(out.append)
+        assert out == list(range(8))
+        assert recording.splits() == []
+        assert recording.total_elements() == 8
+
+    def test_parallel_records_real_shape(self, pool):
+        data = list(range(256))
+        result, recording = run_recorded_collect(
+            data, IdentityCollector("tie"), pool, target_size=32
+        )
+        assert result == data
+        assert len(recording.leaves()) == 256 // 32
+        assert len(recording.splits()) == 256 // 32 - 1
+        assert recording.total_elements() == 256
+
+    def test_zip_strides_recorded(self, pool):
+        data = list(range(64))
+        result, recording = run_recorded_collect(
+            data, IdentityCollector("zip"), pool, target_size=16
+        )
+        assert result == data
+        leaf_strides = {n.stride for n in recording.leaves()}
+        assert leaf_strides == {4}  # 64/16 = 4 leaves → stride 4 at depth 2
+
+    def test_every_element_traversed_once(self, pool):
+        data = list(range(128))
+        result, recording = run_recorded_collect(
+            data, PowerMapCollector(lambda x: x, "tie"), pool, target_size=8
+        )
+        assert result == data
+        assert recording.total_elements() == 128
+
+    def test_try_advance_counted(self):
+        wrapped, recording = record_decomposition(ListSpliterator([1, 2, 3]))
+        while wrapped.try_advance(lambda x: None):
+            pass
+        assert recording.total_elements() == 3
+
+    def test_characteristics_pass_through(self):
+        from repro.streams import Characteristics
+
+        wrapped, _ = record_decomposition(ListSpliterator(list(range(8))))
+        assert wrapped.has_characteristics(Characteristics.POWER2)
+        assert wrapped.estimate_size() == 8
+
+
+class TestDagFromRecording:
+    def test_matches_analytic_dag(self, pool):
+        n, target = 256, 16
+        model = CostModel()
+        _, recording = run_recorded_collect(
+            list(range(n)), IdentityCollector("tie"), pool, target_size=target
+        )
+        observed = dag_from_recording(recording, model)
+        analytic = build_dc_dag(n, target, model, "tie")
+        assert observed.leaf_count() == analytic.leaf_count()
+        assert observed.total_work() == pytest.approx(analytic.total_work())
+        assert observed.critical_path() == pytest.approx(analytic.critical_path())
+
+    def test_observed_dag_schedulable(self, pool):
+        _, recording = run_recorded_collect(
+            list(range(128)), IdentityCollector("zip"), pool, target_size=8
+        )
+        dag = dag_from_recording(recording, CostModel())
+        dag.validate()
+        result = SimMachine(8).run(dag)
+        assert result.makespan > 0
+        executed = sorted(t.sid for t in result.trace)
+        assert executed == list(range(len(dag.strands)))
+
+    def test_empty_recording_rejected(self):
+        from repro.common import IllegalStateError
+        from repro.simcore.instrument import Recording
+
+        with pytest.raises(IllegalStateError):
+            dag_from_recording(Recording(), CostModel())
+
+    def test_batching_iterator_source_observable(self, pool):
+        # A source the analytic builder cannot model: the batching
+        # IteratorSpliterator.  The recording is the ground truth.
+        from repro.streams import IteratorSpliterator
+
+        wrapped, recording = record_decomposition(
+            IteratorSpliterator(iter(range(5000)))
+        )
+        out = (
+            StreamSupport.stream(wrapped, parallel=True)
+            .with_pool(pool)
+            .collect(Collectors.counting())
+        )
+        assert out == 5000
+        assert recording.total_elements() == 5000
+        dag = dag_from_recording(recording, CostModel())
+        assert SimMachine(4).run(dag).makespan > 0

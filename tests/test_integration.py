@@ -1,0 +1,196 @@
+"""End-to-end integration: whole workflows crossing module boundaries."""
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PowerMapCollector,
+    batcher_merge_sort,
+    fft,
+    inv,
+    polynomial_value,
+    power_collect,
+    power_stream,
+    prefix_sum,
+)
+from repro.core.polynomial import PolynomialValue
+from repro.forkjoin import ForkJoinPool
+from repro.jplf import ForkJoinExecutor, JplfFft, JplfPolynomialValue, SequentialExecutor
+from repro.mpi import CommModel, MpiExecutor
+from repro.powerlist import PowerList
+from repro.simcore import CostModel, SimMachine, build_dc_dag
+from repro.streams import Collectors, Stream
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="integration")
+    yield p
+    p.shutdown()
+
+
+class TestPaperExecutionSnippet:
+    """The exact flow of the paper's §IV-B code listing."""
+
+    def test_polynomial_value_execution_listing(self, pool):
+        # 1. create the PolynomialValue instance (pv)
+        pv = PolynomialValue(2.0)
+        coeffs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        # 2. create its specialized spliterator over the coefficients and
+        #    verify the POWER2 characteristic
+        from repro.streams import Characteristics
+
+        spliterator = pv.create_spliterator(coeffs)
+        assert spliterator.has_characteristics(Characteristics.POWER2)
+        # 3. create the associated parallel stream via StreamSupport
+        from repro.streams.stream_support import StreamSupport
+
+        stream = StreamSupport.stream(spliterator, parallel=True).with_pool(pool)
+        # 4. invoke collect with the same pv object
+        result = stream.collect(pv)
+        assert result == pytest.approx(np.polyval(coeffs, 2.0))
+
+    def test_power_stream_helper_equivalent(self, pool):
+        pv = PolynomialValue(2.0)
+        coeffs = [1.0] * 16
+        out = power_stream(pv, coeffs, pool=pool).collect(pv)
+        assert out == pytest.approx(np.polyval(coeffs, 2.0))
+
+
+class TestCrossEngineAgreement:
+    """One workload, every engine, one answer."""
+
+    def test_fft_pipeline_feeding_stream_analytics(self, pool):
+        rng = random.Random(31)
+        signal = [complex(rng.uniform(-1, 1)) for _ in range(256)]
+        spectrum = fft(signal, pool=pool)
+        # Feed the PowerList-function output into ordinary stream analytics.
+        dominant = (
+            Stream.of_iterable(list(enumerate(spectrum)))
+            .parallel()
+            .with_pool(pool)
+            .map(lambda kv: (kv[0], abs(kv[1])))
+            .max(key=lambda kv: kv[1])
+            .get()
+        )
+        # Real-valued signals have conjugate-symmetric spectra, so the max
+        # magnitude is attained at k and n−k; compare magnitudes, and the
+        # index up to that mirror symmetry.
+        np_spectrum = np.abs(np.fft.fft(signal))
+        np_dominant = int(np.argmax(np_spectrum))
+        assert dominant[1] == pytest.approx(np_spectrum[np_dominant])
+        assert dominant[0] in (np_dominant, len(signal) - np_dominant)
+
+    def test_sorted_prefix_sums_three_ways(self, pool):
+        rng = random.Random(32)
+        data = [rng.randint(0, 99) for _ in range(128)]
+        sorted_data = batcher_merge_sort(data, pool=pool)
+        scans = {
+            "collector": prefix_sum(sorted_data, pool=pool),
+            "jplf": SequentialExecutor().execute(
+                __import__("repro.jplf", fromlist=["JplfPrefixSum"]).JplfPrefixSum(
+                    PowerList(sorted_data)
+                )
+            )[0],
+            "spec": list(itertools.accumulate(sorted_data)),
+        }
+        assert scans["collector"] == scans["spec"]
+        assert scans["jplf"] == scans["spec"]
+
+    def test_inv_then_fft_is_decimated_layout(self, pool):
+        # inv produces the bit-reversed layout used by in-place FFTs;
+        # applying inv twice restores the original, so fft(inv(inv(x)))
+        # must equal fft(x).
+        rng = random.Random(33)
+        signal = [complex(rng.uniform(-1, 1)) for _ in range(64)]
+        round_tripped = inv(inv(signal, pool=pool), pool=pool)
+        np.testing.assert_allclose(
+            fft(round_tripped, pool=pool), fft(signal, pool=pool)
+        )
+
+    def test_same_pool_shared_across_engines(self, pool):
+        # Stream adaptation, JPLF, and plain streams all multiplex one pool.
+        coeffs = [1.0] * 64
+        a = polynomial_value(coeffs, 0.5, pool=pool)
+        b = ForkJoinExecutor(pool).execute(
+            JplfPolynomialValue(PowerList(coeffs), 0.5)
+        )
+        c = Stream.range(0, 10_000).parallel().with_pool(pool).count()
+        assert a == pytest.approx(b)
+        assert c == 10_000
+
+
+class TestSimulationMatchesRealDecomposition:
+    """The simulated DAG shape equals the real fork/join decomposition."""
+
+    def test_leaf_count_matches_real_supplier_calls(self, pool):
+        n, target = 256, 16
+        calls = []
+
+        class Counting(PowerMapCollector):
+            def supplier(self):
+                def supply():
+                    calls.append(1)
+                    from repro.core.containers import PowerArray
+
+                    return PowerArray()
+
+                return supply
+
+        power_collect(
+            Counting(lambda x: x, "tie"), list(range(n)), pool=pool,
+            target_size=target,
+        )
+        dag = build_dc_dag(n, target, CostModel())
+        assert len(calls) == dag.leaf_count()
+
+    def test_virtual_and_real_results_on_same_input(self, pool):
+        n = 2**12
+        rng = random.Random(34)
+        coeffs = [rng.uniform(-1, 1) for _ in range(n)]
+        real = polynomial_value(coeffs, 0.99, pool=pool, target_size=n // 32)
+        assert real == pytest.approx(np.polyval(coeffs, 0.99), rel=1e-9)
+        result = SimMachine(8).run(build_dc_dag(n, n // 32, CostModel(), "zip"))
+        assert result.makespan > 0  # the performance twin exists and runs
+
+
+class TestDistributedPipeline:
+    def test_mpi_then_local_analytics(self, pool):
+        rng = random.Random(35)
+        data = [rng.randint(0, 999) for _ in range(2**10)]
+        report = MpiExecutor(
+            ranks=4,
+            threads_per_rank=4,
+            comm=CommModel(alpha=500, beta=0.01),
+            operator_profile="map",
+        ).execute(
+            __import__("repro.jplf", fromlist=["JplfSort"]).JplfSort(PowerList(data))
+        )
+        assert report.result == sorted(data)
+        # Post-process the distributed result with local streams.
+        median = report.result[len(report.result) // 2]
+        count_below = (
+            Stream.of_iterable(report.result)
+            .parallel()
+            .with_pool(pool)
+            .filter(lambda x: x < median)
+            .count()
+        )
+        assert count_below <= len(data) // 2
+
+    def test_word_stats_over_powerlist_pipeline(self, pool):
+        # Mixed pipeline: PowerList map feeds Collectors.grouping_by.
+        words = ["alpha", "beta", "gamma", "delta"] * 8
+        lengths = power_collect(
+            PowerMapCollector(len, "tie"), words, pool=pool
+        )
+        histogram = (
+            Stream.of_iterable(lengths)
+            .parallel()
+            .with_pool(pool)
+            .collect(Collectors.grouping_by(lambda n: n, Collectors.counting()))
+        )
+        assert histogram == {5: 24, 4: 8}  # beta has 4 letters

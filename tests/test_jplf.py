@@ -1,0 +1,188 @@
+"""Tests for the JPLF baseline framework."""
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError
+from repro.forkjoin import ForkJoinPool
+from repro.jplf import (
+    ForkJoinExecutor,
+    JplfFft,
+    JplfIdentity,
+    JplfMap,
+    JplfPolynomialValue,
+    JplfPrefixSum,
+    JplfReduce,
+    JplfSort,
+    SequentialExecutor,
+)
+from repro.powerlist import PowerList
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="jplf-test")
+    yield p
+    p.shutdown()
+
+
+@pytest.fixture(scope="module")
+def executors(pool):
+    return [
+        SequentialExecutor(),
+        SequentialExecutor(threshold=8),
+        ForkJoinExecutor(pool),
+        ForkJoinExecutor(pool, threshold=4),
+    ]
+
+
+def pow2_lists(max_log=6):
+    return st.integers(0, max_log).flatmap(
+        lambda k: st.lists(st.integers(-100, 100), min_size=2**k, max_size=2**k)
+    )
+
+
+class TestTemplateMethod:
+    def test_compute_recursion(self):
+        fn = JplfMap(PowerList([1, 2, 3, 4]), lambda x: x * 10)
+        assert fn.compute() == [10, 20, 30, 40]
+
+    def test_split_respects_operator(self):
+        data = PowerList([1, 2, 3, 4])
+        tie_fn = JplfMap(data, lambda x: x)
+        left, right = tie_fn.split()
+        assert list(left) == [1, 2]
+
+        zip_fn = JplfPolynomialValue(data, 1.0)
+        even, odd = zip_fn.split()
+        assert list(even) == [1, 3]
+
+    def test_unknown_operator_rejected(self):
+        fn = JplfMap(PowerList([1, 2]), lambda x: x)
+        fn.operator = "bogus"
+        with pytest.raises(IllegalArgumentError):
+            fn.split()
+
+    def test_descending_phase_no_shared_state(self):
+        # The children get x² structurally; nothing global is touched.
+        fn = JplfPolynomialValue(PowerList([1.0, 2.0, 3.0, 4.0]), 3.0)
+        left_fn, right_fn = fn.subfunctions()
+        assert left_fn.x == 9.0
+        assert right_fn.x == 9.0
+        assert fn.x == 3.0
+
+
+class TestFunctionsAcrossExecutors:
+    def test_identity(self, executors):
+        data = list(range(64))
+        for ex in executors:
+            assert ex.execute(JplfIdentity(PowerList(data))) == data
+
+    def test_map(self, executors):
+        data = list(range(64))
+        for ex in executors:
+            out = ex.execute(JplfMap(PowerList(data), lambda x: x * x))
+            assert out == [x * x for x in data]
+
+    def test_reduce(self, executors):
+        data = [(i * 31) % 97 for i in range(128)]
+        for ex in executors:
+            assert ex.execute(JplfReduce(PowerList(data), lambda a, b: a + b)) == sum(data)
+
+    def test_reduce_non_commutative(self, executors):
+        data = [chr(ord("a") + i % 26) for i in range(32)]
+        for ex in executors:
+            out = ex.execute(JplfReduce(PowerList(data), lambda a, b: a + b))
+            assert out == "".join(data)
+
+    def test_polynomial(self, executors):
+        rng = random.Random(1)
+        coeffs = [rng.uniform(-1, 1) for _ in range(256)]
+        expected = np.polyval(coeffs, 0.95)
+        for ex in executors:
+            out = ex.execute(JplfPolynomialValue(PowerList(coeffs), 0.95))
+            assert out == pytest.approx(expected, rel=1e-9)
+
+    def test_fft(self, executors):
+        rng = random.Random(2)
+        data = [complex(rng.uniform(-1, 1), rng.uniform(-1, 1)) for _ in range(64)]
+        expected = np.fft.fft(data)
+        for ex in executors:
+            out = ex.execute(JplfFft(PowerList(data)))
+            np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
+
+    def test_prefix_sum(self, executors):
+        data = [(i * 7) % 23 for i in range(64)]
+        expected = list(itertools.accumulate(data))
+        for ex in executors:
+            prefix, total = ex.execute(JplfPrefixSum(PowerList(data)))
+            assert prefix == expected
+            assert total == expected[-1]
+
+    def test_sort(self, executors):
+        rng = random.Random(3)
+        data = [rng.randint(0, 999) for _ in range(128)]
+        for ex in executors:
+            assert ex.execute(JplfSort(PowerList(data))) == sorted(data)
+
+
+class TestAgreementWithStreamAdaptation:
+    """The JPLF baseline and the stream adaptation must agree exactly."""
+
+    def test_polynomial_agreement(self, pool):
+        from repro.core import polynomial_value
+
+        rng = random.Random(4)
+        coeffs = [rng.uniform(-1, 1) for _ in range(512)]
+        stream_out = polynomial_value(coeffs, 0.99, pool=pool)
+        jplf_out = ForkJoinExecutor(pool).execute(
+            JplfPolynomialValue(PowerList(coeffs), 0.99)
+        )
+        assert stream_out == pytest.approx(jplf_out, rel=1e-12)
+
+    def test_fft_agreement(self, pool):
+        from repro.core import fft
+
+        rng = random.Random(5)
+        data = [complex(rng.uniform(-1, 1)) for _ in range(128)]
+        np.testing.assert_allclose(
+            fft(data, pool=pool),
+            ForkJoinExecutor(pool).execute(JplfFft(PowerList(data))),
+            rtol=1e-10,
+            atol=1e-12,
+        )
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(pow2_lists())
+    def test_map_agreement_property(self, data):
+        from repro.core import PowerMapCollector, power_collect
+
+        stream_out = power_collect(
+            PowerMapCollector(lambda x: 3 * x - 1, "tie"), data, parallel=False
+        )
+        jplf_out = SequentialExecutor().execute(
+            JplfMap(PowerList(data), lambda x: 3 * x - 1)
+        )
+        assert stream_out == jplf_out
+
+
+class TestViewDiscipline:
+    def test_no_copies_during_descent(self):
+        # The JPLF descent only re-views: all sub-function arguments share
+        # the root storage.
+        data = list(range(16))
+        fn = JplfIdentity(PowerList(data))
+        left_fn, right_fn = fn.subfunctions()
+        assert left_fn.data.storage is data
+        assert right_fn.data.storage is data
+        deeper, _ = left_fn.subfunctions()
+        assert deeper.data.storage is data
+
+    def test_threshold_validation(self):
+        with pytest.raises(IllegalArgumentError):
+            SequentialExecutor(threshold=0)

@@ -1,0 +1,86 @@
+"""Tests for the extended JPLF function set (inv, WHT) and rfft."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.forkjoin import ForkJoinPool
+from repro.jplf import ForkJoinExecutor, SequentialExecutor
+from repro.jplf.functions import JplfInv, JplfWalshHadamard
+from repro.powerlist import PowerList
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="jplf-ext")
+    yield p
+    p.shutdown()
+
+
+class TestJplfInv:
+    @pytest.mark.parametrize("executor_factory", [
+        lambda pool: SequentialExecutor(),
+        lambda pool: SequentialExecutor(threshold=4),
+        lambda pool: ForkJoinExecutor(pool),
+        lambda pool: ForkJoinExecutor(pool, threshold=8),
+    ])
+    def test_matches_core_inv(self, executor_factory, pool):
+        from repro.core import inv
+
+        data = list(range(64))
+        out = executor_factory(pool).execute(JplfInv(PowerList(data)))
+        assert out == inv(data, parallel=False)
+
+    def test_involution(self, pool):
+        data = [(i * 11) % 37 for i in range(32)]
+        ex = ForkJoinExecutor(pool)
+        once = ex.execute(JplfInv(PowerList(data)))
+        twice = ex.execute(JplfInv(PowerList(once)))
+        assert twice == data
+
+    def test_singleton(self):
+        assert SequentialExecutor().execute(JplfInv(PowerList([9]))) == [9]
+
+
+class TestJplfWalshHadamard:
+    @pytest.mark.parametrize("n_log", [0, 1, 3, 5])
+    def test_matches_scipy(self, n_log, pool):
+        from scipy.linalg import hadamard
+
+        rng = random.Random(n_log)
+        n = 2**n_log
+        data = [rng.uniform(-1, 1) for _ in range(n)]
+        out = ForkJoinExecutor(pool).execute(JplfWalshHadamard(PowerList(data)))
+        np.testing.assert_allclose(out, hadamard(n) @ np.array(data), atol=1e-9)
+
+    def test_matches_core_collector(self, pool):
+        from repro.core import walsh_hadamard
+
+        data = [float((i * 7) % 5) for i in range(32)]
+        jplf_out = SequentialExecutor().execute(JplfWalshHadamard(PowerList(data)))
+        np.testing.assert_allclose(jplf_out, walsh_hadamard(data, parallel=False))
+
+    def test_descending_transform_is_structural(self):
+        # The children carry transformed *data*, not shared state.
+        fn = JplfWalshHadamard(PowerList([1.0, 2.0, 3.0, 4.0]))
+        left, right = fn.subfunctions()
+        assert left.data.to_list() == [4.0, 6.0]
+        assert right.data.to_list() == [-2.0, -2.0]
+
+
+class TestRfft:
+    @pytest.mark.parametrize("n_log", [1, 4, 8])
+    def test_matches_numpy_rfft(self, n_log, pool):
+        rng = random.Random(n_log)
+        data = [rng.uniform(-1, 1) for _ in range(2**n_log)]
+        from repro.core.fft import rfft
+
+        np.testing.assert_allclose(
+            rfft(data, pool=pool), np.fft.rfft(data), rtol=1e-8, atol=1e-8
+        )
+
+    def test_length_is_half_plus_one(self):
+        from repro.core.fft import rfft
+
+        assert len(rfft([1.0] * 16, parallel=False)) == 9

@@ -1,0 +1,144 @@
+"""Tests for simulate_jplf, vectorized prefix sums, map_multi, and
+thread-contention determinism of the shared-state mechanism."""
+
+import itertools
+import operator
+
+import numpy as np
+import pytest
+
+from repro.core.vectorized import vectorized_prefix_sum
+from repro.forkjoin import ForkJoinPool
+from repro.jplf import JplfPolynomialValue, JplfReduce
+from repro.powerlist import PowerList
+from repro.simcore import greedy_bound_check
+from repro.simcore.adapters import simulate_jplf
+from repro.streams import Stream, stream_of
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="latest")
+    yield p
+    p.shutdown()
+
+
+class TestSimulateJplf:
+    def test_real_result_virtual_time(self):
+        data = list(range(2**12))
+        result, sim = simulate_jplf(
+            JplfReduce(PowerList(data), operator.add), workers=8, profile="reduce"
+        )
+        assert result == sum(data)
+        assert sim.makespan > 0
+        assert greedy_bound_check(sim).all_ok
+
+    def test_uses_function_operator(self):
+        coeffs = [0.5] * 256
+        result, sim = simulate_jplf(
+            JplfPolynomialValue(PowerList(coeffs), 0.9),
+            workers=8,
+            profile="polynomial",
+        )
+        assert result == pytest.approx(np.polyval(coeffs, 0.9), rel=1e-9)
+        # zip decomposition was simulated: verify the DAG scaled like FIG3.
+        assert sim.workers == 8
+
+    def test_more_workers_faster(self):
+        data = list(range(2**14))
+        times = []
+        for workers in (1, 4, 16):
+            _, sim = simulate_jplf(
+                JplfReduce(PowerList(data), operator.add), workers=workers
+            )
+            times.append(sim.makespan)
+        assert times == sorted(times, reverse=True)
+
+
+class TestVectorizedPrefixSum:
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_matches_cumsum(self, parallel, pool):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(-1, 1, 256)
+        out = vectorized_prefix_sum(data, parallel=parallel, pool=pool)
+        np.testing.assert_allclose(out, np.cumsum(data), rtol=1e-12)
+
+    @pytest.mark.parametrize("target", [1, 8, 64])
+    def test_any_leaf_size(self, target, pool):
+        data = np.arange(128, dtype=np.float64)
+        out = vectorized_prefix_sum(data, pool=pool, target_size=target)
+        np.testing.assert_allclose(out, np.cumsum(data))
+
+    def test_agrees_with_scalar_collector(self, pool):
+        from repro.core import prefix_sum
+
+        data = [float((i * 13) % 7) for i in range(64)]
+        np.testing.assert_allclose(
+            vectorized_prefix_sum(data, pool=pool),
+            prefix_sum(data, pool=pool),
+        )
+
+    def test_singleton(self):
+        np.testing.assert_array_equal(
+            vectorized_prefix_sum([5.0], parallel=False), [5.0]
+        )
+
+
+class TestMapMulti:
+    def test_expand(self):
+        def dup(x, emit):
+            emit(x)
+            emit(x * 10)
+
+        assert Stream.of_items(1, 2).map_multi(dup).to_list() == [1, 10, 2, 20]
+
+    def test_filter_like(self):
+        def evens_only(x, emit):
+            if x % 2 == 0:
+                emit(x)
+
+        assert Stream.range(0, 8).map_multi(evens_only).to_list() == [0, 2, 4, 6]
+
+    def test_parallel_matches_sequential(self, pool):
+        def explode(x, emit):
+            for _ in range(x % 3):
+                emit(x)
+
+        data = list(range(200))
+        seq = stream_of(data).map_multi(explode).to_list()
+        par = stream_of(data).parallel().with_pool(pool).map_multi(explode).to_list()
+        assert par == seq
+
+    def test_equivalent_to_flat_map(self):
+        data = list(range(50))
+        via_multi = stream_of(data).map_multi(
+            lambda x, emit: [emit(v) for v in range(x % 4)] and None
+        ).to_list()
+        via_flat = stream_of(data).flat_map(lambda x: range(x % 4)).to_list()
+        assert via_multi == via_flat
+
+
+class TestSharedStateUnderContention:
+    """The paper's PZipSpliterator mechanism must stay deterministic when
+    splitting tasks race: 20 repeated parallel runs at singleton leaves
+    must all agree with the sequential value."""
+
+    def test_polynomial_repeatable(self, pool):
+        from repro.core import polynomial_value
+
+        coeffs = [((i * 29) % 13) / 13 for i in range(1024)]
+        expected = polynomial_value(coeffs, 0.98, parallel=False)
+        for _ in range(20):
+            out = polynomial_value(coeffs, 0.98, pool=pool, target_size=1)
+            assert out == pytest.approx(expected, rel=1e-12)
+
+    def test_x_degree_converges_to_same_value(self, pool):
+        from repro.core import power_collect
+        from repro.core.polynomial import PolynomialValue
+
+        degrees = set()
+        for _ in range(10):
+            pv = PolynomialValue(1.0)
+            power_collect(pv, [1.0] * 256, pool=pool, target_size=1)
+            degrees.add(pv.x_degree)
+        assert degrees == {256}

@@ -1,0 +1,140 @@
+"""Tests for the simulated-MPI executor."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.common import IllegalArgumentError
+from repro.jplf import JplfMap, JplfPolynomialValue, JplfReduce, JplfSort
+from repro.mpi import CommModel, MpiExecutor
+from repro.powerlist import PowerList
+
+
+class TestCommModel:
+    def test_message_time_affine(self):
+        m = CommModel(alpha=100, beta=2, element_bytes=8)
+        assert m.message_time(10) == 120
+        assert m.element_message_time(4) == 100 + 2 * 32
+
+    def test_validation(self):
+        with pytest.raises(IllegalArgumentError):
+            CommModel(alpha=-1)
+        with pytest.raises(IllegalArgumentError):
+            CommModel(element_bytes=0)
+
+
+class TestMpiExecutorCorrectness:
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 8])
+    def test_reduce_exact(self, ranks):
+        data = [(i * 31) % 101 for i in range(256)]
+        ex = MpiExecutor(ranks=ranks, operator_profile="reduce")
+        report = ex.execute(JplfReduce(PowerList(data), lambda a, b: a + b))
+        assert report.result == sum(data)
+
+    @pytest.mark.parametrize("ranks", [2, 4])
+    def test_polynomial_exact(self, ranks):
+        rng = random.Random(9)
+        coeffs = [rng.uniform(-1, 1) for _ in range(512)]
+        ex = MpiExecutor(ranks=ranks, operator_profile="polynomial")
+        report = ex.execute(JplfPolynomialValue(PowerList(coeffs), 0.97))
+        assert report.result == pytest.approx(np.polyval(coeffs, 0.97), rel=1e-9)
+
+    def test_map_exact(self):
+        data = list(range(128))
+        ex = MpiExecutor(ranks=4, operator_profile="map")
+        report = ex.execute(JplfMap(PowerList(data), lambda x: x * 3))
+        assert report.result == [x * 3 for x in data]
+
+    def test_sort_exact(self):
+        rng = random.Random(10)
+        data = [rng.randint(0, 999) for _ in range(256)]
+        ex = MpiExecutor(ranks=8, operator_profile="map")
+        report = ex.execute(JplfSort(PowerList(data)))
+        assert report.result == sorted(data)
+
+    def test_ranks_must_be_power_of_two(self):
+        with pytest.raises(IllegalArgumentError):
+            MpiExecutor(ranks=3)
+
+    def test_threads_validated(self):
+        with pytest.raises(IllegalArgumentError):
+            MpiExecutor(ranks=2, threads_per_rank=0)
+
+    def test_too_many_ranks_for_input(self):
+        ex = MpiExecutor(ranks=8)
+        with pytest.raises(IllegalArgumentError):
+            ex.execute(JplfReduce(PowerList([1, 2, 3, 4]), max))
+
+
+class TestMpiExecutorTiming:
+    def test_report_fields_consistent(self):
+        data = list(range(2**12))
+        ex = MpiExecutor(ranks=4, operator_profile="reduce")
+        report = ex.execute(JplfReduce(PowerList(data), lambda a, b: a + b))
+        assert report.ranks == 4
+        assert report.finish_time > 0
+        assert report.scatter_time >= 0
+        assert report.local_time > 0
+        assert report.finish_time >= report.local_time
+
+    def test_scaling_improves_large_input(self):
+        # Large input, cheap comms relative to work: more ranks → faster.
+        data = list(range(2**18))
+        times = []
+        for ranks in (1, 2, 4, 8, 16):
+            ex = MpiExecutor(
+                ranks=ranks,
+                operator_profile="reduce",
+                comm=CommModel(alpha=1000, beta=0.01),
+            )
+            times.append(
+                ex.execute(JplfReduce(PowerList(data), lambda a, b: a + b)).finish_time
+            )
+        assert times == sorted(times, reverse=True)
+
+    def test_communication_bound_small_input(self):
+        # Small input, expensive comms: 16 ranks is slower than 2.
+        data = list(range(2**8))
+        def run(ranks):
+            ex = MpiExecutor(
+                ranks=ranks,
+                operator_profile="reduce",
+                comm=CommModel(alpha=50_000, beta=1.0),
+            )
+            return ex.execute(JplfReduce(PowerList(data), lambda a, b: a + b)).finish_time
+
+        assert run(16) > run(2)
+
+    def test_hybrid_threads_help(self):
+        data = list(range(2**16))
+        def run(threads):
+            ex = MpiExecutor(ranks=4, threads_per_rank=threads,
+                             operator_profile="reduce")
+            return ex.execute(JplfReduce(PowerList(data), lambda a, b: a + b)).finish_time
+
+        assert run(8) < run(1)
+
+    def test_deterministic(self):
+        data = list(range(2**12))
+        def run():
+            ex = MpiExecutor(ranks=8, operator_profile="reduce")
+            return ex.execute(JplfReduce(PowerList(data), lambda a, b: a + b)).finish_time
+
+        assert run() == run()
+
+    def test_mpi_beats_single_node_at_scale(self):
+        # The paper's Section III claim (AB5): MPI scales beyond one node.
+        from repro.simcore import simulate_power_function
+
+        n = 2**20
+        single_node = simulate_power_function(n, workers=8, function="reduce").makespan
+        ex = MpiExecutor(
+            ranks=16, threads_per_rank=8, operator_profile="reduce",
+            comm=CommModel(alpha=2000, beta=0.002),
+        )
+        data = list(range(n))
+        distributed = ex.execute(
+            JplfReduce(PowerList(data), lambda a, b: a + b)
+        ).finish_time
+        assert distributed < single_node

@@ -1,0 +1,125 @@
+"""Tests for the simulated MPI collectives."""
+
+import operator
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError
+from repro.mpi import CommModel
+from repro.mpi.collectives import (
+    allreduce,
+    alltoall,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+)
+
+COMM = CommModel(alpha=100, beta=1.0, element_bytes=8)
+
+
+class TestBcast:
+    def test_every_rank_receives(self):
+        parts, _ = bcast([1, 2, 3], 4, COMM)
+        assert parts == [[1, 2, 3]] * 4
+
+    def test_time_log_rounds(self):
+        _, t1 = bcast([1] * 10, 1, COMM)
+        _, t8 = bcast([1] * 10, 8, COMM)
+        assert t1 == 0
+        assert t8 == 3 * COMM.element_message_time(10)
+
+    def test_non_power_rank_count(self):
+        _, t5 = bcast([1], 5, COMM)
+        assert t5 == 3 * COMM.element_message_time(1)  # ceil(log2 5) = 3
+
+
+class TestScatterGather:
+    def test_scatter_partitions_in_order(self):
+        parts, _ = scatter(list(range(8)), 4, COMM)
+        assert parts == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_scatter_requires_divisibility(self):
+        with pytest.raises(IllegalArgumentError):
+            scatter([1, 2, 3], 2, COMM)
+
+    def test_scatter_time_halves_per_round(self):
+        _, t = scatter(list(range(16)), 4, COMM)
+        expected = COMM.element_message_time(8) + COMM.element_message_time(4)
+        assert t == expected
+
+    @given(st.lists(st.integers(), min_size=8, max_size=64).filter(lambda l: len(l) % 8 == 0))
+    def test_gather_inverts_scatter(self, data):
+        parts, _ = scatter(data, 8, COMM)
+        out, _ = gather(parts, COMM)
+        assert out == data
+
+    def test_gather_time_positive(self):
+        _, t = gather([[1, 2], [3, 4]], COMM)
+        assert t == COMM.element_message_time(2)
+
+
+class TestReduce:
+    def test_sum(self):
+        out, _ = reduce([1, 2, 3, 4], operator.add, COMM)
+        assert out == 10
+
+    def test_non_commutative_order_preserved(self):
+        out, _ = reduce(["a", "b", "c", "d"], operator.add, COMM)
+        assert out == "abcd"
+
+    def test_odd_rank_count(self):
+        out, _ = reduce([1, 2, 3], operator.add, COMM)
+        assert out == 6
+
+    def test_single_rank_free(self):
+        out, t = reduce([42], operator.add, COMM)
+        assert out == 42
+        assert t == 0
+
+    def test_time_log_rounds(self):
+        _, t = reduce(list(range(16)), operator.add, COMM)
+        assert t == 4 * COMM.element_message_time(1)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=40))
+    def test_matches_builtin_sum(self, values):
+        out, _ = reduce(values, operator.add, COMM)
+        assert out == sum(values)
+
+
+class TestAllreduce:
+    def test_everyone_gets_total(self):
+        out, t = allreduce([1, 2, 3, 4], operator.add, COMM)
+        assert out == [10] * 4
+        assert t > 0
+
+    def test_time_is_reduce_plus_bcast(self):
+        _, t_all = allreduce([1] * 8, operator.add, COMM)
+        _, t_red = reduce([1] * 8, operator.add, COMM)
+        _, t_bc = bcast([8], 8, COMM)
+        assert t_all == t_red + t_bc
+
+
+class TestAlltoall:
+    def test_transposes_blocks(self):
+        matrix = [[[i * 10 + j] for j in range(3)] for i in range(3)]
+        out, _ = alltoall(matrix, COMM)
+        assert out[1][2] == [21]  # rank 2's block destined for rank 1
+        assert out[2][0] == [2]
+
+    def test_requires_square(self):
+        with pytest.raises(IllegalArgumentError):
+            alltoall([[1, 2], [3]], COMM)
+
+    def test_time_pairwise_rounds(self):
+        matrix = [[[0, 0] for _ in range(4)] for _ in range(4)]
+        _, t = alltoall(matrix, COMM)
+        assert t == 3 * COMM.element_message_time(2)
+
+    def test_double_transpose_identity(self):
+        matrix = [[[i, j] for j in range(4)] for i in range(4)]
+        once, _ = alltoall(matrix, COMM)
+        twice, _ = alltoall(once, COMM)
+        assert twice == matrix

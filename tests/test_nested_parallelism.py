@@ -1,0 +1,125 @@
+"""Nested parallelism: parallel work launched from inside parallel work.
+
+The classic fork/join hazard — a worker blocking on a nested computation
+can deadlock a bounded pool unless joins *help*.  These tests pin the
+helping-join guarantee across every combination the library offers.
+"""
+
+import pytest
+
+from repro.core import polynomial_value, power_collect, PowerMapCollector
+from repro.forkjoin import ForkJoinPool
+from repro.jplf import ForkJoinExecutor, JplfMap, JplfReduce
+from repro.powerlist import PowerList
+from repro.streams import Stream, stream_of
+
+
+@pytest.fixture(scope="module")
+def pool():
+    # Deliberately narrow: 2 workers maximizes the deadlock opportunity.
+    p = ForkJoinPool(parallelism=2, name="nested")
+    yield p
+    p.shutdown()
+
+
+class TestNestedStreams:
+    def test_parallel_stream_inside_parallel_stream(self, pool):
+        def inner_sum(k):
+            return Stream.range(0, k).parallel().with_pool(pool).sum()
+
+        out = (
+            Stream.range(1, 50)
+            .parallel()
+            .with_pool(pool)
+            .map(inner_sum)
+            .to_list()
+        )
+        assert out == [k * (k - 1) // 2 for k in range(1, 50)]
+
+    def test_three_levels_deep(self, pool):
+        def level3(x):
+            return Stream.range(0, x % 5 + 1).parallel().with_pool(pool).count()
+
+        def level2(x):
+            return (
+                Stream.range(0, x % 3 + 1)
+                .parallel()
+                .with_pool(pool)
+                .map(level3)
+                .sum()
+            )
+
+        out = Stream.range(0, 20).parallel().with_pool(pool).map(level2).sum()
+        expected = sum(
+            sum((y % 5 + 1) for y in range(x % 3 + 1)) for x in range(20)
+        )
+        assert out == expected
+
+    def test_collect_inside_collect(self, pool):
+        from repro.streams import Collectors
+
+        out = (
+            Stream.range(0, 10)
+            .parallel()
+            .with_pool(pool)
+            .map(
+                lambda k: stream_of(list(range(k)))
+                .parallel()
+                .with_pool(pool)
+                .collect(Collectors.to_list())
+            )
+            .to_list()
+        )
+        assert out == [list(range(k)) for k in range(10)]
+
+
+class TestNestedPowerCollect:
+    def test_power_collect_inside_stream(self, pool):
+        coeffs_sets = [[float(i)] * 16 for i in range(8)]
+        out = (
+            stream_of(coeffs_sets)
+            .parallel()
+            .with_pool(pool)
+            .map(lambda cs: polynomial_value(cs, 1.0, pool=pool))
+            .to_list()
+        )
+        assert out == [sum(cs) for cs in coeffs_sets]
+
+    def test_jplf_inside_power_collect(self, pool):
+        executor = ForkJoinExecutor(pool)
+
+        def nested(x):
+            return executor.execute(
+                JplfReduce(PowerList([x] * 8), lambda a, b: a + b)
+            )
+
+        out = power_collect(PowerMapCollector(nested, "tie"), list(range(16)), pool=pool)
+        assert out == [x * 8 for x in range(16)]
+
+    def test_jplf_inside_jplf(self, pool):
+        executor = ForkJoinExecutor(pool)
+
+        def inner(x):
+            return executor.execute(JplfMap(PowerList([x, x]), lambda v: v + 1))
+
+        outer = executor.execute(JplfMap(PowerList(list(range(8))), inner))
+        assert outer == [[x + 1, x + 1] for x in range(8)]
+
+
+class TestPoolSaturation:
+    def test_many_nested_roots_single_worker(self):
+        # The degenerate pool: 1 worker must still finish nested work.
+        with ForkJoinPool(parallelism=1, name="solo") as solo:
+            out = (
+                Stream.range(0, 10)
+                .parallel()
+                .with_pool(solo)
+                .map(
+                    lambda k: Stream.range(0, 10)
+                    .parallel()
+                    .with_pool(solo)
+                    .sum()
+                )
+                .sum()
+            )
+            assert out == 10 * 45

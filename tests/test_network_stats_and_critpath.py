@@ -1,0 +1,113 @@
+"""Tests for comparator-network statistics and critical-path witnesses."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.network_stats import (
+    batcher_sort_stats,
+    bitonic_merge_stats,
+    bitonic_sort_stats,
+    count_merge_comparators,
+    odd_even_merge_stats,
+)
+from repro.simcore import CostModel, build_dc_dag
+from repro.simcore.dag import build_nway_dag
+
+
+class TestOddEvenMergeStats:
+    @pytest.mark.parametrize("n,size,depth", [(1, 1, 1), (2, 3, 2), (4, 9, 3), (8, 25, 4)])
+    def test_small_cases(self, n, size, depth):
+        stats = odd_even_merge_stats(n)
+        assert stats.comparators == size
+        assert stats.depth == depth
+
+    @given(st.integers(0, 8))
+    def test_closed_form(self, k):
+        # M(n) = n·log2(n) + 1 solves M(n) = 2M(n/2) + n − 1, M(1)=1.
+        n = 2**k
+        assert odd_even_merge_stats(n).comparators == n * k + 1
+
+    @given(st.integers(0, 6))
+    def test_matches_instrumented_implementation(self, k):
+        n = 2**k
+        assert count_merge_comparators(n) == odd_even_merge_stats(n).comparators
+
+
+class TestBatcherSortStats:
+    def test_small_cases(self):
+        assert batcher_sort_stats(1).comparators == 0
+        assert batcher_sort_stats(2).comparators == 1
+        assert batcher_sort_stats(4).comparators == 5
+        assert batcher_sort_stats(8).comparators == 19
+
+    @given(st.integers(1, 10))
+    def test_n_log_squared_growth(self, k):
+        n = 2**k
+        stats = batcher_sort_stats(n)
+        # Size is Θ(n log² n): sandwich with explicit constants.
+        assert stats.comparators <= n * k * (k + 1) // 2
+        assert stats.comparators >= n * k * (k - 1) // 4
+
+    @given(st.integers(1, 10))
+    def test_depth_quadratic_in_log(self, k):
+        assert batcher_sort_stats(2**k).depth == k * (k + 1) // 2
+
+
+class TestBitonicStats:
+    @given(st.integers(0, 10))
+    def test_merge_formulas(self, k):
+        n = 2**k
+        stats = bitonic_merge_stats(n)
+        assert stats.comparators == (n // 2) * k
+        assert stats.depth == k
+
+    @given(st.integers(1, 10))
+    def test_sort_formulas(self, k):
+        n = 2**k
+        stats = bitonic_sort_stats(n)
+        assert stats.comparators == (n // 4) * k * (k + 1)
+        assert stats.depth == k * (k + 1) // 2
+
+    def test_bitonic_bigger_than_batcher(self):
+        # Batcher's network is smaller at every size — the reason it wins
+        # as a sorting *network* even though bitonic maps better to SIMD.
+        for k in range(2, 10):
+            n = 2**k
+            assert batcher_sort_stats(n).comparators < bitonic_sort_stats(n).comparators
+
+
+class TestCriticalPathStrands:
+    def test_chain_cost_equals_tinf(self):
+        dag = build_dc_dag(2**10, 2**4, CostModel())
+        chain = dag.critical_path_strands()
+        chain_cost = sum(dag.strands[sid].cost for sid in chain)
+        assert chain_cost == pytest.approx(dag.critical_path())
+
+    def test_chain_is_a_dependency_path(self):
+        dag = build_dc_dag(2**8, 2**3, CostModel())
+        chain = dag.critical_path_strands()
+        for earlier, later in zip(chain, chain[1:]):
+            assert earlier in dag.strands[later].deps
+
+    def test_singleton_dag(self):
+        dag = build_dc_dag(1, 1, CostModel())
+        assert dag.critical_path_strands() == [0]
+
+    def test_empty_dag(self):
+        from repro.simcore.dag import StrandDag
+
+        assert StrandDag().critical_path_strands() == []
+
+    def test_nway_dag_chain(self):
+        dag = build_nway_dag(81, 3, CostModel(), arity=3)
+        chain = dag.critical_path_strands()
+        assert sum(dag.strands[sid].cost for sid in chain) == pytest.approx(
+            dag.critical_path()
+        )
+
+    def test_chain_passes_through_root(self):
+        dag = build_dc_dag(2**6, 2**2, CostModel())
+        chain = dag.critical_path_strands()
+        assert chain[0] == 0  # the root split starts every path
+        assert dag.strands[chain[-1]].kind == "combine"

@@ -1,0 +1,96 @@
+"""Tests for the numeric stream specialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams import Optional, Stream
+from repro.streams.numeric import NumericStream
+
+
+class TestFactories:
+    def test_of(self):
+        assert NumericStream.of([1, 2, 3]).sum() == 6
+
+    def test_range(self):
+        assert NumericStream.range(0, 5).sum() == 10
+
+    def test_range_closed(self):
+        assert NumericStream.range_closed(1, 5).sum() == 15
+
+
+class TestIntermediates:
+    def test_map_filter_chain(self):
+        out = (
+            NumericStream.range(0, 10)
+            .map(lambda x: x * 2)
+            .filter(lambda x: x > 10)
+            .to_array()
+        )
+        np.testing.assert_array_equal(out, [12, 14, 16, 18])
+
+    def test_limit_skip(self):
+        assert NumericStream.range(0, 100).skip(10).limit(3).sum() == 33
+
+    def test_distinct_sorted(self):
+        out = NumericStream.of([3, 1, 3, 2]).distinct().sorted().to_array()
+        np.testing.assert_array_equal(out, [1, 2, 3])
+
+    def test_parallel(self):
+        assert NumericStream.range(0, 10_000).parallel().sum() == 49_995_000
+
+
+class TestTerminals:
+    def test_min_max(self):
+        s = NumericStream.of([5, 2, 9])
+        assert s.min() == Optional.of(2)
+        assert NumericStream.of([5, 2, 9]).max() == Optional.of(9)
+
+    def test_count(self):
+        assert NumericStream.range(0, 7).count() == 7
+
+    def test_average(self):
+        assert NumericStream.of([2, 4, 6]).average() == Optional.of(4.0)
+
+    def test_average_empty(self):
+        assert NumericStream.of([]).average() == Optional.empty()
+
+    def test_summary_statistics(self):
+        stats = NumericStream.range(1, 11).summary_statistics()
+        assert stats.count == 10
+        assert stats.total == 55
+        assert stats.minimum == 1
+        assert stats.maximum == 10
+        assert stats.mean == pytest.approx(5.5)
+
+    def test_to_array_dtype(self):
+        out = NumericStream.of([1, 2]).to_array(dtype=np.int64)
+        assert out.dtype == np.int64
+
+    def test_iteration(self):
+        assert list(NumericStream.range(0, 3)) == [0, 1, 2]
+
+
+class TestConversions:
+    def test_boxed_returns_stream(self):
+        boxed = NumericStream.range(0, 3).boxed()
+        assert isinstance(boxed, Stream)
+        assert boxed.to_list() == [0, 1, 2]
+
+    def test_map_to_obj(self):
+        out = NumericStream.range(0, 3).map_to_obj(str).to_list()
+        assert out == ["0", "1", "2"]
+
+    def test_as_float_stream(self):
+        out = NumericStream.of([1, 2]).as_float_stream().to_array()
+        assert out.dtype == np.float64
+
+    @given(st.lists(st.integers(-100, 100), max_size=50))
+    def test_summary_matches_numpy(self, xs):
+        stats = NumericStream.of(xs).summary_statistics()
+        assert stats.count == len(xs)
+        if xs:
+            assert stats.total == sum(xs)
+            assert stats.minimum == min(xs)
+            assert stats.maximum == max(xs)

@@ -1,0 +1,125 @@
+"""Tests for the PList n-way spliterator extension (Section V proposal)."""
+
+import pytest
+
+from repro.common import IllegalArgumentError
+from repro.core.nway import (
+    NWayMapCollector,
+    NWayReduceCollector,
+    NWayTieSpliterator,
+    NWayZipSpliterator,
+    nway_collect,
+)
+from repro.forkjoin import ForkJoinPool
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="nway-test")
+    yield p
+    p.shutdown()
+
+
+def drain(s):
+    out = []
+    s.for_each_remaining(out.append)
+    return out
+
+
+class TestNWaySpliterators:
+    def test_tie_three_way(self):
+        s = NWayTieSpliterator(list(range(9)), arity=3)
+        parts = s.try_split_nway()
+        assert [drain(p) for p in parts] == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+        assert s.estimate_size() == 0
+
+    def test_zip_three_way(self):
+        s = NWayZipSpliterator([0, 3, 6, 1, 4, 7, 2, 5, 8], arity=3)
+        parts = s.try_split_nway()
+        assert [drain(p) for p in parts] == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+    def test_binary_try_split_disabled(self):
+        s = NWayTieSpliterator(list(range(9)), arity=3)
+        assert s.try_split() is None
+
+    def test_indivisible_returns_none(self):
+        s = NWayTieSpliterator(list(range(10)), arity=3)
+        assert s.try_split_nway() is None
+
+    def test_too_small_returns_none(self):
+        s = NWayTieSpliterator([1, 2], arity=3)
+        assert s.try_split_nway() is None
+
+    def test_arity_validation(self):
+        with pytest.raises(IllegalArgumentError):
+            NWayTieSpliterator([1, 2], arity=1)
+
+    def test_recursive_three_way(self):
+        s = NWayTieSpliterator(list(range(27)), arity=3)
+        parts = s.try_split_nway()
+        subparts = parts[0].try_split_nway()
+        assert [drain(p) for p in subparts] == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+
+class TestNWayCollect:
+    @pytest.mark.parametrize("operator", ["tie", "zip"])
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_map(self, operator, parallel, pool):
+        data = list(range(81))
+        out = nway_collect(
+            NWayMapCollector(lambda x: x * 2, operator), data, arity=3,
+            parallel=parallel, pool=pool, target_size=3,
+        )
+        assert out == [x * 2 for x in data]
+
+    @pytest.mark.parametrize("arity", [2, 3, 4, 6])
+    def test_map_various_arities(self, arity, pool):
+        n = arity**3
+        data = list(range(n))
+        out = nway_collect(
+            NWayMapCollector(lambda x: -x), data, arity=arity, pool=pool,
+            target_size=1,
+        )
+        assert out == [-x for x in data]
+
+    def test_reduce(self, pool):
+        data = list(range(3**4))
+        out = nway_collect(
+            NWayReduceCollector(lambda a, b: a + b), data, arity=3, pool=pool,
+            target_size=3,
+        )
+        assert out == sum(data)
+
+    def test_reduce_non_commutative_tie(self, pool):
+        data = [chr(ord("a") + i % 26) for i in range(27)]
+        out = nway_collect(
+            NWayReduceCollector(lambda a, b: a + b), data, arity=3, pool=pool,
+            target_size=1,
+        )
+        assert out == "".join(data)
+
+    def test_reduce_empty_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            nway_collect(NWayReduceCollector(max), [], arity=3, parallel=False)
+
+    def test_indivisible_length_becomes_leaf(self, pool):
+        # Length not divisible by arity: the whole input is one leaf —
+        # still correct, just not parallel.
+        data = list(range(10))
+        out = nway_collect(
+            NWayMapCollector(lambda x: x + 1), data, arity=3, pool=pool
+        )
+        assert out == [x + 1 for x in data]
+
+    def test_mixed_divisibility(self, pool):
+        # 18 = 3 * 6: splits 3-way once, then 6-element leaves (not
+        # divisible by 3 evenly at target 1 → they split once more).
+        data = list(range(18))
+        out = nway_collect(
+            NWayMapCollector(lambda x: x), data, arity=3, pool=pool, target_size=1
+        )
+        assert out == data
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            NWayMapCollector(lambda x: x, "bogus")

@@ -1,0 +1,206 @@
+"""Direct unit tests for the fused sink machinery (repro.streams.ops).
+
+The Stream tests exercise these through the pipeline; here we pin the
+Sink protocol contracts themselves — begin/accept/end ordering, size
+propagation, and cancellation flow — which the pipeline tests can't see.
+"""
+
+import pytest
+
+from repro.streams.ops import (
+    DistinctOp,
+    DropWhileOp,
+    FilterOp,
+    FlatMapOp,
+    LimitOp,
+    MapMultiOp,
+    MapOp,
+    PeekOp,
+    Sink,
+    SkipOp,
+    SortedOp,
+    TakeWhileOp,
+    copy_into,
+    pipeline_is_short_circuit,
+    wrap_ops,
+)
+from repro.streams.spliterators import ListSpliterator
+
+
+class RecordingSink(Sink):
+    """Logs the full sink protocol."""
+
+    def __init__(self):
+        self.events = []
+        self.cancel_after = None
+
+    def begin(self, size):
+        self.events.append(("begin", size))
+
+    def accept(self, item):
+        self.events.append(("accept", item))
+
+    def end(self):
+        self.events.append(("end",))
+
+    def cancellation_requested(self):
+        if self.cancel_after is None:
+            return False
+        accepted = sum(1 for e in self.events if e[0] == "accept")
+        return accepted >= self.cancel_after
+
+    @property
+    def accepted(self):
+        return [e[1] for e in self.events if e[0] == "accept"]
+
+
+class TestProtocolOrdering:
+    def test_begin_accept_end(self):
+        sink = RecordingSink()
+        copy_into(ListSpliterator([1, 2]), sink, short_circuit=False)
+        assert sink.events[0] == ("begin", 2)
+        assert sink.events[-1] == ("end",)
+        assert sink.accepted == [1, 2]
+
+    def test_unknown_size_begin(self):
+        from repro.streams.spliterators import IteratorSpliterator
+
+        sink = RecordingSink()
+        copy_into(IteratorSpliterator(iter([1])), sink, short_circuit=False)
+        assert sink.events[0] == ("begin", -1)
+
+    def test_short_circuit_stops_early(self):
+        sink = RecordingSink()
+        sink.cancel_after = 3
+        copy_into(ListSpliterator(list(range(100))), sink, short_circuit=True)
+        assert sink.accepted == [0, 1, 2]
+        assert sink.events[-1] == ("end",)
+
+
+class TestSizePropagation:
+    def test_map_preserves_size(self):
+        sink = RecordingSink()
+        wrapped = MapOp(lambda x: x).wrap_sink(sink)
+        wrapped.begin(7)
+        assert sink.events == [("begin", 7)]
+
+    @pytest.mark.parametrize(
+        "op", [FilterOp(lambda x: True), FlatMapOp(lambda x: [x]),
+               DistinctOp(), TakeWhileOp(lambda x: True),
+               DropWhileOp(lambda x: False),
+               MapMultiOp(lambda x, emit: emit(x))]
+    )
+    def test_size_clearing_ops(self, op):
+        sink = RecordingSink()
+        op.wrap_sink(sink).begin(7)
+        assert sink.events == [("begin", -1)]
+
+    def test_limit_clamps_size(self):
+        sink = RecordingSink()
+        LimitOp(3).wrap_sink(sink).begin(10)
+        assert sink.events == [("begin", 3)]
+
+    def test_skip_reduces_size(self):
+        sink = RecordingSink()
+        SkipOp(4).wrap_sink(sink).begin(10)
+        assert sink.events == [("begin", 6)]
+
+    def test_skip_floors_at_zero(self):
+        sink = RecordingSink()
+        SkipOp(99).wrap_sink(sink).begin(10)
+        assert sink.events == [("begin", 0)]
+
+
+class TestCancellation:
+    def test_limit_requests_cancellation(self):
+        sink = RecordingSink()
+        limited = LimitOp(2).wrap_sink(sink)
+        limited.begin(10)
+        assert not limited.cancellation_requested()
+        limited.accept(1)
+        limited.accept(2)
+        assert limited.cancellation_requested()
+        limited.accept(3)  # excess silently dropped
+        assert sink.accepted == [1, 2]
+
+    def test_take_while_cancels_on_failure(self):
+        sink = RecordingSink()
+        taking = TakeWhileOp(lambda x: x < 5).wrap_sink(sink)
+        taking.begin(-1)
+        taking.accept(1)
+        assert not taking.cancellation_requested()
+        taking.accept(9)
+        assert taking.cancellation_requested()
+        assert sink.accepted == [1]
+
+    def test_sorted_blocks_upstream_cancellation(self):
+        # sorted must see all elements: even with a cancelling downstream
+        # it never propagates cancellation upstream.
+        sink = RecordingSink()
+        sink.cancel_after = 1
+        chain = wrap_ops([SortedOp(), LimitOp(1)], sink)
+        chain.begin(4)
+        assert not chain.cancellation_requested()
+
+    def test_flatmap_respects_downstream_cancellation(self):
+        sink = RecordingSink()
+        chain = wrap_ops([FlatMapOp(lambda x: range(100)), LimitOp(3)], sink)
+        copy_into(ListSpliterator([1]), chain, short_circuit=True)
+        assert sink.accepted == [0, 1, 2]
+
+
+class TestSortedSinkBuffering:
+    def test_emits_downstream_on_end(self):
+        sink = RecordingSink()
+        chain = SortedOp().wrap_sink(sink)
+        chain.begin(3)
+        for v in (3, 1, 2):
+            chain.accept(v)
+        assert sink.accepted == []  # nothing until end
+        chain.end()
+        assert sink.accepted == [1, 2, 3]
+        assert sink.events[0] == ("begin", 3)
+
+    def test_reverse_with_key(self):
+        sink = RecordingSink()
+        chain = SortedOp(key=abs, reverse=True).wrap_sink(sink)
+        chain.begin(-1)
+        for v in (-1, 3, -2):
+            chain.accept(v)
+        chain.end()
+        assert sink.accepted == [3, -2, -1]
+
+
+class TestHelpers:
+    def test_wrap_ops_order(self):
+        sink = RecordingSink()
+        chain = wrap_ops([MapOp(lambda x: x + 1), MapOp(lambda x: x * 10)], sink)
+        chain.accept(1)
+        assert sink.accepted == [20]  # (1+1)*10 — pipeline order
+
+    def test_pipeline_is_short_circuit(self):
+        assert pipeline_is_short_circuit([MapOp(lambda x: x), LimitOp(1)])
+        assert pipeline_is_short_circuit([TakeWhileOp(lambda x: True)])
+        assert not pipeline_is_short_circuit([MapOp(lambda x: x), SkipOp(1)])
+
+    def test_peek_forwards_everything(self):
+        seen = []
+        sink = RecordingSink()
+        chain = PeekOp(seen.append).wrap_sink(sink)
+        chain.begin(2)
+        chain.accept("a")
+        chain.end()
+        assert seen == ["a"]
+        assert sink.accepted == ["a"]
+
+    def test_stateless_apply_to_buffer_raises(self):
+        with pytest.raises(NotImplementedError):
+            MapOp(lambda x: x).apply_to_buffer([1])
+
+    def test_stateful_apply_to_buffer(self):
+        assert SortedOp().apply_to_buffer([3, 1]) == [1, 3]
+        assert DistinctOp().apply_to_buffer([1, 1, 2]) == [1, 2]
+        assert LimitOp(1).apply_to_buffer([5, 6]) == [5]
+        assert SkipOp(1).apply_to_buffer([5, 6]) == [6]
+        assert TakeWhileOp(lambda x: x < 2).apply_to_buffer([1, 5, 1]) == [1]
+        assert DropWhileOp(lambda x: x < 2).apply_to_buffer([1, 5, 1]) == [5, 1]

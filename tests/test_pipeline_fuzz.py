@@ -1,0 +1,135 @@
+"""Pipeline fuzzing: random op chains vs a reference interpreter.
+
+Hypothesis composes random pipelines from the full intermediate-op
+vocabulary and checks three-way agreement: the sequential stream, the
+parallel stream, and a plain-Python reference interpreter.  This is the
+catch-all net over op-fusion, barrier segmentation, and ordering
+guarantees.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.forkjoin import ForkJoinPool
+from repro.streams import stream_of
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="fuzz")
+    yield p
+    p.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# Each op: (name, params) with a Stream applier and a reference applier.
+# --------------------------------------------------------------------------- #
+
+def _apply_stream(stream, op):
+    name, arg = op
+    if name == "map":
+        return stream.map(lambda x, a=arg: x * a + 1)
+    if name == "filter":
+        return stream.filter(lambda x, a=arg: x % (a + 2) != 0)
+    if name == "flat_map":
+        return stream.flat_map(lambda x, a=arg: [x] * (abs(x + a) % 3))
+    if name == "distinct":
+        return stream.distinct()
+    if name == "sorted":
+        return stream.sorted(reverse=bool(arg % 2))
+    if name == "limit":
+        return stream.limit(arg)
+    if name == "skip":
+        return stream.skip(arg)
+    if name == "take_while":
+        return stream.take_while(lambda x, a=arg: abs(x) < a * 7 + 5)
+    if name == "drop_while":
+        return stream.drop_while(lambda x, a=arg: abs(x) < a * 3 + 2)
+    raise AssertionError(name)
+
+
+def _apply_reference(values, op):
+    name, arg = op
+    if name == "map":
+        return [x * arg + 1 for x in values]
+    if name == "filter":
+        return [x for x in values if x % (arg + 2) != 0]
+    if name == "flat_map":
+        return [x for x in values for _ in range(abs(x + arg) % 3)]
+    if name == "distinct":
+        return list(dict.fromkeys(values))
+    if name == "sorted":
+        return sorted(values, reverse=bool(arg % 2))
+    if name == "limit":
+        return values[:arg]
+    if name == "skip":
+        return values[arg:]
+    if name == "take_while":
+        out = []
+        for x in values:
+            if abs(x) >= arg * 7 + 5:
+                break
+            out.append(x)
+        return out
+    if name == "drop_while":
+        out = []
+        dropping = True
+        for x in values:
+            if dropping and abs(x) < arg * 3 + 2:
+                continue
+            dropping = False
+            out.append(x)
+        return out
+    raise AssertionError(name)
+
+
+OPS = st.tuples(
+    st.sampled_from(
+        ["map", "filter", "flat_map", "distinct", "sorted", "limit", "skip",
+         "take_while", "drop_while"]
+    ),
+    st.integers(0, 9),
+)
+
+pipelines = st.lists(OPS, max_size=6)
+inputs = st.lists(st.integers(-40, 40), max_size=60)
+
+
+class TestPipelineFuzz:
+    @settings(deadline=None, max_examples=120,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(inputs, pipelines)
+    def test_sequential_matches_reference(self, xs, ops):
+        stream = stream_of(xs)
+        expected = list(xs)
+        for op in ops:
+            stream = _apply_stream(stream, op)
+            expected = _apply_reference(expected, op)
+        assert stream.to_list() == expected
+
+    @settings(deadline=None, max_examples=60,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(inputs, pipelines)
+    def test_parallel_matches_reference(self, xs, ops):
+        stream = stream_of(xs).parallel()
+        expected = list(xs)
+        for op in ops:
+            stream = _apply_stream(stream, op)
+            expected = _apply_reference(expected, op)
+        assert stream.to_list() == expected
+
+    @settings(deadline=None, max_examples=40,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(inputs, pipelines)
+    def test_terminals_consistent(self, xs, ops):
+        def build(parallel):
+            s = stream_of(xs).parallel() if parallel else stream_of(xs)
+            for op in ops:
+                s = _apply_stream(s, op)
+            return s
+
+        assert build(False).count() == build(True).count()
+        seq_first = build(False).find_first()
+        par_first = build(True).find_first()
+        assert seq_first == par_first

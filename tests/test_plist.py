@@ -1,0 +1,147 @@
+"""Tests for the PList multi-way generalization."""
+
+import operator
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError
+from repro.powerlist.plist import PList, plist_induction
+
+
+class TestConstruction:
+    def test_any_positive_length(self):
+        assert len(PList([1, 2, 3])) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            PList([])
+
+    def test_singleton(self):
+        s = PList.singleton(9)
+        assert s.is_singleton() and s[0] == 9
+
+    def test_from_iterable(self):
+        assert list(PList.from_iterable(range(3))) == [0, 1, 2]
+
+
+class TestTieZipAll:
+    def test_tie_all_matches_paper_example(self):
+        # p.i = [i*3, i*3+1, i*3+2]; [ | i : i in 3 : p.i] = [0..8]
+        parts = [PList([i * 3, i * 3 + 1, i * 3 + 2]) for i in range(3)]
+        assert list(PList.tie_all(parts)) == list(range(9))
+
+    def test_zip_all_matches_paper_example(self):
+        # [ natural-zip i : i in 3 : p.i] = [0,3,6,1,4,7,2,5,8]
+        parts = [PList([i * 3, i * 3 + 1, i * 3 + 2]) for i in range(3)]
+        assert list(PList.zip_all(parts)) == [0, 3, 6, 1, 4, 7, 2, 5, 8]
+
+    def test_similarity_enforced(self):
+        with pytest.raises(IllegalArgumentError):
+            PList.tie_all([PList([1]), PList([1, 2])])
+        with pytest.raises(IllegalArgumentError):
+            PList.zip_all([])
+
+
+class TestSplits:
+    def test_tie_split_n(self):
+        parts = PList(list(range(9))).tie_split_n(3)
+        assert [list(p) for p in parts] == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+    def test_zip_split_n(self):
+        parts = PList([0, 3, 6, 1, 4, 7, 2, 5, 8]).zip_split_n(3)
+        assert [list(p) for p in parts] == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+    def test_splits_are_views(self):
+        storage = list(range(6))
+        p = PList(storage)
+        for part in p.tie_split_n(2) + p.zip_split_n(3):
+            assert part.storage is storage
+
+    def test_arity_must_divide(self):
+        with pytest.raises(IllegalArgumentError):
+            PList(list(range(9))).tie_split_n(2)
+
+    def test_arity_must_be_at_least_two(self):
+        with pytest.raises(IllegalArgumentError):
+            PList(list(range(4))).tie_split_n(1)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=60))
+    def test_tie_roundtrip_any_divisor(self, xs):
+        p = PList(xs)
+        n = len(xs)
+        for arity in range(2, n + 1):
+            if n % arity == 0:
+                assert list(PList.tie_all(p.tie_split_n(arity))) == xs
+
+    @given(st.lists(st.integers(), min_size=1, max_size=60))
+    def test_zip_roundtrip_any_divisor(self, xs):
+        p = PList(xs)
+        n = len(xs)
+        for arity in range(2, n + 1):
+            if n % arity == 0:
+                assert list(PList.zip_all(p.zip_split_n(arity))) == xs
+
+
+class TestAccess:
+    def test_setitem(self):
+        storage = [1, 2, 3]
+        p = PList(storage)
+        p[1] = 99
+        assert storage == [1, 99, 3]
+
+    def test_negative_index(self):
+        assert PList([1, 2, 3])[-1] == 3
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            PList([1])[1]
+        with pytest.raises(IndexError):
+            PList([1])[1] = 0
+
+    def test_slice_view(self):
+        p = PList(list(range(6)))
+        assert list(p[1:4]) == [1, 2, 3]
+
+    def test_empty_slice_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            PList([1, 2])[1:1]
+
+    def test_map_and_eq(self):
+        assert PList([1, 2]).map(lambda x: -x) == PList([-1, -2])
+        assert PList([1]).__eq__("x") is NotImplemented
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(PList([1]))
+
+    def test_repr(self):
+        assert repr(PList([1])) == "PList([1])"
+
+
+class TestPlistInduction:
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=48))
+    def test_sum_smallest_prime_arity(self, xs):
+        def arity_of(n):
+            for d in range(2, n + 1):
+                if n % d == 0:
+                    return d
+            return n
+
+        p = PList(xs)
+        total = plist_induction(
+            p, arity_of, lambda a: a, lambda parts: sum(parts)
+        )
+        assert total == sum(xs)
+
+    def test_zip_variant(self):
+        p = PList(list(range(9)))
+        out = plist_induction(
+            p,
+            lambda n: 3,
+            lambda a: [a],
+            lambda parts: [x for part in parts for x in part],
+            use_zip=True,
+        )
+        assert sorted(out) == list(range(9))

@@ -1,0 +1,83 @@
+"""Tests for pool observability counters and CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench.export import export_all, export_series, rows_to_csv
+from repro.common import IllegalArgumentError
+from repro.forkjoin import ForkJoinPool
+from repro.streams import Stream
+
+
+class TestPoolStats:
+    def test_counters_accumulate(self):
+        with ForkJoinPool(parallelism=4, name="stats") as pool:
+            before = pool.stats()
+            Stream.range(0, 50_000).parallel().with_pool(pool).sum()
+            after = pool.stats()
+            assert after["tasks_executed"] > before["tasks_executed"]
+            assert len(after["per_worker"]) == 4
+
+    def test_steals_happen_on_wide_work(self):
+        with ForkJoinPool(parallelism=4, name="steals") as pool:
+            Stream.range(0, 100_000).parallel().with_pool(pool).with_target_size(
+                1000
+            ).sum()
+            assert pool.stats()["steals"] >= 1
+
+    def test_totals_are_sums(self):
+        with ForkJoinPool(parallelism=2, name="sum-check") as pool:
+            Stream.range(0, 10_000).parallel().with_pool(pool).count()
+            stats = pool.stats()
+            assert stats["tasks_executed"] == sum(
+                w["executed"] for w in stats["per_worker"]
+            )
+            assert stats["steals"] == sum(w["stolen"] for w in stats["per_worker"])
+
+    def test_real_steals_qualitatively_match_simulation(self):
+        # Both the real pool and the simulator steal a small number of
+        # times on a balanced tree: each should be well below leaf count.
+        from repro.simcore import CostModel, SimMachine, build_dc_dag
+
+        n, target, workers = 2**14, 2**9, 4
+        with ForkJoinPool(parallelism=workers, name="qual") as pool:
+            Stream.range(0, n).parallel().with_pool(pool).with_target_size(
+                target
+            ).sum()
+            real_steals = pool.stats()["steals"]
+        sim = SimMachine(workers).run(build_dc_dag(n, target, CostModel()))
+        leaves = n // target
+        assert 0 < sim.steals < leaves
+        assert 0 <= real_steals < leaves * 4  # helping joins add a few
+
+
+class TestCsvExport:
+    def test_rows_to_csv(self):
+        text = rows_to_csv([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed == [{"a": "1", "b": "2.5"}, {"a": "3", "b": "4.5"}]
+
+    def test_empty_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            rows_to_csv([])
+
+    def test_inconsistent_columns_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            rows_to_csv([{"a": 1}, {"b": 2}])
+
+    def test_export_series(self, tmp_path):
+        path = export_series([{"x": 1}], tmp_path / "sub" / "s.csv")
+        assert path.exists()
+        assert "x" in path.read_text()
+
+    def test_export_all(self, tmp_path):
+        paths = export_all(tmp_path)
+        assert len(paths) == 6
+        names = {p.stem for p in paths}
+        assert "fig3_fig4" in names
+        fig = next(p for p in paths if p.stem == "fig3_fig4")
+        rows = list(csv.DictReader(io.StringIO(fig.read_text())))
+        assert len(rows) == 7  # sizes 2^20..2^26
+        assert "speedup" in rows[0]

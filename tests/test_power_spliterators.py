@@ -1,0 +1,173 @@
+"""Tests for TieSpliterator / ZipSpliterator (paper Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError
+from repro.core import SpliteratorPower2, TieSpliterator, ZipSpliterator
+from repro.streams import Characteristics
+
+
+def drain(s):
+    out = []
+    s.for_each_remaining(out.append)
+    return out
+
+
+class TestTieSpliterator:
+    def test_split_is_first_half(self):
+        s = TieSpliterator([1, 2, 3, 4])
+        prefix = s.try_split()
+        assert drain(prefix) == [1, 2]
+        assert drain(s) == [3, 4]
+
+    def test_singleton_refuses(self):
+        assert TieSpliterator([1]).try_split() is None
+
+    def test_power2_characteristic(self):
+        assert TieSpliterator([1, 2, 3, 4]).has_characteristics(Characteristics.POWER2)
+        assert not TieSpliterator([1, 2, 3]).has_characteristics(
+            Characteristics.POWER2
+        )
+
+    def test_split_preserves_power2(self):
+        s = TieSpliterator(list(range(16)))
+        prefix = s.try_split()
+        assert prefix.has_characteristics(Characteristics.POWER2)
+        assert s.has_characteristics(Characteristics.POWER2)
+
+    @given(st.integers(0, 6))
+    def test_recursive_split_order(self, k):
+        data = list(range(2**k))
+
+        def collect_split(s):
+            prefix = s.try_split()
+            if prefix is None:
+                return drain(s)
+            return collect_split(prefix) + collect_split(s)
+
+        assert collect_split(TieSpliterator(data)) == data
+
+    def test_try_advance(self):
+        s = TieSpliterator([5, 6])
+        out = []
+        assert s.try_advance(out.append)
+        assert s.try_advance(out.append)
+        assert not s.try_advance(out.append)
+        assert out == [5, 6]
+
+    def test_estimate_size(self):
+        s = TieSpliterator(list(range(8)))
+        assert s.estimate_size() == 8
+        s.try_split()
+        assert s.estimate_size() == 4
+
+
+class TestZipSpliterator:
+    def test_split_is_even_subview(self):
+        s = ZipSpliterator([10, 11, 12, 13])
+        prefix = s.try_split()
+        assert drain(prefix) == [10, 12]
+        assert drain(s) == [11, 13]
+
+    def test_double_split_strides(self):
+        s = ZipSpliterator(list(range(8)))
+        even = s.try_split()  # 0,2,4,6
+        even_even = even.try_split()  # 0,4
+        assert drain(even_even) == [0, 4]
+        assert drain(even) == [2, 6]
+        assert drain(s) == [1, 3, 5, 7]
+
+    def test_matches_powerlist_zip_split(self):
+        from repro.powerlist import PowerList
+
+        data = list(range(16))
+        p = PowerList(data)
+        even_pl, odd_pl = p.zip_split()
+        s = ZipSpliterator(data)
+        even_sp = s.try_split()
+        assert drain(even_sp) == list(even_pl)
+        assert drain(s) == list(odd_pl)
+
+    def test_odd_count_split(self):
+        s = ZipSpliterator([0, 1, 2])
+        prefix = s.try_split()
+        assert drain(prefix) == [0, 2]
+        assert drain(s) == [1]
+
+    def test_singleton_refuses(self):
+        assert ZipSpliterator([1]).try_split() is None
+
+    @given(st.integers(0, 6))
+    def test_recursive_split_covers_exactly(self, k):
+        data = list(range(2**k))
+
+        def collect_all(s, acc):
+            prefix = s.try_split()
+            if prefix is None:
+                acc.extend(drain(s))
+                return
+            collect_all(prefix, acc)
+            collect_all(s, acc)
+
+        acc = []
+        collect_all(ZipSpliterator(data), acc)
+        assert sorted(acc) == data
+
+
+class TestValidation:
+    def test_negative_count(self):
+        with pytest.raises(IllegalArgumentError):
+            TieSpliterator([1, 2], 0, -1)
+
+    def test_bad_incr(self):
+        with pytest.raises(IllegalArgumentError):
+            TieSpliterator([1, 2], 0, 2, 0)
+
+    def test_out_of_bounds(self):
+        with pytest.raises(IllegalArgumentError):
+            TieSpliterator([1, 2], 1, 2, 1)
+
+    def test_empty_view_allowed(self):
+        s = TieSpliterator([1, 2], 0, 0)
+        assert drain(s) == []
+
+
+class TestSplitHooks:
+    def test_on_split_fires_per_split(self):
+        calls = []
+
+        class Recorder:
+            _state_lock = None
+            basic_case = None
+
+            def on_split(self, incr):
+                calls.append(incr)
+
+        s = ZipSpliterator(list(range(8)), function_object=Recorder())
+        s.try_split()
+        s.try_split()
+        assert calls == [2, 4]
+
+    def test_basic_case_overrides_leaf(self):
+        class Doubler:
+            on_split = None
+
+            def basic_case(self, view, incr):
+                return [2 * x for x in view]
+
+        s = TieSpliterator([1, 2, 3, 4], function_object=Doubler())
+        assert drain(s) == [2, 4, 6, 8]
+
+    def test_basic_case_consumes_view(self):
+        class Identity:
+            on_split = None
+
+            def basic_case(self, view, incr):
+                return view
+
+        s = TieSpliterator([1, 2], function_object=Identity())
+        drain(s)
+        assert s.estimate_size() == 0
+        assert drain(s) == []

@@ -1,0 +1,275 @@
+"""Unit and property tests for the PowerList data structure and operators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import (
+    IllegalArgumentError,
+    NotPowerOfTwoError,
+    NotSimilarError,
+)
+from repro.powerlist import (
+    PowerList,
+    pl_add,
+    pl_mul,
+    pl_scale,
+    pl_sub,
+    similar,
+    tie,
+    tie_split,
+    zip_,
+    zip_split,
+)
+
+
+def powerlists(elements=st.integers(-1000, 1000), max_log=6):
+    """Hypothesis strategy producing PowerLists of length 2**k, k<=max_log."""
+    return st.integers(0, max_log).flatmap(
+        lambda k: st.lists(elements, min_size=2**k, max_size=2**k)
+    ).map(PowerList)
+
+
+class TestConstruction:
+    def test_wraps_whole_sequence(self):
+        p = PowerList([1, 2, 3, 4])
+        assert len(p) == 4
+        assert list(p) == [1, 2, 3, 4]
+
+    def test_rejects_non_power_length(self):
+        with pytest.raises(NotPowerOfTwoError):
+            PowerList([1, 2, 3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(NotPowerOfTwoError):
+            PowerList([])
+
+    def test_of(self):
+        assert list(PowerList.of(5, 6)) == [5, 6]
+
+    def test_singleton(self):
+        p = PowerList.singleton("a")
+        assert p.is_singleton()
+        assert p[0] == "a"
+
+    def test_filled(self):
+        assert list(PowerList.filled(7, 4)) == [7, 7, 7, 7]
+        with pytest.raises(NotPowerOfTwoError):
+            PowerList.filled(7, 3)
+
+    def test_from_iterable_materializes(self):
+        p = PowerList.from_iterable(x * x for x in range(4))
+        assert list(p) == [0, 1, 4, 9]
+
+    def test_partial_view_args_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            PowerList([1, 2], start=0)
+
+    def test_view_bounds_checked(self):
+        with pytest.raises(IllegalArgumentError):
+            PowerList([1, 2, 3, 4], start=2, stride=2, length=2)
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            PowerList([1, 2], start=0, stride=0, length=2)
+
+
+class TestAccess:
+    def test_indexing_and_negative(self):
+        p = PowerList([10, 20, 30, 40])
+        assert p[0] == 10
+        assert p[-1] == 40
+        with pytest.raises(IndexError):
+            p[4]
+
+    def test_loglen(self):
+        assert PowerList([0] * 8).loglen == 3
+
+    def test_setitem_writes_through_view(self):
+        storage = [0, 1, 2, 3]
+        p = PowerList(storage)
+        even, odd = p.zip_split()
+        odd[1] = 99
+        assert storage == [0, 1, 2, 99]
+
+    def test_reversed(self):
+        assert list(reversed(PowerList([1, 2, 3, 4]))) == [4, 3, 2, 1]
+
+    def test_slice_power_of_two(self):
+        p = PowerList(list(range(8)))
+        assert list(p[0:4]) == [0, 1, 2, 3]
+        assert list(p[::2]) == [0, 2, 4, 6]
+
+    def test_slice_non_power_rejected(self):
+        with pytest.raises(NotPowerOfTwoError):
+            PowerList(list(range(8)))[0:3]
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(PowerList([1, 2]))
+
+    def test_repr(self):
+        assert repr(PowerList([1, 2])) == "PowerList([1, 2])"
+
+
+class TestDeconstruction:
+    def test_tie_split(self):
+        left, right = PowerList([1, 2, 3, 4]).tie_split()
+        assert list(left) == [1, 2]
+        assert list(right) == [3, 4]
+
+    def test_zip_split(self):
+        even, odd = PowerList([1, 2, 3, 4]).zip_split()
+        assert list(even) == [1, 3]
+        assert list(odd) == [2, 4]
+
+    def test_splits_are_views_not_copies(self):
+        storage = [1, 2, 3, 4]
+        p = PowerList(storage)
+        for half in (*p.tie_split(), *p.zip_split()):
+            assert half.storage is storage
+
+    def test_singleton_cannot_split(self):
+        s = PowerList([1])
+        with pytest.raises(IllegalArgumentError):
+            s.tie_split()
+        with pytest.raises(IllegalArgumentError):
+            s.zip_split()
+
+    def test_nested_zip_of_tie(self):
+        p = PowerList(list(range(8)))
+        left, _ = p.tie_split()
+        even, odd = left.zip_split()
+        assert list(even) == [0, 2]
+        assert list(odd) == [1, 3]
+
+    @given(powerlists())
+    def test_tie_then_tie_reassembles(self, p):
+        if p.is_singleton():
+            return
+        left, right = p.tie_split()
+        assert list(tie(left, right)) == list(p)
+
+    @given(powerlists())
+    def test_zip_then_zip_reassembles(self, p):
+        if p.is_singleton():
+            return
+        even, odd = p.zip_split()
+        assert list(zip_(even, odd)) == list(p)
+
+
+class TestConstructors:
+    def test_tie_concatenates(self):
+        r = tie(PowerList([1, 2]), PowerList([3, 4]))
+        assert list(r) == [1, 2, 3, 4]
+
+    def test_zip_interleaves(self):
+        r = zip_(PowerList([1, 3]), PowerList([2, 4]))
+        assert list(r) == [1, 2, 3, 4]
+
+    def test_tie_requires_similar(self):
+        with pytest.raises(NotSimilarError):
+            tie(PowerList([1]), PowerList([1, 2]))
+
+    def test_zip_requires_similar(self):
+        with pytest.raises(NotSimilarError):
+            zip_(PowerList([1]), PowerList([1, 2]))
+
+    def test_tie_of_adjacent_views_is_zero_copy(self):
+        storage = list(range(8))
+        p = PowerList(storage)
+        left, right = p.tie_split()
+        r = tie(left, right)
+        assert r.storage is storage
+
+    def test_zip_of_interleaved_views_is_zero_copy(self):
+        storage = list(range(8))
+        p = PowerList(storage)
+        even, odd = p.zip_split()
+        r = zip_(even, odd)
+        assert r.storage is storage
+
+    def test_tie_of_unrelated_materializes(self):
+        r = tie(PowerList([9, 9]), PowerList([8, 8]))
+        assert list(r) == [9, 9, 8, 8]
+
+    def test_module_level_splits(self):
+        p = PowerList([1, 2, 3, 4])
+        assert [list(x) for x in tie_split(p)] == [[1, 2], [3, 4]]
+        assert [list(x) for x in zip_split(p)] == [[1, 3], [2, 4]]
+
+
+class TestAlgebraLaws:
+    """The defining laws of the PowerList algebra (Misra 1994)."""
+
+    @given(powerlists(max_log=5), powerlists(max_log=5))
+    def test_tie_zip_interchange(self, p, q):
+        # For similar p, q: (p|q) zip-split == (even(p)|even(q), odd(p)|odd(q))
+        if len(p) != len(q) or p.is_singleton():
+            return
+        both = tie(p, q)
+        even, odd = both.zip_split()
+        pe, po = p.zip_split()
+        qe, qo = q.zip_split()
+        assert list(even) == list(pe) + list(qe)
+        assert list(odd) == list(po) + list(qo)
+
+    @given(powerlists(max_log=4))
+    def test_zip_dual(self, p):
+        # zip(tie-halves of zip-split) relates to the shuffle permutation;
+        # at minimum: zip_(even, odd) == p (inverse law).
+        if p.is_singleton():
+            return
+        even, odd = p.zip_split()
+        assert zip_(even, odd) == p
+
+    def test_equality_semantics(self):
+        assert PowerList([1, 2]) == PowerList([1, 2])
+        assert PowerList([1, 2]) != PowerList([2, 1])
+        assert PowerList([1, 2]).__eq__(3) is NotImplemented
+
+
+class TestExtendedOperators:
+    def test_pl_add(self):
+        r = pl_add(PowerList([1, 2]), PowerList([10, 20]))
+        assert list(r) == [11, 22]
+
+    def test_pl_sub(self):
+        assert list(pl_sub(PowerList([5, 5]), PowerList([1, 2]))) == [4, 3]
+
+    def test_pl_mul(self):
+        assert list(pl_mul(PowerList([2, 3]), PowerList([4, 5]))) == [8, 15]
+
+    def test_pl_scale(self):
+        assert list(pl_scale(3, PowerList([1, 2]))) == [3, 6]
+
+    def test_similarity_enforced(self):
+        with pytest.raises(NotSimilarError):
+            pl_add(PowerList([1]), PowerList([1, 2]))
+
+    @given(powerlists(max_log=4), powerlists(max_log=4))
+    def test_add_commutes(self, p, q):
+        if len(p) != len(q):
+            return
+        assert pl_add(p, q) == pl_add(q, p)
+
+    def test_similar_predicate(self):
+        assert similar(PowerList([1, 2]), PowerList([3, 4]))
+        assert not similar(PowerList([1]), PowerList([3, 4]))
+
+
+class TestConveniences:
+    def test_map_specification(self):
+        p = PowerList([1, 2, 3, 4]).map(lambda x: x * 10)
+        assert list(p) == [10, 20, 30, 40]
+
+    def test_copy_compacts(self):
+        p = PowerList(list(range(8)))
+        even, _ = p.zip_split()
+        c = even.copy()
+        assert c.stride == 1
+        assert list(c) == [0, 2, 4, 6]
+        assert c.storage is not p.storage
+
+    def test_to_list(self):
+        assert PowerList([1, 2]).to_list() == [1, 2]

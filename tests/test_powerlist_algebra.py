@@ -1,0 +1,82 @@
+"""Tests for structural recursion schemes (induction principles)."""
+
+import operator
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.powerlist import (
+    PowerList,
+    depth,
+    from_function,
+    induction_tie,
+    induction_zip,
+)
+
+
+def plists(max_log=6):
+    return st.integers(0, max_log).flatmap(
+        lambda k: st.lists(st.integers(-100, 100), min_size=2**k, max_size=2**k)
+    ).map(PowerList)
+
+
+class TestDepth:
+    @pytest.mark.parametrize("n,d", [(1, 0), (2, 1), (8, 3), (64, 6)])
+    def test_depth(self, n, d):
+        assert depth(PowerList([0] * n)) == d
+
+
+class TestFromFunction:
+    def test_builds_by_index(self):
+        p = from_function(lambda i: i * i, 4)
+        assert list(p) == [0, 1, 4, 9]
+
+    def test_roots_of_unity_example(self):
+        import cmath
+
+        n = 4
+        w = cmath.exp(2j * cmath.pi / (2 * n))
+        powers = from_function(lambda i: w**i, n)
+        assert abs(powers[0] - 1) < 1e-12
+        assert abs(powers[1] - w) < 1e-12
+
+
+class TestInductionTie:
+    @given(plists())
+    def test_sum(self, p):
+        assert induction_tie(p, lambda a: a, operator.add) == sum(p)
+
+    @given(plists())
+    def test_identity_as_list(self, p):
+        out = induction_tie(p, lambda a: [a], operator.add)
+        assert out == list(p)
+
+    @given(plists())
+    def test_max(self, p):
+        assert induction_tie(p, lambda a: a, max) == max(p)
+
+
+class TestInductionZip:
+    @given(plists())
+    def test_sum_equals_tie_sum(self, p):
+        assert induction_zip(p, lambda a: a, operator.add) == sum(p)
+
+    @given(plists(max_log=4))
+    def test_zip_identity_undoes_zip_order(self, p):
+        # Reassembling sub-results with list-concatenation under *zip*
+        # induction produces the bit-reversal permutation of p -- the inv
+        # function.  Check the length-4 instance explicitly.
+        out = induction_zip(p, lambda a: [a], operator.add)
+        assert sorted(out) == sorted(p)
+
+    def test_inv_via_zip_induction(self):
+        p = PowerList([0, 1, 2, 3, 4, 5, 6, 7])
+        out = induction_zip(p, lambda a: [a], operator.add)
+        # inv of [0..7] is the bit-reversal permutation
+        assert out == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    @given(plists(max_log=5))
+    def test_counts_match(self, p):
+        count = induction_zip(p, lambda a: 1, operator.add)
+        assert count == len(p)

@@ -1,0 +1,113 @@
+"""Tests for specification-level PowerList functions (Misra's zoo)."""
+
+import itertools
+import operator
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.powerlist import PowerList
+from repro.powerlist.functions import (
+    ladner_fischer_scan,
+    rev,
+    rotate_left,
+    rotate_right,
+    shuffle,
+    unshuffle,
+)
+
+
+def pow2_lists(max_log=6):
+    return st.integers(0, max_log).flatmap(
+        lambda k: st.lists(st.integers(-100, 100), min_size=2**k, max_size=2**k)
+    )
+
+
+class TestRev:
+    @given(pow2_lists())
+    def test_matches_builtin(self, xs):
+        assert rev(PowerList(xs)).to_list() == xs[::-1]
+
+    @given(pow2_lists(max_log=5))
+    def test_involution(self, xs):
+        p = PowerList(xs)
+        assert rev(rev(p)).to_list() == xs
+
+    def test_singleton(self):
+        assert rev(PowerList([7])).to_list() == [7]
+
+
+class TestRotations:
+    @given(pow2_lists())
+    def test_rotate_right(self, xs):
+        assert rotate_right(PowerList(xs)).to_list() == [xs[-1]] + xs[:-1]
+
+    @given(pow2_lists())
+    def test_rotate_left(self, xs):
+        assert rotate_left(PowerList(xs)).to_list() == xs[1:] + [xs[0]]
+
+    @given(pow2_lists(max_log=5))
+    def test_rotations_inverse(self, xs):
+        p = PowerList(xs)
+        assert rotate_left(rotate_right(p)).to_list() == xs
+        assert rotate_right(rotate_left(p)).to_list() == xs
+
+    def test_full_cycle(self):
+        xs = list(range(8))
+        p = PowerList(xs)
+        for _ in range(8):
+            p = rotate_right(p)
+        assert p.to_list() == xs
+
+
+class TestShuffle:
+    def test_perfect_shuffle_cards(self):
+        # The riffle of [0..7]: halves [0,1,2,3] and [4,5,6,7] interleaved.
+        assert shuffle(PowerList(list(range(8)))).to_list() == [0, 4, 1, 5, 2, 6, 3, 7]
+
+    @given(pow2_lists())
+    def test_unshuffle_inverts(self, xs):
+        p = PowerList(xs)
+        assert unshuffle(shuffle(p)).to_list() == xs
+        assert shuffle(unshuffle(p)).to_list() == xs
+
+    def test_shuffle_leaves_input_untouched(self):
+        xs = list(range(8))
+        shuffle(PowerList(xs))
+        assert xs == list(range(8))  # input storage not mutated
+
+    def test_shuffle_order_is_inv_conjugate(self):
+        # shuffle cycles relate to index doubling mod n-1; sanity: shuffle
+        # applied log2(n) times is the identity for n = 8.
+        xs = list(range(8))
+        p = PowerList(xs)
+        for _ in range(3):
+            p = shuffle(p)
+        assert p.to_list() == xs
+
+
+class TestLadnerFischerScan:
+    @given(pow2_lists())
+    def test_matches_accumulate(self, xs):
+        out = ladner_fischer_scan(PowerList(xs)).to_list()
+        assert out == list(itertools.accumulate(xs))
+
+    @given(pow2_lists())
+    def test_max_scan(self, xs):
+        out = ladner_fischer_scan(PowerList(xs), max, -(10**9)).to_list()
+        assert out == list(itertools.accumulate(xs, max))
+
+    def test_non_commutative_monoid(self):
+        # String concatenation: associative, identity "".
+        words = ["a", "b", "c", "d"]
+        out = ladner_fischer_scan(PowerList(words), operator.add, "").to_list()
+        assert out == ["a", "ab", "abc", "abcd"]
+
+    def test_agreement_with_collector_scan(self):
+        from repro.core import prefix_sum
+
+        xs = [(i * 13) % 7 for i in range(64)]
+        assert ladner_fischer_scan(PowerList(xs)).to_list() == prefix_sum(
+            xs, parallel=False
+        )

@@ -1,0 +1,109 @@
+"""Fusion laws of the PowerList collector algebra.
+
+The equational reasoning the theory enables — map fusion, map/reduce
+promotion (the homomorphism lemmas), scan/reduce relationships — checked
+over random inputs through the *actual collectors*, not just the specs.
+"""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HomomorphismCollector,
+    PowerMapCollector,
+    PowerReduceCollector,
+    power_collect,
+    prefix_sum,
+)
+
+
+def pow2_lists(max_log=5):
+    return st.integers(0, max_log).flatmap(
+        lambda k: st.lists(st.integers(-30, 30), min_size=2**k, max_size=2**k)
+    )
+
+
+def run(collector, data):
+    return power_collect(collector, data, parallel=False)
+
+
+class TestMapLaws:
+    @given(pow2_lists())
+    def test_map_fusion(self, xs):
+        # map f ∘ map g == map (f ∘ g)
+        f = lambda x: x * 3
+        g = lambda x: x - 7
+        chained = run(PowerMapCollector(f, "tie"), run(PowerMapCollector(g, "tie"), xs))
+        fused = run(PowerMapCollector(lambda x: f(g(x)), "tie"), xs)
+        assert chained == fused
+
+    @given(pow2_lists())
+    def test_map_identity(self, xs):
+        assert run(PowerMapCollector(lambda x: x, "tie"), xs) == xs
+
+    @given(pow2_lists(max_log=4))
+    def test_map_operator_independence(self, xs):
+        f = lambda x: x * x
+        assert run(PowerMapCollector(f, "tie"), xs) == run(
+            PowerMapCollector(f, "zip"), xs
+        )
+
+
+class TestPromotionLaws:
+    @given(pow2_lists())
+    def test_reduce_map_promotion(self, xs):
+        # reduce(op) ∘ map(f) == homomorphism(f, op)
+        f = lambda x: x + 5
+        composed = run(
+            PowerReduceCollector(operator.add, "tie"),
+            run(PowerMapCollector(f, "tie"), xs),
+        )
+        assert composed == run(HomomorphismCollector(f, operator.add), xs)
+
+    @given(pow2_lists())
+    def test_reduce_promotion_over_tie(self, xs):
+        # reduce(p | q) == reduce(p) ⊕ reduce(q)
+        if len(xs) < 2:
+            return
+        half = len(xs) // 2
+        whole = run(PowerReduceCollector(operator.add), xs)
+        parts = run(PowerReduceCollector(operator.add), xs[:half]) + run(
+            PowerReduceCollector(operator.add), xs[half:]
+        )
+        assert whole == parts
+
+    @given(pow2_lists(max_log=4))
+    def test_reduce_zip_equals_tie_for_commutative(self, xs):
+        assert run(PowerReduceCollector(operator.add, "zip"), xs) == run(
+            PowerReduceCollector(operator.add, "tie"), xs
+        )
+
+
+class TestScanLaws:
+    @given(pow2_lists())
+    def test_scan_last_is_reduce(self, xs):
+        scan = prefix_sum(xs, parallel=False)
+        total = run(PowerReduceCollector(operator.add), xs)
+        assert scan[-1] == total
+
+    @given(pow2_lists())
+    def test_scan_of_map_is_map_scan_commute(self, xs):
+        # scan(+) ∘ map(c·) == map(c·) ∘ scan(+)   (linearity)
+        c = 3
+        lhs = prefix_sum(run(PowerMapCollector(lambda x: c * x, "tie"), xs),
+                         parallel=False)
+        rhs = run(
+            PowerMapCollector(lambda x: c * x, "tie"), prefix_sum(xs, parallel=False)
+        )
+        assert lhs == rhs
+
+    @given(pow2_lists(max_log=4))
+    def test_scan_is_prefix_closed(self, xs):
+        # The scan of a prefix is a prefix of the scan.
+        scan = prefix_sum(xs, parallel=False)
+        if len(xs) >= 2:
+            half = len(xs) // 2
+            assert prefix_sum(xs[:half], parallel=False) == scan[:half]

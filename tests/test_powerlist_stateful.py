@@ -1,0 +1,104 @@
+"""Stateful (model-based) testing of PowerList views.
+
+A hypothesis rule-based state machine drives a random sequence of view
+operations (splits, writes through views, reassembly) against a plain
+Python-list model, verifying that the zero-copy view discipline never
+diverges from copy semantics.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.powerlist import PowerList, tie, zip_
+
+
+class PowerListViews(RuleBasedStateMachine):
+    """Model: every live view is tracked with the index list it covers."""
+
+    views = Bundle("views")
+
+    def __init__(self):
+        super().__init__()
+        self.storage = list(range(32))
+        self.shadow = list(self.storage)  # model of the storage
+
+    @rule(target=views)
+    def root_view(self):
+        return (PowerList(self.storage), list(range(32)))
+
+    @rule(target=views, view=views)
+    def tie_left(self, view):
+        p, idx = view
+        if p.is_singleton():
+            return view
+        left, _ = p.tie_split()
+        return (left, idx[: len(idx) // 2])
+
+    @rule(target=views, view=views)
+    def tie_right(self, view):
+        p, idx = view
+        if p.is_singleton():
+            return view
+        _, right = p.tie_split()
+        return (right, idx[len(idx) // 2 :])
+
+    @rule(target=views, view=views)
+    def zip_even(self, view):
+        p, idx = view
+        if p.is_singleton():
+            return view
+        even, _ = p.zip_split()
+        return (even, idx[0::2])
+
+    @rule(target=views, view=views)
+    def zip_odd(self, view):
+        p, idx = view
+        if p.is_singleton():
+            return view
+        _, odd = p.zip_split()
+        return (odd, idx[1::2])
+
+    @rule(view=views, position=st.integers(0, 31), value=st.integers(-999, 999))
+    def write_through_view(self, view, position, value):
+        p, idx = view
+        i = position % len(p)
+        p[i] = value
+        self.shadow[idx[i]] = value
+
+    @rule(target=views, view=views)
+    def reassemble_tie(self, view):
+        p, idx = view
+        if p.is_singleton():
+            return view
+        left, right = p.tie_split()
+        return (tie(left, right), idx)
+
+    @rule(target=views, view=views)
+    def reassemble_zip(self, view):
+        p, idx = view
+        if p.is_singleton():
+            return view
+        even, odd = p.zip_split()
+        return (zip_(even, odd), idx)
+
+    @invariant()
+    def storage_matches_shadow(self):
+        assert self.storage == self.shadow
+
+    @rule(view=views)
+    def view_matches_model(self, view):
+        p, idx = view
+        assert list(p) == [self.shadow[i] for i in idx]
+
+
+PowerListViews.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestPowerListViews = PowerListViews.TestCase

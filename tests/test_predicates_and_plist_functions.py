@@ -1,0 +1,170 @@
+"""Tests for predicate collectors and JPLF PList functions."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError
+from repro.core.predicates import all_equal, count_if, is_sorted
+from repro.forkjoin import ForkJoinPool
+from repro.jplf.plist_function import (
+    PListForkJoinExecutor,
+    PListMap,
+    PListReduce,
+    smallest_prime_factor,
+)
+from repro.powerlist.plist import PList
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="pred-test")
+    yield p
+    p.shutdown()
+
+
+def pow2_lists(max_log=6):
+    return st.integers(0, max_log).flatmap(
+        lambda k: st.lists(st.integers(-50, 50), min_size=2**k, max_size=2**k)
+    )
+
+
+class TestIsSorted:
+    @given(pow2_lists())
+    def test_matches_python(self, xs):
+        assert is_sorted(xs, parallel=False) == (xs == sorted(xs))
+
+    @pytest.mark.parametrize("target", [1, 4, 16])
+    def test_any_leaf_size(self, target, pool):
+        data = sorted([(i * 37) % 101 for i in range(64)])
+        assert is_sorted(data, pool=pool, target_size=target)
+        data[10], data[50] = data[50], data[10]
+        if data != sorted(data):
+            assert not is_sorted(data, pool=pool, target_size=target)
+
+    def test_boundary_violation_detected(self, pool):
+        # Sorted halves, unsorted junction: only the combiner can see it.
+        data = list(range(32)) + list(range(32))
+        assert not is_sorted(data, pool=pool, target_size=8)
+
+    def test_singleton(self):
+        assert is_sorted([5], parallel=False)
+
+
+class TestCountIf:
+    @given(pow2_lists())
+    def test_matches_builtin(self, xs):
+        assert count_if(xs, lambda x: x > 0, parallel=False) == sum(
+            1 for x in xs if x > 0
+        )
+
+    def test_parallel(self, pool):
+        data = list(range(256))
+        assert count_if(data, lambda x: x % 3 == 0, pool=pool) == 86
+
+
+class TestAllEqual:
+    @given(pow2_lists())
+    def test_matches_set_size(self, xs):
+        assert all_equal(xs, parallel=False) == (len(set(xs)) <= 1)
+
+    def test_parallel(self, pool):
+        assert all_equal([7] * 128, pool=pool)
+        assert not all_equal([7] * 127 + [8], pool=pool)
+
+
+class TestSmallestPrimeFactor:
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 3), (4, 2), (9, 3), (15, 3), (49, 7), (97, 97)])
+    def test_examples(self, n, expected):
+        assert smallest_prime_factor(n) == expected
+
+    def test_rejects_small(self):
+        with pytest.raises(IllegalArgumentError):
+            smallest_prime_factor(1)
+
+    @given(st.integers(2, 10_000))
+    def test_is_a_prime_divisor(self, n):
+        p = smallest_prime_factor(n)
+        assert n % p == 0
+        assert smallest_prime_factor(p) == p
+
+
+class TestPListFunctions:
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=60))
+    def test_map_any_length(self, xs):
+        out = PListMap(PList(xs), lambda x: x * 2).compute()
+        assert out == [x * 2 for x in xs]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=60))
+    def test_reduce_any_length(self, xs):
+        assert PListReduce(PList(xs), operator.add).compute() == sum(xs)
+
+    def test_reduce_non_commutative(self):
+        words = [chr(ord("a") + i % 26) for i in range(30)]
+        assert PListReduce(PList(words), operator.add).compute() == "".join(words)
+
+    def test_varying_arity_decomposition(self):
+        # length 12 = 2·2·3: the smallest-prime rule gives arity 2, 2, 3.
+        fn = PListMap(PList(list(range(12))), lambda x: x)
+        assert fn.arity_of(12) == 2
+        assert fn.arity_of(3) == 3
+        assert fn.compute() == list(range(12))
+
+    def test_custom_arity(self):
+        class ThreeWay(PListMap):
+            def arity_of(self, length):
+                return 3 if length % 3 == 0 else super().arity_of(length)
+
+        out = ThreeWay(PList(list(range(27))), lambda x: -x).compute()
+        assert out == [-x for x in range(27)]
+
+    def test_zip_operator(self):
+        class ZipMap(PListMap):
+            operator = "zip"
+
+            def combine_all(self, results):
+                n = len(results)
+                m = len(results[0])
+                out = [None] * (n * m)
+                for k, part in enumerate(results):
+                    out[k::n] = part
+                return out
+
+        out = ZipMap(PList(list(range(12))), lambda x: x).compute()
+        assert out == list(range(12))
+
+    def test_bad_operator(self):
+        fn = PListMap(PList([1, 2]), lambda x: x)
+        fn.operator = "bogus"
+        with pytest.raises(IllegalArgumentError):
+            fn.split()
+
+
+class TestPListForkJoinExecutor:
+    @pytest.mark.parametrize("n", [1, 7, 12, 60, 81, 128])
+    def test_map_matches_sequential(self, n, pool):
+        data = list(range(n))
+        fn = PListMap(PList(data), lambda x: x * x)
+        out = PListForkJoinExecutor(pool).execute(fn)
+        assert out == [x * x for x in data]
+
+    @pytest.mark.parametrize("threshold", [1, 4, 32])
+    def test_reduce_thresholds(self, threshold, pool):
+        data = list(range(90))
+        fn = PListReduce(PList(data), operator.add)
+        out = PListForkJoinExecutor(pool, threshold=threshold).execute(fn)
+        assert out == sum(data)
+
+    def test_agrees_with_nway_collector(self, pool):
+        from repro.core.nway import NWayMapCollector, nway_collect
+
+        data = list(range(81))
+        jplf_out = PListForkJoinExecutor(pool).execute(
+            PListMap(PList(data), lambda x: x + 1)
+        )
+        stream_out = nway_collect(
+            NWayMapCollector(lambda x: x + 1), data, arity=3, pool=pool
+        )
+        assert jplf_out == stream_out

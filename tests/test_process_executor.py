@@ -1,0 +1,82 @@
+"""Tests for the process-pool PowerFunction executor."""
+
+import operator
+import random
+
+import numpy as np
+import pytest
+
+from repro.common import IllegalArgumentError
+from repro.jplf import JplfMap, JplfPolynomialValue, JplfReduce, JplfSort
+from repro.jplf.process_executor import ProcessExecutor
+from repro.powerlist import PowerList
+
+
+def _square(x):
+    """Module-level mapper (lambdas don't pickle)."""
+    return x * x
+
+
+@pytest.fixture(scope="module")
+def executor():
+    with ProcessExecutor(processes=2) as ex:
+        yield ex
+
+
+class TestProcessExecutor:
+    def test_reduce(self, executor):
+        data = list(range(512))
+        out = executor.execute(JplfReduce(PowerList(data), operator.add))
+        assert out == sum(data)
+
+    def test_map_with_named_function(self, executor):
+        data = list(range(256))
+        out = executor.execute(JplfMap(PowerList(data), _square))
+        assert out == [x * x for x in data]
+
+    def test_polynomial(self, executor):
+        rng = random.Random(51)
+        coeffs = [rng.uniform(-1, 1) for _ in range(512)]
+        out = executor.execute(JplfPolynomialValue(PowerList(coeffs), 0.97))
+        assert out == pytest.approx(np.polyval(coeffs, 0.97), rel=1e-9)
+
+    def test_sort(self, executor):
+        rng = random.Random(52)
+        data = [rng.randint(0, 999) for _ in range(256)]
+        assert executor.execute(JplfSort(PowerList(data))) == sorted(data)
+
+    def test_agrees_with_sequential(self, executor):
+        from repro.jplf import SequentialExecutor
+
+        data = [(i * 37) % 101 for i in range(256)]
+        fn = lambda: JplfReduce(PowerList(data), operator.add)
+        assert executor.execute(fn()) == SequentialExecutor().execute(fn())
+
+    def test_single_process_degenerates(self):
+        ex = ProcessExecutor(processes=1)
+        out = ex.execute(JplfReduce(PowerList([1, 2, 3, 4]), operator.add))
+        assert out == 10
+        ex.shutdown()
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            ProcessExecutor(processes=3)
+
+    def test_input_smaller_than_processes_rejected(self, executor):
+        with pytest.raises(IllegalArgumentError):
+            executor.execute(JplfReduce(PowerList([1]), operator.add))
+
+    def test_shared_external_pool_not_shut_down(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            ex = ProcessExecutor(processes=2, pool=pool)
+            assert ex.execute(JplfReduce(PowerList([1, 2, 3, 4]), operator.add)) == 10
+            ex.shutdown()  # must NOT kill the external pool
+            # Pool still usable:
+            assert pool.submit(_square, 3).result() == 9
+
+    def test_four_processes(self):
+        with ProcessExecutor(processes=4) as ex:
+            data = list(range(1024))
+            assert ex.execute(JplfReduce(PowerList(data), operator.add)) == sum(data)

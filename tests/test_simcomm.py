@@ -1,0 +1,174 @@
+"""Tests for the SPMD rank-program layer (SimComm)."""
+
+import operator
+
+import pytest
+
+from repro.common import IllegalArgumentError, IllegalStateError
+from repro.mpi import CommModel
+from repro.mpi.simcomm import (
+    Compute,
+    Recv,
+    Send,
+    SimComm,
+    hypercube_allreduce,
+)
+
+COMM = CommModel(alpha=10, beta=1, element_bytes=8)
+
+
+class TestBasicMessaging:
+    def test_ping(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dest=1, data="hello", tag=1)
+            else:
+                data = yield Recv(source=0, tag=1)
+                assert data == "hello"
+                return data
+
+        times, results = SimComm(2, COMM).run(program)
+        assert results[1] == "hello"
+        assert times[1] > times[0]  # receiver waited for the transfer
+
+    def test_ping_pong(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dest=1, data=1)
+                value = yield Recv(source=1)
+                return value
+            value = yield Recv(source=0)
+            yield Send(dest=0, data=value + 1)
+            return value
+
+        _, results = SimComm(2, COMM).run(program)
+        assert results[0] == 2
+        assert results[1] == 1
+
+    def test_fifo_non_overtaking(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dest=1, data="first")
+                yield Send(dest=1, data="second")
+            else:
+                a = yield Recv(source=0)
+                b = yield Recv(source=0)
+                return (a, b)
+
+        _, results = SimComm(2, COMM).run(program)
+        assert results[1] == ("first", "second")
+
+    def test_tags_demultiplex(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dest=1, data="A", tag=1)
+                yield Send(dest=1, data="B", tag=2)
+            else:
+                b = yield Recv(source=0, tag=2)
+                a = yield Recv(source=0, tag=1)
+                return (a, b)
+
+        _, results = SimComm(2, COMM).run(program)
+        assert results[1] == ("A", "B")
+
+    def test_compute_advances_clock(self):
+        def program(rank, size):
+            yield Compute(cost=123.0)
+
+        times, _ = SimComm(1, COMM).run(program)
+        assert times[0] == 123.0
+
+    def test_message_time_scales_with_payload(self):
+        def make(payload):
+            def program(rank, size):
+                if rank == 0:
+                    yield Send(dest=1, data=payload)
+                else:
+                    yield Recv(source=0)
+
+            return program
+
+        t_small, _ = SimComm(2, COMM).run(make([0]))
+        t_big, _ = SimComm(2, COMM).run(make([0] * 1000))
+        assert t_big[1] > t_small[1]
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        def program(rank, size):
+            # Both ranks receive first: classic deadlock.
+            yield Recv(source=1 - rank)
+            yield Send(dest=1 - rank, data=0)
+
+        with pytest.raises(IllegalStateError, match="deadlock"):
+            SimComm(2, COMM).run(program)
+
+    def test_invalid_destination(self):
+        def program(rank, size):
+            yield Send(dest=5, data=0)
+
+        with pytest.raises(IllegalArgumentError):
+            SimComm(2, COMM).run(program)
+
+    def test_invalid_source(self):
+        def program(rank, size):
+            yield Recv(source=-1)
+
+        with pytest.raises(IllegalArgumentError):
+            SimComm(1, COMM).run(program)
+
+    def test_invalid_yield(self):
+        def program(rank, size):
+            yield "not a request"
+
+        with pytest.raises(IllegalArgumentError):
+            SimComm(1, COMM).run(program)
+
+    def test_negative_compute(self):
+        def program(rank, size):
+            yield Compute(cost=-1)
+
+        with pytest.raises(IllegalArgumentError):
+            SimComm(1, COMM).run(program)
+
+
+class TestHypercubeAllreduce:
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 8, 16])
+    def test_every_rank_gets_total(self, ranks):
+        _, results = hypercube_allreduce(
+            lambda r: r + 1, operator.add, ranks, COMM
+        )
+        assert results == [sum(range(1, ranks + 1))] * ranks
+
+    def test_non_commutative_ordered(self):
+        _, results = hypercube_allreduce(
+            lambda r: chr(ord("a") + r), operator.add, 4, COMM
+        )
+        assert all(sorted(v) == list("abcd") for v in results)
+        assert len(set(results)) == 1  # all ranks agree exactly
+
+    def test_log_rounds_timing(self):
+        times2, _ = hypercube_allreduce(lambda r: r, operator.add, 2, COMM)
+        times16, _ = hypercube_allreduce(lambda r: r, operator.add, 16, COMM)
+        # 4 rounds vs 1 round: roughly 4x the communication on the
+        # critical path.
+        assert max(times16) > 2 * max(times2)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(IllegalArgumentError):
+            hypercube_allreduce(lambda r: r, operator.add, 3, COMM)
+
+    def test_agrees_with_collectives_allreduce(self):
+        from repro.mpi.collectives import allreduce
+
+        values = [(r * 13) % 7 for r in range(8)]
+        expected, _ = allreduce(values, operator.add, COMM)
+        _, results = hypercube_allreduce(
+            lambda r: values[r], operator.add, 8, COMM
+        )
+        assert results == expected
+
+    def test_deterministic(self):
+        a = hypercube_allreduce(lambda r: r, operator.add, 8, COMM)
+        b = hypercube_allreduce(lambda r: r, operator.add, 8, COMM)
+        assert a == b

@@ -1,0 +1,244 @@
+"""Tests for the simulated parallel machine: DAGs, scheduling, bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError
+from repro.simcore import (
+    CostModel,
+    SimMachine,
+    build_dc_dag,
+    greedy_bound_check,
+    sequential_time,
+    simulate_power_function,
+    speedup,
+)
+from repro.simcore.adapters import default_threshold, profile_model
+from repro.simcore.costmodel import polynomial_cost_model
+from repro.simcore.dag import StrandDag
+from repro.simcore.metrics import trace_is_consistent
+
+
+class TestCostModel:
+    def test_leaf_cost_linear(self):
+        m = CostModel(work_per_element=2.0)
+        assert m.leaf_cost(10) == 20.0
+
+    def test_access_factor_identity_without_penalty(self):
+        m = CostModel()
+        assert m.access_factor(64) == 1.0
+
+    def test_access_factor_grows_with_stride(self):
+        m = CostModel(stride_penalty=0.2)
+        assert m.access_factor(1) == 1.0
+        assert m.access_factor(2) > 1.0
+        assert m.access_factor(8) > m.access_factor(2)
+
+    def test_access_factor_saturates(self):
+        m = CostModel(stride_penalty=0.2)
+        assert m.access_factor(2**6) == m.access_factor(2**20)
+
+    def test_sequential_anomaly(self):
+        m = CostModel(seq_work_per_element=1.0, sequential_anomaly={8: 0.5})
+        assert m.sequential_cost(8) == 4.0
+        assert m.sequential_cost(16) == 16.0
+
+    def test_descend_cost(self):
+        m = CostModel(split_overhead=1, fork_overhead=1, descend_per_element=2.0)
+        assert m.split_cost(10) == 2 + 20
+
+    def test_to_ms(self):
+        m = CostModel(unit_ms=0.5)
+        assert m.to_ms(10) == 5.0
+
+    def test_polynomial_model_anomaly_toggle(self):
+        assert 2**24 in polynomial_cost_model(True).sequential_anomaly
+        assert not polynomial_cost_model(False).sequential_anomaly
+
+
+class TestDagBuilder:
+    def test_singleton_is_one_leaf(self):
+        dag = build_dc_dag(1, 1, CostModel())
+        assert len(dag.strands) == 1
+        assert dag.strands[0].kind == "leaf"
+
+    def test_size_4_threshold_1_shape(self):
+        dag = build_dc_dag(4, 1, CostModel())
+        kinds = [s.kind for s in dag.strands]
+        assert kinds.count("leaf") == 4
+        assert kinds.count("split") == 3
+        assert kinds.count("combine") == 3
+
+    def test_threshold_stops_decomposition(self):
+        dag = build_dc_dag(64, 16, CostModel())
+        assert dag.leaf_count() == 4
+
+    def test_topological_and_fork_valid(self):
+        dag = build_dc_dag(32, 2, CostModel())
+        dag.validate()
+
+    def test_work_accounts_every_element(self):
+        m = CostModel(work_per_element=1.0, split_overhead=0, fork_overhead=0,
+                      combine_overhead=0)
+        dag = build_dc_dag(64, 8, m)
+        leaf_work = sum(s.cost for s in dag.strands if s.kind == "leaf")
+        assert leaf_work == 64.0
+
+    def test_zip_operator_strides_charged(self):
+        m = CostModel(stride_penalty=0.3)
+        tie_dag = build_dc_dag(64, 4, m, operator="tie")
+        zip_dag = build_dc_dag(64, 4, m, operator="zip")
+        assert zip_dag.total_work() > tie_dag.total_work()
+
+    def test_critical_path_at_most_work(self):
+        dag = build_dc_dag(128, 4, CostModel())
+        assert dag.critical_path() <= dag.total_work()
+
+    @pytest.mark.parametrize("bad", [(0, 1), (4, 0)])
+    def test_validation(self, bad):
+        n, t = bad
+        with pytest.raises(IllegalArgumentError):
+            build_dc_dag(n, t, CostModel())
+
+    def test_unknown_operator(self):
+        with pytest.raises(IllegalArgumentError):
+            build_dc_dag(4, 1, CostModel(), operator="bogus")
+
+
+class TestSimMachine:
+    def test_single_worker_time_is_total_work(self):
+        dag = build_dc_dag(64, 4, CostModel())
+        result = SimMachine(1).run(dag)
+        assert result.makespan == pytest.approx(dag.total_work())
+
+    def test_two_workers_faster(self):
+        dag = build_dc_dag(2**14, 2**9, CostModel())
+        t1 = SimMachine(1).run(dag).makespan
+        t2 = SimMachine(2).run(dag).makespan
+        assert t2 < t1
+        assert t2 >= t1 / 2
+
+    def test_determinism(self):
+        dag = build_dc_dag(2**12, 2**6, CostModel())
+        a = SimMachine(4).run(dag)
+        b = SimMachine(4).run(build_dc_dag(2**12, 2**6, CostModel()))
+        assert a.makespan == b.makespan
+        assert a.steals == b.steals
+        assert [(t.worker, t.sid) for t in a.trace] == [
+            (t.worker, t.sid) for t in b.trace
+        ]
+
+    def test_trace_consistent(self):
+        dag = build_dc_dag(2**10, 2**4, CostModel())
+        result = SimMachine(8).run(dag)
+        assert trace_is_consistent(result)
+
+    def test_all_strands_executed_once(self):
+        dag = build_dc_dag(2**8, 2**3, CostModel())
+        result = SimMachine(3).run(dag)
+        executed = sorted(t.sid for t in result.trace)
+        assert executed == list(range(len(dag.strands)))
+
+    def test_steals_happen_with_many_workers(self):
+        dag = build_dc_dag(2**14, 2**8, CostModel())
+        assert SimMachine(8).run(dag).steals > 0
+
+    def test_no_steals_with_one_worker(self):
+        dag = build_dc_dag(2**10, 2**5, CostModel())
+        assert SimMachine(1).run(dag).steals == 0
+
+    def test_steal_latency_slows(self):
+        dag1 = build_dc_dag(2**12, 2**6, CostModel())
+        dag2 = build_dc_dag(2**12, 2**6, CostModel())
+        fast = SimMachine(8, steal_latency=0.0).run(dag1).makespan
+        slow = SimMachine(8, steal_latency=500.0).run(dag2).makespan
+        assert slow > fast
+
+    def test_invalid_args(self):
+        with pytest.raises(IllegalArgumentError):
+            SimMachine(0)
+        with pytest.raises(IllegalArgumentError):
+            SimMachine(1, steal_latency=-1)
+
+    def test_empty_dag(self):
+        assert SimMachine(2).run(StrandDag()).makespan == 0.0
+
+    def test_utilization_bounds(self):
+        dag = build_dc_dag(2**16, 2**10, CostModel())
+        result = SimMachine(8).run(dag)
+        assert 0.0 < result.utilization <= 1.0
+
+    def test_busy_time_sums_to_work(self):
+        dag = build_dc_dag(2**10, 2**5, CostModel())
+        result = SimMachine(4).run(dag)
+        total_busy = sum(result.busy_time(w) for w in range(4))
+        assert total_busy == pytest.approx(dag.total_work())
+
+
+class TestSchedulingBounds:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(4, 14),  # log2 n
+        st.integers(0, 8),  # log2 threshold
+        st.integers(1, 16),  # workers
+    )
+    def test_work_span_greedy_laws(self, log_n, log_t, workers):
+        n, t = 2**log_n, 2**log_t
+        dag = build_dc_dag(n, min(t, n), CostModel())
+        result = SimMachine(workers, steal_latency=0.0).run(dag)
+        report = greedy_bound_check(result)
+        assert report.work_law_ok, report
+        assert report.span_law_ok, report
+        assert report.greedy_ok, report
+
+    def test_speedup_helper(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestAdapters:
+    def test_default_threshold_rule(self):
+        assert default_threshold(2**20, 8) == 2**20 // 32
+        assert default_threshold(3, 8) == 1
+
+    def test_profiles_resolve(self):
+        for name in ("map", "map_zip", "reduce", "polynomial", "fft", "descend"):
+            model, operator = profile_model(name)
+            assert operator in ("tie", "zip")
+            assert model.work_per_element > 0
+
+    def test_unknown_profile(self):
+        with pytest.raises(IllegalArgumentError):
+            profile_model("nope")
+
+    def test_simulate_polynomial_speedup_near_workers(self):
+        # The paper's headline: speedup close to 8 on 8 cores for large n.
+        n = 2**22
+        result = simulate_power_function(n, workers=8, function="polynomial")
+        s = speedup(sequential_time(n, "polynomial"), result.makespan)
+        assert 5.0 < s <= 8.0
+
+    def test_small_inputs_poor_speedup(self):
+        n = 2**6
+        result = simulate_power_function(n, workers=8, function="polynomial")
+        s = speedup(sequential_time(n, "polynomial"), result.makespan)
+        assert s < 2.0
+
+    def test_anomaly_reduces_measured_speedup(self):
+        n = 2**24
+        with_anomaly = polynomial_cost_model(True)
+        without = polynomial_cost_model(False)
+        r = simulate_power_function(n, 8, "polynomial", model=with_anomaly)
+        s_anom = speedup(sequential_time(n, "polynomial", with_anomaly), r.makespan)
+        r2 = simulate_power_function(n, 8, "polynomial", model=without)
+        s_clean = speedup(sequential_time(n, "polynomial", without), r2.makespan)
+        assert s_anom < s_clean / 2  # the 3x anomaly shows as a dropout
+
+    def test_more_workers_not_slower(self):
+        n = 2**18
+        times = [
+            simulate_power_function(n, w, "reduce").makespan for w in (1, 2, 4, 8)
+        ]
+        assert times == sorted(times, reverse=True)

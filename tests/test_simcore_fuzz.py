@@ -1,0 +1,140 @@
+"""Scheduler fuzzing: random (non-series-parallel) DAGs.
+
+The DC builder only produces series-parallel shapes; the scheduler itself
+must be correct for *any* DAG (the MPI layer and future adapters build
+other shapes).  These tests generate random topologically-ordered DAGs
+and check the full invariant set.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import SimMachine, greedy_bound_check
+from repro.simcore.dag import Strand, StrandDag
+from repro.simcore.metrics import trace_is_consistent
+
+
+def random_dag(seed: int, n_strands: int, max_deps: int = 3) -> StrandDag:
+    """A random DAG: strand i may depend on any earlier strands.
+
+    ``forks`` edges are a subset of dependence edges (a strand can only
+    fork work that depends on it), keeping the machine's invariants.
+    """
+    rng = random.Random(seed)
+    dag = StrandDag()
+    for i in range(n_strands):
+        kind = rng.choice(["split", "leaf", "combine"])
+        strand = dag.new_strand(kind, rng.uniform(0.5, 20.0), size=i)
+        if i > 0:
+            k = rng.randint(0, min(max_deps, i))
+            strand.deps = sorted(rng.sample(range(i), k))
+    # Ensure a single root: strand 0 has no deps; every other strand with
+    # no deps gets attached to strand 0 so the bootstrap reaches them.
+    for strand in dag.strands[1:]:
+        if not strand.deps:
+            strand.deps = [0]
+    # Fork edges: each strand forks a random subset of its dependents that
+    # depend *only* on it (so readiness coincides with the fork moment).
+    dependents = {s.sid: [] for s in dag.strands}
+    for strand in dag.strands:
+        for dep in strand.deps:
+            dependents[dep].append(strand.sid)
+    for strand in dag.strands:
+        sole = [
+            d for d in dependents[strand.sid]
+            if dag.strands[d].deps == [strand.sid]
+        ]
+        strand.forks = sole[: rng.randint(0, len(sole))]
+    dag.root = 0
+    dag.sink = n_strands - 1
+    return dag
+
+
+class TestRandomDags:
+    @settings(deadline=None, max_examples=60)
+    @given(st.integers(0, 10_000), st.integers(1, 60), st.integers(1, 12))
+    def test_all_strands_execute_exactly_once(self, seed, n, workers):
+        dag = random_dag(seed, n)
+        result = SimMachine(workers).run(dag)
+        executed = sorted(t.sid for t in result.trace)
+        assert executed == list(range(n))
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.integers(0, 10_000), st.integers(1, 60), st.integers(1, 12))
+    def test_dependencies_respected(self, seed, n, workers):
+        dag = random_dag(seed, n)
+        result = SimMachine(workers).run(dag)
+        end_of = {t.sid: t.end for t in result.trace}
+        start_of = {t.sid: t.start for t in result.trace}
+        for strand in dag.strands:
+            for dep in strand.deps:
+                assert start_of[strand.sid] >= end_of[dep] - 1e-9
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.integers(0, 10_000), st.integers(1, 60), st.integers(1, 12))
+    def test_work_span_laws(self, seed, n, workers):
+        dag = random_dag(seed, n)
+        result = SimMachine(workers).run(dag)
+        report = greedy_bound_check(result)
+        assert report.work_law_ok and report.span_law_ok, report
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(0, 10_000), st.integers(1, 50), st.integers(1, 8))
+    def test_trace_no_worker_overlap(self, seed, n, workers):
+        dag = random_dag(seed, n)
+        result = SimMachine(workers).run(dag)
+        assert trace_is_consistent(result)
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(0, 10_000), st.integers(1, 50))
+    def test_determinism(self, seed, n):
+        a = SimMachine(4).run(random_dag(seed, n))
+        b = SimMachine(4).run(random_dag(seed, n))
+        assert a.makespan == b.makespan
+        assert [(t.worker, t.sid, t.start) for t in a.trace] == [
+            (t.worker, t.sid, t.start) for t in b.trace
+        ]
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(0, 10_000), st.integers(2, 50))
+    def test_more_workers_never_hurt_much(self, seed, n):
+        # Not a theorem for work stealing in general, but with zero steal
+        # latency and greedy acquisition, P+k workers can't be slower than
+        # the greedy bound of P workers.
+        dag1 = random_dag(seed, n)
+        dag8 = random_dag(seed, n)
+        t1 = SimMachine(1).run(dag1)
+        t8 = SimMachine(8).run(dag8)
+        assert t8.makespan <= t1.total_work / 1 + 1e-9  # never above T1
+        assert t8.makespan + 1e-9 >= t8.critical_path
+
+
+class TestChainAndFanDags:
+    def test_pure_chain_no_parallelism(self):
+        dag = StrandDag()
+        prev = None
+        for i in range(20):
+            s = dag.new_strand("leaf", 2.0, i)
+            if prev is not None:
+                s.deps = [prev]
+            prev = s.sid
+        dag.root, dag.sink = 0, prev
+        result = SimMachine(8).run(dag)
+        assert result.makespan == pytest.approx(40.0)
+        assert result.critical_path == pytest.approx(40.0)
+
+    def test_pure_fan_full_parallelism(self):
+        dag = StrandDag()
+        root = dag.new_strand("split", 1.0, 0)
+        for i in range(8):
+            child = dag.new_strand("leaf", 10.0, i)
+            child.deps = [root.sid]
+            root.forks.append(child.sid)
+        dag.root, dag.sink = 0, None
+        result = SimMachine(8).run(dag)
+        # 1 unit of root + 10 units of leaves, perfectly spread.
+        assert result.makespan == pytest.approx(11.0)
+        assert result.steals >= 7  # other workers must steal their leaf

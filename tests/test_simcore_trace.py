@@ -1,0 +1,118 @@
+"""Tests for trace analysis, Gantt rendering, and calibration."""
+
+import pytest
+
+from repro.common import IllegalArgumentError
+from repro.simcore import CostModel, SimMachine, build_dc_dag
+from repro.simcore.calibrate import (
+    calibrate_polynomial_model,
+    measure_combine_cost,
+    measure_leaf_per_element,
+    measure_sequential_per_element,
+    measure_split_cost,
+)
+from repro.simcore.machine import SimResult
+from repro.simcore.trace import (
+    kind_breakdown,
+    render_gantt,
+    summarize_workers,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    dag = build_dc_dag(2**14, 2**9, CostModel())
+    return SimMachine(4).run(dag)
+
+
+class TestWorkerSummaries:
+    def test_one_summary_per_worker(self, result):
+        summaries = summarize_workers(result)
+        assert len(summaries) == 4
+        assert [s.worker for s in summaries] == [0, 1, 2, 3]
+
+    def test_busy_plus_idle_is_makespan(self, result):
+        for s in summarize_workers(result):
+            assert s.busy + s.idle == pytest.approx(result.makespan)
+
+    def test_total_busy_equals_work(self, result):
+        total = sum(s.busy for s in summarize_workers(result))
+        assert total == pytest.approx(result.total_work)
+
+    def test_steal_counts_match(self, result):
+        assert sum(s.steals for s in summarize_workers(result)) == result.steals
+
+    def test_utilization_in_range(self, result):
+        for s in summarize_workers(result):
+            assert 0.0 <= s.utilization <= 1.0
+
+    def test_by_kind_sums_to_busy(self, result):
+        for s in summarize_workers(result):
+            assert sum(s.by_kind.values()) == pytest.approx(s.busy)
+
+
+class TestKindBreakdown:
+    def test_covers_all_kinds(self, result):
+        breakdown = kind_breakdown(result)
+        assert set(breakdown) == {"split", "leaf", "combine"}
+
+    def test_sums_to_total_work(self, result):
+        assert sum(kind_breakdown(result).values()) == pytest.approx(
+            result.total_work
+        )
+
+    def test_leaf_work_dominates(self, result):
+        breakdown = kind_breakdown(result)
+        assert breakdown["leaf"] > breakdown["split"]
+        assert breakdown["leaf"] > breakdown["combine"]
+
+
+class TestGantt:
+    def test_renders_rows_per_worker(self, result):
+        art = render_gantt(result, width=60)
+        lines = art.splitlines()
+        assert len(lines) == 4 + 2  # header + 4 workers + legend
+        assert lines[1].startswith("w0 ")
+
+    def test_contains_all_glyphs(self, result):
+        art = render_gantt(result)
+        assert "#" in art and "s" in art and "c" in art
+
+    def test_width_respected(self, result):
+        art = render_gantt(result, width=40)
+        row = art.splitlines()[1]
+        assert len(row.split("|")[1]) == 40
+
+    def test_narrow_width_rejected(self, result):
+        with pytest.raises(IllegalArgumentError):
+            render_gantt(result, width=5)
+
+    def test_empty_trace(self):
+        empty = SimResult(0.0, 0.0, 0.0, 2, 0, trace=[])
+        assert render_gantt(empty) == "(empty trace)"
+
+
+class TestCalibration:
+    def test_measurements_positive(self):
+        assert measure_sequential_per_element(2**10) > 0
+        assert measure_leaf_per_element(2**8) > 0
+        assert measure_split_cost(2**8) > 0
+        assert measure_combine_cost(2**6) > 0
+
+    def test_calibrated_model_sane(self):
+        model = calibrate_polynomial_model()
+        assert model.work_per_element == 1.0
+        assert 0.05 <= model.seq_work_per_element <= 1.5
+        assert model.split_overhead > 0
+        assert model.combine_overhead > 0
+        assert model.unit_ms > 0
+
+    def test_calibrated_model_runs_figures(self):
+        from repro.simcore import sequential_time, simulate_power_function, speedup
+
+        model = calibrate_polynomial_model()
+        n = 2**18
+        result = simulate_power_function(n, 8, "polynomial", model=model)
+        s = speedup(sequential_time(n, "polynomial", model), result.makespan)
+        # Real constants still land in a sensible speedup band on 8 cores.
+        assert 1.0 < s <= 8.0

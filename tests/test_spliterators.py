@@ -1,0 +1,203 @@
+"""Tests for the Spliterator protocol and stock implementations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams import (
+    ArraySpliterator,
+    Characteristics,
+    EmptySpliterator,
+    IteratorSpliterator,
+    ListSpliterator,
+    RangeSpliterator,
+    spliterator_of,
+)
+from repro.streams.spliterator import UNKNOWN_SIZE
+
+
+def drain(spliterator):
+    """Collect all remaining elements via for_each_remaining."""
+    out = []
+    spliterator.for_each_remaining(out.append)
+    return out
+
+
+def drain_advance(spliterator):
+    """Collect all remaining elements via try_advance."""
+    out = []
+    while spliterator.try_advance(out.append):
+        pass
+    return out
+
+
+def split_fully(spliterator, out=None):
+    """Recursively split to singletons, collecting elements in order."""
+    if out is None:
+        out = []
+    prefix = spliterator.try_split()
+    if prefix is None:
+        out.extend(drain(spliterator))
+        return out
+    split_fully(prefix, out)
+    split_fully(spliterator, out)
+    return out
+
+
+class TestListSpliterator:
+    def test_traversal(self):
+        assert drain(ListSpliterator([1, 2, 3])) == [1, 2, 3]
+        assert drain_advance(ListSpliterator([1, 2, 3])) == [1, 2, 3]
+
+    def test_try_advance_exhaustion(self):
+        s = ListSpliterator([1])
+        assert s.try_advance(lambda x: None)
+        assert not s.try_advance(lambda x: None)
+
+    def test_split_hands_off_prefix(self):
+        s = ListSpliterator([1, 2, 3, 4])
+        prefix = s.try_split()
+        assert drain(prefix) == [1, 2]
+        assert drain(s) == [3, 4]
+
+    def test_subsized_invariant(self):
+        s = ListSpliterator(list(range(10)))
+        before = s.estimate_size()
+        prefix = s.try_split()
+        assert prefix.estimate_size() + s.estimate_size() == before
+
+    def test_split_to_exhaustion(self):
+        s = ListSpliterator([1])
+        assert s.try_split() is None
+
+    @given(st.lists(st.integers(), max_size=200))
+    def test_full_split_preserves_order(self, xs):
+        assert split_fully(ListSpliterator(xs)) == xs
+
+    def test_characteristics(self):
+        s = ListSpliterator([1, 2, 3, 4])
+        assert s.has_characteristics(Characteristics.SIZED)
+        assert s.has_characteristics(Characteristics.SUBSIZED)
+        assert s.has_characteristics(Characteristics.ORDERED)
+        assert s.has_characteristics(Characteristics.POWER2)
+
+    def test_power2_characteristic_tracks_length(self):
+        assert not ListSpliterator([1, 2, 3]).has_characteristics(
+            Characteristics.POWER2
+        )
+        s = ListSpliterator(list(range(8)))
+        prefix = s.try_split()
+        assert prefix.has_characteristics(Characteristics.POWER2)
+        assert s.has_characteristics(Characteristics.POWER2)
+
+    def test_get_exact_size_if_known(self):
+        assert ListSpliterator([1, 2]).get_exact_size_if_known() == 2
+
+    def test_subrange(self):
+        s = ListSpliterator([0, 1, 2, 3, 4], origin=1, fence=4)
+        assert drain(s) == [1, 2, 3]
+
+    def test_array_alias(self):
+        import numpy as np
+
+        s = ArraySpliterator(np.array([1.0, 2.0]))
+        assert drain(s) == [1.0, 2.0]
+
+
+class TestRangeSpliterator:
+    def test_traversal(self):
+        assert drain(RangeSpliterator(2, 6)) == [2, 3, 4, 5]
+        assert drain_advance(RangeSpliterator(0, 3)) == [0, 1, 2]
+
+    def test_split(self):
+        s = RangeSpliterator(0, 8)
+        prefix = s.try_split()
+        assert drain(prefix) == [0, 1, 2, 3]
+        assert drain(s) == [4, 5, 6, 7]
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_full_split(self, lo, extra):
+        hi = lo + extra
+        assert split_fully(RangeSpliterator(lo, hi)) == list(range(lo, hi))
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RangeSpliterator(5, 2)
+
+    def test_characteristics(self):
+        s = RangeSpliterator(0, 16)
+        for flag in (
+            Characteristics.SIZED,
+            Characteristics.SORTED,
+            Characteristics.DISTINCT,
+            Characteristics.POWER2,
+        ):
+            assert s.has_characteristics(flag)
+        assert not RangeSpliterator(0, 3).has_characteristics(Characteristics.POWER2)
+
+
+class TestIteratorSpliterator:
+    def test_traversal(self):
+        s = IteratorSpliterator(iter([1, 2, 3]))
+        assert drain(s) == [1, 2, 3]
+
+    def test_try_advance(self):
+        s = IteratorSpliterator(iter([7]))
+        assert drain_advance(s) == [7]
+
+    def test_unknown_size(self):
+        s = IteratorSpliterator(iter([1, 2]))
+        assert s.estimate_size() == UNKNOWN_SIZE
+        assert s.get_exact_size_if_known() == -1
+        assert not s.has_characteristics(Characteristics.SIZED)
+
+    def test_known_size(self):
+        s = IteratorSpliterator(iter([1, 2]), size_estimate=2)
+        assert s.estimate_size() == 2
+        assert s.has_characteristics(Characteristics.SIZED)
+
+    def test_split_batches_prefix(self):
+        s = IteratorSpliterator(iter(range(5000)))
+        prefix = s.try_split()
+        first_batch = drain(prefix)
+        assert first_batch == list(range(len(first_batch)))
+        assert drain(s) == list(range(len(first_batch), 5000))
+
+    def test_split_empty_returns_none(self):
+        s = IteratorSpliterator(iter([]))
+        assert s.try_split() is None
+
+    def test_size_estimate_decrements(self):
+        s = IteratorSpliterator(iter(range(10)), size_estimate=10)
+        s.try_advance(lambda x: None)
+        assert s.estimate_size() == 9
+
+    @given(st.lists(st.integers(), max_size=300))
+    def test_full_split_preserves_order(self, xs):
+        assert split_fully(IteratorSpliterator(iter(xs))) == xs
+
+
+class TestEmptySpliterator:
+    def test_everything_empty(self):
+        s = EmptySpliterator()
+        assert not s.try_advance(lambda x: None)
+        assert s.try_split() is None
+        assert s.estimate_size() == 0
+        assert drain(s) == []
+
+
+class TestSpliteratorOf:
+    def test_sequence_gets_list_spliterator(self):
+        assert isinstance(spliterator_of([1, 2]), ListSpliterator)
+
+    def test_spliterator_passes_through(self):
+        s = ListSpliterator([1])
+        assert spliterator_of(s) is s
+
+    def test_sized_iterable(self):
+        s = spliterator_of({1, 2, 3})
+        assert s.estimate_size() == 3
+
+    def test_generator(self):
+        s = spliterator_of(x for x in range(3))
+        assert drain(s) == [0, 1, 2]

@@ -1,0 +1,147 @@
+"""Tests for SummaryStatistics and ForkJoinTask.invoke_all."""
+
+import statistics as py_stats
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.forkjoin import ForkJoinPool, RecursiveTask, invoke_all
+from repro.streams import Collectors, Stream, stream_of
+from repro.streams.statistics import SummaryStatistics, summarizing
+
+
+class TestSummaryStatistics:
+    def test_empty(self):
+        s = SummaryStatistics()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert "empty" in repr(s)
+
+    def test_accept(self):
+        s = SummaryStatistics()
+        for v in (3, 1, 4, 1, 5):
+            s.accept(v)
+        assert s.count == 5
+        assert s.total == 14
+        assert s.minimum == 1
+        assert s.maximum == 5
+        assert s.mean == pytest.approx(2.8)
+
+    def test_combine(self):
+        a, b = SummaryStatistics(), SummaryStatistics()
+        for v in (1, 2):
+            a.accept(v)
+        for v in (10, -5):
+            b.accept(v)
+        a.combine(b)
+        assert a.count == 4
+        assert a.minimum == -5
+        assert a.maximum == 10
+
+    def test_combine_with_empty(self):
+        a = SummaryStatistics()
+        a.accept(7)
+        a.combine(SummaryStatistics())
+        assert a.count == 1
+        assert a.minimum == 7
+
+    def test_repr_nonempty(self):
+        s = SummaryStatistics()
+        s.accept(2)
+        assert "count=1" in repr(s)
+
+
+class TestSummarizingCollector:
+    def test_sequential(self):
+        out = Stream.range(1, 11).collect(Collectors.summarizing())
+        assert out.count == 10
+        assert out.total == 55
+        assert out.minimum == 1
+        assert out.maximum == 10
+
+    def test_parallel_equals_sequential(self):
+        data = [(i * 31) % 97 for i in range(500)]
+        seq = stream_of(data).collect(Collectors.summarizing())
+        par = stream_of(data).parallel().collect(Collectors.summarizing())
+        assert (par.count, par.total, par.minimum, par.maximum) == (
+            seq.count, seq.total, seq.minimum, seq.maximum,
+        )
+
+    def test_value_function(self):
+        out = stream_of(["a", "bbb", "cc"]).collect(Collectors.summarizing(len))
+        assert out.total == 6
+        assert out.maximum == 3
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_matches_python_builtins(self, xs):
+        out = stream_of(xs).parallel().collect(summarizing())
+        assert out.count == len(xs)
+        assert out.total == pytest.approx(sum(xs), rel=1e-9, abs=1e-6)
+        assert out.minimum == min(xs)
+        assert out.maximum == max(xs)
+        assert out.mean == pytest.approx(py_stats.fmean(xs), rel=1e-9, abs=1e-6)
+
+
+class _Const(RecursiveTask):
+    def __init__(self, value):
+        super().__init__()
+        self.value = value
+
+    def compute(self):
+        return self.value
+
+
+class _Boom(RecursiveTask):
+    def compute(self):
+        raise RuntimeError("boom")
+
+
+class TestInvokeAll:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        p = ForkJoinPool(parallelism=4, name="invokeall")
+        yield p
+        p.shutdown()
+
+    def test_empty(self):
+        assert invoke_all() == []
+
+    def test_results_in_order(self, pool):
+        class Root(RecursiveTask):
+            def compute(self):
+                return invoke_all(*[_Const(i) for i in range(10)])
+
+        assert pool.invoke(Root()) == list(range(10))
+
+    def test_exception_propagates_after_settling(self, pool):
+        done = []
+
+        class Slow(RecursiveTask):
+            def compute(self):
+                done.append(1)
+                return 1
+
+        class Root(RecursiveTask):
+            def compute(self):
+                return invoke_all(_Boom(), Slow(), Slow())
+
+        with pytest.raises(RuntimeError, match="boom"):
+            pool.invoke(Root())
+        assert len(done) == 2  # siblings still ran to completion
+
+    def test_nested_invoke_all(self, pool):
+        class Level2(RecursiveTask):
+            def __init__(self, base):
+                super().__init__()
+                self.base = base
+
+            def compute(self):
+                return sum(invoke_all(*[_Const(self.base + i) for i in range(4)]))
+
+        class Root(RecursiveTask):
+            def compute(self):
+                return sum(invoke_all(*[Level2(b) for b in range(0, 40, 10)]))
+
+        expected = sum(b + i for b in range(0, 40, 10) for i in range(4))
+        assert pool.invoke(Root()) == expected

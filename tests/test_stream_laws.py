@@ -1,0 +1,138 @@
+"""Algebraic laws of the stream pipeline.
+
+The paper describes streams as *monads* ("a structure that represents
+computations defined as sequences of steps").  These property tests pin
+the corresponding laws on our implementation: functor laws for ``map``,
+monad laws for ``flat_map``, predicate algebra for ``filter``, and the
+homomorphism law connecting ``reduce`` with concatenation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import Stream, stream_of
+
+ints = st.lists(st.integers(-100, 100), max_size=60)
+
+
+def f(x):
+    return x * 2 + 1
+
+
+def g(x):
+    return x * x - 3
+
+
+class TestFunctorLaws:
+    @given(ints)
+    def test_map_identity(self, xs):
+        assert stream_of(xs).map(lambda x: x).to_list() == xs
+
+    @given(ints)
+    def test_map_composition(self, xs):
+        composed = stream_of(xs).map(lambda x: f(g(x))).to_list()
+        chained = stream_of(xs).map(g).map(f).to_list()
+        assert composed == chained
+
+
+class TestMonadLaws:
+    """flat_map is monadic bind; Stream.of_items is return."""
+
+    @given(st.integers(-50, 50))
+    def test_left_identity(self, x):
+        # return x >>= k  ==  k x
+        k = lambda v: [v, v + 1]
+        assert Stream.of_items(x).flat_map(k).to_list() == list(k(x))
+
+    @given(ints)
+    def test_right_identity(self, xs):
+        # m >>= return  ==  m
+        assert stream_of(xs).flat_map(lambda v: [v]).to_list() == xs
+
+    @given(st.lists(st.integers(-20, 20), max_size=30))
+    def test_associativity(self, xs):
+        # (m >>= k) >>= h  ==  m >>= (λv. k v >>= h)
+        k = lambda v: [v, -v]
+        h = lambda v: [v * 2]
+        lhs = stream_of(xs).flat_map(k).flat_map(h).to_list()
+        rhs = stream_of(xs).flat_map(
+            lambda v: [w2 for w in k(v) for w2 in h(w)]
+        ).to_list()
+        assert lhs == rhs
+
+
+class TestFilterAlgebra:
+    @given(ints)
+    def test_filter_conjunction(self, xs):
+        p = lambda x: x % 2 == 0
+        q = lambda x: x > 0
+        both = stream_of(xs).filter(lambda x: p(x) and q(x)).to_list()
+        chained = stream_of(xs).filter(p).filter(q).to_list()
+        assert both == chained
+
+    @given(ints)
+    def test_filter_commutes_in_chain(self, xs):
+        p = lambda x: x % 3 == 0
+        q = lambda x: x < 50
+        assert (
+            stream_of(xs).filter(p).filter(q).to_list()
+            == stream_of(xs).filter(q).filter(p).to_list()
+        )
+
+    @given(ints)
+    def test_map_filter_exchange(self, xs):
+        # filter(p) ∘ map(f)  ==  map(f) ∘ filter(p ∘ f)
+        p = lambda x: x % 2 == 0
+        lhs = stream_of(xs).map(f).filter(p).to_list()
+        rhs = stream_of(xs).filter(lambda x: p(f(x))).map(f).to_list()
+        assert lhs == rhs
+
+
+class TestReduceHomomorphism:
+    @given(ints, ints)
+    def test_reduce_splits_over_concat(self, xs, ys):
+        # reduce(xs ++ ys) == reduce(xs) ⊕ reduce(ys) for associative ⊕
+        whole = stream_of(xs + ys).reduce(0, lambda a, b: a + b)
+        parts = stream_of(xs).reduce(0, lambda a, b: a + b) + stream_of(ys).reduce(
+            0, lambda a, b: a + b
+        )
+        assert whole == parts
+
+    @given(ints)
+    def test_count_is_sum_of_ones(self, xs):
+        assert stream_of(xs).count() == stream_of(xs).map(lambda _: 1).sum()
+
+    @given(ints)
+    def test_parallel_reduce_is_homomorphic_image(self, xs):
+        seq = stream_of(xs).reduce(0, lambda a, b: a + b)
+        par = stream_of(xs).parallel().reduce(0, lambda a, b: a + b)
+        assert seq == par
+
+
+class TestLimitSkipAlgebra:
+    @given(ints, st.integers(0, 30), st.integers(0, 30))
+    def test_limit_then_limit(self, xs, m, n):
+        assert (
+            stream_of(xs).limit(m).limit(n).to_list()
+            == stream_of(xs).limit(min(m, n)).to_list()
+        )
+
+    @given(ints, st.integers(0, 30), st.integers(0, 30))
+    def test_skip_then_skip(self, xs, m, n):
+        assert (
+            stream_of(xs).skip(m).skip(n).to_list()
+            == stream_of(xs).skip(m + n).to_list()
+        )
+
+    @given(ints, st.integers(0, 30))
+    def test_sorted_idempotent(self, xs, _):
+        assert (
+            stream_of(xs).sorted().sorted().to_list()
+            == stream_of(xs).sorted().to_list()
+        )
+
+    @given(ints)
+    def test_distinct_idempotent(self, xs):
+        once = stream_of(xs).distinct().to_list()
+        assert stream_of(once).distinct().to_list() == once

@@ -1,0 +1,265 @@
+"""Parallel stream execution must be semantically identical to sequential."""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.forkjoin import ForkJoinPool
+from repro.streams import Collectors, Optional, Stream, stream_of
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="stream-test")
+    yield p
+    p.shutdown()
+
+
+class TestParallelEqualsSequential:
+    def test_map_to_list(self, pool):
+        n = 5000
+        out = Stream.range(0, n).parallel().with_pool(pool).map(lambda x: x + 1).to_list()
+        assert out == list(range(1, n + 1))
+
+    def test_filter_preserves_order(self, pool):
+        out = (
+            Stream.range(0, 2000)
+            .parallel()
+            .with_pool(pool)
+            .filter(lambda x: x % 7 == 0)
+            .to_list()
+        )
+        assert out == list(range(0, 2000, 7))
+
+    def test_flat_map(self, pool):
+        out = (
+            stream_of([[i, i] for i in range(500)])
+            .parallel()
+            .with_pool(pool)
+            .flat_map(lambda xs: xs)
+            .to_list()
+        )
+        assert out == [i for i in range(500) for _ in range(2)]
+
+    def test_reduce_with_identity(self, pool):
+        assert Stream.range(0, 1000).parallel().with_pool(pool).reduce(
+            0, lambda a, b: a + b
+        ) == 499500
+
+    def test_reduce_without_identity(self, pool):
+        out = Stream.range(1, 100).parallel().with_pool(pool).reduce(lambda a, b: a * b)
+        expected = 1
+        for i in range(1, 100):
+            expected *= i
+        assert out.get() == expected
+
+    def test_reduce_empty_parallel(self, pool):
+        out = Stream.empty().parallel().with_pool(pool).reduce(lambda a, b: a + b)
+        assert out == Optional.empty()
+
+    def test_reduce_three_arg_parallel(self, pool):
+        out = (
+            stream_of(["a", "bb", "ccc"] * 50)
+            .parallel()
+            .with_pool(pool)
+            .reduce(0, lambda acc, s: acc + len(s), lambda a, b: a + b)
+        )
+        assert out == 300
+
+    def test_count(self, pool):
+        assert Stream.range(0, 12345).parallel().with_pool(pool).count() == 12345
+
+    def test_sum(self, pool):
+        assert Stream.range(0, 100).parallel().with_pool(pool).sum() == 4950
+
+    def test_min_max(self, pool):
+        data = [(i * 7919) % 1000 for i in range(1000)]
+        assert stream_of(data).parallel().with_pool(pool).min().get() == min(data)
+        assert stream_of(data).parallel().with_pool(pool).max().get() == max(data)
+
+    def test_collect_raw_triple_uses_combiner(self, pool):
+        # Mirrors the paper's StringBuilder example: the comma appears only
+        # because the combiner runs (parallel execution).
+        words = [f"x{i}" for i in range(256)]
+
+        def combine(a, b):
+            a.extend(b)
+
+        out = (
+            stream_of(words)
+            .parallel()
+            .with_pool(pool)
+            .collect(lambda: [], lambda acc, w: acc.append(w), combine)
+        )
+        assert out == words
+
+
+class TestParallelStatefulBarriers:
+    def test_sorted_parallel(self, pool):
+        data = [(i * 31) % 97 for i in range(500)]
+        out = stream_of(data).parallel().with_pool(pool).sorted().to_list()
+        assert out == sorted(data)
+
+    def test_distinct_parallel(self, pool):
+        data = [i % 10 for i in range(1000)]
+        out = stream_of(data).parallel().with_pool(pool).distinct().to_list()
+        assert out == list(range(10))
+
+    def test_limit_skip_parallel(self, pool):
+        out = Stream.range(0, 10_000).parallel().with_pool(pool).skip(5).limit(10).to_list()
+        assert out == list(range(5, 15))
+
+    def test_sorted_then_map_parallel(self, pool):
+        data = [5, 3, 1, 4, 2] * 20
+        out = (
+            stream_of(data)
+            .parallel()
+            .with_pool(pool)
+            .sorted()
+            .map(lambda x: x * 10)
+            .to_list()
+        )
+        assert out == [x * 10 for x in sorted(data)]
+
+    def test_map_then_sorted_then_filter(self, pool):
+        data = list(range(100, 0, -1))
+        out = (
+            stream_of(data)
+            .parallel()
+            .with_pool(pool)
+            .map(lambda x: x % 13)
+            .sorted()
+            .filter(lambda x: x > 5)
+            .to_list()
+        )
+        assert out == [x for x in sorted(v % 13 for v in data) if x > 5]
+
+    def test_take_drop_while_parallel(self, pool):
+        data = [1, 2, 3, 100, 4] * 5
+        assert (
+            stream_of(data).parallel().with_pool(pool).take_while(lambda x: x < 50).to_list()
+            == [1, 2, 3]
+        )
+        assert (
+            stream_of(data).parallel().with_pool(pool).drop_while(lambda x: x < 50).to_list()
+            == data[3:]
+        )
+
+
+class TestParallelShortCircuit:
+    def test_any_match(self, pool):
+        assert Stream.range(0, 100_000).parallel().with_pool(pool).any_match(
+            lambda x: x == 99_999
+        )
+        assert not Stream.range(0, 1000).parallel().with_pool(pool).any_match(
+            lambda x: x < 0
+        )
+
+    def test_all_match(self, pool):
+        assert Stream.range(0, 10_000).parallel().with_pool(pool).all_match(
+            lambda x: x >= 0
+        )
+        assert not Stream.range(0, 10_000).parallel().with_pool(pool).all_match(
+            lambda x: x != 5000
+        )
+
+    def test_none_match(self, pool):
+        assert Stream.range(0, 10_000).parallel().with_pool(pool).none_match(
+            lambda x: x < 0
+        )
+
+    def test_find_first_respects_order(self, pool):
+        out = (
+            Stream.range(0, 100_000)
+            .parallel()
+            .with_pool(pool)
+            .filter(lambda x: x % 997 == 17)
+            .find_first()
+        )
+        assert out.get() == 17  # smallest solution of x % 997 == 17
+
+    def test_find_any_finds_something_valid(self, pool):
+        out = (
+            Stream.range(0, 10_000)
+            .parallel()
+            .with_pool(pool)
+            .filter(lambda x: x % 100 == 3)
+            .find_any()
+        )
+        assert out.get() % 100 == 3
+
+    def test_find_on_empty(self, pool):
+        assert Stream.empty().parallel().with_pool(pool).find_first().is_empty()
+
+
+class TestParallelForEach:
+    def test_visits_every_element_once(self, pool):
+        seen = []
+        lock = threading.Lock()
+
+        def record(x):
+            with lock:
+                seen.append(x)
+
+        Stream.range(0, 3000).parallel().with_pool(pool).for_each(record)
+        assert sorted(seen) == list(range(3000))
+
+    def test_for_each_ordered(self, pool):
+        seen = []
+        Stream.range(0, 500).parallel().with_pool(pool).for_each_ordered(seen.append)
+        assert seen == list(range(500))
+
+
+class TestTargetSize:
+    def test_explicit_target_size(self, pool):
+        out = (
+            Stream.range(0, 1024)
+            .parallel()
+            .with_pool(pool)
+            .with_target_size(64)
+            .map(lambda x: x)
+            .to_list()
+        )
+        assert out == list(range(1024))
+
+    def test_target_size_one_full_decomposition(self, pool):
+        out = (
+            Stream.range(0, 64)
+            .parallel()
+            .with_pool(pool)
+            .with_target_size(1)
+            .to_list()
+        )
+        assert out == list(range(64))
+
+    def test_invalid_target_size(self):
+        import pytest as _pytest
+        from repro.common import IllegalArgumentError
+
+        with _pytest.raises(IllegalArgumentError):
+            Stream.range(0, 4).with_target_size(0)
+
+
+class TestParallelProperties:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    def test_pipeline_equivalence(self, xs):
+        pipeline = lambda s: (
+            s.map(lambda x: x * 2).filter(lambda x: x % 3 != 0).to_list()
+        )
+        assert pipeline(stream_of(xs).parallel()) == pipeline(stream_of(xs))
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+    def test_reduce_equivalence(self, xs):
+        seq = stream_of(xs).reduce(lambda a, b: a + b).get()
+        par = stream_of(xs).parallel().reduce(lambda a, b: a + b).get()
+        assert par == seq
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.integers(0, 30), max_size=120))
+    def test_stateful_chain_equivalence(self, xs):
+        pipeline = lambda s: s.distinct().sorted().limit(10).to_list()
+        assert pipeline(stream_of(xs).parallel()) == pipeline(stream_of(xs))

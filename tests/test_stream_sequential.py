@@ -1,0 +1,257 @@
+"""Tests for sequential Stream pipeline semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import IllegalArgumentError, IllegalStateError
+from repro.streams import Collectors, Optional, Stream, stream_of
+
+
+class TestFactories:
+    def test_of_items(self):
+        assert Stream.of_items(1, 2, 3).to_list() == [1, 2, 3]
+
+    def test_of_iterable(self):
+        assert Stream.of_iterable(range(4)).to_list() == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert Stream.empty().to_list() == []
+
+    def test_range(self):
+        assert Stream.range(1, 5).to_list() == [1, 2, 3, 4]
+
+    def test_iterate_with_limit(self):
+        assert Stream.iterate(1, lambda x: x * 2).limit(5).to_list() == [1, 2, 4, 8, 16]
+
+    def test_generate_with_limit(self):
+        assert Stream.generate(lambda: 7).limit(3).to_list() == [7, 7, 7]
+
+    def test_concat(self):
+        s = Stream.concat(Stream.of_items(1, 2), Stream.of_items(3))
+        assert s.to_list() == [1, 2, 3]
+
+    def test_stream_of_helper(self):
+        assert stream_of([5, 6]).to_list() == [5, 6]
+
+
+class TestIntermediateOps:
+    def test_map(self):
+        assert Stream.range(0, 4).map(lambda x: x * x).to_list() == [0, 1, 4, 9]
+
+    def test_filter(self):
+        assert Stream.range(0, 10).filter(lambda x: x % 3 == 0).to_list() == [0, 3, 6, 9]
+
+    def test_flat_map(self):
+        out = Stream.of_items([1, 2], [], [3]).flat_map(lambda xs: xs).to_list()
+        assert out == [1, 2, 3]
+
+    def test_peek_observes_without_changing(self):
+        seen = []
+        out = Stream.of_items(1, 2).peek(seen.append).to_list()
+        assert out == [1, 2]
+        assert seen == [1, 2]
+
+    def test_distinct(self):
+        assert Stream.of_items(1, 2, 1, 3, 2).distinct().to_list() == [1, 2, 3]
+
+    def test_sorted(self):
+        assert Stream.of_items(3, 1, 2).sorted().to_list() == [1, 2, 3]
+
+    def test_sorted_with_key_and_reverse(self):
+        out = Stream.of_items("bb", "a", "ccc").sorted(key=len, reverse=True).to_list()
+        assert out == ["ccc", "bb", "a"]
+
+    def test_limit(self):
+        assert Stream.range(0, 100).limit(3).to_list() == [0, 1, 2]
+
+    def test_limit_zero(self):
+        assert Stream.range(0, 5).limit(0).to_list() == []
+
+    def test_limit_negative_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            Stream.range(0, 5).limit(-1)
+
+    def test_skip(self):
+        assert Stream.range(0, 5).skip(3).to_list() == [3, 4]
+
+    def test_skip_more_than_size(self):
+        assert Stream.range(0, 3).skip(10).to_list() == []
+
+    def test_take_while(self):
+        assert Stream.of_items(1, 2, 3, 1).take_while(lambda x: x < 3).to_list() == [1, 2]
+
+    def test_drop_while(self):
+        assert Stream.of_items(1, 2, 3, 1).drop_while(lambda x: x < 3).to_list() == [3, 1]
+
+    def test_fusion_order(self):
+        # map then filter sees mapped values; filter then map sees raw.
+        a = Stream.range(0, 5).map(lambda x: x * 2).filter(lambda x: x > 4).to_list()
+        assert a == [6, 8]
+        b = Stream.range(0, 5).filter(lambda x: x > 2).map(lambda x: x * 2).to_list()
+        assert b == [6, 8]
+
+    def test_laziness_short_circuit(self):
+        # limit stops upstream evaluation: peek must not see later elements.
+        seen = []
+        Stream.range(0, 1000).peek(seen.append).limit(3).to_list()
+        assert len(seen) == 3
+
+    def test_infinite_take_while(self):
+        out = Stream.iterate(1, lambda x: x + 1).take_while(lambda x: x <= 4).to_list()
+        assert out == [1, 2, 3, 4]
+
+
+class TestTerminalOps:
+    def test_reduce_one_arg_nonempty(self):
+        assert Stream.of_items(1, 2, 3).reduce(lambda a, b: a + b) == Optional.of(6)
+
+    def test_reduce_one_arg_empty(self):
+        assert Stream.empty().reduce(lambda a, b: a + b) == Optional.empty()
+
+    def test_reduce_with_identity(self):
+        assert Stream.of_items(1, 2, 3).reduce(10, lambda a, b: a + b) == 16
+
+    def test_reduce_identity_on_empty(self):
+        assert Stream.empty().reduce(42, lambda a, b: a + b) == 42
+
+    def test_reduce_three_arg(self):
+        # map each int to its string length contribution via accumulator
+        out = Stream.of_items("a", "bb", "ccc").reduce(
+            0, lambda acc, s: acc + len(s), lambda a, b: a + b
+        )
+        assert out == 6
+
+    def test_reduce_wrong_arity(self):
+        with pytest.raises(IllegalArgumentError):
+            Stream.of_items(1).reduce()
+
+    def test_count(self):
+        assert Stream.range(0, 17).count() == 17
+
+    def test_sum(self):
+        assert Stream.range(0, 5).sum() == 10
+        assert Stream.empty().sum() == 0
+
+    def test_min_max(self):
+        assert Stream.of_items(3, 1, 2).min().get() == 1
+        assert Stream.of_items(3, 1, 2).max().get() == 3
+        assert Stream.empty().min().is_empty()
+
+    def test_min_with_key(self):
+        assert Stream.of_items("ccc", "a", "bb").min(key=len).get() == "a"
+
+    def test_matches(self):
+        s = lambda: Stream.range(0, 10)
+        assert s().any_match(lambda x: x == 5)
+        assert not s().any_match(lambda x: x == 50)
+        assert s().all_match(lambda x: x < 10)
+        assert not s().all_match(lambda x: x < 5)
+        assert s().none_match(lambda x: x > 100)
+        assert not s().none_match(lambda x: x == 3)
+
+    def test_matches_on_empty(self):
+        assert not Stream.empty().any_match(lambda x: True)
+        assert Stream.empty().all_match(lambda x: False)
+        assert Stream.empty().none_match(lambda x: True)
+
+    def test_match_short_circuits(self):
+        seen = []
+        Stream.range(0, 1000).peek(seen.append).any_match(lambda x: x == 2)
+        assert len(seen) == 3
+
+    def test_find_first(self):
+        assert Stream.of_items(7, 8).find_first().get() == 7
+        assert Stream.empty().find_first().is_empty()
+
+    def test_find_any(self):
+        assert Stream.of_items(7).find_any().get() == 7
+
+    def test_for_each(self):
+        out = []
+        Stream.range(0, 3).for_each(out.append)
+        assert out == [0, 1, 2]
+
+    def test_for_each_ordered(self):
+        out = []
+        Stream.range(0, 3).for_each_ordered(out.append)
+        assert out == [0, 1, 2]
+
+    def test_iterator_lazy(self):
+        seen = []
+        it = iter(Stream.range(0, 100).peek(seen.append))
+        assert next(it) == 0
+        assert next(it) == 1
+        assert len(seen) <= 3  # nowhere near 100 elements evaluated
+
+    def test_iterator_full_drain(self):
+        assert list(Stream.range(0, 5).map(lambda x: -x)) == [0, -1, -2, -3, -4]
+
+    def test_iterator_with_flatmap(self):
+        out = list(Stream.of_items([1, 2], [3]).flat_map(lambda x: x))
+        assert out == [1, 2, 3]
+
+
+class TestCollectRawTriple:
+    def test_paper_joining_example_sequential(self):
+        # Sequential: combiner unused, no separator between partials needed.
+        words = ["streams", "meet", "powerlists"]
+        out = stream_of(words).collect(
+            lambda: [],
+            lambda acc, w: acc.append(w),
+            lambda a, b: a.extend(b),
+        )
+        assert out == words
+
+    def test_collect_requires_all_three(self):
+        with pytest.raises(IllegalArgumentError):
+            Stream.of_items(1).collect(lambda: [])
+
+
+class TestSingleUse:
+    def test_terminal_consumes(self):
+        s = Stream.of_items(1, 2)
+        s.to_list()
+        with pytest.raises(IllegalStateError):
+            s.to_list()
+
+    def test_intermediate_links(self):
+        s = Stream.of_items(1, 2)
+        s.map(lambda x: x)
+        with pytest.raises(IllegalStateError):
+            s.filter(lambda x: True)
+
+    def test_mode_switch_links(self):
+        s = Stream.of_items(1)
+        s.parallel()
+        with pytest.raises(IllegalStateError):
+            s.sequential()
+
+
+class TestPropertySemantics:
+    @given(st.lists(st.integers(-100, 100), max_size=100))
+    def test_map_matches_builtin(self, xs):
+        assert stream_of(xs).map(lambda x: x * 3).to_list() == [x * 3 for x in xs]
+
+    @given(st.lists(st.integers(-100, 100), max_size=100))
+    def test_filter_matches_builtin(self, xs):
+        assert stream_of(xs).filter(lambda x: x % 2 == 0).to_list() == [
+            x for x in xs if x % 2 == 0
+        ]
+
+    @given(st.lists(st.integers(-100, 100), max_size=100))
+    def test_sorted_matches_builtin(self, xs):
+        assert stream_of(xs).sorted().to_list() == sorted(xs)
+
+    @given(st.lists(st.integers(-100, 100), max_size=100))
+    def test_sum_matches_builtin(self, xs):
+        assert stream_of(xs).sum() == sum(xs)
+
+    @given(st.lists(st.integers(-100, 100), max_size=60), st.integers(0, 70))
+    def test_limit_skip_match_slicing(self, xs, n):
+        assert stream_of(xs).limit(n).to_list() == xs[:n]
+        assert stream_of(xs).skip(n).to_list() == xs[n:]
+
+    @given(st.lists(st.integers(0, 10), max_size=60))
+    def test_distinct_matches_dict_fromkeys(self, xs):
+        assert stream_of(xs).distinct().to_list() == list(dict.fromkeys(xs))
