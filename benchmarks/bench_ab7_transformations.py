@@ -87,8 +87,8 @@ def bench_ab7_fft_vectorized(benchmark, pool):
 
 
 def bench_ab7_summary(benchmark, coeffs, coeffs_array, reference, write_report):
-    """One-shot comparison table (5-run averages, paper protocol)."""
-    from repro.bench import format_table, repeat_average
+    """One-shot comparison table (5-run sample statistics, paper protocol)."""
+    from repro.bench import format_timing_table, repeat_average
 
     def build():
         engines = {
@@ -102,19 +102,19 @@ def bench_ab7_summary(benchmark, coeffs, coeffs_array, reference, write_report):
                 coeffs_array, X, parallel=False
             ),
         }
-        rows = []
+        timings = []
         for name, fn in engines.items():
             assert fn() == pytest.approx(reference, rel=1e-9)
-            rows.append([name, repeat_average(fn, runs=5).mean_ms])
-        return rows
+            timings.append((name, repeat_average(fn, runs=5)))
+        return timings
 
-    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    timings = benchmark.pedantic(build, rounds=1, iterations=1)
     write_report(
         "ab7_transformations",
-        format_table(
-            ["engine", "wall_ms (5-run avg, sequential)"], rows,
-            title=f"AB7: polynomial value engines at n=2^14 (real wall-clock)",
+        format_timing_table(
+            timings,
+            title="AB7: polynomial value engines at n=2^14 (real wall-clock, sequential)",
         ),
     )
-    times = {row[0]: row[1] for row in rows}
+    times = {name: t.mean_ms for name, t in timings}
     assert times["vectorized leaves (numpy)"] < times["descend-state (faithful §IV)"]

@@ -10,7 +10,12 @@ Run:  python examples/polynomial_evaluation.py
 
 import numpy as np
 
-from repro.bench import format_table, random_coefficients, repeat_average
+from repro.bench import (
+    format_table,
+    format_timing_table,
+    random_coefficients,
+    repeat_average,
+)
 from repro.core import polynomial_value
 from repro.core.polynomial import horner
 from repro.forkjoin import ForkJoinPool
@@ -39,13 +44,12 @@ def main() -> None:
                 JplfPolynomialValue(PowerList(coeffs), X)
             ),
         }
-        rows = []
+        timings = []
         for name, fn in engines.items():
             value = fn()
-            timing = repeat_average(fn, runs=5)
-            rows.append([name, f"{value:.6f}", timing.mean_ms])
+            timings.append((name, repeat_average(fn, runs=5)))
             assert abs(value - reference) < 1e-6 * max(1.0, abs(reference))
-        print(format_table(["engine", "value", "wall_ms (5-run avg)"], rows))
+        print(format_timing_table(timings, title="wall-clock, 5 runs per engine"))
 
     # The paper's Figure-3 machine, simulated (DESIGN.md §3).
     print("\nSimulated 8-core machine (virtual time):")

@@ -10,8 +10,8 @@ The modules here generate the data behind every table/figure bench in
 * :mod:`repro.bench.reporting` — fixed-width table rendering.
 """
 
-from repro.bench.harness import repeat_average, time_call
-from repro.bench.reporting import format_table
+from repro.bench.harness import TimingResult, repeat_average, time_call
+from repro.bench.reporting import format_table, format_timing_table
 from repro.bench.workloads import (
     random_coefficients,
     random_complex_signal,
@@ -19,7 +19,9 @@ from repro.bench.workloads import (
 )
 
 __all__ = [
+    "TimingResult",
     "format_table",
+    "format_timing_table",
     "random_coefficients",
     "random_complex_signal",
     "random_integers",

@@ -1,11 +1,23 @@
-"""Timing helpers: wall-clock measurement with the paper's 5-run averaging."""
+"""Timing helpers: wall-clock measurement with the paper's 5-run averaging.
+
+Beyond the mean the paper reports, :class:`TimingResult` keeps every raw
+sample plus min/median/stddev — a mean alone hides warm-up outliers and
+bimodality, which is exactly what the per-sample columns in
+:func:`repro.bench.reporting.format_timing_table` exist to show.
+
+Any measurement can also dump a real-execution trace:
+``repeat_average(fn, trace="run.json")`` performs one extra traced run
+(outside the timed samples, so tracing overhead never pollutes them) and
+writes Chrome trace-event JSON loadable in Perfetto.
+"""
 
 from __future__ import annotations
 
 import statistics
 import time
-from dataclasses import dataclass
-from typing import Callable, TypeVar
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence, TypeVar
 
 from repro.common import check_positive
 
@@ -20,10 +32,40 @@ class TimingResult:
     stdev: float
     minimum: float
     runs: int
+    median: float = 0.0
+    maximum: float = 0.0
+    samples: tuple[float, ...] = field(default=())
 
     @property
     def mean_ms(self) -> float:
         return self.mean * 1e3
+
+    @property
+    def median_ms(self) -> float:
+        return self.median * 1e3
+
+    @property
+    def min_ms(self) -> float:
+        return self.minimum * 1e3
+
+    @property
+    def stdev_ms(self) -> float:
+        return self.stdev * 1e3
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "TimingResult":
+        """Aggregate raw per-run samples (seconds) into a result."""
+        if not samples:
+            raise ValueError("at least one sample required")
+        return TimingResult(
+            mean=statistics.fmean(samples),
+            stdev=statistics.stdev(samples) if len(samples) > 1 else 0.0,
+            minimum=min(samples),
+            runs=len(samples),
+            median=statistics.median(samples),
+            maximum=max(samples),
+            samples=tuple(samples),
+        )
 
 
 def time_call(fn: Callable[[], T]) -> tuple[T, float]:
@@ -33,20 +75,35 @@ def time_call(fn: Callable[[], T]) -> tuple[T, float]:
     return result, time.perf_counter() - start
 
 
-def repeat_average(fn: Callable[[], T], runs: int = 5) -> TimingResult:
+def repeat_average(
+    fn: Callable[[], T],
+    runs: int = 5,
+    trace: str | Path | None = None,
+    trace_capacity: int = 1 << 16,
+) -> TimingResult:
     """Average ``fn``'s wall-clock over ``runs`` executions.
 
     Five runs per point is the paper's protocol ("we performed 5 runs of
     tests and we averaged the obtained results").
+
+    Args:
+        trace: when given, one *additional* (untimed) execution runs with
+            the :mod:`repro.obs` tracer enabled and a Chrome trace-event
+            JSON is written to this path.  The timed samples are always
+            collected with tracing disabled, so the trace never perturbs
+            the numbers it explains.
+        trace_capacity: ring-buffer size for the traced run.
     """
     check_positive(runs, "runs")
     samples = []
     for _ in range(runs):
         _, elapsed = time_call(fn)
         samples.append(elapsed)
-    return TimingResult(
-        mean=statistics.fmean(samples),
-        stdev=statistics.stdev(samples) if runs > 1 else 0.0,
-        minimum=min(samples),
-        runs=runs,
-    )
+    if trace is not None:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.tracer import tracing
+
+        with tracing(capacity=trace_capacity) as tracer:
+            fn()
+        write_chrome_trace(trace, tracer.spans())
+    return TimingResult.from_samples(samples)

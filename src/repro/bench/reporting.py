@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.bench.harness import TimingResult
+
 
 def format_table(
     headers: Sequence[str],
@@ -24,6 +26,25 @@ def format_table(
     for row in cells:
         lines.append("  ".join(value.rjust(w) for value, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_timing_table(
+    rows: Sequence[tuple[str, TimingResult]],
+    title: str | None = None,
+) -> str:
+    """Render named :class:`TimingResult`s with the full sample statistics.
+
+    One row per (name, result): mean/median/min/stddev in milliseconds
+    plus the run count — the columns the mean-only tables used to hide.
+    """
+    return format_table(
+        ["case", "mean_ms", "median_ms", "min_ms", "stdev_ms", "runs"],
+        [
+            [name, t.mean_ms, t.median_ms, t.min_ms, t.stdev_ms, t.runs]
+            for name, t in rows
+        ],
+        title=title,
+    )
 
 
 def _fmt(value: object) -> str:

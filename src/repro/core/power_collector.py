@@ -22,6 +22,7 @@ functions, and may override ``on_split`` (descending-phase state),
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Generic, Sequence, TypeVar
 
 from repro.common import (
@@ -30,6 +31,7 @@ from repro.common import (
     check_power_of_two,
 )
 from repro.forkjoin.pool import ForkJoinPool
+from repro.obs.tracer import current_tracer
 from repro.streams.collector import Collector, CollectorCharacteristics
 from repro.streams.spliterator import Characteristics, Spliterator
 from repro.streams.stream import Stream
@@ -119,8 +121,23 @@ def power_collect(
     """Execute a PowerList function over ``data`` via ``collect``.
 
     The full pipeline of the paper: specialized spliterator → parallel
-    stream → ``collect(collector)``.
+    stream → ``collect(collector)``.  With tracing enabled
+    (:func:`repro.obs.tracing`), the whole execution is recorded as one
+    ``function`` span named after the collector class, enclosing the
+    split/leaf/combine spans of its decomposition.
     """
-    return power_stream(collector, data, parallel, pool, target_size).collect(
-        collector
+    stream = power_stream(collector, data, parallel, pool, target_size)
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return stream.collect(collector)
+    start = time.perf_counter_ns()
+    result = stream.collect(collector)
+    tracer.emit(
+        "function",
+        name=type(collector).__name__,
+        start_ns=start,
+        end_ns=time.perf_counter_ns(),
+        size=len(data),
+        parallel=parallel,
     )
+    return result

@@ -14,14 +14,23 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import deque
 from typing import Optional
 
 from repro.common import IllegalStateError
 from repro.forkjoin.deques import WorkStealingDeque
 from repro.forkjoin.task import ForkJoinTask
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import current_tracer
 
 _tls = threading.local()
+
+#: Fallback timeout for the idle condition-wait.  The predicate re-check
+#: under the condition lock makes wakeups reliable; the timeout only
+#: bounds the damage of a scheduling edge case, so it can be generous
+#: (the old implementation busy-polled every 1 ms).
+_IDLE_WAIT_TIMEOUT = 0.05
 
 
 def current_worker() -> "Optional[_Worker]":
@@ -38,10 +47,13 @@ class _Worker:
         self.pool = pool
         self.index = index
         self.deque: WorkStealingDeque[ForkJoinTask] = WorkStealingDeque()
-        # Observability counters (single-writer: only this worker's thread
-        # increments them, so plain ints suffice under the GIL).
-        self.executed = 0
-        self.stolen = 0
+        # Observability counters from the pool's metrics registry.  A
+        # Python-level ``+=`` is not atomic (its LOAD/ADD/STORE can
+        # interleave with a concurrent ``stats()`` read), so increments go
+        # through locked Counters and ``stats()`` snapshots them all under
+        # the registry's single lock.
+        self.executed = pool.metrics.counter(f"worker.{index}.executed")
+        self.stolen = pool.metrics.counter(f"worker.{index}.stolen")
         self.thread = threading.Thread(
             target=self._run_loop, name=f"{pool.name}-worker-{index}", daemon=True
         )
@@ -59,10 +71,35 @@ class _Worker:
         if task is None:
             task = self.pool._steal_for(self)
             if task is not None:
-                self.stolen += 1
+                self.stolen.inc()
+                tracer = current_tracer()
+                if tracer.enabled:
+                    tracer.instant("steal", worker=self.index)
         if task is None:
             task = self.pool._poll_external()
         return task
+
+    def _run_task(self, task: ForkJoinTask) -> None:
+        """Run one scheduled task, tracing and counting it.
+
+        Every ``executed`` increment pairs with exactly one ``task`` span
+        when tracing is on — the invariant the stats-vs-trace agreement
+        test pins down.
+        """
+        tracer = current_tracer()
+        if tracer.enabled:
+            start = time.perf_counter_ns()
+            task.run()
+            tracer.emit(
+                "task",
+                worker=self.index,
+                start_ns=start,
+                end_ns=time.perf_counter_ns(),
+                name=type(task).__name__,
+            )
+        else:
+            task.run()
+        self.executed.inc()
 
     def _run_loop(self) -> None:
         _tls.worker = self
@@ -71,10 +108,9 @@ class _Worker:
             while not pool._shutdown:
                 task = self._next_task()
                 if task is not None:
-                    task.run()
-                    self.executed += 1
+                    self._run_task(task)
                 else:
-                    pool._idle_wait()
+                    pool._idle_wait(self)
         finally:
             _tls.worker = None
 
@@ -88,8 +124,7 @@ class _Worker:
         while not awaited.is_done():
             task = self._next_task()
             if task is not None:
-                task.run()
-                self.executed += 1
+                self._run_task(task)
             else:
                 # Nothing runnable anywhere: the awaited task is being
                 # executed by another worker.  Short sleep-wait on it.
@@ -111,6 +146,10 @@ class ForkJoinPool:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.parallelism = parallelism
         self.name = name
+        #: Per-pool metrics (worker counters, idle wakeups); snapshot via
+        #: :meth:`stats` or read individual metrics directly.
+        self.metrics = MetricsRegistry(name=name)
+        self._idle_wakeups = self.metrics.counter("idle_wakeups")
         self._external: deque[ForkJoinTask] = deque()
         self._external_lock = threading.Lock()
         self._work_available = threading.Condition()
@@ -171,23 +210,63 @@ class ForkJoinPool:
         with self._work_available:
             self._work_available.notify_all()
 
-    def _idle_wait(self) -> None:
+    def _has_queued_work(self) -> bool:
+        # Called with ``_work_available`` held, so a concurrent push +
+        # ``_signal_work`` cannot slip between this check and the wait.
+        if self._external:
+            return True
+        return any(worker.deque for worker in self._workers)
+
+    def _idle_wait(self, worker: "_Worker") -> None:
+        """Block until work may be available (or shutdown).
+
+        A real condition-wait with a predicate re-check, replacing the
+        old 1 ms busy-poll: a worker that finds no work parks until a
+        ``_signal_work`` (every push and shutdown signals) instead of
+        waking a thousand times a second.  The timeout is only a safety
+        net; idle wakeups are counted so regressions show up in
+        ``stats()``.
+        """
+        tracer = current_tracer()
+        start = time.perf_counter_ns() if tracer.enabled else 0
         with self._work_available:
-            self._work_available.wait(timeout=0.001)
+            if self._shutdown or self._has_queued_work():
+                return
+            self._work_available.wait(timeout=_IDLE_WAIT_TIMEOUT)
+        self._idle_wakeups.inc()
+        if tracer.enabled:
+            tracer.emit(
+                "idle",
+                worker=worker.index,
+                start_ns=start,
+                end_ns=time.perf_counter_ns(),
+            )
 
     # -- observability ------------------------------------------------------ #
 
     def stats(self) -> dict:
         """Counters since pool creation: tasks run and steals, per worker
         and total — the real-pool mirror of
-        :class:`~repro.simcore.machine.SimResult`'s metrics."""
+        :class:`~repro.simcore.machine.SimResult`'s metrics.
+
+        The whole dict is one consistent cut: all counters are read in a
+        single :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` under
+        the registry lock, so totals always equal the sum of the
+        per-worker rows even while workers are running.
+        """
+        snap = self.metrics.snapshot()
         per_worker = [
-            {"worker": w.index, "executed": w.executed, "stolen": w.stolen}
+            {
+                "worker": w.index,
+                "executed": snap[f"worker.{w.index}.executed"],
+                "stolen": snap[f"worker.{w.index}.stolen"],
+            }
             for w in self._workers
         ]
         return {
-            "tasks_executed": sum(w.executed for w in self._workers),
-            "steals": sum(w.stolen for w in self._workers),
+            "tasks_executed": sum(row["executed"] for row in per_worker),
+            "steals": sum(row["stolen"] for row in per_worker),
+            "idle_wakeups": snap["idle_wakeups"],
             "per_worker": per_worker,
         }
 

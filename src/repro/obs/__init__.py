@@ -1,0 +1,64 @@
+"""Real-execution observability: spans, metrics, trace export.
+
+``repro.obs`` is the *real-execution* mirror of :mod:`repro.simcore`'s
+simulated tracing.  The simulator returns a perfect trace for free; a
+real run on the :class:`~repro.forkjoin.pool.ForkJoinPool` has to be
+instrumented, and that instrumentation must cost ~nothing when disabled
+so the measured path stays the measured path.
+
+Three layers:
+
+* :mod:`repro.obs.tracer`  — span recording (``split`` / ``leaf`` /
+  ``combine`` / ``task`` / ``steal`` / ``idle`` events with worker ids)
+  into a thread-safe ring buffer; a null tracer makes the disabled path
+  a single attribute check;
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
+  behind a :class:`MetricsRegistry` whose single lock gives consistent
+  snapshots (this is what ``ForkJoinPool.stats()`` now reads);
+* :mod:`repro.obs.export`  — Chrome trace-event JSON (open in Perfetto
+  or ``chrome://tracing``), a per-worker utilization/Gantt report in the
+  style of :mod:`repro.simcore.trace`, and a plain-dict snapshot for
+  tests.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    render_gantt,
+    summarize_workers,
+    to_chrome_trace,
+    trace_snapshot,
+    worker_report,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, global_registry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "current_tracer",
+    "global_registry",
+    "render_gantt",
+    "set_tracer",
+    "summarize_workers",
+    "to_chrome_trace",
+    "trace_snapshot",
+    "tracing",
+    "worker_report",
+    "write_chrome_trace",
+]

@@ -1,0 +1,221 @@
+"""Exporters for recorded spans: Chrome trace JSON, Gantt, dict snapshot.
+
+Three consumers, three formats:
+
+* **Perfetto / ``chrome://tracing``** — :func:`write_chrome_trace` emits
+  the Trace Event Format (``{"traceEvents": [...]}``): one ``"X"``
+  (complete) event per span, one ``"i"`` (instant) event per
+  zero-duration span, with ``tid`` = worker id so each pool worker gets
+  its own track;
+* **a terminal** — :func:`render_gantt` / :func:`worker_report` reuse the
+  rendering style of :mod:`repro.simcore.trace` (same glyphs, same row
+  layout) but are fed from *real* nanosecond events;
+* **tests** — :func:`trace_snapshot` reduces a span list to a plain dict
+  of counts and durations that assertions can poke at.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.common import IllegalArgumentError
+from repro.obs.tracer import Span
+
+#: Glyph per span kind in the Gantt rendering (superset of the
+#: simulator's: real traces also carry scheduler-level ``task`` spans).
+_KIND_GLYPH = {"split": "s", "leaf": "#", "combine": "c", "task": "t", "function": "f"}
+
+#: Kinds drawn on the Gantt; ``task`` envelops split/leaf/combine spans
+#: emitted inside it, so it is drawn first and overdrawn by its phases.
+_GANTT_ORDER = ("task", "function", "split", "leaf", "combine")
+
+
+# -- Chrome trace-event JSON ----------------------------------------------- #
+
+
+def chrome_trace_events(spans: Sequence[Span], pid: int = 1) -> list[dict]:
+    """Convert spans to Trace Event Format dicts (timestamps in µs).
+
+    Timestamps are rebased so the earliest span starts at t=0; ``tid`` is
+    the worker id (``-1`` for events from non-pool threads).
+    """
+    if not spans:
+        return []
+    base_ns = min(s.start_ns for s in spans)
+    events: list[dict] = []
+    for s in spans:
+        event = {
+            "name": s.name,
+            "cat": s.kind,
+            "pid": pid,
+            "tid": s.worker,
+            "ts": (s.start_ns - base_ns) / 1e3,
+        }
+        if s.is_instant:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = s.duration_ns / 1e3
+        if s.args:
+            event["args"] = dict(s.args)
+        events.append(event)
+    return events
+
+
+def to_chrome_trace(spans: Sequence[Span], metadata: dict | None = None) -> dict:
+    """The full Chrome trace document (loadable as-is in Perfetto)."""
+    doc: dict = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = dict(metadata)
+    return doc
+
+
+def write_chrome_trace(
+    path: str | Path, spans: Sequence[Span], metadata: dict | None = None
+) -> Path:
+    """Serialize spans as Chrome trace JSON at ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(spans, metadata), indent=1))
+    return path
+
+
+# -- plain-dict snapshot (for tests) --------------------------------------- #
+
+
+def trace_snapshot(spans: Iterable[Span]) -> dict:
+    """Reduce spans to counts/durations: the test-friendly view.
+
+    Returns ``{"counts": {kind: n}, "duration_ns": {kind: total},
+    "per_worker": {worker: {kind: n}}}``.
+    """
+    counts: dict[str, int] = {}
+    duration: dict[str, int] = {}
+    per_worker: dict[int, dict[str, int]] = {}
+    for s in spans:
+        counts[s.kind] = counts.get(s.kind, 0) + 1
+        duration[s.kind] = duration.get(s.kind, 0) + s.duration_ns
+        worker_counts = per_worker.setdefault(s.worker, {})
+        worker_counts[s.kind] = worker_counts.get(s.kind, 0) + 1
+    return {"counts": counts, "duration_ns": duration, "per_worker": per_worker}
+
+
+# -- per-worker utilization / Gantt ---------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ObservedWorkerSummary:
+    """Aggregate activity of one real pool worker (nanoseconds)."""
+
+    worker: int
+    busy_ns: int
+    idle_ns: int
+    spans: int
+    steals: int
+    by_kind: dict
+
+    @property
+    def utilization(self) -> float:
+        total = self.busy_ns + self.idle_ns
+        return self.busy_ns / total if total > 0 else 1.0
+
+
+def _busy_kinds(spans: Sequence[Span]) -> list[Span]:
+    # ``task`` envelops the split/leaf/combine work done inside it;
+    # counting both would double-book busy time, so busy time is the task
+    # spans (plus function spans from non-pool threads).
+    return [s for s in spans if s.kind in ("task", "function") and not s.is_instant]
+
+
+def summarize_workers(spans: Sequence[Span]) -> list[ObservedWorkerSummary]:
+    """Per-worker busy/idle/steal statistics over a recorded run."""
+    if not spans:
+        return []
+    t0 = min(s.start_ns for s in spans)
+    t1 = max(s.end_ns for s in spans)
+    wallclock = t1 - t0
+    workers = sorted({s.worker for s in spans})
+    summaries = []
+    for worker in workers:
+        mine = [s for s in spans if s.worker == worker]
+        busy = sum(s.duration_ns for s in _busy_kinds(mine))
+        by_kind: dict[str, int] = {}
+        for s in mine:
+            by_kind[s.kind] = by_kind.get(s.kind, 0) + s.duration_ns
+        summaries.append(
+            ObservedWorkerSummary(
+                worker=worker,
+                busy_ns=busy,
+                idle_ns=max(wallclock - busy, 0),
+                spans=len(mine),
+                steals=sum(1 for s in mine if s.kind == "steal"),
+                by_kind=by_kind,
+            )
+        )
+    return summaries
+
+
+def render_gantt(spans: Sequence[Span], width: int = 72) -> str:
+    """ASCII Gantt from real events: one row per worker, time → right.
+
+    Same glyphs as the simulator's chart (``s`` split, ``#`` leaf, ``c``
+    combine) plus ``t`` for scheduler task spans; ``*`` marks a steal
+    instant, ``.`` is time not covered by any span.
+    """
+    if width < 10:
+        raise IllegalArgumentError("width must be >= 10")
+    if not spans:
+        return "(empty trace)"
+    t0 = min(s.start_ns for s in spans)
+    t1 = max(s.end_ns for s in spans)
+    wallclock = t1 - t0
+    if wallclock <= 0:
+        return "(empty trace)"
+    scale = width / wallclock
+    workers = sorted({s.worker for s in spans})
+    by_worker = {w: [s for s in spans if s.worker == w] for w in workers}
+    rows = []
+    for worker in workers:
+        cells = ["."] * width
+        mine = by_worker[worker]
+        for kind in _GANTT_ORDER:
+            for s in mine:
+                if s.kind != kind or s.is_instant:
+                    continue
+                lo = min(int((s.start_ns - t0) * scale), width - 1)
+                hi = min(max(int((s.end_ns - t0) * scale), lo + 1), width)
+                glyph = _KIND_GLYPH.get(s.kind, "?")
+                for i in range(lo, hi):
+                    cells[i] = glyph
+        for s in mine:
+            if s.kind == "steal":
+                cells[min(int((s.start_ns - t0) * scale), width - 1)] = "*"
+        label = f"w{worker}" if worker >= 0 else "ext"
+        rows.append(f"{label:<3} |{''.join(cells)}|")
+    header = f"wallclock={wallclock / 1e6:.3f}ms  spans={len(spans)}"
+    legend = "     s=split  #=leaf  c=combine  t=task  *=steal  .=uncovered"
+    return "\n".join([header, *rows, legend])
+
+
+def worker_report(spans: Sequence[Span], width: int = 72) -> str:
+    """Gantt plus a per-worker utilization table — the human-readable
+    counterpart of the Chrome trace export."""
+    gantt = render_gantt(spans, width)
+    summaries = summarize_workers(spans)
+    if not summaries:
+        return gantt
+    lines = [gantt, "", "worker  busy_ms  util   spans  steals"]
+    for s in summaries:
+        label = f"w{s.worker}" if s.worker >= 0 else "ext"
+        lines.append(
+            f"{label:<6}  {s.busy_ns / 1e6:7.3f}  {s.utilization:5.1%}"
+            f"  {s.spans:5d}  {s.steals:6d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Process metrics: counters, gauges, log-scale histograms, registry.
+
+All metrics created by one :class:`MetricsRegistry` share the registry's
+single re-entrant lock.  That makes every increment atomic *and* makes
+:meth:`MetricsRegistry.snapshot` a consistent cut across all metrics —
+the fix for the torn reads ``ForkJoinPool.stats()`` used to risk when it
+summed plain-int worker counters while workers were mutating them.
+
+Python-level ``+=`` on an int is *not* atomic (LOAD / ADD / STORE can
+interleave between threads), so the lock is load-bearing, not ceremony.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any
+
+from repro.common import IllegalArgumentError, check_positive
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, _lock: threading.RLock | None = None) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = _lock if _lock is not None else threading.RLock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise IllegalArgumentError(f"counter {self.name}: cannot add {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. queue depth)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, _lock: threading.RLock | None = None) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = _lock if _lock is not None else threading.RLock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A histogram with fixed log-scale (power-of-two) buckets.
+
+    Bucket ``i`` (for ``i < num_buckets - 1``) counts observations
+    ``edge[i-1] < v <= edge[i]`` with ``edge[i] = 2**i``; the last bucket
+    is unbounded.  Designed for nanosecond durations: 40 buckets cover
+    1 ns .. ~9 minutes.
+    """
+
+    __slots__ = ("name", "edges", "_counts", "_sum", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        num_buckets: int = 40,
+        _lock: threading.RLock | None = None,
+    ) -> None:
+        check_positive(num_buckets, "num_buckets")
+        self.name = name
+        #: Upper bounds of the bounded buckets: 2^0, 2^1, ..., 2^(n-2).
+        self.edges: tuple[int, ...] = tuple(1 << i for i in range(num_buckets - 1))
+        self._counts = [0] * num_buckets
+        self._sum = 0.0
+        self._lock = _lock if _lock is not None else threading.RLock()
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise IllegalArgumentError(f"histogram {self.name}: negative {value}")
+        index = bisect_left(self.edges, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    @property
+    def counts(self) -> list[int]:
+        with self._lock:
+            return list(self._counts)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(self._counts)
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile_bound(self, q: float) -> float:
+        """Upper bucket edge at or above quantile ``q`` (0 < q <= 1)."""
+        if not 0 < q <= 1:
+            raise IllegalArgumentError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            total = sum(self._counts)
+            if total == 0:
+                return 0.0
+            rank = q * total
+            seen = 0
+            for i, c in enumerate(self._counts):
+                seen += c
+                if seen >= rank:
+                    return float(self.edges[i]) if i < len(self.edges) else float("inf")
+        return float("inf")
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Creates and owns named metrics; one lock, consistent snapshots."""
+
+    __slots__ = ("name", "_metrics", "_lock")
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        self._metrics: dict[str, Any] = {}
+        # RLock: snapshot() holds it while reading each metric's value,
+        # which re-acquires the same lock through the metric's accessors.
+        self._lock = threading.RLock()
+
+    def _get_or_create(self, name: str, cls, *args):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise IllegalArgumentError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            metric = cls(name, *args, _lock=self._lock)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, num_buckets: int = 40) -> Histogram:
+        return self._get_or_create(name, Histogram, num_buckets)
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time view of every registered metric.
+
+        Holding the single registry lock for the whole walk means no
+        metric can change mid-snapshot — the per-worker counters read by
+        ``ForkJoinPool.stats()`` all come from the same instant.
+        """
+        with self._lock:
+            out: dict[str, Any] = {}
+            for name, metric in sorted(self._metrics.items()):
+                if isinstance(metric, Counter):
+                    out[name] = metric._value
+                elif isinstance(metric, Gauge):
+                    out[name] = metric._value
+                elif isinstance(metric, Histogram):
+                    out[name] = {
+                        "count": sum(metric._counts),
+                        "sum": metric._sum,
+                        "counts": list(metric._counts),
+                    }
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({self.name!r}, metrics={len(self)})"
+
+
+_global = MetricsRegistry(name="process")
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry (for code without a natural owner)."""
+    return _global

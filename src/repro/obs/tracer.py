@@ -1,0 +1,220 @@
+"""Low-overhead span tracing for real fork/join executions.
+
+Design constraints, in order:
+
+1. **Disabled must be free.**  Every instrumentation site does
+   ``tracer = current_tracer()`` once and then ``if tracer.enabled:`` per
+   event — with the default :class:`NullTracer` that is one module-global
+   read plus one attribute check, no allocation, no lock.
+2. **Enabled must not serialize workers.**  Spans go into a
+   ``collections.deque(maxlen=...)`` ring buffer; under the GIL ``append``
+   is atomic, so concurrent workers never contend on a lock to record.
+   When the ring wraps, the *oldest* spans are dropped — the tail of a run
+   is usually where the interesting scheduling behaviour is.
+3. **Timestamps are ``time.perf_counter_ns()``** — monotonic, ns
+   resolution, comparable across threads of one process.
+
+The tracer itself knows nothing about the pool or the streams; the
+instrumentation sites (``repro.forkjoin.pool``, ``repro.streams.parallel``,
+``repro.core.power_collector``) pass worker ids in.  That keeps this module
+dependency-free and import cycles impossible.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.common import check_positive
+
+#: Span kinds emitted by the built-in instrumentation sites.  ``split`` /
+#: ``leaf`` / ``combine`` mirror the simulator's strand kinds; ``task`` /
+#: ``steal`` / ``idle`` are scheduler-level; ``function`` wraps one whole
+#: PowerList-function execution.
+SPAN_KINDS = ("split", "leaf", "combine", "task", "steal", "idle", "function")
+
+#: Worker id used for events emitted from threads outside the pool.
+EXTERNAL_WORKER = -1
+
+
+class Span:
+    """One recorded interval (or instant, when ``start_ns == end_ns``)."""
+
+    __slots__ = ("kind", "name", "worker", "start_ns", "end_ns", "args")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str | None,
+        worker: int,
+        start_ns: int,
+        end_ns: int,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        self.kind = kind
+        self.name = name if name is not None else kind
+        self.worker = worker
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.args = args
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def is_instant(self) -> bool:
+        return self.end_ns == self.start_ns
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.kind!r}, name={self.name!r}, worker={self.worker}, "
+            f"dur={self.duration_ns}ns)"
+        )
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumentation sites branch on :attr:`enabled`, so with this tracer
+    installed the hot path pays one attribute check and nothing else.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def now(self) -> int:
+        return 0
+
+    def emit(self, kind: str, **kwargs) -> None:
+        pass
+
+    def instant(self, kind: str, **kwargs) -> None:
+        pass
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+#: The process-wide disabled tracer (stateless, shareable).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records spans into a bounded, thread-safe ring buffer."""
+
+    __slots__ = ("capacity", "_buffer")
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        check_positive(capacity, "capacity")
+        self.capacity = capacity
+        # deque(maxlen=...) drops from the head on overflow; append is
+        # atomic under the GIL, so emitting never takes a lock.
+        self._buffer: deque[Span] = deque(maxlen=capacity)
+
+    def now(self) -> int:
+        """Current monotonic timestamp in nanoseconds."""
+        return time.perf_counter_ns()
+
+    def emit(
+        self,
+        kind: str,
+        worker: int = EXTERNAL_WORKER,
+        start_ns: int = 0,
+        end_ns: int = 0,
+        name: str | None = None,
+        **args: Any,
+    ) -> None:
+        """Record a completed interval ``[start_ns, end_ns]``."""
+        self._buffer.append(
+            Span(kind, name, worker, start_ns, end_ns, args or None)
+        )
+
+    def instant(
+        self,
+        kind: str,
+        worker: int = EXTERNAL_WORKER,
+        at_ns: int | None = None,
+        name: str | None = None,
+        **args: Any,
+    ) -> None:
+        """Record a zero-duration event (e.g. a steal)."""
+        ts = at_ns if at_ns is not None else time.perf_counter_ns()
+        self._buffer.append(Span(kind, name, worker, ts, ts, args or None))
+
+    @contextmanager
+    def span(
+        self,
+        kind: str,
+        worker: int = EXTERNAL_WORKER,
+        name: str | None = None,
+        **args: Any,
+    ) -> Iterator[None]:
+        """Context manager recording the enclosed block as one span."""
+        start = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            self.emit(
+                kind, worker=worker, start_ns=start,
+                end_ns=time.perf_counter_ns(), name=name, **args,
+            )
+
+    def spans(self) -> list[Span]:
+        """Snapshot of recorded spans, ordered by start time."""
+        return sorted(self._buffer, key=lambda s: s.start_ns)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    @property
+    def wrapped(self) -> bool:
+        """True when the ring is full (older spans have been dropped)."""
+        return len(self._buffer) == self.capacity
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+# -- the active tracer ----------------------------------------------------- #
+
+_active: Tracer | NullTracer = NULL_TRACER
+
+
+def current_tracer() -> Tracer | NullTracer:
+    """The tracer instrumentation sites should emit to (never None)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` process-wide; ``None`` disables tracing."""
+    global _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return _active
+
+
+@contextmanager
+def tracing(
+    capacity: int = 1 << 16, tracer: Tracer | None = None
+) -> Iterator[Tracer]:
+    """Enable tracing for the dynamic extent of the ``with`` block.
+
+    >>> with tracing() as t:
+    ...     Stream.range(0, 1 << 16).parallel().sum()
+    >>> write_chrome_trace("run.json", t.spans())
+    """
+    active = tracer if tracer is not None else Tracer(capacity)
+    previous = _active
+    set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)

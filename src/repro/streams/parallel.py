@@ -17,10 +17,12 @@ segments pipelines at stateful operations first.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, TypeVar
 
-from repro.forkjoin.pool import ForkJoinPool
+from repro.forkjoin.pool import ForkJoinPool, current_worker
 from repro.forkjoin.task import RecursiveTask
+from repro.obs.tracer import EXTERNAL_WORKER, current_tracer
 from repro.streams.collector import Collector
 from repro.streams.ops import (
     Op,
@@ -37,6 +39,12 @@ A = TypeVar("A")
 
 #: Number of leaves per worker Java aims for (AbstractTask.LEAF_TARGET).
 LEAF_FACTOR = 4
+
+
+def _worker_id() -> int:
+    """Index of the calling pool worker, or EXTERNAL_WORKER outside one."""
+    worker = current_worker()
+    return worker.index if worker is not None else EXTERNAL_WORKER
 
 
 def compute_target_size(size: int, parallelism: int) -> int:
@@ -94,15 +102,30 @@ class _ReduceTask(RecursiveTask):
         self.cancel = cancel
 
     def compute(self) -> Any:
+        # The tracer is fetched once per task; with tracing disabled each
+        # event site below costs one ``enabled`` attribute check.
+        tracer = current_tracer()
         spliterator = self.spliterator
         while True:
             if self.cancel is not None and self.cancel.is_set():
-                return self.leaf(spliterator)
-            if spliterator.estimate_size() <= self.target_size:
-                return self.leaf(spliterator)
-            prefix = spliterator.try_split()
+                return self._leaf(spliterator, tracer)
+            size = spliterator.estimate_size()
+            if size <= self.target_size:
+                return self._leaf(spliterator, tracer)
+            if tracer.enabled:
+                start = time.perf_counter_ns()
+                prefix = spliterator.try_split()
+                tracer.emit(
+                    "split",
+                    worker=_worker_id(),
+                    start_ns=start,
+                    end_ns=time.perf_counter_ns(),
+                    size=size,
+                )
+            else:
+                prefix = spliterator.try_split()
             if prefix is None:
-                return self.leaf(spliterator)
+                return self._leaf(spliterator, tracer)
             left = _ReduceTask(
                 prefix, self.target_size, self.leaf, self.merge, self.cancel
             )
@@ -111,7 +134,33 @@ class _ReduceTask(RecursiveTask):
                 spliterator, self.target_size, self.leaf, self.merge, self.cancel
             ).compute()
             left_result = left.join()
+            if tracer.enabled:
+                start = time.perf_counter_ns()
+                result = self.merge(left_result, right_result)
+                tracer.emit(
+                    "combine",
+                    worker=_worker_id(),
+                    start_ns=start,
+                    end_ns=time.perf_counter_ns(),
+                    size=size,
+                )
+                return result
             return self.merge(left_result, right_result)
+
+    def _leaf(self, spliterator: Spliterator, tracer) -> Any:
+        if not tracer.enabled:
+            return self.leaf(spliterator)
+        size = spliterator.estimate_size()
+        start = time.perf_counter_ns()
+        result = self.leaf(spliterator)
+        tracer.emit(
+            "leaf",
+            worker=_worker_id(),
+            start_ns=start,
+            end_ns=time.perf_counter_ns(),
+            size=size,
+        )
+        return result
 
 
 def parallel_collect(

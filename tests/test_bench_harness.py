@@ -69,6 +69,38 @@ class TestHarness:
         with pytest.raises(IllegalArgumentError):
             repeat_average(lambda: None, runs=0)
 
+    def test_all_samples_recorded(self):
+        timing = repeat_average(lambda: sum(range(100)), runs=4)
+        assert len(timing.samples) == 4
+        assert timing.minimum == min(timing.samples)
+        assert timing.maximum == max(timing.samples)
+        assert timing.minimum <= timing.median <= timing.maximum
+        assert timing.median_ms == pytest.approx(timing.median * 1e3)
+
+    def test_trace_kwarg_writes_chrome_json(self, tmp_path):
+        import json
+
+        from repro.forkjoin import ForkJoinPool
+        from repro.streams import Stream
+
+        path = tmp_path / "run.json"
+        with ForkJoinPool(parallelism=2, name="trace") as pool:
+            timing = repeat_average(
+                lambda: Stream.range(0, 4096).parallel().with_pool(pool).sum(),
+                runs=2,
+                trace=path,
+            )
+        assert timing.runs == 2  # the traced run is extra, not a sample
+        doc = json.loads(path.read_text())
+        kinds = {e["cat"] for e in doc["traceEvents"]}
+        assert "leaf" in kinds
+
+    def test_from_samples_rejects_empty(self):
+        from repro.bench import TimingResult
+
+        with pytest.raises(ValueError):
+            TimingResult.from_samples([])
+
 
 class TestReporting:
     def test_basic_table(self):
@@ -88,6 +120,17 @@ class TestReporting:
     @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=5))
     def test_any_float_formats(self, row):
         format_table(["c"] * len(row), [row])  # must not raise
+
+    def test_timing_table_has_sample_statistics(self):
+        from repro.bench import format_timing_table
+
+        timing = repeat_average(lambda: sum(range(500)), runs=3)
+        table = format_timing_table([("case-a", timing)], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        for column in ("mean_ms", "median_ms", "min_ms", "stdev_ms", "runs"):
+            assert column in lines[1]
+        assert "case-a" in table
 
 
 class TestFigureSeries:

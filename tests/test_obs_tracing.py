@@ -1,0 +1,302 @@
+"""Tests for the real-execution observability layer (``repro.obs``)."""
+
+import json
+
+import pytest
+
+from repro.common import IllegalArgumentError
+from repro.core.polynomial import PolynomialValue, horner, polynomial_value
+from repro.forkjoin import ForkJoinPool
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    current_tracer,
+    render_gantt,
+    set_tracer,
+    summarize_workers,
+    to_chrome_trace,
+    trace_snapshot,
+    tracing,
+    worker_report,
+    write_chrome_trace,
+)
+from repro.simcore.instrument import record_decomposition
+from repro.streams import Stream
+from repro.streams.stream_support import StreamSupport
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        assert current_tracer() is NULL_TRACER
+        assert NULL_TRACER.enabled is False
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.emit("leaf", worker=0, start_ns=0, end_ns=1)
+        NULL_TRACER.instant("steal", worker=0)
+        assert NULL_TRACER.spans() == []
+
+    def test_tracing_context_installs_and_restores(self):
+        with tracing() as tracer:
+            assert current_tracer() is tracer
+            assert tracer.enabled
+        assert current_tracer() is NULL_TRACER
+
+    def test_emit_and_ordering(self):
+        tracer = Tracer()
+        tracer.emit("leaf", worker=1, start_ns=100, end_ns=200)
+        tracer.emit("split", worker=0, start_ns=50, end_ns=80)
+        spans = tracer.spans()
+        assert [s.kind for s in spans] == ["split", "leaf"]
+        assert spans[1].duration_ns == 100
+
+    def test_instant_spans(self):
+        tracer = Tracer()
+        tracer.instant("steal", worker=2, at_ns=42)
+        (span,) = tracer.spans()
+        assert span.is_instant
+        assert span.start_ns == span.end_ns == 42
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.emit("leaf", worker=0, start_ns=i, end_ns=i + 1)
+        spans = tracer.spans()
+        assert len(spans) == 4
+        assert [s.start_ns for s in spans] == [6, 7, 8, 9]
+        assert tracer.wrapped
+
+    def test_span_context_manager(self):
+        tracer = Tracer()
+        with tracer.span("function", worker=3, name="MyCollector", size=8):
+            pass
+        (span,) = tracer.spans()
+        assert span.name == "MyCollector"
+        assert span.worker == 3
+        assert span.end_ns >= span.start_ns
+        assert span.args == {"size": 8}
+
+    def test_set_tracer_none_disables(self):
+        set_tracer(Tracer())
+        try:
+            assert current_tracer().enabled
+        finally:
+            set_tracer(None)
+        assert current_tracer() is NULL_TRACER
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(IllegalArgumentError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge("g")
+        g.set(2.5)
+        g.add(-1.0)
+        assert g.value == 1.5
+
+    def test_histogram_bucket_edges(self):
+        h = Histogram("h", num_buckets=6)
+        # Bounded upper edges are 2^0..2^4; bucket i holds edge[i-1] < v <= edge[i].
+        assert h.edges == (1, 2, 4, 8, 16)
+        for value in (0, 1, 1.5, 2, 3, 16, 17, 1_000_000):
+            h.observe(value)
+        assert h.counts == [2, 2, 1, 0, 1, 2]
+        assert h.count == 8
+        assert h.total == pytest.approx(1_000_040.5)
+        with pytest.raises(IllegalArgumentError):
+            h.observe(-1)
+
+    def test_histogram_quantile_bound(self):
+        h = Histogram("h", num_buckets=6)
+        for value in (1, 1, 1, 16):
+            h.observe(value)
+        assert h.quantile_bound(0.5) == 1.0
+        assert h.quantile_bound(1.0) == 16.0
+
+    def test_registry_get_or_create(self):
+        reg = MetricsRegistry("test")
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(IllegalArgumentError):
+            reg.gauge("x")
+
+    def test_registry_snapshot_consistent_shape(self):
+        reg = MetricsRegistry("snap")
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(1.5)
+        reg.histogram("c", num_buckets=4).observe(2)
+        snap = reg.snapshot()
+        assert snap["a"] == 3
+        assert snap["b"] == 1.5
+        assert snap["c"]["count"] == 1
+        assert len(snap["c"]["counts"]) == 4
+
+
+class TestChromeExport:
+    def _sample_spans(self):
+        return [
+            Span("leaf", None, 0, 1000, 3000, {"size": 4}),
+            Span("steal", None, 1, 1500, 1500, None),
+            Span("combine", None, 0, 3000, 3500, None),
+        ]
+
+    def test_schema_validity(self):
+        doc = to_chrome_trace(self._sample_spans(), metadata={"run": "test"})
+        text = json.dumps(doc)  # must be JSON-serializable
+        parsed = json.loads(text)
+        assert isinstance(parsed["traceEvents"], list)
+        assert parsed["displayTimeUnit"] == "ms"
+        assert parsed["otherData"] == {"run": "test"}
+        for event in parsed["traceEvents"]:
+            assert event["ph"] in ("X", "i")
+            assert isinstance(event["ts"], (int, float))
+            assert "pid" in event and "tid" in event and "name" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+            else:
+                assert event["s"] == "t"
+
+    def test_timestamps_rebased_to_zero(self):
+        events = to_chrome_trace(self._sample_spans())["traceEvents"]
+        assert min(e["ts"] for e in events) == 0
+        leaf = next(e for e in events if e["cat"] == "leaf")
+        assert leaf["dur"] == pytest.approx(2.0)  # 2000 ns = 2 µs
+
+    def test_empty_trace(self):
+        assert to_chrome_trace([])["traceEvents"] == []
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "sub" / "t.json", self._sample_spans())
+        assert path.exists()
+        assert len(json.loads(path.read_text())["traceEvents"]) == 3
+
+
+class TestReports:
+    def test_snapshot_counts(self):
+        spans = [
+            Span("leaf", None, 0, 0, 10),
+            Span("leaf", None, 1, 5, 9),
+            Span("steal", None, 1, 6, 6),
+        ]
+        snap = trace_snapshot(spans)
+        assert snap["counts"] == {"leaf": 2, "steal": 1}
+        assert snap["duration_ns"]["leaf"] == 14
+        assert snap["per_worker"][1] == {"leaf": 1, "steal": 1}
+
+    def test_gantt_rows_and_glyphs(self):
+        spans = [
+            Span("task", None, 0, 0, 1000),
+            Span("leaf", None, 0, 100, 900),
+            Span("steal", None, 1, 500, 500),
+        ]
+        chart = render_gantt(spans, width=40)
+        lines = chart.splitlines()
+        assert lines[1].startswith("w0 ")
+        assert "#" in lines[1]
+        assert "*" in lines[2]
+
+    def test_gantt_width_validated(self):
+        with pytest.raises(IllegalArgumentError):
+            render_gantt([Span("leaf", None, 0, 0, 1)], width=5)
+
+    def test_empty_gantt(self):
+        assert render_gantt([]) == "(empty trace)"
+
+    def test_worker_report_includes_utilization(self):
+        spans = [Span("task", None, 0, 0, 1000), Span("task", None, 1, 0, 500)]
+        report = worker_report(spans, width=40)
+        assert "util" in report
+        assert "w0" in report and "w1" in report
+
+    def test_summarize_workers_busy_not_double_counted(self):
+        # leaf spans nest inside the task span: busy time is task time only.
+        spans = [Span("task", None, 0, 0, 1000), Span("leaf", None, 0, 100, 900)]
+        (summary,) = summarize_workers(spans)
+        assert summary.busy_ns == 1000
+        assert summary.utilization == 1.0
+
+
+class TestTracedExecution:
+    def test_on_off_parity(self):
+        coeffs = [float(i % 7) for i in range(2**10)]
+        with ForkJoinPool(parallelism=4, name="parity") as pool:
+            plain = polynomial_value(coeffs, 0.5, pool=pool, target_size=2**7)
+            with tracing() as tracer:
+                traced = polynomial_value(coeffs, 0.5, pool=pool, target_size=2**7)
+        assert traced == plain == pytest.approx(horner(coeffs, 0.5))
+        assert len(tracer.spans()) > 0
+        assert current_tracer() is NULL_TRACER
+
+    def test_stream_collect_emits_decomposition_spans(self):
+        n, target = 2**12, 2**9
+        with ForkJoinPool(parallelism=4, name="spans") as pool:
+            with tracing() as tracer:
+                total = (
+                    Stream.range(0, n).parallel().with_pool(pool)
+                    .with_target_size(target).sum()
+                )
+        assert total == n * (n - 1) // 2
+        counts = trace_snapshot(tracer.spans())["counts"]
+        leaves = n // target
+        assert counts["leaf"] == leaves
+        assert counts["split"] == leaves - 1
+        assert counts["combine"] == leaves - 1
+
+    def test_real_trace_matches_instrumented_decomposition(self):
+        """The Figure-3 workload: the observed real trace agrees with the
+        decomposition recorded by ``repro.simcore.instrument``."""
+        n, target, x = 2**10, 2**7, 1.001
+        coeffs = [float(i % 5) for i in range(n)]
+
+        # Ground truth: a real run over a recording spliterator.
+        recorder_pv = PolynomialValue(x)
+        wrapped, recording = record_decomposition(
+            recorder_pv.create_spliterator(coeffs)
+        )
+        with ForkJoinPool(parallelism=4, name="rec") as pool:
+            recorded_value = (
+                StreamSupport.stream(wrapped, parallel=True)
+                .with_pool(pool).with_target_size(target).collect(recorder_pv)
+            )
+
+        # Observed: the same workload traced for real.
+        traced_pv = PolynomialValue(x)
+        with ForkJoinPool(parallelism=4, name="obs") as pool:
+            with tracing() as tracer:
+                traced_value = (
+                    StreamSupport.stream(
+                        traced_pv.create_spliterator(coeffs), parallel=True
+                    )
+                    .with_pool(pool).with_target_size(target).collect(traced_pv)
+                )
+            stats = pool.stats()
+
+        assert traced_value == pytest.approx(recorded_value)
+        spans = tracer.spans()
+        counts = trace_snapshot(spans)["counts"]
+        # Decomposition is deterministic: same split/leaf structure.
+        assert counts["leaf"] == len(recording.leaves())
+        assert counts["split"] == len(recording.splits())
+        assert counts["combine"] == counts["split"]
+
+        # The exported Chrome trace carries the same counts...
+        events = to_chrome_trace(spans)["traceEvents"]
+        for kind in ("leaf", "split", "combine"):
+            assert sum(1 for e in events if e["cat"] == kind) == counts[kind]
+        # ...and per-worker task events agree with the pool's own stats.
+        for row in stats["per_worker"]:
+            observed = sum(
+                1
+                for e in events
+                if e["cat"] == "task" and e["tid"] == row["worker"]
+            )
+            assert observed == row["executed"]

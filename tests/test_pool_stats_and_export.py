@@ -53,6 +53,64 @@ class TestPoolStats:
         assert 0 <= real_steals < leaves * 4  # helping joins add a few
 
 
+class TestStatsTraceAgreement:
+    def test_idle_wakeups_surfaced(self):
+        with ForkJoinPool(parallelism=2, name="idle") as pool:
+            stats = pool.stats()
+            assert "idle_wakeups" in stats
+            assert stats["idle_wakeups"] >= 0
+
+    def test_task_and_steal_events_match_stats(self):
+        """Per-worker trace event counts agree with the stats() counters:
+        every executed increment pairs with one task span, every stolen
+        increment with one steal instant."""
+        from repro.obs import trace_snapshot, tracing
+
+        with ForkJoinPool(parallelism=4, name="agree") as pool:
+            with tracing() as tracer:
+                Stream.range(0, 50_000).parallel().with_pool(pool).with_target_size(
+                    2_000
+                ).sum()
+            stats = pool.stats()
+        per_worker = trace_snapshot(tracer.spans())["per_worker"]
+        for row in stats["per_worker"]:
+            events = per_worker.get(row["worker"], {})
+            assert events.get("task", 0) == row["executed"]
+            assert events.get("steal", 0) == row["stolen"]
+
+    def test_stats_snapshot_is_consistent_under_load(self):
+        """Totals always equal the per-worker sums, even while workers
+        are actively mutating the counters (the old implementation could
+        tear here)."""
+        import threading
+
+        with ForkJoinPool(parallelism=4, name="consistent") as pool:
+            stop = threading.Event()
+            failures = []
+
+            def hammer():
+                while not stop.is_set():
+                    stats = pool.stats()
+                    if stats["tasks_executed"] != sum(
+                        w["executed"] for w in stats["per_worker"]
+                    ):
+                        failures.append(stats)
+                    if stats["steals"] != sum(
+                        w["stolen"] for w in stats["per_worker"]
+                    ):
+                        failures.append(stats)
+
+            reader = threading.Thread(target=hammer, daemon=True)
+            reader.start()
+            for _ in range(5):
+                Stream.range(0, 30_000).parallel().with_pool(pool).with_target_size(
+                    1_000
+                ).sum()
+            stop.set()
+            reader.join(timeout=5.0)
+            assert not failures
+
+
 class TestCsvExport:
     def test_rows_to_csv(self):
         text = rows_to_csv([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}])
