@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench bench-smoke figures examples clean
 
 install:
 	pip install -e .[test] || pip install -e . --no-build-isolation
@@ -15,6 +15,10 @@ test-output:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ab9_bulk_path.py --smoke \
+	    --out benchmarks/results/ab9_bulk_path_smoke.json
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

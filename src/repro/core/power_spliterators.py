@@ -100,13 +100,8 @@ class SpliteratorPower2(Spliterator[T]):
         """
         fo = self.function_object
         if fo is not None and getattr(fo, "basic_case", None) is not None:
-            view = [
-                self.source[self.start + i * self.incr] for i in range(self.count)
-            ]
-            for item in fo.basic_case(view, self.incr):
+            for item in self._consume_basic_case():
                 action(item)
-            self.start += self.count * self.incr
-            self.count = 0
             return
         source, incr = self.source, self.incr
         idx = self.start
@@ -115,6 +110,44 @@ class SpliteratorPower2(Spliterator[T]):
             idx += incr
         self.start = idx
         self.count = 0
+
+    def _consume_basic_case(self) -> list:
+        """Apply the function object's ``basic_case`` to the whole
+        remaining sub-view, consuming it."""
+        view = [
+            self.source[self.start + i * self.incr] for i in range(self.count)
+        ]
+        out = self.function_object.basic_case(view, self.incr)
+        self.start += self.count * self.incr
+        self.count = 0
+        return out
+
+    def next_chunk(self, max_size: int) -> Sequence[T]:
+        """Bulk pull over the strided view.
+
+        A leaf governed by a ``basic_case``/``leaf_kernel`` is semantically
+        indivisible — the kernel must see the whole sub-view at once — so
+        the entire remainder is returned as one chunk regardless of
+        ``max_size`` (mirroring :meth:`for_each_remaining` exactly).
+        Otherwise a single strided slice of the source is returned: a
+        zero-copy view for numpy arrays, one C-level copy for lists.
+        """
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        if self.count <= 0:
+            return ()
+        fo = self.function_object
+        if fo is not None and getattr(fo, "basic_case", None) is not None:
+            return self._consume_basic_case()
+        n = min(self.count, max_size)
+        stop = self.start + n * self.incr
+        try:
+            chunk = self.source[self.start : stop : self.incr]
+        except TypeError:  # non-sliceable random-access source
+            return super().next_chunk(max_size)
+        self.start = stop
+        self.count -= n
+        return chunk
 
     def estimate_size(self) -> int:
         return self.count

@@ -46,15 +46,31 @@ class _ChunkMixin:
 
     The view is a numpy basic slice — a zero-copy window over the source
     array.  ``try_advance`` keeps per-element semantics for generic code.
+
+    ``next_chunk`` delivers the same ``(view, incr)`` pair as a singleton
+    chunk, so these spliterators plug into the generic chunked execution
+    path (:func:`repro.streams.ops.copy_into_chunked`) with identical
+    semantics: a vectorized leaf is one indivisible unit of work either
+    way, so ``max_size`` is ignored.
     """
+
+    def _take_view(self):
+        stop = self.start + self.count * self.incr
+        chunk = self.source[self.start : stop : self.incr]
+        self.start = stop
+        self.count = 0
+        return chunk, self.incr
 
     def for_each_remaining(self, action) -> None:  # type: ignore[override]
         if self.count > 0:
-            stop = self.start + self.count * self.incr
-            chunk = self.source[self.start : stop : self.incr]
-            action((chunk, self.incr))
-            self.start = stop
-            self.count = 0
+            action(self._take_view())
+
+    def next_chunk(self, max_size):  # type: ignore[override]
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        if self.count <= 0:
+            return ()
+        return (self._take_view(),)
 
 
 class VTieSpliterator(_ChunkMixin, TieSpliterator):

@@ -36,6 +36,12 @@ class WorkStealingDeque(Generic[T]):
 
     def pop(self) -> T | None:
         """Owner: pop the most recently pushed task (LIFO), or None."""
+        # Unlocked empty check: reading deque length is atomic under the
+        # GIL, and a stale non-empty answer is re-checked under the lock.
+        # Workers poll empty deques constantly, so skipping the mutex on
+        # the miss path removes the dominant acquire/release cost.
+        if not self._items:
+            return None
         with self._lock:
             if self._items:
                 return self._items.pop()
@@ -43,6 +49,8 @@ class WorkStealingDeque(Generic[T]):
 
     def steal(self) -> T | None:
         """Thief: take the oldest task (FIFO), or None."""
+        if not self._items:
+            return None
         with self._lock:
             if self._items:
                 return self._items.popleft()
@@ -62,4 +70,6 @@ class WorkStealingDeque(Generic[T]):
             return len(self._items)
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        # Direct, lock-free emptiness probe (previously len(self), which
+        # paid the mutex for an answer that is advisory either way).
+        return bool(self._items)

@@ -87,6 +87,14 @@ class RecordingSpliterator(Spliterator):
         self._inner.for_each_remaining(counting)
         self._count(count[0])
 
+    def next_chunk(self, max_size):
+        # Delegate so inner bulk semantics (basic_case kernels, strided
+        # views) survive under chunked execution; count what was produced.
+        chunk = self._inner.next_chunk(max_size)
+        if chunk is not None and len(chunk):
+            self._count(len(chunk))
+        return chunk
+
     def _count(self, n: int) -> None:
         self._elements += n
         with self._lock:

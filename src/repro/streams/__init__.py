@@ -34,11 +34,19 @@ from repro.streams.spliterators import (
 from repro.streams.optional import Optional
 from repro.streams.collector import Collector, CollectorCharacteristics
 from repro.streams import collectors as Collectors
+from repro.streams.ops import (
+    CHUNK_SIZE,
+    bulk_execution,
+    bulk_execution_enabled,
+    bulk_stats,
+    set_bulk_execution,
+)
 from repro.streams.stream import Stream
 from repro.streams.stream_support import StreamSupport, stream_of
 
 __all__ = [
     "ArraySpliterator",
+    "CHUNK_SIZE",
     "Characteristics",
     "Collector",
     "CollectorCharacteristics",
@@ -51,6 +59,10 @@ __all__ = [
     "Spliterator",
     "Stream",
     "StreamSupport",
+    "bulk_execution",
+    "bulk_execution_enabled",
+    "bulk_stats",
+    "set_bulk_execution",
     "spliterator_of",
     "stream_of",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from enum import Flag, auto
-from typing import Callable, Generic, TypeVar
+from typing import Callable, Generic, Sequence, TypeVar
 
 T = TypeVar("T")  # input element type
 A = TypeVar("A")  # mutable accumulation type
@@ -61,6 +61,16 @@ class Collector(abc.ABC, Generic[T, A, R]):
         """Merge two partial containers, folding the second into the first
         (and returning the merged container)."""
 
+    def chunk_accumulator(self) -> "Callable[[A, Sequence[T]], None] | None":
+        """Optional bulk accumulator folding a whole encounter-ordered
+        sublist into a container in one call (``None`` when the collector
+        has no bulk rewrite).
+
+        Used by the chunked execution path; must be behaviorally identical
+        to applying :meth:`accumulator` to each chunk element in order.
+        """
+        return None
+
     def finisher(self) -> Callable[[A], R]:
         """Final container-to-result transform; identity by default."""
         return lambda container: container  # type: ignore[return-value]
@@ -76,15 +86,22 @@ class Collector(abc.ABC, Generic[T, A, R]):
         combiner: Callable[[A, A], A],
         finisher: Callable[[A], R] | None = None,
         characteristics: CollectorCharacteristics | None = None,
+        chunk_accumulator: "Callable[[A, Sequence[T]], None] | None" = None,
     ) -> "Collector[T, A, R]":
         """Build a collector from plain functions (Java's ``Collector.of``)."""
-        return _FunctionCollector(supplier, accumulator, combiner, finisher, characteristics)
+        return _FunctionCollector(
+            supplier, accumulator, combiner, finisher, characteristics,
+            chunk_accumulator,
+        )
 
 
 class _FunctionCollector(Collector[T, A, R]):
     """A collector assembled from free functions."""
 
-    __slots__ = ("_supplier", "_accumulator", "_combiner", "_finisher", "_chars")
+    __slots__ = (
+        "_supplier", "_accumulator", "_combiner", "_finisher", "_chars",
+        "_chunk_accumulator",
+    )
 
     def __init__(
         self,
@@ -93,11 +110,13 @@ class _FunctionCollector(Collector[T, A, R]):
         combiner: Callable[[A, A], A],
         finisher: Callable[[A], R] | None,
         characteristics: CollectorCharacteristics | None,
+        chunk_accumulator: "Callable[[A, Sequence[T]], None] | None" = None,
     ) -> None:
         self._supplier = supplier
         self._accumulator = accumulator
         self._combiner = combiner
         self._finisher = finisher
+        self._chunk_accumulator = chunk_accumulator
         if characteristics is None:
             characteristics = (
                 CollectorCharacteristics.IDENTITY_FINISH
@@ -114,6 +133,9 @@ class _FunctionCollector(Collector[T, A, R]):
 
     def combiner(self) -> Callable[[A, A], A]:
         return self._combiner
+
+    def chunk_accumulator(self) -> "Callable[[A, Sequence[T]], None] | None":
+        return self._chunk_accumulator
 
     def finisher(self) -> Callable[[A], R]:
         if self._finisher is None:

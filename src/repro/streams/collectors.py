@@ -46,7 +46,10 @@ def to_list() -> Collector[T, list[T], list[T]]:
         a.extend(b)
         return a
 
-    return Collector.of(list, lambda acc, t: acc.append(t), combine, None, _IDENTITY)
+    return Collector.of(
+        list, lambda acc, t: acc.append(t), combine, None, _IDENTITY,
+        chunk_accumulator=lambda acc, chunk: acc.extend(chunk),
+    )
 
 
 def to_set() -> Collector[T, set[T], set[T]]:
@@ -57,7 +60,8 @@ def to_set() -> Collector[T, set[T], set[T]]:
         return a
 
     return Collector.of(
-        set, lambda acc, t: acc.add(t), combine, None, _IDENTITY_UNORDERED
+        set, lambda acc, t: acc.add(t), combine, None, _IDENTITY_UNORDERED,
+        chunk_accumulator=lambda acc, chunk: acc.update(chunk),
     )
 
 
@@ -109,6 +113,7 @@ def joining(
         combine,
         lambda acc: prefix + separator.join(acc) + suffix,
         CollectorCharacteristics.NONE,
+        chunk_accumulator=lambda acc, chunk: acc.extend(chunk),
     )
 
 
@@ -122,9 +127,13 @@ def counting() -> Collector[T, list[int], int]:
     def accumulate(acc: list[int], _t: T) -> None:
         acc[0] += 1
 
+    def accumulate_chunk(acc: list[int], chunk) -> None:
+        acc[0] += len(chunk)
+
     return Collector.of(
         lambda: [0], accumulate, combine, lambda acc: acc[0],
         CollectorCharacteristics.UNORDERED,
+        chunk_accumulator=accumulate_chunk,
     )
 
 
@@ -138,9 +147,16 @@ def summing(value_fn: Callable[[T], float] = lambda t: t) -> Collector[T, list, 
         a[0] += b[0]
         return a
 
+    def accumulate_chunk(acc: list, chunk) -> None:
+        # One C-level sum per chunk; same left-to-right association as the
+        # per-element fold (exact for ints; floats may differ only in the
+        # grouping of additions across chunk boundaries).
+        acc[0] += sum(map(value_fn, chunk))
+
     return Collector.of(
         lambda: [0], accumulate, combine, lambda acc: acc[0],
         CollectorCharacteristics.UNORDERED,
+        chunk_accumulator=accumulate_chunk,
     )
 
 
@@ -158,12 +174,17 @@ def averaging(
         a[1] += b[1]
         return a
 
+    def accumulate_chunk(acc: list, chunk) -> None:
+        acc[0] += sum(map(value_fn, chunk))
+        acc[1] += len(chunk)
+
     return Collector.of(
         lambda: [0.0, 0],
         accumulate,
         combine,
         lambda acc: acc[0] / acc[1] if acc[1] else 0.0,
         CollectorCharacteristics.UNORDERED,
+        chunk_accumulator=accumulate_chunk,
     )
 
 

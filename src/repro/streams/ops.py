@@ -10,15 +10,30 @@ source pushes every element through the whole chain (``map`` → ``filter`` →
 * :class:`Op` subclasses — one per intermediate operation, each able to
   wrap a downstream sink; *stateful* ops additionally expose
   ``apply_to_buffer`` used by parallel execution as a barrier.
+
+Bulk execution (the paper's §V sublist observation, pushed through the
+whole chain): when every stage of a non-short-circuiting pipeline is
+*chunkable*, traversal switches from one Python call per element per
+stage to one call per **chunk** per stage — ``map`` becomes a C-level
+``map()``, ``filter`` a comprehension, ``to_list`` an ``extend``.  The
+selection is automatic and semantics-preserving; stateful or
+short-circuiting stages fall back to the per-element path.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Generic, Iterable, TypeVar
+import functools
+from contextlib import contextmanager
+from typing import Any, Callable, Generic, Iterable, Sequence, TypeVar
 
 from repro.common import IllegalArgumentError
 from repro.streams.spliterator import Spliterator
+
+try:  # numpy is a hard dependency of the repo, but keep ops importable without it
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -38,6 +53,17 @@ class Sink(Generic[T]):
 
     def accept(self, item: T) -> None:
         """Receive one element."""
+
+    def accept_chunk(self, chunk: Sequence[T]) -> None:
+        """Receive a whole sublist in encounter order.
+
+        The default loops over :meth:`accept`, so any sink is chunk-safe;
+        chunk-aware stages override this with a bulk rewrite and forward a
+        transformed chunk downstream in a single call.
+        """
+        accept = self.accept
+        for item in chunk:
+            accept(item)
 
     def end(self) -> None:
         """Flush after the last element."""
@@ -81,6 +107,10 @@ class Op(abc.ABC):
     stateful: bool = False
     #: Short-circuiting ops may stop the traversal early.
     short_circuit: bool = False
+    #: Chunkable ops have a bulk ``accept_chunk`` rewrite; a pipeline whose
+    #: stages are all chunkable (and none short-circuiting) is eligible for
+    #: the chunked fast path.
+    chunkable: bool = False
 
     @abc.abstractmethod
     def wrap_sink(self, downstream: Sink) -> Sink:
@@ -99,21 +129,36 @@ class Op(abc.ABC):
 class MapOp(Op):
     """``map(f)`` — transform each element."""
 
+    chunkable = True
+
     def __init__(self, f: Callable[[T], U]) -> None:
         self.f = f
 
     def wrap_sink(self, downstream: Sink) -> Sink:
         f = self.f
+        # A numpy ufunc applied to an ndarray chunk is a single vectorized
+        # call with per-element semantics; arbitrary callables are mapped
+        # element-wise (C-level ``map``) so chunked results match the
+        # per-element path exactly.
+        is_ufunc = _np is not None and isinstance(f, _np.ufunc)
 
         class _MapSink(ChainedSink):
             def accept(self, item):
                 self.downstream.accept(f(item))
+
+            def accept_chunk(self, chunk):
+                if is_ufunc and isinstance(chunk, _np.ndarray):
+                    self.downstream.accept_chunk(f(chunk))
+                else:
+                    self.downstream.accept_chunk(list(map(f, chunk)))
 
         return _MapSink(downstream)
 
 
 class FilterOp(Op):
     """``filter(predicate)`` — keep only matching elements."""
+
+    chunkable = True
 
     def __init__(self, predicate: Callable[[T], bool]) -> None:
         self.predicate = predicate
@@ -130,11 +175,16 @@ class FilterOp(Op):
                 if predicate(item):
                     self.downstream.accept(item)
 
+            def accept_chunk(self, chunk):
+                self.downstream.accept_chunk([x for x in chunk if predicate(x)])
+
         return _FilterSink(downstream)
 
 
 class FlatMapOp(Op):
     """``flat_map(f)`` — explode each element into an iterable of outputs."""
+
+    chunkable = True
 
     def __init__(self, f: Callable[[T], Iterable[U]]) -> None:
         self.f = f
@@ -153,11 +203,23 @@ class FlatMapOp(Op):
                         break
                     down.accept(out)
 
+            def accept_chunk(self, chunk):
+                # The chunked path never runs in a short-circuiting
+                # pipeline, so the per-output cancellation poll of
+                # ``accept`` is unnecessary here.
+                out: list = []
+                extend = out.extend
+                for item in chunk:
+                    extend(f(item))
+                self.downstream.accept_chunk(out)
+
         return _FlatMapSink(downstream)
 
 
 class PeekOp(Op):
     """``peek(action)`` — observe elements without changing them."""
+
+    chunkable = True
 
     def __init__(self, action: Callable[[T], None]) -> None:
         self.action = action
@@ -170,6 +232,11 @@ class PeekOp(Op):
                 action(item)
                 self.downstream.accept(item)
 
+            def accept_chunk(self, chunk):
+                for item in chunk:
+                    action(item)
+                self.downstream.accept_chunk(chunk)
+
         return _PeekSink(downstream)
 
 
@@ -179,6 +246,8 @@ class MapMultiOp(Op):
     A consumer-driven flat map — cheaper than building an intermediate
     iterable when most elements expand to zero or one output.
     """
+
+    chunkable = True
 
     def __init__(self, f: Callable[[T, Callable[[U], None]], None]) -> None:
         self.f = f
@@ -192,6 +261,13 @@ class MapMultiOp(Op):
 
             def accept(self, item):
                 f(item, self.downstream.accept)
+
+            def accept_chunk(self, chunk):
+                out: list = []
+                emit = out.append
+                for item in chunk:
+                    f(item, emit)
+                self.downstream.accept_chunk(out)
 
         return _MapMultiSink(downstream)
 
@@ -401,8 +477,133 @@ class DropWhileOp(Op):
 
 
 # --------------------------------------------------------------------------- #
+# Terminal sinks
+# --------------------------------------------------------------------------- #
+
+
+class AccumulatorSink(TerminalSink):
+    """Terminal sink folding elements into a mutable container.
+
+    Shared by sequential ``collect`` and the fork/join leaves.  When the
+    collector supplies a chunk accumulator (``to_list`` → ``extend``,
+    ``counting`` → ``+= len``, …) whole chunks fold in one call; otherwise
+    chunks fall back to an in-sink per-element loop.
+    """
+
+    __slots__ = ("container", "_accumulate", "_accumulate_chunk", "_cancel")
+
+    def __init__(
+        self,
+        container: Any,
+        accumulate: Callable[[Any, Any], None],
+        accumulate_chunk: Callable[[Any, Sequence], None] | None = None,
+        cancel: Any = None,
+    ) -> None:
+        self.container = container
+        self._accumulate = accumulate
+        self._accumulate_chunk = accumulate_chunk
+        self._cancel = cancel
+
+    def accept(self, item: Any) -> None:
+        self._accumulate(self.container, item)
+
+    def accept_chunk(self, chunk: Sequence) -> None:
+        if self._accumulate_chunk is not None:
+            self._accumulate_chunk(self.container, chunk)
+        else:
+            accumulate, container = self._accumulate, self.container
+            for item in chunk:
+                accumulate(container, item)
+
+    def cancellation_requested(self) -> bool:
+        return self._cancel is not None and self._cancel.is_set()
+
+    def get(self) -> Any:
+        return self.container
+
+
+class ReducingSink(TerminalSink):
+    """Terminal sink for immutable reduction (``Stream.reduce``).
+
+    Keeps ``(value, seen_any)``; chunks fold through ``functools.reduce``
+    (one C-level loop) instead of one sink call per element.
+    """
+
+    __slots__ = ("value", "seen", "_op")
+
+    def __init__(self, op: Callable[[Any, Any], Any], identity: Any = None,
+                 has_identity: bool = False) -> None:
+        self.value = identity
+        self.seen = has_identity
+        self._op = op
+
+    def accept(self, item: Any) -> None:
+        if self.seen:
+            self.value = self._op(self.value, item)
+        else:
+            self.value = item
+            self.seen = True
+
+    def accept_chunk(self, chunk: Sequence) -> None:
+        it = iter(chunk)
+        if not self.seen:
+            for first in it:
+                self.value = first
+                self.seen = True
+                break
+            else:
+                return
+        self.value = functools.reduce(self._op, it, self.value)
+
+    def get(self) -> Any:
+        return self.value
+
+
+# --------------------------------------------------------------------------- #
 # Traversal
 # --------------------------------------------------------------------------- #
+
+#: Maximum number of elements handed to the sink chain per chunk.  Bounds
+#: the transient per-stage buffers while amortizing per-chunk dispatch.
+CHUNK_SIZE = 1 << 16
+
+_bulk_enabled = True
+_bulk_stats = {"chunked": 0, "element": 0}
+
+
+def bulk_execution_enabled() -> bool:
+    """True when eligible traversals take the chunked fast path."""
+    return _bulk_enabled
+
+
+def set_bulk_execution(enabled: bool) -> bool:
+    """Globally enable/disable the chunked fast path; returns the previous
+    setting.  Exists for benchmarks and parity tests — the fallback is
+    otherwise automatic."""
+    global _bulk_enabled
+    previous = _bulk_enabled
+    _bulk_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def bulk_execution(enabled: bool):
+    """Context manager scoping :func:`set_bulk_execution`."""
+    previous = set_bulk_execution(enabled)
+    try:
+        yield
+    finally:
+        set_bulk_execution(previous)
+
+
+def bulk_stats(reset: bool = False) -> dict[str, int]:
+    """Counts of traversals taken by each path (advisory; used by tests and
+    benches to prove the fast path engaged)."""
+    snapshot = dict(_bulk_stats)
+    if reset:
+        _bulk_stats["chunked"] = 0
+        _bulk_stats["element"] = 0
+    return snapshot
 
 
 def wrap_ops(ops: list[Op], terminal: Sink) -> Sink:
@@ -431,6 +632,84 @@ def copy_into(spliterator: Spliterator, sink: Sink, short_circuit: bool) -> None
     sink.end()
 
 
+def copy_into_chunked(
+    spliterator: Spliterator, sink: Sink, max_chunk: int = CHUNK_SIZE
+) -> None:
+    """Drain ``spliterator`` into ``sink`` chunk-at-a-time.
+
+    Each ``next_chunk`` sublist crosses the fused chain in O(stages) Python
+    calls; correctness requires a non-short-circuiting pipeline (no
+    cancellation polling happens between chunks).
+    """
+    sink.begin(spliterator.get_exact_size_if_known())
+    next_chunk = spliterator.next_chunk
+    accept_chunk = sink.accept_chunk
+    while True:
+        chunk = next_chunk(max_chunk)
+        if chunk is None or len(chunk) == 0:
+            break
+        accept_chunk(chunk)
+    sink.end()
+
+
 def pipeline_is_short_circuit(ops: list[Op]) -> bool:
     """True if any stage may cancel the traversal early."""
     return any(op.short_circuit for op in ops)
+
+
+def pipeline_supports_chunks(ops: list[Op]) -> bool:
+    """True if every stage has a bulk ``accept_chunk`` rewrite."""
+    return all(op.chunkable for op in ops)
+
+
+def run_pipeline(
+    spliterator: Spliterator,
+    ops: list[Op],
+    terminal: Sink,
+    force_short_circuit: bool = False,
+) -> Sink:
+    """The single traversal entry point for sequential terminals and
+    fork/join leaves.
+
+    Wraps ``ops`` around ``terminal`` and picks the execution mode:
+
+    * short-circuiting pipeline (or a cancelling terminal, signalled by
+      ``force_short_circuit``) → per-element traversal with polling;
+    * all stages chunkable and bulk execution enabled → chunked traversal;
+    * otherwise (stateful stages in the chain) → per-element bulk
+      ``for_each_remaining``.
+
+    Returns ``terminal`` so callers can read its result.
+    """
+    sink = wrap_ops(ops, terminal)
+    if force_short_circuit or pipeline_is_short_circuit(ops):
+        _bulk_stats["element"] += 1
+        copy_into(spliterator, sink, True)
+    elif _bulk_enabled and pipeline_supports_chunks(ops):
+        _bulk_stats["chunked"] += 1
+        copy_into_chunked(spliterator, sink)
+    else:
+        _bulk_stats["element"] += 1
+        copy_into(spliterator, sink, False)
+    return terminal
+
+
+def pull_iterator(spliterator: Spliterator, sink: Sink, buffer) -> "Iterable":
+    """Lazily drive ``spliterator`` into ``sink``, yielding from ``buffer``.
+
+    The generator behind ``Stream.iterator()``: per-element by design —
+    chunk prefetch would eagerly run side effects (``peek``) and break
+    laziness over infinite sources.  Lives here so every sequential
+    traversal loop is owned by this module.
+    """
+    popleft = buffer.popleft
+    while True:
+        while buffer:
+            yield popleft()
+        if sink.cancellation_requested():
+            break
+        if not spliterator.try_advance(sink.accept):
+            sink.end()
+            while buffer:
+                yield popleft()
+            break

@@ -25,10 +25,12 @@ from repro.forkjoin.task import RecursiveTask
 from repro.obs.tracer import EXTERNAL_WORKER, current_tracer
 from repro.streams.collector import Collector
 from repro.streams.ops import (
+    AccumulatorSink,
     Op,
+    ReducingSink,
     Sink,
     copy_into,
-    pipeline_is_short_circuit,
+    run_pipeline,
     wrap_ops,
 )
 from repro.streams.optional import Optional
@@ -52,28 +54,6 @@ def compute_target_size(size: int, parallelism: int) -> int:
     if size == UNKNOWN_SIZE:
         return 1 << 10
     return max(size // (parallelism * LEAF_FACTOR), 1)
-
-
-class _AccumulateSink(Sink):
-    """Terminal sink folding elements into a mutable container."""
-
-    __slots__ = ("container", "_accumulate", "_cancel")
-
-    def __init__(
-        self,
-        container: Any,
-        accumulate: Callable[[Any, Any], None],
-        cancel: threading.Event | None = None,
-    ) -> None:
-        self.container = container
-        self._accumulate = accumulate
-        self._cancel = cancel
-
-    def accept(self, item: Any) -> None:
-        self._accumulate(self.container, item)
-
-    def cancellation_requested(self) -> bool:
-        return self._cancel is not None and self._cancel.is_set()
 
 
 class _ReduceTask(RecursiveTask):
@@ -178,17 +158,19 @@ def parallel_collect(
     """
     supplier = collector.supplier()
     accumulate = collector.accumulator()
+    accumulate_chunk = collector.chunk_accumulator()
     combine = collector.combiner()
     finish = collector.finisher()
-    short_circuit = pipeline_is_short_circuit(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
 
     def leaf(leaf_spliterator: Spliterator) -> Any:
-        container = supplier()
-        sink = wrap_ops(ops, _AccumulateSink(container, accumulate))
-        copy_into(leaf_spliterator, sink, short_circuit)
-        return container
+        # Each fork/join leaf traverses its sub-spliterator through the
+        # shared entry point, so the chunked fast path engages per leaf:
+        # O(stages) Python calls instead of O(elements × stages).
+        sink = AccumulatorSink(supplier(), accumulate, accumulate_chunk)
+        run_pipeline(leaf_spliterator, ops, sink)
+        return sink.container
 
     root = _ReduceTask(spliterator, target_size, leaf, combine)
     return finish(pool.invoke(root))
@@ -208,37 +190,26 @@ def parallel_reduce(
     With an identity the result is the bare value; without one it is an
     :class:`Optional` (empty for an empty stream).
     """
-    short_circuit = pipeline_is_short_circuit(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
 
-    def leaf(leaf_spliterator: Spliterator):
-        # Container: [value, seen_any]
-        state = [identity, has_identity]
+    def leaf(leaf_spliterator: Spliterator) -> ReducingSink:
+        return run_pipeline(
+            leaf_spliterator, ops, ReducingSink(op, identity, has_identity)
+        )
 
-        def accumulate(container, item):
-            if container[1]:
-                container[0] = op(container[0], item)
-            else:
-                container[0] = item
-                container[1] = True
-
-        sink = wrap_ops(ops, _AccumulateSink(state, accumulate))
-        copy_into(leaf_spliterator, sink, short_circuit)
-        return state
-
-    def merge(a, b):
-        if not b[1]:
+    def merge(a: ReducingSink, b: ReducingSink) -> ReducingSink:
+        if not b.seen:
             return a
-        if not a[1]:
+        if not a.seen:
             return b
-        a[0] = op(a[0], b[0])
+        a.value = op(a.value, b.value)
         return a
 
     result = pool.invoke(_ReduceTask(spliterator, target_size, leaf, merge))
     if has_identity:
-        return result[0]
-    return Optional.of(result[0]) if result[1] else Optional.empty()
+        return result.value
+    return Optional.of(result.value) if result.seen else Optional.empty()
 
 
 def parallel_for_each(
@@ -249,7 +220,6 @@ def parallel_for_each(
     target_size: int | None = None,
 ) -> None:
     """Parallel ``for_each`` (unordered, like Java's)."""
-    short_circuit = pipeline_is_short_circuit(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
 
@@ -258,7 +228,7 @@ def parallel_for_each(
             def accept(self, item):
                 action(item)
 
-        copy_into(leaf_spliterator, wrap_ops(ops, _ForEach()), short_circuit)
+        run_pipeline(leaf_spliterator, ops, _ForEach())
 
     pool.invoke(_ReduceTask(spliterator, target_size, leaf, lambda a, b: None))
 

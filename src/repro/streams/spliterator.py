@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from enum import IntFlag
-from typing import Callable, Generic, TypeVar
+from typing import Callable, Generic, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -77,6 +77,33 @@ class Spliterator(abc.ABC, Generic[T]):
         return Characteristics.NONE
 
     # -- default methods -------------------------------------------------- #
+
+    def next_chunk(self, max_size: int) -> "Sequence[T]":
+        """Advance past up to ``max_size`` elements, returning them as one
+        sequence (empty when exhausted) — the paper's §V sublist idea as a
+        pull protocol.
+
+        Bulk execution (:func:`repro.streams.ops.copy_into_chunked`) drains a
+        source with repeated ``next_chunk`` calls and hands each chunk to the
+        fused sink chain as a single unit, so per-element Python call
+        overhead is paid once per *chunk* per stage instead of once per
+        element per stage.
+
+        The default buffers via :meth:`try_advance` and therefore works for
+        any spliterator; random-access sources override it with a zero-copy
+        (or one-slice) window.  Implementations may return *more* than
+        ``max_size`` elements only when the remainder is semantically
+        indivisible (e.g. a PowerList leaf with a ``basic_case`` kernel).
+        Chunks preserve encounter order.
+        """
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        buffer: list[T] = []
+        append = buffer.append
+        advance = self.try_advance
+        while len(buffer) < max_size and advance(append):
+            pass
+        return buffer
 
     def for_each_remaining(self, action: Callable[[T], None]) -> None:
         """Apply ``action`` to every remaining element, in encounter order.

@@ -9,6 +9,7 @@ spliterator.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.common import check_range, is_power_of_two
@@ -68,6 +69,18 @@ class ListSpliterator(Spliterator[T]):
             action(source[i])
         self._index = self._fence
 
+    def next_chunk(self, max_size: int) -> Sequence[T]:
+        """One slice of the backing sequence — zero-copy for numpy arrays
+        (a view), a single C-level copy for lists/tuples."""
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        lo = self._index
+        hi = min(self._fence, lo + max_size)
+        if lo >= hi:
+            return ()
+        self._index = hi
+        return self._source[lo:hi]
+
     def try_split(self) -> "ListSpliterator[T] | None":
         lo, hi = self._index, self._fence
         mid = (lo + hi) >> 1
@@ -120,6 +133,18 @@ class RangeSpliterator(Spliterator[int]):
         for value in range(self._lo, self._hi):
             action(value)
         self._lo = self._hi
+
+    def next_chunk(self, max_size: int) -> Sequence[int]:
+        """A ``range`` object — truly zero-copy; downstream bulk consumers
+        (``map``/``extend``) iterate it at C speed."""
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        lo = self._lo
+        hi = min(self._hi, lo + max_size)
+        if lo >= hi:
+            return range(0)
+        self._lo = hi
+        return range(lo, hi)
 
     def try_split(self) -> "RangeSpliterator | None":
         lo, hi = self._lo, self._hi
@@ -177,6 +202,15 @@ class IteratorSpliterator(Spliterator[T]):
         for item in self._iterator:
             action(item)
         self._size_estimate = 0
+
+    def next_chunk(self, max_size: int) -> Sequence[T]:
+        """A buffered batch of up to ``max_size`` elements (``islice``)."""
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        buffer = list(itertools.islice(self._iterator, max_size))
+        if self._size_estimate != UNKNOWN_SIZE:
+            self._size_estimate = max(0, self._size_estimate - len(buffer))
+        return buffer
 
     def try_split(self) -> "Spliterator[T] | None":
         batch_size = min(

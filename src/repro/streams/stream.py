@@ -17,7 +17,7 @@ the JDK inserts.
 
 from __future__ import annotations
 
-import itertools
+from collections import deque
 from typing import Any, Callable, Iterable, Iterator, TypeVar
 
 from repro.common import IllegalArgumentError, IllegalStateError
@@ -25,6 +25,7 @@ from repro.forkjoin.pool import ForkJoinPool, common_pool
 from repro.streams import parallel as _parallel
 from repro.streams.collector import Collector, CollectorCharacteristics
 from repro.streams.ops import (
+    AccumulatorSink,
     DistinctOp,
     DropWhileOp,
     FilterOp,
@@ -33,12 +34,13 @@ from repro.streams.ops import (
     MapOp,
     Op,
     PeekOp,
+    ReducingSink,
     SkipOp,
     SortedOp,
     TakeWhileOp,
     TerminalSink,
-    copy_into,
-    pipeline_is_short_circuit,
+    pull_iterator,
+    run_pipeline,
     wrap_ops,
 )
 from repro.streams.optional import Optional
@@ -329,19 +331,13 @@ class Stream:
             return _parallel.parallel_collect(
                 spliterator, ops, collector, self._effective_pool(), self._target_size
             )
-        container = collector.supplier()()
-        accumulate = collector.accumulator()
-
-        class _Acc(TerminalSink):
-            def accept(self, item):
-                accumulate(container, item)
-
-        copy_into(
-            spliterator,
-            wrap_ops(ops, _Acc()),
-            pipeline_is_short_circuit(ops),
+        sink = AccumulatorSink(
+            collector.supplier()(),
+            collector.accumulator(),
+            collector.chunk_accumulator(),
         )
-        return collector.finisher()(container)
+        run_pipeline(spliterator, ops, sink)
+        return collector.finisher()(sink.container)
 
     def reduce(self, *args):
         """Immutable reduction.
@@ -391,20 +387,11 @@ class Stream:
                 self._target_size,
             )
         # Sequential fold.
-        state = [identity, has_identity]
-
-        class _Reduce(TerminalSink):
-            def accept(self, item):
-                if state[1]:
-                    state[0] = accumulator(state[0], item)
-                else:
-                    state[0] = item
-                    state[1] = True
-
-        copy_into(spliterator, wrap_ops(ops, _Reduce()), pipeline_is_short_circuit(ops))
+        sink = ReducingSink(accumulator, identity, has_identity)
+        run_pipeline(spliterator, ops, sink)
         if has_identity:
-            return state[0]
-        return Optional.of(state[0]) if state[1] else Optional.empty()
+            return sink.value
+        return Optional.of(sink.value) if sink.seen else Optional.empty()
 
     def for_each(self, action: Callable[[T], None]) -> None:
         """Apply ``action`` to each element (unordered when parallel)."""
@@ -420,7 +407,7 @@ class Stream:
             def accept(self, item):
                 action(item)
 
-        copy_into(spliterator, wrap_ops(ops, _ForEach()), pipeline_is_short_circuit(ops))
+        run_pipeline(spliterator, ops, _ForEach())
 
     def for_each_ordered(self, action: Callable[[T], None]) -> None:
         """Apply ``action`` in encounter order even on parallel streams."""
@@ -505,7 +492,7 @@ class Stream:
         """A lazy sequential iterator over the pipeline's output."""
         spliterator, ops = self._terminal()
 
-        buffer: list = []
+        buffer: deque = deque()
 
         class _Buffer(TerminalSink):
             def accept(self, item):
@@ -513,20 +500,7 @@ class Stream:
 
         sink = wrap_ops(ops, _Buffer())
         sink.begin(spliterator.get_exact_size_if_known())
-
-        def gen() -> Iterator[T]:
-            while True:
-                while buffer:
-                    yield buffer.pop(0)
-                if sink.cancellation_requested():
-                    break
-                if not spliterator.try_advance(sink.accept):
-                    sink.end()
-                    while buffer:
-                        yield buffer.pop(0)
-                    break
-
-        return gen()
+        return pull_iterator(spliterator, sink, buffer)
 
     def __iter__(self) -> Iterator[T]:
         return self.iterator()
@@ -605,7 +579,7 @@ class Stream:
             def cancellation_requested(self):
                 return found[0]
 
-        copy_into(spliterator, wrap_ops(ops, _Match()), True)
+        run_pipeline(spliterator, ops, _Match(), force_short_circuit=True)
         return found[0] if kind == "any" else not found[0]
 
     def _find(self, first: bool) -> Optional:
@@ -625,7 +599,7 @@ class Stream:
             def cancellation_requested(self):
                 return bool(result)
 
-        copy_into(spliterator, wrap_ops(ops, _Find()), True)
+        run_pipeline(spliterator, ops, _Find(), force_short_circuit=True)
         return Optional.of(result[0]) if result else Optional.empty()
 
     def _materialize(self) -> list:

@@ -1,10 +1,11 @@
 """Pipeline fuzzing: random op chains vs a reference interpreter.
 
 Hypothesis composes random pipelines from the full intermediate-op
-vocabulary and checks three-way agreement: the sequential stream, the
-parallel stream, and a plain-Python reference interpreter.  This is the
-catch-all net over op-fusion, barrier segmentation, and ordering
-guarantees.
+vocabulary and checks agreement across every execution mode: sequential
+and parallel, per-element and chunked, against a plain-Python reference
+interpreter.  This is the catch-all net over op-fusion, barrier
+segmentation, ordering guarantees, and the bulk-execution fast path's
+automatic fallback.
 """
 
 import pytest
@@ -12,7 +13,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.forkjoin import ForkJoinPool
-from repro.streams import stream_of
+from repro.streams import bulk_execution, bulk_stats, stream_of
+from repro.streams.ops import pipeline_is_short_circuit, pipeline_supports_chunks
 
 
 @pytest.fixture(scope="module")
@@ -133,3 +135,49 @@ class TestPipelineFuzz:
         seq_first = build(False).find_first()
         par_first = build(True).find_first()
         assert seq_first == par_first
+
+    @settings(deadline=None, max_examples=80,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(inputs, pipelines)
+    def test_chunked_vs_element_all_modes(self, xs, ops):
+        """Four-way parity: {sequential, parallel} × {chunked, per-element}
+        all agree with the reference, including encounter order."""
+        expected = list(xs)
+        for op in ops:
+            expected = _apply_reference(expected, op)
+
+        def run(parallel, chunked):
+            with bulk_execution(chunked):
+                s = stream_of(xs).parallel() if parallel else stream_of(xs)
+                for op in ops:
+                    s = _apply_stream(s, op)
+                return s.to_list()
+
+        assert run(False, True) == expected
+        assert run(False, False) == expected
+        assert run(True, True) == expected
+        assert run(True, False) == expected
+
+    @settings(deadline=None, max_examples=60,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(inputs, pipelines)
+    def test_chunked_engagement_matches_eligibility(self, xs, ops):
+        """The chunked path engages iff every stage is chunkable and none
+        short-circuits (``limit``/``take_while`` force the per-element
+        path); either way results match the reference."""
+        expected = list(xs)
+        stream = stream_of(xs)
+        for op in ops:
+            stream = _apply_stream(stream, op)
+            expected = _apply_reference(expected, op)
+        stream_ops = stream._ops
+        eligible = pipeline_supports_chunks(stream_ops) and not (
+            pipeline_is_short_circuit(stream_ops)
+        )
+        bulk_stats(reset=True)
+        assert stream.to_list() == expected
+        stats = bulk_stats(reset=True)
+        if eligible:
+            assert stats["chunked"] == 1 and stats["element"] == 0
+        else:
+            assert stats["chunked"] == 0 and stats["element"] >= 1
