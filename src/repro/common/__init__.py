@@ -19,19 +19,25 @@ from repro.common.checks import (
     check_range,
 )
 from repro.common.errors import (
+    CancellationError,
     IllegalArgumentError,
     IllegalStateError,
     NotPowerOfTwoError,
     NotSimilarError,
+    RejectedExecutionError,
     ReproError,
+    TaskTimeoutError,
 )
 
 __all__ = [
+    "CancellationError",
     "IllegalArgumentError",
     "IllegalStateError",
     "NotPowerOfTwoError",
     "NotSimilarError",
+    "RejectedExecutionError",
     "ReproError",
+    "TaskTimeoutError",
     "bit_reverse",
     "ceil_div",
     "check_index",

@@ -23,6 +23,35 @@ class IllegalStateError(ReproError, RuntimeError):
     """
 
 
+class CancellationError(ReproError):
+    """A task was cancelled before it produced a result.
+
+    Raised by ``ForkJoinTask.join()``/``invoke()`` when the task was
+    cancelled via :meth:`ForkJoinTask.cancel`, abandoned by
+    ``ForkJoinPool.shutdown_now()``, or orphaned by pool termination.
+    Mirrors ``java.util.concurrent.CancellationException``.
+    """
+
+
+class RejectedExecutionError(IllegalStateError):
+    """A task was submitted to a pool that can no longer accept work
+    (mirrors ``java.util.concurrent.RejectedExecutionException``).
+
+    Subclasses :class:`IllegalStateError` so callers written against the
+    pre-lifecycle API (``submit`` after ``shutdown`` raised
+    ``IllegalStateError``) keep working unchanged.
+    """
+
+
+class TaskTimeoutError(ReproError, TimeoutError):
+    """A bounded wait (``join(timeout=...)``, ``invoke(timeout=...)``,
+    ``await_termination``) elapsed before completion.
+
+    Subclasses the builtin :class:`TimeoutError` so generic timeout
+    handling catches it without importing this library.
+    """
+
+
 class NotPowerOfTwoError(IllegalArgumentError):
     """A length that must be a power of two was not.
 

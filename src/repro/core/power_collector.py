@@ -134,20 +134,31 @@ def power_collect(
     stream → ``collect(collector)``.  With tracing enabled
     (:func:`repro.obs.tracing`), the whole execution is recorded as one
     ``function`` span named after the collector class, enclosing the
-    split/leaf/combine spans of its decomposition.
+    split/leaf/combine spans of its decomposition.  Parallel execution is
+    fail-fast (see ``docs/robustness.md``): the first leaf or combiner
+    exception cancels the remaining task tree and re-raises promptly, and
+    the ``function`` span is still emitted — tagged with the error type —
+    so aborted runs show up in traces instead of vanishing.
     """
     stream = power_stream(collector, data, parallel, pool, target_size)
     tracer = current_tracer()
     if not tracer.enabled:
         return stream.collect(collector)
     start = time.perf_counter_ns()
-    result = stream.collect(collector)
-    tracer.emit(
-        "function",
-        name=type(collector).__name__,
-        start_ns=start,
-        end_ns=time.perf_counter_ns(),
-        size=len(data),
-        parallel=parallel,
-    )
-    return result
+    error: str | None = None
+    try:
+        return stream.collect(collector)
+    except BaseException as exc:
+        error = type(exc).__name__
+        raise
+    finally:
+        extra = {"error": error} if error is not None else {}
+        tracer.emit(
+            "function",
+            name=type(collector).__name__,
+            start_ns=start,
+            end_ns=time.perf_counter_ns(),
+            size=len(data),
+            parallel=parallel,
+            **extra,
+        )

@@ -16,8 +16,14 @@ performance figures are produced on the simulated machine in
 :mod:`repro.simcore` (see DESIGN.md §3).
 """
 
+from repro.common import CancellationError, RejectedExecutionError, TaskTimeoutError
 from repro.forkjoin.deques import WorkStealingDeque
-from repro.forkjoin.pool import ForkJoinPool, common_pool, set_common_pool_parallelism
+from repro.forkjoin.pool import (
+    ForkJoinPool,
+    common_pool,
+    set_common_pool_parallelism,
+    shutdown_common_pool,
+)
 from repro.forkjoin.task import (
     ForkJoinTask,
     RecursiveAction,
@@ -26,12 +32,16 @@ from repro.forkjoin.task import (
 )
 
 __all__ = [
+    "CancellationError",
     "ForkJoinPool",
     "ForkJoinTask",
     "RecursiveAction",
     "RecursiveTask",
+    "RejectedExecutionError",
+    "TaskTimeoutError",
     "WorkStealingDeque",
     "common_pool",
     "invoke_all",
     "set_common_pool_parallelism",
+    "shutdown_common_pool",
 ]

@@ -6,23 +6,46 @@ runs the scheduling loop *own-deque → steal → external queue → idle wait*.
 the worker helps by running other tasks (its own first, then stolen ones),
 bounding thread count regardless of recursion depth.
 
+Lifecycle (``docs/robustness.md``): a pool moves RUNNING → SHUTDOWN →
+TERMINATED.  :meth:`ForkJoinPool.shutdown` is *graceful* — new submissions
+are rejected but workers drain every already-queued task before exiting,
+so no joiner is abandoned.  :meth:`ForkJoinPool.shutdown_now` is *abrupt* —
+queued tasks are completed exceptionally (``CancellationError``) so their
+joiners unblock promptly, and workers stop after their current task.
+:meth:`ForkJoinPool.await_termination` bounds the wait for either mode.
+
+Crash containment: an exception escaping the scheduling machinery itself
+(a tracer exporter raising mid-emit, a broken metrics backend) no longer
+silently kills the worker thread and shrinks effective parallelism — it is
+logged, counted in ``stats()["worker_crashes"]``, and the worker keeps
+running (or, if the scheduling loop itself died, is respawned on a fresh
+thread).
+
 A process-wide *common pool* mirrors Java's ``ForkJoinPool.commonPool()``:
 it is what parallel streams use unless told otherwise.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
 from collections import deque
 from typing import Optional
 
-from repro.common import IllegalStateError
+from repro.common import (
+    CancellationError,
+    IllegalStateError,
+    RejectedExecutionError,
+    TaskTimeoutError,
+)
 from repro.forkjoin.deques import WorkStealingDeque
 from repro.forkjoin.task import ForkJoinTask
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import current_tracer
+
+_log = logging.getLogger(__name__)
 
 _tls = threading.local()
 
@@ -31,6 +54,10 @@ _tls = threading.local()
 #: bounds the damage of a scheduling edge case, so it can be generous
 #: (the old implementation busy-polled every 1 ms).
 _IDLE_WAIT_TIMEOUT = 0.05
+
+#: How long a stopping worker sleep-waits on a task another worker is
+#: actively executing (the helping join's last resort).
+_HELP_JOIN_WAIT = 0.0005
 
 
 def current_worker() -> "Optional[_Worker]":
@@ -54,8 +81,13 @@ class _Worker:
         # the registry's single lock.
         self.executed = pool.metrics.counter(f"worker.{index}.executed")
         self.stolen = pool.metrics.counter(f"worker.{index}.stolen")
-        self.thread = threading.Thread(
-            target=self._run_loop, name=f"{pool.name}-worker-{index}", daemon=True
+        self.thread = self._new_thread()
+
+    def _new_thread(self) -> threading.Thread:
+        return threading.Thread(
+            target=self._run_loop,
+            name=f"{self.pool.name}-worker-{self.index}",
+            daemon=True,
         )
 
     def start(self) -> None:
@@ -84,12 +116,14 @@ class _Worker:
 
         Every ``executed`` increment pairs with exactly one ``task`` span
         when tracing is on — the invariant the stats-vs-trace agreement
-        test pins down.
+        test pins down.  A cancelled task's ``run()`` is a no-op returning
+        False, so it produces neither an increment nor a span.
         """
         tracer = current_tracer()
         if tracer.enabled:
             start = time.perf_counter_ns()
-            task.run()
+            if not task.run():
+                return
             tracer.emit(
                 "task",
                 worker=self.index,
@@ -98,37 +132,80 @@ class _Worker:
                 name=type(task).__name__,
             )
         else:
-            task.run()
+            if not task.run():
+                return
         self.executed.inc()
+
+    def _run_task_contained(self, task: ForkJoinTask) -> None:
+        """Run a task, absorbing infrastructure crashes.
+
+        ``task.run()`` already captures the *computation's* exception
+        inside the task; anything escaping here comes from the scheduling
+        machinery (tracer emit, metrics inc).  Such a crash used to kill
+        the worker thread silently — now it is logged and counted, and the
+        worker keeps scheduling.
+        """
+        try:
+            self._run_task(task)
+        except BaseException as exc:  # noqa: BLE001 — containment boundary
+            self.pool._note_worker_crash(self, exc, task=task)
 
     def _run_loop(self) -> None:
         _tls.worker = self
         pool = self.pool
         try:
-            while not pool._shutdown:
+            while True:
+                if pool._stop:
+                    break
                 task = self._next_task()
                 if task is not None:
-                    self._run_task(task)
+                    self._run_task_contained(task)
+                elif pool._shutdown:
+                    # Graceful shutdown: exit only once there is nothing
+                    # left to drain anywhere.  Re-checked under the
+                    # condition lock so a push racing with the empty
+                    # ``_next_task`` probe cannot be stranded.
+                    with pool._work_available:
+                        if not pool._has_queued_work():
+                            break
                 else:
                     pool._idle_wait(self)
+        except BaseException as exc:  # noqa: BLE001 — scheduling loop died
+            pool._note_worker_crash(self, exc, task=None)
+            pool._respawn_worker(self)
+            return  # the respawned thread takes over; skip exit bookkeeping
         finally:
             _tls.worker = None
+        pool._note_worker_exit()
 
     def help_join(self, awaited: ForkJoinTask) -> None:
         """Run other tasks until ``awaited`` completes (helping join)."""
         # Fast path: the awaited task may still be unstarted on our own
-        # deque — unfork and run it inline (Java's tryUnfork/exec).
+        # deque — unfork and run it inline (Java's tryUnfork/exec).  Runs
+        # through ``_run_task`` so the execution is counted and traced
+        # like any other, preserving the stats-vs-trace invariant.
+        pool = self.pool
         if self.deque.remove(awaited):
-            awaited.run()
+            self._run_task_contained(awaited)
             return
         while not awaited.is_done():
             task = self._next_task()
             if task is not None:
-                self._run_task(task)
+                # Helping continues even during shutdown_now: this worker
+                # is mid-task and must finish its own subtree; progress is
+                # guaranteed because shutdown_now cancels queued tasks.
+                self._run_task_contained(task)
             else:
+                if pool._stop:
+                    # Teardown observation: nothing is runnable, so the
+                    # awaited task is either executing on another worker
+                    # (it will settle) or was orphaned by a race with the
+                    # shutdown_now drain — settle it as cancelled so this
+                    # join cannot hang the exiting worker.
+                    awaited.cancel()
                 # Nothing runnable anywhere: the awaited task is being
                 # executed by another worker.  Short sleep-wait on it.
-                awaited._done_event.wait(0.0005)
+                awaited._done_event.wait(_HELP_JOIN_WAIT)
 
 
 class ForkJoinPool:
@@ -150,10 +227,17 @@ class ForkJoinPool:
         #: :meth:`stats` or read individual metrics directly.
         self.metrics = MetricsRegistry(name=name)
         self._idle_wakeups = self.metrics.counter("idle_wakeups")
+        self._worker_crashes = self.metrics.counter("worker_crashes")
+        self._tasks_cancelled = self.metrics.counter("tasks_cancelled")
+        self._failfast_cancellations = self.metrics.counter("failfast_cancellations")
         self._external: deque[ForkJoinTask] = deque()
         self._external_lock = threading.Lock()
         self._work_available = threading.Condition()
-        self._shutdown = False
+        self._shutdown = False   # quiescing: reject submits, drain queues
+        self._stop = False       # abrupt: stop after the current task
+        self._terminated = threading.Event()
+        self._live_workers = parallelism
+        self._lifecycle_lock = threading.Lock()
         self._workers = [_Worker(self, i) for i in range(parallelism)]
         for worker in self._workers:
             worker.start()
@@ -161,26 +245,39 @@ class ForkJoinPool:
     # -- submission ------------------------------------------------------- #
 
     def submit(self, task: ForkJoinTask) -> ForkJoinTask:
-        """Enqueue ``task`` for asynchronous execution and return it."""
+        """Enqueue ``task`` for asynchronous execution and return it.
+
+        Raises :class:`~repro.common.RejectedExecutionError` once the pool
+        has been shut down (either mode).
+        """
         if self._shutdown:
-            raise IllegalStateError("pool is shut down")
+            raise RejectedExecutionError(f"pool {self.name!r} is shut down")
         task._pool = self
         self._push_external(task)
         return task
 
-    def invoke(self, task: ForkJoinTask):
+    def invoke(self, task: ForkJoinTask, timeout: float | None = None):
         """Execute ``task`` and return its result.
 
         From a worker of this pool the task runs inline (preserving
         fork/join helping); from an external thread it is submitted and
-        awaited.
+        awaited.  ``timeout`` (seconds) bounds the external wait: on
+        expiry the root task is cancelled if still unstarted and
+        :class:`~repro.common.TaskTimeoutError` is raised.  (A root that
+        already started keeps running in the background — workers are
+        never interrupted mid-task.)  ``timeout`` is ignored for the
+        inline case, where the caller *is* the executing worker.
         """
         worker = current_worker()
         if worker is not None and worker.pool is self:
             task._pool = self
             return task.invoke()
         self.submit(task)
-        return task.join()
+        try:
+            return task.join(timeout=timeout)
+        except TaskTimeoutError:
+            task.cancel()  # unschedule if nothing claimed it yet
+            raise
 
     # -- internals used by workers/tasks ---------------------------------- #
 
@@ -188,6 +285,15 @@ class ForkJoinPool:
         with self._external_lock:
             self._external.append(task)
         self._signal_work()
+        # A push that raced past the submit-time rejection check into an
+        # already-dead pool would otherwise wait forever: settle it.
+        if self._terminated.is_set() or self._stop:
+            if task.cancel():
+                with self._external_lock:
+                    try:
+                        self._external.remove(task)
+                    except ValueError:
+                        pass
 
     def _poll_external(self) -> ForkJoinTask | None:
         with self._external_lock:
@@ -230,7 +336,7 @@ class ForkJoinPool:
         tracer = current_tracer()
         start = time.perf_counter_ns() if tracer.enabled else 0
         with self._work_available:
-            if self._shutdown or self._has_queued_work():
+            if self._shutdown or self._stop or self._has_queued_work():
                 return
             self._work_available.wait(timeout=_IDLE_WAIT_TIMEOUT)
         self._idle_wakeups.inc()
@@ -242,12 +348,73 @@ class ForkJoinPool:
                 end_ns=time.perf_counter_ns(),
             )
 
+    # -- crash containment ------------------------------------------------- #
+
+    def _note_worker_crash(
+        self, worker: "_Worker", exc: BaseException, task: ForkJoinTask | None
+    ) -> None:
+        """Record an exception that escaped the scheduling machinery."""
+        self._worker_crashes.inc()
+        _log.error(
+            "worker %s-%d crashed%s: %r",
+            self.name,
+            worker.index,
+            f" running {type(task).__name__}" if task is not None else "",
+            exc,
+        )
+        try:
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.instant("crash", worker=worker.index, error=type(exc).__name__)
+        except BaseException:  # the tracer itself may be the crasher
+            pass
+
+    def _respawn_worker(self, worker: "_Worker") -> None:
+        """Replace a worker whose scheduling loop died.
+
+        The :class:`_Worker` object (deque, counters, index) is reused on
+        a fresh thread, so queued tasks and stats survive the crash.  No
+        respawn happens during teardown — the exit path handles that.
+        """
+        with self._lifecycle_lock:
+            if self._stop or (self._shutdown and not self._has_pending_work()):
+                self._note_worker_exit_locked()
+                return
+            worker.thread = worker._new_thread()
+            worker.start()
+
+    def _has_pending_work(self) -> bool:
+        if self._external:
+            return True
+        return any(w.deque for w in self._workers)
+
+    def _note_worker_exit(self) -> None:
+        with self._lifecycle_lock:
+            self._note_worker_exit_locked()
+
+    def _note_worker_exit_locked(self) -> None:
+        self._live_workers -= 1
+        if self._live_workers <= 0:
+            self._terminated.set()
+
+    def _note_task_cancelled(self) -> None:
+        self._tasks_cancelled.inc()
+
+    def _note_failfast_cancellation(self) -> None:
+        """One fail-fast trip: a parallel terminal's first failure has
+        cancelled the remaining task tree (wired from repro.streams)."""
+        self._failfast_cancellations.inc()
+
     # -- observability ------------------------------------------------------ #
 
     def stats(self) -> dict:
-        """Counters since pool creation: tasks run and steals, per worker
-        and total — the real-pool mirror of
+        """Counters since pool creation: tasks run, steals, crashes and
+        cancellations, per worker and total — the real-pool mirror of
         :class:`~repro.simcore.machine.SimResult`'s metrics.
+
+        ``tasks_executed`` counts tasks whose computation actually ran;
+        cancelled tasks (claimed by no worker) are excluded, which keeps
+        it in lockstep with the number of ``task`` spans in a traced run.
 
         The whole dict is one consistent cut: all counters are read in a
         single :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` under
@@ -267,17 +434,83 @@ class ForkJoinPool:
             "tasks_executed": sum(row["executed"] for row in per_worker),
             "steals": sum(row["stolen"] for row in per_worker),
             "idle_wakeups": snap["idle_wakeups"],
+            "worker_crashes": snap["worker_crashes"],
+            "tasks_cancelled": snap["tasks_cancelled"],
+            "failfast_cancellations": snap["failfast_cancellations"],
             "per_worker": per_worker,
         }
 
     # -- lifecycle --------------------------------------------------------- #
 
+    def is_shutdown(self) -> bool:
+        """True once either shutdown mode has been initiated."""
+        return self._shutdown
+
+    def is_terminated(self) -> bool:
+        """True once every worker thread has exited."""
+        return self._terminated.is_set()
+
     def shutdown(self) -> None:
-        """Stop workers after their current task; idempotent."""
+        """Graceful shutdown: reject new work, *drain* queued work, stop.
+
+        Every task already submitted or forked keeps its completion
+        guarantee — workers exit only when all queues are empty, so no
+        external ``join()`` is left hanging (the old implementation
+        abandoned queued tasks).  Idempotent; returns after workers exit
+        or a bounded wait elapses (use :meth:`await_termination` for a
+        caller-controlled bound).
+        """
         self._shutdown = True
         self._signal_work()
+        self.await_termination(timeout=2.0, _raise=False)
+
+    def shutdown_now(self) -> list[ForkJoinTask]:
+        """Abrupt shutdown: cancel queued work, stop after current tasks.
+
+        Every submitted-but-unstarted task is completed exceptionally
+        with :class:`~repro.common.CancellationError`, so any thread
+        blocked in its ``join()`` unblocks promptly instead of hanging
+        forever.  Tasks already running finish (workers are never
+        interrupted).  Returns the list of cancelled tasks.
+        """
+        self._shutdown = True
+        self._stop = True
+        self._signal_work()
+        cancelled: list[ForkJoinTask] = []
+        # Drain the external queue and every worker deque, settling each
+        # abandoned task.  steal() is safe against concurrent owners, and
+        # workers re-check _stop before claiming anything new.
+        while True:
+            task = self._poll_external()
+            if task is None:
+                break
+            if task.cancel():
+                cancelled.append(task)
         for worker in self._workers:
-            worker.thread.join(timeout=2.0)
+            while True:
+                task = worker.deque.steal()
+                if task is None:
+                    break
+                if task.cancel():
+                    cancelled.append(task)
+        self._signal_work()
+        self.await_termination(timeout=2.0, _raise=False)
+        return cancelled
+
+    def await_termination(self, timeout: float | None = None, _raise: bool = True) -> bool:
+        """Wait until all workers have exited after a shutdown call.
+
+        Returns True on termination; on expiry raises
+        :class:`~repro.common.TaskTimeoutError` (or returns False when
+        called with ``_raise=False``, the internal best-effort mode).
+        """
+        if self._terminated.wait(timeout):
+            return True
+        if _raise:
+            raise TaskTimeoutError(
+                f"pool {self.name!r} did not terminate within {timeout}s"
+            )
+        return False
 
     def __enter__(self) -> "ForkJoinPool":
         return self
@@ -304,13 +537,36 @@ def common_pool() -> ForkJoinPool:
 
 
 def set_common_pool_parallelism(parallelism: int) -> None:
-    """Configure the common pool's width; only before first use.
+    """Configure the common pool's width; only while no common pool exists.
 
     Mirrors the ``java.util.concurrent.ForkJoinPool.common.parallelism``
-    system property.
+    system property.  After first use, call :func:`shutdown_common_pool`
+    first to retire the live pool, then reconfigure.
     """
     global _common_parallelism
     with _common_lock:
         if _common is not None:
-            raise IllegalStateError("common pool already created")
+            raise IllegalStateError(
+                "common pool already created; shutdown_common_pool() first"
+            )
         _common_parallelism = parallelism
+
+
+def shutdown_common_pool(now: bool = False) -> ForkJoinPool | None:
+    """Retire the process-wide common pool (if one was created).
+
+    Gracefully drains it (or cancels queued work with ``now=True``) and
+    clears the singleton so the next :func:`common_pool` call — or a
+    fresh :func:`set_common_pool_parallelism` — builds a new one.  Exists
+    so tests and benchmarks can reconfigure common-pool width, which used
+    to be impossible after first use.  Returns the retired pool, or None.
+    """
+    global _common
+    with _common_lock:
+        pool, _common = _common, None
+    if pool is not None:
+        if now:
+            pool.shutdown_now()
+        else:
+            pool.shutdown()
+    return pool

@@ -1,20 +1,30 @@
 """``ForkJoinTask`` and its ``RecursiveTask``/``RecursiveAction`` subclasses.
 
-A task passes through three states: NEW → RUNNING → DONE (normally or
-exceptionally).  ``fork()`` schedules the task on the forking worker's own
-deque (or the pool's external queue when called from outside the pool);
-``join()`` waits for completion — and, when the joiner is itself a pool
-worker, *helps* by executing queued tasks rather than blocking, which is
-what makes deeply recursive divide-and-conquer safe on a bounded pool.
+A task passes through three states: NEW → RUNNING → DONE (normally,
+exceptionally, or *cancelled*).  ``fork()`` schedules the task on the
+forking worker's own deque (or the pool's external queue when called from
+outside the pool); ``join()`` waits for completion — and, when the joiner
+is itself a pool worker, *helps* by executing queued tasks rather than
+blocking, which is what makes deeply recursive divide-and-conquer safe on
+a bounded pool.
+
+Cancellation model (see ``docs/robustness.md``): :meth:`ForkJoinTask.cancel`
+moves a still-NEW task straight to DONE with a
+:class:`~repro.common.CancellationError` outcome.  A task that has started
+running is never interrupted — cancel then returns False and the task
+completes normally, exactly like Java's non-interrupting
+``ForkJoinTask.cancel``.  ``shutdown_now`` uses the same mechanism to
+complete abandoned tasks exceptionally so no joiner blocks forever.
 """
 
 from __future__ import annotations
 
 import abc
 import threading
+import time
 from typing import Generic, TypeVar
 
-from repro.common import IllegalStateError
+from repro.common import CancellationError, IllegalStateError, TaskTimeoutError
 
 T = TypeVar("T")
 
@@ -22,11 +32,18 @@ _NEW = 0
 _RUNNING = 1
 _DONE = 2
 
+#: External (non-worker) joins wait in bounded slices so a pool that
+#: terminates without running the task cannot strand the joiner forever.
+_EXTERNAL_JOIN_POLL = 0.05
+
 
 class ForkJoinTask(abc.ABC, Generic[T]):
     """A lightweight task executable by a :class:`~repro.forkjoin.pool.ForkJoinPool`."""
 
-    __slots__ = ("_state", "_state_lock", "_done_event", "_result", "_exception", "_pool")
+    __slots__ = (
+        "_state", "_state_lock", "_done_event", "_result", "_exception",
+        "_cancelled", "_pool",
+    )
 
     def __init__(self) -> None:
         self._state = _NEW
@@ -34,6 +51,7 @@ class ForkJoinTask(abc.ABC, Generic[T]):
         self._done_event = threading.Event()
         self._result: T | None = None
         self._exception: BaseException | None = None
+        self._cancelled = False
         self._pool = None  # set by fork()/pool submission
 
     # -- subclass API ---------------------------------------------------- #
@@ -52,10 +70,16 @@ class ForkJoinTask(abc.ABC, Generic[T]):
             self._state = _RUNNING
             return True
 
-    def run(self) -> None:
-        """Execute the task if not already claimed (idempotent)."""
+    def run(self) -> bool:
+        """Execute the task if not already claimed/cancelled (idempotent).
+
+        Returns True when this call actually performed the computation —
+        the signal the pool uses to count *real* executions, so cancelled
+        tasks never inflate ``stats()["tasks_executed"]`` or emit ``task``
+        spans.
+        """
         if not self._claim():
-            return
+            return False
         try:
             self._result = self.exec()
         except BaseException as exc:  # propagate through join()
@@ -64,10 +88,50 @@ class ForkJoinTask(abc.ABC, Generic[T]):
             with self._state_lock:
                 self._state = _DONE
             self._done_event.set()
+        return True
+
+    def cancel(self) -> bool:
+        """Move a still-unstarted task to the cancelled terminal state.
+
+        Returns True if this call cancelled the task; False when the task
+        has already started (it will complete normally) or is already
+        done.  A cancelled task's ``join()`` raises
+        :class:`~repro.common.CancellationError`.  Running tasks are never
+        interrupted (Java semantics).
+        """
+        return self.complete_exceptionally(
+            CancellationError(f"{type(self).__name__} was cancelled"),
+            _cancelled=True,
+        )
+
+    def complete_exceptionally(
+        self, exception: BaseException, _cancelled: bool = False
+    ) -> bool:
+        """Force a still-NEW task to complete with ``exception``.
+
+        Used by :meth:`ForkJoinPool.shutdown_now` to settle abandoned
+        queued tasks so their joiners unblock promptly.  Returns False if
+        the task already started or finished.
+        """
+        with self._state_lock:
+            if self._state != _NEW:
+                return False
+            self._state = _DONE
+            self._exception = exception
+            self._cancelled = _cancelled
+        self._done_event.set()
+        pool = self._pool
+        if _cancelled and pool is not None:
+            pool._note_task_cancelled()
+        return True
 
     def is_done(self) -> bool:
         """True once the task has completed (normally or exceptionally)."""
         return self._done_event.is_set()
+
+    def is_cancelled(self) -> bool:
+        """True if the task completed via :meth:`cancel` / abandonment."""
+        return self._cancelled
 
     def fork(self) -> "ForkJoinTask[T]":
         """Schedule this task for asynchronous execution.
@@ -90,10 +154,15 @@ class ForkJoinTask(abc.ABC, Generic[T]):
             )
         return self
 
-    def join(self) -> T:
+    def join(self, timeout: float | None = None) -> T:
         """Wait for completion, helping with other tasks when possible.
 
-        Returns the computed result, or re-raises the task's exception.
+        Returns the computed result, re-raises the task's exception, or
+        raises :class:`~repro.common.CancellationError` if the task was
+        cancelled.  From outside the pool, ``timeout`` (seconds) bounds
+        the wait and raises :class:`~repro.common.TaskTimeoutError` on
+        expiry; inside a worker the helping loop ignores ``timeout``
+        (helping cannot be abandoned midway without orphaning subtasks).
         """
         from repro.forkjoin.pool import current_worker
 
@@ -101,8 +170,40 @@ class ForkJoinTask(abc.ABC, Generic[T]):
         if worker is not None:
             worker.help_join(self)
         else:
-            self._done_event.wait()
+            self._external_wait(timeout)
         return self._report()
+
+    def _external_wait(self, timeout: float | None) -> None:
+        """Block an external thread until done, observing pool death.
+
+        Waits in bounded slices: if the owning pool terminates while this
+        task is still NEW (it can never run), the task is completed
+        exceptionally here instead of hanging the joiner forever — the
+        fix for the old unbounded ``_done_event.wait()``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if deadline is None:
+                wait_slice = _EXTERNAL_JOIN_POLL
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TaskTimeoutError(
+                        f"join() timed out after {timeout:.3f}s on "
+                        f"{type(self).__name__}"
+                    )
+                wait_slice = min(_EXTERNAL_JOIN_POLL, remaining)
+            if self._done_event.wait(wait_slice):
+                return
+            pool = self._pool
+            if pool is not None and pool.is_terminated() and not self.is_done():
+                self.complete_exceptionally(
+                    CancellationError(
+                        "pool terminated before this task could run"
+                    ),
+                    _cancelled=True,
+                )
+                return
 
     def invoke(self) -> T:
         """Run the task in the calling thread and return its result."""

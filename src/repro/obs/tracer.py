@@ -32,8 +32,13 @@ from repro.common import check_positive
 #: Span kinds emitted by the built-in instrumentation sites.  ``split`` /
 #: ``leaf`` / ``combine`` mirror the simulator's strand kinds; ``task`` /
 #: ``steal`` / ``idle`` are scheduler-level; ``function`` wraps one whole
-#: PowerList-function execution.
-SPAN_KINDS = ("split", "leaf", "combine", "task", "steal", "idle", "function")
+#: PowerList-function execution; ``cancel`` marks a fail-fast trip (first
+#: failure cancelling a terminal's task tree) and ``crash`` an exception
+#: that escaped the scheduling machinery (both zero-duration instants).
+SPAN_KINDS = (
+    "split", "leaf", "combine", "task", "steal", "idle", "function",
+    "cancel", "crash",
+)
 
 #: Worker id used for events emitted from threads outside the pool.
 EXTERNAL_WORKER = -1

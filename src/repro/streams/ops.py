@@ -638,13 +638,16 @@ def copy_into_chunked(
     """Drain ``spliterator`` into ``sink`` chunk-at-a-time.
 
     Each ``next_chunk`` sublist crosses the fused chain in O(stages) Python
-    calls; correctness requires a non-short-circuiting pipeline (no
-    cancellation polling happens between chunks).
+    calls; correctness requires a non-short-circuiting pipeline (the only
+    cancellation polling is one ``cancellation_requested`` call per chunk,
+    which lets a fork/join leaf abort promptly when a sibling leaf has
+    failed — see the fail-fast contract in ``repro.streams.parallel``).
     """
     sink.begin(spliterator.get_exact_size_if_known())
     next_chunk = spliterator.next_chunk
     accept_chunk = sink.accept_chunk
-    while True:
+    cancelled = sink.cancellation_requested
+    while not cancelled():
         chunk = next_chunk(max_chunk)
         if chunk is None or len(chunk) == 0:
             break

@@ -10,6 +10,15 @@ chain into the ``accumulator``, and the interior nodes merge containers
 with the ``combiner`` in encounter order — prefix (the spliterator returned
 by ``try_split``) first.
 
+Fail-fast error propagation (``docs/robustness.md``): every terminal runs
+its task tree under one :class:`_TerminalContext`.  The first exception
+raised by any leaf or combiner is recorded there and trips a shared cancel
+event — sibling subtrees stop splitting, skip their leaves, forked-but-
+unclaimed tasks are cancelled so workers never claim them, and in-flight
+collect leaves abort at the next chunk boundary.  The root then re-raises
+the *original* exception to the caller, instead of burning the remaining
+2^k-element workload first.
+
 Only *stateless* ops reach these functions; :mod:`repro.streams.stream`
 segments pipelines at stateful operations first.
 """
@@ -20,6 +29,7 @@ import threading
 import time
 from typing import Any, Callable, TypeVar
 
+from repro.common import CancellationError
 from repro.forkjoin.pool import ForkJoinPool, current_worker
 from repro.forkjoin.task import RecursiveTask
 from repro.obs.tracer import EXTERNAL_WORKER, current_tracer
@@ -56,15 +66,63 @@ def compute_target_size(size: int, parallelism: int) -> int:
     return max(size // (parallelism * LEAF_FACTOR), 1)
 
 
+class _TerminalContext:
+    """Shared cancellation state for one parallel terminal's task tree.
+
+    Carries two distinct stop signals:
+
+    * :attr:`cancel` — the *success* short-circuit used by match/find
+      ("the answer is known, stop traversing"); leaves still run, but
+      their sinks refuse elements immediately.
+    * :attr:`failure` — the *error* short-circuit: the first exception
+      recorded by :meth:`fail` wins, trips :attr:`cancel` too (stopping
+      in-flight polled leaves), and makes every still-unsplit subtree
+      return without touching its data.
+
+    ``is_set`` is provided so the context itself can serve as the cancel
+    token of an :class:`~repro.streams.ops.AccumulatorSink`, aborting
+    in-flight chunked leaves at the next chunk boundary.
+    """
+
+    __slots__ = ("cancel", "failure", "_lock", "pool")
+
+    def __init__(self, pool: ForkJoinPool | None = None) -> None:
+        self.cancel = threading.Event()
+        self.failure: BaseException | None = None
+        self._lock = threading.Lock()
+        self.pool = pool
+
+    def fail(self, exc: BaseException) -> None:
+        """Record the first failure and cancel the remaining tree."""
+        with self._lock:
+            if self.failure is not None:
+                return
+            self.failure = exc
+        self.cancel.set()
+        if self.pool is not None:
+            self.pool._note_failfast_cancellation()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "cancel", worker=_worker_id(), error=type(exc).__name__
+            )
+
+    def is_set(self) -> bool:
+        """Event-protocol view used by leaf sinks: stop on failure."""
+        return self.failure is not None
+
+
 class _ReduceTask(RecursiveTask):
     """Generic ordered divide-and-conquer over a spliterator.
 
     Parameterized by a ``leaf`` function (spliterator → partial result) and
     a ``merge`` function (prefix result, suffix result → result), it
-    expresses every parallel terminal operation in this module.
+    expresses every parallel terminal operation in this module.  All tasks
+    of one terminal share a :class:`_TerminalContext` for fail-fast and
+    short-circuit cancellation.
     """
 
-    __slots__ = ("spliterator", "target_size", "leaf", "merge", "cancel")
+    __slots__ = ("spliterator", "target_size", "leaf", "merge", "ctx")
 
     def __init__(
         self,
@@ -72,22 +130,30 @@ class _ReduceTask(RecursiveTask):
         target_size: int,
         leaf: Callable[[Spliterator], Any],
         merge: Callable[[Any, Any], Any],
-        cancel: threading.Event | None = None,
+        ctx: _TerminalContext,
     ) -> None:
         super().__init__()
         self.spliterator = spliterator
         self.target_size = target_size
         self.leaf = leaf
         self.merge = merge
-        self.cancel = cancel
+        self.ctx = ctx
 
     def compute(self) -> Any:
         # The tracer is fetched once per task; with tracing disabled each
         # event site below costs one ``enabled`` attribute check.
+        ctx = self.ctx
         tracer = current_tracer()
         spliterator = self.spliterator
         while True:
-            if self.cancel is not None and self.cancel.is_set():
+            if ctx.failure is not None:
+                # A sibling already failed: skip this whole subtree.  The
+                # value is irrelevant — the root re-raises the failure.
+                return None
+            if ctx.cancel.is_set():
+                # Success short-circuit (match/find): stop splitting; the
+                # leaf's sink refuses elements, so this returns instantly
+                # with the terminal's identity result.
                 return self._leaf(spliterator, tracer)
             size = spliterator.estimate_size()
             if size <= self.target_size:
@@ -106,17 +172,29 @@ class _ReduceTask(RecursiveTask):
                 prefix = spliterator.try_split()
             if prefix is None:
                 return self._leaf(spliterator, tracer)
-            left = _ReduceTask(
-                prefix, self.target_size, self.leaf, self.merge, self.cancel
-            )
+            left = _ReduceTask(prefix, self.target_size, self.leaf, self.merge, ctx)
             left.fork()
-            right_result = _ReduceTask(
-                spliterator, self.target_size, self.leaf, self.merge, self.cancel
-            ).compute()
-            left_result = left.join()
+            try:
+                right_result = _ReduceTask(
+                    spliterator, self.target_size, self.leaf, self.merge, ctx
+                ).compute()
+            except BaseException as exc:
+                ctx.fail(exc)
+                # The forked sibling would otherwise run to completion on
+                # another worker; cancelling it here lets an unclaimed
+                # task die on the deque without ever being executed.
+                left.cancel()
+                raise
+            try:
+                left_result = left.join()
+            except BaseException as exc:
+                ctx.fail(exc)
+                raise
+            if ctx.failure is not None:
+                return None  # partials are garbage once the tree failed
             if tracer.enabled:
                 start = time.perf_counter_ns()
-                result = self.merge(left_result, right_result)
+                result = self._merge(left_result, right_result)
                 tracer.emit(
                     "combine",
                     worker=_worker_id(),
@@ -125,22 +203,50 @@ class _ReduceTask(RecursiveTask):
                     size=size,
                 )
                 return result
+            return self._merge(left_result, right_result)
+
+    def _merge(self, left_result: Any, right_result: Any) -> Any:
+        try:
             return self.merge(left_result, right_result)
+        except BaseException as exc:  # combiner failure is fail-fast too
+            self.ctx.fail(exc)
+            raise
 
     def _leaf(self, spliterator: Spliterator, tracer) -> Any:
-        if not tracer.enabled:
-            return self.leaf(spliterator)
-        size = spliterator.estimate_size()
-        start = time.perf_counter_ns()
-        result = self.leaf(spliterator)
-        tracer.emit(
-            "leaf",
-            worker=_worker_id(),
-            start_ns=start,
-            end_ns=time.perf_counter_ns(),
-            size=size,
-        )
-        return result
+        try:
+            if not tracer.enabled:
+                return self.leaf(spliterator)
+            size = spliterator.estimate_size()
+            start = time.perf_counter_ns()
+            result = self.leaf(spliterator)
+            tracer.emit(
+                "leaf",
+                worker=_worker_id(),
+                start_ns=start,
+                end_ns=time.perf_counter_ns(),
+                size=size,
+            )
+            return result
+        except BaseException as exc:
+            self.ctx.fail(exc)
+            raise
+
+
+def _invoke_fail_fast(pool: ForkJoinPool, root: _ReduceTask, ctx: _TerminalContext):
+    """Run ``root`` on ``pool``, guaranteeing the *original* failure wins.
+
+    Once a leaf has failed, sibling tasks may settle as cancelled; which
+    exception reaches the root first is a race.  This entry point pins the
+    contract: the caller always sees the first recorded failure, never a
+    secondary :class:`CancellationError`.
+    """
+    try:
+        return pool.invoke(root)
+    except BaseException as exc:
+        original = ctx.failure
+        if original is not None and exc is not original:
+            raise original from None
+        raise
 
 
 def parallel_collect(
@@ -154,7 +260,8 @@ def parallel_collect(
 
     This is the paper's template method: the supplier creates the leaves of
     the divide-and-conquer tree, the accumulator fills them, the combiner
-    computes interior nodes.
+    computes interior nodes.  Runs fail-fast: the first leaf or combiner
+    exception cancels the remaining tree and re-raises promptly.
     """
     supplier = collector.supplier()
     accumulate = collector.accumulator()
@@ -163,17 +270,22 @@ def parallel_collect(
     finish = collector.finisher()
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
+    ctx = _TerminalContext(pool)
 
     def leaf(leaf_spliterator: Spliterator) -> Any:
         # Each fork/join leaf traverses its sub-spliterator through the
         # shared entry point, so the chunked fast path engages per leaf:
-        # O(stages) Python calls instead of O(elements × stages).
-        sink = AccumulatorSink(supplier(), accumulate, accumulate_chunk)
+        # O(stages) Python calls instead of O(elements × stages).  The
+        # context rides along as the sink's cancel token, so an in-flight
+        # leaf aborts at the next chunk boundary once a sibling fails.
+        sink = AccumulatorSink(supplier(), accumulate, accumulate_chunk, cancel=ctx)
         run_pipeline(leaf_spliterator, ops, sink)
+        if ctx.failure is not None:
+            raise CancellationError("leaf aborted by sibling failure")
         return sink.container
 
-    root = _ReduceTask(spliterator, target_size, leaf, combine)
-    return finish(pool.invoke(root))
+    root = _ReduceTask(spliterator, target_size, leaf, combine, ctx)
+    return finish(_invoke_fail_fast(pool, root, ctx))
 
 
 def parallel_reduce(
@@ -192,6 +304,7 @@ def parallel_reduce(
     """
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
+    ctx = _TerminalContext(pool)
 
     def leaf(leaf_spliterator: Spliterator) -> ReducingSink:
         return run_pipeline(
@@ -206,7 +319,9 @@ def parallel_reduce(
         a.value = op(a.value, b.value)
         return a
 
-    result = pool.invoke(_ReduceTask(spliterator, target_size, leaf, merge))
+    result = _invoke_fail_fast(
+        pool, _ReduceTask(spliterator, target_size, leaf, merge, ctx), ctx
+    )
     if has_identity:
         return result.value
     return Optional.of(result.value) if result.seen else Optional.empty()
@@ -222,6 +337,7 @@ def parallel_for_each(
     """Parallel ``for_each`` (unordered, like Java's)."""
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
+    ctx = _TerminalContext(pool)
 
     def leaf(leaf_spliterator: Spliterator) -> None:
         class _ForEach(Sink):
@@ -230,7 +346,11 @@ def parallel_for_each(
 
         run_pipeline(leaf_spliterator, ops, _ForEach())
 
-    pool.invoke(_ReduceTask(spliterator, target_size, leaf, lambda a, b: None))
+    _invoke_fail_fast(
+        pool,
+        _ReduceTask(spliterator, target_size, leaf, lambda a, b: None, ctx),
+        ctx,
+    )
 
 
 def parallel_match(
@@ -250,7 +370,8 @@ def parallel_match(
         raise ValueError(f"unknown match kind: {kind}")
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
-    cancel = threading.Event()
+    ctx = _TerminalContext(pool)
+    cancel = ctx.cancel
     # For "any": looking for an element satisfying predicate → result True.
     # For "all": looking for a counterexample (not predicate) → result False.
     # For "none": looking for a witness (predicate) → result False.
@@ -276,8 +397,10 @@ def parallel_match(
         copy_into(leaf_spliterator, wrap_ops(ops, _MatchSink()), True)
         return found[0]
 
-    triggered = pool.invoke(
-        _ReduceTask(spliterator, target_size, leaf, lambda a, b: a or b, cancel)
+    triggered = _invoke_fail_fast(
+        pool,
+        _ReduceTask(spliterator, target_size, leaf, lambda a, b: a or b, ctx),
+        ctx,
     )
     return triggered if kind == "any" else not triggered
 
@@ -297,7 +420,10 @@ def parallel_find(
     """
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
-    cancel = threading.Event() if not first else None
+    ctx = _TerminalContext(pool)
+    # find_first must not globally cancel on a hit (a leftmost element may
+    # still be discovered later); its leaves stop only on their own hit.
+    cancel = ctx.cancel if not first else None
 
     def leaf(leaf_spliterator: Spliterator) -> Optional:
         result: list = []
@@ -318,4 +444,6 @@ def parallel_find(
     def merge(a: Optional, b: Optional) -> Optional:
         return a if a.is_present() else b
 
-    return pool.invoke(_ReduceTask(spliterator, target_size, leaf, merge, cancel))
+    return _invoke_fail_fast(
+        pool, _ReduceTask(spliterator, target_size, leaf, merge, ctx), ctx
+    )

@@ -13,6 +13,13 @@ evaluated in parallel *segments*: the stateless prefix runs as a parallel
 mutable reduction into a buffer, the stateful op is applied as a barrier,
 and evaluation resumes on the buffered data — the same semantic barriers
 the JDK inserts.
+
+Every parallel terminal (``collect``, ``reduce``, ``for_each``, the match
+family, the find family) is *fail-fast*: the first exception raised by any
+leaf or combiner cancels the remaining fork/join task tree and re-raises
+the original exception to the caller promptly, instead of letting sibling
+subtrees burn through the rest of the workload first.  See
+``docs/robustness.md`` for the cancellation model.
 """
 
 from __future__ import annotations
@@ -305,6 +312,8 @@ class Stream:
         Accepts either a :class:`Collector` or the raw
         ``(supplier, accumulator, combiner)`` triple.  The combiner is
         exercised only on parallel execution, per the Java contract.
+        Parallel collects are fail-fast: one poisoned element cancels the
+        remaining task tree instead of completing every sibling leaf.
         """
         if isinstance(collector_or_supplier, Collector):
             collector = collector_or_supplier

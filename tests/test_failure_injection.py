@@ -7,12 +7,21 @@ trustworthy in production.
 """
 
 import math
+import random
+import threading
+import time
 
 import pytest
 
-from repro.common import IllegalStateError, NotPowerOfTwoError
+from repro.common import (
+    CancellationError,
+    IllegalStateError,
+    NotPowerOfTwoError,
+    RejectedExecutionError,
+    TaskTimeoutError,
+)
 from repro.core import IdentityCollector, PowerReduceCollector, power_collect
-from repro.forkjoin import ForkJoinPool
+from repro.forkjoin import ForkJoinPool, RecursiveAction, RecursiveTask
 from repro.streams import Collector, Collectors, Stream, stream_of
 from repro.streams.spliterator import Characteristics, Spliterator
 from repro.streams.stream_support import StreamSupport
@@ -234,3 +243,229 @@ class TestStress:
         seen = []
         make().for_each(seen.append)
         assert seen == []
+
+
+class _Sleep(RecursiveTask):
+    """Leaf that sleeps, then returns a marker value."""
+
+    def __init__(self, seconds, value=None):
+        super().__init__()
+        self.seconds = seconds
+        self.value = value
+        self.started = threading.Event()
+
+    def compute(self):
+        self.started.set()
+        time.sleep(self.seconds)
+        return self.value
+
+
+class TestFailFastCancellation:
+    """The first leaf failure must cancel the rest of the terminal's task
+    tree — not merely propagate after every leaf has run."""
+
+    def test_poisoned_collect_skips_most_of_the_tree(self):
+        n = 1 << 20
+        target = 2048
+        leaves = n // target  # 512
+        # Seeded position, constrained to the rightmost leaf: the invoking
+        # worker computes the right spine inline, so that leaf is
+        # deterministically among the first scheduled.  Leaves that happen
+        # to complete *before* the first failure are sunk cost no
+        # cancellation mechanism can reclaim, so an unconstrained random
+        # position would make this assertion depend on scheduling luck.
+        poison = random.Random(2026).randrange(n - target, n)
+
+        def f(x):
+            if x == poison:
+                raise ZeroDivisionError("poison")
+            return x * 2
+
+        with ForkJoinPool(parallelism=8, name="failfast") as p:
+            with pytest.raises(ZeroDivisionError):
+                (
+                    Stream.range(0, n)
+                    .parallel()
+                    .with_pool(p)
+                    .with_target_size(target)
+                    .map(f)
+                    .to_list()
+                )
+            stats = p.stats()
+        # Without fail-fast every one of the 512 leaves executes; with it
+        # the cancelled subtrees never run at all.
+        assert stats["tasks_executed"] < leaves // 4
+        assert stats["failfast_cancellations"] >= 1
+        assert stats["tasks_cancelled"] > 0
+
+    def test_original_exception_wins_over_cancellation(self, pool):
+        class Poison(Exception):
+            pass
+
+        def f(x):
+            if x == 4321:
+                raise Poison("first failure")
+            return x
+
+        # The caller must see the leaf's own exception, never the
+        # CancellationError injected into sibling subtrees.
+        with pytest.raises(Poison):
+            Stream.range(0, 1 << 16).parallel().with_pool(pool).map(f).to_list()
+
+    def test_for_each_fails_fast(self, pool):
+        def f(x):
+            if x == 9999:
+                raise LookupError("fe")
+
+        with pytest.raises(LookupError):
+            Stream.range(0, 1 << 15).parallel().with_pool(pool).for_each(f)
+
+    def test_match_predicate_exception_fails_fast(self, pool):
+        def pred(x):
+            if x == 5000:
+                raise TypeError("pred")
+            return False
+
+        with pytest.raises(TypeError):
+            Stream.range(0, 1 << 15).parallel().with_pool(pool).any_match(pred)
+
+    def test_reduce_op_exception_fails_fast(self, pool):
+        def op(a, b):
+            raise ArithmeticError("op")
+
+        with pytest.raises(ArithmeticError):
+            Stream.range(0, 1 << 15).parallel().with_pool(pool).reduce(op)
+
+    def test_power_collect_counts_cancellation(self):
+        with ForkJoinPool(parallelism=4, name="pc-ff") as p:
+            with pytest.raises(ArithmeticError):
+                power_collect(
+                    PowerReduceCollector(
+                        lambda a, b: (_ for _ in ()).throw(ArithmeticError("op"))
+                    ),
+                    list(range(1 << 12)),
+                    pool=p,
+                )
+            assert p.stats()["failfast_cancellations"] >= 1
+
+
+class TestTaskCancellation:
+    def test_cancel_unstarted_task(self):
+        t = _Sleep(0)
+        assert t.cancel()
+        assert t.is_cancelled()
+        assert t.is_done()
+        with pytest.raises(CancellationError):
+            t.join()
+
+    def test_cancel_is_idempotent_and_loses_to_completion(self):
+        t = _Sleep(0, value=7)
+        t.run()
+        assert not t.cancel()
+        assert not t.is_cancelled()
+        assert t.join() == 7
+
+    def test_cancelled_task_never_computes(self):
+        ran = []
+
+        class Probe(RecursiveAction):
+            def compute(self):
+                ran.append(1)
+
+        t = Probe()
+        t.cancel()
+        assert t.run() is False
+        assert ran == []
+
+    def test_cancelled_tasks_do_not_count_as_executed(self):
+        with ForkJoinPool(parallelism=2, name="cancel-stats") as p:
+            p.invoke(_Sleep(0, value=1))
+            executed = p.stats()["tasks_executed"]
+            t = _Sleep(0)
+            t._pool = p
+            t.cancel()
+            stats = p.stats()
+        assert stats["tasks_executed"] == executed
+        assert stats["tasks_cancelled"] >= 1
+
+
+class TestPoolLifecycle:
+    def test_graceful_shutdown_drains_queued_work(self):
+        p = ForkJoinPool(parallelism=2, name="drain")
+        tasks = [p.submit(_Sleep(0.005, value=i)) for i in range(20)]
+        p.shutdown()
+        # Every task submitted before shutdown keeps its completion
+        # guarantee: all joins return results, none hangs, none cancels.
+        assert [t.join(timeout=2.0) for t in tasks] == list(range(20))
+        assert p.is_shutdown()
+        assert p.await_termination(timeout=2.0)
+        assert p.is_terminated()
+
+    def test_submit_after_shutdown_rejected(self):
+        p = ForkJoinPool(parallelism=1, name="rej")
+        p.shutdown()
+        with pytest.raises(RejectedExecutionError):
+            p.submit(_Sleep(0))
+        # Backwards compatible: RejectedExecutionError is an IllegalStateError.
+        assert issubclass(RejectedExecutionError, IllegalStateError)
+
+    def test_shutdown_now_unblocks_every_joiner(self):
+        p = ForkJoinPool(parallelism=1, name="abrupt")
+        blocker = p.submit(_Sleep(0.2, value="done"))
+        assert blocker.started.wait(timeout=2.0)  # worker is now occupied
+        queued = [p.submit(_Sleep(10.0)) for _ in range(10)]
+        start = time.monotonic()
+        cancelled = p.shutdown_now()
+        for t in queued:
+            with pytest.raises(CancellationError):
+                t.join(timeout=2.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 2.0
+        assert len(cancelled) == len(queued)
+        # The task that was already running is never interrupted.
+        assert blocker.join(timeout=2.0) == "done"
+        assert p.await_termination(timeout=2.0)
+        assert p.stats()["tasks_cancelled"] >= len(queued)
+
+    def test_await_termination_times_out_on_live_pool(self):
+        with ForkJoinPool(parallelism=1, name="alive") as p:
+            with pytest.raises(TaskTimeoutError):
+                p.await_termination(timeout=0.05)
+
+    def test_invoke_timeout(self):
+        with ForkJoinPool(parallelism=1, name="slow") as p:
+            with pytest.raises(TaskTimeoutError):
+                p.invoke(_Sleep(0.5, value="late"), timeout=0.05)
+
+    def test_external_join_timeout(self):
+        with ForkJoinPool(parallelism=1, name="jt") as p:
+            t = p.submit(_Sleep(0.5, value="late"))
+            with pytest.raises(TaskTimeoutError):
+                t.join(timeout=0.05)
+            # The deadline does not poison the task: a patient join works.
+            assert t.join(timeout=2.0) == "late"
+
+    def test_worker_crash_is_contained_and_worker_respawns(self):
+        p = ForkJoinPool(parallelism=2, name="crashy")
+        try:
+            original = p._steal_for
+            tripped = threading.Event()
+
+            def sabotage(thief):
+                if not tripped.is_set():
+                    tripped.set()
+                    raise RuntimeError("injected scheduler crash")
+                return original(thief)
+
+            p._steal_for = sabotage
+            assert tripped.wait(timeout=2.0)  # an idle worker hit the bomb
+            # The pool still computes correctly with its full width.
+            out = (
+                Stream.range(0, 10_000).parallel().with_pool(p).map(lambda x: x + 1).sum()
+            )
+            assert out == sum(range(1, 10_001))
+            stats = p.stats()
+            assert stats["worker_crashes"] == 1
+        finally:
+            p.shutdown()
+        assert p.is_terminated()

@@ -39,6 +39,45 @@ class TestCurrentWorker:
         with pytest.raises(IllegalStateError):
             set_common_pool_parallelism(2)
 
+    def test_common_pool_reconfigurable_after_shutdown(self):
+        from repro.forkjoin import (
+            common_pool,
+            set_common_pool_parallelism,
+            shutdown_common_pool,
+        )
+
+        first = common_pool()
+        retired = shutdown_common_pool()
+        assert retired is first
+        assert retired.is_terminated()
+        # With the singleton retired, reconfiguration is legal again and
+        # the next common_pool() call builds a fresh pool at the new width.
+        set_common_pool_parallelism(2)
+        fresh = common_pool()
+        try:
+            assert fresh is not first
+            assert fresh.parallelism == 2
+
+            class Sum(RecursiveTask):
+                def compute(self):
+                    return 21 + 21
+
+            assert fresh.invoke(Sum()) == 42
+        finally:
+            # Retire the narrow pool and restore the default width so later
+            # tests see a pristine common-pool configuration.
+            shutdown_common_pool()
+            import repro.forkjoin.pool as fjp
+
+            with fjp._common_lock:
+                fjp._common_parallelism = None
+
+    def test_shutdown_common_pool_without_pool_is_noop(self):
+        from repro.forkjoin import shutdown_common_pool
+
+        shutdown_common_pool()  # retire whatever earlier tests created
+        assert shutdown_common_pool() is None
+
 
 class TestComputeTargetSize:
     def test_java_rule(self):

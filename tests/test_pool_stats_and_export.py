@@ -78,6 +78,55 @@ class TestStatsTraceAgreement:
             assert events.get("task", 0) == row["executed"]
             assert events.get("steal", 0) == row["stolen"]
 
+    def test_unfork_fast_path_keeps_invariant(self):
+        """A single worker joins every forked child by popping it back off
+        its own deque (the unfork fast path in ``help_join``); those runs
+        must be counted and traced exactly like stolen ones."""
+        from repro.forkjoin import RecursiveTask
+        from repro.obs import trace_snapshot, tracing
+
+        class Fib(RecursiveTask):
+            def __init__(self, n):
+                super().__init__()
+                self.n = n
+
+            def compute(self):
+                if self.n < 2:
+                    return self.n
+                a = Fib(self.n - 1)
+                a.fork()
+                return Fib(self.n - 2).compute() + a.join()
+
+        with ForkJoinPool(parallelism=1, name="unfork") as pool:
+            with tracing() as tracer:
+                assert pool.invoke(Fib(12)) == 144
+            stats = pool.stats()
+        counts = trace_snapshot(tracer.spans())["counts"]
+        assert stats["tasks_executed"] == counts.get("task", 0)
+
+    def test_invariant_survives_fail_fast_cancellation(self):
+        """Cancelled tasks must inflate neither ``tasks_executed`` nor the
+        ``task`` span count — the invariant holds even for aborted runs."""
+        from repro.obs import trace_snapshot, tracing
+
+        def poison(x):
+            if x >= (1 << 18) - 64:
+                raise ZeroDivisionError
+            return x
+
+        with ForkJoinPool(parallelism=4, name="agree-cancel") as pool:
+            with tracing() as tracer:
+                with pytest.raises(ZeroDivisionError):
+                    Stream.range(0, 1 << 18).parallel().with_pool(pool).map(
+                        poison
+                    ).to_list()
+            stats = pool.stats()
+        per_worker = trace_snapshot(tracer.spans())["per_worker"]
+        for row in stats["per_worker"]:
+            events = per_worker.get(row["worker"], {})
+            assert events.get("task", 0) == row["executed"]
+        assert stats["tasks_cancelled"] > 0
+
     def test_stats_snapshot_is_consistent_under_load(self):
         """Totals always equal the per-worker sums, even while workers
         are actively mutating the counters (the old implementation could
