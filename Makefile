@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke figures examples clean
+.PHONY: install test chaos bench bench-smoke figures examples clean
 
 install:
 	pip install -e .[test] || pip install -e . --no-build-isolation
@@ -12,6 +12,11 @@ test:
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+	    tests/test_faults.py tests/test_failure_injection.py -q \
+	    --faulthandler-timeout=300
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -99,6 +99,13 @@ class PolynomialValue(PowerCollector[float, _PolyContainer, float]):
         self.x = x
         self.x_degree = 1  # shared descending-phase state
 
+    def reset(self) -> None:
+        # Splits publish max x_degree into this object; a retry or a
+        # sequential fallback after a faulted run must not inherit the
+        # exponent of the aborted decomposition.
+        with self._state_lock:
+            self.x_degree = 1
+
     def specialized_spliterator(self, data: Sequence[float]) -> SpliteratorPower2:
         return PZipSpliterator(
             data, 0, len(data), 1, function_object=self, x_degree=self.x_degree
@@ -145,14 +152,23 @@ def polynomial_value(
     parallel: bool = True,
     pool: ForkJoinPool | None = None,
     target_size: int | None = None,
+    *,
+    retry=None,
+    fallback: bool = False,
+    deadline=None,
 ) -> float:
     """Evaluate the polynomial with the stream adaptation.
 
     This is the paper's execution snippet: create a ``PolynomialValue``,
     derive its ``PZipSpliterator`` over the coefficients, build the
-    (parallel) stream and ``collect`` with the same object.
+    (parallel) stream and ``collect`` with the same object.  The
+    keyword-only resilience knobs pass straight through to
+    :func:`~repro.core.power_collector.power_collect`.
     """
     from repro.core.power_collector import power_collect
 
     pv = PolynomialValue(x)
-    return power_collect(pv, coeffs, parallel, pool, target_size)
+    return power_collect(
+        pv, coeffs, parallel, pool, target_size,
+        retry=retry, fallback=fallback, deadline=deadline,
+    )

@@ -97,6 +97,16 @@ class PowerCollector(Collector[T, A, R], Generic[T, A, R]):
     def characteristics(self) -> CollectorCharacteristics:
         return CollectorCharacteristics.IDENTITY_FINISH
 
+    def reset(self) -> None:
+        """Rewind descending-phase state before a re-execution.
+
+        :func:`power_collect` calls this before every retry attempt and
+        before a sequential fallback run, so a collector whose splits
+        mutate shared function-object state (e.g. ``PolynomialValue``'s
+        published ``x_degree``) starts each execution pristine.  The base
+        implementation is a no-op; stateful collectors override it.
+        """
+
 
 def power_stream(
     collector: PowerCollector,
@@ -121,26 +131,18 @@ def power_stream(
     return stream
 
 
-def power_collect(
+def _collect_once(
     collector: PowerCollector,
     data: Sequence,
-    parallel: bool = True,
-    pool: ForkJoinPool | None = None,
-    target_size: int | None = None,
+    parallel: bool,
+    pool: ForkJoinPool | None,
+    target_size: int | None,
+    deadline=None,
 ):
-    """Execute a PowerList function over ``data`` via ``collect``.
-
-    The full pipeline of the paper: specialized spliterator → parallel
-    stream → ``collect(collector)``.  With tracing enabled
-    (:func:`repro.obs.tracing`), the whole execution is recorded as one
-    ``function`` span named after the collector class, enclosing the
-    split/leaf/combine spans of its decomposition.  Parallel execution is
-    fail-fast (see ``docs/robustness.md``): the first leaf or combiner
-    exception cancels the remaining task tree and re-raises promptly, and
-    the ``function`` span is still emitted — tagged with the error type —
-    so aborted runs show up in traces instead of vanishing.
-    """
+    """One execution of the collect pipeline, wrapped in a ``function`` span."""
     stream = power_stream(collector, data, parallel, pool, target_size)
+    if deadline is not None:
+        stream = stream.with_deadline(deadline)
     tracer = current_tracer()
     if not tracer.enabled:
         return stream.collect(collector)
@@ -162,3 +164,61 @@ def power_collect(
             parallel=parallel,
             **extra,
         )
+
+
+def power_collect(
+    collector: PowerCollector,
+    data: Sequence,
+    parallel: bool = True,
+    pool: ForkJoinPool | None = None,
+    target_size: int | None = None,
+    *,
+    retry=None,
+    fallback: bool = False,
+    deadline=None,
+):
+    """Execute a PowerList function over ``data`` via ``collect``.
+
+    The full pipeline of the paper: specialized spliterator → parallel
+    stream → ``collect(collector)``.  With tracing enabled
+    (:func:`repro.obs.tracing`), the whole execution is recorded as one
+    ``function`` span named after the collector class, enclosing the
+    split/leaf/combine spans of its decomposition.  Parallel execution is
+    fail-fast (see ``docs/robustness.md``): the first leaf or combiner
+    exception cancels the remaining task tree and re-raises promptly, and
+    the ``function`` span is still emitted — tagged with the error type —
+    so aborted runs show up in traces instead of vanishing.
+
+    Resilience (``docs/robustness.md``): ``retry`` takes a
+    :class:`repro.faults.policy.RetryPolicy` to re-run a failed parallel
+    execution; ``deadline`` (a :class:`~repro.faults.policy.Deadline` or a
+    float budget in seconds) bounds the whole call; ``fallback=True``
+    re-executes *sequentially* when the parallel attempts are exhausted —
+    sequential execution bypasses the task tree, so it is immune to
+    ``leaf:*``/``combine:*`` fault injectors and converges even under an
+    always-firing plan.  ``collector.reset()`` runs before every attempt
+    so descending-phase state cannot leak between executions.
+    """
+    if retry is None and not fallback and deadline is None:
+        return _collect_once(collector, data, parallel, pool, target_size)
+
+    from repro.faults.policy import Deadline, run_resilient
+
+    if deadline is not None and not isinstance(deadline, Deadline):
+        deadline = Deadline.after(float(deadline))
+
+    def attempt():
+        collector.reset()
+        return _collect_once(collector, data, parallel, pool, target_size, deadline)
+
+    def sequential():
+        collector.reset()
+        return _collect_once(collector, data, False, pool, target_size)
+
+    return run_resilient(
+        attempt,
+        retry=retry,
+        deadline=deadline,
+        fallback=sequential if fallback else None,
+        label=type(collector).__name__,
+    )

@@ -1,0 +1,108 @@
+"""Site keys and the pattern grammar of the fault-injection framework.
+
+Every instrumentation point in an execution engine identifies itself as a
+**site**: a *kind* (``leaf``, ``combine``, ``worker``, ``proc``, ``mpi``),
+an ordered tuple of string *qualifiers* (e.g. ``("send", "0->1")`` for a
+SimComm message, ``("worker-2",)`` for a process-pool worker) and a dict
+of numeric *attributes* (``depth``, ``size``, ``index`` …).
+
+Injectors select sites with colon-separated **patterns**:
+
+``leaf:*``
+    any ``leaf`` site (a trailing ``*`` matches even when the site has no
+    qualifiers);
+``combine:depth<3``
+    ``combine`` sites whose ``depth`` attribute is below 3 (comparison
+    segments test attributes, supporting ``< <= > >= = !=``);
+``proc:worker-2``
+    the process-pool site whose first qualifier is ``worker-2`` (plain
+    segments are matched positionally against qualifiers with
+    :mod:`fnmatch` globbing);
+``mpi:send:0->1``
+    the SimComm channel from rank 0 to rank 1.
+
+A pattern is a *prefix* match on qualifiers: ``mpi:send`` selects every
+send site regardless of channel.  The kind segment itself may be a glob
+(``*:depth=0`` selects roots of every engine).
+"""
+
+from __future__ import annotations
+
+import re
+from fnmatch import fnmatchcase
+from typing import Mapping, Sequence
+
+from repro.common import IllegalArgumentError
+
+#: ``name OP value`` attribute-constraint segment; value must be numeric.
+_CONSTRAINT_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"(?P<op><=|>=|!=|<|>|=)"
+    r"(?P<value>-?\d+(?:\.\d+)?)$"
+)
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class SitePattern:
+    """A compiled site pattern (see module docstring for the grammar)."""
+
+    __slots__ = ("text", "kind_glob", "segments", "constraints")
+
+    def __init__(self, pattern: str) -> None:
+        if not pattern or not pattern.strip():
+            raise IllegalArgumentError("site pattern must be non-empty")
+        self.text = pattern
+        parts = pattern.split(":")
+        self.kind_glob = parts[0]
+        #: Positional qualifier globs, in order of appearance.
+        self.segments: list[str] = []
+        #: ``(name, op, value)`` attribute constraints.
+        self.constraints: list[tuple[str, str, float]] = []
+        for part in parts[1:]:
+            match = _CONSTRAINT_RE.match(part)
+            if match is not None:
+                self.constraints.append(
+                    (match["name"], match["op"], float(match["value"]))
+                )
+            else:
+                self.segments.append(part)
+
+    def matches(
+        self,
+        kind: str,
+        qualifiers: Sequence[str] = (),
+        attrs: Mapping[str, float] | None = None,
+    ) -> bool:
+        """True when this pattern selects the given site."""
+        if not fnmatchcase(kind, self.kind_glob):
+            return False
+        for position, glob in enumerate(self.segments):
+            if position < len(qualifiers):
+                if not fnmatchcase(qualifiers[position], glob):
+                    return False
+            elif glob != "*":
+                # A concrete segment demands a qualifier the site lacks;
+                # a bare ``*`` tolerates absence (so ``leaf:*`` matches
+                # qualifier-less leaf sites).
+                return False
+        for name, op, value in self.constraints:
+            actual = None if attrs is None else attrs.get(name)
+            if actual is None or not _OPS[op](actual, value):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"SitePattern({self.text!r})"
+
+
+def site_string(kind: str, qualifiers: Sequence[str] = ()) -> str:
+    """Canonical colon-joined rendering of a site, for traces and logs."""
+    return ":".join((kind, *qualifiers))

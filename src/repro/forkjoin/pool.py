@@ -40,6 +40,7 @@ from repro.common import (
     RejectedExecutionError,
     TaskTimeoutError,
 )
+from repro.faults.plan import current_fault_plan
 from repro.forkjoin.deques import WorkStealingDeque
 from repro.forkjoin.task import ForkJoinTask
 from repro.obs.metrics import MetricsRegistry
@@ -157,6 +158,18 @@ class _Worker:
             while True:
                 if pool._stop:
                     break
+                # Fault-injection site: ``worker:<index>``.  A ``kill``
+                # strike raises out of the scheduling loop — exactly the
+                # crash-containment path — so the thread dies *between*
+                # tasks (no claimed task is lost) and is respawned below.
+                plan = current_fault_plan()
+                if plan is not None:
+                    action = plan.fire(
+                        "worker", (str(self.index),),
+                        allowed=("kill", "delay", "raise"), index=self.index,
+                    )
+                    if action is not None:
+                        action.apply_before()
                 task = self._next_task()
                 if task is not None:
                     self._run_task_contained(task)

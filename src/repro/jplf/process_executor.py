@@ -14,13 +14,35 @@ state must be picklable (named functions or ``operator.*`` instead of
 lambdas; the view-based ``PowerList`` pickles fine, though each worker
 receives a *copy* of the underlying storage — inter-process shipping is
 exactly the copy cost the alpha–beta model charges for MPI).
+
+Robustness (``docs/robustness.md``): the executor follows the same
+lifecycle contract as :class:`repro.forkjoin.pool.ForkJoinPool` —
+``shutdown()`` is idempotent, ``execute`` after shutdown raises
+:class:`~repro.common.RejectedExecutionError`, and the executor is a
+context manager.  Fault injection hooks (site ``proc:worker-<i>``) let a
+:class:`repro.faults.plan.FaultPlan` raise in, delay, or SIGKILL-style
+kill a worker mid-run; a killed worker breaks the ``ProcessPoolExecutor``
+(``BrokenProcessPool``), which the executor contains by discarding its
+owned pool so a retry starts on fresh processes.  Pass ``retry=`` /
+``fallback=True`` to recover automatically; degraded runs re-execute
+sequentially in the parent and are counted in :meth:`stats`.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
+import time
 
-from repro.common import IllegalArgumentError, exact_log2, is_power_of_two
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.common import (
+    IllegalArgumentError,
+    RejectedExecutionError,
+    exact_log2,
+    is_power_of_two,
+)
+from repro.faults.plan import FaultInjected, current_fault_plan
 from repro.jplf.executors import Executor, SequentialExecutor
 from repro.jplf.power_function import PowerFunction
 
@@ -33,6 +55,24 @@ def _run_subfunction(function: PowerFunction):
     return SequentialExecutor(threshold=_WORKER_LEAF_THRESHOLD).execute(function)
 
 
+def _run_subfunction_faulty(function: PowerFunction, mode: str, delay: float):
+    """Worker entry point with a fault decision already made by the parent.
+
+    The parent process owns the (seeded, deterministic) strike decision;
+    the child merely enacts it, so determinism survives process
+    boundaries.  ``kill`` hard-exits the child the way a SIGKILL would —
+    bypassing cleanup — which surfaces in the parent as
+    ``BrokenProcessPool``.
+    """
+    if mode == "kill":
+        os._exit(13)
+    if delay > 0.0:
+        time.sleep(delay)
+    if mode == "raise":
+        raise FaultInjected(f"injected fault in process worker (pid {os.getpid()})")
+    return _run_subfunction(function)
+
+
 class ProcessExecutor(Executor):
     """Executes a PowerFunction across OS processes.
 
@@ -41,9 +81,21 @@ class ProcessExecutor(Executor):
             deconstruction tree is binary.
         pool: an optional pre-started ``ProcessPoolExecutor`` to reuse
             (workers are expensive to fork; share one across calls).
+        retry: optional :class:`repro.faults.policy.RetryPolicy` — a
+            failed scatter/compute/combine run is re-executed (on a fresh
+            pool if the old one broke).
+        fallback: when True, a run whose retries are exhausted degrades to
+            sequential execution in the parent process.
     """
 
-    def __init__(self, processes: int = 2, pool: ProcessPoolExecutor | None = None) -> None:
+    def __init__(
+        self,
+        processes: int = 2,
+        pool: ProcessPoolExecutor | None = None,
+        *,
+        retry=None,
+        fallback: bool = False,
+    ) -> None:
         if not is_power_of_two(processes):
             raise IllegalArgumentError(
                 f"processes must be a power of two, got {processes}"
@@ -51,19 +103,26 @@ class ProcessExecutor(Executor):
         self.processes = processes
         self._pool = pool
         self._owns_pool = pool is None
+        self._shutdown = False
+        self.retry = retry
+        self.fallback = fallback
+        self._stats = {"runs": 0, "retries": 0, "degraded_runs": 0, "broken_pools": 0}
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.processes)
         return self._pool
 
-    def execute(self, function: PowerFunction):
+    def _discard_broken_pool(self) -> None:
+        """Drop a broken owned pool so the next attempt forks fresh workers."""
+        self._stats["broken_pools"] += 1
+        if self._pool is not None and self._owns_pool:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            self._owns_pool = True
+
+    def _execute_once(self, function: PowerFunction):
         levels = exact_log2(self.processes)
-        if len(function.data) < self.processes:
-            raise IllegalArgumentError(
-                f"input of {len(function.data)} elements cannot feed "
-                f"{self.processes} processes"
-            )
         if levels == 0:
             return _run_subfunction(function)
 
@@ -79,8 +138,30 @@ class ProcessExecutor(Executor):
             frontier = next_frontier
 
         pool = self._ensure_pool()
-        futures = [pool.submit(_run_subfunction, fn) for fn in frontier]
-        results = [f.result() for f in futures]
+        plan = current_fault_plan()
+        futures = []
+        for i, fn in enumerate(frontier):
+            action = None
+            if plan is not None:
+                # The strike decision stays in the parent (deterministic);
+                # the child only enacts the shipped (mode, delay) verdict.
+                action = plan.fire(
+                    "proc", (f"worker-{i}",),
+                    allowed=("raise", "delay", "kill"), index=i,
+                )
+            if action is None:
+                futures.append(pool.submit(_run_subfunction, fn))
+            else:
+                futures.append(
+                    pool.submit(_run_subfunction_faulty, fn, action.mode, action.delay)
+                )
+        try:
+            results = [f.result() for f in futures]
+        except BrokenProcessPool:
+            # A killed child poisons the whole pool; replace it so a retry
+            # does not immediately re-fail on the same broken executor.
+            self._discard_broken_pool()
+            raise
 
         # Ascend: combine pairwise with each level's parent functions.
         for level_parents in reversed(parents):
@@ -90,8 +171,53 @@ class ProcessExecutor(Executor):
             ]
         return results[0]
 
+    def execute(self, function: PowerFunction):
+        if self._shutdown:
+            raise RejectedExecutionError(
+                "ProcessExecutor has been shut down and no longer accepts work"
+            )
+        if len(function.data) < self.processes:
+            raise IllegalArgumentError(
+                f"input of {len(function.data)} elements cannot feed "
+                f"{self.processes} processes"
+            )
+        self._stats["runs"] += 1
+        if self.retry is None and not self.fallback:
+            return self._execute_once(function)
+
+        from repro.faults.policy import run_resilient
+
+        def on_retry(attempt, exc):
+            self._stats["retries"] += 1
+
+        def on_degrade(exc):
+            self._stats["degraded_runs"] += 1
+
+        def sequential():
+            return _run_subfunction(function)
+
+        return run_resilient(
+            lambda: self._execute_once(function),
+            retry=self.retry,
+            fallback=sequential if self.fallback else None,
+            label=f"ProcessExecutor[{self.processes}]",
+            on_retry=on_retry,
+            on_degrade=on_degrade,
+        )
+
+    def stats(self) -> dict:
+        """Counters for this executor: runs, retries, degraded runs, and
+        broken pools discarded after a worker death."""
+        return dict(self._stats)
+
     def shutdown(self) -> None:
-        """Stop the worker processes (only if this executor created them)."""
+        """Stop the worker processes and reject further ``execute`` calls.
+
+        Idempotent; mirrors ``ForkJoinPool.shutdown`` semantics.  A
+        borrowed pool is left running (its owner shuts it down) but this
+        executor still transitions to the rejecting state.
+        """
+        self._shutdown = True
         if self._pool is not None and self._owns_pool:
             self._pool.shutdown()
             self._pool = None

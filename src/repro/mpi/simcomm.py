@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable
 
 from repro.common import IllegalArgumentError, IllegalStateError, check_positive
+from repro.faults.plan import current_fault_plan
 from repro.mpi.costs import CommModel
 
 
@@ -108,6 +109,10 @@ class SimComm:
         results: list[Any] = [None] * self.ranks
         # What to send into each generator at its next step.
         inbox: list[Any] = [None] * self.ranks
+        # (source, dest, tag) of messages dropped by fault injection —
+        # reported in the deadlock diagnostic so a lost-message hang is
+        # distinguishable from a protocol bug.
+        lost: list[tuple[int, int, int]] = []
 
         def step(rank: int) -> bool:
             """Advance one rank until it blocks/finishes; True if progressed."""
@@ -140,14 +145,39 @@ class SimComm:
                             f"rank {rank} sent to invalid rank {request.dest}"
                         )
                     clocks[rank] += comm.alpha  # injection overhead
-                    key = (rank, request.dest, request.tag)
-                    mailboxes.setdefault(key, deque()).append(
-                        _Message(
-                            data=request.data,
-                            available_at=clocks[rank],
-                            nbytes=_payload_bytes(request.data, comm.element_bytes),
+                    # Fault site ``mpi:send:<src>-><dest>``.  The delay is
+                    # *virtual* (added to the message's availability time,
+                    # not slept); duplicates are deposited adjacently so
+                    # per-channel FIFO non-overtaking is preserved.
+                    plan = current_fault_plan()
+                    copies, extra_latency = 1, 0.0
+                    if plan is not None:
+                        action = plan.fire(
+                            "mpi", ("send", f"{rank}->{request.dest}"),
+                            allowed=("lose", "delay", "duplicate", "raise"),
+                            source=rank, dest=request.dest, tag=request.tag,
                         )
-                    )
+                        if action is not None:
+                            if action.mode == "raise":
+                                raise action.make_exception()
+                            if action.mode == "lose":
+                                copies = 0
+                                lost.append((rank, request.dest, request.tag))
+                            elif action.mode == "duplicate":
+                                copies = 2
+                            elif action.mode == "delay":
+                                extra_latency = action.delay
+                    key = (rank, request.dest, request.tag)
+                    for _ in range(copies):
+                        mailboxes.setdefault(key, deque()).append(
+                            _Message(
+                                data=request.data,
+                                available_at=clocks[rank] + extra_latency,
+                                nbytes=_payload_bytes(
+                                    request.data, comm.element_bytes
+                                ),
+                            )
+                        )
                 elif isinstance(request, Recv):
                     if not (0 <= request.source < self.ranks):
                         raise IllegalArgumentError(
@@ -172,12 +202,25 @@ class SimComm:
                     if step(rank):
                         any_progress = True
             if not any_progress:
-                waiting = [
-                    (rank, blocked[rank])
-                    for rank in range(self.ranks)
-                    if not finished[rank]
-                ]
-                raise IllegalStateError(f"communication deadlock: {waiting}")
+                lines = []
+                for rank in range(self.ranks):
+                    if finished[rank]:
+                        continue
+                    request = blocked[rank]
+                    if request is not None:
+                        lines.append(
+                            f"rank {rank} blocked on Recv(source="
+                            f"{request.source}, tag={request.tag})"
+                        )
+                    else:
+                        lines.append(f"rank {rank} made no progress")
+                detail = "; ".join(lines)
+                if lost:
+                    drops = ", ".join(
+                        f"{s}->{d} tag={t}" for s, d, t in lost
+                    )
+                    detail += f" [messages lost by fault injection: {drops}]"
+                raise IllegalStateError(f"communication deadlock: {detail}")
         return clocks, results
 
 

@@ -199,10 +199,15 @@ def render_gantt(spans: Sequence[Span], width: int = 72) -> str:
                 cells[min(int((s.start_ns - t0) * scale), width - 1)] = "*"
             elif s.kind in ("cancel", "crash"):
                 cells[min(int((s.start_ns - t0) * scale), width - 1)] = "x"
+            elif s.kind in ("fault", "retry", "degraded"):
+                cells[min(int((s.start_ns - t0) * scale), width - 1)] = "!"
         label = f"w{worker}" if worker >= 0 else "ext"
         rows.append(f"{label:<3} |{''.join(cells)}|")
     header = f"wallclock={wallclock / 1e6:.3f}ms  spans={len(spans)}"
-    legend = "     s=split  #=leaf  c=combine  t=task  *=steal  x=cancel/crash  .=uncovered"
+    legend = (
+        "     s=split  #=leaf  c=combine  t=task  *=steal  "
+        "x=cancel/crash  !=fault/retry/degraded  .=uncovered"
+    )
     return "\n".join([header, *rows, legend])
 
 

@@ -35,9 +35,12 @@ from repro.common import check_positive
 #: PowerList-function execution; ``cancel`` marks a fail-fast trip (first
 #: failure cancelling a terminal's task tree) and ``crash`` an exception
 #: that escaped the scheduling machinery (both zero-duration instants).
+#: ``fault`` / ``retry`` / ``degraded`` instants come from
+#: :mod:`repro.faults`: an injector strike, a policy-driven re-attempt,
+#: and a sequential fallback execution respectively.
 SPAN_KINDS = (
     "split", "leaf", "combine", "task", "steal", "idle", "function",
-    "cancel", "crash",
+    "cancel", "crash", "fault", "retry", "degraded",
 )
 
 #: Worker id used for events emitted from threads outside the pool.

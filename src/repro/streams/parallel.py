@@ -30,6 +30,8 @@ import time
 from typing import Any, Callable, TypeVar
 
 from repro.common import CancellationError
+from repro.faults.plan import current_fault_plan
+from repro.faults.policy import Deadline
 from repro.forkjoin.pool import ForkJoinPool, current_worker
 from repro.forkjoin.task import RecursiveTask
 from repro.obs.tracer import EXTERNAL_WORKER, current_tracer
@@ -122,7 +124,7 @@ class _ReduceTask(RecursiveTask):
     short-circuit cancellation.
     """
 
-    __slots__ = ("spliterator", "target_size", "leaf", "merge", "ctx")
+    __slots__ = ("spliterator", "target_size", "leaf", "merge", "ctx", "depth")
 
     def __init__(
         self,
@@ -131,6 +133,7 @@ class _ReduceTask(RecursiveTask):
         leaf: Callable[[Spliterator], Any],
         merge: Callable[[Any, Any], Any],
         ctx: _TerminalContext,
+        depth: int = 0,
     ) -> None:
         super().__init__()
         self.spliterator = spliterator
@@ -138,6 +141,7 @@ class _ReduceTask(RecursiveTask):
         self.leaf = leaf
         self.merge = merge
         self.ctx = ctx
+        self.depth = depth
 
     def compute(self) -> Any:
         # The tracer is fetched once per task; with tracing disabled each
@@ -172,11 +176,15 @@ class _ReduceTask(RecursiveTask):
                 prefix = spliterator.try_split()
             if prefix is None:
                 return self._leaf(spliterator, tracer)
-            left = _ReduceTask(prefix, self.target_size, self.leaf, self.merge, ctx)
+            left = _ReduceTask(
+                prefix, self.target_size, self.leaf, self.merge, ctx,
+                self.depth + 1,
+            )
             left.fork()
             try:
                 right_result = _ReduceTask(
-                    spliterator, self.target_size, self.leaf, self.merge, ctx
+                    spliterator, self.target_size, self.leaf, self.merge, ctx,
+                    self.depth + 1,
                 ).compute()
             except BaseException as exc:
                 ctx.fail(exc)
@@ -207,6 +215,17 @@ class _ReduceTask(RecursiveTask):
 
     def _merge(self, left_result: Any, right_result: Any) -> Any:
         try:
+            plan = current_fault_plan()
+            if plan is not None:
+                action = plan.fire(
+                    "combine", allowed=("raise", "delay", "corrupt"),
+                    depth=self.depth, worker=_worker_id(),
+                )
+                if action is not None:
+                    action.apply_before()
+                    return action.apply_result(
+                        self.merge(left_result, right_result)
+                    )
             return self.merge(left_result, right_result)
         except BaseException as exc:  # combiner failure is fail-fast too
             self.ctx.fail(exc)
@@ -214,34 +233,60 @@ class _ReduceTask(RecursiveTask):
 
     def _leaf(self, spliterator: Spliterator, tracer) -> Any:
         try:
+            action = None
+            plan = current_fault_plan()
+            if plan is not None:
+                action = plan.fire(
+                    "leaf", allowed=("raise", "delay", "corrupt"),
+                    depth=self.depth, size=spliterator.estimate_size(),
+                    worker=_worker_id(),
+                )
+                if action is not None:
+                    action.apply_before()
             if not tracer.enabled:
-                return self.leaf(spliterator)
-            size = spliterator.estimate_size()
-            start = time.perf_counter_ns()
-            result = self.leaf(spliterator)
-            tracer.emit(
-                "leaf",
-                worker=_worker_id(),
-                start_ns=start,
-                end_ns=time.perf_counter_ns(),
-                size=size,
-            )
+                result = self.leaf(spliterator)
+            else:
+                size = spliterator.estimate_size()
+                start = time.perf_counter_ns()
+                result = self.leaf(spliterator)
+                tracer.emit(
+                    "leaf",
+                    worker=_worker_id(),
+                    start_ns=start,
+                    end_ns=time.perf_counter_ns(),
+                    size=size,
+                )
+            if action is not None:
+                result = action.apply_result(result)
             return result
         except BaseException as exc:
             self.ctx.fail(exc)
             raise
 
 
-def _invoke_fail_fast(pool: ForkJoinPool, root: _ReduceTask, ctx: _TerminalContext):
+def _invoke_fail_fast(
+    pool: ForkJoinPool,
+    root: _ReduceTask,
+    ctx: _TerminalContext,
+    deadline: Deadline | None = None,
+):
     """Run ``root`` on ``pool``, guaranteeing the *original* failure wins.
 
     Once a leaf has failed, sibling tasks may settle as cancelled; which
     exception reaches the root first is a race.  This entry point pins the
     contract: the caller always sees the first recorded failure, never a
     secondary :class:`CancellationError`.
+
+    A ``deadline`` bounds the external wait: the remaining budget becomes
+    ``pool.invoke``'s timeout, so an overrunning terminal surfaces as
+    :class:`~repro.common.TaskTimeoutError` instead of blocking forever.
     """
+    timeout = None
+    if deadline is not None:
+        deadline.check("parallel terminal")
+        timeout = deadline.remaining()
     try:
-        return pool.invoke(root)
+        return pool.invoke(root, timeout=timeout)
     except BaseException as exc:
         original = ctx.failure
         if original is not None and exc is not original:
@@ -255,6 +300,7 @@ def parallel_collect(
     collector: Collector,
     pool: ForkJoinPool,
     target_size: int | None = None,
+    deadline: Deadline | None = None,
 ) -> Any:
     """Parallel mutable reduction (``Stream.collect``) over the pool.
 
@@ -285,7 +331,7 @@ def parallel_collect(
         return sink.container
 
     root = _ReduceTask(spliterator, target_size, leaf, combine, ctx)
-    return finish(_invoke_fail_fast(pool, root, ctx))
+    return finish(_invoke_fail_fast(pool, root, ctx, deadline))
 
 
 def parallel_reduce(
@@ -296,6 +342,7 @@ def parallel_reduce(
     identity: T | None = None,
     has_identity: bool = False,
     target_size: int | None = None,
+    deadline: Deadline | None = None,
 ):
     """Parallel immutable reduction (``Stream.reduce``).
 
@@ -320,7 +367,8 @@ def parallel_reduce(
         return a
 
     result = _invoke_fail_fast(
-        pool, _ReduceTask(spliterator, target_size, leaf, merge, ctx), ctx
+        pool, _ReduceTask(spliterator, target_size, leaf, merge, ctx), ctx,
+        deadline,
     )
     if has_identity:
         return result.value
@@ -333,6 +381,7 @@ def parallel_for_each(
     action: Callable[[T], None],
     pool: ForkJoinPool,
     target_size: int | None = None,
+    deadline: Deadline | None = None,
 ) -> None:
     """Parallel ``for_each`` (unordered, like Java's)."""
     if target_size is None:
@@ -350,6 +399,7 @@ def parallel_for_each(
         pool,
         _ReduceTask(spliterator, target_size, leaf, lambda a, b: None, ctx),
         ctx,
+        deadline,
     )
 
 
@@ -360,6 +410,7 @@ def parallel_match(
     pool: ForkJoinPool,
     kind: str,
     target_size: int | None = None,
+    deadline: Deadline | None = None,
 ) -> bool:
     """Parallel short-circuiting match (``any``/``all``/``none``).
 
@@ -401,6 +452,7 @@ def parallel_match(
         pool,
         _ReduceTask(spliterator, target_size, leaf, lambda a, b: a or b, ctx),
         ctx,
+        deadline,
     )
     return triggered if kind == "any" else not triggered
 
@@ -411,6 +463,7 @@ def parallel_find(
     pool: ForkJoinPool,
     first: bool,
     target_size: int | None = None,
+    deadline: Deadline | None = None,
 ) -> Optional:
     """Parallel ``find_first``/``find_any``.
 
@@ -445,5 +498,6 @@ def parallel_find(
         return a if a.is_present() else b
 
     return _invoke_fail_fast(
-        pool, _ReduceTask(spliterator, target_size, leaf, merge, ctx), ctx
+        pool, _ReduceTask(spliterator, target_size, leaf, merge, ctx), ctx,
+        deadline,
     )

@@ -69,7 +69,7 @@ class Stream:
 
     __slots__ = (
         "_spliterator", "_ops", "_parallel", "_pool", "_consumed",
-        "_target_size", "_close_handlers",
+        "_target_size", "_close_handlers", "_deadline",
     )
 
     def __init__(
@@ -87,6 +87,7 @@ class Stream:
         self._consumed = False
         self._target_size = target_size
         self._close_handlers: list[Callable[[], None]] = []
+        self._deadline = None
 
     # ------------------------------------------------------------------ #
     # Factories
@@ -246,6 +247,26 @@ class Stream:
         out._target_size = target_size
         return out
 
+    def with_deadline(self, deadline) -> "Stream":
+        """Bound parallel terminal evaluation by a wall-clock deadline.
+
+        Accepts seconds (a fresh budget starting now) or a
+        :class:`repro.faults.Deadline` shared across several operations.
+        A parallel terminal that overruns raises
+        :class:`~repro.common.TaskTimeoutError` (the root task is
+        cancelled if no worker claimed it yet; running leaves are never
+        interrupted — see ``docs/robustness.md``).  Sequential terminals
+        ignore the deadline.
+        """
+        from repro.faults.policy import Deadline
+
+        if not isinstance(deadline, Deadline):
+            deadline = Deadline.after(float(deadline))
+        self._check_linked()
+        out = self._derive(self._spliterator, self._ops, parallel=self._parallel)
+        out._deadline = deadline
+        return out
+
     # ------------------------------------------------------------------ #
     # Intermediate operations (lazy)
     # ------------------------------------------------------------------ #
@@ -338,7 +359,8 @@ class Stream:
         if self._parallel:
             spliterator, ops = self._barrier_stateful(spliterator, ops)
             return _parallel.parallel_collect(
-                spliterator, ops, collector, self._effective_pool(), self._target_size
+                spliterator, ops, collector, self._effective_pool(),
+                self._target_size, self._deadline,
             )
         sink = AccumulatorSink(
             collector.supplier()(),
@@ -384,7 +406,8 @@ class Stream:
                     CollectorCharacteristics.NONE,
                 )
                 return _parallel.parallel_collect(
-                    spliterator, ops, collector, self._effective_pool(), self._target_size
+                    spliterator, ops, collector, self._effective_pool(),
+                    self._target_size, self._deadline,
                 )
             return _parallel.parallel_reduce(
                 spliterator,
@@ -394,6 +417,7 @@ class Stream:
                 identity,
                 has_identity,
                 self._target_size,
+                self._deadline,
             )
         # Sequential fold.
         sink = ReducingSink(accumulator, identity, has_identity)
@@ -408,7 +432,8 @@ class Stream:
         if self._parallel:
             spliterator, ops = self._barrier_stateful(spliterator, ops)
             _parallel.parallel_for_each(
-                spliterator, ops, action, self._effective_pool(), self._target_size
+                spliterator, ops, action, self._effective_pool(),
+                self._target_size, self._deadline,
             )
             return
 
@@ -529,6 +554,7 @@ class Stream:
         derived = Stream(spliterator, ops, parallel, self._pool, self._target_size)
         # Close handlers travel with the pipeline (Java's onClose contract).
         derived._close_handlers = self._close_handlers
+        derived._deadline = self._deadline
         return derived
 
     def _append(self, op: Op) -> "Stream":
@@ -564,6 +590,7 @@ class Stream:
                 collectors.to_list(),
                 self._effective_pool(),
                 self._target_size,
+                self._deadline,
             )
             buffer = stateful.apply_to_buffer(buffer)
             spliterator = ListSpliterator(buffer)
@@ -575,7 +602,7 @@ class Stream:
             spliterator, ops = self._barrier_stateful(spliterator, ops)
             return _parallel.parallel_match(
                 spliterator, ops, predicate, self._effective_pool(), kind,
-                self._target_size,
+                self._target_size, self._deadline,
             )
         found = [False]
         trigger = predicate if kind in ("any", "none") else (lambda t: not predicate(t))
@@ -596,7 +623,8 @@ class Stream:
         if self._parallel:
             spliterator, ops = self._barrier_stateful(spliterator, ops)
             return _parallel.parallel_find(
-                spliterator, ops, self._effective_pool(), first, self._target_size
+                spliterator, ops, self._effective_pool(), first,
+                self._target_size, self._deadline,
             )
         result: list = []
 

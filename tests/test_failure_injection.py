@@ -3,10 +3,14 @@ parallel machinery.
 
 Errors must propagate out of parallel executions promptly and leave the
 shared pool reusable — the properties that make a fork/join substrate
-trustworthy in production.
+trustworthy in production.  The chaos classes at the bottom drive the
+seeded fault-injection framework (``repro.faults``) against the polynomial
+workload: with resilience policies on, every run must converge to the
+exact unfaulted value; with them off, the first fault must fail fast.
 """
 
 import math
+import os
 import random
 import threading
 import time
@@ -21,6 +25,9 @@ from repro.common import (
     TaskTimeoutError,
 )
 from repro.core import IdentityCollector, PowerReduceCollector, power_collect
+from repro.core.polynomial import horner, polynomial_value
+from repro.faults import FaultInjected, FaultPlan, RetryPolicy, fault_injection
+from repro.faults import policy as fault_policy
 from repro.forkjoin import ForkJoinPool, RecursiveAction, RecursiveTask
 from repro.streams import Collector, Collectors, Stream, stream_of
 from repro.streams.spliterator import Characteristics, Spliterator
@@ -469,3 +476,127 @@ class TestPoolLifecycle:
         finally:
             p.shutdown()
         assert p.is_terminated()
+
+
+# -- seeded chaos -------------------------------------------------------------
+#
+# Evaluation point -1.0 with small integer coefficients keeps float
+# arithmetic exact *and* position-sensitive, so "returns the unfaulted
+# value" is an equality assertion, not an approx one.
+
+
+def _coeffs(n):
+    return [float((i * 37) % 19 - 9) for i in range(n)]
+
+
+CHAOS_SEEDS = [int(s) for s in os.environ.get("CHAOS_SEEDS", "11,23,37,58,71").split(",")]
+
+_SCENARIOS = {
+    "leaf-raise": lambda seed: FaultPlan(seed, name="leaf-raise").inject(
+        "leaf:*", "raise", probability=0.25
+    ),
+    "combiner-raise": lambda seed: FaultPlan(seed, name="combiner-raise").inject(
+        "combine:*", "raise", probability=0.25
+    ),
+    "worker-kill": lambda seed: FaultPlan(seed, name="worker-kill").inject(
+        "worker:*", "kill", times=1
+    ),
+    "delay": lambda seed: FaultPlan(seed, name="delay").inject(
+        "leaf:*", "delay", delay=0.0005, probability=0.1
+    ),
+}
+
+
+class TestChaosMatrix:
+    """Seed × scenario sweep at 2^14: resilience policies must restore the
+    exact result; without them, injected raises must propagate."""
+
+    N = 1 << 14
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    @pytest.mark.parametrize("scenario", sorted(_SCENARIOS))
+    def test_parity_with_policies(self, pool, seed, scenario):
+        coeffs = _coeffs(self.N)
+        expected = horner(coeffs, -1.0)
+        plan = _SCENARIOS[scenario](seed)
+        with fault_injection(plan):
+            out = polynomial_value(
+                coeffs, -1.0, pool=pool,
+                retry=RetryPolicy(max_attempts=3), fallback=True,
+            )
+        assert out == expected
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    @pytest.mark.parametrize("scenario", ["leaf-raise", "combiner-raise"])
+    def test_fail_fast_without_policies(self, pool, seed, scenario):
+        coeffs = _coeffs(self.N)
+        plan = _SCENARIOS[scenario](seed)
+        with fault_injection(plan):
+            with pytest.raises(FaultInjected):
+                polynomial_value(coeffs, -1.0, pool=pool)
+        assert plan.stats()["injected"] >= 1
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_worker_kill_contained_without_policies(self, seed):
+        # A kill between tasks is absorbed by crash containment: the
+        # computation still completes, the worker respawns.
+        coeffs = _coeffs(self.N)
+        plan = _SCENARIOS["worker-kill"](seed)
+        with ForkJoinPool(parallelism=4, name=f"chaos-kill-{seed}") as p:
+            with fault_injection(plan):
+                out = polynomial_value(coeffs, -1.0, pool=p)
+            assert out == horner(coeffs, -1.0)
+            assert p.stats()["worker_crashes"] >= 1
+
+
+class TestChaosSoak:
+    """The acceptance workload: a 2^18 polynomial under an aggressive
+    seeded plan, swept over ``CHAOS_SEEDS``."""
+
+    N = 1 << 18
+    TARGET = 512  # 512 leaves — enough tree for the fail-fast assertion
+
+    @staticmethod
+    def _plan(seed):
+        return (
+            FaultPlan(seed, name=f"soak-{seed}")
+            .inject("leaf:*", "raise", probability=0.3)
+        )
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_soak_resilient_leg(self, seed):
+        coeffs = _coeffs(self.N)
+        expected = horner(coeffs, -1.0)
+        before = fault_policy.stats()
+        plan = self._plan(seed)
+        with ForkJoinPool(parallelism=4, name=f"soak-{seed}") as p:
+            with fault_injection(plan):
+                out = polynomial_value(
+                    coeffs, -1.0, pool=p, target_size=self.TARGET,
+                    retry=RetryPolicy(max_attempts=3), fallback=True,
+                )
+        after = fault_policy.stats()
+        assert out == expected
+        assert plan.stats()["injected"] > 0
+        assert after["faults_injected"] - before["faults_injected"] > 0
+        recoveries = (
+            after["degraded_runs"] - before["degraded_runs"]
+            + after["retries_attempted"] - before["retries_attempted"]
+        )
+        assert recoveries > 0
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_soak_fail_fast_leg(self, seed):
+        coeffs = _coeffs(self.N)
+        leaves = self.N // self.TARGET
+        plan = self._plan(seed)
+        with ForkJoinPool(parallelism=4, name=f"soak-ff-{seed}") as p:
+            with fault_injection(plan):
+                with pytest.raises(FaultInjected):
+                    polynomial_value(coeffs, -1.0, pool=p, target_size=self.TARGET)
+            stats = p.stats()
+        # With strike probability 0.3 per leaf the first fault lands
+        # within the first few executed leaves; fail-fast cancellation
+        # must keep the rest of the tree from running.
+        assert stats["tasks_executed"] < leaves // 4
+        assert stats["failfast_cancellations"] >= 1

@@ -80,3 +80,92 @@ class TestProcessExecutor:
         with ProcessExecutor(processes=4) as ex:
             data = list(range(1024))
             assert ex.execute(JplfReduce(PowerList(data), operator.add)) == sum(data)
+
+
+class TestLifecycle:
+    def test_execute_after_shutdown_rejected(self):
+        from repro.common import RejectedExecutionError
+
+        ex = ProcessExecutor(processes=2)
+        ex.shutdown()
+        with pytest.raises(RejectedExecutionError):
+            ex.execute(JplfReduce(PowerList([1, 2, 3, 4]), operator.add))
+
+    def test_shutdown_is_idempotent(self):
+        ex = ProcessExecutor(processes=1)
+        ex.shutdown()
+        ex.shutdown()  # must not raise
+
+    def test_context_manager_rejects_after_exit(self):
+        from repro.common import RejectedExecutionError
+
+        with ProcessExecutor(processes=2) as ex:
+            assert ex.execute(JplfReduce(PowerList([1, 2, 3, 4]), operator.add)) == 10
+        with pytest.raises(RejectedExecutionError):
+            ex.execute(JplfReduce(PowerList([1, 2, 3, 4]), operator.add))
+
+    def test_pool_reused_across_calls(self, executor):
+        data = list(range(64))
+        executor.execute(JplfReduce(PowerList(data), operator.add))
+        pool_first = executor._pool
+        executor.execute(JplfReduce(PowerList(data), operator.add))
+        assert executor._pool is pool_first
+
+
+class TestFaultRecovery:
+    """Injected child faults: raise/kill → retry on a fresh pool →
+    sequential fallback, with the recovery visible in ``stats()``."""
+
+    def test_injected_raise_recovers_via_retry(self):
+        from repro.faults import FaultPlan, RetryPolicy, fault_injection
+
+        data = list(range(256))
+        plan = FaultPlan(seed=1).inject("proc:worker-0", "raise", times=1)
+        with ProcessExecutor(processes=2, retry=RetryPolicy(max_attempts=2)) as ex:
+            with fault_injection(plan):
+                out = ex.execute(JplfReduce(PowerList(data), operator.add))
+            assert out == sum(data)
+            assert ex.stats()["retries"] == 1
+        assert plan.stats()["injected"] == 1
+
+    def test_killed_worker_breaks_pool_then_retry_recovers(self):
+        from repro.faults import FaultPlan, RetryPolicy, fault_injection
+
+        data = list(range(256))
+        plan = FaultPlan(seed=2).inject("proc:worker-1", "kill", times=1)
+        with ProcessExecutor(processes=2, retry=RetryPolicy(max_attempts=3)) as ex:
+            with fault_injection(plan):
+                out = ex.execute(JplfReduce(PowerList(data), operator.add))
+            assert out == sum(data)
+            stats = ex.stats()
+        # The SIGKILL-style exit broke the ProcessPoolExecutor; the
+        # executor discarded it and retried on fresh workers.
+        assert stats["broken_pools"] == 1
+        assert stats["retries"] == 1
+        assert stats["degraded_runs"] == 0
+
+    def test_unbounded_faults_degrade_to_sequential(self):
+        from repro.faults import FaultPlan, RetryPolicy, fault_injection
+        from repro.faults import policy as fault_policy
+
+        data = list(range(256))
+        plan = FaultPlan(seed=3).inject("proc:*", "raise")  # every ship, always
+        before = fault_policy.stats()["degraded_runs"]
+        with ProcessExecutor(
+            processes=2, retry=RetryPolicy(max_attempts=2), fallback=True
+        ) as ex:
+            with fault_injection(plan):
+                out = ex.execute(JplfReduce(PowerList(data), operator.add))
+            assert out == sum(data)
+            assert ex.stats()["degraded_runs"] == 1
+        assert fault_policy.stats()["degraded_runs"] == before + 1
+
+    def test_fault_without_policy_propagates(self):
+        from repro.faults import FaultInjected, FaultPlan, fault_injection
+
+        data = list(range(256))
+        plan = FaultPlan(seed=4).inject("proc:worker-0", "raise", times=1)
+        with ProcessExecutor(processes=2) as ex:
+            with fault_injection(plan):
+                with pytest.raises(FaultInjected):
+                    ex.execute(JplfReduce(PowerList(data), operator.add))

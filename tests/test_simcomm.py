@@ -172,3 +172,97 @@ class TestHypercubeAllreduce:
         a = hypercube_allreduce(lambda r: r, operator.add, 8, COMM)
         b = hypercube_allreduce(lambda r: r, operator.add, 8, COMM)
         assert a == b
+
+
+class TestFaultInjection:
+    """Message-level faults on the ``mpi:send:<src>-><dest>`` site."""
+
+    @staticmethod
+    def _ping(rank, size):
+        if rank == 0:
+            yield Send(dest=1, data="hello", tag=1)
+        else:
+            data = yield Recv(source=0, tag=1)
+            return data
+
+    def test_lost_message_yields_diagnosable_deadlock(self):
+        from repro.faults import FaultPlan, fault_injection
+
+        plan = FaultPlan(seed=1).inject("mpi:send:0->1", "lose", times=1)
+        with fault_injection(plan):
+            with pytest.raises(IllegalStateError) as excinfo:
+                SimComm(2, COMM).run(self._ping)
+        message = str(excinfo.value)
+        assert "deadlock" in message
+        # Per-rank blocked state names the awaited channel ...
+        assert "rank 1 blocked on Recv(source=0, tag=1)" in message
+        # ... and the diagnostic pins the hang on the injected loss.
+        assert "lost by fault injection" in message
+        assert "0->1 tag=1" in message
+
+    def test_delay_is_virtual_and_slows_receiver(self):
+        from repro.faults import FaultPlan, fault_injection
+
+        clean_times, _ = SimComm(2, COMM).run(self._ping)
+        plan = FaultPlan(seed=2).inject("mpi:send", "delay", delay=500.0)
+        with fault_injection(plan):
+            slow_times, results = SimComm(2, COMM).run(self._ping)
+        assert results[1] == "hello"
+        assert slow_times[1] >= clean_times[1] + 500.0
+        assert slow_times[0] == clean_times[0]  # sender is unaffected
+
+    def test_duplicate_preserves_fifo_non_overtaking(self):
+        from repro.faults import FaultPlan, fault_injection
+
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dest=1, data="first")
+                yield Send(dest=1, data="second")
+            else:
+                received = []
+                for _ in range(3):  # one message arrives twice
+                    received.append((yield Recv(source=0)))
+                return received
+
+        plan = FaultPlan(seed=3).inject("mpi:send:0->1", "duplicate", times=1)
+        with fault_injection(plan):
+            _, results = SimComm(2, COMM).run(program)
+        # The duplicate sits adjacent to its original: order is preserved.
+        assert results[1] == ["first", "first", "second"]
+
+    def test_raise_mode_propagates_from_sender(self):
+        from repro.faults import FaultInjected, FaultPlan, fault_injection
+
+        plan = FaultPlan(seed=4).inject("mpi:send", "raise", times=1)
+        with fault_injection(plan):
+            with pytest.raises(FaultInjected):
+                SimComm(2, COMM).run(self._ping)
+
+    def test_channel_pattern_is_selective(self):
+        from repro.faults import FaultPlan, fault_injection
+
+        # Losing 1->0 must not affect the 0->1 ping.
+        plan = FaultPlan(seed=5).inject("mpi:send:1->0", "lose")
+        with fault_injection(plan):
+            _, results = SimComm(2, COMM).run(self._ping)
+        assert results[1] == "hello"
+        assert plan.stats()["injected"] == 0
+
+    def test_probabilistic_faults_are_deterministic(self):
+        from repro.faults import FaultPlan, fault_injection
+        import operator as op
+
+        def run(seed):
+            plan = FaultPlan(seed).inject("mpi:send", "delay", delay=100.0,
+                                          probability=0.5)
+            with fault_injection(plan):
+                times, results = hypercube_allreduce(
+                    lambda r: r + 1, op.add, 8, COMM
+                )
+            return times, results, plan.stats()["injected"]
+
+        a = run(9)
+        b = run(9)
+        assert a == b
+        assert a[1] == [sum(range(1, 9))] * 8  # payloads still correct
+        assert a[2] > 0
