@@ -2,7 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-smoke figures examples clean
+# Single source of truth for the chaos seed sweep — the CI matrix loads
+# the same file, so `make chaos` and the chaos job cannot drift.
+CHAOS_SEED_FILE := .github/chaos-seeds.json
+
+.PHONY: install test chaos bench bench-smoke bench-regression figures \
+        examples clean
 
 install:
 	pip install -e .[test] || pip install -e . --no-build-isolation
@@ -14,9 +19,12 @@ test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 
 chaos:
-	PYTHONPATH=src $(PYTHON) -m pytest \
-	    tests/test_faults.py tests/test_failure_injection.py -q \
-	    --faulthandler-timeout=300
+	@for seed in $$($(PYTHON) -c "import json; \
+	    print(' '.join(str(s) for s in json.load(open('$(CHAOS_SEED_FILE)'))))"); do \
+	    echo "== chaos seed $$seed =="; \
+	    CHAOS_SEEDS=$$seed PYTHONPATH=src $(PYTHON) -m pytest \
+	        tests/test_faults.py tests/test_failure_injection.py -q || exit 1; \
+	done
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -24,6 +32,20 @@ bench:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_ab9_bulk_path.py --smoke \
 	    --out benchmarks/results/ab9_bulk_path_smoke.json
+
+# Mirrors the CI bench-regression job: parity-gated AB9 + AB10 smoke
+# sweeps, then the speedup-ratio gate against the committed baselines.
+bench-regression:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ab9_bulk_path.py --smoke \
+	    --out benchmarks/results/ab9_bulk_path_smoke.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ab10_fusion.py --smoke \
+	    --out benchmarks/results/ab10_fusion_smoke.json
+	$(PYTHON) benchmarks/check_regression.py \
+	    --baseline benchmarks/results/BENCH_bulk_path.json \
+	    --fresh benchmarks/results/ab9_bulk_path_smoke.json
+	$(PYTHON) benchmarks/check_regression.py \
+	    --baseline benchmarks/results/BENCH_fusion.json \
+	    --fresh benchmarks/results/ab10_fusion_smoke.json
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

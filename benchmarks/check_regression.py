@@ -1,0 +1,107 @@
+"""Benchmark regression gate: fresh sweep vs committed baseline.
+
+Compares the per-workload **speedup ratios** (chunked/element for AB9,
+fused/unfused for AB10) of a fresh benchmark report against the
+committed full-sweep baseline.  Ratios are dimensionless, so a smoke
+sweep on a slow, noisy CI runner is still comparable against a baseline
+recorded at full size on an idle machine — absolute milliseconds are
+not.
+
+The gate is deliberately loose: a workload fails only when its fresh
+median speedup collapses below ``baseline / threshold`` (default 2.5x).
+That tolerates CI noise and size-dependent variation while still
+catching the failure mode that matters — an optimisation silently
+stopping to engage (its ratio drops to ~1.0 while the baseline says
+2x+).  Parity flags in the fresh report are a hard gate regardless of
+timing.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/results/BENCH_fusion.json \
+        --fresh /tmp/ab10_smoke.json [--threshold 2.5]
+
+Exits 0 when every workload holds, 1 on any regression, parity
+failure, or workload missing from the fresh report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+
+def _median_speedups(report):
+    """Map workload name -> median speedup across all sizes in a report."""
+    by_workload = {}
+    for row in report["results"]:
+        if row.get("speedup") is not None:
+            by_workload.setdefault(row["workload"], []).append(row["speedup"])
+    return {name: statistics.median(vals) for name, vals in by_workload.items()}
+
+
+def check(baseline, fresh, threshold):
+    """Return a list of failure strings (empty means the gate passes)."""
+    failures = []
+    if not fresh.get("parity_ok", False):
+        failures.append("fresh report has parity_ok=false")
+
+    base_speedups = _median_speedups(baseline)
+    fresh_speedups = _median_speedups(fresh)
+
+    name_w = max(len(n) for n in base_speedups) if base_speedups else 8
+    print(f"{'workload':>{name_w}}  baseline   fresh   floor   verdict")
+    for name, base in sorted(base_speedups.items()):
+        floor = base / threshold
+        got = fresh_speedups.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from fresh report")
+            print(f"{name:>{name_w}}  x{base:5.2f}       —   x{floor:5.2f}   MISSING")
+            continue
+        ok = got >= floor
+        print(f"{name:>{name_w}}  x{base:5.2f}   x{got:5.2f}   x{floor:5.2f}   "
+              f"{'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            failures.append(
+                f"{name}: speedup x{got:.2f} fell below x{floor:.2f} "
+                f"(baseline x{base:.2f} / {threshold})"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+                        help="committed full-sweep BENCH_*.json")
+    parser.add_argument("--fresh", type=pathlib.Path, required=True,
+                        help="report from the sweep just run")
+    parser.add_argument("--threshold", type=float, default=2.5,
+                        help="allowed shrink factor before failing "
+                             "(default: 2.5, i.e. fail only on >2.5x "
+                             "regression)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    if baseline.get("bench") != fresh.get("bench"):
+        print(f"error: baseline is {baseline.get('bench')!r} but fresh "
+              f"report is {fresh.get('bench')!r}", file=sys.stderr)
+        return 1
+
+    print(f"[{fresh.get('bench')}] fresh {fresh.get('mode')} sweep vs "
+          f"committed {baseline.get('mode')} baseline "
+          f"(threshold {args.threshold}x)")
+    failures = check(baseline, fresh, args.threshold)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("regression gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

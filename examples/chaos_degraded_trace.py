@@ -11,6 +11,7 @@ Run:  python examples/chaos_degraded_trace.py [--out PATH] [--seed N]
 
 import argparse
 import os
+import pathlib
 import tempfile
 
 from repro.core import polynomial_value
@@ -30,6 +31,9 @@ def main() -> None:
     )
     parser.add_argument("--seed", type=int, default=11, help="fault-plan seed")
     args = parser.parse_args()
+    # Tolerate an --out under a directory that does not exist yet (the
+    # CI chaos job points into a fresh traces/ tree).
+    pathlib.Path(args.out).parent.mkdir(parents=True, exist_ok=True)
 
     n = 1 << 12
     coeffs = [float((i * 37) % 19 - 9) for i in range(n)]

@@ -26,11 +26,14 @@ from repro.obs.tracer import Span
 
 #: Glyph per span kind in the Gantt rendering (superset of the
 #: simulator's: real traces also carry scheduler-level ``task`` spans).
-_KIND_GLYPH = {"split": "s", "leaf": "#", "combine": "c", "task": "t", "function": "f"}
+_KIND_GLYPH = {
+    "split": "s", "leaf": "#", "combine": "c", "task": "t",
+    "function": "f", "fuse": "F",
+}
 
 #: Kinds drawn on the Gantt; ``task`` envelops split/leaf/combine spans
 #: emitted inside it, so it is drawn first and overdrawn by its phases.
-_GANTT_ORDER = ("task", "function", "split", "leaf", "combine")
+_GANTT_ORDER = ("task", "function", "fuse", "split", "leaf", "combine")
 
 
 # -- Chrome trace-event JSON ----------------------------------------------- #
@@ -205,7 +208,7 @@ def render_gantt(spans: Sequence[Span], width: int = 72) -> str:
         rows.append(f"{label:<3} |{''.join(cells)}|")
     header = f"wallclock={wallclock / 1e6:.3f}ms  spans={len(spans)}"
     legend = (
-        "     s=split  #=leaf  c=combine  t=task  *=steal  "
+        "     s=split  #=leaf  c=combine  t=task  F=fuse  *=steal  "
         "x=cancel/crash  !=fault/retry/degraded  .=uncovered"
     )
     return "\n".join([header, *rows, legend])

@@ -37,10 +37,12 @@ from repro.common import check_positive
 #: that escaped the scheduling machinery (both zero-duration instants).
 #: ``fault`` / ``retry`` / ``degraded`` instants come from
 #: :mod:`repro.faults`: an injector strike, a policy-driven re-attempt,
-#: and a sequential fallback execution respectively.
+#: and a sequential fallback execution respectively.  ``fuse`` marks one
+#: stage-fusion rewrite of an op chain at terminal time
+#: (:mod:`repro.streams.fusion`), carrying the collapsed stage count.
 SPAN_KINDS = (
     "split", "leaf", "combine", "task", "steal", "idle", "function",
-    "cancel", "crash", "fault", "retry", "degraded",
+    "cancel", "crash", "fault", "retry", "degraded", "fuse",
 )
 
 #: Worker id used for events emitted from threads outside the pool.

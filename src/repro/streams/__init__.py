@@ -41,6 +41,13 @@ from repro.streams.ops import (
     bulk_stats,
     set_bulk_execution,
 )
+from repro.streams.fusion import (
+    FusedOp,
+    fusion,
+    fusion_enabled,
+    fusion_stats,
+    set_fusion,
+)
 from repro.streams.stream import Stream
 from repro.streams.stream_support import StreamSupport, stream_of
 
@@ -59,10 +66,15 @@ __all__ = [
     "Spliterator",
     "Stream",
     "StreamSupport",
+    "FusedOp",
     "bulk_execution",
     "bulk_execution_enabled",
     "bulk_stats",
+    "fusion",
+    "fusion_enabled",
+    "fusion_stats",
     "set_bulk_execution",
+    "set_fusion",
     "spliterator_of",
     "stream_of",
 ]

@@ -1,0 +1,464 @@
+"""Pipeline stage fusion: collapse runs of adjacent stateless ops.
+
+The sink-chain design (one ``Op`` → one ``Sink`` per stage) is faithful to
+Java but pays one Python dispatch *per stage* per element — and, on the
+chunked bulk path, one intermediate list *per stage* per chunk.  That
+per-stage dispatch is exactly the cost "Stream Fusion, to Completeness"
+(Kiselyov et al.) and the ``mapMulti``-fusion line of work identify as the
+dominant overhead of streaming APIs.
+
+This module rewrites the op chain once, at terminal time (before mode
+selection in :func:`repro.streams.ops.run_pipeline`): every maximal run of
+two or more adjacent *stateless* ops (``map`` / ``filter`` / ``peek`` /
+``flat_map`` / ``map_multi``) collapses into a single :class:`FusedOp`
+whose kernels are **generated and compiled** from the run:
+
+* the per-element kernel emits straight-line code — nested calls, an
+  early-out per filter, a loop per expander — so one sink dispatch covers
+  the whole run;
+* the chunk kernel emits one comprehension (or one statement loop when the
+  run contains ``peek`` / ``map_multi``) that crosses the run in a single
+  pass, with **zero** intermediate per-stage lists — stacking with the
+  bulk-execution path of PR 2 instead of bypassing it;
+* a prefix of numpy-ufunc maps applied to an ndarray chunk stays
+  vectorized (chained ufunc calls), exactly as the unfused ``MapOp`` chunk
+  rewrite would.
+
+Fusion is semantics-preserving by construction:
+
+* *stateful* ops (``sorted``, ``distinct``, ``limit``, ``skip``,
+  ``take_while``, ``drop_while``) are **fusion barriers** — runs never
+  cross them;
+* encounter order is preserved (stages compose in pipeline order);
+* short-circuiting still works: the fused kernel polls the downstream
+  ``cancellation_requested`` between the outputs of an expander, exactly
+  where the unfused ``FlatMapSink`` polls, so ``flat_map`` over an
+  infinite iterable under ``limit`` still terminates;
+* ``begin(size)`` forwards the size only when every fused stage is
+  size-preserving (``map`` / ``peek``), mirroring the unfused chain.
+
+Controls mirror the bulk-execution ones: :func:`set_fusion` /
+:func:`fusion_enabled` / the :func:`fusion` context manager, and
+:func:`fusion_stats` counts rewritten pipelines and collapsed stages.
+Each rewrite emits a ``fuse`` span through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from functools import lru_cache
+from typing import Callable, Sequence
+
+from repro.obs.tracer import EXTERNAL_WORKER, current_tracer
+from repro.streams.ops import (
+    ChainedSink,
+    FilterOp,
+    FlatMapOp,
+    MapMultiOp,
+    MapOp,
+    Op,
+    PeekOp,
+    Sink,
+)
+
+try:  # numpy is a hard dependency of the repo, but keep fusion importable
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Stage kinds a fused run may contain, in dispatch order.
+_FUSIBLE_TYPES = (MapOp, FilterOp, PeekOp, FlatMapOp, MapMultiOp)
+
+#: Minimum run length worth collapsing — wrapping a single op in a
+#: ``FusedOp`` would only add indirection.
+MIN_RUN = 2
+
+
+# --------------------------------------------------------------------------- #
+# Kernel code generation
+# --------------------------------------------------------------------------- #
+#
+# A fused run compiles to at most three functions:
+#
+#   element kernel   k(item, _accept, _cancelled)   — per-element path
+#   chunk kernel     k(chunk) -> list               — bulk path
+#   ufunc prefix     applied before the chunk kernel on ndarray chunks
+#
+# Sources depend only on the *shape* of the run (the sequence of stage
+# kinds), so compiled code objects are cached by source; the stage
+# callables are bound per-``FusedOp`` through the exec namespace.
+
+
+def _stage_kind(op: Op) -> str:
+    if type(op) is MapOp:
+        return "map"
+    if type(op) is FilterOp:
+        return "filter"
+    if type(op) is PeekOp:
+        return "peek"
+    if type(op) is FlatMapOp:
+        return "flat_map"
+    if type(op) is MapMultiOp:
+        return "map_multi"
+    raise AssertionError(f"not a fusible op: {type(op).__name__}")
+
+
+def _stage_fn(op: Op) -> Callable:
+    return op.action if type(op) is PeekOp else (
+        op.predicate if type(op) is FilterOp else op.f
+    )
+
+
+@lru_cache(maxsize=256)
+def _compiled(source: str, name: str):
+    """Compile generated kernel source once per run shape."""
+    return compile(source, f"<fused:{name}>", "exec")
+
+
+def _bind(source: str, name: str, fns: Sequence[Callable]) -> Callable:
+    """Exec a cached code object with this run's stage callables bound."""
+    namespace = {f"_f{i}": fn for i, fn in enumerate(fns)}
+    exec(_compiled(source, name), namespace)
+    return namespace[name]
+
+
+def _gen_element_kernel(kinds: Sequence[str]) -> str:
+    """Straight-line per-element kernel for the run.
+
+    ``map``/``peek``/``filter`` compile to assignments and early-outs; an
+    expander (``flat_map`` / ``map_multi``) opens a loop over its outputs,
+    polling ``_cancelled()`` before each downstream emission exactly as
+    the unfused ``FlatMapSink`` does.
+    """
+    lines = ["def _element(_v0, _accept, _cancelled):"]
+    indent = "    "
+    var, expanded = "_v0", False
+    for i, kind in enumerate(kinds):
+        if kind == "map":
+            lines.append(f"{indent}_v{i + 1} = _f{i}({var})")
+            var = f"_v{i + 1}"
+        elif kind == "peek":
+            lines.append(f"{indent}_f{i}({var})")
+        elif kind == "filter":
+            lines.append(f"{indent}if not _f{i}({var}):")
+            lines.append(f"{indent}    return" if not expanded
+                         else f"{indent}    continue")
+        elif kind == "flat_map":
+            lines.append(f"{indent}for _v{i + 1} in _f{i}({var}):")
+            lines.append(f"{indent}    if _cancelled():")
+            lines.append(f"{indent}        break")
+            indent += "    "
+            var, expanded = f"_v{i + 1}", True
+        else:  # map_multi: buffer the callback-driven outputs, then loop
+            lines.append(f"{indent}_b{i} = []")
+            lines.append(f"{indent}_f{i}({var}, _b{i}.append)")
+            lines.append(f"{indent}for _v{i + 1} in _b{i}:")
+            lines.append(f"{indent}    if _cancelled():")
+            lines.append(f"{indent}        break")
+            indent += "    "
+            var, expanded = f"_v{i + 1}", True
+    lines.append(f"{indent}_accept({var})")
+    return "\n".join(lines)
+
+
+def _gen_chunk_comprehension(kinds: Sequence[str]) -> str:
+    """Single-pass comprehension kernel (runs without peek/map_multi).
+
+    ``map`` stages nest as calls inside the output expression, ``filter``
+    stages become ``if`` clauses (binding the value so far via ``:=`` when
+    it is not yet a bare name), ``flat_map`` stages become nested ``for``
+    clauses — one list, zero per-stage intermediates.
+    """
+    clauses = ["for _v0 in _chunk"]
+    expr = "_v0"
+    for i, kind in enumerate(kinds):
+        if kind == "map":
+            expr = f"_f{i}({expr})"
+        elif kind == "filter":
+            if expr.startswith("_v") and expr[2:].isdigit():
+                clauses.append(f"if _f{i}({expr})")
+            else:
+                clauses.append(f"if _f{i}((_v{i + 1} := {expr}))")
+                expr = f"_v{i + 1}"
+        else:  # flat_map
+            clauses.append(f"for _v{i + 1} in _f{i}({expr})")
+            expr = f"_v{i + 1}"
+    body = f"[{expr} {' '.join(clauses)}]"
+    return f"def _chunk_kernel(_chunk):\n    return {body}"
+
+
+def _gen_chunk_loop(kinds: Sequence[str]) -> str:
+    """Statement-loop chunk kernel for runs containing peek/map_multi."""
+    lines = [
+        "def _chunk_kernel(_chunk):",
+        "    _out = []",
+        "    _append = _out.append",
+        "    for _v0 in _chunk:",
+    ]
+    indent = "        "
+    var = "_v0"
+    for i, kind in enumerate(kinds):
+        if kind == "map":
+            lines.append(f"{indent}_v{i + 1} = _f{i}({var})")
+            var = f"_v{i + 1}"
+        elif kind == "peek":
+            lines.append(f"{indent}_f{i}({var})")
+        elif kind == "filter":
+            lines.append(f"{indent}if not _f{i}({var}):")
+            lines.append(f"{indent}    continue")
+        elif kind == "flat_map":
+            lines.append(f"{indent}for _v{i + 1} in _f{i}({var}):")
+            indent += "    "
+            var = f"_v{i + 1}"
+        else:  # map_multi
+            lines.append(f"{indent}_b{i} = []")
+            lines.append(f"{indent}_f{i}({var}, _b{i}.append)")
+            lines.append(f"{indent}for _v{i + 1} in _b{i}:")
+            indent += "    "
+            var = f"_v{i + 1}"
+    lines.append(f"{indent}_append({var})")
+    lines.append("    return _out")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# The fused op
+# --------------------------------------------------------------------------- #
+
+
+class FusedOp(Op):
+    """A run of adjacent stateless ops collapsed into one pipeline stage.
+
+    Supports both traversal modes: per-element ``accept`` runs the
+    compiled straight-line kernel (one sink dispatch for the whole run),
+    and ``accept_chunk`` crosses the run in a single generated pass.  A
+    leading sequence of numpy-ufunc maps is applied vectorized when the
+    chunk is an ndarray, matching the unfused ``MapOp`` chunk rewrite.
+    """
+
+    chunkable = True
+
+    __slots__ = (
+        "source_ops", "kinds", "_element_kernel", "_chunk_kernel",
+        "_ufunc_prefix", "_tail_kernel", "_size_preserving",
+    )
+
+    def __init__(self, source_ops: Sequence[Op]) -> None:
+        if len(source_ops) < MIN_RUN:
+            raise ValueError("FusedOp needs at least two source ops")
+        self.source_ops = tuple(source_ops)
+        self.kinds = tuple(_stage_kind(op) for op in self.source_ops)
+        fns = [_stage_fn(op) for op in self.source_ops]
+        name = ",".join(self.kinds)
+
+        self._element_kernel = _bind(
+            _gen_element_kernel(self.kinds), "_element", fns
+        )
+        if any(k in ("peek", "map_multi") for k in self.kinds):
+            chunk_src = _gen_chunk_loop(self.kinds)
+        else:
+            chunk_src = _gen_chunk_comprehension(self.kinds)
+        self._chunk_kernel = _bind(chunk_src, "_chunk_kernel", fns)
+
+        # Vectorized prefix: the longest leading run of ufunc maps.  On an
+        # ndarray chunk those apply as chained array ops; the compiled
+        # kernel for the remaining tail (if any) handles the rest.
+        n_ufunc = 0
+        if _np is not None:
+            for op in self.source_ops:
+                if type(op) is MapOp and isinstance(op.f, _np.ufunc):
+                    n_ufunc += 1
+                else:
+                    break
+        self._ufunc_prefix = tuple(fns[:n_ufunc])
+        if 0 < n_ufunc < len(self.kinds):
+            tail_kinds = self.kinds[n_ufunc:]
+            if any(k in ("peek", "map_multi") for k in tail_kinds):
+                tail_src = _gen_chunk_loop(tail_kinds)
+            else:
+                tail_src = _gen_chunk_comprehension(tail_kinds)
+            self._tail_kernel = _bind(tail_src, "_chunk_kernel", fns[n_ufunc:])
+        else:
+            self._tail_kernel = None
+
+        self._size_preserving = all(
+            k in ("map", "peek") for k in self.kinds
+        )
+
+    def __repr__(self) -> str:
+        return f"FusedOp({' | '.join(self.kinds)})"
+
+    def wrap_sink(self, downstream: Sink) -> Sink:
+        element_kernel = self._element_kernel
+        chunk_kernel = self._chunk_kernel
+        ufunc_prefix = self._ufunc_prefix
+        tail_kernel = self._tail_kernel
+        size_preserving = self._size_preserving
+        down_accept = downstream.accept
+        down_accept_chunk = downstream.accept_chunk
+        down_cancelled = downstream.cancellation_requested
+
+        class _FusedSink(ChainedSink):
+            def begin(self, size):
+                self.downstream.begin(size if size_preserving else -1)
+
+            def accept(self, item):
+                element_kernel(item, down_accept, down_cancelled)
+
+            def accept_chunk(self, chunk):
+                if ufunc_prefix and isinstance(chunk, _np.ndarray):
+                    for ufunc in ufunc_prefix:
+                        chunk = ufunc(chunk)
+                    if tail_kernel is not None:
+                        chunk = tail_kernel(chunk)
+                else:
+                    chunk = chunk_kernel(chunk)
+                down_accept_chunk(chunk)
+
+        return _FusedSink(downstream)
+
+
+# --------------------------------------------------------------------------- #
+# The rewrite
+# --------------------------------------------------------------------------- #
+
+
+def fuse_ops(ops: list[Op]) -> tuple[list[Op], int]:
+    """Collapse every maximal run of >= MIN_RUN adjacent stateless ops.
+
+    Returns ``(rewritten_ops, stages_fused)`` — the original list object
+    is returned (with 0) when nothing fuses.  Stateful and unknown ops are
+    barriers and pass through unchanged; already-:class:`FusedOp` stages
+    are barriers too, making the rewrite idempotent.
+    """
+    out: list[Op] = []
+    run: list[Op] = []
+    fused_stages = 0
+
+    def flush() -> None:
+        nonlocal fused_stages
+        if len(run) >= MIN_RUN:
+            out.append(FusedOp(run))
+            fused_stages += len(run)
+        else:
+            out.extend(run)
+        run.clear()
+
+    for op in ops:
+        if type(op) in _FUSIBLE_TYPES:
+            run.append(op)
+        else:
+            flush()
+            out.append(op)
+    flush()
+    if fused_stages == 0:
+        return ops, 0
+    return out, fused_stages
+
+
+# --------------------------------------------------------------------------- #
+# Controls, stats, memo
+# --------------------------------------------------------------------------- #
+
+_fusion_enabled = True
+_fusion_stats = {
+    "pipelines_fused": 0,   # pipelines rewritten (>= one run collapsed)
+    "stages_fused": 0,      # source stages collapsed into FusedOps
+    "kernels": 0,           # FusedOp instances created
+    "unfused": 0,           # scans that found nothing to collapse
+    "memo_hits": 0,         # rewrites answered from the memo
+}
+
+#: Identity-keyed memo: parallel terminals hand the *same* ops list to
+#: every fork/join leaf, so the rewrite (and kernel compilation) happens
+#: once per terminal, not once per leaf.  Values keep strong references
+#: to the source ops, so a live entry's ids cannot be recycled.
+_MEMO_CAPACITY = 128
+_memo: dict[tuple[int, ...], tuple[tuple[Op, ...], list[Op]]] = {}
+_memo_lock = threading.Lock()
+
+
+def fusion_enabled() -> bool:
+    """True when terminal evaluation rewrites op chains through the fuser."""
+    return _fusion_enabled
+
+
+def set_fusion(enabled: bool) -> bool:
+    """Globally enable/disable stage fusion; returns the previous setting.
+
+    Mirrors :func:`repro.streams.ops.set_bulk_execution` — exists for
+    benchmarks and parity tests; fusion is otherwise automatic.
+    """
+    global _fusion_enabled
+    previous = _fusion_enabled
+    _fusion_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def fusion(enabled: bool):
+    """Context manager scoping :func:`set_fusion`."""
+    previous = set_fusion(enabled)
+    try:
+        yield
+    finally:
+        set_fusion(previous)
+
+
+def fusion_stats(reset: bool = False) -> dict[str, int]:
+    """Counts of fusion activity (advisory; pinned by tests and benches)."""
+    snapshot = dict(_fusion_stats)
+    if reset:
+        for key in _fusion_stats:
+            _fusion_stats[key] = 0
+    return snapshot
+
+
+def maybe_fuse(ops: list[Op]) -> list[Op]:
+    """The terminal-time entry point: rewrite ``ops`` if fusion is enabled.
+
+    Memoized by the identity of the op objects; a rewritten list is also
+    memoized to itself, so fork/join leaves re-entering
+    ``run_pipeline`` with an already-fused chain resolve in one lookup.
+    Emits a ``fuse`` span per actual rewrite when tracing is enabled.
+    """
+    if not _fusion_enabled or not ops:
+        return ops
+    key = tuple(map(id, ops))
+    entry = _memo.get(key)
+    if entry is not None and all(
+        a is b for a, b in zip(entry[0], ops)
+    ):
+        _fusion_stats["memo_hits"] += 1
+        return entry[1]
+
+    start = time.perf_counter_ns()
+    fused, stages = fuse_ops(ops)
+    if stages == 0:
+        _fusion_stats["unfused"] += 1
+        return ops
+    kernels = sum(1 for op in fused if isinstance(op, FusedOp))
+    _fusion_stats["pipelines_fused"] += 1
+    _fusion_stats["stages_fused"] += stages
+    _fusion_stats["kernels"] += kernels
+
+    with _memo_lock:
+        if len(_memo) >= _MEMO_CAPACITY:
+            _memo.clear()  # tiny, regenerable cache: wholesale reset is fine
+        _memo[key] = (tuple(ops), fused)
+        # Idempotence fast path for leaves re-submitting the fused list.
+        _memo[tuple(map(id, fused))] = (tuple(fused), fused)
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            "fuse",
+            worker=EXTERNAL_WORKER,
+            start_ns=start,
+            end_ns=time.perf_counter_ns(),
+            stages=stages,
+            kernels=kernels,
+        )
+    return fused

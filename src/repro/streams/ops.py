@@ -674,7 +674,10 @@ def run_pipeline(
     """The single traversal entry point for sequential terminals and
     fork/join leaves.
 
-    Wraps ``ops`` around ``terminal`` and picks the execution mode:
+    First rewrites ``ops`` through the stage-fusion optimizer (runs of
+    adjacent stateless ops collapse into single compiled stages — see
+    :mod:`repro.streams.fusion`), then wraps the chain around ``terminal``
+    and picks the execution mode:
 
     * short-circuiting pipeline (or a cancelling terminal, signalled by
       ``force_short_circuit``) → per-element traversal with polling;
@@ -684,6 +687,7 @@ def run_pipeline(
 
     Returns ``terminal`` so callers can read its result.
     """
+    ops = _fusion.maybe_fuse(ops)
     sink = wrap_ops(ops, terminal)
     if force_short_circuit or pipeline_is_short_circuit(ops):
         _bulk_stats["element"] += 1
@@ -716,3 +720,9 @@ def pull_iterator(spliterator: Spliterator, sink: Sink, buffer) -> "Iterable":
             while buffer:
                 yield popleft()
             break
+
+
+# Imported last: ``fusion`` depends on the Op/Sink vocabulary above, and
+# ``run_pipeline`` resolves ``_fusion.maybe_fuse`` at call time, so the
+# circular module reference is harmless in either import order.
+from repro.streams import fusion as _fusion  # noqa: E402

@@ -36,6 +36,7 @@ from repro.forkjoin.pool import ForkJoinPool, current_worker
 from repro.forkjoin.task import RecursiveTask
 from repro.obs.tracer import EXTERNAL_WORKER, current_tracer
 from repro.streams.collector import Collector
+from repro.streams.fusion import maybe_fuse
 from repro.streams.ops import (
     AccumulatorSink,
     Op,
@@ -309,6 +310,7 @@ def parallel_collect(
     computes interior nodes.  Runs fail-fast: the first leaf or combiner
     exception cancels the remaining tree and re-raises promptly.
     """
+    ops = maybe_fuse(ops)
     supplier = collector.supplier()
     accumulate = collector.accumulator()
     accumulate_chunk = collector.chunk_accumulator()
@@ -349,6 +351,7 @@ def parallel_reduce(
     With an identity the result is the bare value; without one it is an
     :class:`Optional` (empty for an empty stream).
     """
+    ops = maybe_fuse(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
@@ -384,6 +387,7 @@ def parallel_for_each(
     deadline: Deadline | None = None,
 ) -> None:
     """Parallel ``for_each`` (unordered, like Java's)."""
+    ops = maybe_fuse(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
@@ -419,6 +423,7 @@ def parallel_match(
     """
     if kind not in ("any", "all", "none"):
         raise ValueError(f"unknown match kind: {kind}")
+    ops = maybe_fuse(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
@@ -471,6 +476,7 @@ def parallel_find(
     must honor encounter order, so each leaf stops at its own first element
     and the ordered merge keeps the leftmost.
     """
+    ops = maybe_fuse(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)

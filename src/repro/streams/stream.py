@@ -524,7 +524,10 @@ class Stream:
 
     def iterator(self) -> Iterator[T]:
         """A lazy sequential iterator over the pipeline's output."""
+        from repro.streams.fusion import maybe_fuse
+
         spliterator, ops = self._terminal()
+        ops = maybe_fuse(ops)
 
         buffer: deque = deque()
 

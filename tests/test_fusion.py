@@ -1,0 +1,365 @@
+"""Stage fusion: rewrite structure, semantics, stats, and observability.
+
+Covers the fusion optimizer (``repro.streams.fusion``): where barriers
+land, that fused kernels preserve short-circuit and encounter-order
+semantics on both traversal modes, that ``fusion_stats`` pins the
+rewrite counts, and that traced runs carry ``fuse`` spans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.forkjoin import ForkJoinPool
+from repro.obs import tracing
+from repro.obs.export import trace_snapshot
+from repro.streams import (
+    FusedOp,
+    bulk_execution,
+    bulk_stats,
+    fusion,
+    fusion_enabled,
+    fusion_stats,
+    set_fusion,
+    stream_of,
+)
+from repro.streams.fusion import fuse_ops, maybe_fuse
+from repro.streams.ops import (
+    DistinctOp,
+    DropWhileOp,
+    FilterOp,
+    FlatMapOp,
+    LimitOp,
+    MapMultiOp,
+    MapOp,
+    PeekOp,
+    SkipOp,
+    SortedOp,
+    TakeWhileOp,
+)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=4, name="fusion-test")
+    yield p
+    p.shutdown()
+
+
+def _kinds(ops):
+    return [type(op).__name__ for op in ops]
+
+
+class TestBarrierPlacement:
+    def test_pure_stateless_chain_collapses_to_one_op(self):
+        ops = [MapOp(abs), FilterOp(bool), MapOp(abs), PeekOp(print)]
+        fused, stages = fuse_ops(ops)
+        assert _kinds(fused) == ["FusedOp"]
+        assert stages == 4
+        assert fused[0].kinds == ("map", "filter", "map", "peek")
+
+    @pytest.mark.parametrize("barrier", [
+        SortedOp(), DistinctOp(), LimitOp(3), SkipOp(3),
+        TakeWhileOp(bool), DropWhileOp(bool),
+    ])
+    def test_every_stateful_op_is_a_barrier(self, barrier):
+        ops = [MapOp(abs), MapOp(abs), barrier, MapOp(abs), MapOp(abs)]
+        fused, stages = fuse_ops(ops)
+        assert _kinds(fused) == ["FusedOp", type(barrier).__name__, "FusedOp"]
+        assert stages == 4
+
+    def test_single_ops_are_not_wrapped(self):
+        ops = [MapOp(abs), SortedOp(), MapOp(abs)]
+        fused, stages = fuse_ops(ops)
+        assert fused is ops and stages == 0
+
+    def test_fused_op_requires_a_real_run(self):
+        with pytest.raises(ValueError):
+            FusedOp([MapOp(abs)])
+
+    def test_rewrite_is_idempotent(self):
+        ops = [MapOp(abs), MapOp(abs)]
+        fused, stages = fuse_ops(ops)
+        again, stages_again = fuse_ops(fused)
+        assert again is fused and stages_again == 0
+
+    def test_fused_op_flags(self):
+        op = FusedOp([MapOp(abs), FilterOp(bool)])
+        assert op.chunkable and not op.stateful and not op.short_circuit
+
+
+class TestSemantics:
+    DATA = list(range(-30, 30))
+
+    def _both(self, build, chunked):
+        with bulk_execution(chunked):
+            with fusion(True):
+                fused = build(stream_of(self.DATA)).to_list()
+            with fusion(False):
+                unfused = build(stream_of(self.DATA)).to_list()
+        return fused, unfused
+
+    @pytest.mark.parametrize("chunked", [True, False])
+    def test_map_filter_flat_map_chain(self, chunked):
+        def build(s):
+            return (s.map(lambda x: x + 3)
+                    .filter(lambda x: x % 4 != 0)
+                    .flat_map(lambda x: [x, -x] if x % 5 == 0 else [x])
+                    .map(lambda x: x * 2))
+
+        fused, unfused = self._both(build, chunked)
+        assert fused == unfused
+
+    @pytest.mark.parametrize("chunked", [True, False])
+    def test_peek_and_map_multi_chain(self, chunked):
+        fused_seen, unfused_seen = [], []
+
+        def build(s, seen):
+            return (s.peek(seen.append)
+                    .map_multi(lambda x, emit: (emit(x), emit(x * 10))[0])
+                    .map(lambda x: x + 1))
+
+        with bulk_execution(chunked):
+            with fusion(True):
+                fused = build(stream_of(self.DATA), fused_seen).to_list()
+            with fusion(False):
+                unfused = build(stream_of(self.DATA), unfused_seen).to_list()
+        assert fused == unfused
+        assert fused_seen == unfused_seen == self.DATA
+
+    def test_filter_first_and_consecutive_filters(self):
+        def build(s):
+            return (s.filter(lambda x: x != 0)
+                    .filter(lambda x: x % 2 == 0)
+                    .map(lambda x: x + 1)
+                    .filter(lambda x: x < 20))
+
+        fused, unfused = self._both(build, True)
+        assert fused == unfused
+
+    def test_short_circuit_limit_after_fused_run(self):
+        def build(s):
+            return (s.map(lambda x: x + 1)
+                    .map(lambda x: x * 2)
+                    .limit(7))
+
+        fused, unfused = self._both(build, True)
+        assert fused == unfused and len(fused) == 7
+
+    def test_infinite_flat_map_under_limit_terminates(self):
+        # The fused kernel must poll downstream cancellation between an
+        # expander's outputs, exactly like the unfused FlatMapSink —
+        # otherwise this loops forever.
+        with fusion(True):
+            out = (stream_of([1, 2, 3])
+                   .flat_map(lambda x: iter(int, 1))
+                   .map(lambda z: z + 1)
+                   .limit(5)
+                   .to_list())
+        assert out == [1] * 5
+
+    def test_take_while_downstream_of_fused_run(self):
+        def build(s):
+            return (s.map(lambda x: x + 30)
+                    .map(lambda x: x * 2)
+                    .take_while(lambda x: x < 90))
+
+        fused, unfused = self._both(build, True)
+        assert fused == unfused
+
+    def test_stateful_sandwich(self):
+        def build(s):
+            return (s.map(lambda x: x % 17)
+                    .map(lambda x: x + 2)
+                    .distinct()
+                    .map(lambda x: x * 3)
+                    .filter(lambda x: x != 6)
+                    .sorted())
+
+        fused, unfused = self._both(build, True)
+        assert fused == unfused
+
+    def test_parallel_leaves_fuse_identically(self, pool):
+        def build(s):
+            return (s.map(lambda x: x + 1)
+                    .filter(lambda x: x % 3 != 0)
+                    .map(lambda x: x * 2)
+                    .map(lambda x: x - 5))
+
+        with fusion(True):
+            par = build(
+                stream_of(self.DATA).parallel().with_pool(pool)
+            ).to_list()
+            seq = build(stream_of(self.DATA)).to_list()
+        with fusion(False):
+            reference = build(stream_of(self.DATA)).to_list()
+        assert par == seq == reference
+
+    def test_parallel_match_and_find_with_fusion(self, pool):
+        with fusion(True):
+            s = (stream_of(self.DATA).parallel().with_pool(pool)
+                 .map(lambda x: x * 2).map(lambda x: x + 1))
+            assert s.any_match(lambda x: x > 50)
+            found = (stream_of(self.DATA).parallel().with_pool(pool)
+                     .map(lambda x: x * 2)
+                     .filter(lambda x: x > 40)
+                     .find_first())
+        assert found.get() == 42
+
+    def test_ufunc_chain_stays_vectorized_and_exact(self):
+        data = np.arange(1 << 10, dtype=np.int64)
+
+        def build(s):
+            return s.map(np.square).map(np.abs).map(np.sqrt)
+
+        with fusion(True):
+            fused = build(stream_of(data)).to_list()
+        with fusion(False):
+            unfused = build(stream_of(data)).to_list()
+        assert fused == unfused
+
+    def test_ufunc_prefix_with_python_tail(self):
+        data = np.arange(1 << 10, dtype=np.int64)
+
+        def build(s):
+            return (s.map(np.square)
+                    .map(lambda x: int(x) % 11)
+                    .filter(lambda x: x != 4))
+
+        with fusion(True):
+            fused = build(stream_of(data)).to_list()
+        with fusion(False):
+            unfused = build(stream_of(data)).to_list()
+        assert fused == unfused
+
+    def test_lazy_iterator_path_fuses(self):
+        with fusion(True):
+            fusion_stats(reset=True)
+            it = iter(stream_of(self.DATA).map(lambda x: x + 1).map(abs))
+            first = next(it)
+        assert first == abs(self.DATA[0] + 1)
+        assert fusion_stats()["pipelines_fused"] == 1
+
+    def test_begin_size_preserved_for_map_only_runs(self):
+        sizes = []
+
+        class _Probe:
+            def begin(self, size):
+                sizes.append(size)
+
+            def accept(self, item):
+                pass
+
+            def accept_chunk(self, chunk):
+                pass
+
+            def cancellation_requested(self):
+                return False
+
+            def end(self):
+                pass
+
+        map_run = FusedOp([MapOp(abs), MapOp(abs)])
+        map_run.wrap_sink(_Probe()).begin(64)
+        filter_run = FusedOp([MapOp(abs), FilterOp(bool)])
+        filter_run.wrap_sink(_Probe()).begin(64)
+        assert sizes == [64, -1]
+
+
+class TestControlsAndStats:
+    def test_set_fusion_roundtrip(self):
+        previous = set_fusion(False)
+        try:
+            assert not fusion_enabled()
+            ops = [MapOp(abs), MapOp(abs)]
+            assert maybe_fuse(ops) is ops
+        finally:
+            set_fusion(previous)
+        assert fusion_enabled() == previous
+
+    def test_stats_pin_fused_stage_counts(self):
+        with fusion(True):
+            fusion_stats(reset=True)
+            (stream_of(range(50))
+             .map(lambda x: x + 1)
+             .map(lambda x: x * 2)
+             .filter(lambda x: x % 3 != 0)
+             .sorted()
+             .map(lambda x: x - 1)
+             .map(lambda x: x ^ 3)
+             .to_list())
+        stats = fusion_stats()
+        assert stats["pipelines_fused"] == 1
+        assert stats["stages_fused"] == 5
+        assert stats["kernels"] == 2
+
+    def test_stats_count_unfusible_scans(self):
+        with fusion(True):
+            fusion_stats(reset=True)
+            stream_of(range(10)).map(lambda x: x + 1).to_list()
+        stats = fusion_stats()
+        assert stats["pipelines_fused"] == 0
+        assert stats["unfused"] == 1
+
+    def test_parallel_terminal_fuses_once_via_memo(self, pool):
+        with fusion(True):
+            fusion_stats(reset=True)
+            (stream_of(list(range(1 << 12))).parallel().with_pool(pool)
+             .map(lambda x: x + 1)
+             .map(lambda x: x * 2)
+             .to_list())
+        stats = fusion_stats()
+        # One rewrite at the terminal; every fork/join leaf resolves the
+        # already-fused chain from the memo instead of recompiling.
+        assert stats["pipelines_fused"] == 1
+        assert stats["memo_hits"] >= 1
+
+    def test_disabled_fusion_still_correct(self):
+        with fusion(False):
+            out = (stream_of(range(20))
+                   .map(lambda x: x + 1)
+                   .map(lambda x: x * 2)
+                   .to_list())
+        assert out == [(x + 1) * 2 for x in range(20)]
+
+    def test_chunked_path_still_engages_with_fusion(self):
+        with fusion(True):
+            bulk_stats(reset=True)
+            (stream_of(list(range(100)))
+             .map(lambda x: x + 1)
+             .map(lambda x: x * 2)
+             .to_list())
+        stats = bulk_stats()
+        assert stats["chunked"] == 1 and stats["element"] == 0
+
+
+class TestObservability:
+    def test_traced_run_emits_fuse_span(self):
+        with tracing() as tracer:
+            with fusion(True):
+                (stream_of(list(range(100)))
+                 .map(lambda x: x + 1)
+                 .map(lambda x: x * 2)
+                 .to_list())
+        snapshot = trace_snapshot(tracer.spans())
+        assert snapshot["counts"].get("fuse") == 1
+        fuse_span = [s for s in tracer.spans() if s.kind == "fuse"][0]
+        assert fuse_span.args["stages"] == 2
+        assert fuse_span.args["kernels"] == 1
+
+    def test_untraced_rewrite_emits_nothing(self):
+        with tracing() as tracer:
+            pass
+        with fusion(True):
+            stream_of(range(10)).map(abs).map(abs).to_list()
+        assert [s for s in tracer.spans() if s.kind == "fuse"] == []
+
+    def test_parallel_traced_run_has_fuse_and_leaf_spans(self, pool):
+        with tracing() as tracer:
+            with fusion(True):
+                (stream_of(list(range(1 << 12))).parallel().with_pool(pool)
+                 .map(lambda x: x + 1)
+                 .map(lambda x: x * 2)
+                 .to_list())
+        counts = trace_snapshot(tracer.spans())["counts"]
+        assert counts.get("fuse", 0) >= 1
+        assert counts.get("leaf", 0) >= 1

@@ -13,7 +13,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.forkjoin import ForkJoinPool
-from repro.streams import bulk_execution, bulk_stats, stream_of
+from repro.streams import bulk_execution, bulk_stats, fusion, stream_of
+from repro.streams.fusion import FusedOp, fuse_ops
 from repro.streams.ops import pipeline_is_short_circuit, pipeline_supports_chunks
 
 
@@ -36,6 +37,12 @@ def _apply_stream(stream, op):
         return stream.filter(lambda x, a=arg: x % (a + 2) != 0)
     if name == "flat_map":
         return stream.flat_map(lambda x, a=arg: [x] * (abs(x + a) % 3))
+    if name == "peek":
+        return stream.peek(lambda x: None)
+    if name == "map_multi":
+        return stream.map_multi(
+            lambda x, emit, a=arg: emit(x + a) if x % 2 else None
+        )
     if name == "distinct":
         return stream.distinct()
     if name == "sorted":
@@ -59,6 +66,10 @@ def _apply_reference(values, op):
         return [x for x in values if x % (arg + 2) != 0]
     if name == "flat_map":
         return [x for x in values for _ in range(abs(x + arg) % 3)]
+    if name == "peek":
+        return list(values)
+    if name == "map_multi":
+        return [x + arg for x in values if x % 2]
     if name == "distinct":
         return list(dict.fromkeys(values))
     if name == "sorted":
@@ -86,13 +97,10 @@ def _apply_reference(values, op):
     raise AssertionError(name)
 
 
-OPS = st.tuples(
-    st.sampled_from(
-        ["map", "filter", "flat_map", "distinct", "sorted", "limit", "skip",
-         "take_while", "drop_while"]
-    ),
-    st.integers(0, 9),
-)
+STATELESS = ["map", "filter", "flat_map", "peek", "map_multi"]
+STATEFUL = ["distinct", "sorted", "limit", "skip", "take_while", "drop_while"]
+
+OPS = st.tuples(st.sampled_from(STATELESS + STATEFUL), st.integers(0, 9))
 
 pipelines = st.lists(OPS, max_size=6)
 inputs = st.lists(st.integers(-40, 40), max_size=60)
@@ -181,3 +189,63 @@ class TestPipelineFuzz:
             assert stats["chunked"] == 1 and stats["element"] == 0
         else:
             assert stats["chunked"] == 0 and stats["element"] >= 1
+
+    @settings(deadline=None, max_examples=80,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(inputs, pipelines)
+    def test_fused_vs_unfused_all_engines(self, xs, ops):
+        """Fusion on/off must agree element-for-element on every engine:
+        {sequential, parallel} × {chunked, per-element}, all against the
+        reference interpreter."""
+        expected = list(xs)
+        for op in ops:
+            expected = _apply_reference(expected, op)
+
+        def run(parallel, chunked, fuse):
+            with bulk_execution(chunked), fusion(fuse):
+                s = stream_of(xs).parallel() if parallel else stream_of(xs)
+                for op in ops:
+                    s = _apply_stream(s, op)
+                return s.to_list()
+
+        for parallel in (False, True):
+            for chunked in (True, False):
+                fused = run(parallel, chunked, fuse=True)
+                unfused = run(parallel, chunked, fuse=False)
+                assert fused == unfused == expected
+
+    @settings(deadline=None, max_examples=120,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(inputs, pipelines)
+    def test_fuse_rewrite_structure(self, xs, ops):
+        """Structural invariants of the rewrite on random chains: stateful
+        ops survive as barriers in order, each FusedOp covers a maximal
+        run of at least two adjacent stateless ops, and flattening the
+        rewritten chain reproduces the original op objects exactly."""
+        stream = stream_of(xs)
+        for op in ops:
+            stream = _apply_stream(stream, op)
+        original = stream._ops
+        fused, stages = fuse_ops(original)
+
+        flattened = []
+        for op in fused:
+            if isinstance(op, FusedOp):
+                assert len(op.source_ops) >= 2
+                flattened.extend(op.source_ops)
+            else:
+                flattened.append(op)
+        assert flattened == list(original)
+        assert stages == sum(
+            len(op.source_ops) for op in fused if isinstance(op, FusedOp)
+        )
+
+        for i, op in enumerate(fused):
+            if not isinstance(op, FusedOp):
+                continue
+            # Maximality: the neighbours of a fused run are barriers —
+            # otherwise they would have been folded into the run.
+            for neighbour in (fused[i - 1] if i else None,
+                              fused[i + 1] if i + 1 < len(fused) else None):
+                if neighbour is not None:
+                    assert neighbour.stateful or neighbour.short_circuit
