@@ -46,6 +46,10 @@ bench-regression:
 	$(PYTHON) benchmarks/check_regression.py \
 	    --baseline benchmarks/results/BENCH_fusion.json \
 	    --fresh benchmarks/results/ab10_fusion_smoke.json
+	PYTHONPATH=src $(PYTHON) benchmarks/check_regression.py --overhead
+	PYTHONPATH=src $(PYTHON) examples/profile_report.py \
+	    --out-profile benchmarks/results/profile_report.json \
+	    --out-trace benchmarks/results/profile_trace.json
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -15,14 +15,24 @@ stopping to engage (its ratio drops to ~1.0 while the baseline says
 2x+).  Parity flags in the fresh report are a hard gate regardless of
 timing.
 
+A second, independent leg gates **profiler overhead**: with
+``--overhead``, the script times an AB9-shaped workload with the
+:mod:`repro.obs.profile` profiler disabled and enabled (interleaved
+runs, median ratio) and fails when the enabled/disabled ratio exceeds
+``--overhead-threshold`` (default 1.05 — the profiler must cost ≤5% at
+its default sampling rate).
+
 Usage::
 
     python benchmarks/check_regression.py \
         --baseline benchmarks/results/BENCH_fusion.json \
         --fresh /tmp/ab10_smoke.json [--threshold 2.5]
 
-Exits 0 when every workload holds, 1 on any regression, parity
-failure, or workload missing from the fresh report.
+    python benchmarks/check_regression.py --overhead \
+        [--overhead-threshold 1.05] [--overhead-runs 25]
+
+Exits 0 when every requested gate holds, 1 on any regression, parity
+failure, workload missing from the fresh report, or overhead breach.
 """
 
 from __future__ import annotations
@@ -72,17 +82,95 @@ def check(baseline, fresh, threshold):
     return failures
 
 
+def _profiler_overhead(runs, size):
+    """Median enabled/disabled wall-clock ratio on an AB9-shaped workload.
+
+    Plain and profiled runs are interleaved so frequency scaling and
+    noisy neighbours bias both sides equally; the ratio of medians is
+    then a clean overhead estimate even on a loaded CI runner.
+    """
+    import time
+
+    from repro.obs.profile import profiled
+    from repro.streams.stream_support import stream_of
+
+    data = list(range(size))
+
+    def workload():
+        return stream_of(data).filter(lambda x: x & 1 == 0).map(
+            lambda x: x * 3
+        ).to_list()
+
+    expected = workload()  # warm-up; also pins correctness below
+    plain, profiled_samples = [], []
+    for _ in range(runs):
+        start = time.perf_counter()
+        got = workload()
+        plain.append(time.perf_counter() - start)
+        assert got == expected
+        start = time.perf_counter()
+        with profiled():
+            got = workload()
+        profiled_samples.append(time.perf_counter() - start)
+        assert got == expected
+    base = statistics.median(plain)
+    ratio = statistics.median(profiled_samples) / base if base > 0 else 1.0
+    return ratio
+
+
+def check_overhead(runs, size, threshold):
+    """Return failure strings for the profiler-overhead gate."""
+    ratio = _profiler_overhead(runs, size)
+    verdict = "ok" if ratio <= threshold else "OVERHEAD"
+    print(f"profiler overhead: x{ratio:.3f} "
+          f"(threshold x{threshold:.2f}, {runs} interleaved runs, "
+          f"size 2^{size.bit_length() - 1})  {verdict}")
+    if ratio > threshold:
+        return [
+            f"profiler overhead x{ratio:.3f} exceeds x{threshold:.2f} "
+            f"at default sampling"
+        ]
+    return []
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+    parser.add_argument("--baseline", type=pathlib.Path,
                         help="committed full-sweep BENCH_*.json")
-    parser.add_argument("--fresh", type=pathlib.Path, required=True,
+    parser.add_argument("--fresh", type=pathlib.Path,
                         help="report from the sweep just run")
     parser.add_argument("--threshold", type=float, default=2.5,
                         help="allowed shrink factor before failing "
                              "(default: 2.5, i.e. fail only on >2.5x "
                              "regression)")
+    parser.add_argument("--overhead", action="store_true",
+                        help="also gate repro.obs.profile overhead at "
+                             "default sampling on an AB9-shaped workload")
+    parser.add_argument("--overhead-threshold", type=float, default=1.05,
+                        help="max enabled/disabled wall-clock ratio "
+                             "(default: 1.05 = 5%% overhead)")
+    parser.add_argument("--overhead-runs", type=int, default=25,
+                        help="interleaved plain/profiled run pairs "
+                             "(default: 25)")
+    parser.add_argument("--overhead-size", type=int, default=1 << 15,
+                        help="workload size (default: 2^15)")
     args = parser.parse_args(argv)
+
+    if args.baseline is None and args.fresh is None:
+        if not args.overhead:
+            parser.error("nothing to do: pass --baseline/--fresh, "
+                         "--overhead, or both")
+        failures = check_overhead(
+            args.overhead_runs, args.overhead_size, args.overhead_threshold
+        )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("regression gate OK")
+        return 0
+    if args.baseline is None or args.fresh is None:
+        parser.error("--baseline and --fresh must be given together")
 
     baseline = json.loads(args.baseline.read_text())
     fresh = json.loads(args.fresh.read_text())
@@ -95,6 +183,10 @@ def main(argv=None):
           f"committed {baseline.get('mode')} baseline "
           f"(threshold {args.threshold}x)")
     failures = check(baseline, fresh, args.threshold)
+    if args.overhead:
+        failures += check_overhead(
+            args.overhead_runs, args.overhead_size, args.overhead_threshold
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -79,7 +79,9 @@ def repeat_average(
     fn: Callable[[], T],
     runs: int = 5,
     trace: str | Path | None = None,
-    trace_capacity: int = 1 << 16,
+    trace_capacity: int | None = None,
+    profile: str | Path | None = None,
+    profile_sample: int | None = None,
 ) -> TimingResult:
     """Average ``fn``'s wall-clock over ``runs`` executions.
 
@@ -92,18 +94,59 @@ def repeat_average(
             JSON is written to this path.  The timed samples are always
             collected with tracing disabled, so the trace never perturbs
             the numbers it explains.
-        trace_capacity: ring-buffer size for the traced run.
+        trace_capacity: ring-buffer size for the traced run (defaults to
+            :data:`repro.obs.DEFAULT_TRACE_CAPACITY`).
+        profile: when given, one *additional* (untimed) execution runs
+            under :func:`repro.obs.profiled` and the run profile is
+            written to this path — as JSON (``RunProfile.to_dict()``)
+            when the path ends in ``.json``, as the text report
+            otherwise.  Like ``trace``, the profiled run is outside the
+            timed samples.  If ``trace`` is also given, both observers
+            share a single extra run and the Chrome trace is enriched
+            with the profile.
+        profile_sample: traversal sampling rate for the profiled run
+            (defaults to :data:`repro.obs.DEFAULT_PROFILE_SAMPLE`).
     """
     check_positive(runs, "runs")
     samples = []
     for _ in range(runs):
         _, elapsed = time_call(fn)
         samples.append(elapsed)
-    if trace is not None:
-        from repro.obs.export import write_chrome_trace
-        from repro.obs.tracer import tracing
-
-        with tracing(capacity=trace_capacity) as tracer:
-            fn()
-        write_chrome_trace(trace, tracer.spans())
+    if trace is not None or profile is not None:
+        _observed_run(fn, trace, trace_capacity, profile, profile_sample)
     return TimingResult.from_samples(samples)
+
+
+def _observed_run(
+    fn: Callable[[], T],
+    trace: str | Path | None,
+    trace_capacity: int | None,
+    profile: str | Path | None,
+    profile_sample: int | None,
+) -> None:
+    """One extra execution under the requested observers (tracer/profiler)."""
+    import contextlib
+    import json
+
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.profile import profiled
+    from repro.obs.tracer import tracing
+
+    with contextlib.ExitStack() as stack:
+        tracer = None
+        run_profile = None
+        if trace is not None:
+            tracer = stack.enter_context(tracing(capacity=trace_capacity))
+        if profile is not None:
+            run_profile = stack.enter_context(profiled(sample=profile_sample))
+        fn()
+    if trace is not None:
+        write_chrome_trace(
+            trace, tracer.spans(), dropped=tracer.dropped, profile=run_profile
+        )
+    if profile is not None:
+        path = Path(profile)
+        if path.suffix == ".json":
+            path.write_text(json.dumps(run_profile.to_dict(), indent=1) + "\n")
+        else:
+            path.write_text(run_profile.report() + "\n")

@@ -21,6 +21,7 @@ from repro.forkjoin.deques import WorkStealingDeque
 from repro.forkjoin.pool import (
     ForkJoinPool,
     common_pool,
+    common_pool_parallelism,
     set_common_pool_parallelism,
     shutdown_common_pool,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "TaskTimeoutError",
     "WorkStealingDeque",
     "common_pool",
+    "common_pool_parallelism",
     "invoke_all",
     "set_common_pool_parallelism",
     "shutdown_common_pool",

@@ -43,7 +43,7 @@ from repro.common import (
 from repro.faults.plan import current_fault_plan
 from repro.forkjoin.deques import WorkStealingDeque
 from repro.forkjoin.task import ForkJoinTask
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, metric_key
 from repro.obs.tracer import current_tracer
 
 _log = logging.getLogger(__name__)
@@ -79,9 +79,14 @@ class _Worker:
         # Python-level ``+=`` is not atomic (its LOAD/ADD/STORE can
         # interleave with a concurrent ``stats()`` read), so increments go
         # through locked Counters and ``stats()`` snapshots them all under
-        # the registry's single lock.
-        self.executed = pool.metrics.counter(f"worker.{index}.executed")
-        self.stolen = pool.metrics.counter(f"worker.{index}.stolen")
+        # the registry's single lock.  Labels (pool, worker) make the
+        # series scrape-ready for the Prometheus exposition.
+        self.executed = pool.metrics.counter(
+            "tasks_executed", pool=pool.name, worker=str(index)
+        )
+        self.stolen = pool.metrics.counter(
+            "steals", pool=pool.name, worker=str(index)
+        )
         self.thread = self._new_thread()
 
     def _new_thread(self) -> threading.Thread:
@@ -239,10 +244,13 @@ class ForkJoinPool:
         #: Per-pool metrics (worker counters, idle wakeups); snapshot via
         #: :meth:`stats` or read individual metrics directly.
         self.metrics = MetricsRegistry(name=name)
-        self._idle_wakeups = self.metrics.counter("idle_wakeups")
-        self._worker_crashes = self.metrics.counter("worker_crashes")
-        self._tasks_cancelled = self.metrics.counter("tasks_cancelled")
-        self._failfast_cancellations = self.metrics.counter("failfast_cancellations")
+        self._idle_wakeups = self.metrics.counter("idle_wakeups", pool=name)
+        self._worker_crashes = self.metrics.counter("worker_crashes", pool=name)
+        self._tasks_cancelled = self.metrics.counter("tasks_cancelled", pool=name)
+        self._failfast_cancellations = self.metrics.counter(
+            "failfast_cancellations", pool=name
+        )
+        self._leaf_durations = self.metrics.histogram("leaf_duration_ns", pool=name)
         self._external: deque[ForkJoinTask] = deque()
         self._external_lock = threading.Lock()
         self._work_available = threading.Condition()
@@ -418,6 +426,11 @@ class ForkJoinPool:
         cancelled the remaining task tree (wired from repro.streams)."""
         self._failfast_cancellations.inc()
 
+    def _observe_leaf_duration(self, duration_ns: int) -> None:
+        """Record one fork/join leaf's wall time (wired from the stream
+        profiler; feeds the pool's labeled ``leaf_duration_ns`` series)."""
+        self._leaf_durations.observe(duration_ns)
+
     # -- observability ------------------------------------------------------ #
 
     def stats(self) -> dict:
@@ -435,21 +448,29 @@ class ForkJoinPool:
         per-worker rows even while workers are running.
         """
         snap = self.metrics.snapshot()
+        name = self.name
         per_worker = [
             {
                 "worker": w.index,
-                "executed": snap[f"worker.{w.index}.executed"],
-                "stolen": snap[f"worker.{w.index}.stolen"],
+                "executed": snap[
+                    metric_key("tasks_executed", pool=name, worker=str(w.index))
+                ],
+                "stolen": snap[
+                    metric_key("steals", pool=name, worker=str(w.index))
+                ],
             }
             for w in self._workers
         ]
         return {
+            "parallelism": self.parallelism,
             "tasks_executed": sum(row["executed"] for row in per_worker),
             "steals": sum(row["stolen"] for row in per_worker),
-            "idle_wakeups": snap["idle_wakeups"],
-            "worker_crashes": snap["worker_crashes"],
-            "tasks_cancelled": snap["tasks_cancelled"],
-            "failfast_cancellations": snap["failfast_cancellations"],
+            "idle_wakeups": snap[metric_key("idle_wakeups", pool=name)],
+            "worker_crashes": snap[metric_key("worker_crashes", pool=name)],
+            "tasks_cancelled": snap[metric_key("tasks_cancelled", pool=name)],
+            "failfast_cancellations": snap[
+                metric_key("failfast_cancellations", pool=name)
+            ],
             "per_worker": per_worker,
         }
 
@@ -547,6 +568,20 @@ def common_pool() -> ForkJoinPool:
         if _common is None:
             _common = ForkJoinPool(_common_parallelism, name="common")
         return _common
+
+
+def common_pool_parallelism() -> int:
+    """The parallelism the common pool has — or would have if created.
+
+    Lets planning code (``Stream.explain()``) predict split trees without
+    instantiating the pool as a side effect.
+    """
+    with _common_lock:
+        if _common is not None:
+            return _common.parallelism
+        if _common_parallelism is not None:
+            return _common_parallelism
+    return os.cpu_count() or 1
 
 
 def set_common_pool_parallelism(parallelism: int) -> None:

@@ -44,6 +44,8 @@ from repro.common import (
 )
 from repro.faults.plan import FaultInjected, current_fault_plan
 from repro.jplf.executors import Executor, SequentialExecutor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import current_profiler
 from repro.jplf.power_function import PowerFunction
 
 #: Leaf threshold used inside each worker (bulk leaf_case below it).
@@ -106,7 +108,15 @@ class ProcessExecutor(Executor):
         self._shutdown = False
         self.retry = retry
         self.fallback = fallback
-        self._stats = {"runs": 0, "retries": 0, "degraded_runs": 0, "broken_pools": 0}
+        # Labeled counters: every ProcessExecutor gets its own registry so
+        # scraping (repro.obs.prom.render) can tell executors apart by the
+        # ``processes`` label without cross-instance interference.
+        self.metrics = MetricsRegistry(name="procexec")
+        labels = {"processes": str(processes)}
+        self._runs = self.metrics.counter("runs", **labels)
+        self._retries = self.metrics.counter("retries", **labels)
+        self._degraded = self.metrics.counter("degraded_runs", **labels)
+        self._broken = self.metrics.counter("broken_pools", **labels)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -115,7 +125,7 @@ class ProcessExecutor(Executor):
 
     def _discard_broken_pool(self) -> None:
         """Drop a broken owned pool so the next attempt forks fresh workers."""
-        self._stats["broken_pools"] += 1
+        self._broken.inc()
         if self._pool is not None and self._owns_pool:
             self._pool.shutdown(wait=False)
             self._pool = None
@@ -139,6 +149,8 @@ class ProcessExecutor(Executor):
 
         pool = self._ensure_pool()
         plan = current_fault_plan()
+        profiler = current_profiler()
+        scatter_start = time.perf_counter_ns() if profiler is not None else 0
         futures = []
         for i, fn in enumerate(frontier):
             action = None
@@ -162,13 +174,26 @@ class ProcessExecutor(Executor):
             # does not immediately re-fail on the same broken executor.
             self._discard_broken_pool()
             raise
+        if profiler is not None:
+            profiler.profile.record_stage(
+                "proc:scatter",
+                time.perf_counter_ns() - scatter_start,
+                elements=len(frontier),
+            )
 
         # Ascend: combine pairwise with each level's parent functions.
+        combine_start = time.perf_counter_ns() if profiler is not None else 0
         for level_parents in reversed(parents):
             results = [
                 parent.combine(results[2 * i], results[2 * i + 1])
                 for i, parent in enumerate(level_parents)
             ]
+        if profiler is not None:
+            profiler.profile.record_stage(
+                "proc:combine",
+                time.perf_counter_ns() - combine_start,
+                elements=sum(len(p) for p in parents),
+            )
         return results[0]
 
     def execute(self, function: PowerFunction):
@@ -181,17 +206,17 @@ class ProcessExecutor(Executor):
                 f"input of {len(function.data)} elements cannot feed "
                 f"{self.processes} processes"
             )
-        self._stats["runs"] += 1
+        self._runs.inc()
         if self.retry is None and not self.fallback:
             return self._execute_once(function)
 
         from repro.faults.policy import run_resilient
 
         def on_retry(attempt, exc):
-            self._stats["retries"] += 1
+            self._retries.inc()
 
         def on_degrade(exc):
-            self._stats["degraded_runs"] += 1
+            self._degraded.inc()
 
         def sequential():
             return _run_subfunction(function)
@@ -208,7 +233,12 @@ class ProcessExecutor(Executor):
     def stats(self) -> dict:
         """Counters for this executor: runs, retries, degraded runs, and
         broken pools discarded after a worker death."""
-        return dict(self._stats)
+        return {
+            "runs": self._runs.value,
+            "retries": self._retries.value,
+            "degraded_runs": self._degraded.value,
+            "broken_pools": self._broken.value,
+        }
 
     def shutdown(self) -> None:
         """Stop the worker processes and reject further ``execute`` calls.

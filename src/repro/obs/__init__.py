@@ -18,7 +18,20 @@ Three layers:
 * :mod:`repro.obs.export`  — Chrome trace-event JSON (open in Perfetto
   or ``chrome://tracing``), a per-worker utilization/Gantt report in the
   style of :mod:`repro.simcore.trace`, and a plain-dict snapshot for
-  tests.
+  tests;
+* :mod:`repro.obs.profile` — per-run cost attribution: stage self-time
+  probes, leaf-duration and chunk-size histograms, pool counter deltas,
+  sampled 1-in-N with a free disabled path (``current_profiler() is
+  None``);
+* :mod:`repro.obs.prom`    — Prometheus text exposition of any
+  :class:`MetricsRegistry`, labels and histogram buckets included.
+
+Tunables (overridable via environment):
+
+* :data:`DEFAULT_TRACE_CAPACITY` (``REPRO_TRACE_CAPACITY``, default
+  ``1 << 16``) — ring-buffer span capacity;
+* :data:`DEFAULT_PROFILE_SAMPLE` (``REPRO_PROFILE_SAMPLE``, default 16)
+  — probe one traversal in N inside a profiled region.
 """
 
 from repro.obs.export import (
@@ -30,8 +43,25 @@ from repro.obs.export import (
     worker_report,
     write_chrome_trace,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, global_registry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    metric_key,
+)
+from repro.obs.profile import (
+    DEFAULT_PROFILE_SAMPLE,
+    Profiler,
+    RunProfile,
+    current_profiler,
+    profiled,
+    set_profiler,
+)
+from repro.obs.prom import render as render_prometheus
 from repro.obs.tracer import (
+    DEFAULT_TRACE_CAPACITY,
     NULL_TRACER,
     NullTracer,
     Span,
@@ -43,17 +73,26 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_PROFILE_SAMPLE",
+    "DEFAULT_TRACE_CAPACITY",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "Profiler",
+    "RunProfile",
     "Span",
     "Tracer",
     "chrome_trace_events",
+    "current_profiler",
     "current_tracer",
     "global_registry",
+    "metric_key",
+    "profiled",
     "render_gantt",
+    "render_prometheus",
+    "set_profiler",
     "set_tracer",
     "summarize_workers",
     "to_chrome_trace",

@@ -69,36 +69,65 @@ def chrome_trace_events(spans: Sequence[Span], pid: int = 1) -> list[dict]:
     return events
 
 
-def to_chrome_trace(spans: Sequence[Span], metadata: dict | None = None) -> dict:
-    """The full Chrome trace document (loadable as-is in Perfetto)."""
+def to_chrome_trace(
+    spans: Sequence[Span],
+    metadata: dict | None = None,
+    *,
+    dropped: int = 0,
+    profile=None,
+) -> dict:
+    """The full Chrome trace document (loadable as-is in Perfetto).
+
+    ``dropped`` (ring-buffer evictions) and ``profile`` (a
+    :class:`~repro.obs.profile.RunProfile`) are recorded under
+    ``otherData`` only when present, so plain exports stay byte-stable.
+    """
     doc: dict = {
         "traceEvents": chrome_trace_events(spans),
         "displayTimeUnit": "ms",
     }
-    if metadata:
-        doc["otherData"] = dict(metadata)
+    other: dict = dict(metadata) if metadata else {}
+    if dropped:
+        other["spans_dropped"] = dropped
+    if profile is not None:
+        other["profile"] = profile.to_dict()
+    if other:
+        doc["otherData"] = other
     return doc
 
 
 def write_chrome_trace(
-    path: str | Path, spans: Sequence[Span], metadata: dict | None = None
+    path: str | Path,
+    spans: Sequence[Span],
+    metadata: dict | None = None,
+    *,
+    dropped: int = 0,
+    profile=None,
 ) -> Path:
     """Serialize spans as Chrome trace JSON at ``path``; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_chrome_trace(spans, metadata), indent=1))
+    doc = to_chrome_trace(spans, metadata, dropped=dropped, profile=profile)
+    path.write_text(json.dumps(doc, indent=1))
     return path
 
 
 # -- plain-dict snapshot (for tests) --------------------------------------- #
 
 
-def trace_snapshot(spans: Iterable[Span]) -> dict:
+def trace_snapshot(spans: Iterable[Span], dropped: int | None = None) -> dict:
     """Reduce spans to counts/durations: the test-friendly view.
 
-    Returns ``{"counts": {kind: n}, "duration_ns": {kind: total},
-    "per_worker": {worker: {kind: n}}}``.
+    Accepts either a span sequence or a tracer (whose ``spans()`` and
+    ``dropped`` are used).  Returns ``{"counts": {kind: n},
+    "duration_ns": {kind: total}, "per_worker": {worker: {kind: n}},
+    "dropped": n}``.
     """
+    spans_method = getattr(spans, "spans", None)
+    if callable(spans_method):
+        if dropped is None:
+            dropped = getattr(spans, "dropped", 0)
+        spans = spans_method()
     counts: dict[str, int] = {}
     duration: dict[str, int] = {}
     per_worker: dict[int, dict[str, int]] = {}
@@ -107,7 +136,12 @@ def trace_snapshot(spans: Iterable[Span]) -> dict:
         duration[s.kind] = duration.get(s.kind, 0) + s.duration_ns
         worker_counts = per_worker.setdefault(s.worker, {})
         worker_counts[s.kind] = worker_counts.get(s.kind, 0) + 1
-    return {"counts": counts, "duration_ns": duration, "per_worker": per_worker}
+    return {
+        "counts": counts,
+        "duration_ns": duration,
+        "per_worker": per_worker,
+        "dropped": dropped or 0,
+    }
 
 
 # -- per-worker utilization / Gantt ---------------------------------------- #
@@ -165,12 +199,13 @@ def summarize_workers(spans: Sequence[Span]) -> list[ObservedWorkerSummary]:
     return summaries
 
 
-def render_gantt(spans: Sequence[Span], width: int = 72) -> str:
+def render_gantt(spans: Sequence[Span], width: int = 72, dropped: int = 0) -> str:
     """ASCII Gantt from real events: one row per worker, time → right.
 
     Same glyphs as the simulator's chart (``s`` split, ``#`` leaf, ``c``
     combine) plus ``t`` for scheduler task spans; ``*`` marks a steal
-    instant, ``.`` is time not covered by any span.
+    instant, ``.`` is time not covered by any span.  ``dropped`` > 0
+    flags ring-buffer truncation in the header.
     """
     if width < 10:
         raise IllegalArgumentError("width must be >= 10")
@@ -179,9 +214,9 @@ def render_gantt(spans: Sequence[Span], width: int = 72) -> str:
     t0 = min(s.start_ns for s in spans)
     t1 = max(s.end_ns for s in spans)
     wallclock = t1 - t0
-    if wallclock <= 0:
-        return "(empty trace)"
-    scale = width / wallclock
+    # A run of pure instants (or identical timestamps) still deserves a
+    # chart: with zero wallclock everything lands in column 0.
+    scale = width / wallclock if wallclock > 0 else 0.0
     workers = sorted({s.worker for s in spans})
     by_worker = {w: [s for s in spans if s.worker == w] for w in workers}
     rows = []
@@ -207,6 +242,8 @@ def render_gantt(spans: Sequence[Span], width: int = 72) -> str:
         label = f"w{worker}" if worker >= 0 else "ext"
         rows.append(f"{label:<3} |{''.join(cells)}|")
     header = f"wallclock={wallclock / 1e6:.3f}ms  spans={len(spans)}"
+    if dropped > 0:
+        header += f"  dropped={dropped} (ring buffer overflowed)"
     legend = (
         "     s=split  #=leaf  c=combine  t=task  F=fuse  *=steal  "
         "x=cancel/crash  !=fault/retry/degraded  .=uncovered"
@@ -214,10 +251,14 @@ def render_gantt(spans: Sequence[Span], width: int = 72) -> str:
     return "\n".join([header, *rows, legend])
 
 
-def worker_report(spans: Sequence[Span], width: int = 72) -> str:
+def worker_report(
+    spans: Sequence[Span], width: int = 72, dropped: int = 0, profile=None
+) -> str:
     """Gantt plus a per-worker utilization table — the human-readable
-    counterpart of the Chrome trace export."""
-    gantt = render_gantt(spans, width)
+    counterpart of the Chrome trace export.  When a
+    :class:`~repro.obs.profile.RunProfile` is given, its hot-stage
+    report is appended below the table."""
+    gantt = render_gantt(spans, width, dropped=dropped)
     summaries = summarize_workers(spans)
     if not summaries:
         return gantt
@@ -228,4 +269,6 @@ def worker_report(spans: Sequence[Span], width: int = 72) -> str:
             f"{label:<6}  {s.busy_ns / 1e6:7.3f}  {s.utilization:5.1%}"
             f"  {s.spans:5d}  {s.steals:6d}"
         )
+    if profile is not None:
+        lines.extend(["", profile.report()])
     return "\n".join(lines)

@@ -8,6 +8,15 @@ summed plain-int worker counters while workers were mutating them.
 
 Python-level ``+=`` on an int is *not* atomic (LOAD / ADD / STORE can
 interleave between threads), so the lock is load-bearing, not ceremony.
+
+Metrics may carry **labels** (``registry.counter("steals", pool="fjp",
+worker="3")``): the same metric name with different label sets names
+different time series, exactly as in Prometheus.  :func:`metric_key`
+renders the canonical ``name{k="v",...}`` form used as the snapshot key
+(a metric without labels keeps its plain name, so pre-label snapshot
+consumers are unaffected), and :meth:`MetricsRegistry.collect` exposes a
+typed view that :func:`repro.obs.prom.render` turns into the Prometheus
+text exposition format.
 """
 
 from __future__ import annotations
@@ -18,14 +27,40 @@ from typing import Any
 
 from repro.common import IllegalArgumentError, check_positive
 
+#: Canonical label tuple: sorted ``(key, value)`` pairs with string values.
+LabelItems = "tuple[tuple[str, str], ...]"
+
+
+def _label_items(labels: dict) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def metric_key(name: str, **labels: Any) -> str:
+    """The canonical snapshot key: ``name`` or ``name{k="v",...}``.
+
+    Label pairs are sorted by key, so the rendering is unique for a given
+    label set — ``ForkJoinPool.stats()`` and the snapshot writer both use
+    this function, which keeps them in lockstep by construction.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in _label_items(labels))
+    return f"{name}{{{inner}}}"
+
 
 class Counter:
     """A monotonically increasing counter."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, _lock: threading.RLock | None = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        _lock: threading.RLock | None = None,
+        labels: dict | None = None,
+    ) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self._value = 0
         self._lock = _lock if _lock is not None else threading.RLock()
 
@@ -41,16 +76,22 @@ class Counter:
             return self._value
 
     def __repr__(self) -> str:
-        return f"Counter({self.name!r}, value={self.value})"
+        return f"Counter({metric_key(self.name, **self.labels)!r}, value={self.value})"
 
 
 class Gauge:
     """A value that can go up and down (e.g. queue depth)."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, _lock: threading.RLock | None = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        _lock: threading.RLock | None = None,
+        labels: dict | None = None,
+    ) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self._value = 0.0
         self._lock = _lock if _lock is not None else threading.RLock()
 
@@ -68,7 +109,7 @@ class Gauge:
             return self._value
 
     def __repr__(self) -> str:
-        return f"Gauge({self.name!r}, value={self.value})"
+        return f"Gauge({metric_key(self.name, **self.labels)!r}, value={self.value})"
 
 
 class Histogram:
@@ -80,16 +121,18 @@ class Histogram:
     1 ns .. ~9 minutes.
     """
 
-    __slots__ = ("name", "edges", "_counts", "_sum", "_lock")
+    __slots__ = ("name", "labels", "edges", "_counts", "_sum", "_lock")
 
     def __init__(
         self,
         name: str,
         num_buckets: int = 40,
         _lock: threading.RLock | None = None,
+        labels: dict | None = None,
     ) -> None:
         check_positive(num_buckets, "num_buckets")
         self.name = name
+        self.labels = dict(labels) if labels else {}
         #: Upper bounds of the bounded buckets: 2^0, 2^1, ..., 2^(n-2).
         self.edges: tuple[int, ...] = tuple(1 << i for i in range(num_buckets - 1))
         self._counts = [0] * num_buckets
@@ -136,64 +179,100 @@ class Histogram:
         return float("inf")
 
     def __repr__(self) -> str:
-        return f"Histogram({self.name!r}, count={self.count})"
+        return f"Histogram({metric_key(self.name, **self.labels)!r}, count={self.count})"
 
 
 class MetricsRegistry:
-    """Creates and owns named metrics; one lock, consistent snapshots."""
+    """Creates and owns named metrics; one lock, consistent snapshots.
 
-    __slots__ = ("name", "_metrics", "_lock")
+    Metrics are keyed by ``(name, labels)``: the same name with different
+    label sets yields distinct series, while the same name must keep one
+    metric *type* across all label sets (the Prometheus family rule).
+    """
+
+    __slots__ = ("name", "_metrics", "_types", "_lock")
 
     def __init__(self, name: str = "default") -> None:
         self.name = name
-        self._metrics: dict[str, Any] = {}
+        self._metrics: dict[tuple[str, tuple], Any] = {}
+        self._types: dict[str, type] = {}
         # RLock: snapshot() holds it while reading each metric's value,
         # which re-acquires the same lock through the metric's accessors.
         self._lock = threading.RLock()
 
-    def _get_or_create(self, name: str, cls, *args):
+    def _get_or_create(self, name: str, cls, args: tuple, labels: dict):
+        items = _label_items(labels)
         with self._lock:
-            existing = self._metrics.get(name)
+            registered = self._types.get(name)
+            if registered is not None and registered is not cls:
+                raise IllegalArgumentError(
+                    f"metric {name!r} already registered as "
+                    f"{registered.__name__}, not {cls.__name__}"
+                )
+            existing = self._metrics.get((name, items))
             if existing is not None:
-                if not isinstance(existing, cls):
-                    raise IllegalArgumentError(
-                        f"metric {name!r} already registered as "
-                        f"{type(existing).__name__}, not {cls.__name__}"
-                    )
                 return existing
-            metric = cls(name, *args, _lock=self._lock)
-            self._metrics[name] = metric
+            metric = cls(name, *args, _lock=self._lock, labels=dict(items))
+            self._types[name] = cls
+            self._metrics[(name, items)] = metric
             return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter)
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(name, Counter, (), labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge)
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(name, Gauge, (), labels)
 
-    def histogram(self, name: str, num_buckets: int = 40) -> Histogram:
-        return self._get_or_create(name, Histogram, num_buckets)
+    def histogram(self, name: str, num_buckets: int = 40, **labels: Any) -> Histogram:
+        return self._get_or_create(name, Histogram, (num_buckets,), labels)
 
     def snapshot(self) -> dict:
         """A consistent point-in-time view of every registered metric.
 
         Holding the single registry lock for the whole walk means no
         metric can change mid-snapshot — the per-worker counters read by
-        ``ForkJoinPool.stats()`` all come from the same instant.
+        ``ForkJoinPool.stats()`` all come from the same instant.  Keys
+        are :func:`metric_key` renderings (plain names for unlabeled
+        metrics).
         """
         with self._lock:
             out: dict[str, Any] = {}
-            for name, metric in sorted(self._metrics.items()):
-                if isinstance(metric, Counter):
-                    out[name] = metric._value
-                elif isinstance(metric, Gauge):
-                    out[name] = metric._value
+            for (name, items), metric in sorted(self._metrics.items()):
+                key = metric_key(name, **dict(items))
+                if isinstance(metric, (Counter, Gauge)):
+                    out[key] = metric._value
                 elif isinstance(metric, Histogram):
-                    out[name] = {
+                    out[key] = {
                         "count": sum(metric._counts),
                         "sum": metric._sum,
                         "counts": list(metric._counts),
                     }
+            return out
+
+    def collect(self) -> list[dict]:
+        """A typed, label-preserving view for exposition writers.
+
+        Returns one entry per metric, all read under the single registry
+        lock: ``{"name", "labels", "type", ...}`` where counters and
+        gauges carry ``"value"`` and histograms carry ``"edges"``,
+        ``"counts"`` and ``"sum"``.
+        """
+        with self._lock:
+            out = []
+            for (name, items), metric in sorted(self._metrics.items()):
+                entry: dict[str, Any] = {"name": name, "labels": dict(items)}
+                if isinstance(metric, Counter):
+                    entry["type"] = "counter"
+                    entry["value"] = metric._value
+                elif isinstance(metric, Gauge):
+                    entry["type"] = "gauge"
+                    entry["value"] = metric._value
+                elif isinstance(metric, Histogram):
+                    entry["type"] = "histogram"
+                    entry["edges"] = metric.edges
+                    entry["counts"] = list(metric._counts)
+                    entry["sum"] = metric._sum
+                out.append(entry)
             return out
 
     def __len__(self) -> int:

@@ -1,0 +1,112 @@
+"""Prometheus text exposition format for :class:`MetricsRegistry`.
+
+:func:`render` turns one or more registries into the standard text
+format (version 0.0.4) that a Prometheus server, ``promtool``, or any
+OpenMetrics-adjacent scraper can ingest:
+
+* counters get the conventional ``_total`` suffix;
+* histograms emit cumulative ``_bucket{le="..."}`` series (our internal
+  per-bucket counts are converted to cumulative-at-or-below counts, with
+  the trailing ``le="+Inf"`` bucket) plus ``_sum`` and ``_count``;
+* labels render sorted by key with proper value escaping, and metric
+  names are sanitized to the legal ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset.
+
+No HTTP server is included — the future serve layer mounts this string
+on ``/metrics``; here it is just a pure function of ``collect()``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common import IllegalArgumentError
+from repro.obs.metrics import MetricsRegistry, global_registry
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    clean = _NAME_BAD.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: dict, extra: "tuple[str, str] | None" = None) -> str:
+    items = sorted((str(k), str(v)) for k, v in labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{_sanitize(k)}="{_escape(v)}"' for k, v in items)
+    return f"{{{inner}}}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def render(*registries: MetricsRegistry, namespace: str = "repro") -> str:
+    """The text exposition of every metric in ``registries``.
+
+    With no arguments, renders :func:`~repro.obs.metrics.global_registry`.
+    Metrics are grouped into families by fully-qualified name; a name
+    collected under two different types is an error (the same rule
+    :class:`MetricsRegistry` enforces per registry, re-checked here
+    because multiple registries may collide).
+    """
+    if not registries:
+        registries = (global_registry(),)
+    prefix = _sanitize(namespace) + "_" if namespace else ""
+
+    # family name -> {"type": ..., "series": [entry, ...]}
+    families: dict[str, dict] = {}
+    for registry in registries:
+        for entry in registry.collect():
+            fq = prefix + _sanitize(entry["name"])
+            family = families.get(fq)
+            if family is None:
+                family = families[fq] = {"type": entry["type"], "series": []}
+            elif family["type"] != entry["type"]:
+                raise IllegalArgumentError(
+                    f"metric family {fq!r} collected as both "
+                    f"{family['type']} and {entry['type']}"
+                )
+            family["series"].append(entry)
+
+    lines: list[str] = []
+    for fq in sorted(families):
+        family = families[fq]
+        kind = family["type"]
+        if kind == "counter":
+            lines.append(f"# TYPE {fq}_total counter")
+            for entry in family["series"]:
+                labels = _render_labels(entry["labels"])
+                lines.append(f"{fq}_total{labels} {_format_value(entry['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {fq} gauge")
+            for entry in family["series"]:
+                labels = _render_labels(entry["labels"])
+                lines.append(f"{fq}{labels} {_format_value(entry['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {fq} histogram")
+            for entry in family["series"]:
+                cumulative = 0
+                edges = list(entry["edges"]) + [float("inf")]
+                for edge, count in zip(edges, entry["counts"]):
+                    cumulative += count
+                    le = _format_value(float(edge))
+                    labels = _render_labels(entry["labels"], extra=("le", le))
+                    lines.append(f"{fq}_bucket{labels} {cumulative}")
+                labels = _render_labels(entry["labels"])
+                lines.append(f"{fq}_sum{labels} {_format_value(entry['sum'])}")
+                lines.append(f"{fq}_count{labels} {cumulative}")
+    return "\n".join(lines) + "\n" if lines else ""

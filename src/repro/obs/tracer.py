@@ -22,12 +22,31 @@ dependency-free and import cycles impossible.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.common import check_positive
+
+
+def _env_int(name: str, default: int) -> int:
+    """An integer default overridable via the environment (bad values
+    fall back silently — observability config must never crash a run)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+#: Default ring-buffer capacity for :class:`Tracer` (spans kept before the
+#: oldest are dropped).  Override with ``REPRO_TRACE_CAPACITY``.
+DEFAULT_TRACE_CAPACITY = _env_int("REPRO_TRACE_CAPACITY", 1 << 16)
 
 #: Span kinds emitted by the built-in instrumentation sites.  ``split`` /
 #: ``leaf`` / ``combine`` mirror the simulator's strand kinds; ``task`` /
@@ -111,6 +130,8 @@ class NullTracer:
     def clear(self) -> None:
         pass
 
+    dropped = 0
+
 
 #: The process-wide disabled tracer (stateless, shareable).
 NULL_TRACER = NullTracer()
@@ -119,16 +140,23 @@ NULL_TRACER = NullTracer()
 class Tracer:
     """Records spans into a bounded, thread-safe ring buffer."""
 
-    __slots__ = ("capacity", "_buffer")
+    __slots__ = ("capacity", "_buffer", "dropped")
 
     enabled = True
 
-    def __init__(self, capacity: int = 1 << 16) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is None:
+            capacity = DEFAULT_TRACE_CAPACITY
         check_positive(capacity, "capacity")
         self.capacity = capacity
         # deque(maxlen=...) drops from the head on overflow; append is
         # atomic under the GIL, so emitting never takes a lock.
         self._buffer: deque[Span] = deque(maxlen=capacity)
+        #: Spans evicted by ring-buffer overflow.  Maintained with an
+        #: unlocked ``+=`` — concurrent emitters can undercount it, so
+        #: treat it as advisory ("at least this many lost"), which is all
+        #: the truncation warning in the reports needs.
+        self.dropped = 0
 
     def now(self) -> int:
         """Current monotonic timestamp in nanoseconds."""
@@ -144,6 +172,8 @@ class Tracer:
         **args: Any,
     ) -> None:
         """Record a completed interval ``[start_ns, end_ns]``."""
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
         self._buffer.append(
             Span(kind, name, worker, start_ns, end_ns, args or None)
         )
@@ -158,6 +188,8 @@ class Tracer:
     ) -> None:
         """Record a zero-duration event (e.g. a steal)."""
         ts = at_ns if at_ns is not None else time.perf_counter_ns()
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
         self._buffer.append(Span(kind, name, worker, ts, ts, args or None))
 
     @contextmanager
@@ -184,6 +216,7 @@ class Tracer:
 
     def clear(self) -> None:
         self._buffer.clear()
+        self.dropped = 0
 
     @property
     def wrapped(self) -> bool:
@@ -213,7 +246,7 @@ def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
 
 @contextmanager
 def tracing(
-    capacity: int = 1 << 16, tracer: Tracer | None = None
+    capacity: int | None = None, tracer: Tracer | None = None
 ) -> Iterator[Tracer]:
     """Enable tracing for the dynamic extent of the ``with`` block.
 

@@ -48,6 +48,7 @@ from repro.streams.fusion import (
     fusion_stats,
     set_fusion,
 )
+from repro.streams.explain import ExplainPlan
 from repro.streams.stream import Stream
 from repro.streams.stream_support import StreamSupport, stream_of
 
@@ -59,6 +60,7 @@ __all__ = [
     "CollectorCharacteristics",
     "Collectors",
     "EmptySpliterator",
+    "ExplainPlan",
     "IteratorSpliterator",
     "ListSpliterator",
     "Optional",

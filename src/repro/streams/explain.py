@@ -1,0 +1,310 @@
+"""``Stream.explain()``: the execution plan, predicted without executing.
+
+The engine now makes four layered decisions per terminal — the fusion
+rewrite, the bulk-vs-per-element mode selection, the parallel segmenting
+at stateful barriers, and the split-tree shape from the target size.
+This module re-runs exactly those decision functions against the *plan*
+(op list + source metadata) instead of the data, so the report it builds
+is the same decision the engine will take, not a parallel reimplementation
+that can drift:
+
+* fusion goes through the pure :func:`~repro.streams.fusion.fuse_ops`
+  (not ``maybe_fuse`` — explaining must not pollute the stats/memo that
+  tests and benchmarks pin);
+* mode selection reuses :func:`pipeline_is_short_circuit` /
+  :func:`pipeline_supports_chunks` / :func:`bulk_execution_enabled`, the
+  exact predicates ``run_pipeline`` branches on;
+* the split tree is walked with the real
+  :func:`~repro.streams.parallel.compute_target_size` and the real
+  halving rule (prefix gets ``size - size // 2``).
+
+Everything is returned as a plain dict (pinned by tests) with a pretty
+text rendering via :meth:`ExplainPlan.render`.
+"""
+
+from __future__ import annotations
+
+import copy
+from functools import lru_cache
+
+from repro.forkjoin.pool import common_pool_parallelism
+from repro.streams.fusion import FusedOp, fuse_ops, fusion_enabled
+from repro.streams.ops import (
+    Op,
+    bulk_execution_enabled,
+    pipeline_is_short_circuit,
+    pipeline_supports_chunks,
+)
+from repro.streams.parallel import compute_target_size
+from repro.streams.spliterator import UNKNOWN_SIZE, Characteristics, Spliterator
+
+#: Mode names reported under ``execution.mode`` / ``segments[].mode`` —
+#: the three branches of ``run_pipeline``.
+MODE_SHORT_CIRCUIT = "short-circuit-polled"
+MODE_CHUNKED = "chunked"
+MODE_ELEMENT = "per-element"
+
+
+def _op_label(op: Op) -> str:
+    """Same label scheme as the profiler: ``MapOp`` → ``map``."""
+    if isinstance(op, FusedOp):
+        return f"fused({'|'.join(op.kinds)})"
+    name = type(op).__name__
+    if name.endswith("Op"):
+        name = name[:-2]
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isupper() and i > 0:
+            out.append("_")
+        out.append(ch.lower())
+    return "".join(out)
+
+
+def _predict_mode(ops: list[Op], force_short_circuit: bool = False) -> str:
+    """The branch ``run_pipeline`` would take for this (fused) chain."""
+    if force_short_circuit or pipeline_is_short_circuit(ops):
+        return MODE_SHORT_CIRCUIT
+    if bulk_execution_enabled() and pipeline_supports_chunks(ops):
+        return MODE_CHUNKED
+    return MODE_ELEMENT
+
+
+@lru_cache(maxsize=4096)
+def _walk_split_tree(size: int, target_size: int) -> tuple[int, int]:
+    """Predicted ``(leaves, depth)`` of the divide-and-conquer tree.
+
+    Mirrors ``_ReduceTask``: a node at or under the target is a leaf;
+    otherwise the prefix takes ``size - size // 2`` elements and the
+    suffix ``size // 2`` (``try_split`` halves, prefix gets the extra
+    element of an odd split).  Memoized — sibling sizes repeat at every
+    level, so the walk is O(depth²) instead of O(leaves).
+    """
+    if size <= target_size:
+        return 1, 0
+    suffix = size // 2
+    left_leaves, left_depth = _walk_split_tree(size - suffix, target_size)
+    right_leaves, right_depth = _walk_split_tree(suffix, target_size)
+    return left_leaves + right_leaves, max(left_depth, right_depth) + 1
+
+
+def _fusion_section(ops: list[Op]) -> tuple[dict, list[Op]]:
+    """The fusion rewrite report and the rewritten chain.
+
+    Uses the pure :func:`fuse_ops` so explaining never touches the
+    ``fusion_stats`` counters or the identity memo.
+    """
+    enabled = fusion_enabled()
+    if enabled:
+        rewritten, stages_fused = fuse_ops(ops)
+    else:
+        rewritten, stages_fused = ops, 0
+    runs = [
+        op.describe() for op in rewritten if isinstance(op, FusedOp)
+    ]
+    barriers = [
+        {
+            "op": _op_label(op),
+            "stateful": op.stateful,
+            "short_circuit": op.short_circuit,
+        }
+        for op in rewritten
+        if op.stateful or op.short_circuit
+    ]
+    section = {
+        "enabled": enabled,
+        "chain": [_op_label(op) for op in rewritten],
+        "stages_fused": stages_fused,
+        "kernels": len(runs),
+        "runs": runs,
+        "barriers": barriers,
+    }
+    return section, rewritten
+
+
+def _sequential_execution(fused_ops: list[Op]) -> dict:
+    return {"parallel": False, "mode": _predict_mode(fused_ops)}
+
+
+def _parallel_execution(
+    ops: list[Op],
+    size: int | None,
+    pool,
+    explicit_target: int | None,
+) -> dict:
+    """Predict segments, target size, and the split tree for parallel runs.
+
+    Mirrors ``Stream._barrier_stateful``: the chain is cut at each
+    stateful op; every stateless segment runs as its own fork/join
+    reduction (each re-fused and mode-selected independently), with the
+    stateful op applied as a sequential barrier between segments.
+    """
+    if pool is not None:
+        pool_name, parallelism = pool.name, pool.parallelism
+    else:
+        pool_name, parallelism = "common", common_pool_parallelism()
+
+    segments = []
+    remaining = list(ops)
+    while True:
+        cut = next(
+            (i for i, op in enumerate(remaining) if op.stateful), None
+        )
+        if cut is None:
+            prefix, barrier, remaining = remaining, None, []
+        else:
+            prefix, barrier = remaining[:cut], remaining[cut]
+            remaining = remaining[cut + 1 :]
+        fused, _ = (
+            fuse_ops(prefix) if fusion_enabled() else (prefix, 0)
+        )
+        segments.append(
+            {
+                "ops": [_op_label(op) for op in fused],
+                # Leaves of a parallel reduction run the chain through
+                # run_pipeline; match/find leaves poll (short-circuit).
+                "mode": _predict_mode(fused),
+                "barrier": _op_label(barrier) if barrier is not None else None,
+            }
+        )
+        if barrier is None:
+            break
+
+    execution: dict = {
+        "parallel": True,
+        "pool": pool_name,
+        "parallelism": parallelism,
+        "segments": segments,
+    }
+
+    if explicit_target is not None:
+        target = explicit_target
+        execution["threshold_source"] = "with_target_size"
+    elif size is not None:
+        target = compute_target_size(size, parallelism)
+        execution["threshold_source"] = "size // (4 × parallelism)"
+    else:
+        target = compute_target_size(UNKNOWN_SIZE, parallelism)
+        execution["threshold_source"] = "unknown size → default leaf size"
+    execution["target_size"] = target
+
+    # The split tree is only predictable for a sized source; the shape of
+    # later segments depends on barrier output sizes (e.g. after filter),
+    # so the prediction covers the first segment.
+    if size is not None:
+        leaves, depth = _walk_split_tree(size, target)
+        execution["split_tree"] = {"leaves": leaves, "depth": depth}
+    else:
+        execution["split_tree"] = None
+    return execution
+
+
+class ExplainPlan:
+    """A structured, renderable execution plan (see :func:`explain_stream`)."""
+
+    def __init__(self, plan: dict) -> None:
+        self._plan = plan
+
+    def to_dict(self) -> dict:
+        return copy.deepcopy(self._plan)
+
+    def __getitem__(self, key: str):
+        return self._plan[key]
+
+    def render(self) -> str:
+        """Pretty text tree of the plan."""
+        p = self._plan
+        src = p["source"]
+        size = src["size"] if src["size"] is not None else "?"
+        flags = []
+        if src["sized"]:
+            flags.append("sized")
+        if src["power2"]:
+            flags.append("power2")
+        lines = [
+            "explain",
+            f"├─ source: {src['spliterator']} "
+            f"(size={size}{', ' + '+'.join(flags) if flags else ''})",
+            f"├─ ops: {' → '.join(p['ops']) if p['ops'] else '(none)'}",
+        ]
+        fusion = p["fusion"]
+        if not fusion["enabled"]:
+            lines.append("├─ fusion: disabled")
+        elif fusion["kernels"] == 0:
+            lines.append("├─ fusion: nothing to fuse")
+        else:
+            lines.append(
+                f"├─ fusion: {fusion['stages_fused']} stages → "
+                f"{fusion['kernels']} kernel(s): {' → '.join(fusion['chain'])}"
+            )
+            for run in fusion["runs"]:
+                lines.append(
+                    f"│    kernel[{'|'.join(run['stages'])}] "
+                    f"{run['kernel']}"
+                    f"{', ufunc×' + str(run['ufunc_prefix']) if run['ufunc_prefix'] else ''}"
+                )
+        for barrier in fusion["barriers"]:
+            why = "stateful" if barrier["stateful"] else "short-circuit"
+            lines.append(f"│    barrier: {barrier['op']} ({why})")
+        ex = p["execution"]
+        if not ex["parallel"]:
+            lines.append(f"└─ execution: sequential, mode={ex['mode']}")
+            return "\n".join(lines)
+        lines.append(
+            f"└─ execution: parallel on {ex['pool']!r} "
+            f"(parallelism={ex['parallelism']})"
+        )
+        lines.append(
+            f"     target_size={ex['target_size']} "
+            f"[{ex['threshold_source']}]"
+        )
+        for i, seg in enumerate(ex["segments"]):
+            chain = " → ".join(seg["ops"]) if seg["ops"] else "(passthrough)"
+            tail = f" ⊣ barrier {seg['barrier']}" if seg["barrier"] else ""
+            lines.append(f"     segment[{i}]: {chain}  mode={seg['mode']}{tail}")
+        tree = ex["split_tree"]
+        if tree is not None:
+            lines.append(
+                f"     split tree: {tree['leaves']} leaves, depth {tree['depth']}"
+            )
+        else:
+            lines.append("     split tree: unknown (unsized source)")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:
+        return f"ExplainPlan({self._plan['execution']})"
+
+
+def explain_stream(stream) -> ExplainPlan:
+    """Build the plan for ``stream`` without consuming or executing it."""
+    spliterator: Spliterator = stream._spliterator
+    ops: list[Op] = list(stream._ops)
+
+    exact = spliterator.get_exact_size_if_known()
+    size = exact if exact >= 0 else None
+    source = {
+        "spliterator": type(spliterator).__name__,
+        "size": size,
+        "sized": spliterator.has_characteristics(Characteristics.SIZED),
+        "power2": spliterator.has_characteristics(Characteristics.POWER2),
+    }
+
+    fusion_section, fused_ops = _fusion_section(ops)
+
+    if stream._parallel:
+        execution = _parallel_execution(
+            ops, size, stream._pool, stream._target_size
+        )
+    else:
+        execution = _sequential_execution(fused_ops)
+
+    return ExplainPlan(
+        {
+            "source": source,
+            "ops": [_op_label(op) for op in ops],
+            "fusion": fusion_section,
+            "execution": execution,
+        }
+    )

@@ -290,6 +290,19 @@ class FusedOp(Op):
     def __repr__(self) -> str:
         return f"FusedOp({' | '.join(self.kinds)})"
 
+    def describe(self) -> dict:
+        """Kernel-shape summary for ``Stream.explain()`` / tooling."""
+        return {
+            "stages": list(self.kinds),
+            "kernel": (
+                "loop"
+                if any(k in ("peek", "map_multi") for k in self.kinds)
+                else "comprehension"
+            ),
+            "ufunc_prefix": len(self._ufunc_prefix),
+            "size_preserving": self._size_preserving,
+        }
+
     def wrap_sink(self, downstream: Sink) -> Sink:
         element_kernel = self._element_kernel
         chunk_kernel = self._chunk_kernel

@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Generic, Iterable, Sequence, TypeVar
 
 from repro.common import IllegalArgumentError
+from repro.obs.profile import current_profiler
 from repro.streams.spliterator import Spliterator
 
 try:  # numpy is a hard dependency of the repo, but keep ops importable without it
@@ -688,6 +689,11 @@ def run_pipeline(
     Returns ``terminal`` so callers can read its result.
     """
     ops = _fusion.maybe_fuse(ops)
+    profiler = current_profiler()
+    if profiler is not None:
+        return _run_pipeline_profiled(
+            spliterator, ops, terminal, force_short_circuit, profiler
+        )
     sink = wrap_ops(ops, terminal)
     if force_short_circuit or pipeline_is_short_circuit(ops):
         _bulk_stats["element"] += 1
@@ -698,6 +704,41 @@ def run_pipeline(
     else:
         _bulk_stats["element"] += 1
         copy_into(spliterator, sink, False)
+    return terminal
+
+
+def _run_pipeline_profiled(
+    spliterator: Spliterator,
+    ops: list[Op],
+    terminal: Sink,
+    force_short_circuit: bool,
+    profiler,
+) -> Sink:
+    """The profiled twin of :func:`run_pipeline` (same mode selection and
+    ``_bulk_stats`` accounting, already-fused ``ops``).
+
+    Kept separate so the unprofiled hot path above pays exactly one
+    ``is None`` check for the profiler — no extra branches, no wrappers.
+    """
+    if force_short_circuit or pipeline_is_short_circuit(ops):
+        mode = "short_circuit"
+        _bulk_stats["element"] += 1
+    elif _bulk_enabled and pipeline_supports_chunks(ops):
+        mode = "chunked"
+        _bulk_stats["chunked"] += 1
+    else:
+        mode = "element"
+        _bulk_stats["element"] += 1
+    if profiler.sample():
+        sink, probes, labels = profiler.instrument(ops, terminal)
+    else:
+        sink, probes, labels = wrap_ops(ops, terminal), None, None
+    if mode == "chunked":
+        copy_into_chunked(spliterator, sink)
+    else:
+        copy_into(spliterator, sink, mode == "short_circuit")
+    fused = sum(1 for op in ops if type(op) is _fusion.FusedOp)
+    profiler.profile.record_traversal(mode, probes, labels, fused)
     return terminal
 
 

@@ -34,6 +34,7 @@ from repro.faults.plan import current_fault_plan
 from repro.faults.policy import Deadline
 from repro.forkjoin.pool import ForkJoinPool, current_worker
 from repro.forkjoin.task import RecursiveTask
+from repro.obs.profile import current_profiler
 from repro.obs.tracer import EXTERNAL_WORKER, current_tracer
 from repro.streams.collector import Collector
 from repro.streams.fusion import maybe_fuse
@@ -42,9 +43,7 @@ from repro.streams.ops import (
     Op,
     ReducingSink,
     Sink,
-    copy_into,
     run_pipeline,
-    wrap_ops,
 )
 from repro.streams.optional import Optional
 from repro.streams.spliterator import UNKNOWN_SIZE, Spliterator
@@ -60,6 +59,13 @@ def _worker_id() -> int:
     """Index of the calling pool worker, or EXTERNAL_WORKER outside one."""
     worker = current_worker()
     return worker.index if worker is not None else EXTERNAL_WORKER
+
+
+def _attach_profiler(pool: ForkJoinPool) -> None:
+    """Give an active profiler the pool so it can report counter deltas."""
+    profiler = current_profiler()
+    if profiler is not None:
+        profiler.profile.attach_pool(pool)
 
 
 def compute_target_size(size: int, parallelism: int) -> int:
@@ -244,19 +250,27 @@ class _ReduceTask(RecursiveTask):
                 )
                 if action is not None:
                     action.apply_before()
-            if not tracer.enabled:
+            profiler = current_profiler()
+            if not tracer.enabled and profiler is None:
                 result = self.leaf(spliterator)
             else:
                 size = spliterator.estimate_size()
                 start = time.perf_counter_ns()
                 result = self.leaf(spliterator)
-                tracer.emit(
-                    "leaf",
-                    worker=_worker_id(),
-                    start_ns=start,
-                    end_ns=time.perf_counter_ns(),
-                    size=size,
-                )
+                end = time.perf_counter_ns()
+                if tracer.enabled:
+                    tracer.emit(
+                        "leaf",
+                        worker=_worker_id(),
+                        start_ns=start,
+                        end_ns=end,
+                        size=size,
+                    )
+                if profiler is not None:
+                    profiler.profile.record_leaf(end - start, size)
+                    pool = self.ctx.pool
+                    if pool is not None:
+                        pool._observe_leaf_duration(end - start)
             if action is not None:
                 result = action.apply_result(result)
             return result
@@ -319,6 +333,7 @@ def parallel_collect(
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
+    _attach_profiler(pool)
 
     def leaf(leaf_spliterator: Spliterator) -> Any:
         # Each fork/join leaf traverses its sub-spliterator through the
@@ -355,6 +370,7 @@ def parallel_reduce(
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
+    _attach_profiler(pool)
 
     def leaf(leaf_spliterator: Spliterator) -> ReducingSink:
         return run_pipeline(
@@ -391,6 +407,7 @@ def parallel_for_each(
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
+    _attach_profiler(pool)
 
     def leaf(leaf_spliterator: Spliterator) -> None:
         class _ForEach(Sink):
@@ -427,6 +444,7 @@ def parallel_match(
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
+    _attach_profiler(pool)
     cancel = ctx.cancel
     # For "any": looking for an element satisfying predicate → result True.
     # For "all": looking for a counterexample (not predicate) → result False.
@@ -450,7 +468,9 @@ def parallel_match(
             def cancellation_requested(self):
                 return found[0] or cancel.is_set()
 
-        copy_into(leaf_spliterator, wrap_ops(ops, _MatchSink()), True)
+        # Through run_pipeline (not a bare copy_into) so leaves share the
+        # memoized fusion rewrite and profiler instrumentation.
+        run_pipeline(leaf_spliterator, ops, _MatchSink(), force_short_circuit=True)
         return found[0]
 
     triggered = _invoke_fail_fast(
@@ -480,6 +500,7 @@ def parallel_find(
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
+    _attach_profiler(pool)
     # find_first must not globally cancel on a hit (a leftmost element may
     # still be discovered later); its leaves stop only on their own hit.
     cancel = ctx.cancel if not first else None
@@ -497,7 +518,7 @@ def parallel_find(
             def cancellation_requested(self):
                 return bool(result) or (cancel is not None and cancel.is_set())
 
-        copy_into(leaf_spliterator, wrap_ops(ops, _FindSink()), True)
+        run_pipeline(leaf_spliterator, ops, _FindSink(), force_short_circuit=True)
         return Optional.of(result[0]) if result else Optional.empty()
 
     def merge(a: Optional, b: Optional) -> Optional:

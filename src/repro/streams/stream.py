@@ -506,6 +506,40 @@ class Stream:
         """Any element (parallel-friendly)."""
         return self._find(first=False)
 
+    def explain(self) -> "Any":
+        """The execution plan, predicted without executing (non-terminal).
+
+        Returns an :class:`~repro.streams.explain.ExplainPlan`: the op
+        chain, the fusion rewrite (fused runs, kernel shapes, barriers),
+        the traversal mode ``run_pipeline`` would select, and — for
+        parallel pipelines — the segmenting at stateful barriers plus the
+        predicted split tree.  ``to_dict()`` for tests/tools,
+        ``render()`` (or ``str()``) for humans.  The stream is *not*
+        consumed: explaining then executing is the normal flow.
+        """
+        from repro.streams.explain import explain_stream
+
+        return explain_stream(self)
+
+    def profile(self, terminal: Callable[["Stream"], Any], *, sample: int | None = None):
+        """Run ``terminal(self)`` under a profiler; returns
+        ``(result, RunProfile)``.
+
+        Convenience wrapper over :func:`repro.obs.profiled` that also
+        pre-attaches this stream's pool for parallel pipelines::
+
+            result, prof = Stream.range(0, n).parallel().profile(
+                lambda s: s.map(f).sum()
+            )
+            print(prof.report())
+        """
+        from repro.obs.profile import profiled
+
+        pool = self._effective_pool() if self._parallel else None
+        with profiled(sample=sample, pool=pool) as run_profile:
+            result = terminal(self)
+        return result, run_profile
+
     def spliterator(self) -> Spliterator:
         """A spliterator over this pipeline's output (terminal op).
 

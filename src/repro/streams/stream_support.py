@@ -9,11 +9,14 @@ This module reproduces that entry point.
 
 from __future__ import annotations
 
-from typing import Iterable, TypeVar
+from typing import TYPE_CHECKING, Iterable, TypeVar
 
 from repro.streams.spliterator import Spliterator
 from repro.streams.spliterators import spliterator_of
 from repro.streams.stream import Stream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.forkjoin.pool import ForkJoinPool
 
 T = TypeVar("T")
 
@@ -22,18 +25,38 @@ class StreamSupport:
     """Namespace class mirroring ``java.util.stream.StreamSupport``."""
 
     @staticmethod
-    def stream(spliterator: Spliterator, parallel: bool = False) -> Stream:
+    def stream(
+        spliterator: Spliterator,
+        parallel: bool = False,
+        pool: "ForkJoinPool | None" = None,
+        target_size: int | None = None,
+    ) -> Stream:
         """Create a stream driven by ``spliterator``.
 
         Args:
             spliterator: the source; its ``try_split`` directs parallel
                 decomposition, exactly as in Java.
             parallel: True for a parallel stream.
+            pool: run parallel terminals on this pool instead of the
+                common pool (shorthand for ``.with_pool(pool)``).
+            target_size: override the split threshold (shorthand for
+                ``.with_target_size(n)``).
         """
         stream = Stream(spliterator)
-        return stream.parallel() if parallel else stream
+        if parallel:
+            stream = stream.parallel()
+        if pool is not None:
+            stream = stream.with_pool(pool)
+        if target_size is not None:
+            stream = stream.with_target_size(target_size)
+        return stream
 
 
-def stream_of(source: Iterable[T], parallel: bool = False) -> Stream:
+def stream_of(
+    source: Iterable[T],
+    parallel: bool = False,
+    pool: "ForkJoinPool | None" = None,
+    target_size: int | None = None,
+) -> Stream:
     """Convenience: a stream over any iterable (``Collection.stream()``)."""
-    return StreamSupport.stream(spliterator_of(source), parallel)
+    return StreamSupport.stream(spliterator_of(source), parallel, pool, target_size)

@@ -95,6 +95,54 @@ class TestHarness:
         kinds = {e["cat"] for e in doc["traceEvents"]}
         assert "leaf" in kinds
 
+    def test_profile_kwarg_writes_json_profile(self, tmp_path):
+        import json
+
+        from repro.streams import Stream
+
+        path = tmp_path / "profile.json"
+        timing = repeat_average(
+            lambda: Stream.range(0, 1024).map(lambda x: x * 2).sum(),
+            runs=2,
+            profile=path,
+            profile_sample=1,
+        )
+        assert timing.runs == 2  # the profiled run is extra, not a sample
+        doc = json.loads(path.read_text())
+        assert doc["traversals"] == 1
+        assert "0:map" in doc["stages"]
+
+    def test_profile_kwarg_writes_text_report(self, tmp_path):
+        from repro.streams import Stream
+
+        path = tmp_path / "profile.txt"
+        repeat_average(
+            lambda: Stream.range(0, 256).sum(),
+            runs=1,
+            profile=path,
+            profile_sample=1,
+        )
+        assert "traversal(s)" in path.read_text()
+
+    def test_trace_and_profile_share_one_extra_run(self, tmp_path):
+        import json
+
+        from repro.streams import Stream
+
+        trace_path = tmp_path / "run.json"
+        profile_path = tmp_path / "profile.json"
+        repeat_average(
+            lambda: Stream.range(0, 512).map(lambda x: x + 1).sum(),
+            runs=1,
+            trace=trace_path,
+            profile=profile_path,
+            profile_sample=1,
+        )
+        trace_doc = json.loads(trace_path.read_text())
+        profile_doc = json.loads(profile_path.read_text())
+        # The Chrome trace is enriched with the same profile dict.
+        assert trace_doc["otherData"]["profile"] == profile_doc
+
     def test_from_samples_rejects_empty(self):
         from repro.bench import TimingResult
 

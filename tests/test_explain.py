@@ -1,0 +1,252 @@
+"""``Stream.explain()``: pinned plans, cross-checked against real runs.
+
+The explain report re-runs the engine's own decision functions against
+the plan instead of the data, so every pinned dict here is also
+re-verified against what the engine *actually did* — ``fusion_stats``
+and ``bulk_stats`` deltas, and traced leaf counts for the split tree.
+"""
+
+import pytest
+
+from repro.forkjoin import ForkJoinPool
+from repro.obs import tracing
+from repro.streams import ExplainPlan, Stream, bulk_stats, fusion, fusion_stats
+from repro.streams.explain import _walk_split_tree
+
+
+def _triple(x):
+    return x * 3
+
+
+def _even(x):
+    return x & 1 == 0
+
+
+class TestFusedStatelessChain:
+    """map → filter on a sized power-of-two range: one fused kernel."""
+
+    def _stream(self):
+        return Stream.range(0, 4096).map(_triple).filter(_even)
+
+    def test_pinned_plan(self):
+        plan = self._stream().explain()
+        assert plan.to_dict() == {
+            "source": {
+                "spliterator": "RangeSpliterator",
+                "size": 4096,
+                "sized": True,
+                "power2": True,
+            },
+            "ops": ["map", "filter"],
+            "fusion": {
+                "enabled": True,
+                "chain": ["fused(map|filter)"],
+                "stages_fused": 2,
+                "kernels": 1,
+                "runs": [
+                    {
+                        "stages": ["map", "filter"],
+                        "kernel": "comprehension",
+                        "ufunc_prefix": 0,
+                        "size_preserving": False,
+                    }
+                ],
+                "barriers": [],
+            },
+            "execution": {"parallel": False, "mode": "chunked"},
+        }
+
+    def test_explain_does_not_consume_or_execute(self):
+        stream = self._stream()
+        fusion_stats(reset=True)
+        before = bulk_stats()
+        stream.explain()
+        assert bulk_stats() == before
+        assert fusion_stats()["pipelines_fused"] == 0
+        # The stream is still consumable afterwards.
+        assert stream.count() == 2048
+
+    def test_agrees_with_actual_run(self):
+        plan = self._stream().explain().to_dict()
+        fusion_stats(reset=True)
+        before = bulk_stats()
+        result = self._stream().to_list()
+        assert result == [x * 3 for x in range(4096) if (x * 3) % 2 == 0]
+        delta = {
+            k: v - before[k] for k, v in bulk_stats().items()
+        }
+        assert plan["execution"]["mode"] == "chunked"
+        assert delta == {"chunked": 1, "element": 0}
+        stats = fusion_stats()
+        assert stats["stages_fused"] == plan["fusion"]["stages_fused"]
+        assert stats["kernels"] == plan["fusion"]["kernels"]
+
+    def test_fusion_disabled_plan(self):
+        with fusion(False):
+            plan = self._stream().explain().to_dict()
+        assert plan["fusion"]["enabled"] is False
+        assert plan["fusion"]["chain"] == ["map", "filter"]
+        assert plan["fusion"]["kernels"] == 0
+        assert plan["execution"]["mode"] == "chunked"
+
+    def test_render_mentions_the_decisions(self):
+        text = self._stream().explain().render()
+        assert "RangeSpliterator" in text
+        assert "fused(map|filter)" in text
+        assert "mode=chunked" in text
+        assert "sized+power2" in text
+
+
+class TestStatefulBarrierChain:
+    """map → sorted → map in parallel: two segments around the barrier."""
+
+    def _stream(self, pool):
+        return (
+            Stream.range(0, 4096)
+            .parallel()
+            .with_pool(pool)
+            .with_target_size(512)
+            .map(_triple)
+            .sorted()
+            .map(_triple)
+        )
+
+    def test_pinned_plan(self):
+        with ForkJoinPool(parallelism=4, name="explain-test") as pool:
+            plan = self._stream(pool).explain()
+        assert plan.to_dict() == {
+            "source": {
+                "spliterator": "RangeSpliterator",
+                "size": 4096,
+                "sized": True,
+                "power2": True,
+            },
+            "ops": ["map", "sorted", "map"],
+            "fusion": {
+                "enabled": True,
+                "chain": ["map", "sorted", "map"],
+                "stages_fused": 0,
+                "kernels": 0,
+                "runs": [],
+                "barriers": [
+                    {"op": "sorted", "stateful": True, "short_circuit": False}
+                ],
+            },
+            "execution": {
+                "parallel": True,
+                "pool": "explain-test",
+                "parallelism": 4,
+                "segments": [
+                    {"ops": ["map"], "mode": "chunked", "barrier": "sorted"},
+                    {"ops": ["map"], "mode": "chunked", "barrier": None},
+                ],
+                "threshold_source": "with_target_size",
+                "target_size": 512,
+                "split_tree": {"leaves": 8, "depth": 3},
+            },
+        }
+
+    def test_split_tree_matches_traced_leaves(self):
+        with ForkJoinPool(parallelism=4, name="explain-test") as pool:
+            plan = self._stream(pool).explain().to_dict()
+            with tracing() as tracer:
+                result = self._stream(pool).to_list()
+        assert result == [x * 9 for x in range(4096)]
+        leaf_spans = [s for s in tracer.spans() if s.kind == "leaf"]
+        # The first segment's reduction splits to the predicted leaves;
+        # the post-barrier segment contributes its own (same size/target,
+        # so the same count).
+        predicted = plan["execution"]["split_tree"]["leaves"]
+        assert len(leaf_spans) == 2 * predicted
+
+    def test_correctness_of_barriered_run(self):
+        with ForkJoinPool(parallelism=4, name="explain-test") as pool:
+            result = self._stream(pool).to_list()
+        assert result == [x * 9 for x in range(4096)]
+
+
+class TestShortCircuitChain:
+    """map → limit: the polled short-circuit traversal."""
+
+    def _stream(self):
+        return Stream.range(0, 4096).map(_triple).limit(5)
+
+    def test_pinned_plan(self):
+        plan = self._stream().explain()
+        assert plan.to_dict() == {
+            "source": {
+                "spliterator": "RangeSpliterator",
+                "size": 4096,
+                "sized": True,
+                "power2": True,
+            },
+            "ops": ["map", "limit"],
+            "fusion": {
+                "enabled": True,
+                "chain": ["map", "limit"],
+                "stages_fused": 0,
+                "kernels": 0,
+                "runs": [],
+                "barriers": [
+                    # limit is both stateful (it counts) and short-circuit.
+                    {"op": "limit", "stateful": True, "short_circuit": True}
+                ],
+            },
+            "execution": {"parallel": False, "mode": "short-circuit-polled"},
+        }
+
+    def test_agrees_with_actual_run(self):
+        before = bulk_stats()
+        assert self._stream().to_list() == [0, 3, 6, 9, 12]
+        delta = {k: v - before[k] for k, v in bulk_stats().items()}
+        # Short-circuit traversals are accounted as per-element.
+        assert delta == {"chunked": 0, "element": 1}
+
+
+class TestExplainPlanObject:
+    def test_getitem_and_str(self):
+        plan = Stream.range(0, 8).map(_triple).explain()
+        assert isinstance(plan, ExplainPlan)
+        assert plan["ops"] == ["map"]
+        assert str(plan) == plan.render()
+        assert "ExplainPlan" in repr(plan)
+
+    def test_to_dict_is_a_copy(self):
+        plan = Stream.range(0, 8).map(_triple).explain()
+        d = plan.to_dict()
+        d["ops"].append("tampered")
+        assert plan.to_dict()["ops"] == ["map"]
+
+    def test_unsized_source_has_no_split_tree(self):
+        plan = (
+            Stream.of_iterable(iter(range(64)))
+            .parallel()
+            .map(_triple)
+            .explain()
+            .to_dict()
+        )
+        assert plan["source"]["size"] is None
+        assert plan["execution"]["split_tree"] is None
+        assert plan["execution"]["threshold_source"] == (
+            "unknown size → default leaf size"
+        )
+
+    def test_empty_pipeline(self):
+        plan = Stream.range(0, 16).explain().to_dict()
+        assert plan["ops"] == []
+        assert plan["fusion"]["kernels"] == 0
+        assert plan["execution"] == {"parallel": False, "mode": "chunked"}
+
+
+class TestSplitTreeWalk:
+    @pytest.mark.parametrize(
+        "size,target,leaves,depth",
+        [
+            (4096, 512, 8, 3),
+            (4096, 4096, 1, 0),
+            (4096, 1, 4096, 12),
+            (5, 2, 3, 2),  # odd split: prefix gets the extra element
+        ],
+    )
+    def test_shapes(self, size, target, leaves, depth):
+        assert _walk_split_tree(size, target) == (leaves, depth)

@@ -300,3 +300,202 @@ class TestTracedExecution:
                 if e["cat"] == "task" and e["tid"] == row["worker"]
             )
             assert observed == row["executed"]
+
+
+class TestRingBufferDropAccounting:
+    """S1: overflow is visible everywhere a trace is consumed."""
+
+    def test_dropped_counter_counts_evictions(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.emit("leaf", worker=0, start_ns=i, end_ns=i + 1)
+        assert len(tracer.spans()) == 4
+        assert tracer.dropped == 6
+        # The newest spans survive.
+        assert [s.start_ns for s in tracer.spans()] == [6, 7, 8, 9]
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.instant("steal", worker=0)
+        assert tracer.dropped == 3
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert tracer.spans() == []
+
+    def test_snapshot_of_tracer_includes_dropped(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit("leaf", worker=0, start_ns=i, end_ns=i + 1)
+        snap = trace_snapshot(tracer)
+        assert snap["dropped"] == 3
+        assert snap["counts"] == {"leaf": 2}
+        # Passing a plain span list still works and reports zero.
+        assert trace_snapshot(tracer.spans())["dropped"] == 0
+
+    def test_gantt_header_flags_overflow(self):
+        spans = [Span(kind="leaf", name=None, worker=0, start_ns=0, end_ns=100)]
+        chart = render_gantt(spans, dropped=7)
+        assert "dropped=7" in chart.splitlines()[0]
+        assert "dropped" not in render_gantt(spans)
+
+    def test_chrome_trace_carries_drop_count(self):
+        tracer = Tracer(capacity=2)
+        for i in range(6):
+            tracer.emit("leaf", worker=0, start_ns=i, end_ns=i + 1)
+        doc = to_chrome_trace(tracer.spans(), dropped=tracer.dropped)
+        assert doc["otherData"]["spans_dropped"] == 4
+        # dropped=0 keeps otherData absent entirely (pinned elsewhere).
+        assert "otherData" not in to_chrome_trace(tracer.spans())
+
+    def test_null_tracer_reports_zero_dropped(self):
+        assert NULL_TRACER.dropped == 0
+
+
+class TestExportEdgeCases:
+    """S2: zero-duration and empty traces must not break the exporters."""
+
+    def test_summarize_workers_empty(self):
+        assert summarize_workers([]) == []
+
+    def test_render_gantt_zero_duration_trace(self):
+        # Every span instantaneous: wallclock is 0; must not divide by it.
+        spans = [
+            Span(kind="leaf", name=None, worker=0, start_ns=5, end_ns=5),
+            Span(kind="steal", name=None, worker=1, start_ns=5, end_ns=5),
+        ]
+        chart = render_gantt(spans)
+        assert "w0" in chart and "w1" in chart
+
+    def test_worker_report_zero_duration_trace(self):
+        spans = [Span(kind="leaf", name=None, worker=0, start_ns=3, end_ns=3)]
+        report = worker_report(spans)
+        assert "w0" in report
+
+    def test_summarize_workers_zero_duration(self):
+        spans = [Span(kind="leaf", name=None, worker=0, start_ns=3, end_ns=3)]
+        (summary,) = summarize_workers(spans)
+        assert summary.busy_ns == 0
+        assert summary.idle_ns == 0
+        assert summary.spans == 1
+
+
+class TestExporterRoundTrips:
+    """S3: what goes out must parse back to what was recorded."""
+
+    def test_chrome_trace_round_trip_of_overflowed_buffer(self, tmp_path):
+        tracer = Tracer(capacity=8)
+        for i in range(20):
+            tracer.emit("leaf", worker=i % 2, start_ns=i * 10, end_ns=i * 10 + 5)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, tracer.spans(), dropped=tracer.dropped)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 8
+        assert doc["otherData"]["spans_dropped"] == 12
+        # Events round-trip the surviving ring-buffer contents in order
+        # (timestamps are rebased to the earliest surviving span).
+        base = min(s.start_ns for s in tracer.spans())
+        starts = [e["ts"] for e in doc["traceEvents"]]
+        assert starts == [(s.start_ns - base) / 1e3 for s in tracer.spans()]
+
+    def test_quantile_bound_empty_histogram(self):
+        hist = Histogram("empty")
+        assert hist.quantile_bound(0.5) == 0.0
+        assert hist.quantile_bound(1.0) == 0.0
+
+    def test_quantile_bound_single_bucket(self):
+        hist = Histogram("single")
+        for _ in range(5):
+            hist.observe(3)  # all in the le=4 bucket
+        assert hist.quantile_bound(0.5) == 4.0
+        assert hist.quantile_bound(0.99) == 4.0
+        assert hist.quantile_bound(1.0) == 4.0
+
+    def test_quantile_bound_rejects_bad_q(self):
+        hist = Histogram("bad")
+        with pytest.raises(IllegalArgumentError):
+            hist.quantile_bound(0.0)
+        with pytest.raises(IllegalArgumentError):
+            hist.quantile_bound(1.5)
+
+    def test_prometheus_round_trip_against_snapshot(self):
+        from repro.obs import render_prometheus
+
+        registry = MetricsRegistry(name="rt")
+        registry.counter("jobs", pool="a").inc(3)
+        registry.counter("jobs", pool="b").inc(5)
+        registry.gauge("depth").set(2.5)
+        hist = registry.histogram("lat", pool="a")
+        for v in (1, 3, 100):
+            hist.observe(v)
+
+        text = render_prometheus(registry, namespace="test")
+        parsed = {}
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            key, value = line.rsplit(" ", 1)
+            parsed[key] = float(value)
+
+        assert parsed['test_jobs_total{pool="a"}'] == 3
+        assert parsed['test_jobs_total{pool="b"}'] == 5
+        assert parsed["test_depth"] == 2.5
+        assert parsed['test_lat_count{pool="a"}'] == 3
+        assert parsed['test_lat_sum{pool="a"}'] == 104
+        assert parsed['test_lat_bucket{pool="a",le="+Inf"}'] == 3
+
+        # Cross-check every non-bucket sample against snapshot().
+        snap = registry.snapshot()
+        assert snap['jobs{pool="a"}'] == 3
+        assert snap['jobs{pool="b"}'] == 5
+        assert snap["depth"] == 2.5
+        assert snap['lat{pool="a"}']["count"] == 3
+
+        # Cumulative buckets are monotone and end at the count.
+        buckets = [
+            (key, v) for key, v in parsed.items()
+            if key.startswith("test_lat_bucket")
+        ]
+        values = [v for _, v in buckets]
+        assert values == sorted(values)
+        assert values[-1] == 3
+
+
+class TestTunables:
+    """S6: single-sourced defaults with environment overrides."""
+
+    def test_defaults(self):
+        from repro.obs import DEFAULT_PROFILE_SAMPLE, DEFAULT_TRACE_CAPACITY
+
+        assert DEFAULT_TRACE_CAPACITY == 1 << 16
+        assert DEFAULT_PROFILE_SAMPLE == 16
+        assert Tracer().capacity == DEFAULT_TRACE_CAPACITY
+
+    def test_env_override_parsing(self, monkeypatch):
+        from repro.obs.tracer import _env_int
+
+        monkeypatch.setenv("REPRO_TEST_KNOB", "128")
+        assert _env_int("REPRO_TEST_KNOB", 7) == 128
+        monkeypatch.setenv("REPRO_TEST_KNOB", "not-a-number")
+        assert _env_int("REPRO_TEST_KNOB", 7) == 7
+        monkeypatch.setenv("REPRO_TEST_KNOB", "-3")
+        assert _env_int("REPRO_TEST_KNOB", 7) == 7
+        monkeypatch.delenv("REPRO_TEST_KNOB")
+        assert _env_int("REPRO_TEST_KNOB", 7) == 7
+
+    def test_env_override_applies_in_subprocess(self):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, REPRO_TRACE_CAPACITY="32",
+                   REPRO_PROFILE_SAMPLE="4")
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.obs import DEFAULT_TRACE_CAPACITY, "
+             "DEFAULT_PROFILE_SAMPLE; "
+             "print(DEFAULT_TRACE_CAPACITY, DEFAULT_PROFILE_SAMPLE)"],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.split() == ["32", "4"]
