@@ -1,0 +1,238 @@
+"""AB11 — process backend vs threads vs sequential (GIL escape).
+
+AB9/AB10 removed interpretation overhead *per element* and *per stage*;
+what remains is the GIL: a thread-pool leaf running pure-Python work
+cannot overlap with its siblings, so Python-heavy pipelines flatline
+near 1x no matter the parallelism.  The process backend
+(``Stream.with_backend('process')``) runs leaves in worker processes —
+Python-heavy leaves scale with cores, at the price of shipping.  This
+bench pins the A/B/C comparison on the two extremes:
+
+* ``python_heavy`` — a per-element integer hash loop (exact integer
+  arithmetic, so parity is bit-exact).  Threads flatline here; processes
+  are the only escape.  Target on an 8-core machine: >4x over
+  sequential while threads stay under 1.5x.
+* ``ufunc_heavy`` — numpy ufunc stages on the chunked path.  These
+  release the GIL inside C loops, so threads already scale and
+  processes mostly pay shipping overhead — the case where processes
+  *lose*; the bench records it honestly.
+
+The source array is shared via :func:`repro.powerlist.shm.share_array`,
+so process leaves ship as zero-copy shared-memory descriptors (the
+report records the shipping mode).  Exact result parity across all
+three backends is the hard gate; timings are informational and
+machine-dependent (the committed baseline records the host core count —
+on a single-core container every backend necessarily measures ~1x and
+the process leg only shows its overhead).
+
+Two entry points:
+
+* pytest-benchmark: ``pytest benchmarks/bench_ab11_process_backend.py
+  --benchmark-only``;
+* CLI: ``python benchmarks/bench_ab11_process_backend.py [--smoke]
+  [--out FILE]`` — sweeps sizes, gates parity, writes the JSON report
+  consumed by ``benchmarks/check_regression.py`` against the committed
+  baseline ``benchmarks/results/BENCH_process_backend.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import operator
+import os
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import repeat_average
+from repro.bench.workloads import random_integers
+from repro.forkjoin import ForkJoinPool
+from repro.powerlist import shm
+from repro.streams import Stream
+from repro.streams import process_backend as pb
+
+N_BENCH = 2**16
+
+
+def _py_heavy(x):
+    """Pure-Python integer hash loop: ~µs of GIL-bound work per element."""
+    acc = int(x) & 0xFFFFFFFF
+    for _ in range(16):
+        acc = (acc * 1103515245 + 12345) & 0x7FFFFFFF
+        acc ^= acc >> 7
+    return acc
+
+
+def _stream(arr, backend, pool):
+    stream = Stream.of_iterable(arr)
+    if backend == "seq":
+        return stream
+    stream = stream.parallel()
+    if backend == "threads":
+        return stream.with_pool(pool)
+    return stream.with_backend("process")
+
+
+def _wl_python_heavy(arr, backend, pool):
+    return _stream(arr, backend, pool).map(_py_heavy).reduce(0, operator.add)
+
+
+def _wl_ufunc_heavy(arr, backend, pool):
+    return (
+        _stream(arr, backend, pool)
+        .map(np.square)
+        .map(np.abs)
+        .reduce(0, operator.add)
+    )
+
+
+WORKLOADS = [
+    ("python_heavy", _wl_python_heavy),
+    ("ufunc_heavy", _wl_ufunc_heavy),
+]
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def shared_data():
+    arr = shm.share_array(random_integers(N_BENCH, seed=1111, hi=1000))
+    yield arr
+    shm.release(arr)
+    pb.shutdown_shared_executor()
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ForkJoinPool(parallelism=8, name="ab11")
+    yield p
+    p.shutdown()
+
+
+@pytest.mark.parametrize("name,fn", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+def bench_ab11_sequential(benchmark, shared_data, pool, name, fn):
+    benchmark(lambda: fn(shared_data, "seq", pool))
+
+
+@pytest.mark.parametrize("name,fn", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+def bench_ab11_threads(benchmark, shared_data, pool, name, fn):
+    benchmark(lambda: fn(shared_data, "threads", pool))
+
+
+@pytest.mark.parametrize("name,fn", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+def bench_ab11_process(benchmark, shared_data, pool, name, fn):
+    benchmark(lambda: fn(shared_data, "process", pool))
+
+
+# --------------------------------------------------------------------------- #
+# CLI sweep: three-backend parity gate + JSON report
+# --------------------------------------------------------------------------- #
+
+def run_sweep(sizes, runs, pool):
+    """Measure every workload at every size on all three backends.
+
+    Exact result parity (sequential == threads == process) is asserted
+    in-sweep and is the hard gate; ``speedup`` is sequential/process and
+    ``threads_speedup`` sequential/threads, both informational.
+    Returns ``(rows, parity_ok)``.
+    """
+    rows = []
+    parity_ok = True
+    for size in sizes:
+        arr = shm.share_array(random_integers(size, seed=1111, hi=1000))
+        try:
+            shipping = pb.shipping_mode(
+                Stream.of_iterable(arr)._spliterator
+            )
+            for name, fn in WORKLOADS:
+                seq_result = fn(arr, "seq", pool)
+                thr_result = fn(arr, "threads", pool)
+                proc_result = fn(arr, "process", pool)
+                parity = bool(seq_result == thr_result == proc_result)
+                parity_ok &= parity
+
+                seq = repeat_average(lambda: fn(arr, "seq", pool), runs=runs)
+                thr = repeat_average(lambda: fn(arr, "threads", pool), runs=runs)
+                proc = repeat_average(lambda: fn(arr, "process", pool), runs=runs)
+                rows.append({
+                    "workload": name,
+                    "size": size,
+                    "shipping": shipping,
+                    "seq_ms": round(seq.median_ms, 3),
+                    "threads_ms": round(thr.median_ms, 3),
+                    "process_ms": round(proc.median_ms, 3),
+                    "threads_speedup": round(seq.median / thr.median, 2)
+                    if thr.median else None,
+                    "speedup": round(seq.median / proc.median, 2)
+                    if proc.median else None,
+                    "parity": parity,
+                })
+                flag = "" if parity else "  PARITY MISMATCH"
+                print(f"{name:>14} n=2^{size.bit_length() - 1:<2} "
+                      f"seq {seq.median_ms:9.2f} ms   "
+                      f"threads {thr.median_ms:9.2f} ms "
+                      f"(x{seq.median / thr.median:4.2f})   "
+                      f"process {proc.median_ms:9.2f} ms "
+                      f"(x{seq.median / proc.median:4.2f})"
+                      f"  [{shipping}]{flag}")
+        finally:
+            shm.release(arr)
+    return rows, parity_ok
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI (parity gate, timings "
+                             "informational)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="timed runs per measurement")
+    args = parser.parse_args(argv)
+
+    # Smoke sizes are deliberately larger than AB9/AB10's: below ~2^14
+    # the process leg is pure fixed overhead (pool dispatch + result
+    # pickling) and the speedup ratio lives in a different regime than
+    # the full-size baseline the gate compares against.
+    sizes = [2**14, 2**15] if args.smoke else [2**16, 2**18]
+    runs = args.runs if args.runs is not None else (2 if args.smoke else 3)
+
+    pool = ForkJoinPool(parallelism=8, name="ab11-cli")
+    try:
+        rows, parity_ok = run_sweep(sizes, runs, pool)
+    finally:
+        pool.shutdown()
+        pb.shutdown_shared_executor()
+
+    report = {
+        "bench": "ab11_process_backend",
+        "mode": "smoke" if args.smoke else "full",
+        "runs": runs,
+        "sizes": sizes,
+        "cpu_count": os.cpu_count(),
+        "processes": pb.default_process_count(),
+        "parity_ok": parity_ok,
+        "results": rows,
+    }
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[written to {args.out}]")
+
+    if not parity_ok:
+        print("FAIL: backends disagreed on some workload/size",
+              file=sys.stderr)
+        return 1
+    print("parity OK: sequential == threads == process on every "
+          "workload/size")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

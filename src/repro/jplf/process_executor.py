@@ -33,12 +33,13 @@ from __future__ import annotations
 import os
 import time
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.common import (
     IllegalArgumentError,
     RejectedExecutionError,
+    TaskTimeoutError,
     exact_log2,
     is_power_of_two,
 )
@@ -73,6 +74,31 @@ def _run_subfunction_faulty(function: PowerFunction, mode: str, delay: float):
     if mode == "raise":
         raise FaultInjected(f"injected fault in process worker (pid {os.getpid()})")
     return _run_subfunction(function)
+
+
+def _run_leaf_batch(runner, payloads):
+    """Top-level worker entry point for generic leaf batches.
+
+    Used by the stream process backend: one submission carries a whole
+    contiguous batch of leaf payloads, so a 64-leaf terminal costs
+    ~``processes`` IPC round trips instead of 64.  Returns
+    ``(pid, results, duration_ns)`` — the pid keys the parent's
+    per-worker labeled metrics.
+    """
+    start = time.perf_counter_ns()
+    results = [runner(payload) for payload in payloads]
+    return os.getpid(), results, time.perf_counter_ns() - start
+
+
+def _run_leaf_batch_faulty(runner, payloads, mode: str, delay: float):
+    """Leaf-batch entry point enacting a parent-decided fault verdict."""
+    if mode == "kill":
+        os._exit(13)
+    if delay > 0.0:
+        time.sleep(delay)
+    if mode == "raise":
+        raise FaultInjected(f"injected fault in process worker (pid {os.getpid()})")
+    return _run_leaf_batch(runner, payloads)
 
 
 class ProcessExecutor(Executor):
@@ -110,13 +136,17 @@ class ProcessExecutor(Executor):
         self.fallback = fallback
         # Labeled counters: every ProcessExecutor gets its own registry so
         # scraping (repro.obs.prom.render) can tell executors apart by the
-        # ``processes`` label without cross-instance interference.
+        # ``processes`` label without cross-instance interference.  The
+        # ``pool="process"`` label puts these series in the same Prometheus
+        # families as the thread pools', so one scrape covers both engines.
         self.metrics = MetricsRegistry(name="procexec")
-        labels = {"processes": str(processes)}
+        labels = {"pool": "process", "processes": str(processes)}
+        self._labels = labels
         self._runs = self.metrics.counter("runs", **labels)
         self._retries = self.metrics.counter("retries", **labels)
         self._degraded = self.metrics.counter("degraded_runs", **labels)
         self._broken = self.metrics.counter("broken_pools", **labels)
+        self._timeouts = self.metrics.counter("deadline_timeouts", **labels)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -230,14 +260,189 @@ class ProcessExecutor(Executor):
             on_degrade=on_degrade,
         )
 
+    # ------------------------------------------------------------------ #
+    # Generic leaf-batch execution (the stream process backend's engine)
+    # ------------------------------------------------------------------ #
+
+    def _observe_batch(self, pid: int, leaves: int, duration_ns: int) -> None:
+        """Per-worker labeled series: which child did how much, how fast."""
+        worker = {"worker": str(pid), **self._labels}
+        self.metrics.counter("worker_batches", **worker).inc()
+        self.metrics.counter("worker_leaves", **worker).inc(leaves)
+        self.metrics.histogram("worker_batch_duration_ns", **worker).observe(
+            duration_ns
+        )
+
+    def _map_leaves_once(self, runner, payloads, deadline, early_stop, label):
+        """One scatter of ``payloads`` over the pool, batched and ordered.
+
+        Payloads are grouped into at most ``2 × processes`` contiguous
+        batches (amortizing submission overhead while leaving slack for
+        load balancing) and the results are returned in payload order.
+
+        * ``deadline`` bounds the whole wait: on expiry, every pending
+          batch future is cancelled and :class:`TaskTimeoutError` raised —
+          outstanding child work is abandoned, not blocked on.
+        * ``early_stop(result)``: checked against each leaf result as its
+          batch completes; once satisfied, pending batches are cancelled
+          and their slots come back as ``None`` (the short-circuit used by
+          the match/find terminals).
+        * The first batch failure cancels the remaining batches and
+          re-raises — the process-side analogue of the thread terminals'
+          ``_TerminalContext`` fail-fast contract.  A dead worker
+          (``BrokenProcessPool``) additionally discards the owned pool so
+          a retry starts on fresh processes.
+        """
+        n = len(payloads)
+        if n == 0:
+            return []
+        pool = self._ensure_pool()
+        plan = current_fault_plan()
+        batch_count = min(n, self.processes * 2)
+        bounds = [
+            (n * i // batch_count, n * (i + 1) // batch_count)
+            for i in range(batch_count)
+        ]
+        futures: list = []
+        results: list = [None] * n
+        # Submission itself can raise BrokenProcessPool (an already-killed
+        # worker fails the pool before the next submit lands), so it must
+        # sit inside the containment block or the broken pool would never
+        # be discarded and every later run would inherit it.
+        try:
+            for i, (lo, hi) in enumerate(bounds):
+                batch = payloads[lo:hi]
+                action = None
+                if plan is not None:
+                    # Strike decisions stay in the parent (deterministic);
+                    # the child only enacts the shipped (mode, delay)
+                    # verdict.
+                    action = plan.fire(
+                        "proc", (f"worker-{i}",),
+                        allowed=("raise", "delay", "kill"), index=i,
+                    )
+                if action is None:
+                    futures.append(pool.submit(_run_leaf_batch, runner, batch))
+                else:
+                    futures.append(
+                        pool.submit(
+                            _run_leaf_batch_faulty, runner, batch,
+                            action.mode, action.delay,
+                        )
+                    )
+
+            slot_of = {future: bounds[i] for i, future in enumerate(futures)}
+            not_done = set(futures)
+            while not_done:
+                timeout = None
+                if deadline is not None:
+                    timeout = deadline.remaining()
+                done, not_done = wait(
+                    not_done, timeout=timeout, return_when=FIRST_EXCEPTION
+                )
+                failed = next(
+                    (f for f in done if f.exception() is not None), None
+                )
+                if failed is not None:
+                    raise failed.exception()
+                if not done and not_done:
+                    self._timeouts.inc()
+                    raise TaskTimeoutError(
+                        f"{label} exceeded its deadline with "
+                        f"{len(not_done)} of {len(futures)} leaf batches "
+                        "outstanding"
+                    )
+                stop = False
+                for future in done:
+                    lo, hi = slot_of[future]
+                    pid, batch_results, duration_ns = future.result()
+                    results[lo:hi] = batch_results
+                    self._observe_batch(pid, hi - lo, duration_ns)
+                    if early_stop is not None and any(
+                        early_stop(r) for r in batch_results
+                    ):
+                        stop = True
+                if stop:
+                    break
+        except BrokenProcessPool:
+            for future in futures:
+                future.cancel()
+            self._discard_broken_pool()
+            raise
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        for future in not_done:
+            future.cancel()
+        return results
+
+    def run_leaves(self, runner, payloads, *, deadline=None, early_stop=None,
+                   label: str = "leaf batch"):
+        """Run picklable leaf ``payloads`` across the worker pool.
+
+        ``runner`` must be a module-level callable (it crosses the pickle
+        boundary); each payload's result comes back in payload order.
+        Applies this executor's ``retry``/``fallback`` policies: exhausted
+        retries degrade to running the payloads sequentially in the parent
+        (counted in :meth:`stats` as a degraded run).  Deadline expiry
+        raises :class:`~repro.common.TaskTimeoutError` and is never
+        retried.
+        """
+        if self._shutdown:
+            raise RejectedExecutionError(
+                "ProcessExecutor has been shut down and no longer accepts work"
+            )
+        self._runs.inc()
+        if self.retry is None and not self.fallback:
+            return self._map_leaves_once(
+                runner, payloads, deadline, early_stop, label
+            )
+
+        from repro.faults.policy import run_resilient
+
+        def primary():
+            return self._map_leaves_once(
+                runner, payloads, deadline, early_stop, label
+            )
+
+        def sequential():
+            out = []
+            for payload in payloads:
+                result = runner(payload)
+                out.append(result)
+                if early_stop is not None and early_stop(result):
+                    out.extend([None] * (len(payloads) - len(out)))
+                    break
+            return out
+
+        return run_resilient(
+            primary,
+            retry=self.retry,
+            deadline=deadline,
+            fallback=sequential if self.fallback else None,
+            label=label,
+            on_retry=lambda attempt, exc: self._retries.inc(),
+            on_degrade=lambda exc: self._degraded.inc(),
+        )
+
     def stats(self) -> dict:
-        """Counters for this executor: runs, retries, degraded runs, and
-        broken pools discarded after a worker death."""
+        """Counters for this executor: runs, retries, degraded runs, broken
+        pools discarded after a worker death, plus per-worker batch/leaf
+        counts keyed by child pid (populated by :meth:`run_leaves`)."""
+        workers: dict[str, dict] = {}
+        for entry in self.metrics.collect():
+            pid = entry["labels"].get("worker")
+            if pid is None or entry["name"] == "worker_batch_duration_ns":
+                continue
+            workers.setdefault(pid, {})[entry["name"]] = entry["value"]
         return {
             "runs": self._runs.value,
             "retries": self._retries.value,
             "degraded_runs": self._degraded.value,
             "broken_pools": self._broken.value,
+            "deadline_timeouts": self._timeouts.value,
+            "workers": workers,
         }
 
     def shutdown(self) -> None:

@@ -39,9 +39,11 @@ from repro.powerlist.algebra import (
 )
 from repro.powerlist.grid import Grid
 from repro.powerlist.show import decomposition_tree
+from repro.powerlist import shm
 
 __all__ = [
     "Grid",
+    "shm",
     "PList",
     "PowerList",
     "decomposition_tree",

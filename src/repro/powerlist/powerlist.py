@@ -252,6 +252,21 @@ class PowerList(Sequence[T]):
         """True iff both views share one backing storage object."""
         return self._storage is other._storage
 
+    def __reduce_ex__(self, protocol):
+        # A PowerList whose storage lives in a shared-memory segment
+        # (repro.powerlist.shm) ships to worker processes as a compact
+        # (segment, dtype, count, offset, stride) descriptor instead of a
+        # pickled copy of the data — tie/zip views are closed under that
+        # form, so any deconstruction depth costs ~100 bytes on the wire.
+        # Subclasses and non-shared storage use the default protocol.
+        if type(self) is PowerList:
+            from repro.powerlist import shm as _shm
+
+            descriptor = _shm.describe_powerlist(self)
+            if descriptor is not None:
+                return (_shm.rebuild_powerlist, (descriptor,))
+        return super().__reduce_ex__(protocol)
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, PowerList):
             return len(self) == len(other) and all(

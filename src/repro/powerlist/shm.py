@@ -1,0 +1,295 @@
+"""Shared-memory backing for ndarray PowerList storage.
+
+The process backend (``repro.streams.parallel`` with ``backend='process'``)
+needs to hand a worker process *a view* of the source data without paying
+the pickle copy the alpha–beta model charges for inter-process shipping.
+This module provides that: a 1-D numpy array is copied **once** into a
+``multiprocessing.shared_memory`` segment (:func:`share_array`), and from
+then on any view derived from it — a ``tie`` half, a ``zip`` stride-2
+comb, a fork/join leaf slice — ships to a worker as a five-field
+descriptor ``(segment name, dtype, count, byte offset, byte stride)``.
+The child re-attaches the segment by name and rebuilds the view as
+``np.ndarray(..., buffer=shm.buf, offset=..., strides=...)`` — zero-copy
+on both sides.
+
+The view math is exactly the PowerList access pattern: ``tie`` splits
+keep the stride and halve the extent, ``zip`` splits double the stride —
+both are closed under the descriptor form, so *any* deconstruction depth
+ships in ~100 bytes.
+
+Lifecycle: segments created here are owned by the creating process and
+tracked in a registry; :func:`active_segments` lists the names still
+live, and the test suite asserts it is empty at session end (no leaked
+segments).  Child-side attachments are cached per segment name and
+explicitly unregistered from ``multiprocessing.resource_tracker`` —
+otherwise Python 3.8–3.12's tracker "helpfully" unlinks the parent's
+segment when the child exits (bpo-39959).
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from typing import Any
+
+from multiprocessing import shared_memory
+
+try:  # the tracker module is CPython-internal but stable since 3.8
+    from multiprocessing import resource_tracker as _resource_tracker
+except ImportError:  # pragma: no cover
+    _resource_tracker = None
+
+import numpy as np
+
+from repro.common import IllegalArgumentError
+
+#: First field of every descriptor — versioned so a future layout change
+#: fails loudly instead of rebuilding garbage views.
+_DESCRIPTOR_TAG = "shm-v1"
+
+_lock = threading.Lock()
+#: Segments created by this process, keyed by segment name.
+_owned: dict[str, "SharedArrayStorage"] = {}
+#: Root-array lookup: id(root ndarray) → its storage.  numpy arrays do
+#: not support weak references, so entries are removed explicitly by
+#: ``close``/``release_all`` (the storage holds the only strong root ref
+#: this module keeps).
+_by_root: dict[int, "SharedArrayStorage"] = {}
+#: Child-side attachment cache: segment name → (SharedMemory, root array).
+_attached: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+class SharedArrayStorage:
+    """A 1-D ndarray living in one owned shared-memory segment."""
+
+    __slots__ = ("shm", "array", "_closed")
+
+    def __init__(self, shm: shared_memory.SharedMemory, array: np.ndarray) -> None:
+        self.shm = shm
+        self.array = array
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def descriptor(self) -> tuple:
+        """The whole-array descriptor (offset 0, natural stride)."""
+        return (
+            _DESCRIPTOR_TAG,
+            self.shm.name,
+            self.array.dtype.str,
+            int(self.array.shape[0]),
+            0,
+            int(self.array.strides[0]),
+        )
+
+    def close(self) -> None:
+        """Unregister, unmap and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        with _lock:
+            _owned.pop(self.shm.name, None)
+            _by_root.pop(id(self.array), None)
+        self.array = None  # drop the buffer reference before closing
+        self.shm.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover — already gone
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"SharedArrayStorage({self.shm.name!r}, {state})"
+
+
+def share_array(source: Any) -> np.ndarray:
+    """Copy ``source`` into a fresh shared-memory segment; return the
+    shm-backed 1-D array.
+
+    The returned array is registered as a *root*: any numpy view derived
+    from it (slices, strided combs, PowerList views over it) can be
+    described by :func:`describe` and shipped to workers zero-copy.  The
+    caller releases the segment with :func:`release` / :func:`release_all`
+    (the test suite's leak guard asserts nothing outlives the session).
+    """
+    arr = np.ascontiguousarray(source)
+    if arr.ndim != 1:
+        raise IllegalArgumentError(
+            f"share_array expects a 1-D array, got shape {arr.shape}"
+        )
+    if arr.dtype == object:
+        raise IllegalArgumentError(
+            "object-dtype arrays hold references, not values — they cannot "
+            "live in shared memory; convert to a numeric dtype first"
+        )
+    shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    shared = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    shared[:] = arr
+    storage = SharedArrayStorage(shm, shared)
+    with _lock:
+        _owned[shm.name] = storage
+        _by_root[id(shared)] = storage
+    return shared
+
+
+def storage_of(view: Any) -> SharedArrayStorage | None:
+    """The owning storage of an ndarray view rooted in a shared segment,
+    or None when ``view`` is not backed by one."""
+    if not isinstance(view, np.ndarray):
+        return None
+    node: np.ndarray | None = view
+    while node is not None:
+        storage = _by_root.get(id(node))
+        if storage is not None and not storage._closed:
+            return storage
+        base = node.base
+        node = base if isinstance(base, np.ndarray) else None
+    return None
+
+
+def describe(view: np.ndarray) -> tuple | None:
+    """The shipping descriptor of a 1-D ndarray view over shared storage.
+
+    Returns ``(tag, name, dtype, count, byte offset, byte stride)``, or
+    None when the view is not rooted in a segment created by
+    :func:`share_array` (callers then fall back to pickling).
+    """
+    storage = storage_of(view)
+    if storage is None or view.ndim != 1:
+        return None
+    root = storage.array
+    offset = view.__array_interface__["data"][0] - root.__array_interface__["data"][0]
+    return (
+        _DESCRIPTOR_TAG,
+        storage.name,
+        view.dtype.str,
+        int(view.shape[0]),
+        int(offset),
+        int(view.strides[0]),
+    )
+
+
+def describe_powerlist(plist: Any) -> tuple | None:
+    """Descriptor for a PowerList view whose storage is a shared ndarray.
+
+    The PowerList ``(start, stride, length)`` access pattern maps directly
+    onto the byte-offset/byte-stride descriptor — ``tie`` and ``zip``
+    deconstructions of a shared PowerList therefore ship without copying.
+    """
+    storage_arr = plist.storage
+    base = storage_of(storage_arr)
+    if base is None or not isinstance(storage_arr, np.ndarray):
+        return None
+    root = base.array
+    itemsize = storage_arr.strides[0]
+    offset = (
+        storage_arr.__array_interface__["data"][0]
+        - root.__array_interface__["data"][0]
+        + plist.start * itemsize
+    )
+    return (
+        _DESCRIPTOR_TAG,
+        base.name,
+        storage_arr.dtype.str,
+        len(plist),
+        int(offset),
+        int(plist.stride * itemsize),
+    )
+
+
+def _attach_segment(name: str) -> tuple[shared_memory.SharedMemory, None]:
+    with _lock:
+        cached = _attached.get(name)
+        if cached is not None:
+            return cached[0], None
+        # On Python < 3.13 attaching also *registers* the segment with the
+        # resource tracker — a daemon shared with the owning parent — so
+        # the tracker would unlink it out from under the owner, or at best
+        # warn about a double unregister (bpo-39959).  The owner unlinks;
+        # an attaching worker must leave the tracker alone, so registration
+        # is suppressed for the duration of the attach.
+        if _resource_tracker is not None:
+            original_register = _resource_tracker.register
+            _resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                shm = shared_memory.SharedMemory(name=name, create=False)
+            finally:
+                _resource_tracker.register = original_register
+        else:  # pragma: no cover — tracker internals moved
+            shm = shared_memory.SharedMemory(name=name, create=False)
+        _attached[name] = (shm, None)
+    return shm, None
+
+
+def rebuild(descriptor: tuple) -> np.ndarray:
+    """Re-materialize a view from its descriptor (worker side, zero-copy).
+
+    Attachments are cached per segment name, so the 64 leaves of one
+    terminal cost one ``shm_open`` per worker, not 64.
+    """
+    tag, name, dtype, count, offset, stride = descriptor
+    if tag != _DESCRIPTOR_TAG:
+        raise IllegalArgumentError(f"unknown shm descriptor tag {tag!r}")
+    shm, _ = _attach_segment(name)
+    return np.ndarray(
+        (count,), dtype=np.dtype(dtype), buffer=shm.buf,
+        offset=offset, strides=(stride,),
+    )
+
+
+def rebuild_powerlist(descriptor: tuple):
+    """Unpickle hook for shm-backed PowerLists (see ``PowerList.__reduce_ex__``)."""
+    from repro.powerlist.powerlist import PowerList
+
+    view = rebuild(descriptor)
+    return PowerList(view, 0, 1, len(view))
+
+
+def active_segments() -> list[str]:
+    """Names of segments created by this process and not yet released.
+
+    The test suite's leak guard asserts this is empty at session end —
+    a failure here means some path created a segment and lost it.
+    """
+    with _lock:
+        return sorted(_owned)
+
+
+def release(view_or_storage: Any) -> None:
+    """Release the segment backing ``view_or_storage`` (array or storage)."""
+    if isinstance(view_or_storage, SharedArrayStorage):
+        view_or_storage.close()
+        return
+    storage = storage_of(view_or_storage)
+    if storage is not None:
+        storage.close()
+
+
+def release_all() -> None:
+    """Unlink every segment this process still owns (idempotent)."""
+    with _lock:
+        pending = list(_owned.values())
+    for storage in pending:
+        storage.close()
+
+
+def detach_all() -> None:
+    """Unmap cached child-side attachments (never unlinks — not the owner)."""
+    with _lock:
+        cached = list(_attached.values())
+        _attached.clear()
+    for shm, _ in cached:
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+def _cleanup_at_exit() -> None:  # pragma: no cover — interpreter teardown
+    detach_all()
+    release_all()
+
+
+atexit.register(_cleanup_at_exit)

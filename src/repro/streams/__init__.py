@@ -49,6 +49,12 @@ from repro.streams.fusion import (
     set_fusion,
 )
 from repro.streams.explain import ExplainPlan
+from repro.streams.parallel import (
+    VALID_BACKENDS,
+    parallel_backend,
+    parallel_backend_name,
+    set_parallel_backend,
+)
 from repro.streams.stream import Stream
 from repro.streams.stream_support import StreamSupport, stream_of
 
@@ -69,14 +75,18 @@ __all__ = [
     "Stream",
     "StreamSupport",
     "FusedOp",
+    "VALID_BACKENDS",
     "bulk_execution",
     "bulk_execution_enabled",
     "bulk_stats",
     "fusion",
     "fusion_enabled",
     "fusion_stats",
+    "parallel_backend",
+    "parallel_backend_name",
     "set_bulk_execution",
     "set_fusion",
+    "set_parallel_backend",
     "spliterator_of",
     "stream_of",
 ]

@@ -130,6 +130,8 @@ def _parallel_execution(
     size: int | None,
     pool,
     explicit_target: int | None,
+    backend: str = "threads",
+    spliterator: Spliterator | None = None,
 ) -> dict:
     """Predict segments, target size, and the split tree for parallel runs.
 
@@ -137,8 +139,25 @@ def _parallel_execution(
     stateful op; every stateless segment runs as its own fork/join
     reduction (each re-fused and mode-selected independently), with the
     stateful op applied as a sequential barrier between segments.
+
+    With ``backend='process'`` the pool is the worker-process pool and the
+    plan additionally predicts the *shipping* mode — whether leaves travel
+    as zero-copy shared-memory descriptors, compact range bounds, or
+    pickled element copies.
     """
-    if pool is not None:
+    shipping = None
+    if backend == "process":
+        from repro.streams import process_backend as _pb
+
+        pool_name = "process"
+        parallelism = (
+            _pb._shared_executor.processes
+            if _pb._shared_executor is not None
+            else _pb.default_process_count()
+        )
+        if spliterator is not None:
+            shipping = _pb.shipping_mode(spliterator)
+    elif pool is not None:
         pool_name, parallelism = pool.name, pool.parallelism
     else:
         pool_name, parallelism = "common", common_pool_parallelism()
@@ -171,10 +190,13 @@ def _parallel_execution(
 
     execution: dict = {
         "parallel": True,
+        "backend": backend,
         "pool": pool_name,
         "parallelism": parallelism,
         "segments": segments,
     }
+    if shipping is not None:
+        execution["shipping"] = shipping
 
     if explicit_target is not None:
         target = explicit_target
@@ -247,12 +269,18 @@ class ExplainPlan:
             lines.append(f"│    barrier: {barrier['op']} ({why})")
         ex = p["execution"]
         if not ex["parallel"]:
-            lines.append(f"└─ execution: sequential, mode={ex['mode']}")
+            suffix = (
+                f" [backend={ex['backend']}]" if "backend" in ex else ""
+            )
+            lines.append(f"└─ execution: sequential, mode={ex['mode']}{suffix}")
             return "\n".join(lines)
         lines.append(
             f"└─ execution: parallel on {ex['pool']!r} "
-            f"(parallelism={ex['parallelism']})"
+            f"(backend={ex.get('backend', 'threads')}, "
+            f"parallelism={ex['parallelism']})"
         )
+        if "shipping" in ex:
+            lines.append(f"     shipping: {ex['shipping']}")
         lines.append(
             f"     target_size={ex['target_size']} "
             f"[{ex['threshold_source']}]"
@@ -294,9 +322,19 @@ def explain_stream(stream) -> ExplainPlan:
     fusion_section, fused_ops = _fusion_section(ops)
 
     if stream._parallel:
-        execution = _parallel_execution(
-            ops, size, stream._pool, stream._target_size
-        )
+        from repro.streams.parallel import resolve_backend
+
+        backend = resolve_backend(stream._backend)
+        if backend == "sequential":
+            # The backend switch downgrades parallel terminals to an
+            # in-thread run; the plan reports the downgrade explicitly.
+            execution = _sequential_execution(fused_ops)
+            execution["backend"] = "sequential"
+        else:
+            execution = _parallel_execution(
+                ops, size, stream._pool, stream._target_size,
+                backend, spliterator,
+            )
     else:
         execution = _sequential_execution(fused_ops)
 

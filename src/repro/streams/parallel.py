@@ -25,11 +25,13 @@ segments pipelines at stateful operations first.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from contextlib import contextmanager
 from typing import Any, Callable, TypeVar
 
-from repro.common import CancellationError
+from repro.common import CancellationError, IllegalArgumentError
 from repro.faults.plan import current_fault_plan
 from repro.faults.policy import Deadline
 from repro.forkjoin.pool import ForkJoinPool, current_worker
@@ -53,6 +55,70 @@ A = TypeVar("A")
 
 #: Number of leaves per worker Java aims for (AbstractTask.LEAF_TARGET).
 LEAF_FACTOR = 4
+
+# --------------------------------------------------------------------------- #
+# Backend selection
+# --------------------------------------------------------------------------- #
+
+#: The recognized execution backends for parallel terminals:
+#:
+#: * ``threads``    — the fork/join thread pool (default; zero shipping
+#:   cost, but pure-Python leaves serialize on the GIL);
+#: * ``process``    — worker processes via
+#:   :mod:`repro.streams.process_backend` (Python-heavy leaves scale with
+#:   cores; crossing functions must pickle);
+#: * ``sequential`` — run the terminal in the calling thread (baseline for
+#:   benchmarks and a degraded mode for constrained environments).
+VALID_BACKENDS = ("threads", "process", "sequential")
+
+
+def _validate_backend(name: str) -> str:
+    if name not in VALID_BACKENDS:
+        raise IllegalArgumentError(
+            f"unknown parallel backend {name!r}: valid backends are "
+            + ", ".join(repr(b) for b in VALID_BACKENDS)
+        )
+    return name
+
+
+def _backend_from_env() -> str:
+    name = os.environ.get("REPRO_PARALLEL_BACKEND", "").strip()
+    return _validate_backend(name) if name else "threads"
+
+
+_backend = _backend_from_env()
+
+
+def parallel_backend_name() -> str:
+    """The currently selected default backend for parallel terminals."""
+    return _backend
+
+
+def set_parallel_backend(name: str) -> str:
+    """Select the default backend for parallel terminals; returns the
+    previous one.  Validates the name (:data:`VALID_BACKENDS`).  Per-stream
+    ``Stream.with_backend`` and the ``backend=`` terminal kwarg override
+    this; the ``REPRO_PARALLEL_BACKEND`` environment variable sets the
+    initial value at import."""
+    global _backend
+    previous = _backend
+    _backend = _validate_backend(name)
+    return previous
+
+
+@contextmanager
+def parallel_backend(name: str):
+    """Context manager scoping :func:`set_parallel_backend`."""
+    previous = set_parallel_backend(name)
+    try:
+        yield
+    finally:
+        set_parallel_backend(previous)
+
+
+def resolve_backend(backend: str | None) -> str:
+    """An explicit backend (validated) or the session default."""
+    return _validate_backend(backend) if backend is not None else _backend
 
 
 def _worker_id() -> int:
@@ -316,6 +382,7 @@ def parallel_collect(
     pool: ForkJoinPool,
     target_size: int | None = None,
     deadline: Deadline | None = None,
+    backend: str | None = None,
 ) -> Any:
     """Parallel mutable reduction (``Stream.collect``) over the pool.
 
@@ -324,6 +391,27 @@ def parallel_collect(
     computes interior nodes.  Runs fail-fast: the first leaf or combiner
     exception cancels the remaining tree and re-raises promptly.
     """
+    # Backend dispatch happens on the *raw* op chain: fused kernels are
+    # exec-compiled and unpicklable, so the process backend ships unfused
+    # ops and lets each worker re-fuse locally.
+    backend = resolve_backend(backend)
+    if backend == "process":
+        from repro.streams import process_backend as _pb
+
+        return _pb.process_collect(
+            spliterator, ops, collector,
+            target_size=target_size, deadline=deadline,
+        )
+    if backend == "sequential":
+        if deadline is not None:
+            deadline.check("sequential collect")
+        sink = AccumulatorSink(
+            collector.supplier()(),
+            collector.accumulator(),
+            collector.chunk_accumulator(),
+        )
+        run_pipeline(spliterator, ops, sink)
+        return collector.finisher()(sink.container)
     ops = maybe_fuse(ops)
     supplier = collector.supplier()
     accumulate = collector.accumulator()
@@ -360,12 +448,30 @@ def parallel_reduce(
     has_identity: bool = False,
     target_size: int | None = None,
     deadline: Deadline | None = None,
+    backend: str | None = None,
 ):
     """Parallel immutable reduction (``Stream.reduce``).
 
     With an identity the result is the bare value; without one it is an
     :class:`Optional` (empty for an empty stream).
     """
+    backend = resolve_backend(backend)
+    if backend == "process":
+        from repro.streams import process_backend as _pb
+
+        return _pb.process_reduce(
+            spliterator, ops, op, identity, has_identity,
+            target_size=target_size, deadline=deadline,
+        )
+    if backend == "sequential":
+        if deadline is not None:
+            deadline.check("sequential reduce")
+        sink = run_pipeline(
+            spliterator, ops, ReducingSink(op, identity, has_identity)
+        )
+        if has_identity:
+            return sink.value
+        return Optional.of(sink.value) if sink.seen else Optional.empty()
     ops = maybe_fuse(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
@@ -401,8 +507,27 @@ def parallel_for_each(
     pool: ForkJoinPool,
     target_size: int | None = None,
     deadline: Deadline | None = None,
+    backend: str | None = None,
 ) -> None:
     """Parallel ``for_each`` (unordered, like Java's)."""
+    backend = resolve_backend(backend)
+    if backend == "process":
+        from repro.streams import process_backend as _pb
+
+        return _pb.process_for_each(
+            spliterator, ops, action,
+            target_size=target_size, deadline=deadline,
+        )
+    if backend == "sequential":
+        if deadline is not None:
+            deadline.check("sequential for_each")
+
+        class _ForEachSeq(Sink):
+            def accept(self, item):
+                action(item)
+
+        run_pipeline(spliterator, ops, _ForEachSeq())
+        return None
     ops = maybe_fuse(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
@@ -432,6 +557,7 @@ def parallel_match(
     kind: str,
     target_size: int | None = None,
     deadline: Deadline | None = None,
+    backend: str | None = None,
 ) -> bool:
     """Parallel short-circuiting match (``any``/``all``/``none``).
 
@@ -440,6 +566,32 @@ def parallel_match(
     """
     if kind not in ("any", "all", "none"):
         raise ValueError(f"unknown match kind: {kind}")
+    backend = resolve_backend(backend)
+    if backend == "process":
+        from repro.streams import process_backend as _pb
+
+        return _pb.process_match(
+            spliterator, ops, predicate, kind,
+            target_size=target_size, deadline=deadline,
+        )
+    if backend == "sequential":
+        if deadline is not None:
+            deadline.check("sequential match")
+        seq_trigger = (
+            (lambda item: not predicate(item)) if kind == "all" else predicate
+        )
+        found = [False]
+
+        class _MatchSeq(Sink):
+            def accept(self, item):
+                if not found[0] and seq_trigger(item):
+                    found[0] = True
+
+            def cancellation_requested(self):
+                return found[0]
+
+        run_pipeline(spliterator, ops, _MatchSeq(), force_short_circuit=True)
+        return found[0] if kind == "any" else not found[0]
     ops = maybe_fuse(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
@@ -489,6 +641,7 @@ def parallel_find(
     first: bool,
     target_size: int | None = None,
     deadline: Deadline | None = None,
+    backend: str | None = None,
 ) -> Optional:
     """Parallel ``find_first``/``find_any``.
 
@@ -496,6 +649,29 @@ def parallel_find(
     must honor encounter order, so each leaf stops at its own first element
     and the ordered merge keeps the leftmost.
     """
+    backend = resolve_backend(backend)
+    if backend == "process":
+        from repro.streams import process_backend as _pb
+
+        return _pb.process_find(
+            spliterator, ops, first,
+            target_size=target_size, deadline=deadline,
+        )
+    if backend == "sequential":
+        if deadline is not None:
+            deadline.check("sequential find")
+        result: list = []
+
+        class _FindSeq(Sink):
+            def accept(self, item):
+                if not result:
+                    result.append(item)
+
+            def cancellation_requested(self):
+                return bool(result)
+
+        run_pipeline(spliterator, ops, _FindSeq(), force_short_circuit=True)
+        return Optional.of(result[0]) if result else Optional.empty()
     ops = maybe_fuse(ops)
     if target_size is None:
         target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)

@@ -69,7 +69,7 @@ class Stream:
 
     __slots__ = (
         "_spliterator", "_ops", "_parallel", "_pool", "_consumed",
-        "_target_size", "_close_handlers", "_deadline",
+        "_target_size", "_close_handlers", "_deadline", "_backend",
     )
 
     def __init__(
@@ -88,6 +88,7 @@ class Stream:
         self._target_size = target_size
         self._close_handlers: list[Callable[[], None]] = []
         self._deadline = None
+        self._backend: str | None = None
 
     # ------------------------------------------------------------------ #
     # Factories
@@ -267,6 +268,23 @@ class Stream:
         out._deadline = deadline
         return out
 
+    def with_backend(self, backend: str) -> "Stream":
+        """Select the execution backend for parallel terminals.
+
+        ``'threads'`` (fork/join pool, the default), ``'process'`` (worker
+        processes — Python-heavy stages scale with cores, but every
+        function crossing the boundary must pickle; ndarray sources shared
+        via :func:`repro.powerlist.shm.share_array` ship as zero-copy
+        descriptors), or ``'sequential'``.  Overrides the session default
+        set by :func:`repro.streams.set_parallel_backend` /
+        ``REPRO_PARALLEL_BACKEND``.  No effect on sequential streams.
+        """
+        _parallel._validate_backend(backend)
+        self._check_linked()
+        out = self._derive(self._spliterator, self._ops, parallel=self._parallel)
+        out._backend = backend
+        return out
+
     # ------------------------------------------------------------------ #
     # Intermediate operations (lazy)
     # ------------------------------------------------------------------ #
@@ -360,7 +378,7 @@ class Stream:
             spliterator, ops = self._barrier_stateful(spliterator, ops)
             return _parallel.parallel_collect(
                 spliterator, ops, collector, self._effective_pool(),
-                self._target_size, self._deadline,
+                self._target_size, self._deadline, self._backend,
             )
         sink = AccumulatorSink(
             collector.supplier()(),
@@ -407,7 +425,7 @@ class Stream:
                 )
                 return _parallel.parallel_collect(
                     spliterator, ops, collector, self._effective_pool(),
-                    self._target_size, self._deadline,
+                    self._target_size, self._deadline, self._backend,
                 )
             return _parallel.parallel_reduce(
                 spliterator,
@@ -418,6 +436,7 @@ class Stream:
                 has_identity,
                 self._target_size,
                 self._deadline,
+                self._backend,
             )
         # Sequential fold.
         sink = ReducingSink(accumulator, identity, has_identity)
@@ -433,7 +452,7 @@ class Stream:
             spliterator, ops = self._barrier_stateful(spliterator, ops)
             _parallel.parallel_for_each(
                 spliterator, ops, action, self._effective_pool(),
-                self._target_size, self._deadline,
+                self._target_size, self._deadline, self._backend,
             )
             return
 
@@ -592,6 +611,7 @@ class Stream:
         # Close handlers travel with the pipeline (Java's onClose contract).
         derived._close_handlers = self._close_handlers
         derived._deadline = self._deadline
+        derived._backend = self._backend
         return derived
 
     def _append(self, op: Op) -> "Stream":
@@ -628,6 +648,7 @@ class Stream:
                 self._effective_pool(),
                 self._target_size,
                 self._deadline,
+                self._backend,
             )
             buffer = stateful.apply_to_buffer(buffer)
             spliterator = ListSpliterator(buffer)
@@ -639,7 +660,7 @@ class Stream:
             spliterator, ops = self._barrier_stateful(spliterator, ops)
             return _parallel.parallel_match(
                 spliterator, ops, predicate, self._effective_pool(), kind,
-                self._target_size, self._deadline,
+                self._target_size, self._deadline, self._backend,
             )
         found = [False]
         trigger = predicate if kind in ("any", "none") else (lambda t: not predicate(t))
@@ -661,7 +682,7 @@ class Stream:
             spliterator, ops = self._barrier_stateful(spliterator, ops)
             return _parallel.parallel_find(
                 spliterator, ops, self._effective_pool(), first,
-                self._target_size, self._deadline,
+                self._target_size, self._deadline, self._backend,
             )
         result: list = []
 

@@ -30,6 +30,7 @@ class StreamSupport:
         parallel: bool = False,
         pool: "ForkJoinPool | None" = None,
         target_size: int | None = None,
+        backend: str | None = None,
     ) -> Stream:
         """Create a stream driven by ``spliterator``.
 
@@ -41,6 +42,9 @@ class StreamSupport:
                 common pool (shorthand for ``.with_pool(pool)``).
             target_size: override the split threshold (shorthand for
                 ``.with_target_size(n)``).
+            backend: execution backend for parallel terminals (shorthand
+                for ``.with_backend(name)``): ``'threads'``, ``'process'``
+                or ``'sequential'``.
         """
         stream = Stream(spliterator)
         if parallel:
@@ -49,6 +53,8 @@ class StreamSupport:
             stream = stream.with_pool(pool)
         if target_size is not None:
             stream = stream.with_target_size(target_size)
+        if backend is not None:
+            stream = stream.with_backend(backend)
         return stream
 
 
@@ -57,6 +63,9 @@ def stream_of(
     parallel: bool = False,
     pool: "ForkJoinPool | None" = None,
     target_size: int | None = None,
+    backend: str | None = None,
 ) -> Stream:
     """Convenience: a stream over any iterable (``Collection.stream()``)."""
-    return StreamSupport.stream(spliterator_of(source), parallel, pool, target_size)
+    return StreamSupport.stream(
+        spliterator_of(source), parallel, pool, target_size, backend
+    )

@@ -1,0 +1,29 @@
+"""Session-wide guards for the test suite.
+
+The shared-memory backing store (``repro.powerlist.shm``) creates named
+OS-level segments that outlive the process if not unlinked — a leak that
+survives the interpreter.  The guard below asserts every segment created
+during the run was released by the code under test before the session
+ends, then tears down the shared worker-process pool so no child outlives
+pytest.
+"""
+
+import pytest
+
+from repro.powerlist import shm
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shm_leak_guard():
+    yield
+    from repro.streams import process_backend
+
+    process_backend.shutdown_shared_executor()
+    leaked = shm.active_segments()
+    # Clean up even when the assertion is about to fail: a leaked segment
+    # must not survive the test process just because we reported it.
+    shm.release_all()
+    shm.detach_all()
+    assert leaked == [], (
+        f"shared-memory segments leaked by the test session: {leaked}"
+    )

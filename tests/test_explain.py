@@ -134,6 +134,7 @@ class TestStatefulBarrierChain:
             },
             "execution": {
                 "parallel": True,
+                "backend": "threads",
                 "pool": "explain-test",
                 "parallelism": 4,
                 "segments": [

@@ -1,0 +1,559 @@
+"""Tests for the multi-process parallel backend and shared-memory shipping.
+
+Covers the full stack of PR "process backend": the shm segment registry
+and descriptor round-trips, PowerList descriptor pickling, backend
+selection controls, result parity across the five terminal families,
+deadline propagation into leaf submission, worker-kill chaos (broken-pool
+containment and sequential degradation), and the labeled metrics the
+executor exports.
+"""
+
+import functools
+import operator
+import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.common import IllegalArgumentError, TaskTimeoutError
+from repro.jplf.process_executor import ProcessExecutor
+from repro.powerlist import PowerList, shm
+from repro.streams import (
+    Collector,
+    CollectorCharacteristics,
+    Stream,
+    parallel_backend,
+    parallel_backend_name,
+    set_parallel_backend,
+    stream_of,
+)
+from repro.streams import process_backend as pb
+from repro.streams.ops import MapOp
+from repro.streams.parallel import _backend_from_env
+from repro.streams.spliterators import ListSpliterator, RangeSpliterator
+
+
+# --------------------------------------------------------------------------- #
+# Module-level functions: everything crossing the process boundary must pickle
+# --------------------------------------------------------------------------- #
+
+def _double(x):
+    return x * 2
+
+
+def _is_even(x):
+    return x % 2 == 0
+
+
+def _over(x, threshold):
+    return x > threshold
+
+
+def _slow_identity(x):
+    time.sleep(0.4)
+    return x
+
+
+def _new_list():
+    return []
+
+
+def _acc_append(container, item):
+    container.append(item)
+
+
+def _combine_extend(a, b):
+    a.extend(b)
+    return a
+
+
+@pytest.fixture
+def executor():
+    with ProcessExecutor(processes=2) as ex:
+        yield ex
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory storage and descriptors
+# --------------------------------------------------------------------------- #
+
+class TestSharedMemoryStorage:
+    def test_share_describe_rebuild_roundtrip(self):
+        arr = shm.share_array(np.arange(64, dtype=np.int64))
+        try:
+            desc = shm.describe(arr)
+            assert desc is not None
+            rebuilt = shm.rebuild(desc)
+            assert np.array_equal(rebuilt, arr)
+        finally:
+            shm.detach_all()
+            shm.release(arr)
+        assert shm.active_segments() == []
+
+    def test_views_ship_as_descriptors(self):
+        arr = shm.share_array(np.arange(64, dtype=np.int64))
+        try:
+            half = arr[:32]
+            comb = arr[1::2]
+            for view in (half, comb):
+                desc = shm.describe(view)
+                assert desc is not None
+                assert np.array_equal(shm.rebuild(desc), view)
+        finally:
+            shm.detach_all()
+            shm.release(arr)
+
+    def test_unshared_array_yields_no_descriptor(self):
+        assert shm.describe(np.arange(8)) is None
+        assert shm.storage_of(np.arange(8)) is None
+
+    def test_rejects_2d_and_object_dtype(self):
+        with pytest.raises(IllegalArgumentError):
+            shm.share_array(np.zeros((2, 2)))
+        with pytest.raises(IllegalArgumentError):
+            shm.share_array(np.array([object()], dtype=object))
+
+    def test_release_is_idempotent_and_tracked(self):
+        arr = shm.share_array(np.arange(8, dtype=np.float64))
+        name = shm.storage_of(arr).name
+        assert name in shm.active_segments()
+        shm.release(arr)
+        assert name not in shm.active_segments()
+        shm.release(arr)  # no-op
+
+
+class TestPowerListDescriptorPickling:
+    def test_tie_zip_views_pickle_compactly(self):
+        arr = shm.share_array(np.arange(1024, dtype=np.int64))
+        try:
+            plist = PowerList(arr)
+            left, right = plist.tie_split()
+            even, odd = plist.zip_split()
+            raw = len(pickle.dumps(np.asarray(arr).copy()))
+            for view in (plist, left, right, even, odd):
+                blob = pickle.dumps(view)
+                # A descriptor, not a data copy: orders of magnitude smaller.
+                assert len(blob) < raw / 10
+                assert pickle.loads(blob).to_list() == view.to_list()
+        finally:
+            shm.detach_all()
+            shm.release(arr)
+
+    def test_plain_powerlist_still_pickles_by_value(self):
+        plist = PowerList([1, 2, 3, 4])
+        assert pickle.loads(pickle.dumps(plist)).to_list() == [1, 2, 3, 4]
+
+
+# --------------------------------------------------------------------------- #
+# Backend selection controls
+# --------------------------------------------------------------------------- #
+
+class TestBackendControls:
+    def test_default_is_threads(self):
+        assert parallel_backend_name() == "threads"
+
+    def test_set_and_restore(self):
+        previous = set_parallel_backend("sequential")
+        try:
+            assert previous == "threads"
+            assert parallel_backend_name() == "sequential"
+        finally:
+            set_parallel_backend(previous)
+
+    def test_context_manager_scopes(self):
+        with parallel_backend("process"):
+            assert parallel_backend_name() == "process"
+        assert parallel_backend_name() == "threads"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(IllegalArgumentError, match="unknown parallel backend"):
+            set_parallel_backend("gpu")
+        with pytest.raises(IllegalArgumentError):
+            Stream.range(0, 4).parallel().with_backend("nope")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "process")
+        assert _backend_from_env() == "process"
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "")
+        assert _backend_from_env() == "threads"
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "bogus")
+        with pytest.raises(IllegalArgumentError):
+            _backend_from_env()
+
+    def test_stream_of_backend_kwarg(self):
+        out = stream_of(range(64), parallel=True, backend="sequential").to_list()
+        assert out == list(range(64))
+
+    def test_unpicklable_function_reports_clearly(self):
+        stream = Stream.range(0, 64).parallel().with_backend("process")
+        with pytest.raises(IllegalArgumentError, match="picklable"):
+            stream.map(lambda x: x + 1).to_list()
+
+
+# --------------------------------------------------------------------------- #
+# Terminal parity: process backend == threads backend == sequential
+# --------------------------------------------------------------------------- #
+
+class TestTerminalParity:
+    def _sources(self):
+        yield Stream.range(0, 1 << 10)
+        yield Stream.of_iterable([(i * 37) % 101 for i in range(1 << 10)])
+
+    def test_collect_to_list(self):
+        for make in (lambda: Stream.range(0, 1 << 10),):
+            expected = make().map(_double).to_list()
+            got = (
+                make().parallel().with_backend("process").map(_double).to_list()
+            )
+            assert got == expected
+
+    def test_collect_over_shared_array(self):
+        arr = shm.share_array(np.arange(1 << 10, dtype=np.int64))
+        try:
+            expected = [x * 2 for x in range(1 << 10)]
+            got = (
+                Stream.of_iterable(arr)
+                .parallel()
+                .with_backend("process")
+                .map(_double)
+                .to_list()
+            )
+            assert got == expected
+        finally:
+            shm.release(arr)
+
+    def test_collect_with_picklable_collector(self, executor):
+        collector = Collector.of(
+            _new_list, _acc_append, _combine_extend, None,
+            CollectorCharacteristics.IDENTITY_FINISH,
+        )
+        got = pb.process_collect(
+            RangeSpliterator(0, 256), [], collector,
+            target_size=32, executor=executor,
+        )
+        assert got == list(range(256))
+
+    def test_reduce_with_and_without_identity(self):
+        expected = sum(range(1 << 10))
+        stream = Stream.range(0, 1 << 10).parallel().with_backend("process")
+        assert stream.reduce(0, operator.add) == expected
+        opt = (
+            Stream.range(0, 1 << 10)
+            .parallel()
+            .with_backend("process")
+            .reduce(operator.add)
+        )
+        assert opt.get() == expected
+        empty = Stream.empty().parallel().with_backend("process").reduce(operator.add)
+        assert not empty.is_present()
+
+    def test_match_family(self):
+        def make():
+            return Stream.range(0, 1 << 12).parallel().with_backend("process")
+
+        assert make().any_match(functools.partial(_over, threshold=4000))
+        assert not make().any_match(functools.partial(_over, threshold=1 << 13))
+        assert make().all_match(functools.partial(_over, threshold=-1))
+        assert make().none_match(functools.partial(_over, threshold=1 << 13))
+
+    def test_find_first_keeps_encounter_order(self):
+        got = (
+            Stream.range(0, 1 << 12)
+            .parallel()
+            .with_backend("process")
+            .filter(functools.partial(_over, threshold=2000))
+            .find_first()
+        )
+        assert got.get() == 2001
+
+    def test_find_any_finds_some_element(self):
+        got = (
+            Stream.range(0, 1 << 12)
+            .parallel()
+            .with_backend("process")
+            .filter(_is_even)
+            .find_any()
+        )
+        assert got.get() % 2 == 0
+
+    def test_for_each_runs_in_workers(self, executor):
+        # Side effects land in the child; the parent only observes
+        # completion without error.
+        pb.process_for_each(
+            RangeSpliterator(0, 128), [], _double,
+            target_size=16, executor=executor,
+        )
+
+    def test_stateful_barrier_pipeline(self):
+        data = [(i * 29) % 61 for i in range(512)]
+        expected = sorted(set(x * 2 for x in data))[:100]
+        got = (
+            stream_of(data, parallel=True, backend="process")
+            .map(_double)
+            .distinct()
+            .sorted()
+            .limit(100)
+            .to_list()
+        )
+        assert got == expected
+
+    def test_sequential_backend_matches(self):
+        expected = Stream.range(0, 512).map(_double).to_list()
+        got = (
+            Stream.range(0, 512)
+            .parallel()
+            .with_backend("sequential")
+            .map(_double)
+            .to_list()
+        )
+        assert got == expected
+
+
+# --------------------------------------------------------------------------- #
+# Deadlines: with_deadline must bound process-backend leaf submission
+# --------------------------------------------------------------------------- #
+
+class TestDeadlinePropagation:
+    def test_deadline_cancels_outstanding_leaf_batches(self):
+        with ProcessExecutor(processes=1) as ex:
+            started = time.perf_counter()
+            with pytest.raises(TaskTimeoutError):
+                pb.process_collect(
+                    RangeSpliterator(0, 4),
+                    [MapOp(_slow_identity)],
+                    _list_collector(),
+                    target_size=1,
+                    deadline=_deadline_after(0.25),
+                    executor=ex,
+                )
+            elapsed = time.perf_counter() - started
+            # Raised promptly at the deadline, not after every 0.4 s leaf.
+            assert elapsed < 1.5
+            assert ex.stats()["deadline_timeouts"] >= 1
+
+    def test_stream_with_deadline_reaches_backend(self):
+        with ProcessExecutor(processes=1) as ex:
+            original = pb._shared_executor
+            pb._shared_executor = ex
+            try:
+                with pytest.raises(TaskTimeoutError):
+                    (
+                        Stream.range(0, 4)
+                        .parallel()
+                        .with_backend("process")
+                        .with_target_size(1)
+                        .with_deadline(0.25)
+                        .map(_slow_identity)
+                        .to_list()
+                    )
+            finally:
+                pb._shared_executor = original
+
+
+def _deadline_after(seconds):
+    from repro.faults.policy import Deadline
+
+    return Deadline.after(seconds)
+
+
+def _list_collector():
+    return Collector.of(
+        _new_list, _acc_append, _combine_extend, None,
+        CollectorCharacteristics.IDENTITY_FINISH,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Chaos: worker kills, broken-pool containment, sequential degradation
+# --------------------------------------------------------------------------- #
+
+class TestWorkerChaos:
+    def test_kill_breaks_pool_then_retry_recovers(self):
+        from repro.faults import FaultPlan, RetryPolicy, fault_injection
+
+        plan = FaultPlan(seed=11).inject("proc:worker-0", "kill", times=1)
+        with ProcessExecutor(processes=2, retry=RetryPolicy(max_attempts=3)) as ex:
+            with fault_injection(plan):
+                got = pb.process_collect(
+                    RangeSpliterator(0, 512), [], _list_collector(),
+                    target_size=64, executor=ex,
+                )
+            assert got == list(range(512))
+            stats = ex.stats()
+        assert stats["broken_pools"] >= 1
+        assert stats["retries"] >= 1
+
+    def test_unbounded_kills_degrade_to_sequential(self):
+        from repro.faults import FaultPlan, RetryPolicy, fault_injection
+
+        plan = FaultPlan(seed=12).inject("proc:*", "kill")  # every batch, always
+        with ProcessExecutor(
+            processes=2, retry=RetryPolicy(max_attempts=2), fallback=True
+        ) as ex:
+            with fault_injection(plan):
+                got = pb.process_collect(
+                    RangeSpliterator(0, 256), [], _list_collector(),
+                    target_size=64, executor=ex,
+                )
+            assert got == list(range(256))
+            assert ex.stats()["degraded_runs"] == 1
+
+    def test_kill_without_policy_is_contained(self):
+        from repro.faults import FaultPlan, fault_injection
+
+        plan = FaultPlan(seed=13).inject("proc:worker-0", "kill", times=1)
+        with ProcessExecutor(processes=2) as ex:
+            with fault_injection(plan):
+                with pytest.raises(BrokenProcessPool):
+                    pb.process_collect(
+                        RangeSpliterator(0, 256), [], _list_collector(),
+                        target_size=64, executor=ex,
+                    )
+            # The broken pool was discarded; the next run forks a fresh
+            # one and succeeds.
+            got = pb.process_collect(
+                RangeSpliterator(0, 256), [], _list_collector(),
+                target_size=64, executor=ex,
+            )
+            assert got == list(range(256))
+            assert ex.stats()["broken_pools"] == 1
+
+    def test_kill_containment_covers_submit_time_breakage(self):
+        """A killed worker can fail the pool *between submits*, so the
+        BrokenProcessPool surfaces from ``pool.submit`` rather than from
+        a future — containment must count and discard on that path too.
+        Repeated trials cover both timings (which one occurs is a race
+        against the dying child)."""
+        from repro.faults import FaultPlan, fault_injection
+
+        with ProcessExecutor(processes=2) as ex:
+            for trial in range(4):
+                plan = FaultPlan(seed=100 + trial).inject(
+                    "proc:worker-0", "kill", times=1
+                )
+                with fault_injection(plan):
+                    with pytest.raises(BrokenProcessPool):
+                        pb.process_collect(
+                            RangeSpliterator(0, 256), [], _list_collector(),
+                            target_size=64, executor=ex,
+                        )
+                # Exactly one containment per trial, and the next run
+                # always gets a fresh pool.
+                assert ex.stats()["broken_pools"] == trial + 1
+                got = pb.process_collect(
+                    RangeSpliterator(0, 256), [], _list_collector(),
+                    target_size=64, executor=ex,
+                )
+                assert got == list(range(256))
+
+
+# --------------------------------------------------------------------------- #
+# Explain and metrics integration
+# --------------------------------------------------------------------------- #
+
+class TestExplainAndMetrics:
+    def test_explain_reports_backend_and_shipping(self):
+        plan = (
+            Stream.range(0, 1 << 12)
+            .parallel()
+            .with_backend("process")
+            .map(_double)
+            .explain()
+            .to_dict()
+        )
+        assert plan["execution"]["backend"] == "process"
+        assert plan["execution"]["pool"] == "process"
+        assert plan["execution"]["shipping"] == "descriptor"
+
+    def test_explain_shipping_modes(self):
+        arr = shm.share_array(np.arange(64, dtype=np.int64))
+        try:
+            shared_plan = (
+                Stream.of_iterable(arr)
+                .parallel()
+                .with_backend("process")
+                .explain()
+                .to_dict()
+            )
+            assert shared_plan["execution"]["shipping"] == "shm-descriptor"
+            pickled_plan = (
+                stream_of([1, 2, 3, 4], parallel=True, backend="process")
+                .explain()
+                .to_dict()
+            )
+            assert pickled_plan["execution"]["shipping"] == "pickle"
+        finally:
+            shm.release(arr)
+
+    def test_explain_threads_default_unchanged(self):
+        plan = Stream.range(0, 64).parallel().explain().to_dict()
+        assert plan["execution"]["backend"] == "threads"
+        assert "shipping" not in plan["execution"]
+
+    def test_explain_sequential_backend_downgrade(self):
+        plan = (
+            Stream.range(0, 64)
+            .parallel()
+            .with_backend("sequential")
+            .explain()
+            .to_dict()
+        )
+        assert plan["execution"]["parallel"] is False
+        assert plan["execution"]["backend"] == "sequential"
+
+    def test_render_mentions_backend(self):
+        text = str(
+            Stream.range(0, 64).parallel().with_backend("process").explain()
+        )
+        assert "backend=process" in text
+        assert "shipping: descriptor" in text
+
+    def test_prom_metrics_cover_process_runs(self, executor):
+        from repro.obs.prom import render
+
+        pb.process_collect(
+            RangeSpliterator(0, 256), [], _list_collector(),
+            target_size=64, executor=executor,
+        )
+        text = render(executor.metrics)
+        assert 'runs_total{pool="process",processes="2"} 1' in text
+        assert 'worker_batches_total{' in text
+        assert 'pool="process"' in text
+        stats = executor.stats()
+        assert stats["runs"] == 1
+        assert sum(w["worker_batches"] for w in stats["workers"].values()) >= 1
+        assert sum(w["worker_leaves"] for w in stats["workers"].values()) == 4
+
+
+# --------------------------------------------------------------------------- #
+# Leaf splitting invariants
+# --------------------------------------------------------------------------- #
+
+class TestLeafSplitting:
+    def test_split_preserves_encounter_order(self):
+        leaves = pb.split_to_leaves(RangeSpliterator(0, 1000), 100)
+        flattened = []
+        for leaf in leaves:
+            chunk = leaf.next_chunk(10_000)
+            flattened.extend(chunk if chunk is not None else [])
+        assert flattened == list(range(1000))
+
+    def test_unsplittable_source_is_single_leaf(self):
+        leaves = pb.split_to_leaves(ListSpliterator([1, 2, 3]), 1)
+        total = []
+        for leaf in leaves:
+            chunk = leaf.next_chunk(100)
+            total.extend(chunk if chunk is not None else [])
+        assert sorted(total) == [1, 2, 3]
+
+    def test_source_specs_by_kind(self):
+        assert pb._leaf_source_spec(RangeSpliterator(3, 9))[0] == "range"
+        assert pb._leaf_source_spec(ListSpliterator([1, 2]))[0] == "seq"
+        arr = shm.share_array(np.arange(16, dtype=np.int64))
+        try:
+            spec = pb._leaf_source_spec(ListSpliterator(arr))
+            assert spec[0] == "shm"
+        finally:
+            shm.release(arr)

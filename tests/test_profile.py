@@ -233,8 +233,10 @@ class TestProcessExecutorStats:
                 "retries": 0,
                 "degraded_runs": 0,
                 "broken_pools": 0,
+                "deadline_timeouts": 0,
+                "workers": {},
             }
             snap = executor.metrics.snapshot()
-            assert 'runs{processes="2"}' in snap
+            assert 'runs{pool="process",processes="2"}' in snap
         finally:
             executor.shutdown()
