@@ -34,7 +34,7 @@ bench-smoke:
 	    --out benchmarks/results/ab9_bulk_path_smoke.json
 
 # Mirrors the CI bench-regression job: parity-gated AB9 + AB10 + AB11
-# smoke sweeps, then the speedup-ratio gate against the committed
+# + AB12 smoke sweeps, then the speedup-ratio gate against the committed
 # baselines.
 bench-regression:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_ab9_bulk_path.py --smoke \
@@ -43,6 +43,8 @@ bench-regression:
 	    --out benchmarks/results/ab10_fusion_smoke.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_ab11_process_backend.py --smoke \
 	    --out benchmarks/results/ab11_process_backend_smoke.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ab12_adaptive.py --smoke \
+	    --out benchmarks/results/ab12_adaptive_smoke.json
 	$(PYTHON) benchmarks/check_regression.py \
 	    --baseline benchmarks/results/BENCH_bulk_path.json \
 	    --fresh benchmarks/results/ab9_bulk_path_smoke.json
@@ -52,6 +54,9 @@ bench-regression:
 	$(PYTHON) benchmarks/check_regression.py \
 	    --baseline benchmarks/results/BENCH_process_backend.json \
 	    --fresh benchmarks/results/ab11_process_backend_smoke.json
+	$(PYTHON) benchmarks/check_regression.py \
+	    --baseline benchmarks/results/BENCH_adaptive.json \
+	    --fresh benchmarks/results/ab12_adaptive_smoke.json
 	PYTHONPATH=src $(PYTHON) benchmarks/check_regression.py --overhead
 	PYTHONPATH=src $(PYTHON) examples/profile_report.py \
 	    --out-profile benchmarks/results/profile_report.json \

@@ -431,6 +431,20 @@ class ForkJoinPool:
         profiler; feeds the pool's labeled ``leaf_duration_ns`` series)."""
         self._leaf_durations.observe(duration_ns)
 
+    def scheduling_snapshot(self) -> dict:
+        """Cheap point-in-time read of the scheduler feedback counters.
+
+        Unlike :meth:`stats` — a full registry snapshot under the registry
+        lock — this reads only the three counters the adaptive split
+        policy (:mod:`repro.streams.adaptive`) differences across a run,
+        so terminals can afford one call per execution.
+        """
+        return {
+            "steals": sum(w.stolen.value for w in self._workers),
+            "tasks_executed": sum(w.executed.value for w in self._workers),
+            "idle_wakeups": self._idle_wakeups.value,
+        }
+
     # -- observability ------------------------------------------------------ #
 
     def stats(self) -> dict:

@@ -48,9 +48,21 @@ from repro.jplf.executors import Executor, SequentialExecutor
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import current_profiler
 from repro.jplf.power_function import PowerFunction
+from repro.powerlist import shm as _shm
 
 #: Leaf threshold used inside each worker (bulk leaf_case below it).
 _WORKER_LEAF_THRESHOLD = 1024
+
+#: The cancellation flag for the leaf batch currently running in THIS
+#: worker process (None in the parent and between batches).  Leaf runners
+#: that want chunk-boundary abort — the stream process backend's sinks —
+#: read it via :func:`current_leaf_cancel` and poll ``is_set()``.
+_leaf_cancel: "_shm.SharedFlag | None" = None
+
+
+def current_leaf_cancel():
+    """The in-flight batch's shared cancellation flag, or None."""
+    return _leaf_cancel
 
 
 def _run_subfunction(function: PowerFunction):
@@ -76,7 +88,7 @@ def _run_subfunction_faulty(function: PowerFunction, mode: str, delay: float):
     return _run_subfunction(function)
 
 
-def _run_leaf_batch(runner, payloads):
+def _run_leaf_batch(runner, payloads, cancel_name: str | None = None):
     """Top-level worker entry point for generic leaf batches.
 
     Used by the stream process backend: one submission carries a whole
@@ -84,13 +96,40 @@ def _run_leaf_batch(runner, payloads):
     ~``processes`` IPC round trips instead of 64.  Returns
     ``(pid, results, duration_ns)`` — the pid keys the parent's
     per-worker labeled metrics.
+
+    ``cancel_name`` names the run's shared cancellation flag.  It is
+    published via :func:`current_leaf_cancel` for the duration of the
+    batch so leaf sinks can poll it at chunk boundaries (aborting a
+    RUNNING leaf, not just skipping pending ones), and checked between
+    leaves here so a cancelled batch stops scanning untouched leaves.
+    A flag the parent already unlinked means the run was abandoned
+    (failure or deadline) — the batch returns placeholder results.
     """
+    global _leaf_cancel
+    flag = None
+    if cancel_name is not None:
+        try:
+            flag = _shm.SharedFlag.attach(cancel_name)
+        except FileNotFoundError:
+            return os.getpid(), [None] * len(payloads), 0
     start = time.perf_counter_ns()
-    results = [runner(payload) for payload in payloads]
+    results: list = []
+    _leaf_cancel = flag
+    try:
+        for payload in payloads:
+            if flag is not None and flag.is_set():
+                results.append(None)
+                continue
+            results.append(runner(payload))
+    finally:
+        _leaf_cancel = None
+        if flag is not None:
+            flag.close()
     return os.getpid(), results, time.perf_counter_ns() - start
 
 
-def _run_leaf_batch_faulty(runner, payloads, mode: str, delay: float):
+def _run_leaf_batch_faulty(runner, payloads, mode: str, delay: float,
+                           cancel_name: str | None = None):
     """Leaf-batch entry point enacting a parent-decided fault verdict."""
     if mode == "kill":
         os._exit(13)
@@ -98,7 +137,7 @@ def _run_leaf_batch_faulty(runner, payloads, mode: str, delay: float):
         time.sleep(delay)
     if mode == "raise":
         raise FaultInjected(f"injected fault in process worker (pid {os.getpid()})")
-    return _run_leaf_batch(runner, payloads)
+    return _run_leaf_batch(runner, payloads, cancel_name)
 
 
 class ProcessExecutor(Executor):
@@ -273,12 +312,21 @@ class ProcessExecutor(Executor):
             duration_ns
         )
 
-    def _map_leaves_once(self, runner, payloads, deadline, early_stop, label):
+    def _map_leaves_once(self, runner, payloads, deadline, early_stop, label,
+                         observer=None):
         """One scatter of ``payloads`` over the pool, batched and ordered.
 
         Payloads are grouped into at most ``2 × processes`` contiguous
         batches (amortizing submission overhead while leaving slack for
         load balancing) and the results are returned in payload order.
+
+        Every scatter creates one :class:`repro.powerlist.shm.SharedFlag`
+        whose segment name rides along with each batch submission.  The
+        flag is the run's cross-process cancellation token: the parent
+        sets it on failure, deadline expiry, or early stop, and workers
+        poll it both between leaves and — via ``current_leaf_cancel`` —
+        inside a leaf at chunk boundaries, so a RUNNING leaf aborts
+        instead of scanning to completion after the answer is known.
 
         * ``deadline`` bounds the whole wait: on expiry, every pending
           batch future is cancelled and :class:`TaskTimeoutError` raised —
@@ -292,6 +340,9 @@ class ProcessExecutor(Executor):
           ``_TerminalContext`` fail-fast contract.  A dead worker
           (``BrokenProcessPool``) additionally discards the owned pool so
           a retry starts on fresh processes.
+        * ``observer``: optional adaptive-scheduling
+          :class:`repro.streams.adaptive.RunObservation` — fed each
+          batch's measured duration, slot-spread over its leaves.
         """
         n = len(payloads)
         if n == 0:
@@ -305,6 +356,7 @@ class ProcessExecutor(Executor):
         ]
         futures: list = []
         results: list = [None] * n
+        cancel = _shm.SharedFlag.create()
         # Submission itself can raise BrokenProcessPool (an already-killed
         # worker fails the pool before the next submit lands), so it must
         # sit inside the containment block or the broken pool would never
@@ -322,12 +374,14 @@ class ProcessExecutor(Executor):
                         allowed=("raise", "delay", "kill"), index=i,
                     )
                 if action is None:
-                    futures.append(pool.submit(_run_leaf_batch, runner, batch))
+                    futures.append(
+                        pool.submit(_run_leaf_batch, runner, batch, cancel.name)
+                    )
                 else:
                     futures.append(
                         pool.submit(
                             _run_leaf_batch_faulty, runner, batch,
-                            action.mode, action.delay,
+                            action.mode, action.delay, cancel.name,
                         )
                     )
 
@@ -358,36 +412,46 @@ class ProcessExecutor(Executor):
                     pid, batch_results, duration_ns = future.result()
                     results[lo:hi] = batch_results
                     self._observe_batch(pid, hi - lo, duration_ns)
+                    if observer is not None:
+                        observer.record_batch(lo, hi, duration_ns)
                     if early_stop is not None and any(
                         early_stop(r) for r in batch_results
                     ):
                         stop = True
                 if stop:
+                    # Tell RUNNING leaves in other workers to abort at
+                    # their next chunk boundary, then stop collecting.
+                    cancel.set()
                     break
         except BrokenProcessPool:
+            cancel.set()
             for future in futures:
                 future.cancel()
             self._discard_broken_pool()
             raise
         except BaseException:
+            cancel.set()
             for future in futures:
                 future.cancel()
             raise
+        finally:
+            cancel.close()
         for future in not_done:
             future.cancel()
         return results
 
     def run_leaves(self, runner, payloads, *, deadline=None, early_stop=None,
-                   label: str = "leaf batch"):
+                   label: str = "leaf batch", observer=None):
         """Run picklable leaf ``payloads`` across the worker pool.
 
         ``runner`` must be a module-level callable (it crosses the pickle
         boundary); each payload's result comes back in payload order.
         Applies this executor's ``retry``/``fallback`` policies: exhausted
         retries degrade to running the payloads sequentially in the parent
-        (counted in :meth:`stats` as a degraded run).  Deadline expiry
-        raises :class:`~repro.common.TaskTimeoutError` and is never
-        retried.
+        (counted in :meth:`stats` as a degraded run; the degraded path
+        skips ``observer`` — in-parent timings would poison the memo).
+        Deadline expiry raises :class:`~repro.common.TaskTimeoutError`
+        and is never retried.
         """
         if self._shutdown:
             raise RejectedExecutionError(
@@ -396,14 +460,14 @@ class ProcessExecutor(Executor):
         self._runs.inc()
         if self.retry is None and not self.fallback:
             return self._map_leaves_once(
-                runner, payloads, deadline, early_stop, label
+                runner, payloads, deadline, early_stop, label, observer
             )
 
         from repro.faults.policy import run_resilient
 
         def primary():
             return self._map_leaves_once(
-                runner, payloads, deadline, early_stop, label
+                runner, payloads, deadline, early_stop, label, observer
             )
 
         def sequential():

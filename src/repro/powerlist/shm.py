@@ -48,8 +48,10 @@ from repro.common import IllegalArgumentError
 _DESCRIPTOR_TAG = "shm-v1"
 
 _lock = threading.Lock()
-#: Segments created by this process, keyed by segment name.
-_owned: dict[str, "SharedArrayStorage"] = {}
+#: Segments created by this process, keyed by segment name (array storages
+#: and :class:`SharedFlag` tokens both live here — everything with a
+#: ``close()`` the leak guard / ``release_all`` can call).
+_owned: dict[str, Any] = {}
 #: Root-array lookup: id(root ndarray) → its storage.  numpy arrays do
 #: not support weak references, so entries are removed explicitly by
 #: ``close``/``release_all`` (the storage holds the only strong root ref
@@ -102,6 +104,86 @@ class SharedArrayStorage:
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
         return f"SharedArrayStorage({self.shm.name!r}, {state})"
+
+
+class SharedFlag:
+    """A one-byte cross-process flag in its own shared-memory segment.
+
+    The process backend's cancellation token: the parent creates one per
+    leaf-batch scatter and ships its segment *name* to workers; either
+    side may :meth:`set` it — the parent on failure/deadline/early-stop,
+    a worker on finding a short-circuit witness — and running leaves in
+    every worker poll :meth:`is_set` at their chunk boundaries and abort.
+
+    ``create`` registers the segment with the owned-segment registry (so
+    the test suite's leak guard sees an abandoned flag); ``attach``
+    suppresses resource-tracker registration exactly like :func:`rebuild`
+    — the owner unlinks, an attaching worker must leave the tracker alone
+    (bpo-39959).  The owner's :meth:`close` unlinks; an attacher's only
+    unmaps.  Both sides tolerate the other being gone already: setting or
+    polling after the peer closed is harmless (the mapping stays valid),
+    and attaching a name the parent already unlinked raises
+    ``FileNotFoundError`` for the caller to treat as "run abandoned".
+    """
+
+    __slots__ = ("shm", "_owner", "_closed")
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self.shm = shm
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def create(cls) -> "SharedFlag":
+        seg = shared_memory.SharedMemory(create=True, size=1)
+        seg.buf[0] = 0
+        flag = cls(seg, owner=True)
+        with _lock:
+            _owned[seg.name] = flag
+        return flag
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedFlag":
+        if _resource_tracker is not None:
+            original_register = _resource_tracker.register
+            _resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                seg = shared_memory.SharedMemory(name=name, create=False)
+            finally:
+                _resource_tracker.register = original_register
+        else:  # pragma: no cover — tracker internals moved
+            seg = shared_memory.SharedMemory(name=name, create=False)
+        return cls(seg, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def set(self) -> None:
+        if not self._closed:
+            self.shm.buf[0] = 1
+
+    def is_set(self) -> bool:
+        return not self._closed and self.shm.buf[0] != 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owner:
+            with _lock:
+                _owned.pop(self.shm.name, None)
+        self.shm.close()
+        if self._owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover — already gone
+                pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("set" if self.is_set() else "clear")
+        role = "owner" if self._owner else "attached"
+        return f"SharedFlag({self.shm.name!r}, {role}, {state})"
 
 
 def share_array(source: Any) -> np.ndarray:

@@ -14,6 +14,9 @@ This package reproduces the machinery that the paper builds on:
   terminal operations);
 * :mod:`repro.streams.parallel` — fork/join evaluation of pipelines driven
   by ``try_split`` decomposition;
+* :mod:`repro.streams.adaptive` — the metrics-driven ``auto`` split
+  policy: leaf thresholds and chunk sizes chosen from observed
+  per-element cost and scheduler feedback;
 * :mod:`repro.streams.stream_support` — ``StreamSupport``-style factory.
 
 Naming follows Python conventions (``try_split`` for ``trySplit``), with the
@@ -49,6 +52,14 @@ from repro.streams.fusion import (
     set_fusion,
 )
 from repro.streams.explain import ExplainPlan
+from repro.streams.adaptive import (
+    VALID_POLICIES,
+    reset_split_policy,
+    set_split_policy,
+    split_policy,
+    split_policy_mode,
+    split_policy_stats,
+)
 from repro.streams.parallel import (
     VALID_BACKENDS,
     parallel_backend,
@@ -76,6 +87,7 @@ __all__ = [
     "StreamSupport",
     "FusedOp",
     "VALID_BACKENDS",
+    "VALID_POLICIES",
     "bulk_execution",
     "bulk_execution_enabled",
     "bulk_stats",
@@ -84,9 +96,14 @@ __all__ = [
     "fusion_stats",
     "parallel_backend",
     "parallel_backend_name",
+    "reset_split_policy",
     "set_bulk_execution",
     "set_fusion",
     "set_parallel_backend",
+    "set_split_policy",
+    "split_policy",
+    "split_policy_mode",
+    "split_policy_stats",
     "spliterator_of",
     "stream_of",
 ]

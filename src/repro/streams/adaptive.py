@@ -1,0 +1,500 @@
+"""Metrics-driven split thresholds and chunk sizing (``target_size='auto'``).
+
+The split threshold has so far been Java's static heuristic —
+``max(size // (parallelism * 4), 1)`` — and AB4 showed how sensitive the
+speedup curves are to that knob.  This module closes the feedback loop
+that the observability layer opened: during an ``auto`` run the engine
+samples per-leaf span durations and the pool's steal/idle counters, folds
+them into a small per-pipeline-shape memo, and the *next* run of the same
+shape sizes its leaves from the **observed per-element cost** instead of
+the element count:
+
+* the policy aims each leaf at :data:`TARGET_LEAF_SPAN_NS` of wall time
+  (``target = span_target / cost_per_element``), never splitting deeper
+  than Java's ``size // (4 × parallelism)`` at neutral bias — more than
+  four leaves per worker buys no parallelism, only task overhead — so
+  observed cost *coarsens* cheap shapes while expensive shapes keep
+  Java's tree;
+* when the median leaf span collapses below a quarter of the target, task
+  overhead dominates — the shape's bias **coarsens** (doubles);
+* when leaves run long while workers report idle wake-ups (or too few
+  leaves exist to feed them), the bias **deepens** (halves), lowering
+  the Java floor itself once it drops below 1;
+* ``next_chunk`` granularity for the chunked bulk path is likewise picked
+  so one chunk costs ~:data:`TARGET_CHUNK_SPAN_NS`.
+
+A *shape* is the fingerprint of (backend, source type, parallelism, op
+chain with the identity of each user callable) — two pipelines with the
+same operators but different functions learn independently, which keeps
+the policy honest about fused-kernel per-element cost instead of assuming
+uniform ops.
+
+Selection mirrors the fusion/bulk controls: per-stream with
+``Stream.with_target_size("auto")``, globally with
+:func:`set_split_policy` / :func:`split_policy` or the
+``REPRO_SPLIT_POLICY`` environment variable.  An explicit integer
+``with_target_size(n)`` always wins.  ``Stream.explain()`` reports the
+decision (``threshold_source="auto"``) together with the inputs that
+drove it, through the *same* :func:`decide_threshold` the terminals call,
+so plans cannot drift from execution.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common import IllegalArgumentError
+from repro.streams.spliterator import UNKNOWN_SIZE
+
+#: Number of leaves per worker Java aims for (AbstractTask.LEAF_TARGET).
+LEAF_FACTOR = 4
+
+#: Base leaf size for unsized sources, divided by the parallelism so an
+#: unknown-size split still deepens with more workers (it used to be a
+#: flat ``1 << 10`` regardless of the pool).
+UNKNOWN_SIZE_BASE = 1 << 12
+
+#: The sentinel accepted by ``with_target_size`` / ``decide_threshold``.
+AUTO = "auto"
+
+#: Wall time one leaf should cost under the adaptive policy.  Deliberately
+#: coarse: per-task overhead can reach hundreds of µs on a loaded or
+#: GIL-contended host, and a ~30ms leaf keeps that below ~2% while a
+#: multi-second terminal still yields dozens of leaves.  When real
+#: parallelism is available and leaves run too long, the idle/steal
+#: deepen feedback walks the bias down — over-coarseness is corrected by
+#: measurement, over-fineness would be pure overhead everywhere.
+TARGET_LEAF_SPAN_NS = int(os.environ.get("REPRO_ADAPTIVE_LEAF_NS", 32_000_000))
+
+#: Wall time one ``next_chunk`` batch should cost on the chunked path —
+#: also the cancellation-poll latency of a running leaf, so it stays well
+#: under the leaf span target.
+TARGET_CHUNK_SPAN_NS = 1_000_000
+
+_MIN_CHUNK = 1 << 10
+_MAX_CHUNK = 1 << 16  # repro.streams.ops.CHUNK_SIZE (imported lazily — cycle)
+
+#: Bias bounds: feedback can coarsen/deepen a shape at most 64× away from
+#: the pure cost-derived target before saturating.
+_MIN_BIAS, _MAX_BIAS = 1.0 / 64, 64.0
+
+#: Leaves whose median span is below this fraction of the target mean the
+#: run was overhead-dominated → coarsen.
+_COARSEN_FRACTION = 0.25
+#: Leaves above this multiple of the target while workers idle → deepen.
+_DEEPEN_FACTOR = 2.0
+
+_MEMO_LIMIT = 256
+
+#: ``threshold_source`` labels shared with ``Stream.explain()``.
+SOURCE_EXPLICIT = "with_target_size"
+SOURCE_SIZED = "size // (4 × parallelism)"
+SOURCE_UNKNOWN = "unknown size → default // parallelism"
+SOURCE_AUTO = "auto"
+
+VALID_POLICIES = ("fixed", AUTO)
+
+
+def compute_target_size(size: int, parallelism: int) -> int:
+    """Java's split threshold: ``max(size / (parallelism * 4), 1)``.
+
+    Unsized sources get :data:`UNKNOWN_SIZE_BASE` scaled down by the
+    parallelism, so a wider pool still splits an iterator-backed stream
+    into enough batches to occupy its workers.
+    """
+    if size == UNKNOWN_SIZE:
+        return max(UNKNOWN_SIZE_BASE // parallelism, 1)
+    return max(size // (parallelism * LEAF_FACTOR), 1)
+
+
+def fixed_target(size: int, parallelism: int, explicit: Any) -> int:
+    """The non-adaptive threshold: an explicit integer or Java's rule."""
+    if isinstance(explicit, int):
+        return explicit
+    return compute_target_size(size, parallelism)
+
+
+# --------------------------------------------------------------------------- #
+# Pipeline-shape fingerprints
+# --------------------------------------------------------------------------- #
+
+
+def _callable_fingerprint(fn: Any) -> str:
+    if isinstance(fn, functools.partial):
+        return f"partial({_callable_fingerprint(fn.func)})"
+    name = (
+        getattr(fn, "__qualname__", None)
+        or getattr(fn, "__name__", None)
+        or type(fn).__name__
+    )
+    return f"{getattr(fn, '__module__', '?')}.{name}"
+
+
+def shape_key(
+    ops: list,
+    spliterator: Any,
+    parallelism: int,
+    backend: str = "threads",
+) -> tuple:
+    """The memo key for one pipeline shape.
+
+    Includes the identity (module-qualified name) of every user callable
+    an op carries — ``map(parse)`` and ``map(hash)`` have very different
+    per-element costs and must not share a cost estimate.  The element
+    count is deliberately *excluded*: cost-per-element transfers across
+    sizes, which is the whole point of the memo.
+    """
+    stages = []
+    for op in ops:
+        parts = [type(op).__name__]
+        attrs = getattr(op, "__dict__", None)
+        if attrs:
+            for name in sorted(attrs):
+                value = attrs[name]
+                if callable(value):
+                    parts.append(_callable_fingerprint(value))
+        stages.append(tuple(parts))
+    return (backend, type(spliterator).__name__, parallelism, tuple(stages))
+
+
+# --------------------------------------------------------------------------- #
+# Decisions and observations
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ThresholdDecision:
+    """One resolved split threshold, shared by execution and ``explain``."""
+
+    target_size: int
+    #: Adaptive ``next_chunk`` granularity, or None for the default.
+    chunk_size: int | None
+    #: ``threshold_source`` label (see the SOURCE_* constants).
+    source: str
+    #: For ``auto`` decisions: the measurements that drove the choice.
+    inputs: dict | None
+    #: True when the adaptive policy chose (and should observe the run).
+    adaptive: bool
+    key: tuple | None = None
+
+
+class RunObservation:
+    """Per-run sample sheet an ``auto`` terminal fills in while it runs.
+
+    Thread-backend leaves call :meth:`record_leaf` (list appends — safe
+    under the GIL from concurrent workers); the process backend calls
+    :meth:`record_batch` with child-reported batch durations.  On success
+    the terminal calls :meth:`complete`, which folds steal/idle deltas in
+    and feeds the policy memo.  Cancelled short-circuit runs are simply
+    never completed — a leaf that aborted early would poison the
+    per-element cost estimate.
+    """
+
+    __slots__ = (
+        "key", "parallelism", "target_size", "leaf_ns", "leaf_elements",
+        "leaf_sizes", "steals", "idle_wakeups", "_pool_before",
+    )
+
+    def __init__(
+        self,
+        key: tuple,
+        parallelism: int,
+        target_size: int,
+        pool_snapshot: dict | None = None,
+        leaf_sizes: list[int] | None = None,
+    ) -> None:
+        self.key = key
+        self.parallelism = parallelism
+        self.target_size = target_size
+        self.leaf_ns: list[int] = []
+        self.leaf_elements: list[int] = []
+        self.leaf_sizes = leaf_sizes
+        self.steals = 0
+        self.idle_wakeups = 0
+        self._pool_before = pool_snapshot
+
+    def record_leaf(self, duration_ns: int, elements: int) -> None:
+        self.leaf_ns.append(duration_ns)
+        self.leaf_elements.append(max(elements, 0))
+
+    def record_batch(self, lo: int, hi: int, duration_ns: int) -> None:
+        """Spread one child batch's duration evenly over its leaf slots."""
+        count = hi - lo
+        if count <= 0:
+            return
+        per_leaf = duration_ns // count
+        sizes = self.leaf_sizes
+        for i in range(lo, hi):
+            self.leaf_ns.append(per_leaf)
+            self.leaf_elements.append(sizes[i] if sizes is not None else 0)
+
+    def complete(self, pool: Any = None) -> None:
+        if pool is not None and self._pool_before is not None:
+            after = pool.scheduling_snapshot()
+            before = self._pool_before
+            self.steals = after["steals"] - before["steals"]
+            self.idle_wakeups = (
+                after["idle_wakeups"] - before["idle_wakeups"]
+            )
+        _policy.observe_run(self)
+
+
+class _ShapeEntry:
+    __slots__ = ("cost_ns", "bias", "runs")
+
+    def __init__(self) -> None:
+        self.cost_ns = 0.0  # EWMA per-element wall cost; 0 = unknown
+        self.bias = 1.0     # feedback multiplier on the cost-derived target
+        self.runs = 0
+
+
+def _pow2_at_most(value: float, lo: int, hi: int) -> int:
+    """Largest power of two ≤ ``value``, clamped to ``[lo, hi]``."""
+    if value < lo:
+        return lo
+    if value >= hi:
+        return hi
+    return 1 << (int(value).bit_length() - 1)
+
+
+class SplitPolicy:
+    """The adaptive threshold policy: a shape-keyed cost memo + feedback.
+
+    Deciding is read-only with respect to the memo (``explain()`` may call
+    it freely); only :meth:`observe_run` — fed by completed ``auto``
+    terminals — mutates state.  All state is process-local; worker
+    children never consult it (they receive resolved sizes in payloads).
+    """
+
+    def __init__(
+        self,
+        target_leaf_span_ns: int = TARGET_LEAF_SPAN_NS,
+        target_chunk_span_ns: int = TARGET_CHUNK_SPAN_NS,
+    ) -> None:
+        self.target_leaf_span_ns = target_leaf_span_ns
+        self.target_chunk_span_ns = target_chunk_span_ns
+        self._lock = threading.Lock()
+        self._memo: dict[tuple, _ShapeEntry] = {}
+        self._stats = {
+            "decisions": 0, "bootstrap": 0,
+            "coarsened": 0, "deepened": 0, "observed_runs": 0,
+        }
+
+    # -- deciding ----------------------------------------------------------- #
+
+    def decide(
+        self, size: int, parallelism: int, key: tuple | None,
+        record: bool = True,
+    ) -> ThresholdDecision:
+        with self._lock:
+            entry = self._memo.get(key) if key is not None else None
+            cost = entry.cost_ns if entry is not None else 0.0
+            bias = entry.bias if entry is not None else 1.0
+            runs = entry.runs if entry is not None else 0
+            if record:
+                self._stats["decisions"] += 1
+                if cost <= 0.0:
+                    self._stats["bootstrap"] += 1
+        inputs = {
+            "policy": AUTO,
+            "parallelism": parallelism,
+            "observed_runs": runs,
+            "cost_per_element_ns": round(cost, 1),
+            "bias": bias,
+            "target_leaf_span_ns": self.target_leaf_span_ns,
+        }
+        if cost <= 0.0:
+            # Nothing observed for this shape yet: bootstrap with Java's
+            # rule; the first completed run seeds the cost estimate.
+            inputs["basis"] = "bootstrap (no observed cost)"
+            return ThresholdDecision(
+                compute_target_size(size, parallelism), None,
+                SOURCE_AUTO, inputs, True, key,
+            )
+        target = max(int(self.target_leaf_span_ns / cost * bias), 1)
+        inputs["basis"] = "target leaf span ÷ observed cost × bias"
+        if size != UNKNOWN_SIZE:
+            # Cost-derived sizing only ever *coarsens* relative to Java's
+            # rule: splitting deeper than 4 leaves per worker already
+            # saturates the pool, so a finer cost target would buy pure
+            # task overhead.  Deeper-than-Java splits remain possible,
+            # but only through the deepen feedback (bias < 1 scales the
+            # floor down) — i.e. when workers were *observed* idle.
+            floor = int(compute_target_size(size, parallelism) * min(bias, 1.0))
+            if floor > target:
+                target = max(floor, 1)
+                inputs["basis"] = "size // (4 × parallelism) floor × bias"
+            target = min(target, max(size, 1))
+        chunk = _pow2_at_most(
+            self.target_chunk_span_ns / cost, _MIN_CHUNK, _MAX_CHUNK
+        )
+        return ThresholdDecision(target, chunk, SOURCE_AUTO, inputs, True, key)
+
+    # -- learning ----------------------------------------------------------- #
+
+    def observe_run(self, obs: RunObservation) -> None:
+        leaves = len(obs.leaf_ns)
+        if leaves == 0 or obs.key is None:
+            return
+        total_ns = sum(obs.leaf_ns)
+        elements = sum(obs.leaf_elements)
+        median_ns = sorted(obs.leaf_ns)[leaves // 2]
+        with self._lock:
+            entry = self._memo.get(obs.key)
+            if entry is None:
+                if len(self._memo) >= _MEMO_LIMIT:
+                    self._memo.pop(next(iter(self._memo)))
+                entry = self._memo[obs.key] = _ShapeEntry()
+            if elements > 0 and total_ns > 0:
+                cost = total_ns / elements
+                entry.cost_ns = (
+                    cost if entry.cost_ns <= 0.0
+                    else 0.5 * (entry.cost_ns + cost)
+                )
+            entry.runs += 1
+            self._stats["observed_runs"] += 1
+            if leaves > 1 and median_ns < (
+                self.target_leaf_span_ns * _COARSEN_FRACTION
+            ):
+                # Task overhead dominates: spans came in far under target.
+                entry.bias = min(entry.bias * 2.0, _MAX_BIAS)
+                self._stats["coarsened"] += 1
+            elif median_ns > self.target_leaf_span_ns * _DEEPEN_FACTOR and (
+                obs.idle_wakeups > 0
+                or obs.steals == 0
+                or leaves < obs.parallelism
+            ):
+                # Leaves overran while workers sat idle: split deeper.
+                entry.bias = max(entry.bias * 0.5, _MIN_BIAS)
+                self._stats["deepened"] += 1
+
+    # -- introspection ------------------------------------------------------ #
+
+    def stats(self, reset: bool = False) -> dict:
+        with self._lock:
+            snapshot = dict(self._stats)
+            snapshot["memo_size"] = len(self._memo)
+            if reset:
+                for k in self._stats:
+                    self._stats[k] = 0
+        return snapshot
+
+    def memo_entry(self, key: tuple) -> dict | None:
+        """The learned state for one shape (tests/benchmarks)."""
+        with self._lock:
+            entry = self._memo.get(key)
+            if entry is None:
+                return None
+            return {
+                "cost_per_element_ns": entry.cost_ns,
+                "bias": entry.bias,
+                "runs": entry.runs,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._memo.clear()
+            for k in self._stats:
+                self._stats[k] = 0
+
+
+_policy = SplitPolicy()
+
+
+# --------------------------------------------------------------------------- #
+# Mode controls (mirroring the fusion/bulk controls)
+# --------------------------------------------------------------------------- #
+
+
+def _validate_policy(mode: str) -> str:
+    if mode not in VALID_POLICIES:
+        raise IllegalArgumentError(
+            f"unknown split policy {mode!r}: valid policies are "
+            + ", ".join(repr(m) for m in VALID_POLICIES)
+        )
+    return mode
+
+
+def _policy_from_env() -> str:
+    mode = os.environ.get("REPRO_SPLIT_POLICY", "").strip()
+    return _validate_policy(mode) if mode else "fixed"
+
+
+_mode = _policy_from_env()
+
+
+def split_policy_mode() -> str:
+    """The session-wide default threshold policy: ``'fixed'`` or ``'auto'``."""
+    return _mode
+
+
+def set_split_policy(mode: str) -> str:
+    """Select the default threshold policy; returns the previous one.
+
+    ``'auto'`` makes every parallel terminal without an explicit
+    ``with_target_size(n)`` consult the adaptive policy;
+    ``with_target_size("auto")`` opts a single stream in regardless.  The
+    ``REPRO_SPLIT_POLICY`` environment variable sets the initial value.
+    """
+    global _mode
+    previous = _mode
+    _mode = _validate_policy(mode)
+    return previous
+
+
+@contextmanager
+def split_policy(mode: str):
+    """Context manager scoping :func:`set_split_policy`."""
+    previous = set_split_policy(mode)
+    try:
+        yield
+    finally:
+        set_split_policy(previous)
+
+
+def split_policy_stats(reset: bool = False) -> dict:
+    """Decision/feedback counters plus the memo size (advisory; lets tests
+    and benches prove the adaptive path engaged and which way it moved)."""
+    snapshot = _policy.stats(reset=reset)
+    snapshot["mode"] = _mode
+    return snapshot
+
+
+def reset_split_policy() -> None:
+    """Forget every learned shape (benchmarks isolate workloads with this)."""
+    _policy.reset()
+
+
+def wants_auto(explicit: Any) -> bool:
+    """True when this terminal should route through the adaptive policy."""
+    return explicit == AUTO or (explicit is None and _mode == AUTO)
+
+
+def decide_threshold(
+    size: int,
+    parallelism: int,
+    explicit: Any = None,
+    key: tuple | None = None,
+    record: bool = True,
+) -> ThresholdDecision:
+    """The single threshold decision function.
+
+    Every parallel terminal (both backends) and ``Stream.explain()``
+    resolve the split threshold here, so the plan and the execution can
+    never disagree.  ``explicit`` is an integer from ``with_target_size``,
+    the string ``"auto"``, or None (use the session policy).  ``record``
+    is False for explain calls so plans don't pollute the stats.
+    """
+    if isinstance(explicit, int):
+        return ThresholdDecision(explicit, None, SOURCE_EXPLICIT, None, False, key)
+    if not wants_auto(explicit):
+        source = SOURCE_UNKNOWN if size == UNKNOWN_SIZE else SOURCE_SIZED
+        return ThresholdDecision(
+            compute_target_size(size, parallelism), None, source, None, False, key,
+        )
+    return _policy.decide(size, parallelism, key, record=record)

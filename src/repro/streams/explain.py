@@ -14,9 +14,12 @@ that can drift:
 * mode selection reuses :func:`pipeline_is_short_circuit` /
   :func:`pipeline_supports_chunks` / :func:`bulk_execution_enabled`, the
   exact predicates ``run_pipeline`` branches on;
-* the split tree is walked with the real
-  :func:`~repro.streams.parallel.compute_target_size` and the real
-  halving rule (prefix gets ``size - size // 2``).
+* the leaf threshold goes through the real
+  :func:`~repro.streams.adaptive.decide_threshold` — the same function
+  the terminals call, including the ``auto`` split-policy path (read-only
+  against the memo, so explaining never records a decision) — and the
+  split tree is walked with the real halving rule (prefix gets
+  ``size - size // 2``).
 
 Everything is returned as a plain dict (pinned by tests) with a pretty
 text rendering via :meth:`ExplainPlan.render`.
@@ -35,7 +38,7 @@ from repro.streams.ops import (
     pipeline_is_short_circuit,
     pipeline_supports_chunks,
 )
-from repro.streams.parallel import compute_target_size
+from repro.streams.adaptive import decide_threshold, shape_key
 from repro.streams.spliterator import UNKNOWN_SIZE, Characteristics, Spliterator
 
 #: Mode names reported under ``execution.mode`` / ``segments[].mode`` —
@@ -198,15 +201,27 @@ def _parallel_execution(
     if shipping is not None:
         execution["shipping"] = shipping
 
-    if explicit_target is not None:
-        target = explicit_target
-        execution["threshold_source"] = "with_target_size"
-    elif size is not None:
-        target = compute_target_size(size, parallelism)
-        execution["threshold_source"] = "size // (4 × parallelism)"
-    else:
-        target = compute_target_size(UNKNOWN_SIZE, parallelism)
-        execution["threshold_source"] = "unknown size → default leaf size"
+    # The threshold comes from the SAME decision function the terminals
+    # call (repro.streams.adaptive.decide_threshold), keyed by the first
+    # stateless segment's shape — so a policy override (e.g. the ``auto``
+    # split policy) can never make the plan drift from execution.
+    # ``record=False``: explaining must not bump the policy's stats.
+    first_cut = next((i for i, op in enumerate(ops) if op.stateful), None)
+    first_segment = ops if first_cut is None else ops[:first_cut]
+    key = None
+    if spliterator is not None:
+        key = shape_key(first_segment, spliterator, parallelism, backend=backend)
+    decision = decide_threshold(
+        size if size is not None else UNKNOWN_SIZE,
+        parallelism,
+        explicit=explicit_target,
+        key=key,
+        record=False,
+    )
+    target = decision.target_size
+    execution["threshold_source"] = decision.source
+    if decision.inputs is not None:
+        execution["threshold_inputs"] = decision.inputs
     execution["target_size"] = target
 
     # The split tree is only predictable for a sized source; the shape of
@@ -285,6 +300,14 @@ class ExplainPlan:
             f"     target_size={ex['target_size']} "
             f"[{ex['threshold_source']}]"
         )
+        inputs = ex.get("threshold_inputs")
+        if inputs is not None:
+            lines.append(
+                f"     threshold inputs: {inputs['basis']}; "
+                f"cost≈{inputs['cost_per_element_ns']}ns/element, "
+                f"bias={inputs['bias']}, "
+                f"observed_runs={inputs['observed_runs']}"
+            )
         for i, seg in enumerate(ex["segments"]):
             chain = " → ".join(seg["ops"]) if seg["ops"] else "(passthrough)"
             tail = f" ⊣ barrier {seg['barrier']}" if seg["barrier"] else ""

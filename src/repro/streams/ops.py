@@ -671,6 +671,7 @@ def run_pipeline(
     ops: list[Op],
     terminal: Sink,
     force_short_circuit: bool = False,
+    chunk_size: int | None = None,
 ) -> Sink:
     """The single traversal entry point for sequential terminals and
     fork/join leaves.
@@ -686,13 +687,18 @@ def run_pipeline(
     * otherwise (stateful stages in the chain) → per-element bulk
       ``for_each_remaining``.
 
+    ``chunk_size`` overrides the default ``next_chunk`` granularity on the
+    chunked path (the adaptive split policy derives it from observed
+    per-element cost); None keeps :data:`CHUNK_SIZE`.
+
     Returns ``terminal`` so callers can read its result.
     """
     ops = _fusion.maybe_fuse(ops)
     profiler = current_profiler()
     if profiler is not None:
         return _run_pipeline_profiled(
-            spliterator, ops, terminal, force_short_circuit, profiler
+            spliterator, ops, terminal, force_short_circuit, profiler,
+            chunk_size,
         )
     sink = wrap_ops(ops, terminal)
     if force_short_circuit or pipeline_is_short_circuit(ops):
@@ -700,7 +706,7 @@ def run_pipeline(
         copy_into(spliterator, sink, True)
     elif _bulk_enabled and pipeline_supports_chunks(ops):
         _bulk_stats["chunked"] += 1
-        copy_into_chunked(spliterator, sink)
+        copy_into_chunked(spliterator, sink, chunk_size or CHUNK_SIZE)
     else:
         _bulk_stats["element"] += 1
         copy_into(spliterator, sink, False)
@@ -713,6 +719,7 @@ def _run_pipeline_profiled(
     terminal: Sink,
     force_short_circuit: bool,
     profiler,
+    chunk_size: int | None = None,
 ) -> Sink:
     """The profiled twin of :func:`run_pipeline` (same mode selection and
     ``_bulk_stats`` accounting, already-fused ``ops``).
@@ -734,7 +741,7 @@ def _run_pipeline_profiled(
     else:
         sink, probes, labels = wrap_ops(ops, terminal), None, None
     if mode == "chunked":
-        copy_into_chunked(spliterator, sink)
+        copy_into_chunked(spliterator, sink, chunk_size or CHUNK_SIZE)
     else:
         copy_into(spliterator, sink, mode == "short_circuit")
     fused = sum(1 for op in ops if type(op) is _fusion.FusedOp)

@@ -38,6 +38,8 @@ from repro.forkjoin.pool import ForkJoinPool, current_worker
 from repro.forkjoin.task import RecursiveTask
 from repro.obs.profile import current_profiler
 from repro.obs.tracer import EXTERNAL_WORKER, current_tracer
+from repro.streams import adaptive
+from repro.streams.adaptive import LEAF_FACTOR, compute_target_size
 from repro.streams.collector import Collector
 from repro.streams.fusion import maybe_fuse
 from repro.streams.ops import (
@@ -48,13 +50,10 @@ from repro.streams.ops import (
     run_pipeline,
 )
 from repro.streams.optional import Optional
-from repro.streams.spliterator import UNKNOWN_SIZE, Spliterator
+from repro.streams.spliterator import Spliterator
 
 T = TypeVar("T")
 A = TypeVar("A")
-
-#: Number of leaves per worker Java aims for (AbstractTask.LEAF_TARGET).
-LEAF_FACTOR = 4
 
 # --------------------------------------------------------------------------- #
 # Backend selection
@@ -134,11 +133,37 @@ def _attach_profiler(pool: ForkJoinPool) -> None:
         profiler.profile.attach_pool(pool)
 
 
-def compute_target_size(size: int, parallelism: int) -> int:
-    """Java's split threshold: ``max(size / (parallelism * 4), 1)``."""
-    if size == UNKNOWN_SIZE:
-        return 1 << 10
-    return max(size // (parallelism * LEAF_FACTOR), 1)
+def _resolve_threshold(
+    spliterator: Spliterator,
+    ops: list[Op],
+    pool: ForkJoinPool,
+    requested,
+    observe: bool = True,
+) -> tuple[int, int | None, "adaptive.RunObservation | None"]:
+    """Resolve one terminal's split threshold through the shared decision
+    function (:func:`repro.streams.adaptive.decide_threshold` — the same
+    one ``Stream.explain()`` consults, so plans cannot drift).
+
+    Returns ``(target_size, chunk_size, observer)``; the observer is
+    non-None only for ``auto`` decisions that should feed the policy memo
+    (``observe=False`` for find terminals, whose leaves stop early by
+    design and would poison the per-element cost estimate).
+    """
+    size = spliterator.estimate_size()
+    if not adaptive.wants_auto(requested):
+        # Fixed-policy fast path: skip shape fingerprinting entirely.
+        return adaptive.fixed_target(size, pool.parallelism, requested), None, None
+    key = adaptive.shape_key(ops, spliterator, pool.parallelism, backend="threads")
+    decision = adaptive.decide_threshold(
+        size, pool.parallelism, explicit=requested, key=key
+    )
+    observer = None
+    if observe:
+        observer = adaptive.RunObservation(
+            key, pool.parallelism, decision.target_size,
+            pool_snapshot=pool.scheduling_snapshot(),
+        )
+    return decision.target_size, decision.chunk_size, observer
 
 
 class _TerminalContext:
@@ -159,13 +184,16 @@ class _TerminalContext:
     in-flight chunked leaves at the next chunk boundary.
     """
 
-    __slots__ = ("cancel", "failure", "_lock", "pool")
+    __slots__ = ("cancel", "failure", "_lock", "pool", "observer")
 
     def __init__(self, pool: ForkJoinPool | None = None) -> None:
         self.cancel = threading.Event()
         self.failure: BaseException | None = None
         self._lock = threading.Lock()
         self.pool = pool
+        #: RunObservation for an adaptive (``auto``) run, else None; leaves
+        #: record their span durations here for the split policy.
+        self.observer = None
 
     def fail(self, exc: BaseException) -> None:
         """Record the first failure and cancel the remaining tree."""
@@ -317,7 +345,8 @@ class _ReduceTask(RecursiveTask):
                 if action is not None:
                     action.apply_before()
             profiler = current_profiler()
-            if not tracer.enabled and profiler is None:
+            observer = self.ctx.observer
+            if not tracer.enabled and profiler is None and observer is None:
                 result = self.leaf(spliterator)
             else:
                 size = spliterator.estimate_size()
@@ -332,6 +361,8 @@ class _ReduceTask(RecursiveTask):
                         end_ns=end,
                         size=size,
                     )
+                if observer is not None:
+                    observer.record_leaf(end - start, size)
                 if profiler is not None:
                     profiler.profile.record_leaf(end - start, size)
                     pool = self.ctx.pool
@@ -412,15 +443,17 @@ def parallel_collect(
         )
         run_pipeline(spliterator, ops, sink)
         return collector.finisher()(sink.container)
+    target_size, chunk_size, observer = _resolve_threshold(
+        spliterator, ops, pool, target_size
+    )
     ops = maybe_fuse(ops)
     supplier = collector.supplier()
     accumulate = collector.accumulator()
     accumulate_chunk = collector.chunk_accumulator()
     combine = collector.combiner()
     finish = collector.finisher()
-    if target_size is None:
-        target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
+    ctx.observer = observer
     _attach_profiler(pool)
 
     def leaf(leaf_spliterator: Spliterator) -> Any:
@@ -430,13 +463,16 @@ def parallel_collect(
         # context rides along as the sink's cancel token, so an in-flight
         # leaf aborts at the next chunk boundary once a sibling fails.
         sink = AccumulatorSink(supplier(), accumulate, accumulate_chunk, cancel=ctx)
-        run_pipeline(leaf_spliterator, ops, sink)
+        run_pipeline(leaf_spliterator, ops, sink, chunk_size=chunk_size)
         if ctx.failure is not None:
             raise CancellationError("leaf aborted by sibling failure")
         return sink.container
 
     root = _ReduceTask(spliterator, target_size, leaf, combine, ctx)
-    return finish(_invoke_fail_fast(pool, root, ctx, deadline))
+    result = finish(_invoke_fail_fast(pool, root, ctx, deadline))
+    if observer is not None:
+        observer.complete(pool)
+    return result
 
 
 def parallel_reduce(
@@ -472,15 +508,18 @@ def parallel_reduce(
         if has_identity:
             return sink.value
         return Optional.of(sink.value) if sink.seen else Optional.empty()
+    target_size, chunk_size, observer = _resolve_threshold(
+        spliterator, ops, pool, target_size
+    )
     ops = maybe_fuse(ops)
-    if target_size is None:
-        target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
+    ctx.observer = observer
     _attach_profiler(pool)
 
     def leaf(leaf_spliterator: Spliterator) -> ReducingSink:
         return run_pipeline(
-            leaf_spliterator, ops, ReducingSink(op, identity, has_identity)
+            leaf_spliterator, ops, ReducingSink(op, identity, has_identity),
+            chunk_size=chunk_size,
         )
 
     def merge(a: ReducingSink, b: ReducingSink) -> ReducingSink:
@@ -495,6 +534,8 @@ def parallel_reduce(
         pool, _ReduceTask(spliterator, target_size, leaf, merge, ctx), ctx,
         deadline,
     )
+    if observer is not None:
+        observer.complete(pool)
     if has_identity:
         return result.value
     return Optional.of(result.value) if result.seen else Optional.empty()
@@ -528,10 +569,12 @@ def parallel_for_each(
 
         run_pipeline(spliterator, ops, _ForEachSeq())
         return None
+    target_size, chunk_size, observer = _resolve_threshold(
+        spliterator, ops, pool, target_size
+    )
     ops = maybe_fuse(ops)
-    if target_size is None:
-        target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
+    ctx.observer = observer
     _attach_profiler(pool)
 
     def leaf(leaf_spliterator: Spliterator) -> None:
@@ -539,7 +582,7 @@ def parallel_for_each(
             def accept(self, item):
                 action(item)
 
-        run_pipeline(leaf_spliterator, ops, _ForEach())
+        run_pipeline(leaf_spliterator, ops, _ForEach(), chunk_size=chunk_size)
 
     _invoke_fail_fast(
         pool,
@@ -547,6 +590,8 @@ def parallel_for_each(
         ctx,
         deadline,
     )
+    if observer is not None:
+        observer.complete(pool)
 
 
 def parallel_match(
@@ -592,10 +637,12 @@ def parallel_match(
 
         run_pipeline(spliterator, ops, _MatchSeq(), force_short_circuit=True)
         return found[0] if kind == "any" else not found[0]
+    target_size, _, observer = _resolve_threshold(
+        spliterator, ops, pool, target_size
+    )
     ops = maybe_fuse(ops)
-    if target_size is None:
-        target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
+    ctx.observer = observer
     _attach_profiler(pool)
     cancel = ctx.cancel
     # For "any": looking for an element satisfying predicate → result True.
@@ -631,6 +678,10 @@ def parallel_match(
         ctx,
         deadline,
     )
+    if observer is not None and not cancel.is_set():
+        # Only full traversals feed the memo: a triggered match aborted
+        # its leaves early, which would skew the per-element cost.
+        observer.complete(pool)
     return triggered if kind == "any" else not triggered
 
 
@@ -672,9 +723,13 @@ def parallel_find(
 
         run_pipeline(spliterator, ops, _FindSeq(), force_short_circuit=True)
         return Optional.of(result[0]) if result else Optional.empty()
+    # find leaves stop at their own first element by design, so their span
+    # samples would poison the cost memo — observe=False keeps the auto
+    # decision without the feedback.
+    target_size, _, _ = _resolve_threshold(
+        spliterator, ops, pool, target_size, observe=False
+    )
     ops = maybe_fuse(ops)
-    if target_size is None:
-        target_size = compute_target_size(spliterator.estimate_size(), pool.parallelism)
     ctx = _TerminalContext(pool)
     _attach_profiler(pool)
     # find_first must not globally cancel on a hit (a leftmost element may

@@ -56,9 +56,10 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.common import IllegalArgumentError
-from repro.jplf.process_executor import ProcessExecutor
+from repro.jplf.process_executor import ProcessExecutor, current_leaf_cancel
 from repro.powerlist import shm as _shm
 from repro.powerlist.powerlist import PowerList
+from repro.streams import adaptive
 # Imported by name: the package re-exports a ``fusion()`` function that
 # shadows the ``repro.streams.fusion`` submodule attribute, so module-alias
 # imports would bind the function instead.
@@ -75,8 +76,7 @@ from repro.streams.ops import (
     run_pipeline,
 )
 from repro.streams.optional import Optional
-from repro.streams.parallel import compute_target_size
-from repro.streams.spliterator import Spliterator
+from repro.streams.spliterator import Spliterator, UNKNOWN_SIZE
 from repro.streams.spliterators import ListSpliterator, RangeSpliterator
 
 # --------------------------------------------------------------------------- #
@@ -243,6 +243,25 @@ def _extend(container: list, chunk) -> None:
     container.extend(chunk)
 
 
+class _CancellableReducingSink(ReducingSink):
+    """A ReducingSink that also honors the batch's shared cancel flag.
+
+    ``copy_into_chunked`` polls ``cancellation_requested`` once per chunk,
+    so a running reduce leaf aborts at the next chunk boundary after the
+    parent (or a sibling worker) sets the flag.  An aborted leaf's partial
+    value is never merged — the parent discards results of cancelled runs.
+    """
+
+    __slots__ = ("_cancel",)
+
+    def __init__(self, op, identity=None, has_identity=False, cancel=None):
+        super().__init__(op, identity, has_identity)
+        self._cancel = cancel
+
+    def cancellation_requested(self):
+        return self._cancel is not None and self._cancel.is_set()
+
+
 def _run_leaf(payload: tuple) -> Any:
     """Top-level worker entry point (module-level so it pickles).
 
@@ -250,9 +269,17 @@ def _run_leaf(payload: tuple) -> Any:
     flags, so the child's ``run_pipeline`` makes the same mode decisions
     the parent would have — a long-lived worker forked before a flag
     changed must not keep the stale inherited value.
+
+    Every sink built here wires in the batch's shared cancellation flag
+    (:func:`repro.jplf.process_executor.current_leaf_cancel`): when the
+    parent aborts the run or another worker's match/find leaf hits a
+    witness, this leaf stops at its next poll point — a chunk boundary
+    for the bulk terminals, the next element for short-circuit ones —
+    instead of scanning to completion.
     """
-    source_spec, ops, terminal, bulk_enabled, fusion_on = payload
+    source_spec, ops, terminal, bulk_enabled, fusion_on, chunk_size = payload
     spliterator = _rebuild_source(source_spec)
+    cancel = current_leaf_cancel()
     with _ops.bulk_execution(bulk_enabled), _fusion_scope(fusion_on):
         kind = terminal[0]
         if kind == "collect":
@@ -261,17 +288,20 @@ def _run_leaf(payload: tuple) -> Any:
                 collector.supplier()(),
                 collector.accumulator(),
                 collector.chunk_accumulator(),
+                cancel=cancel,
             )
-            run_pipeline(spliterator, ops, sink)
+            run_pipeline(spliterator, ops, sink, chunk_size=chunk_size)
             return sink.container
         if kind == "elements":
-            sink = AccumulatorSink([], _append, _extend)
-            run_pipeline(spliterator, ops, sink)
+            sink = AccumulatorSink([], _append, _extend, cancel=cancel)
+            run_pipeline(spliterator, ops, sink, chunk_size=chunk_size)
             return sink.container
         if kind == "reduce":
             _, op, identity, has_identity = terminal
             sink = run_pipeline(
-                spliterator, ops, ReducingSink(op, identity, has_identity)
+                spliterator, ops,
+                _CancellableReducingSink(op, identity, has_identity, cancel),
+                chunk_size=chunk_size,
             )
             return (sink.value, sink.seen)
         if kind == "for_each":
@@ -281,7 +311,10 @@ def _run_leaf(payload: tuple) -> Any:
                 def accept(self, item):
                     action(item)
 
-            run_pipeline(spliterator, ops, _ForEach())
+                def cancellation_requested(self):
+                    return cancel is not None and cancel.is_set()
+
+            run_pipeline(spliterator, ops, _ForEach(), chunk_size=chunk_size)
             return None
         if kind == "match":
             _, predicate, match_kind = terminal
@@ -295,22 +328,38 @@ def _run_leaf(payload: tuple) -> Any:
                 def accept(self, item):
                     if not found[0] and trigger(item):
                         found[0] = True
+                        if cancel is not None:
+                            # A witness anywhere decides the whole match
+                            # (any → True, all/none → False): broadcast so
+                            # RUNNING sibling leaves abort mid-scan.
+                            cancel.set()
 
                 def cancellation_requested(self):
-                    return found[0]
+                    return found[0] or (
+                        cancel is not None and cancel.is_set()
+                    )
 
             run_pipeline(spliterator, ops, _MatchSink(), force_short_circuit=True)
             return found[0]
         if kind == "find":
+            first = terminal[1] if len(terminal) > 1 else True
             result: list = []
 
             class _FindSink(Sink):
                 def accept(self, item):
                     if not result:
                         result.append(item)
+                        if not first and cancel is not None:
+                            # find_any: any hit is the answer — broadcast.
+                            # find_first must NOT: every leaf reports its
+                            # own first so the ordered merge keeps the
+                            # leftmost.
+                            cancel.set()
 
                 def cancellation_requested(self):
-                    return bool(result)
+                    return bool(result) or (
+                        cancel is not None and cancel.is_set()
+                    )
 
             run_pipeline(spliterator, ops, _FindSink(), force_short_circuit=True)
             return (True, result[0]) if result else (False, None)
@@ -328,16 +377,49 @@ def _build_payloads(
     terminal: tuple,
     executor: ProcessExecutor,
     target_size: int | None,
-) -> list[tuple]:
-    if target_size is None:
-        target_size = compute_target_size(
-            spliterator.estimate_size(), executor.processes
+    observe: bool = True,
+) -> tuple[list[tuple], "adaptive.RunObservation | None"]:
+    """Split to leaves and build picklable payloads.
+
+    The leaf threshold (and, under the ``auto`` split policy, the child's
+    ``run_pipeline`` chunk size) comes from :mod:`repro.streams.adaptive`,
+    keyed by the pipeline shape with ``backend="process"`` so the memo
+    never mixes process-side costs with thread-side ones.  Returns the
+    payload list plus the run's observation handle (None outside auto or
+    when ``observe`` is False) — the caller feeds it to ``run_leaves`` and
+    completes it on success so measured batch durations update the memo.
+    """
+    size = spliterator.estimate_size()
+    chunk: int | None = None
+    key = None
+    if adaptive.wants_auto(target_size):
+        key = adaptive.shape_key(
+            ops, spliterator, executor.processes, backend="process"
+        )
+        decision = adaptive.decide_threshold(
+            size, executor.processes, explicit=target_size, key=key
+        )
+        target, chunk = decision.target_size, decision.chunk_size
+    else:
+        target = adaptive.fixed_target(size, executor.processes, target_size)
+    leaves = split_to_leaves(spliterator, target)
+    observer = None
+    if observe and key is not None:
+        # Sizes must be read before spec-building: unrecognized leaves are
+        # drained into element lists by ``_leaf_source_spec``.
+        sizes = [
+            0 if (s := leaf.estimate_size()) == UNKNOWN_SIZE else max(s, 0)
+            for leaf in leaves
+        ]
+        observer = adaptive.RunObservation(
+            key, executor.processes, target, leaf_sizes=sizes
         )
     flags = (_ops.bulk_execution_enabled(), _fusion_enabled())
-    return [
-        (_leaf_source_spec(leaf), ops, terminal) + flags
-        for leaf in split_to_leaves(spliterator, target_size)
+    payloads = [
+        (_leaf_source_spec(leaf), ops, terminal) + flags + (chunk,)
+        for leaf in leaves
     ]
+    return payloads, observer
 
 
 def process_collect(
@@ -362,22 +444,28 @@ def process_collect(
     combine = collector.combiner()
     finish = collector.finisher()
     if _check_picklable("collector", collector, combine):
-        payloads = _build_payloads(
+        payloads, observer = _build_payloads(
             spliterator, ops, ("collect", collector), executor, target_size
         )
         partials = executor.run_leaves(
-            _run_leaf, payloads, deadline=deadline, label="process collect"
+            _run_leaf, payloads, deadline=deadline, label="process collect",
+            observer=observer,
         )
+        if observer is not None:
+            observer.complete()
         container = partials[0]
         for partial in partials[1:]:
             container = combine(container, partial)
         return finish(container)
-    payloads = _build_payloads(
+    payloads, observer = _build_payloads(
         spliterator, ops, ("elements",), executor, target_size
     )
     partials = executor.run_leaves(
-        _run_leaf, payloads, deadline=deadline, label="process collect"
+        _run_leaf, payloads, deadline=deadline, label="process collect",
+        observer=observer,
     )
+    if observer is not None:
+        observer.complete()
     container = collector.supplier()()
     accumulate = collector.accumulator()
     accumulate_chunk = collector.chunk_accumulator()
@@ -403,13 +491,16 @@ def process_reduce(
     """Immutable reduction across worker processes (``Stream.reduce``)."""
     executor = executor if executor is not None else shared_executor()
     _require_picklable("pipeline stage functions and reduce operator", ops, op)
-    payloads = _build_payloads(
+    payloads, observer = _build_payloads(
         spliterator, ops, ("reduce", op, identity, has_identity),
         executor, target_size,
     )
     partials = executor.run_leaves(
-        _run_leaf, payloads, deadline=deadline, label="process reduce"
+        _run_leaf, payloads, deadline=deadline, label="process reduce",
+        observer=observer,
     )
+    if observer is not None:
+        observer.complete()
     value, seen = None, False
     for leaf_value, leaf_seen in partials:
         if not leaf_seen:
@@ -437,12 +528,15 @@ def process_for_each(
     """
     executor = executor if executor is not None else shared_executor()
     _require_picklable("pipeline stage functions and action", ops, action)
-    payloads = _build_payloads(
+    payloads, observer = _build_payloads(
         spliterator, ops, ("for_each", action), executor, target_size
     )
     executor.run_leaves(
-        _run_leaf, payloads, deadline=deadline, label="process for_each"
+        _run_leaf, payloads, deadline=deadline, label="process for_each",
+        observer=observer,
     )
+    if observer is not None:
+        observer.complete()
 
 
 def process_match(
@@ -460,15 +554,21 @@ def process_match(
         raise ValueError(f"unknown match kind: {kind}")
     executor = executor if executor is not None else shared_executor()
     _require_picklable("pipeline stage functions and predicate", ops, predicate)
-    payloads = _build_payloads(
+    payloads, observer = _build_payloads(
         spliterator, ops, ("match", predicate, kind), executor, target_size
     )
     results = executor.run_leaves(
         _run_leaf, payloads, deadline=deadline,
         early_stop=lambda triggered: triggered is True,
         label="process match",
+        observer=observer,
     )
     triggered = any(result is True for result in results)
+    # A triggered run aborted leaves mid-scan — those timings would teach
+    # the memo that elements are cheaper than they are.  Only full
+    # traversals feed the cost model (same rule as the thread path).
+    if observer is not None and not triggered:
+        observer.complete()
     return triggered if kind == "any" else not triggered
 
 
@@ -489,8 +589,10 @@ def process_find(
     """
     executor = executor if executor is not None else shared_executor()
     _require_picklable("pipeline stage functions", ops)
-    payloads = _build_payloads(
-        spliterator, ops, ("find",), executor, target_size
+    # find leaves stop at their own first element by design — their spans
+    # measure almost nothing, so find never feeds the adaptive memo.
+    payloads, _ = _build_payloads(
+        spliterator, ops, ("find", first), executor, target_size, observe=False
     )
     early_stop = None if first else (lambda result: bool(result) and result[0])
     results = executor.run_leaves(

@@ -235,14 +235,27 @@ class Stream:
         out._pool = pool
         return out
 
-    def with_target_size(self, target_size: int) -> "Stream":
+    def with_target_size(self, target_size) -> "Stream":
         """Override the split threshold (leaf size) for parallel execution.
 
         Java computes ``size / (4 × parallelism)``; the paper's analysis of
         where decomposition "automatically stops" corresponds to this knob.
+
+        Pass the string ``"auto"`` to let the adaptive split policy pick
+        the threshold from observed per-element cost and scheduler
+        feedback (see :mod:`repro.streams.adaptive`) for this stream only,
+        regardless of the global ``set_split_policy`` mode.
         """
-        if target_size < 1:
-            raise IllegalArgumentError("target_size must be >= 1")
+        if isinstance(target_size, str):
+            if target_size != "auto":
+                raise IllegalArgumentError(
+                    f"target_size must be an int >= 1 or 'auto', "
+                    f"got {target_size!r}"
+                )
+        elif not isinstance(target_size, int) or target_size < 1:
+            raise IllegalArgumentError(
+                f"target_size must be an int >= 1 or 'auto', got {target_size!r}"
+            )
         self._check_linked()
         out = self._derive(self._spliterator, self._ops, parallel=self._parallel)
         out._target_size = target_size

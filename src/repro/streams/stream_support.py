@@ -29,7 +29,7 @@ class StreamSupport:
         spliterator: Spliterator,
         parallel: bool = False,
         pool: "ForkJoinPool | None" = None,
-        target_size: int | None = None,
+        target_size: "int | str | None" = None,
         backend: str | None = None,
     ) -> Stream:
         """Create a stream driven by ``spliterator``.
@@ -41,7 +41,8 @@ class StreamSupport:
             pool: run parallel terminals on this pool instead of the
                 common pool (shorthand for ``.with_pool(pool)``).
             target_size: override the split threshold (shorthand for
-                ``.with_target_size(n)``).
+                ``.with_target_size(n)``); the string ``'auto'`` selects
+                the adaptive split policy for this stream.
             backend: execution backend for parallel terminals (shorthand
                 for ``.with_backend(name)``): ``'threads'``, ``'process'``
                 or ``'sequential'``.
@@ -62,7 +63,7 @@ def stream_of(
     source: Iterable[T],
     parallel: bool = False,
     pool: "ForkJoinPool | None" = None,
-    target_size: int | None = None,
+    target_size: "int | str | None" = None,
     backend: str | None = None,
 ) -> Stream:
     """Convenience: a stream over any iterable (``Collection.stream()``)."""

@@ -1,0 +1,393 @@
+"""The metrics-driven ``auto`` split policy (``repro.streams.adaptive``).
+
+Unit-level: decisions from synthetic observations (bootstrap, cost-based
+sizing, coarsen/deepen feedback, chunk clamping).  Integration-level:
+``with_target_size("auto")`` end to end on the thread backend, and the
+explain-vs-execution consistency pin — the plan's split tree must equal
+the traced leaf count even when the adaptive policy overrides the
+threshold, because both sides call the same decision function.
+"""
+
+import pytest
+
+from repro.common import IllegalArgumentError
+from repro.forkjoin import ForkJoinPool
+from repro.obs import tracing
+from repro.streams import Stream
+from repro.streams import adaptive
+from repro.streams.adaptive import (
+    AUTO,
+    RunObservation,
+    SplitPolicy,
+    TARGET_CHUNK_SPAN_NS,
+    UNKNOWN_SIZE_BASE,
+    _pow2_at_most,
+    compute_target_size,
+    decide_threshold,
+    shape_key,
+    wants_auto,
+)
+from repro.streams.spliterator import UNKNOWN_SIZE
+from repro.streams.spliterators import ListSpliterator, RangeSpliterator
+
+
+def _work(x):
+    return x * 3
+
+
+def _other(x):
+    return x + 1
+
+
+@pytest.fixture(autouse=True)
+def _clean_policy():
+    """Each test starts from an empty memo and the 'fixed' session mode."""
+    adaptive.reset_split_policy()
+    previous = adaptive.set_split_policy("fixed")
+    yield
+    adaptive.set_split_policy(previous)
+    adaptive.reset_split_policy()
+    adaptive.split_policy_stats(reset=True)
+
+
+def _observe(policy, key, *, leaf_ns, leaf_elements, parallelism=4,
+             target_size=64, idle_wakeups=0, steals=1):
+    obs = RunObservation(key, parallelism, target_size)
+    for ns, el in zip(leaf_ns, leaf_elements):
+        obs.record_leaf(ns, el)
+    obs.idle_wakeups = idle_wakeups
+    obs.steals = steals
+    policy.observe_run(obs)
+    return obs
+
+
+class TestFixedRules:
+    def test_explicit_integer_always_wins(self):
+        decision = decide_threshold(4096, 4, explicit=128)
+        assert decision.target_size == 128
+        assert decision.source == "with_target_size"
+        assert decision.adaptive is False
+
+    def test_sized_java_rule(self):
+        decision = decide_threshold(4096, 4)
+        assert decision.target_size == 4096 // 16
+        assert decision.source == "size // (4 × parallelism)"
+
+    def test_unknown_size_scales_with_parallelism(self):
+        decision = decide_threshold(UNKNOWN_SIZE, 8)
+        assert decision.target_size == UNKNOWN_SIZE_BASE // 8
+        assert decision.source == "unknown size → default // parallelism"
+
+
+class TestShapeKey:
+    def test_distinguishes_callables(self):
+        s = RangeSpliterator(0, 16)
+        ops_a = Stream.range(0, 16).map(_work)._ops
+        ops_b = Stream.range(0, 16).map(_other)._ops
+        assert shape_key(ops_a, s, 4) != shape_key(ops_b, s, 4)
+
+    def test_distinguishes_backend_and_parallelism(self):
+        ops = Stream.range(0, 16).map(_work)._ops
+        s = RangeSpliterator(0, 16)
+        assert shape_key(ops, s, 4) != shape_key(ops, s, 8)
+        assert shape_key(ops, s, 4, backend="threads") != shape_key(
+            ops, s, 4, backend="process"
+        )
+
+    def test_excludes_size(self):
+        ops = Stream.range(0, 16).map(_work)._ops
+        assert shape_key(ops, RangeSpliterator(0, 16), 4) == shape_key(
+            ops, RangeSpliterator(0, 1 << 20), 4
+        )
+
+    def test_source_type_matters(self):
+        ops = Stream.range(0, 16).map(_work)._ops
+        assert shape_key(ops, RangeSpliterator(0, 16), 4) != shape_key(
+            ops, ListSpliterator([0] * 16), 4
+        )
+
+
+class TestPolicyDecisions:
+    KEY = ("threads", "RangeSpliterator", 4, ())
+
+    def test_bootstrap_uses_java_rule(self):
+        policy = SplitPolicy()
+        decision = policy.decide(4096, 4, self.KEY)
+        assert decision.target_size == compute_target_size(4096, 4)
+        assert decision.chunk_size is None
+        assert decision.inputs["basis"] == "bootstrap (no observed cost)"
+        assert decision.adaptive is True
+
+    def test_cost_based_target(self):
+        policy = SplitPolicy(target_leaf_span_ns=1_000_000)
+        # 10_000 elements costing 1ms total → 100ns per element.
+        _observe(policy, self.KEY, leaf_ns=[1_000_000],
+                 leaf_elements=[10_000])
+        decision = policy.decide(1 << 16, 4, self.KEY)
+        # 1ms span target ÷ 100ns/element = 10_000-element leaves, well
+        # above Java's 4096-element rule for this size → cost coarsens.
+        assert decision.target_size == 10_000
+        assert decision.inputs["basis"] == (
+            "target leaf span ÷ observed cost × bias"
+        )
+
+    def test_cost_never_splits_deeper_than_java_rule(self):
+        policy = SplitPolicy(target_leaf_span_ns=1_000_000)
+        # 10µs per element → the cost target would be 100-element leaves,
+        # far below Java's size // (4 × parallelism).  Splitting deeper
+        # than Java's rule buys no extra parallelism, only task overhead,
+        # so the Java target acts as a floor at neutral bias.  (Enough
+        # busy leaves that the deepen heuristic stays quiet.)
+        _observe(policy, self.KEY, leaf_ns=[12_500_000] * 8,
+                 leaf_elements=[1_250] * 8)
+        decision = policy.decide(1 << 20, 4, self.KEY)
+        assert decision.target_size == compute_target_size(1 << 20, 4)
+        assert decision.inputs["basis"] == (
+            "size // (4 × parallelism) floor × bias"
+        )
+
+    def test_deepen_bias_lowers_the_java_floor(self):
+        policy = SplitPolicy(target_leaf_span_ns=1_000_000)
+        _observe(policy, self.KEY, leaf_ns=[12_500_000] * 8,
+                 leaf_elements=[1_250] * 8)
+        # Idle workers drive the bias below 1 — only then may the policy
+        # split deeper than Java's rule.
+        _observe(policy, self.KEY, leaf_ns=[12_500_000] * 8,
+                 leaf_elements=[1_250] * 8, idle_wakeups=3, steals=5)
+        assert policy.memo_entry(self.KEY)["bias"] == 0.5
+        decision = policy.decide(1 << 20, 4, self.KEY)
+        assert decision.target_size == compute_target_size(1 << 20, 4) // 2
+
+    def test_target_clamped_to_size(self):
+        policy = SplitPolicy(target_leaf_span_ns=1_000_000)
+        _observe(policy, self.KEY, leaf_ns=[1_000], leaf_elements=[10_000])
+        decision = policy.decide(256, 4, self.KEY)
+        assert decision.target_size == 256  # never above the input size
+
+    def test_chunk_is_pow2_and_clamped(self):
+        policy = SplitPolicy()
+        # 10µs/element → 100 elements per chunk span, below the floor.
+        _observe(policy, self.KEY, leaf_ns=[100_000_000],
+                 leaf_elements=[10_000])
+        assert policy.decide(1 << 20, 4, self.KEY).chunk_size == 1 << 10
+        policy.reset()
+        # 100 ns/element → 10_000 → rounded down to 8192.
+        _observe(policy, self.KEY, leaf_ns=[1_000_000],
+                 leaf_elements=[10_000])
+        chunk = policy.decide(1 << 20, 4, self.KEY).chunk_size
+        assert chunk == 1 << 13
+        assert chunk & (chunk - 1) == 0
+        policy.reset()
+        # Nearly free elements → ceiling.
+        _observe(policy, self.KEY, leaf_ns=[1_000],
+                 leaf_elements=[1_000_000])
+        assert policy.decide(1 << 20, 4, self.KEY).chunk_size == 1 << 16
+
+    def test_pow2_at_most(self):
+        assert _pow2_at_most(255, 16, 65536) == 128
+        assert _pow2_at_most(256, 16, 65536) == 256
+        assert _pow2_at_most(1, 16, 65536) == 16
+        assert _pow2_at_most(1 << 30, 16, 65536) == 65536
+
+
+class TestFeedback:
+    KEY = ("threads", "RangeSpliterator", 4, ())
+
+    def test_coarsen_doubles_bias(self):
+        policy = SplitPolicy(target_leaf_span_ns=1_000_000)
+        # Many tiny leaves, median far below a quarter of the target.
+        _observe(policy, self.KEY, leaf_ns=[10_000] * 8,
+                 leaf_elements=[100] * 8)
+        entry = policy.memo_entry(self.KEY)
+        assert entry["bias"] == 2.0
+        assert policy.stats()["coarsened"] == 1
+
+    def test_deepen_halves_bias_on_idle_workers(self):
+        policy = SplitPolicy(target_leaf_span_ns=1_000_000)
+        # Leaves overran 2× the target while workers reported idle wakeups.
+        _observe(policy, self.KEY, leaf_ns=[5_000_000] * 8,
+                 leaf_elements=[100] * 8, idle_wakeups=3, steals=5)
+        entry = policy.memo_entry(self.KEY)
+        assert entry["bias"] == 0.5
+        assert policy.stats()["deepened"] == 1
+
+    def test_long_leaves_with_busy_workers_do_not_deepen(self):
+        policy = SplitPolicy(target_leaf_span_ns=1_000_000)
+        # Overrunning leaves but zero idleness, active stealing, and
+        # plenty of leaves: nothing to gain from splitting deeper.
+        _observe(policy, self.KEY, leaf_ns=[5_000_000] * 8,
+                 leaf_elements=[100] * 8, idle_wakeups=0, steals=5)
+        assert policy.memo_entry(self.KEY)["bias"] == 1.0
+        assert policy.stats()["deepened"] == 0
+
+    def test_bias_saturates(self):
+        policy = SplitPolicy(target_leaf_span_ns=1_000_000)
+        for _ in range(20):
+            _observe(policy, self.KEY, leaf_ns=[10_000] * 8,
+                     leaf_elements=[100] * 8)
+        assert policy.memo_entry(self.KEY)["bias"] == 64.0
+
+    def test_cost_is_ewma(self):
+        policy = SplitPolicy()
+        _observe(policy, self.KEY, leaf_ns=[1_000], leaf_elements=[10])
+        assert policy.memo_entry(self.KEY)["cost_per_element_ns"] == 100.0
+        _observe(policy, self.KEY, leaf_ns=[3_000], leaf_elements=[10])
+        assert policy.memo_entry(self.KEY)["cost_per_element_ns"] == 200.0
+
+    def test_cancelled_runs_never_observed(self):
+        policy = SplitPolicy()
+        obs = RunObservation(self.KEY, 4, 64)
+        # No record_leaf calls (the terminal was cancelled): a complete()
+        # on an empty sheet must not create a memo entry.
+        policy.observe_run(obs)
+        assert policy.memo_entry(self.KEY) is None
+
+    def test_memo_bounded(self):
+        policy = SplitPolicy()
+        for i in range(adaptive._MEMO_LIMIT + 10):
+            _observe(policy, ("threads", "R", 4, (("op", str(i)),)),
+                     leaf_ns=[1_000], leaf_elements=[10])
+        assert policy.stats()["memo_size"] == adaptive._MEMO_LIMIT
+
+
+class TestControls:
+    def test_default_mode_is_fixed(self):
+        assert adaptive.split_policy_mode() == "fixed"
+        assert not wants_auto(None)
+        assert wants_auto(AUTO)
+
+    def test_set_and_restore(self):
+        assert adaptive.set_split_policy("auto") == "fixed"
+        assert adaptive.split_policy_mode() == "auto"
+        assert wants_auto(None)
+        assert adaptive.set_split_policy("fixed") == "auto"
+
+    def test_context_manager(self):
+        with adaptive.split_policy("auto"):
+            assert adaptive.split_policy_mode() == "auto"
+        assert adaptive.split_policy_mode() == "fixed"
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(IllegalArgumentError):
+            adaptive.set_split_policy("dynamic")
+
+    def test_explicit_integer_beats_auto_mode(self):
+        with adaptive.split_policy("auto"):
+            assert not wants_auto(64)
+            decision = decide_threshold(4096, 4, explicit=64)
+            assert decision.target_size == 64
+            assert decision.adaptive is False
+
+    def test_stats_report_mode(self):
+        assert adaptive.split_policy_stats()["mode"] == "fixed"
+        with adaptive.split_policy("auto"):
+            assert adaptive.split_policy_stats()["mode"] == "auto"
+
+
+class TestAutoEndToEnd:
+    def test_with_target_size_auto_threads(self):
+        expected = [x * 3 for x in range(4096)]
+        with ForkJoinPool(parallelism=2, name="adaptive-test") as pool:
+            for _ in range(3):
+                result = (
+                    Stream.range(0, 4096)
+                    .parallel()
+                    .with_pool(pool)
+                    .with_target_size("auto")
+                    .map(_work)
+                    .to_list()
+                )
+                assert result == expected
+        stats = adaptive.split_policy_stats()
+        assert stats["decisions"] == 3
+        assert stats["bootstrap"] == 1  # only the first run lacked a cost
+        assert stats["observed_runs"] == 3
+        assert stats["memo_size"] == 1
+
+    def test_global_auto_mode_engages(self):
+        with ForkJoinPool(parallelism=2, name="adaptive-test") as pool:
+            with adaptive.split_policy("auto"):
+                total = (
+                    Stream.range(0, 1 << 12)
+                    .parallel()
+                    .with_pool(pool)
+                    .map(_work)
+                    .reduce(0, lambda a, b: a + b)
+                )
+        assert total == sum(x * 3 for x in range(1 << 12))
+        assert adaptive.split_policy_stats()["decisions"] == 1
+
+    def test_with_target_size_validation(self):
+        stream = Stream.range(0, 16)
+        with pytest.raises(IllegalArgumentError):
+            stream.with_target_size("adaptive")
+        with pytest.raises(IllegalArgumentError):
+            stream.with_target_size(0)
+        assert stream.with_target_size("auto")._target_size == "auto"
+
+    def test_short_circuit_runs_do_not_feed_memo(self):
+        with ForkJoinPool(parallelism=2, name="adaptive-test") as pool:
+            assert (
+                Stream.range(0, 4096)
+                .parallel()
+                .with_pool(pool)
+                .with_target_size("auto")
+                .any_match(lambda x: x == 7)
+            )
+        # The match triggered → leaves aborted mid-scan → no observation.
+        assert adaptive.split_policy_stats()["observed_runs"] == 0
+
+
+class TestExplainConsistency:
+    def _stream(self, pool):
+        return (
+            Stream.range(0, 4096)
+            .parallel()
+            .with_pool(pool)
+            .with_target_size("auto")
+            .map(_work)
+        )
+
+    def test_plan_reports_auto_source_and_inputs(self):
+        with ForkJoinPool(parallelism=4, name="adaptive-explain") as pool:
+            plan = self._stream(pool).explain().to_dict()
+        ex = plan["execution"]
+        assert ex["threshold_source"] == "auto"
+        assert ex["threshold_inputs"]["basis"] == "bootstrap (no observed cost)"
+        assert "threshold inputs:" in ExplainText.render(plan)
+
+    def test_explain_does_not_record_decisions(self):
+        with ForkJoinPool(parallelism=4, name="adaptive-explain") as pool:
+            self._stream(pool).explain()
+            self._stream(pool).explain()
+        assert adaptive.split_policy_stats()["decisions"] == 0
+
+    def test_split_tree_matches_traced_leaves_after_warmup(self):
+        """The acceptance pin: plan and execution share the decision.
+
+        After a warm-up run seeds the memo, the auto threshold is
+        cost-derived — a quantity explain() could never guess from the
+        op chain alone.  The plan's split tree must still equal the
+        traced leaf count, because both call decide_threshold with the
+        same shape key against the same memo.
+        """
+        with ForkJoinPool(parallelism=4, name="adaptive-explain") as pool:
+            self._stream(pool).to_list()  # seed the memo
+            plan = self._stream(pool).explain().to_dict()
+            with tracing() as tracer:
+                result = self._stream(pool).to_list()
+        assert result == [x * 3 for x in range(4096)]
+        leaf_spans = [s for s in tracer.spans() if s.kind == "leaf"]
+        predicted = plan["execution"]["split_tree"]["leaves"]
+        assert predicted == len(leaf_spans)
+        assert plan["execution"]["threshold_source"] == "auto"
+
+
+class ExplainText:
+    """Tiny helper: render a plan dict the way ExplainPlan.render does."""
+
+    @staticmethod
+    def render(plan: dict) -> str:
+        from repro.streams.explain import ExplainPlan
+
+        return ExplainPlan(plan).render()

@@ -229,7 +229,14 @@ class TestExplainPlanObject:
         assert plan["source"]["size"] is None
         assert plan["execution"]["split_tree"] is None
         assert plan["execution"]["threshold_source"] == (
-            "unknown size → default leaf size"
+            "unknown size → default // parallelism"
+        )
+        # The reported target is what execution actually uses.
+        from repro.streams.parallel import compute_target_size
+        from repro.streams.spliterator import UNKNOWN_SIZE
+
+        assert plan["execution"]["target_size"] == compute_target_size(
+            UNKNOWN_SIZE, plan["execution"]["parallelism"]
         )
 
     def test_empty_pipeline(self):

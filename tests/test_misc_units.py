@@ -86,8 +86,12 @@ class TestComputeTargetSize:
     def test_minimum_one(self):
         assert compute_target_size(3, 8) == 1
 
-    def test_unknown_size_default(self):
-        assert compute_target_size(UNKNOWN_SIZE, 8) == 1 << 10
+    def test_unknown_size_scales_with_parallelism(self):
+        # The unsized default is divided across workers, not a constant:
+        # eight workers must not all get the single-worker leaf size.
+        assert compute_target_size(UNKNOWN_SIZE, 8) == (1 << 12) // 8
+        assert compute_target_size(UNKNOWN_SIZE, 1) == 1 << 12
+        assert compute_target_size(UNKNOWN_SIZE, 1 << 14) == 1
 
 
 class TestBuildNwayDag:

@@ -292,6 +292,38 @@ class TestPipelineFuzz:
             for chunked in (True, False):
                 assert run(backend, chunked) == expected, (backend, chunked)
 
+    @settings(deadline=None, max_examples=12,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(inputs, pipelines)
+    def test_auto_threshold_matches_fixed(self, xs, ops):
+        """The adaptive split policy is a scheduling decision, never a
+        semantic one: ``target_size='auto'`` must produce results
+        identical to a fixed threshold on every backend, warm or cold
+        memo alike (each example runs auto twice — the second run uses
+        the learned cost)."""
+        from repro.streams import adaptive
+
+        expected = list(xs)
+        for op in ops:
+            expected = _apply_reference(expected, op)
+
+        def run(backend, target_size):
+            s = stream_of(xs, parallel=True, backend=backend,
+                          target_size=target_size)
+            for op in ops:
+                s = _apply_stream_picklable(s, op)
+            return s.to_list()
+
+        adaptive.reset_split_policy()
+        try:
+            for backend in ("sequential", "threads", "process"):
+                assert run(backend, 7) == expected, backend
+                assert run(backend, "auto") == expected, backend
+                assert run(backend, "auto") == expected, backend
+        finally:
+            adaptive.reset_split_policy()
+            adaptive.split_policy_stats(reset=True)
+
     @settings(deadline=None, max_examples=120,
               suppress_health_check=[HealthCheck.too_slow])
     @given(inputs, pipelines)

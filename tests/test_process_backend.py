@@ -18,7 +18,7 @@ import numpy as np
 import pytest
 
 from repro.common import IllegalArgumentError, TaskTimeoutError
-from repro.jplf.process_executor import ProcessExecutor
+from repro.jplf.process_executor import ProcessExecutor, current_leaf_cancel
 from repro.powerlist import PowerList, shm
 from repro.streams import (
     Collector,
@@ -557,3 +557,151 @@ class TestLeafSplitting:
             assert spec[0] == "shm"
         finally:
             shm.release(arr)
+
+
+# --------------------------------------------------------------------------- #
+# Cross-process cancellation: SharedFlag and chunk-boundary leaf abort
+# --------------------------------------------------------------------------- #
+
+class TestSharedFlag:
+    def test_lifecycle_and_leak_guard(self):
+        flag = shm.SharedFlag.create()
+        assert not flag.is_set()
+        # The leak guard must see an abandoned flag like any segment.
+        assert flag.name in shm.active_segments()
+        attached = shm.SharedFlag.attach(flag.name)
+        assert not attached.is_set()
+        flag.set()
+        assert attached.is_set()
+        attached.close()
+        flag.close()
+        assert flag.name not in shm.active_segments()
+        assert not flag.is_set()  # a closed flag reads as clear
+
+    def test_attacher_side_set_is_visible_to_owner(self):
+        flag = shm.SharedFlag.create()
+        try:
+            attached = shm.SharedFlag.attach(flag.name)
+            attached.set()
+            attached.close()
+            assert flag.is_set()
+        finally:
+            flag.close()
+
+    def test_attach_after_unlink_raises(self):
+        flag = shm.SharedFlag.create()
+        name = flag.name
+        flag.close()
+        with pytest.raises(FileNotFoundError):
+            shm.SharedFlag.attach(name)
+
+    def test_close_is_idempotent(self):
+        flag = shm.SharedFlag.create()
+        flag.close()
+        flag.close()
+
+    def test_no_flag_outside_a_batch(self):
+        assert current_leaf_cancel() is None
+
+
+def _noop_leaf(payload):
+    return payload
+
+
+def _coordinated_probe(desc, boundary, x):
+    """Match predicate instrumented with shared counters (see the test).
+
+    Slot 0: release latch (leaf 1 opens it when it starts running).
+    Slot 1: elements scanned by leaf 0 (the leaf that must be aborted).
+    Slot 2: elements scanned by leaf 1 (the leaf holding the witness).
+    Slot 3: sentinel — leaf 0 gave up waiting (the leaves never ran
+    concurrently, so the run proves nothing and the test skips).
+    """
+    counters = shm.rebuild(desc)
+    if x < boundary:
+        counters[1] += 1
+        if x == 0:
+            # Leaf 0's first element: park until leaf 1 is running in the
+            # other worker, so leaf 0 is provably mid-scan when the
+            # witness is found.
+            deadline = time.monotonic() + 10.0
+            while counters[0] == 0:
+                if time.monotonic() > deadline:
+                    counters[3] = 1
+                    return False
+                time.sleep(0.001)
+        return False
+    counters[2] += 1
+    if x == boundary:
+        counters[0] = 1  # release leaf 0
+    return x == boundary + 4
+
+
+class TestRunningLeafAbort:
+    def test_any_match_aborts_running_leaf_mid_scan(self, executor):
+        """The cross-cancellation bugfix: a RUNNING leaf in another worker
+        must abort at its next poll point once a sibling finds a witness —
+        batch-level cancellation of *pending* futures is not enough.
+
+        Leaf 0 ([0, boundary)) parks on its first element until leaf 1
+        ([boundary, 2×boundary)) starts, guaranteeing both leaves are
+        running concurrently in the two workers.  Leaf 1 hits the witness
+        five elements in, sets the shared flag, and leaf 0 — mid-scan,
+        far from done — must stop long before exhausting its range.
+        """
+        boundary = 1 << 14
+        n = 2 * boundary
+        # Warm both workers so the two leaf batches run concurrently.
+        executor.run_leaves(_noop_leaf, list(range(4)))
+        counters = shm.share_array(np.zeros(4, dtype=np.int64))
+        try:
+            predicate = functools.partial(
+                _coordinated_probe, shm.describe(counters), boundary
+            )
+            result = pb.process_match(
+                RangeSpliterator(0, n), [], predicate, "any",
+                target_size=boundary, executor=executor,
+            )
+            assert result is True
+            if counters[3] == 1:
+                pytest.skip("leaf batches never overlapped in the workers")
+            scanned_by_aborted_leaf = int(counters[1])
+            total_scanned = int(counters[1] + counters[2])
+        finally:
+            shm.detach_all()
+            shm.release(counters)
+        # The aborted leaf stopped mid-scan: it saw the shared flag at a
+        # poll point and quit long before its boundary-sized range ended.
+        assert scanned_by_aborted_leaf < boundary // 2
+        assert total_scanned < n // 2
+
+    def test_no_segments_leak_after_match(self, executor):
+        before = shm.active_segments()
+        assert pb.process_match(
+            RangeSpliterator(0, 1 << 12), [], _is_even, "any",
+            executor=executor,
+        )
+        assert shm.active_segments() == before
+
+
+class TestAdaptiveProcessBackend:
+    def test_auto_target_size_parity_and_memo(self, executor):
+        from repro.streams import adaptive
+
+        adaptive.reset_split_policy()
+        try:
+            expected = sum(range(1 << 12))
+            for _ in range(2):
+                total = pb.process_reduce(
+                    RangeSpliterator(0, 1 << 12), [], operator.add,
+                    identity=0, has_identity=True,
+                    target_size="auto", executor=executor,
+                )
+                assert total == expected
+            stats = adaptive.split_policy_stats()
+            assert stats["decisions"] == 2
+            assert stats["observed_runs"] == 2
+            assert stats["bootstrap"] == 1
+        finally:
+            adaptive.reset_split_policy()
+            adaptive.split_policy_stats(reset=True)
