@@ -6,8 +6,8 @@ PYTHON ?= python
 # the same file, so `make chaos` and the chaos job cannot drift.
 CHAOS_SEED_FILE := .github/chaos-seeds.json
 
-.PHONY: install test chaos bench bench-smoke bench-regression figures \
-        examples clean
+.PHONY: install test chaos bench bench-smoke bench-regression serve-load \
+        figures examples clean
 
 install:
 	pip install -e .[test] || pip install -e . --no-build-isolation
@@ -61,6 +61,14 @@ bench-regression:
 	PYTHONPATH=src $(PYTHON) examples/profile_report.py \
 	    --out-profile benchmarks/results/profile_report.json \
 	    --out-trace benchmarks/results/profile_trace.json
+
+# Mirrors the CI serve-load job: AB13's fairness/rejection/chaos gates
+# in smoke mode, with the worker-kill leg seeded from the chaos file.
+serve-load:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ab13_serve.py --smoke \
+	    --chaos-seed $$($(PYTHON) -c "import json; \
+	        print(json.load(open('$(CHAOS_SEED_FILE)'))[0])") \
+	    --out benchmarks/results/ab13_serve_smoke.json
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -1,10 +1,12 @@
 """Site keys and the pattern grammar of the fault-injection framework.
 
 Every instrumentation point in an execution engine identifies itself as a
-**site**: a *kind* (``leaf``, ``combine``, ``worker``, ``proc``, ``mpi``),
-an ordered tuple of string *qualifiers* (e.g. ``("send", "0->1")`` for a
-SimComm message, ``("worker-2",)`` for a process-pool worker) and a dict
-of numeric *attributes* (``depth``, ``size``, ``index`` …).
+**site**: a *kind* (``leaf``, ``combine``, ``worker``, ``proc``, ``mpi``,
+``serve``), an ordered tuple of string *qualifiers* (e.g.
+``("send", "0->1")`` for a SimComm message, ``("worker-2",)`` for a
+process-pool worker, ``("admit", "tenant-a")`` for a service admission
+decision) and a dict of numeric *attributes* (``depth``, ``size``,
+``index`` …).
 
 Injectors select sites with colon-separated **patterns**:
 

@@ -31,6 +31,7 @@ sequentially in the parent and are counted in :meth:`stats`.
 from __future__ import annotations
 
 import os
+import threading
 import time
 
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
@@ -52,6 +53,11 @@ from repro.powerlist import shm as _shm
 
 #: Leaf threshold used inside each worker (bulk leaf_case below it).
 _WORKER_LEAF_THRESHOLD = 1024
+
+#: How often the scatter wait loop wakes to re-check for a concurrent
+#: shutdown().  Completions still wake it immediately; this only bounds
+#: the latency of noticing an executor-level cancellation.
+_SHUTDOWN_POLL_S = 0.05
 
 #: The cancellation flag for the leaf batch currently running in THIS
 #: worker process (None in the parent and between batches).  Leaf runners
@@ -140,6 +146,17 @@ def _run_leaf_batch_faulty(runner, payloads, mode: str, delay: float,
     return _run_leaf_batch(runner, payloads, cancel_name)
 
 
+class _ActiveRun:
+    """One in-flight ``run_leaves`` scatter, registered so ``shutdown()``
+    can reach its cancellation flag and pending futures."""
+
+    __slots__ = ("cancel", "futures")
+
+    def __init__(self, cancel, futures: list) -> None:
+        self.cancel = cancel
+        self.futures = futures
+
+
 class ProcessExecutor(Executor):
     """Executes a PowerFunction across OS processes.
 
@@ -171,6 +188,11 @@ class ProcessExecutor(Executor):
         self._pool = pool
         self._owns_pool = pool is None
         self._shutdown = False
+        # In-flight run_leaves scatters, so a concurrent shutdown() can
+        # cancel their pending futures and wake their wait loops instead
+        # of leaving a waiter hanging on abandoned children.
+        self._active_lock = threading.Lock()
+        self._active_runs: set[_ActiveRun] = set()
         self.retry = retry
         self.fallback = fallback
         # Labeled counters: every ProcessExecutor gets its own registry so
@@ -347,6 +369,10 @@ class ProcessExecutor(Executor):
         n = len(payloads)
         if n == 0:
             return []
+        if self._shutdown:
+            raise RejectedExecutionError(
+                "ProcessExecutor has been shut down and no longer accepts work"
+            )
         pool = self._ensure_pool()
         plan = current_fault_plan()
         batch_count = min(n, self.processes * 2)
@@ -357,6 +383,9 @@ class ProcessExecutor(Executor):
         futures: list = []
         results: list = [None] * n
         cancel = _shm.SharedFlag.create()
+        run = _ActiveRun(cancel, futures)
+        with self._active_lock:
+            self._active_runs.add(run)
         # Submission itself can raise BrokenProcessPool (an already-killed
         # worker fails the pool before the next submit lands), so it must
         # sit inside the containment block or the broken pool would never
@@ -385,21 +414,47 @@ class ProcessExecutor(Executor):
                         )
                     )
 
+            scatter_ns = time.perf_counter_ns()
             slot_of = {future: bounds[i] for i, future in enumerate(futures)}
             not_done = set(futures)
+            first_round = True
             while not_done:
-                timeout = None
+                # Bounded wait: Future.cancel() on a pending process-pool
+                # work item never notifies wait() waiters (the manager
+                # thread drops cancelled items without the notify-cancel
+                # handshake), so a concurrent shutdown() cannot wake this
+                # loop through the futures themselves — it must observe
+                # ``_shutdown`` on the next poll tick instead.
+                timeout = _SHUTDOWN_POLL_S
                 if deadline is not None:
-                    timeout = deadline.remaining()
+                    timeout = min(deadline.remaining(), timeout)
                 done, not_done = wait(
                     not_done, timeout=timeout, return_when=FIRST_EXCEPTION
                 )
+                if self._shutdown:
+                    # A concurrent shutdown() cancelled our pending
+                    # futures and set the cancel flag; abandon the run
+                    # instead of blocking on children that may never
+                    # report back (the post-shutdown rejection contract).
+                    raise RejectedExecutionError(
+                        f"ProcessExecutor was shut down with {label} in "
+                        "flight; its leaf batches were cancelled"
+                    )
+                # A future cancelled by shutdown() lands in ``done`` but
+                # raises CancelledError from exception()/result(); skip
+                # them here (the shutdown check above owns that path).
                 failed = next(
-                    (f for f in done if f.exception() is not None), None
+                    (
+                        f for f in done
+                        if not f.cancelled() and f.exception() is not None
+                    ),
+                    None,
                 )
                 if failed is not None:
                     raise failed.exception()
                 if not done and not_done:
+                    if deadline is None or not deadline.expired:
+                        continue  # poll tick, not an expiry
                     self._timeouts.inc()
                     raise TaskTimeoutError(
                         f"{label} exceeded its deadline with "
@@ -407,17 +462,31 @@ class ProcessExecutor(Executor):
                         "outstanding"
                     )
                 stop = False
+                round_ns = time.perf_counter_ns()
                 for future in done:
+                    if future.cancelled():
+                        continue
                     lo, hi = slot_of[future]
                     pid, batch_results, duration_ns = future.result()
                     results[lo:hi] = batch_results
                     self._observe_batch(pid, hi - lo, duration_ns)
                     if observer is not None:
                         observer.record_batch(lo, hi, duration_ns)
+                        if first_round:
+                            # Round-trip minus child compute = dispatch
+                            # overhead (pickling, queueing, IPC) — the
+                            # sample the adaptive policy derives its
+                            # leaf-span target from.  Only the first
+                            # completion round: later rounds conflate
+                            # overhead with waiting behind siblings.
+                            overhead = round_ns - scatter_ns - duration_ns
+                            if overhead > 0:
+                                observer.record_dispatch(overhead)
                     if early_stop is not None and any(
                         early_stop(r) for r in batch_results
                     ):
                         stop = True
+                first_round = False
                 if stop:
                     # Tell RUNNING leaves in other workers to abort at
                     # their next chunk boundary, then stop collecting.
@@ -435,6 +504,8 @@ class ProcessExecutor(Executor):
                 future.cancel()
             raise
         finally:
+            with self._active_lock:
+                self._active_runs.discard(run)
             cancel.close()
         for future in not_done:
             future.cancel()
@@ -515,10 +586,27 @@ class ProcessExecutor(Executor):
         Idempotent; mirrors ``ForkJoinPool.shutdown`` semantics.  A
         borrowed pool is left running (its owner shuts it down) but this
         executor still transitions to the rejecting state.
+
+        A shutdown that races an active :meth:`run_leaves` does not hang
+        either side: each in-flight run's cancellation flag is set (so
+        RUNNING leaves abort at their next chunk boundary), its pending
+        futures are cancelled (waking the FIRST_EXCEPTION wait loop, which
+        raises :class:`~repro.common.RejectedExecutionError`), and the
+        owned pool is released without blocking on abandoned children.
         """
         self._shutdown = True
+        with self._active_lock:
+            active = list(self._active_runs)
+        for run in active:
+            run.cancel.set()
+            for future in run.futures:
+                future.cancel()
         if self._pool is not None and self._owns_pool:
-            self._pool.shutdown()
+            # With runs in flight, a blocking shutdown would wait on the
+            # very children the waiter just abandoned — hand the pool its
+            # cancellations and return; idle executors keep the old
+            # synchronous teardown.
+            self._pool.shutdown(wait=not active, cancel_futures=bool(active))
             self._pool = None
 
     def __enter__(self) -> "ProcessExecutor":

@@ -11,8 +11,9 @@ OpenMetrics-adjacent scraper can ingest:
 * labels render sorted by key with proper value escaping, and metric
   names are sanitized to the legal ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset.
 
-No HTTP server is included — the future serve layer mounts this string
-on ``/metrics``; here it is just a pure function of ``collect()``.
+No HTTP server is included — ``repro.serve`` exposes this string via
+``ExecutionService.metrics_text()`` for a ``/metrics`` mount; here it is
+just a pure function of ``collect()``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,64 @@
+"""Admission and shedding errors of the :mod:`repro.serve` layer.
+
+Every admission failure is a :class:`~repro.common.RejectedExecutionError`
+subclass — the same exception the pools raise after shutdown — so a
+caller's existing "rejected → back off / degrade" handling covers the
+service without new plumbing.  Each carries a ``retry_after`` hint
+(seconds), the service's estimate of when capacity frees up, mirroring an
+HTTP 429/503 ``Retry-After`` header, plus a machine-readable ``reason``
+that keys the per-tenant rejection counters.
+"""
+
+from __future__ import annotations
+
+from repro.common import CancellationError, RejectedExecutionError
+
+
+class AdmissionError(RejectedExecutionError):
+    """A job was refused at the admission gate (fast, before any queueing).
+
+    Attributes:
+        retry_after: seconds until the caller should retry (best-effort
+            estimate; 0.0 means "unknown, back off on your own schedule").
+        reason: short machine-readable cause (``queue_full``,
+            ``overload``, ``quota``, ``circuit_open``) — the ``reason``
+            label on the service's ``jobs_rejected`` counter.
+    """
+
+    reason = "rejected"
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QueueFullError(AdmissionError):
+    """The tenant's own bounded queue is at its ``queue_limit``."""
+
+    reason = "queue_full"
+
+
+class ServiceOverloadError(AdmissionError):
+    """The global queue is full and no lower-priority victim exists."""
+
+    reason = "overload"
+
+
+class QuotaExceededError(AdmissionError):
+    """The tenant exhausted its admissions-per-window quota."""
+
+    reason = "quota"
+
+
+class CircuitOpenError(AdmissionError):
+    """The tenant's circuit breaker is open after repeated job failures."""
+
+    reason = "circuit_open"
+
+
+class JobShedError(CancellationError):
+    """A *queued* job was shed to admit higher-priority work.
+
+    Raised by ``Ticket.result()`` of the victim; the job never ran, so
+    retrying it later is always safe.
+    """

@@ -1,0 +1,175 @@
+"""Per-tenant state: configuration, bounded queue, quota, circuit breaker.
+
+A :class:`Tenant` owns everything the service tracks for one client:
+
+* its bounded FIFO of queued :class:`~repro.serve.job.Ticket`\\ s
+  (``queue_limit`` is the admission bound — the service fast-fails
+  instead of buffering unboundedly);
+* its deficit-round-robin credit (:attr:`Tenant.deficit`, managed by
+  :mod:`repro.serve.scheduler`);
+* a sliding-window admission **quota** (``quota`` jobs per
+  ``quota_window`` seconds; ``None`` = unlimited);
+* a **circuit breaker** in the :class:`~repro.faults.policy.RetryPolicy`
+  mold: ``breaker_threshold`` consecutive job failures open the circuit
+  for ``breaker_cooldown`` seconds, and each re-open doubles the cooldown
+  (capped at :data:`BREAKER_MAX_COOLDOWN`) — exponential backoff applied
+  to a tenant instead of an attempt.  One success closes it and resets
+  the backoff.
+
+All mutation happens under the service's admission lock; this module
+holds no locks of its own.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common import IllegalArgumentError
+
+#: Cap on the exponentially growing breaker cooldown (seconds).
+BREAKER_MAX_COOLDOWN = 60.0
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Static per-tenant policy, fixed at registration.
+
+    Args:
+        name: tenant identifier (the ``tenant`` metric label).
+        weight: deficit-round-robin share; a weight-2 tenant drains jobs
+            twice as fast as a weight-1 tenant under contention.
+        priority: default job priority; higher-priority jobs can shed
+            queued lower-priority ones when the global queue is full.
+        queue_limit: bound on this tenant's own queue (admission
+            fast-fails beyond it).
+        quota: admitted jobs allowed per ``quota_window`` seconds
+            (``None`` = unlimited).
+        quota_window: the quota's sliding-window length in seconds.
+        breaker_threshold: consecutive failures that open the circuit.
+        breaker_cooldown: initial open duration in seconds (doubles per
+            re-open, capped at :data:`BREAKER_MAX_COOLDOWN`).
+    """
+
+    name: str
+    weight: float = 1.0
+    priority: int = 0
+    queue_limit: int = 16
+    quota: int | None = None
+    quota_window: float = 1.0
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IllegalArgumentError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise IllegalArgumentError(
+                f"tenant {self.name!r}: weight must be > 0, got {self.weight}"
+            )
+        if self.queue_limit < 1:
+            raise IllegalArgumentError(
+                f"tenant {self.name!r}: queue_limit must be >= 1, "
+                f"got {self.queue_limit}"
+            )
+        if self.quota is not None and self.quota < 1:
+            raise IllegalArgumentError(
+                f"tenant {self.name!r}: quota must be >= 1, got {self.quota}"
+            )
+        if self.quota_window <= 0:
+            raise IllegalArgumentError(
+                f"tenant {self.name!r}: quota_window must be > 0, "
+                f"got {self.quota_window}"
+            )
+        if self.breaker_threshold < 1:
+            raise IllegalArgumentError(
+                f"tenant {self.name!r}: breaker_threshold must be >= 1, "
+                f"got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown <= 0:
+            raise IllegalArgumentError(
+                f"tenant {self.name!r}: breaker_cooldown must be > 0, "
+                f"got {self.breaker_cooldown}"
+            )
+
+
+class Tenant:
+    """Runtime state for one registered tenant."""
+
+    __slots__ = (
+        "config", "queue", "deficit", "failure_streak", "breaker_open_until",
+        "breaker_trips", "_window_start", "_window_count",
+    )
+
+    def __init__(self, config: TenantConfig) -> None:
+        self.config = config
+        self.queue: deque = deque()
+        self.deficit = 0.0
+        self.failure_streak = 0
+        self.breaker_open_until = 0.0
+        #: Times the breaker has opened (drives the cooldown backoff).
+        self.breaker_trips = 0
+        self._window_start = 0.0
+        self._window_count = 0
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    # -- circuit breaker --------------------------------------------------- #
+
+    def breaker_open(self, now: float | None = None) -> float:
+        """Seconds the circuit stays open from ``now`` (0.0 = closed)."""
+        now = time.monotonic() if now is None else now
+        return max(self.breaker_open_until - now, 0.0)
+
+    def record_failure(self, now: float | None = None) -> bool:
+        """Count one job failure; returns True when it opened the circuit."""
+        now = time.monotonic() if now is None else now
+        self.failure_streak += 1
+        if self.failure_streak < self.config.breaker_threshold:
+            return False
+        cooldown = min(
+            self.config.breaker_cooldown * (2.0 ** self.breaker_trips),
+            BREAKER_MAX_COOLDOWN,
+        )
+        self.breaker_open_until = now + cooldown
+        self.breaker_trips += 1
+        self.failure_streak = 0
+        return True
+
+    def record_success(self) -> None:
+        """A completed job closes the streak and resets the backoff."""
+        self.failure_streak = 0
+        self.breaker_trips = 0
+
+    # -- quota ------------------------------------------------------------- #
+
+    def quota_remaining_wait(self, now: float | None = None) -> float | None:
+        """``None`` when an admission fits the quota window; otherwise the
+        seconds until the current window rolls over (the retry hint)."""
+        if self.config.quota is None:
+            return None
+        now = time.monotonic() if now is None else now
+        if now - self._window_start >= self.config.quota_window:
+            return None  # window expired — next admission starts a fresh one
+        if self._window_count < self.config.quota:
+            return None
+        return self.config.quota_window - (now - self._window_start)
+
+    def count_admission(self, now: float | None = None) -> None:
+        """Charge one admitted job against the quota window."""
+        if self.config.quota is None:
+            return
+        now = time.monotonic() if now is None else now
+        if now - self._window_start >= self.config.quota_window:
+            self._window_start = now
+            self._window_count = 0
+        self._window_count += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Tenant({self.name!r}, queued={len(self.queue)}, "
+            f"weight={self.config.weight})"
+        )

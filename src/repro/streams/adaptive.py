@@ -44,6 +44,7 @@ from __future__ import annotations
 import functools
 import os
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any
@@ -62,14 +63,39 @@ UNKNOWN_SIZE_BASE = 1 << 12
 #: The sentinel accepted by ``with_target_size`` / ``decide_threshold``.
 AUTO = "auto"
 
-#: Wall time one leaf should cost under the adaptive policy.  Deliberately
-#: coarse: per-task overhead can reach hundreds of µs on a loaded or
+#: Wall time one leaf should cost under the adaptive policy, used until
+#: the per-backend dispatch cost has been *measured* (and permanently
+#: when ``REPRO_ADAPTIVE_LEAF_NS`` pins it).  Deliberately coarse:
+#: per-task overhead can reach hundreds of µs on a loaded or
 #: GIL-contended host, and a ~30ms leaf keeps that below ~2% while a
 #: multi-second terminal still yields dozens of leaves.  When real
 #: parallelism is available and leaves run too long, the idle/steal
 #: deepen feedback walks the bias down — over-coarseness is corrected by
 #: measurement, over-fineness would be pure overhead everywhere.
 TARGET_LEAF_SPAN_NS = int(os.environ.get("REPRO_ADAPTIVE_LEAF_NS", 32_000_000))
+
+#: An explicit ``REPRO_ADAPTIVE_LEAF_NS`` pins the leaf-span target: the
+#: operator's constant beats the online estimate.
+_LEAF_SPAN_PINNED = "REPRO_ADAPTIVE_LEAF_NS" in os.environ
+
+#: Leaf-span target as a multiple of the measured per-task dispatch cost:
+#: a leaf lasting 64 dispatches keeps scheduling overhead under ~2% while
+#: staying an order of magnitude finer than a blind worst-case constant.
+DISPATCH_SPAN_FACTOR = 64
+
+#: Clamp on the dispatch-derived span target — never finer than 2ms (a
+#: sub-ms leaf is overhead even on an idle host) and never coarser than
+#: 512ms (at least a few leaves per worker on multi-second terminals).
+_MIN_LEAF_SPAN_NS = 2_000_000
+_MAX_LEAF_SPAN_NS = 512_000_000
+
+#: Thread-pool dispatch cost is re-probed every this many observed runs
+#: per backend (it drifts with host load); the process backend refreshes
+#: for free from every scatter's round-trip sample.
+_DISPATCH_REFRESH_RUNS = 64
+
+#: No-op tasks per thread-pool dispatch probe.
+_DISPATCH_PROBE_TASKS = 8
 
 #: Wall time one ``next_chunk`` batch should cost on the chunked path —
 #: also the cancellation-poll latency of a running leaf, so it stays well
@@ -197,7 +223,7 @@ class RunObservation:
 
     __slots__ = (
         "key", "parallelism", "target_size", "leaf_ns", "leaf_elements",
-        "leaf_sizes", "steals", "idle_wakeups", "_pool_before",
+        "leaf_sizes", "steals", "idle_wakeups", "dispatch_ns", "_pool_before",
     )
 
     def __init__(
@@ -216,6 +242,8 @@ class RunObservation:
         self.leaf_sizes = leaf_sizes
         self.steals = 0
         self.idle_wakeups = 0
+        #: Per-scatter dispatch-overhead samples (process backend).
+        self.dispatch_ns: list[int] = []
         self._pool_before = pool_snapshot
 
     def record_leaf(self, duration_ns: int, elements: int) -> None:
@@ -233,6 +261,12 @@ class RunObservation:
             self.leaf_ns.append(per_leaf)
             self.leaf_elements.append(sizes[i] if sizes is not None else 0)
 
+    def record_dispatch(self, overhead_ns: int) -> None:
+        """One measured scatter-to-result overhead sample (batch round trip
+        minus the child's own compute time)."""
+        if overhead_ns > 0:
+            self.dispatch_ns.append(overhead_ns)
+
     def complete(self, pool: Any = None) -> None:
         if pool is not None and self._pool_before is not None:
             after = pool.scheduling_snapshot()
@@ -242,6 +276,17 @@ class RunObservation:
                 after["idle_wakeups"] - before["idle_wakeups"]
             )
         _policy.observe_run(self)
+        backend = self.key[0] if self.key else None
+        if backend is None:
+            return
+        if self.dispatch_ns:
+            # The process backend measured its own dispatch overhead; the
+            # minimum sample is the least-contended (truest) one.
+            _policy.note_dispatch_cost(backend, min(self.dispatch_ns))
+        elif pool is not None:
+            # Thread backend: probe the pool's submit→join round trip
+            # directly (cheap, and refreshed only every few dozen runs).
+            _policy.maybe_measure_dispatch(backend, pool)
 
 
 class _ShapeEntry:
@@ -275,15 +320,71 @@ class SplitPolicy:
         self,
         target_leaf_span_ns: int = TARGET_LEAF_SPAN_NS,
         target_chunk_span_ns: int = TARGET_CHUNK_SPAN_NS,
+        pin_leaf_span: bool | None = None,
     ) -> None:
         self.target_leaf_span_ns = target_leaf_span_ns
         self.target_chunk_span_ns = target_chunk_span_ns
+        #: True disables the dispatch-derived span (the operator pinned a
+        #: constant via REPRO_ADAPTIVE_LEAF_NS); None reads that env var.
+        self._span_pinned = (
+            _LEAF_SPAN_PINNED if pin_leaf_span is None else pin_leaf_span
+        )
         self._lock = threading.Lock()
         self._memo: dict[tuple, _ShapeEntry] = {}
+        #: Per-backend EWMA of measured per-task dispatch cost (ns); the
+        #: leaf-span target is derived from it once a sample exists.
+        self._dispatch_ns: dict[str, float] = {}
+        self._dispatch_runs: dict[str, int] = {}
         self._stats = {
             "decisions": 0, "bootstrap": 0,
             "coarsened": 0, "deepened": 0, "observed_runs": 0,
         }
+
+    # -- dispatch-cost-derived span target ----------------------------------- #
+
+    def _span_for(self, backend: str | None) -> int:
+        """Leaf-span target for ``backend`` (caller holds the lock):
+        ``DISPATCH_SPAN_FACTOR ×`` the measured dispatch cost, clamped —
+        or the static default until a measurement exists / when pinned."""
+        if self._span_pinned or backend is None:
+            return self.target_leaf_span_ns
+        cost = self._dispatch_ns.get(backend, 0.0)
+        if cost <= 0.0:
+            return self.target_leaf_span_ns
+        span = int(cost * DISPATCH_SPAN_FACTOR)
+        return max(_MIN_LEAF_SPAN_NS, min(span, _MAX_LEAF_SPAN_NS))
+
+    def leaf_span_target(self, backend: str | None = None) -> int:
+        """The effective leaf-span target for ``backend`` right now."""
+        with self._lock:
+            return self._span_for(backend)
+
+    def note_dispatch_cost(self, backend: str, sample_ns: float) -> None:
+        """Fold one measured per-task dispatch cost into the backend's
+        EWMA (seeds it on first sample)."""
+        if sample_ns <= 0:
+            return
+        with self._lock:
+            previous = self._dispatch_ns.get(backend, 0.0)
+            self._dispatch_ns[backend] = (
+                sample_ns if previous <= 0.0
+                else 0.5 * (previous + sample_ns)
+            )
+
+    def maybe_measure_dispatch(self, backend: str, pool: Any) -> None:
+        """Probe ``pool``'s per-task dispatch cost if this backend's
+        estimate is due for a refresh (first run, then every
+        :data:`_DISPATCH_REFRESH_RUNS` observed runs)."""
+        with self._lock:
+            if self._span_pinned:
+                return
+            runs = self._dispatch_runs.get(backend, 0)
+            self._dispatch_runs[backend] = runs + 1
+            if runs % _DISPATCH_REFRESH_RUNS != 0:
+                return
+        sample = _measure_pool_dispatch(pool)
+        if sample > 0:
+            self.note_dispatch_cost(backend, sample)
 
     # -- deciding ----------------------------------------------------------- #
 
@@ -296,6 +397,7 @@ class SplitPolicy:
             cost = entry.cost_ns if entry is not None else 0.0
             bias = entry.bias if entry is not None else 1.0
             runs = entry.runs if entry is not None else 0
+            span_target = self._span_for(key[0] if key else None)
             if record:
                 self._stats["decisions"] += 1
                 if cost <= 0.0:
@@ -306,7 +408,7 @@ class SplitPolicy:
             "observed_runs": runs,
             "cost_per_element_ns": round(cost, 1),
             "bias": bias,
-            "target_leaf_span_ns": self.target_leaf_span_ns,
+            "target_leaf_span_ns": span_target,
         }
         if cost <= 0.0:
             # Nothing observed for this shape yet: bootstrap with Java's
@@ -316,7 +418,7 @@ class SplitPolicy:
                 compute_target_size(size, parallelism), None,
                 SOURCE_AUTO, inputs, True, key,
             )
-        target = max(int(self.target_leaf_span_ns / cost * bias), 1)
+        target = max(int(span_target / cost * bias), 1)
         inputs["basis"] = "target leaf span ÷ observed cost × bias"
         if size != UNKNOWN_SIZE:
             # Cost-derived sizing only ever *coarsens* relative to Java's
@@ -358,13 +460,14 @@ class SplitPolicy:
                 )
             entry.runs += 1
             self._stats["observed_runs"] += 1
+            span_target = self._span_for(obs.key[0] if obs.key else None)
             if leaves > 1 and median_ns < (
-                self.target_leaf_span_ns * _COARSEN_FRACTION
+                span_target * _COARSEN_FRACTION
             ):
                 # Task overhead dominates: spans came in far under target.
                 entry.bias = min(entry.bias * 2.0, _MAX_BIAS)
                 self._stats["coarsened"] += 1
-            elif median_ns > self.target_leaf_span_ns * _DEEPEN_FACTOR and (
+            elif median_ns > span_target * _DEEPEN_FACTOR and (
                 obs.idle_wakeups > 0
                 or obs.steals == 0
                 or leaves < obs.parallelism
@@ -379,6 +482,10 @@ class SplitPolicy:
         with self._lock:
             snapshot = dict(self._stats)
             snapshot["memo_size"] = len(self._memo)
+            snapshot["dispatch_cost_ns"] = {
+                backend: round(cost, 1)
+                for backend, cost in self._dispatch_ns.items()
+            }
             if reset:
                 for k in self._stats:
                     self._stats[k] = 0
@@ -399,8 +506,43 @@ class SplitPolicy:
     def reset(self) -> None:
         with self._lock:
             self._memo.clear()
+            self._dispatch_ns.clear()
+            self._dispatch_runs.clear()
             for k in self._stats:
                 self._stats[k] = 0
+
+
+_nop_task_cls = None
+
+
+def _measure_pool_dispatch(pool: Any, probes: int = _DISPATCH_PROBE_TASKS) -> float:
+    """Median submit→join round trip of a no-op task on ``pool``, in ns.
+
+    Returns 0.0 when the pool is unusable (shut down, mid-teardown) — the
+    caller just keeps its previous estimate.  The task class is defined
+    lazily because ``repro.forkjoin`` imports are cyclic at module load.
+    """
+    global _nop_task_cls
+    if pool is None or getattr(pool, "is_shutdown", lambda: True)():
+        return 0.0
+    try:
+        if _nop_task_cls is None:
+            from repro.forkjoin.task import RecursiveTask
+
+            class _NopTask(RecursiveTask):
+                def compute(self):
+                    return None
+
+            _nop_task_cls = _NopTask
+        samples = []
+        for _ in range(probes):
+            start = time.perf_counter_ns()
+            pool.invoke(_nop_task_cls())
+            samples.append(time.perf_counter_ns() - start)
+        samples.sort()
+        return float(samples[len(samples) // 2])
+    except Exception:
+        return 0.0
 
 
 _policy = SplitPolicy()

@@ -391,3 +391,88 @@ class ExplainText:
         from repro.streams.explain import ExplainPlan
 
         return ExplainPlan(plan).render()
+
+
+class TestDispatchCostSpan:
+    """The leaf-span target derived online from measured dispatch cost."""
+
+    def test_static_target_until_first_sample(self):
+        policy = SplitPolicy(pin_leaf_span=False)
+        assert policy.leaf_span_target("threads") == policy.target_leaf_span_ns
+        assert policy.leaf_span_target(None) == policy.target_leaf_span_ns
+
+    def test_span_is_factor_times_measured_cost(self):
+        policy = SplitPolicy(pin_leaf_span=False)
+        policy.note_dispatch_cost("threads", 100_000)
+        assert policy.leaf_span_target("threads") == (
+            100_000 * adaptive.DISPATCH_SPAN_FACTOR
+        )
+        # Another backend stays on the static default.
+        assert policy.leaf_span_target("process") == policy.target_leaf_span_ns
+
+    def test_span_clamps(self):
+        policy = SplitPolicy(pin_leaf_span=False)
+        policy.note_dispatch_cost("threads", 1)  # absurdly cheap
+        assert policy.leaf_span_target("threads") == adaptive._MIN_LEAF_SPAN_NS
+        policy.note_dispatch_cost("process", 10_000_000_000)  # absurdly slow
+        assert policy.leaf_span_target("process") == adaptive._MAX_LEAF_SPAN_NS
+
+    def test_samples_blend_as_ewma(self):
+        policy = SplitPolicy(pin_leaf_span=False)
+        policy.note_dispatch_cost("threads", 100_000)
+        policy.note_dispatch_cost("threads", 300_000)
+        assert policy.stats()["dispatch_cost_ns"]["threads"] == 200_000.0
+
+    def test_nonpositive_samples_ignored(self):
+        policy = SplitPolicy(pin_leaf_span=False)
+        policy.note_dispatch_cost("threads", 0)
+        policy.note_dispatch_cost("threads", -5)
+        assert policy.stats()["dispatch_cost_ns"] == {}
+
+    def test_pinned_span_ignores_measurements(self):
+        policy = SplitPolicy(pin_leaf_span=True)
+        policy.note_dispatch_cost("threads", 100_000)
+        assert policy.leaf_span_target("threads") == policy.target_leaf_span_ns
+
+    def test_reset_clears_dispatch_state(self):
+        policy = SplitPolicy(pin_leaf_span=False)
+        policy.note_dispatch_cost("threads", 100_000)
+        policy.reset()
+        assert policy.stats()["dispatch_cost_ns"] == {}
+        assert policy.leaf_span_target("threads") == policy.target_leaf_span_ns
+
+    def test_decide_uses_derived_span(self):
+        policy = SplitPolicy(pin_leaf_span=False)
+        key = ("threads", "ListSpliterator", 4, ())
+        # 1000ns/element shape: static 32ms span → target 32_000.
+        _observe(
+            policy, key,
+            leaf_ns=[40_000_000] * 4, leaf_elements=[40_000] * 4,
+        )
+        # size 65536 → Java floor 4096, below both cost-derived targets.
+        static = policy.decide(1 << 16, 4, key, record=False)
+        assert static.target_size == 32_000  # 32ms span ÷ 1000ns/element
+        policy.note_dispatch_cost("threads", 100_000)  # → 6.4ms span
+        derived = policy.decide(1 << 16, 4, key, record=False)
+        assert derived.inputs["target_leaf_span_ns"] == 6_400_000
+        assert derived.target_size == 6_400
+
+    def test_measure_pool_dispatch_guards(self):
+        assert adaptive._measure_pool_dispatch(None) == 0.0
+        pool = ForkJoinPool(parallelism=2, name="probe-guard")
+        pool.shutdown()
+        assert adaptive._measure_pool_dispatch(pool) == 0.0
+
+    def test_threads_auto_run_populates_dispatch_cost(self):
+        adaptive.set_split_policy("auto")
+        with ForkJoinPool(parallelism=2, name="dispatch-e2e") as pool:
+            result = (
+                Stream.of_iterable(range(20_000))
+                .parallel()
+                .with_pool(pool)
+                .map(_work)
+                .sum()
+            )
+        assert result == sum(x * 3 for x in range(20_000))
+        costs = adaptive.split_policy_stats()["dispatch_cost_ns"]
+        assert costs.get("threads", 0) > 0

@@ -2,6 +2,8 @@
 
 import operator
 import random
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -15,6 +17,12 @@ from repro.powerlist import PowerList
 def _square(x):
     """Module-level mapper (lambdas don't pickle)."""
     return x * x
+
+
+def _slow_leaf(payload):
+    """A leaf slow enough for a shutdown to land mid-run."""
+    time.sleep(0.25)
+    return payload
 
 
 @pytest.fixture(scope="module")
@@ -110,6 +118,45 @@ class TestLifecycle:
         pool_first = executor._pool
         executor.execute(JplfReduce(PowerList(data), operator.add))
         assert executor._pool is pool_first
+
+    def test_shutdown_races_in_flight_run_without_hanging(self):
+        """shutdown() during an active run_leaves must cancel its pending
+        batches and surface RejectedExecutionError to the waiter in
+        bounded time — not hang the FIRST_EXCEPTION wait loop."""
+        from repro.common import RejectedExecutionError
+
+        ex = ProcessExecutor(processes=2)
+        outcome = {}
+
+        def waiter():
+            try:
+                # 16 slow payloads → 4 batches of 4: two batches run,
+                # two sit pending when shutdown strikes.
+                outcome["result"] = ex.run_leaves(
+                    _slow_leaf, list(range(16)), label="race victim"
+                )
+            except BaseException as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.4)  # let the scatter reach the wait loop
+        start = time.monotonic()
+        ex.shutdown()
+        assert time.monotonic() - start < 5.0, "shutdown blocked on children"
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "run_leaves hung after shutdown"
+        assert isinstance(outcome.get("error"), RejectedExecutionError)
+        assert "in flight" in str(outcome["error"])
+        # The executor is now in the ordinary rejecting state.
+        with pytest.raises(RejectedExecutionError):
+            ex.run_leaves(_slow_leaf, list(range(4)))
+
+    def test_shutdown_with_no_active_runs_stays_synchronous(self):
+        ex = ProcessExecutor(processes=2)
+        assert ex.run_leaves(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        ex.shutdown()  # idle: plain blocking teardown, nothing to cancel
+        ex.shutdown()  # still idempotent
 
 
 class TestFaultRecovery:
