@@ -6,8 +6,11 @@ PYTHON ?= python
 # the same file, so `make chaos` and the chaos job cannot drift.
 CHAOS_SEED_FILE := .github/chaos-seeds.json
 
-.PHONY: install test chaos bench bench-smoke bench-regression serve-load \
-        figures examples clean
+# Likewise for the fusion fuzz sweep (CI fusion-fuzz job).
+FUSION_FUZZ_SEED_FILE := .github/fusion-fuzz-seeds.json
+
+.PHONY: install test chaos fusion-fuzz bench bench-smoke bench-regression \
+        serve-load figures examples clean
 
 install:
 	pip install -e .[test] || pip install -e . --no-build-isolation
@@ -24,6 +27,16 @@ chaos:
 	    echo "== chaos seed $$seed =="; \
 	    CHAOS_SEEDS=$$seed PYTHONPATH=src $(PYTHON) -m pytest \
 	        tests/test_faults.py tests/test_failure_injection.py -q || exit 1; \
+	done
+
+# Mirrors the CI fusion-fuzz job: the pipeline-fuzz vocabulary (counted
+# kernels, zip, barriers) replayed under each pinned hypothesis seed.
+fusion-fuzz:
+	@for seed in $$($(PYTHON) -c "import json; \
+	    print(' '.join(str(s) for s in json.load(open('$(FUSION_FUZZ_SEED_FILE)'))))"); do \
+	    echo "== fusion fuzz seed $$seed =="; \
+	    FUSION_FUZZ_SEED=$$seed PYTHONPATH=src $(PYTHON) -m pytest \
+	        tests/test_pipeline_fuzz.py -q || exit 1; \
 	done
 
 bench:

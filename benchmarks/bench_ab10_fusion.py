@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import operator
 import pathlib
 import sys
 
@@ -46,9 +47,37 @@ N_BENCH = 2**18
 # parity on both engines.
 # --------------------------------------------------------------------------- #
 
-def _source(data, pool, parallel):
+def _source(data, pool, parallel, backend=None):
     stream = stream_of(data)
-    return stream.parallel().with_pool(pool) if parallel else stream
+    if not parallel:
+        return stream
+    stream = stream.parallel()
+    if backend is not None:
+        return stream.with_backend(backend)
+    return stream.with_pool(pool)
+
+
+# Module-level (picklable) stages for the workloads whose parity leg also
+# runs on ``backend='process'`` — lambdas cannot cross the pickle boundary.
+
+def _pk_add1(x):
+    return x + 1
+
+
+def _pk_mul3(x):
+    return x * 3
+
+
+def _pk_xor7(x):
+    return x ^ 7
+
+
+def _pk_keep(x):
+    return x & 7 != 0
+
+
+def _pk_combine(a, b):
+    return a * 2 - b
 
 
 def _wl_map4_to_list(data, pool, parallel=False):
@@ -90,8 +119,10 @@ def _wl_flat_map_mixed_to_list(data, pool, parallel=False):
 
 
 def _wl_map4_limit(data, pool, parallel=False):
-    # Short-circuiting pipeline: runs on the per-element path, where
-    # fusion removes three of four sink dispatches per element.
+    # Short-circuiting pipeline.  Unfused it runs per-element; fused, the
+    # ``limit`` compiles into a counted-window kernel and the whole chain
+    # rides the chunked path, so the win here is per-element dispatch
+    # *plus* chunking — well past the ~2x of pure stage fusion.
     return (_source(data, pool, parallel)
             .map(lambda x: x + 1)
             .map(lambda x: x * 3)
@@ -99,6 +130,40 @@ def _wl_map4_limit(data, pool, parallel=False):
             .map(lambda x: x ^ 7)
             .limit(max(len(data) // 2, 1))
             .to_list())
+
+
+def _wl_counted_window(data, pool, parallel=False, backend=None):
+    # skip+limit over pure maps -> counted-window kernel: both budgets
+    # hoist to one source-index window sliced off each chunk.
+    n = len(data)
+    return (_source(data, pool, parallel, backend)
+            .map(_pk_add1)
+            .map(_pk_mul3)
+            .skip(n // 4)
+            .limit(max(n // 2, 1))
+            .to_list())
+
+
+def _wl_counted_loop_sum(data, pool, parallel=False, backend=None):
+    # filter under limit -> counted-loop kernel (statement loop with an
+    # exact budget cut); on ``backend='process'`` a satisfied budget also
+    # aborts sibling leaves through the shared cancel flag.  Reduce with
+    # ``operator.add`` (not ``sum()``) so the terminal stays picklable.
+    return (_source(data, pool, parallel, backend)
+            .map(_pk_add1)
+            .filter(_pk_keep)
+            .map(_pk_xor7)
+            .limit(max(len(data) // 2, 1))
+            .reduce(0, operator.add))
+
+
+def _wl_zip_with_to_list(data, pool, parallel=False, backend=None):
+    # Two fused sides drained in lockstep by one two-cursor kernel.
+    left = (_source(data, pool, parallel, backend)
+            .map(_pk_add1)
+            .map(_pk_mul3))
+    right = stream_of(data).map(_pk_xor7).filter(_pk_keep)
+    return left.zip_with(right, _pk_combine).to_list()
 
 
 def _wl_ufunc_chain_sum(data, pool, parallel=False):
@@ -119,12 +184,19 @@ WORKLOADS = [
     ("map_filter_map_map_sum", _wl_map_filter_map_map_sum),
     ("flat_map_mixed_to_list", _wl_flat_map_mixed_to_list),
     ("map4_limit", _wl_map4_limit),
+    ("counted_window", _wl_counted_window),
+    ("counted_loop_sum", _wl_counted_loop_sum),
+    ("zip_with_to_list", _wl_zip_with_to_list),
     ("ufunc_chain_sum", _wl_ufunc_chain_sum),
     ("par_map4_to_list", _wl_par_map4_to_list),
 ]
 
 #: Workloads whose timed leg already runs on the fork/join pool.
 PARALLEL_WORKLOADS = {"par_map4_to_list"}
+
+#: Workloads (picklable stages only) whose parity leg additionally runs
+#: on both parallel backends — fork/join threads *and* multiprocess.
+BACKEND_PARITY_WORKLOADS = {"counted_window", "counted_loop_sum"}
 
 
 def _results_equal(a, b):
@@ -198,6 +270,20 @@ def run_sweep(sizes, runs, pool):
                     par_unfused = fn(data, pool, parallel=True)
                 par_parity = (_results_equal(par_fused, par_unfused)
                               and _results_equal(par_fused, fused_result))
+            if name in BACKEND_PARITY_WORKLOADS:
+                # Three-backend gate: sequential result == threads ==
+                # process, fused and unfused alike.
+                for backend in ("threads", "process"):
+                    with fusion(True):
+                        backend_fused = fn(
+                            data, pool, parallel=True, backend=backend)
+                    with fusion(False):
+                        backend_unfused = fn(
+                            data, pool, parallel=True, backend=backend)
+                    par_parity = (
+                        par_parity
+                        and _results_equal(backend_fused, backend_unfused)
+                        and _results_equal(backend_fused, fused_result))
             parity_ok &= parity and par_parity and engaged
             rows.append({
                 "workload": name,

@@ -79,6 +79,17 @@ def check(baseline, fresh, threshold):
                 f"{name}: speedup x{got:.2f} fell below x{floor:.2f} "
                 f"(baseline x{base:.2f} / {threshold})"
             )
+    # Symmetric direction: a workload the fresh sweep produces but the
+    # baseline lacks means the committed baseline is stale (a key was
+    # dropped or the sweep grew without a baseline regen) — reject it
+    # rather than silently gating on the intersection.
+    for name in sorted(set(fresh_speedups) - set(base_speedups)):
+        failures.append(
+            f"{name}: present in fresh report but missing from baseline "
+            f"— regenerate the committed baseline"
+        )
+        print(f"{name:>{name_w}}      —   x{fresh_speedups[name]:5.2f}"
+              f"       —   STALE BASELINE")
     return failures
 
 

@@ -335,7 +335,7 @@ class ProcessExecutor(Executor):
         )
 
     def _map_leaves_once(self, runner, payloads, deadline, early_stop, label,
-                         observer=None):
+                         observer=None, early_stop_slots=None):
         """One scatter of ``payloads`` over the pool, batched and ordered.
 
         Payloads are grouped into at most ``2 × processes`` contiguous
@@ -357,6 +357,11 @@ class ProcessExecutor(Executor):
           batch completes; once satisfied, pending batches are cancelled
           and their slots come back as ``None`` (the short-circuit used by
           the match/find terminals).
+        * ``early_stop_slots(lo, hi, batch_results)``: like ``early_stop``
+          but position-aware — receives the slot bounds of the completed
+          batch so the caller can apply order-sensitive stop rules (the
+          counted-``limit`` budget only stops once a *contiguous* prefix
+          of leaves has produced enough elements).
         * The first batch failure cancels the remaining batches and
           re-raises — the process-side analogue of the thread terminals'
           ``_TerminalContext`` fail-fast contract.  A dead worker
@@ -486,6 +491,10 @@ class ProcessExecutor(Executor):
                         early_stop(r) for r in batch_results
                     ):
                         stop = True
+                    if early_stop_slots is not None and early_stop_slots(
+                        lo, hi, batch_results
+                    ):
+                        stop = True
                 first_round = False
                 if stop:
                     # Tell RUNNING leaves in other workers to abort at
@@ -512,7 +521,8 @@ class ProcessExecutor(Executor):
         return results
 
     def run_leaves(self, runner, payloads, *, deadline=None, early_stop=None,
-                   label: str = "leaf batch", observer=None):
+                   label: str = "leaf batch", observer=None,
+                   early_stop_slots=None):
         """Run picklable leaf ``payloads`` across the worker pool.
 
         ``runner`` must be a module-level callable (it crosses the pickle
@@ -531,22 +541,29 @@ class ProcessExecutor(Executor):
         self._runs.inc()
         if self.retry is None and not self.fallback:
             return self._map_leaves_once(
-                runner, payloads, deadline, early_stop, label, observer
+                runner, payloads, deadline, early_stop, label, observer,
+                early_stop_slots,
             )
 
         from repro.faults.policy import run_resilient
 
         def primary():
             return self._map_leaves_once(
-                runner, payloads, deadline, early_stop, label, observer
+                runner, payloads, deadline, early_stop, label, observer,
+                early_stop_slots,
             )
 
         def sequential():
             out = []
-            for payload in payloads:
+            for i, payload in enumerate(payloads):
                 result = runner(payload)
                 out.append(result)
                 if early_stop is not None and early_stop(result):
+                    out.extend([None] * (len(payloads) - len(out)))
+                    break
+                if early_stop_slots is not None and early_stop_slots(
+                    i, i + 1, [result]
+                ):
                     out.extend([None] * (len(payloads) - len(out)))
                     break
             return out

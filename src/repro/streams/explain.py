@@ -33,10 +33,9 @@ from functools import lru_cache
 from repro.forkjoin.pool import common_pool_parallelism
 from repro.streams.fusion import FusedOp, fuse_ops, fusion_enabled
 from repro.streams.ops import (
+    LimitOp,
     Op,
-    bulk_execution_enabled,
-    pipeline_is_short_circuit,
-    pipeline_supports_chunks,
+    select_mode,
 )
 from repro.streams.adaptive import decide_threshold, shape_key
 from repro.streams.spliterator import UNKNOWN_SIZE, Characteristics, Spliterator
@@ -63,13 +62,23 @@ def _op_label(op: Op) -> str:
     return "".join(out)
 
 
+#: ``select_mode`` return value → reported mode name.
+_MODE_NAMES = {
+    "short_circuit": MODE_SHORT_CIRCUIT,
+    "chunked": MODE_CHUNKED,
+    "element": MODE_ELEMENT,
+}
+
+
 def _predict_mode(ops: list[Op], force_short_circuit: bool = False) -> str:
-    """The branch ``run_pipeline`` would take for this (fused) chain."""
-    if force_short_circuit or pipeline_is_short_circuit(ops):
-        return MODE_SHORT_CIRCUIT
-    if bulk_execution_enabled() and pipeline_supports_chunks(ops):
-        return MODE_CHUNKED
-    return MODE_ELEMENT
+    """The branch ``run_pipeline`` would take for this (fused) chain.
+
+    Delegates to :func:`repro.streams.ops.select_mode` — the *same*
+    decision function execution runs — so counted fused kernels that
+    absorb their short-circuit report ``chunked`` here exactly when the
+    traversal takes the chunked path.
+    """
+    return _MODE_NAMES[select_mode(ops, force_short_circuit)]
 
 
 @lru_cache(maxsize=4096)
@@ -104,6 +113,9 @@ def _fusion_section(ops: list[Op]) -> tuple[dict, list[Op]]:
     runs = [
         op.describe() for op in rewritten if isinstance(op, FusedOp)
     ]
+    # Fused kernels are never barriers: a counted kernel may *be*
+    # short-circuiting (it carries a compiled limit), but it manages its
+    # own cut inside the chunked path instead of splitting the chain.
     barriers = [
         {
             "op": _op_label(op),
@@ -111,7 +123,7 @@ def _fusion_section(ops: list[Op]) -> tuple[dict, list[Op]]:
             "short_circuit": op.short_circuit,
         }
         for op in rewritten
-        if op.stateful or op.short_circuit
+        if not isinstance(op, FusedOp) and (op.stateful or op.short_circuit)
     ]
     section = {
         "enabled": enabled,
@@ -176,18 +188,28 @@ def _parallel_execution(
         else:
             prefix, barrier = remaining[:cut], remaining[cut]
             remaining = remaining[cut + 1 :]
+        # A limit barrier passes its count to the collect as the *budget*:
+        # each leaf actually runs ``prefix + [LimitOp(n)]`` (re-fused into
+        # a counted kernel), so the plan predicts the mode of exactly that
+        # chain — mirroring ``Stream._barrier_stateful``.
+        budget = None
+        leaf_chain = prefix
+        if barrier is not None and isinstance(barrier, LimitOp):
+            budget = barrier.n
+            leaf_chain = prefix + [barrier]
         fused, _ = (
-            fuse_ops(prefix) if fusion_enabled() else (prefix, 0)
+            fuse_ops(leaf_chain) if fusion_enabled() else (leaf_chain, 0)
         )
-        segments.append(
-            {
-                "ops": [_op_label(op) for op in fused],
-                # Leaves of a parallel reduction run the chain through
-                # run_pipeline; match/find leaves poll (short-circuit).
-                "mode": _predict_mode(fused),
-                "barrier": _op_label(barrier) if barrier is not None else None,
-            }
-        )
+        segment = {
+            "ops": [_op_label(op) for op in fused],
+            # Leaves of a parallel reduction run the chain through
+            # run_pipeline; match/find leaves poll (short-circuit).
+            "mode": _predict_mode(fused),
+            "barrier": _op_label(barrier) if barrier is not None else None,
+        }
+        if budget is not None:
+            segment["budget"] = budget
+        segments.append(segment)
         if barrier is None:
             break
 
@@ -261,8 +283,16 @@ class ExplainPlan:
             "explain",
             f"├─ source: {src['spliterator']} "
             f"(size={size}{', ' + '+'.join(flags) if flags else ''})",
-            f"├─ ops: {' → '.join(p['ops']) if p['ops'] else '(none)'}",
         ]
+        if "zip" in src:
+            z = src["zip"]
+            lines.append(
+                f"│    zip: combine={z['combine']}, "
+                f"left={z['left']['mode']}, right={z['right']['mode']}"
+            )
+        lines.append(
+            f"├─ ops: {' → '.join(p['ops']) if p['ops'] else '(none)'}"
+        )
         fusion = p["fusion"]
         if not fusion["enabled"]:
             lines.append("├─ fusion: disabled")
@@ -274,10 +304,16 @@ class ExplainPlan:
                 f"{fusion['kernels']} kernel(s): {' → '.join(fusion['chain'])}"
             )
             for run in fusion["runs"]:
+                window = (
+                    f", window[{run['window'][0]}:{run['window'][1]}]"
+                    if "window" in run
+                    else ""
+                )
                 lines.append(
                     f"│    kernel[{'|'.join(run['stages'])}] "
                     f"{run['kernel']}"
                     f"{', ufunc×' + str(run['ufunc_prefix']) if run['ufunc_prefix'] else ''}"
+                    f"{window}"
                 )
         for barrier in fusion["barriers"]:
             why = "stateful" if barrier["stateful"] else "short-circuit"
@@ -311,6 +347,8 @@ class ExplainPlan:
         for i, seg in enumerate(ex["segments"]):
             chain = " → ".join(seg["ops"]) if seg["ops"] else "(passthrough)"
             tail = f" ⊣ barrier {seg['barrier']}" if seg["barrier"] else ""
+            if "budget" in seg:
+                tail += f" (budget={seg['budget']})"
             lines.append(f"     segment[{i}]: {chain}  mode={seg['mode']}{tail}")
         tree = ex["split_tree"]
         if tree is not None:
@@ -341,6 +379,10 @@ def explain_stream(stream) -> ExplainPlan:
         "sized": spliterator.has_characteristics(Characteristics.SIZED),
         "power2": spliterator.has_characteristics(Characteristics.POWER2),
     }
+    from repro.streams.zipper import ZipSpliterator
+
+    if isinstance(spliterator, ZipSpliterator):
+        source["zip"] = spliterator.describe()
 
     fusion_section, fused_ops = _fusion_section(ops)
 

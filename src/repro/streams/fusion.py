@@ -9,33 +9,43 @@ dominant overhead of streaming APIs.
 
 This module rewrites the op chain once, at terminal time (before mode
 selection in :func:`repro.streams.ops.run_pipeline`): every maximal run of
-two or more adjacent *stateless* ops (``map`` / ``filter`` / ``peek`` /
-``flat_map`` / ``map_multi``) collapses into a single :class:`FusedOp`
-whose kernels are **generated and compiled** from the run:
+adjacent *fusible* ops (``map`` / ``filter`` / ``peek`` / ``flat_map`` /
+``map_multi`` / ``limit`` / ``skip`` / ``distinct``) collapses into a
+single :class:`FusedOp` whose kernels are **generated and compiled** from
+the run (see :func:`_kernel_class` for the kernel taxonomy):
 
 * the per-element kernel emits straight-line code — nested calls, an
-  early-out per filter, a loop per expander — so one sink dispatch covers
-  the whole run;
+  early-out per filter, a loop per expander, budget guards per counted
+  stage — so one sink dispatch covers the whole run;
 * the chunk kernel emits one comprehension (or one statement loop when the
-  run contains ``peek`` / ``map_multi``) that crosses the run in a single
-  pass, with **zero** intermediate per-stage lists — stacking with the
-  bulk-execution path of PR 2 instead of bypassing it;
+  run contains ``peek`` / ``map_multi`` / stateful stages) that crosses
+  the run in a single pass, with **zero** intermediate per-stage lists —
+  stacking with the bulk-execution path of PR 2 instead of bypassing it;
+* counted ops (``limit``/``skip``) compile to *counted kernels*:
+  over a pure-map run they hoist to one source-index window sliced off
+  each chunk (``counted-window``); in a general run a statement loop cuts
+  at the exact element (``counted-loop``).  Either way the fused sink
+  reports exhaustion via ``cancellation_requested``, so short-circuit
+  chains ride the chunked path end to end;
 * a prefix of numpy-ufunc maps applied to an ndarray chunk stays
-  vectorized (chained ufunc calls), exactly as the unfused ``MapOp`` chunk
-  rewrite would.
+  vectorized; when the run is ufunc-only end to end it compiles to a
+  single whole-array numpy expression (``whole-array``).
 
 Fusion is semantics-preserving by construction:
 
-* *stateful* ops (``sorted``, ``distinct``, ``limit``, ``skip``,
-  ``take_while``, ``drop_while``) are **fusion barriers** — runs never
-  cross them;
+* the stateful ops without a kernel form (``sorted``, ``take_while``,
+  ``drop_while``) are **fusion barriers** — runs never cross them;
 * encounter order is preserved (stages compose in pipeline order);
 * short-circuiting still works: the fused kernel polls the downstream
   ``cancellation_requested`` between the outputs of an expander, exactly
   where the unfused ``FlatMapSink`` polls, so ``flat_map`` over an
   infinite iterable under ``limit`` still terminates;
-* ``begin(size)`` forwards the size only when every fused stage is
-  size-preserving (``map`` / ``peek``), mirroring the unfused chain.
+* ``begin(size)`` forwards the size through the run's size algebra
+  (identity for ``map``/``peek``, clamped by ``limit``/``skip``, unknown
+  past ``filter``/expanders/``distinct``), mirroring the unfused chain;
+* per-traversal kernel state (budgets, seen-sets) is created in the
+  sink's ``begin``, so one compiled ``FusedOp`` is shared safely across
+  fork/join leaves.
 
 Controls mirror the bulk-execution ones: :func:`set_fusion` /
 :func:`fusion_enabled` / the :func:`fusion` context manager, and
@@ -54,13 +64,16 @@ from typing import Callable, Sequence
 from repro.obs.tracer import EXTERNAL_WORKER, current_tracer
 from repro.streams.ops import (
     ChainedSink,
+    DistinctOp,
     FilterOp,
     FlatMapOp,
+    LimitOp,
     MapMultiOp,
     MapOp,
     Op,
     PeekOp,
     Sink,
+    SkipOp,
 )
 
 try:  # numpy is a hard dependency of the repo, but keep fusion importable
@@ -68,11 +81,25 @@ try:  # numpy is a hard dependency of the repo, but keep fusion importable
 except ImportError:  # pragma: no cover
     _np = None
 
-#: Stage kinds a fused run may contain, in dispatch order.
-_FUSIBLE_TYPES = (MapOp, FilterOp, PeekOp, FlatMapOp, MapMultiOp)
+#: Stage kinds a fused run may contain, in dispatch order.  Counted ops
+#: (``limit``/``skip``) and ``distinct`` join runs since PR 10: their
+#: per-traversal state lives in a kernel state vector created per sink, so
+#: the compiled kernels stay shareable across fork/join leaves.
+_FUSIBLE_TYPES = (
+    MapOp, FilterOp, PeekOp, FlatMapOp, MapMultiOp,
+    LimitOp, SkipOp, DistinctOp,
+)
 
-#: Minimum run length worth collapsing — wrapping a single op in a
-#: ``FusedOp`` would only add indirection.
+#: Counted ops force emission of a FusedOp even for a length-1 run: a lone
+#: compiled ``limit`` rides the chunked path (window slicing + per-chunk
+#: cancellation), which a raw ``LimitOp`` cannot.
+_COUNTED_TYPES = (LimitOp, SkipOp)
+
+#: Stage kinds that carry per-traversal kernel state.
+_STATEFUL_KINDS = ("limit", "skip", "distinct")
+
+#: Minimum run length worth collapsing — wrapping a single stateless op in
+#: a ``FusedOp`` would only add indirection (counted runs are exempt).
 MIN_RUN = 2
 
 
@@ -102,13 +129,34 @@ def _stage_kind(op: Op) -> str:
         return "flat_map"
     if type(op) is MapMultiOp:
         return "map_multi"
+    if type(op) is LimitOp:
+        return "limit"
+    if type(op) is SkipOp:
+        return "skip"
+    if type(op) is DistinctOp:
+        return "distinct"
     raise AssertionError(f"not a fusible op: {type(op).__name__}")
 
 
-def _stage_fn(op: Op) -> Callable:
-    return op.action if type(op) is PeekOp else (
-        op.predicate if type(op) is FilterOp else op.f
-    )
+def _stage_fn(op: Op) -> Callable | None:
+    """The stage callable bound into the kernel namespace (None for the
+    stateful kinds, whose parameters live in the kernel state vector)."""
+    if type(op) is PeekOp:
+        return op.action
+    if type(op) is FilterOp:
+        return op.predicate
+    if type(op) in (LimitOp, SkipOp, DistinctOp):
+        return None
+    return op.f
+
+
+def _state_slots(kinds: Sequence[str]) -> dict[int, int]:
+    """Map stage index -> state-vector slot for the stateful kinds."""
+    slots: dict[int, int] = {}
+    for i, kind in enumerate(kinds):
+        if kind in _STATEFUL_KINDS:
+            slots[i] = len(slots)
+    return slots
 
 
 @lru_cache(maxsize=256)
@@ -117,9 +165,11 @@ def _compiled(source: str, name: str):
     return compile(source, f"<fused:{name}>", "exec")
 
 
-def _bind(source: str, name: str, fns: Sequence[Callable]) -> Callable:
+def _bind(source: str, name: str, fns: Sequence[Callable | None]) -> Callable:
     """Exec a cached code object with this run's stage callables bound."""
-    namespace = {f"_f{i}": fn for i, fn in enumerate(fns)}
+    namespace = {
+        f"_f{i}": fn for i, fn in enumerate(fns) if fn is not None
+    }
     exec(_compiled(source, name), namespace)
     return namespace[name]
 
@@ -130,11 +180,22 @@ def _gen_element_kernel(kinds: Sequence[str]) -> str:
     ``map``/``peek``/``filter`` compile to assignments and early-outs; an
     expander (``flat_map`` / ``map_multi``) opens a loop over its outputs,
     polling ``_cancelled()`` before each downstream emission exactly as
-    the unfused ``FlatMapSink`` does.
+    the unfused ``FlatMapSink`` does.  Stateful stages read/write the
+    per-traversal ``_state`` vector: ``limit`` decrements its budget,
+    ``skip`` drops while its counter lasts, ``distinct`` keeps a seen-set.
+    A limit exhausted before the element enters drops it (as
+    ``_LimitSink.accept`` would); a limit downstream of an expander cuts
+    the expansion at the exact output the unfused chain would, via the
+    per-output budget guard.
     """
-    lines = ["def _element(_v0, _accept, _cancelled):"]
+    slots = _state_slots(kinds)
+    limit_slots = [slots[i] for i, k in enumerate(kinds) if k == "limit"]
+    lines = ["def _element(_v0, _accept, _cancelled, _state):"]
     indent = "    "
     var, expanded = "_v0", False
+    for j in limit_slots:
+        lines.append(f"{indent}if _state[{j}] <= 0:")
+        lines.append(f"{indent}    return")
     for i, kind in enumerate(kinds):
         if kind == "map":
             lines.append(f"{indent}_v{i + 1} = _f{i}({var})")
@@ -145,10 +206,31 @@ def _gen_element_kernel(kinds: Sequence[str]) -> str:
             lines.append(f"{indent}if not _f{i}({var}):")
             lines.append(f"{indent}    return" if not expanded
                          else f"{indent}    continue")
+        elif kind == "limit":
+            lines.append(f"{indent}_state[{slots[i]}] -= 1")
+        elif kind == "skip":
+            j = slots[i]
+            lines.append(f"{indent}if _state[{j}] > 0:")
+            lines.append(f"{indent}    _state[{j}] -= 1")
+            lines.append(f"{indent}    return" if not expanded
+                         else f"{indent}    continue")
+        elif kind == "distinct":
+            j = slots[i]
+            lines.append(f"{indent}if {var} in _state[{j}]:")
+            lines.append(f"{indent}    return" if not expanded
+                         else f"{indent}    continue")
+            lines.append(f"{indent}_state[{j}].add({var})")
         elif kind == "flat_map":
             lines.append(f"{indent}for _v{i + 1} in _f{i}({var}):")
             lines.append(f"{indent}    if _cancelled():")
             lines.append(f"{indent}        break")
+            # Only limits *downstream* of this expander can exhaust
+            # mid-expansion; an upstream limit already admitted the
+            # element and must not clip its outputs.
+            for k_i, k in enumerate(kinds):
+                if k == "limit" and k_i > i:
+                    lines.append(f"{indent}    if _state[{slots[k_i]}] <= 0:")
+                    lines.append(f"{indent}        break")
             indent += "    "
             var, expanded = f"_v{i + 1}", True
         else:  # map_multi: buffer the callback-driven outputs, then loop
@@ -157,6 +239,10 @@ def _gen_element_kernel(kinds: Sequence[str]) -> str:
             lines.append(f"{indent}for _v{i + 1} in _b{i}:")
             lines.append(f"{indent}    if _cancelled():")
             lines.append(f"{indent}        break")
+            for k_i, k in enumerate(kinds):
+                if k == "limit" and k_i > i:
+                    lines.append(f"{indent}    if _state[{slots[k_i]}] <= 0:")
+                    lines.append(f"{indent}        break")
             indent += "    "
             var, expanded = f"_v{i + 1}", True
     lines.append(f"{indent}_accept({var})")
@@ -190,15 +276,32 @@ def _gen_chunk_comprehension(kinds: Sequence[str]) -> str:
 
 
 def _gen_chunk_loop(kinds: Sequence[str]) -> str:
-    """Statement-loop chunk kernel for runs containing peek/map_multi."""
+    """Statement-loop chunk kernel for runs containing peek/map_multi or
+    stateful stages.
+
+    Stateful runs take a ``_state`` vector parameter; a ``limit`` cuts the
+    chunk at the exact element via ``return _out`` — from the per-element
+    guard between source elements, or the per-output guard inside an
+    expander — so the emitted prefix matches the unfused per-element path
+    element for element.
+    """
+    slots = _state_slots(kinds)
+    limit_slots = [slots[i] for i, k in enumerate(kinds) if k == "limit"]
+    head = (
+        "def _chunk_kernel(_chunk, _state):" if slots
+        else "def _chunk_kernel(_chunk):"
+    )
     lines = [
-        "def _chunk_kernel(_chunk):",
+        head,
         "    _out = []",
         "    _append = _out.append",
         "    for _v0 in _chunk:",
     ]
     indent = "        "
     var = "_v0"
+    for j in limit_slots:
+        lines.append(f"{indent}if _state[{j}] <= 0:")
+        lines.append(f"{indent}    return _out")
     for i, kind in enumerate(kinds):
         if kind == "map":
             lines.append(f"{indent}_v{i + 1} = _f{i}({var})")
@@ -208,14 +311,34 @@ def _gen_chunk_loop(kinds: Sequence[str]) -> str:
         elif kind == "filter":
             lines.append(f"{indent}if not _f{i}({var}):")
             lines.append(f"{indent}    continue")
+        elif kind == "limit":
+            lines.append(f"{indent}_state[{slots[i]}] -= 1")
+        elif kind == "skip":
+            j = slots[i]
+            lines.append(f"{indent}if _state[{j}] > 0:")
+            lines.append(f"{indent}    _state[{j}] -= 1")
+            lines.append(f"{indent}    continue")
+        elif kind == "distinct":
+            j = slots[i]
+            lines.append(f"{indent}if {var} in _state[{j}]:")
+            lines.append(f"{indent}    continue")
+            lines.append(f"{indent}_state[{j}].add({var})")
         elif kind == "flat_map":
             lines.append(f"{indent}for _v{i + 1} in _f{i}({var}):")
+            for k_i, k in enumerate(kinds):
+                if k == "limit" and k_i > i:
+                    lines.append(f"{indent}    if _state[{slots[k_i]}] <= 0:")
+                    lines.append(f"{indent}        return _out")
             indent += "    "
             var = f"_v{i + 1}"
         else:  # map_multi
             lines.append(f"{indent}_b{i} = []")
             lines.append(f"{indent}_f{i}({var}, _b{i}.append)")
             lines.append(f"{indent}for _v{i + 1} in _b{i}:")
+            for k_i, k in enumerate(kinds):
+                if k == "limit" and k_i > i:
+                    lines.append(f"{indent}    if _state[{slots[k_i]}] <= 0:")
+                    lines.append(f"{indent}        return _out")
             indent += "    "
             var = f"_v{i + 1}"
     lines.append(f"{indent}_append({var})")
@@ -223,114 +346,345 @@ def _gen_chunk_loop(kinds: Sequence[str]) -> str:
     return "\n".join(lines)
 
 
+def _gen_whole_array(n: int) -> str:
+    """Single-expression kernel composing ``n`` ufunc maps over one ndarray
+    chunk — the whole run is one numpy call chain, no Python tail."""
+    expr = "_chunk"
+    for i in range(n):
+        expr = f"_f{i}({expr})"
+    return f"def _whole_array(_chunk):\n    return {expr}"
+
+
 # --------------------------------------------------------------------------- #
 # The fused op
 # --------------------------------------------------------------------------- #
 
 
+def _kernel_class(kinds: Sequence[str], fns: Sequence[Callable | None]) -> str:
+    """The kernel-class decision — the single function behind both
+    execution dispatch (``FusedOp.wrap_sink``) and ``describe()`` /
+    ``Stream.explain()``, so plans can never drift from what runs.
+
+    * ``counted-window`` — limit/skip over a pure-map run: the counted ops
+      hoist to one source-index window sliced off each chunk;
+    * ``counted-loop`` — limit/skip in a general run: a statement loop
+      with exact budget cuts;
+    * ``stateful-loop`` — ``distinct`` (seen-set state) without counting;
+    * ``whole-array`` — ufunc-only maps end to end: one compiled numpy
+      expression per ndarray chunk;
+    * ``loop`` / ``comprehension`` — the stateless kernels of PR 5.
+    """
+    if any(k in ("limit", "skip") for k in kinds):
+        if all(k in ("map", "limit", "skip") for k in kinds):
+            return "counted-window"
+        return "counted-loop"
+    if "distinct" in kinds:
+        return "stateful-loop"
+    if (
+        _np is not None
+        and kinds
+        and all(k == "map" for k in kinds)
+        and all(isinstance(f, _np.ufunc) for f in fns)
+    ):
+        return "whole-array"
+    if any(k in ("peek", "map_multi") for k in kinds):
+        return "loop"
+    return "comprehension"
+
+
 class FusedOp(Op):
-    """A run of adjacent stateless ops collapsed into one pipeline stage.
+    """A run of adjacent fusible ops collapsed into one pipeline stage.
 
     Supports both traversal modes: per-element ``accept`` runs the
     compiled straight-line kernel (one sink dispatch for the whole run),
-    and ``accept_chunk`` crosses the run in a single generated pass.  A
-    leading sequence of numpy-ufunc maps is applied vectorized when the
-    chunk is an ndarray, matching the unfused ``MapOp`` chunk rewrite.
+    and ``accept_chunk`` crosses the run in a single generated pass.  The
+    kernel class (see :func:`_kernel_class`) is decided once at
+    construction; counted runs carry their limit/skip budgets in a
+    per-traversal state vector created in ``begin``, so one ``FusedOp``
+    instance is safely shared across fork/join leaves.
     """
 
     chunkable = True
+    # Counted kernels slice their chunks at the exact cut and surface
+    # exhaustion via ``cancellation_requested`` — the per-chunk poll of
+    # ``copy_into_chunked`` suffices, so ``select_mode`` may keep a
+    # short-circuiting pipeline on the chunked path.
+    absorbs_short_circuit = True
 
     __slots__ = (
-        "source_ops", "kinds", "_element_kernel", "_chunk_kernel",
-        "_ufunc_prefix", "_tail_kernel", "_size_preserving",
+        "source_ops", "kinds", "kernel_class", "short_circuit",
+        "_element_kernel", "_chunk_kernel", "_ufunc_prefix", "_tail_kernel",
+        "_whole_kernel", "_window", "_window_kernel", "_state_spec",
+        "_limit_slots", "_size_preserving",
     )
 
     def __init__(self, source_ops: Sequence[Op]) -> None:
-        if len(source_ops) < MIN_RUN:
-            raise ValueError("FusedOp needs at least two source ops")
+        if not source_ops:
+            raise ValueError("FusedOp needs at least one source op")
         self.source_ops = tuple(source_ops)
         self.kinds = tuple(_stage_kind(op) for op in self.source_ops)
         fns = [_stage_fn(op) for op in self.source_ops]
-        name = ",".join(self.kinds)
+        self.kernel_class = _kernel_class(self.kinds, fns)
 
-        self._element_kernel = _bind(
-            _gen_element_kernel(self.kinds), "_element", fns
+        state_spec = []
+        for op, kind in zip(self.source_ops, self.kinds):
+            if kind in ("limit", "skip"):
+                state_spec.append((kind, op.n))
+            elif kind == "distinct":
+                state_spec.append((kind, 0))
+        self._state_spec = tuple(state_spec)
+        slots = _state_slots(self.kinds)
+        self._limit_slots = tuple(
+            slots[i] for i, k in enumerate(self.kinds) if k == "limit"
         )
-        if any(k in ("peek", "map_multi") for k in self.kinds):
-            chunk_src = _gen_chunk_loop(self.kinds)
-        else:
-            chunk_src = _gen_chunk_comprehension(self.kinds)
-        self._chunk_kernel = _bind(chunk_src, "_chunk_kernel", fns)
-
-        # Vectorized prefix: the longest leading run of ufunc maps.  On an
-        # ndarray chunk those apply as chained array ops; the compiled
-        # kernel for the remaining tail (if any) handles the rest.
-        n_ufunc = 0
-        if _np is not None:
-            for op in self.source_ops:
-                if type(op) is MapOp and isinstance(op.f, _np.ufunc):
-                    n_ufunc += 1
-                else:
-                    break
-        self._ufunc_prefix = tuple(fns[:n_ufunc])
-        if 0 < n_ufunc < len(self.kinds):
-            tail_kinds = self.kinds[n_ufunc:]
-            if any(k in ("peek", "map_multi") for k in tail_kinds):
-                tail_src = _gen_chunk_loop(tail_kinds)
-            else:
-                tail_src = _gen_chunk_comprehension(tail_kinds)
-            self._tail_kernel = _bind(tail_src, "_chunk_kernel", fns[n_ufunc:])
-        else:
-            self._tail_kernel = None
-
+        self.short_circuit = bool(self._limit_slots)
         self._size_preserving = all(
             k in ("map", "peek") for k in self.kinds
         )
+        self._element_kernel = _bind(
+            _gen_element_kernel(self.kinds), "_element", fns
+        )
+
+        self._chunk_kernel = None
+        self._ufunc_prefix: tuple = ()
+        self._tail_kernel = None
+        self._whole_kernel = None
+        self._window = None
+        self._window_kernel = None
+
+        kc = self.kernel_class
+        if kc == "counted-window":
+            # Every map is 1:1, so the counted ops compose to one
+            # source-index window [lo, hi): skip(n) advances lo, limit(n)
+            # clamps hi — the chunk path slices this window off each chunk
+            # and only then applies the map kernel.
+            lo, hi = 0, None
+            for op, kind in zip(self.source_ops, self.kinds):
+                if kind == "skip":
+                    lo += op.n
+                    if hi is not None and lo > hi:
+                        lo = hi
+                elif kind == "limit":
+                    hi = lo + op.n if hi is None else min(hi, lo + op.n)
+            self._window = (lo, hi)
+            map_fns = [f for f in fns if f is not None]
+            if map_fns:
+                self._window_kernel = _bind(
+                    _gen_chunk_comprehension(("map",) * len(map_fns)),
+                    "_chunk_kernel", map_fns,
+                )
+                if _np is not None and all(
+                    isinstance(f, _np.ufunc) for f in map_fns
+                ):
+                    self._whole_kernel = _bind(
+                        _gen_whole_array(len(map_fns)),
+                        "_whole_array", map_fns,
+                    )
+                    self._ufunc_prefix = tuple(map_fns)
+        elif kc in ("counted-loop", "stateful-loop"):
+            self._chunk_kernel = _bind(
+                _gen_chunk_loop(self.kinds), "_chunk_kernel", fns
+            )
+        else:
+            if kc == "loop":
+                chunk_src = _gen_chunk_loop(self.kinds)
+            else:
+                chunk_src = _gen_chunk_comprehension(self.kinds)
+            self._chunk_kernel = _bind(chunk_src, "_chunk_kernel", fns)
+
+            # Vectorized prefix: the longest leading run of ufunc maps.
+            # On an ndarray chunk those apply as chained array ops; the
+            # compiled kernel for the remaining tail (if any) handles the
+            # rest.  When the prefix covers the whole run the composition
+            # compiles to a single whole-array expression.
+            n_ufunc = 0
+            if _np is not None:
+                for op in self.source_ops:
+                    if type(op) is MapOp and isinstance(op.f, _np.ufunc):
+                        n_ufunc += 1
+                    else:
+                        break
+            self._ufunc_prefix = tuple(fns[:n_ufunc])
+            if kc == "whole-array":
+                self._whole_kernel = _bind(
+                    _gen_whole_array(len(fns)), "_whole_array", fns
+                )
+            elif 0 < n_ufunc < len(self.kinds):
+                tail_kinds = self.kinds[n_ufunc:]
+                if any(k in ("peek", "map_multi") for k in tail_kinds):
+                    tail_src = _gen_chunk_loop(tail_kinds)
+                else:
+                    tail_src = _gen_chunk_comprehension(tail_kinds)
+                self._tail_kernel = _bind(
+                    tail_src, "_chunk_kernel", fns[n_ufunc:]
+                )
 
     def __repr__(self) -> str:
         return f"FusedOp({' | '.join(self.kinds)})"
 
+    def _make_state(self) -> list:
+        """A fresh per-traversal state vector (one slot per stateful
+        stage: remaining budget for limit/skip, seen-set for distinct)."""
+        return [
+            set() if kind == "distinct" else n
+            for kind, n in self._state_spec
+        ]
+
+    def _project_size(self, size: int) -> int:
+        """Forward ``begin(size)`` through the run's size algebra."""
+        if size < 0:
+            return -1
+        it = iter(self._state_spec)
+        for kind in self.kinds:
+            if kind in ("map", "peek"):
+                continue
+            if kind == "limit":
+                size = min(size, next(it)[1])
+            elif kind == "skip":
+                size = max(size - next(it)[1], 0)
+            else:
+                return -1
+        return size
+
     def describe(self) -> dict:
-        """Kernel-shape summary for ``Stream.explain()`` / tooling."""
-        return {
+        """Kernel-shape summary for ``Stream.explain()`` / tooling.
+
+        ``kernel`` is :attr:`kernel_class` — the very value execution
+        dispatches on, not a re-derivation.
+        """
+        out = {
             "stages": list(self.kinds),
-            "kernel": (
-                "loop"
-                if any(k in ("peek", "map_multi") for k in self.kinds)
-                else "comprehension"
-            ),
+            "kernel": self.kernel_class,
             "ufunc_prefix": len(self._ufunc_prefix),
             "size_preserving": self._size_preserving,
         }
+        if self._window is not None:
+            out["window"] = [self._window[0], self._window[1]]
+        return out
 
     def wrap_sink(self, downstream: Sink) -> Sink:
         element_kernel = self._element_kernel
-        chunk_kernel = self._chunk_kernel
-        ufunc_prefix = self._ufunc_prefix
-        tail_kernel = self._tail_kernel
-        size_preserving = self._size_preserving
         down_accept = downstream.accept
         down_accept_chunk = downstream.accept_chunk
         down_cancelled = downstream.cancellation_requested
 
-        class _FusedSink(ChainedSink):
+        if not self._state_spec:
+            chunk_kernel = self._chunk_kernel
+            ufunc_prefix = self._ufunc_prefix
+            tail_kernel = self._tail_kernel
+            whole_kernel = self._whole_kernel
+            size_preserving = self._size_preserving
+
+            class _FusedSink(ChainedSink):
+                def begin(self, size):
+                    self.downstream.begin(size if size_preserving else -1)
+
+                def accept(self, item):
+                    element_kernel(item, down_accept, down_cancelled, None)
+
+                def accept_chunk(self, chunk):
+                    if ufunc_prefix and isinstance(chunk, _np.ndarray):
+                        if whole_kernel is not None:
+                            down_accept_chunk(whole_kernel(chunk))
+                            return
+                        for ufunc in ufunc_prefix:
+                            chunk = ufunc(chunk)
+                        if tail_kernel is not None:
+                            chunk = tail_kernel(chunk)
+                        down_accept_chunk(chunk)
+                        return
+                    down_accept_chunk(chunk_kernel(chunk))
+
+            return _FusedSink(downstream)
+
+        make_state = self._make_state
+        limit_slots = self._limit_slots
+        project = self._project_size
+
+        if self._window is not None:
+            wlo, whi = self._window
+            window_kernel = self._window_kernel
+            whole_kernel = self._whole_kernel
+
+            class _CountedWindowSink(ChainedSink):
+                def __init__(self, downstream):
+                    super().__init__(downstream)
+                    self._pos = 0
+                    self._state = make_state()
+
+                def begin(self, size):
+                    self._pos = 0
+                    self._state = make_state()
+                    self.downstream.begin(project(size))
+
+                def accept(self, item):
+                    element_kernel(
+                        item, down_accept, down_cancelled, self._state
+                    )
+
+                def accept_chunk(self, chunk):
+                    pos = self._pos
+                    ln = len(chunk)
+                    self._pos = pos + ln
+                    lo = wlo - pos
+                    if lo < 0:
+                        lo = 0
+                    hi = ln if whi is None else whi - pos
+                    if hi > ln:
+                        hi = ln
+                    if lo >= hi:
+                        return
+                    if lo > 0 or hi < ln:
+                        # ndarray/range slices are views — the window cut
+                        # costs O(1), and the map kernel only ever touches
+                        # elements inside the window.
+                        chunk = chunk[lo:hi]
+                    if whole_kernel is not None and isinstance(
+                        chunk, _np.ndarray
+                    ):
+                        chunk = whole_kernel(chunk)
+                    elif window_kernel is not None:
+                        chunk = window_kernel(chunk)
+                    down_accept_chunk(chunk)
+
+                def cancellation_requested(self):
+                    if whi is not None and self._pos >= whi:
+                        return True
+                    state = self._state
+                    for j in limit_slots:
+                        if state[j] <= 0:
+                            return True
+                    return down_cancelled()
+
+            return _CountedWindowSink(downstream)
+
+        chunk_kernel = self._chunk_kernel
+
+        class _StatefulFusedSink(ChainedSink):
+            def __init__(self, downstream):
+                super().__init__(downstream)
+                self._state = make_state()
+
             def begin(self, size):
-                self.downstream.begin(size if size_preserving else -1)
+                self._state = make_state()
+                self.downstream.begin(project(size))
 
             def accept(self, item):
-                element_kernel(item, down_accept, down_cancelled)
+                element_kernel(
+                    item, down_accept, down_cancelled, self._state
+                )
 
             def accept_chunk(self, chunk):
-                if ufunc_prefix and isinstance(chunk, _np.ndarray):
-                    for ufunc in ufunc_prefix:
-                        chunk = ufunc(chunk)
-                    if tail_kernel is not None:
-                        chunk = tail_kernel(chunk)
-                else:
-                    chunk = chunk_kernel(chunk)
-                down_accept_chunk(chunk)
+                down_accept_chunk(chunk_kernel(chunk, self._state))
 
-        return _FusedSink(downstream)
+            def cancellation_requested(self):
+                state = self._state
+                for j in limit_slots:
+                    if state[j] <= 0:
+                        return True
+                return down_cancelled()
+
+        return _StatefulFusedSink(downstream)
 
 
 # --------------------------------------------------------------------------- #
@@ -339,12 +693,17 @@ class FusedOp(Op):
 
 
 def fuse_ops(ops: list[Op]) -> tuple[list[Op], int]:
-    """Collapse every maximal run of >= MIN_RUN adjacent stateless ops.
+    """Collapse every maximal run of adjacent fusible ops.
 
-    Returns ``(rewritten_ops, stages_fused)`` — the original list object
-    is returned (with 0) when nothing fuses.  Stateful and unknown ops are
-    barriers and pass through unchanged; already-:class:`FusedOp` stages
-    are barriers too, making the rewrite idempotent.
+    A run is emitted as a :class:`FusedOp` when it has >= MIN_RUN stages,
+    or when it contains a counted op (``limit``/``skip``) — compiling even
+    a lone ``limit`` moves the pipeline from per-element polling to the
+    chunked counted kernel.  Returns ``(rewritten_ops, stages_fused)`` —
+    the original list object is returned (with 0) when nothing fuses.
+    Remaining stateful kinds (``sorted``, ``take_while``, ``drop_while``)
+    and unknown ops are barriers and pass through unchanged;
+    already-:class:`FusedOp` stages are barriers too, making the rewrite
+    idempotent.
     """
     out: list[Op] = []
     run: list[Op] = []
@@ -352,7 +711,9 @@ def fuse_ops(ops: list[Op]) -> tuple[list[Op], int]:
 
     def flush() -> None:
         nonlocal fused_stages
-        if len(run) >= MIN_RUN:
+        if len(run) >= MIN_RUN or any(
+            type(op) in _COUNTED_TYPES for op in run
+        ):
             out.append(FusedOp(run))
             fused_stages += len(run)
         else:

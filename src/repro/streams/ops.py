@@ -112,6 +112,13 @@ class Op(abc.ABC):
     #: stages are all chunkable (and none short-circuiting) is eligible for
     #: the chunked fast path.
     chunkable: bool = False
+    #: Short-circuiting stages that manage their own cut point at chunk
+    #: granularity (counted fused kernels: ``limit``/``skip`` compiled into
+    #: a run).  ``select_mode`` lets a pipeline whose only short-circuit
+    #: stages absorb their cut ride the chunked path — the per-chunk
+    #: ``cancellation_requested`` poll of ``copy_into_chunked`` stops the
+    #: traversal at the exact chunk the kernel cut.
+    absorbs_short_circuit: bool = False
 
     @abc.abstractmethod
     def wrap_sink(self, downstream: Sink) -> Sink:
@@ -279,9 +286,16 @@ class MapMultiOp(Op):
 
 
 class SortedOp(Op):
-    """``sorted(key=..., reverse=...)`` — emit elements in sorted order."""
+    """``sorted(key=..., reverse=...)`` — emit elements in sorted order.
+
+    Chunkable as a *terminal barrier with a fused prefix*: the buffering
+    phase accepts whole chunks (one ``extend`` per chunk), so a stateless
+    run feeding ``sorted`` still compiles and rides the bulk path; the
+    ordered emission in ``end`` stays per-element with cancellation polls.
+    """
 
     stateful = True
+    chunkable = True
 
     def __init__(self, key: Callable[[T], Any] | None = None, reverse: bool = False) -> None:
         self.key = key
@@ -296,6 +310,9 @@ class SortedOp(Op):
 
             def accept(self, item):
                 self.buffer.append(item)
+
+            def accept_chunk(self, chunk):
+                self.buffer.extend(chunk)
 
             def end(self):
                 out = sorted(self.buffer, key=op.key, reverse=op.reverse)
@@ -666,6 +683,44 @@ def pipeline_supports_chunks(ops: list[Op]) -> bool:
     return all(op.chunkable for op in ops)
 
 
+def pipeline_absorbs_short_circuit(ops: list[Op]) -> bool:
+    """True if every short-circuiting stage manages its own cut point.
+
+    Counted fused kernels (``limit``/``skip`` compiled into a run) slice
+    their chunks at the exact cut and report exhaustion through
+    ``cancellation_requested``, so the chunked traversal — which polls once
+    per chunk — terminates at the right chunk and the kernel discards the
+    overshoot within it.  Raw ``LimitOp`` / ``take_while`` do not, and keep
+    the per-element path.
+    """
+    return all(
+        not op.short_circuit or op.absorbs_short_circuit for op in ops
+    )
+
+
+def select_mode(ops: list[Op], force_short_circuit: bool = False) -> str:
+    """The single mode-selection decision for a (fused) op chain.
+
+    Returns ``"short_circuit"`` (per-element with polling), ``"chunked"``
+    (bulk path), or ``"element"``.  Shared verbatim by
+    :func:`run_pipeline`, its profiled twin, and ``Stream.explain()`` so
+    plans can never drift from execution.
+    """
+    if force_short_circuit:
+        return "short_circuit"
+    if pipeline_is_short_circuit(ops):
+        if (
+            _bulk_enabled
+            and pipeline_supports_chunks(ops)
+            and pipeline_absorbs_short_circuit(ops)
+        ):
+            return "chunked"
+        return "short_circuit"
+    if _bulk_enabled and pipeline_supports_chunks(ops):
+        return "chunked"
+    return "element"
+
+
 def run_pipeline(
     spliterator: Spliterator,
     ops: list[Op],
@@ -701,15 +756,13 @@ def run_pipeline(
             chunk_size,
         )
     sink = wrap_ops(ops, terminal)
-    if force_short_circuit or pipeline_is_short_circuit(ops):
-        _bulk_stats["element"] += 1
-        copy_into(spliterator, sink, True)
-    elif _bulk_enabled and pipeline_supports_chunks(ops):
+    mode = select_mode(ops, force_short_circuit)
+    if mode == "chunked":
         _bulk_stats["chunked"] += 1
         copy_into_chunked(spliterator, sink, chunk_size or CHUNK_SIZE)
     else:
         _bulk_stats["element"] += 1
-        copy_into(spliterator, sink, False)
+        copy_into(spliterator, sink, mode == "short_circuit")
     return terminal
 
 
@@ -727,15 +780,8 @@ def _run_pipeline_profiled(
     Kept separate so the unprofiled hot path above pays exactly one
     ``is None`` check for the profiler — no extra branches, no wrappers.
     """
-    if force_short_circuit or pipeline_is_short_circuit(ops):
-        mode = "short_circuit"
-        _bulk_stats["element"] += 1
-    elif _bulk_enabled and pipeline_supports_chunks(ops):
-        mode = "chunked"
-        _bulk_stats["chunked"] += 1
-    else:
-        mode = "element"
-        _bulk_stats["element"] += 1
+    mode = select_mode(ops, force_short_circuit)
+    _bulk_stats["chunked" if mode == "chunked" else "element"] += 1
     if profiler.sample():
         sink, probes, labels = profiler.instrument(ops, terminal)
     else:
@@ -762,6 +808,13 @@ def pull_iterator(spliterator: Spliterator, sink: Sink, buffer) -> "Iterable":
         while buffer:
             yield popleft()
         if sink.cancellation_requested():
+            # A satisfied short-circuit still ends the chain: a barrier
+            # downstream of the limit (e.g. ``sorted``) holds admitted
+            # elements it only emits on ``end()`` — same contract as the
+            # chunked driver.
+            sink.end()
+            while buffer:
+                yield popleft()
             break
         if not spliterator.try_advance(sink.accept):
             sink.end()

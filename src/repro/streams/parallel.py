@@ -44,6 +44,7 @@ from repro.streams.collector import Collector
 from repro.streams.fusion import maybe_fuse
 from repro.streams.ops import (
     AccumulatorSink,
+    LimitOp,
     Op,
     ReducingSink,
     Sink,
@@ -213,6 +214,78 @@ class _TerminalContext:
     def is_set(self) -> bool:
         """Event-protocol view used by leaf sinks: stop on failure."""
         return self.failure is not None
+
+
+class _CountedBudget:
+    """Encounter-order output budget for a parallel ``limit`` prefix.
+
+    Leaves report ``(start, end, produced)`` source-index intervals as
+    they complete; the budget is *satisfied* once the contiguous-from-
+    origin prefix of completed intervals has produced >= ``n`` outputs.
+    Only then may sibling leaves be cancelled: every aborted partial leaf
+    lies strictly to the right of the satisfied prefix, so concatenating
+    partials in encounter order and truncating to ``n`` still yields
+    exactly the stream's first ``n`` outputs.
+    """
+
+    __slots__ = ("n", "_origin", "_lock", "_intervals", "satisfied")
+
+    def __init__(self, n: int, origin: int) -> None:
+        self.n = n
+        self._origin = origin
+        self._lock = threading.Lock()
+        self._intervals: dict[int, tuple[int, int]] = {}
+        self.satisfied = n <= 0
+
+    def note(self, start: int, end: int, produced: int) -> bool:
+        """Record a completed leaf; True once the budget is satisfied."""
+        if self.satisfied:
+            return True
+        with self._lock:
+            self._intervals[start] = (end, produced)
+            frontier = self._origin
+            total = 0
+            while True:
+                entry = self._intervals.get(frontier)
+                if entry is None:
+                    return self.satisfied
+                end_pos, count = entry
+                total += count
+                if total >= self.n:
+                    self.satisfied = True
+                    return True
+                if end_pos <= frontier:
+                    # Zero-width interval (empty source/leaf): the walk
+                    # cannot advance past it, and it contributes nothing.
+                    return self.satisfied
+                frontier = end_pos
+
+
+def _leaf_origin(spliterator: Spliterator) -> int | None:
+    """The absolute source position a leaf starts at, for spliterator
+    types whose splits tile the source contiguously; None disables
+    cross-leaf budget cancellation (per-leaf truncation still applies)."""
+    from repro.streams.spliterators import ListSpliterator, RangeSpliterator
+
+    if isinstance(spliterator, ListSpliterator):
+        return spliterator._index
+    if isinstance(spliterator, RangeSpliterator):
+        return spliterator._lo
+    return None
+
+
+class _BudgetCancelToken:
+    """Leaf cancel token for budgeted collects: stops on sibling failure
+    (fail-fast) *or* on a satisfied budget (success short-circuit)."""
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: _TerminalContext) -> None:
+        self._ctx = ctx
+
+    def is_set(self) -> bool:
+        ctx = self._ctx
+        return ctx.failure is not None or ctx.cancel.is_set()
 
 
 class _ReduceTask(RecursiveTask):
@@ -414,6 +487,7 @@ def parallel_collect(
     target_size: int | None = None,
     deadline: Deadline | None = None,
     backend: str | None = None,
+    budget: int | None = None,
 ) -> Any:
     """Parallel mutable reduction (``Stream.collect``) over the pool.
 
@@ -421,6 +495,14 @@ def parallel_collect(
     the divide-and-conquer tree, the accumulator fills them, the combiner
     computes interior nodes.  Runs fail-fast: the first leaf or combiner
     exception cancels the remaining tree and re-raises promptly.
+
+    ``budget`` is set by ``Stream._barrier_stateful`` when the stateful
+    cut is a ``limit(n)``: each leaf gets a per-leaf ``LimitOp(n)``
+    appended (sound — the global first n outputs never need more than the
+    first n of any leaf, and the counted fused kernel stops that leaf's
+    scan at its cut), and a :class:`_CountedBudget` cancels still-running
+    sibling leaves once the contiguous prefix of completed leaves has
+    produced ``n`` outputs.  The caller truncates the merged buffer.
     """
     # Backend dispatch happens on the *raw* op chain: fused kernels are
     # exec-compiled and unpicklable, so the process backend ships unfused
@@ -431,11 +513,13 @@ def parallel_collect(
 
         return _pb.process_collect(
             spliterator, ops, collector,
-            target_size=target_size, deadline=deadline,
+            target_size=target_size, deadline=deadline, budget=budget,
         )
     if backend == "sequential":
         if deadline is not None:
             deadline.check("sequential collect")
+        if budget is not None:
+            ops = list(ops) + [LimitOp(budget)]
         sink = AccumulatorSink(
             collector.supplier()(),
             collector.accumulator(),
@@ -446,6 +530,12 @@ def parallel_collect(
     target_size, chunk_size, observer = _resolve_threshold(
         spliterator, ops, pool, target_size
     )
+    counted_budget = None
+    if budget is not None:
+        root_origin = _leaf_origin(spliterator)
+        if root_origin is not None:
+            counted_budget = _CountedBudget(budget, root_origin)
+        ops = list(ops) + [LimitOp(budget)]
     ops = maybe_fuse(ops)
     supplier = collector.supplier()
     accumulate = collector.accumulator()
@@ -456,16 +546,42 @@ def parallel_collect(
     ctx.observer = observer
     _attach_profiler(pool)
 
+    if counted_budget is None and budget is None:
+        cancel_token: Any = ctx
+    else:
+        # Budgeted leaves must also stop when the budget short-circuit
+        # trips ``ctx.cancel`` (not just on failure).
+        cancel_token = _BudgetCancelToken(ctx)
+
     def leaf(leaf_spliterator: Spliterator) -> Any:
         # Each fork/join leaf traverses its sub-spliterator through the
         # shared entry point, so the chunked fast path engages per leaf:
         # O(stages) Python calls instead of O(elements × stages).  The
         # context rides along as the sink's cancel token, so an in-flight
         # leaf aborts at the next chunk boundary once a sibling fails.
-        sink = AccumulatorSink(supplier(), accumulate, accumulate_chunk, cancel=ctx)
+        origin = None
+        span = 0
+        if counted_budget is not None:
+            origin = _leaf_origin(leaf_spliterator)
+            span = leaf_spliterator.estimate_size()
+        sink = AccumulatorSink(
+            supplier(), accumulate, accumulate_chunk, cancel=cancel_token
+        )
         run_pipeline(leaf_spliterator, ops, sink, chunk_size=chunk_size)
         if ctx.failure is not None:
             raise CancellationError("leaf aborted by sibling failure")
+        if (
+            counted_budget is not None
+            and origin is not None
+            and not ctx.cancel.is_set()
+        ):
+            # Only completed leaves may report: a partial (aborted) leaf's
+            # interval would break the contiguous-prefix soundness rule.
+            container = sink.container
+            if isinstance(container, list) and counted_budget.note(
+                origin, origin + span, len(container)
+            ):
+                ctx.cancel.set()
         return sink.container
 
     root = _ReduceTask(spliterator, target_size, leaf, combine, ctx)

@@ -70,6 +70,7 @@ from repro.streams.collector import Collector
 from repro.streams.ops import (
     AccumulatorSink,
     CHUNK_SIZE,
+    LimitOp,
     Op,
     ReducingSink,
     Sink,
@@ -422,6 +423,36 @@ def _build_payloads(
     return payloads, observer
 
 
+def _budget_stop(budget: int):
+    """Contiguous-prefix early stop for a counted-``limit`` budget.
+
+    Returns an ``early_stop_slots(lo, hi, batch_results)`` closure that
+    fires once the leaves in slots ``0..k`` (no gaps) have together
+    produced at least ``budget`` elements.  Contiguity matters: a
+    satisfied budget cancels the remaining slots, and the merge below
+    treats their ``None`` results as empty — sound only because every
+    discarded slot lies strictly *right* of the prefix that already
+    holds the global first ``budget`` elements.
+    """
+    produced: dict[int, int] = {}
+
+    def early_stop_slots(lo, hi, batch_results):
+        for i, r in enumerate(batch_results):
+            try:
+                produced[lo + i] = len(r)
+            except TypeError:
+                produced[lo + i] = 0
+        total, slot = 0, 0
+        while slot in produced:
+            total += produced[slot]
+            if total >= budget:
+                return True
+            slot += 1
+        return False
+
+    return early_stop_slots
+
+
 def process_collect(
     spliterator: Spliterator,
     ops: list[Op],
@@ -429,6 +460,7 @@ def process_collect(
     target_size: int | None = None,
     deadline=None,
     executor: ProcessExecutor | None = None,
+    budget: int | None = None,
 ) -> Any:
     """Mutable reduction across worker processes.
 
@@ -438,8 +470,21 @@ def process_collect(
     fall back to leaves returning element lists, folded through the
     accumulator in the parent — same result, elements cross the boundary
     instead of containers.
+
+    ``budget`` is the counted short-circuit hook: when the caller's
+    pipeline ends in ``limit(n)``, each leaf gets its own ``LimitOp(n)``
+    (the global first ``n`` never needs more than the first ``n`` of any
+    leaf) and a contiguous-prefix element count stops the scatter — and
+    sets the run's :class:`~repro.powerlist.shm.SharedFlag` so RUNNING
+    sibling leaves abort at their next chunk boundary — as soon as the
+    answer is complete.  Cancelled slots come back ``None`` and merge as
+    empty; the caller re-applies ``limit`` over the concatenation.
     """
     executor = executor if executor is not None else shared_executor()
+    early_stop_slots = None
+    if budget is not None:
+        ops = list(ops) + [LimitOp(budget)]
+        early_stop_slots = _budget_stop(budget)
     _require_picklable("pipeline stage functions", ops)
     combine = collector.combiner()
     finish = collector.finisher()
@@ -449,20 +494,26 @@ def process_collect(
         )
         partials = executor.run_leaves(
             _run_leaf, payloads, deadline=deadline, label="process collect",
-            observer=observer,
+            observer=observer, early_stop_slots=early_stop_slots,
         )
         if observer is not None:
             observer.complete()
-        container = partials[0]
-        for partial in partials[1:]:
-            container = combine(container, partial)
+        container = None
+        seen = False
+        for partial in partials:
+            if partial is None:
+                continue  # slot cancelled by a satisfied budget
+            container = combine(container, partial) if seen else partial
+            seen = True
+        if not seen:
+            container = collector.supplier()()
         return finish(container)
     payloads, observer = _build_payloads(
         spliterator, ops, ("elements",), executor, target_size
     )
     partials = executor.run_leaves(
         _run_leaf, payloads, deadline=deadline, label="process collect",
-        observer=observer,
+        observer=observer, early_stop_slots=early_stop_slots,
     )
     if observer is not None:
         observer.complete()
@@ -470,6 +521,8 @@ def process_collect(
     accumulate = collector.accumulator()
     accumulate_chunk = collector.chunk_accumulator()
     for elements in partials:
+        if elements is None:
+            continue  # slot cancelled by a satisfied budget
         if accumulate_chunk is not None:
             accumulate_chunk(container, elements)
         else:

@@ -341,6 +341,47 @@ class Stream:
         """Discard the first ``n`` elements."""
         return self._append(SkipOp(n))
 
+    def zip(self, other: "Stream", combine: Callable | None = None) -> "Stream":
+        """Pair this stream with ``other`` elementwise, stopping at the
+        shorter side.
+
+        Without ``combine`` the elements are ``(a, b)`` tuples; with it,
+        ``combine(a, b)`` results.  Both sides' pending op chains are
+        stage-fused and drained in lockstep through one two-cursor
+        chunked source (:class:`repro.streams.zipper.ZipSpliterator`);
+        when ``combine`` is a numpy ufunc and both sides yield ndarray
+        chunks, each pair chunk is one vectorized call.  Consumes both
+        streams.
+        """
+        from repro.streams.zipper import ZipSpliterator, _ZipCursor
+
+        if not isinstance(other, Stream):
+            raise IllegalArgumentError(
+                f"zip expects a Stream, got {type(other).__name__}"
+            )
+        self._check_linked()
+        other._check_linked()
+        left_spliterator, left_ops = self._terminal()
+        right_spliterator, right_ops = other._terminal()
+        zipped = ZipSpliterator(
+            _ZipCursor(left_spliterator, left_ops),
+            _ZipCursor(right_spliterator, right_ops),
+            combine,
+        )
+        derived = Stream(
+            zipped, [], self._parallel, self._pool, self._target_size
+        )
+        derived._close_handlers = self._close_handlers + other._close_handlers
+        derived._deadline = self._deadline
+        derived._backend = self._backend
+        return derived
+
+    def zip_with(self, other: "Stream", combine: Callable) -> "Stream":
+        """:meth:`zip` with a required combiner (``zipWith`` idiom)."""
+        if combine is None:
+            raise IllegalArgumentError("zip_with requires a combiner")
+        return self.zip(other, combine)
+
     def take_while(self, predicate: Callable[[T], bool]) -> "Stream":
         """Longest prefix of elements satisfying ``predicate``."""
         return self._append(TakeWhileOp(predicate))
@@ -648,12 +689,21 @@ class Stream:
         executes as a parallel ``to_list`` reduction, the stateful op is
         applied to the buffer sequentially, and the buffer becomes the new
         (splittable) source.
+
+        A ``limit(n)`` cut additionally passes its count as the collect's
+        *budget*: leaves truncate locally through counted fused kernels
+        and a satisfied contiguous prefix of leaves cancels still-running
+        siblings (threads: ``_TerminalContext.cancel``; process:
+        ``SharedFlag``), so the barrier scan stops near the cut instead of
+        draining the whole source.  ``apply_to_buffer`` below still
+        truncates the merged buffer, keeping semantics exact.
         """
         from repro.streams import collectors
 
         while any(op.stateful for op in ops):
             cut = next(i for i, op in enumerate(ops) if op.stateful)
             prefix, stateful, ops = ops[:cut], ops[cut], ops[cut + 1 :]
+            budget = stateful.n if isinstance(stateful, LimitOp) else None
             buffer = _parallel.parallel_collect(
                 spliterator,
                 prefix,
@@ -662,6 +712,7 @@ class Stream:
                 self._target_size,
                 self._deadline,
                 self._backend,
+                budget=budget,
             )
             buffer = stateful.apply_to_buffer(buffer)
             spliterator = ListSpliterator(buffer)

@@ -262,14 +262,32 @@ class TestEngagement:
             lambda: stream_of(range(100)).map(lambda x: x + 1).to_list())
         assert stats == {"chunked": 1, "element": 0}
 
-    def test_stateful_op_falls_back(self):
+    def test_unfusible_stateful_op_falls_back(self):
+        # drop_while has no fused kernel and no chunk rewrite: per-element.
         stats = self.stats_after(
-            lambda: stream_of(range(100)).sorted().to_list())
+            lambda: stream_of(range(100))
+            .drop_while(lambda x: x < 10).to_list())
         assert stats["chunked"] == 0 and stats["element"] >= 1
 
-    def test_short_circuit_falls_back(self):
+    def test_sorted_rides_chunked_as_terminal_barrier(self):
+        # sorted buffers chunk-at-a-time and flushes at end(): the chain
+        # stays on the bulk path now instead of falling back.
+        stats = self.stats_after(
+            lambda: stream_of(range(100)).sorted(reverse=True).to_list())
+        assert stats["chunked"] == 1 and stats["element"] == 0
+
+    def test_fused_limit_rides_chunked(self):
+        # limit compiles into a counted kernel that absorbs its own
+        # short-circuit, so the chain takes the chunked path.
         stats = self.stats_after(
             lambda: stream_of(range(100)).limit(5).to_list())
+        assert stats["chunked"] == 1 and stats["element"] == 0
+
+    def test_raw_short_circuit_falls_back(self):
+        # take_while has no counted kernel: still the polled path.
+        stats = self.stats_after(
+            lambda: stream_of(range(100))
+            .take_while(lambda x: x < 5).to_list())
         assert stats["chunked"] == 0 and stats["element"] >= 1
 
     def test_find_first_never_chunks(self):

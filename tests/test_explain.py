@@ -167,7 +167,7 @@ class TestStatefulBarrierChain:
 
 
 class TestShortCircuitChain:
-    """map → limit: the polled short-circuit traversal."""
+    """map → limit: compiled into a counted kernel riding the bulk path."""
 
     def _stream(self):
         return Stream.range(0, 4096).map(_triple).limit(5)
@@ -184,23 +184,53 @@ class TestShortCircuitChain:
             "ops": ["map", "limit"],
             "fusion": {
                 "enabled": True,
-                "chain": ["map", "limit"],
-                "stages_fused": 0,
-                "kernels": 0,
-                "runs": [],
-                "barriers": [
-                    # limit is both stateful (it counts) and short-circuit.
-                    {"op": "limit", "stateful": True, "short_circuit": True}
+                "chain": ["fused(map|limit)"],
+                "stages_fused": 2,
+                "kernels": 1,
+                "runs": [
+                    {
+                        "stages": ["map", "limit"],
+                        # All maps are 1:1, so the limit hoists to a
+                        # source-index window sliced off each chunk.
+                        "kernel": "counted-window",
+                        "ufunc_prefix": 0,
+                        "size_preserving": False,
+                        "window": [0, 5],
+                    }
                 ],
+                # The counted kernel absorbs the short-circuit: no barrier.
+                "barriers": [],
             },
-            "execution": {"parallel": False, "mode": "short-circuit-polled"},
+            "execution": {"parallel": False, "mode": "chunked"},
         }
 
     def test_agrees_with_actual_run(self):
+        # Warm the fusion memo first: the identity-memoized rewrite must
+        # give execution the same FusedOp the plan described.
+        plan = self._stream().explain().to_dict()
+        fusion_stats(reset=True)
         before = bulk_stats()
         assert self._stream().to_list() == [0, 3, 6, 9, 12]
         delta = {k: v - before[k] for k, v in bulk_stats().items()}
-        # Short-circuit traversals are accounted as per-element.
+        # The counted kernel keeps the traversal on the chunked path.
+        assert plan["execution"]["mode"] == "chunked"
+        assert delta == {"chunked": 1, "element": 0}
+        stats = fusion_stats()
+        assert stats["stages_fused"] == plan["fusion"]["stages_fused"]
+        assert stats["kernels"] == plan["fusion"]["kernels"]
+
+    def test_raw_take_while_still_polls(self):
+        plan = (
+            Stream.range(0, 4096).map(_triple)
+            .take_while(_even).explain().to_dict()
+        )
+        assert plan["execution"]["mode"] == "short-circuit-polled"
+        assert plan["fusion"]["barriers"] == [
+            {"op": "take_while", "stateful": True, "short_circuit": True}
+        ]
+        before = bulk_stats()
+        assert Stream.range(0, 4096).map(_triple).take_while(_even).to_list() == [0]
+        delta = {k: v - before[k] for k, v in bulk_stats().items()}
         assert delta == {"chunked": 0, "element": 1}
 
 

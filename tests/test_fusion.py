@@ -14,6 +14,7 @@ from repro.obs import tracing
 from repro.obs.export import trace_snapshot
 from repro.streams import (
     FusedOp,
+    ListSpliterator,
     bulk_execution,
     bulk_stats,
     fusion,
@@ -58,23 +59,34 @@ class TestBarrierPlacement:
         assert fused[0].kinds == ("map", "filter", "map", "peek")
 
     @pytest.mark.parametrize("barrier", [
-        SortedOp(), DistinctOp(), LimitOp(3), SkipOp(3),
-        TakeWhileOp(bool), DropWhileOp(bool),
+        SortedOp(), TakeWhileOp(bool), DropWhileOp(bool),
     ])
-    def test_every_stateful_op_is_a_barrier(self, barrier):
+    def test_unfusible_stateful_op_is_a_barrier(self, barrier):
         ops = [MapOp(abs), MapOp(abs), barrier, MapOp(abs), MapOp(abs)]
         fused, stages = fuse_ops(ops)
         assert _kinds(fused) == ["FusedOp", type(barrier).__name__, "FusedOp"]
         assert stages == 4
+
+    @pytest.mark.parametrize("absorbed,kind", [
+        (DistinctOp(), "distinct"), (LimitOp(3), "limit"), (SkipOp(3), "skip"),
+    ])
+    def test_counted_and_distinct_ops_fuse_through(self, absorbed, kind):
+        ops = [MapOp(abs), MapOp(abs), absorbed, MapOp(abs), MapOp(abs)]
+        fused, stages = fuse_ops(ops)
+        assert _kinds(fused) == ["FusedOp"]
+        assert stages == 5
+        assert fused[0].kinds == ("map", "map", kind, "map", "map")
 
     def test_single_ops_are_not_wrapped(self):
         ops = [MapOp(abs), SortedOp(), MapOp(abs)]
         fused, stages = fuse_ops(ops)
         assert fused is ops and stages == 0
 
-    def test_fused_op_requires_a_real_run(self):
+    def test_fused_op_requires_a_nonempty_run(self):
+        # Singleton runs are legal now (a lone ``limit`` compiles to a
+        # counted kernel); only an empty run is malformed.
         with pytest.raises(ValueError):
-            FusedOp([MapOp(abs)])
+            FusedOp([])
 
     def test_rewrite_is_idempotent(self):
         ops = [MapOp(abs), MapOp(abs)]
@@ -363,3 +375,116 @@ class TestObservability:
         counts = trace_snapshot(tracer.spans())["counts"]
         assert counts.get("fuse", 0) >= 1
         assert counts.get("leaf", 0) >= 1
+
+
+def _plus_one(x):
+    return x + 1
+
+
+def _is_even(x):
+    return x % 2 == 0
+
+
+def _is_negative(x):
+    return x < 0
+
+
+class _CountingListSpliterator(ListSpliterator):
+    """Instrumented source: counts ``next_chunk`` fetches."""
+
+    def __init__(self, data, counter):
+        super().__init__(data)
+        self._counter = counter
+
+    def next_chunk(self, max_size):
+        self._counter[0] += 1
+        return super().next_chunk(max_size)
+
+
+class TestCountedKernelEdgeCases:
+    """Fused ``limit(0)`` / ``skip(n >= size)`` must match unfused
+    semantics exactly — empty results, no over-fetching — across both
+    traversal modes and all three backends."""
+
+    DATA = list(range(257))
+
+    def _run(self, build, *, fused, chunked):
+        with fusion(fused), bulk_execution(chunked):
+            return build(stream_of(self.DATA)).to_list()
+
+    @pytest.mark.parametrize("chunked", [True, False])
+    @pytest.mark.parametrize("edge", [
+        lambda s: s.map(_plus_one).limit(0),
+        lambda s: s.map(_plus_one).skip(257),
+        lambda s: s.map(_plus_one).skip(10_000),
+        lambda s: s.filter(_is_even).limit(0),
+        lambda s: s.map(_plus_one).limit(257),
+        lambda s: s.map(_plus_one).limit(10_000),
+        lambda s: s.map(_plus_one).skip(256).limit(5),
+    ])
+    def test_edge_windows_match_unfused(self, edge, chunked):
+        expect = self._run(edge, fused=False, chunked=chunked)
+        got = self._run(edge, fused=True, chunked=chunked)
+        assert got == expect
+
+    @pytest.mark.parametrize("backend", ["sequential", "threads", "process"])
+    @pytest.mark.parametrize("edge,expect", [
+        (lambda s: s.map(_plus_one).limit(0), []),
+        (lambda s: s.map(_plus_one).skip(300), []),
+        (lambda s: s.filter(_is_even).skip(129), []),
+        (lambda s: s.map(_plus_one).skip(250).limit(100),
+         [x + 1 for x in range(250, 257)]),
+    ])
+    def test_edges_across_backends(self, backend, edge, expect):
+        if backend == "process":
+            pytest.importorskip("multiprocessing.shared_memory")
+        with fusion(True):
+            got = edge(
+                stream_of(self.DATA).parallel().with_backend(backend)
+            ).to_list()
+        assert got == expect
+
+    def test_limit_zero_fetches_no_chunks(self):
+        fetches = [0]
+        sp = _CountingListSpliterator(self.DATA, fetches)
+        from repro.streams import StreamSupport
+
+        with fusion(True), bulk_execution(True):
+            got = StreamSupport.stream(sp).map(_plus_one).limit(0).to_list()
+        assert got == []
+        assert fetches[0] == 0
+
+    def test_kernel_class_pins(self):
+        assert FusedOp([MapOp(abs), LimitOp(3)]).kernel_class == (
+            "counted-window")
+        assert FusedOp([MapOp(abs), SkipOp(2), LimitOp(3)]).kernel_class == (
+            "counted-window")
+        assert FusedOp([FilterOp(bool), LimitOp(3)]).kernel_class == (
+            "counted-loop")
+        assert FusedOp([MapOp(abs), DistinctOp()]).kernel_class == (
+            "stateful-loop")
+        assert FusedOp([MapOp(np.negative), MapOp(np.abs)]).kernel_class == (
+            "whole-array")
+
+    @pytest.mark.parametrize("backend", ["sequential", "threads"])
+    def test_limit_after_draining_barrier_empty_prefix(self, backend):
+        # Regression: a parallel ``limit`` whose upstream barrier drained
+        # the stream to nothing used to spin forever in the budget's
+        # contiguous-interval walk (zero-width leaf intervals can never
+        # advance the frontier).
+        with fusion(True):
+            got = (
+                stream_of(self.DATA).parallel().with_backend(backend)
+                .take_while(_is_negative)
+                .limit(3)
+            ).to_list()
+        assert got == []
+
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_iterator_flushes_barrier_after_satisfied_limit(self, fused):
+        # Regression (found by the zip fuzz): the lazy pull path broke
+        # out on a satisfied limit without end()-flushing a downstream
+        # barrier, so ``limit(n).sorted()`` lost its elements.
+        with fusion(fused):
+            got = list(stream_of([3, 1, 2]).limit(2).sorted().iterator())
+        assert got == [1, 3]

@@ -1,23 +1,43 @@
 """Pipeline fuzzing: random op chains vs a reference interpreter.
 
 Hypothesis composes random pipelines from the full intermediate-op
-vocabulary and checks agreement across every execution mode: sequential
-and parallel, per-element and chunked, against a plain-Python reference
-interpreter.  This is the catch-all net over op-fusion, barrier
-segmentation, ordering guarantees, and the bulk-execution fast path's
-automatic fallback.
+vocabulary — including the counted (``limit``/``skip``), ``distinct``,
+and ``zip`` forms that fuse into kernels since PR 10 — and checks
+agreement across every execution mode: sequential and parallel,
+per-element and chunked, all three backends, against a plain-Python
+reference interpreter.  This is the catch-all net over op-fusion,
+barrier segmentation, ordering guarantees, and the bulk-execution fast
+path's automatic fallback.
+
+The CI ``fusion-fuzz`` job pins hypothesis's PRNG per run through the
+``FUSION_FUZZ_SEED`` environment variable (seed list single-sourced in
+``.github/fusion-fuzz-seeds.json``, mirrored by ``make fusion-fuzz``),
+so a sweep failure replays locally with the same generated pipelines.
 """
 
 import functools
+import os
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, given
+from hypothesis import seed as hypothesis_seed
+from hypothesis import settings
 from hypothesis import strategies as st
 
 from repro.forkjoin import ForkJoinPool
 from repro.streams import bulk_execution, bulk_stats, fusion, stream_of
-from repro.streams.fusion import FusedOp, fuse_ops
-from repro.streams.ops import pipeline_is_short_circuit, pipeline_supports_chunks
+from repro.streams.fusion import _FUSIBLE_TYPES, FusedOp, fuse_ops, maybe_fuse
+from repro.streams.ops import LimitOp, SkipOp, select_mode
+
+_FUZZ_SEED = os.environ.get("FUSION_FUZZ_SEED")
+
+
+def _seeded(test):
+    """Pin hypothesis's PRNG when ``FUSION_FUZZ_SEED`` is set (the CI
+    fusion-fuzz sweep); unseeded runs keep full randomized exploration."""
+    if _FUZZ_SEED is not None:
+        return hypothesis_seed(int(_FUZZ_SEED))(test)
+    return test
 
 
 @pytest.fixture(scope="module")
@@ -162,6 +182,7 @@ inputs = st.lists(st.integers(-40, 40), max_size=60)
 
 
 class TestPipelineFuzz:
+    @_seeded
     @settings(deadline=None, max_examples=120,
               suppress_health_check=[HealthCheck.too_slow])
     @given(inputs, pipelines)
@@ -173,6 +194,7 @@ class TestPipelineFuzz:
             expected = _apply_reference(expected, op)
         assert stream.to_list() == expected
 
+    @_seeded
     @settings(deadline=None, max_examples=60,
               suppress_health_check=[HealthCheck.too_slow])
     @given(inputs, pipelines)
@@ -184,6 +206,7 @@ class TestPipelineFuzz:
             expected = _apply_reference(expected, op)
         assert stream.to_list() == expected
 
+    @_seeded
     @settings(deadline=None, max_examples=40,
               suppress_health_check=[HealthCheck.too_slow])
     @given(inputs, pipelines)
@@ -199,6 +222,7 @@ class TestPipelineFuzz:
         par_first = build(True).find_first()
         assert seq_first == par_first
 
+    @_seeded
     @settings(deadline=None, max_examples=80,
               suppress_health_check=[HealthCheck.too_slow])
     @given(inputs, pipelines)
@@ -221,30 +245,32 @@ class TestPipelineFuzz:
         assert run(True, True) == expected
         assert run(True, False) == expected
 
+    @_seeded
     @settings(deadline=None, max_examples=60,
               suppress_health_check=[HealthCheck.too_slow])
     @given(inputs, pipelines)
-    def test_chunked_engagement_matches_eligibility(self, xs, ops):
-        """The chunked path engages iff every stage is chunkable and none
-        short-circuits (``limit``/``take_while`` force the per-element
-        path); either way results match the reference."""
+    def test_chunked_engagement_matches_select_mode(self, xs, ops):
+        """The traversal the run actually takes matches what
+        ``select_mode`` says about the fused chain — the same decision
+        function execution and ``explain()`` share.  Counted runs
+        (``limit``/``skip`` fused into kernels) ride the chunked path;
+        ``take_while``-style polling still falls back; either way the
+        results match the reference."""
         expected = list(xs)
         stream = stream_of(xs)
         for op in ops:
             stream = _apply_stream(stream, op)
             expected = _apply_reference(expected, op)
-        stream_ops = stream._ops
-        eligible = pipeline_supports_chunks(stream_ops) and not (
-            pipeline_is_short_circuit(stream_ops)
-        )
+        mode = select_mode(maybe_fuse(stream._ops))
         bulk_stats(reset=True)
         assert stream.to_list() == expected
         stats = bulk_stats(reset=True)
-        if eligible:
+        if mode == "chunked":
             assert stats["chunked"] == 1 and stats["element"] == 0
         else:
             assert stats["chunked"] == 0 and stats["element"] >= 1
 
+    @_seeded
     @settings(deadline=None, max_examples=80,
               suppress_health_check=[HealthCheck.too_slow])
     @given(inputs, pipelines)
@@ -269,6 +295,7 @@ class TestPipelineFuzz:
                 unfused = run(parallel, chunked, fuse=False)
                 assert fused == unfused == expected
 
+    @_seeded
     @settings(deadline=None, max_examples=15,
               suppress_health_check=[HealthCheck.too_slow])
     @given(inputs, pipelines)
@@ -292,6 +319,7 @@ class TestPipelineFuzz:
             for chunked in (True, False):
                 assert run(backend, chunked) == expected, (backend, chunked)
 
+    @_seeded
     @settings(deadline=None, max_examples=12,
               suppress_health_check=[HealthCheck.too_slow])
     @given(inputs, pipelines)
@@ -324,14 +352,18 @@ class TestPipelineFuzz:
             adaptive.reset_split_policy()
             adaptive.split_policy_stats(reset=True)
 
+    @_seeded
     @settings(deadline=None, max_examples=120,
               suppress_health_check=[HealthCheck.too_slow])
     @given(inputs, pipelines)
     def test_fuse_rewrite_structure(self, xs, ops):
-        """Structural invariants of the rewrite on random chains: stateful
-        ops survive as barriers in order, each FusedOp covers a maximal
-        run of at least two adjacent stateless ops, and flattening the
-        rewritten chain reproduces the original op objects exactly."""
+        """Structural invariants of the rewrite on random chains: the
+        unfusible stateful ops (``sorted``/``take_while``/``drop_while``)
+        survive as barriers in order, each FusedOp covers a maximal run
+        (>= 2 stages, or any run containing a counted ``limit``/``skip``
+        — even a lone one compiles so it can ride the chunked path), and
+        flattening the rewritten chain reproduces the original op objects
+        exactly."""
         stream = stream_of(xs)
         for op in ops:
             stream = _apply_stream(stream, op)
@@ -341,7 +373,9 @@ class TestPipelineFuzz:
         flattened = []
         for op in fused:
             if isinstance(op, FusedOp):
-                assert len(op.source_ops) >= 2
+                assert len(op.source_ops) >= 2 or any(
+                    type(o) in (LimitOp, SkipOp) for o in op.source_ops
+                )
                 flattened.extend(op.source_ops)
             else:
                 flattened.append(op)
@@ -353,9 +387,96 @@ class TestPipelineFuzz:
         for i, op in enumerate(fused):
             if not isinstance(op, FusedOp):
                 continue
-            # Maximality: the neighbours of a fused run are barriers —
-            # otherwise they would have been folded into the run.
+            # Maximality: the neighbours of a fused run are unfusible
+            # barriers — any fusible neighbour would have been folded
+            # into the run.
             for neighbour in (fused[i - 1] if i else None,
                               fused[i + 1] if i + 1 < len(fused) else None):
                 if neighbour is not None:
+                    assert not isinstance(neighbour, FusedOp)
+                    assert type(neighbour) not in _FUSIBLE_TYPES
                     assert neighbour.stateful or neighbour.short_circuit
+
+
+# --------------------------------------------------------------------------- #
+# Zip fuzzing: two independently-fused sides drained in lockstep
+# --------------------------------------------------------------------------- #
+
+def _pk_zip_combine(a, b):
+    return a * 2 - b
+
+
+def _apply_zip_reference(xs, ys, left_ops, right_ops, combined):
+    left = list(xs)
+    for op in left_ops:
+        left = _apply_reference(left, op)
+    right = list(ys)
+    for op in right_ops:
+        right = _apply_reference(right, op)
+    if combined:
+        return [_pk_zip_combine(a, b) for a, b in zip(left, right)]
+    return list(zip(left, right))
+
+
+# Sides draw from the fusible vocabulary plus the cursor fallbacks:
+# limit/skip/distinct compile into kernels (chunked cursor mode), sorted
+# is a terminal barrier with a fused prefix, take_while forces the
+# per-element cursor fallback — all three fill modes get exercised.
+ZIP_SIDE_OPS = st.tuples(
+    st.sampled_from(STATELESS + ["limit", "skip", "distinct", "sorted",
+                                 "take_while"]),
+    st.integers(0, 9),
+)
+zip_sides = st.lists(ZIP_SIDE_OPS, max_size=4)
+
+
+class TestZipFuzz:
+    @_seeded
+    @settings(deadline=None, max_examples=60,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(inputs, inputs, zip_sides, zip_sides,
+           st.booleans())
+    def test_zip_matches_reference_all_modes(self, xs, ys, left_ops,
+                                             right_ops, combined):
+        """zip of two random fused pipelines agrees with the reference
+        under {chunked, per-element} × {fused, unfused} — the two-cursor
+        lockstep drain must be invisible to semantics."""
+        expected = _apply_zip_reference(xs, ys, left_ops, right_ops, combined)
+        combine = _pk_zip_combine if combined else None
+        for chunked in (True, False):
+            for fuse in (True, False):
+                with bulk_execution(chunked), fusion(fuse):
+                    left = stream_of(xs)
+                    for op in left_ops:
+                        left = _apply_stream(left, op)
+                    right = stream_of(ys)
+                    for op in right_ops:
+                        right = _apply_stream(right, op)
+                    got = left.zip(right, combine).to_list()
+                assert got == expected, (chunked, fuse)
+
+    @_seeded
+    @settings(deadline=None, max_examples=30,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(inputs, inputs, zip_sides, zip_sides)
+    def test_zip_downstream_pipeline_parallel(self, xs, ys, left_ops,
+                                              right_ops):
+        """Ops *after* the zip (including a counted limit) run on the
+        pair stream, sequentially and on the fork/join pool."""
+        expected = _apply_zip_reference(xs, ys, left_ops, right_ops, True)
+        expected = [v + 1 for v in expected if v % 3 != 0][:7]
+
+        def build():
+            left = stream_of(xs)
+            for op in left_ops:
+                left = _apply_stream(left, op)
+            right = stream_of(ys)
+            for op in right_ops:
+                right = _apply_stream(right, op)
+            return (left.zip_with(right, _pk_zip_combine)
+                    .filter(lambda v: v % 3 != 0)
+                    .map(lambda v: v + 1)
+                    .limit(7))
+
+        assert build().to_list() == expected
+        assert build().parallel().to_list() == expected

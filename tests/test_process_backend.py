@@ -30,7 +30,7 @@ from repro.streams import (
     stream_of,
 )
 from repro.streams import process_backend as pb
-from repro.streams.ops import MapOp
+from repro.streams.ops import FilterOp, MapOp
 from repro.streams.parallel import _backend_from_env
 from repro.streams.spliterators import ListSpliterator, RangeSpliterator
 
@@ -705,3 +705,153 @@ class TestAdaptiveProcessBackend:
         finally:
             adaptive.reset_split_policy()
             adaptive.split_policy_stats(reset=True)
+
+
+# --------------------------------------------------------------------------- #
+# Counted-limit budget: contiguous-prefix early stop + sibling-leaf abort
+# --------------------------------------------------------------------------- #
+
+_BUDGET_COUNTER_CACHE: dict = {}
+
+
+def _budget_counters(desc):
+    # One shm attach per worker process, not per probed element — the
+    # probe runs tens of thousands of times inside the scanned leaf.
+    arr = _BUDGET_COUNTER_CACHE.get(desc[1])
+    if arr is None:
+        arr = shm.rebuild(desc)
+        _BUDGET_COUNTER_CACHE[desc[1]] = arr
+    return arr
+
+
+def _under(x, threshold):
+    return x < threshold
+
+
+def _budget_probe(x, desc, boundary):
+    """Map stage instrumented with shared counters (see the test).
+
+    Slot 0: release latch (leaf 1 opens it when it starts running).
+    Slot 1: elements scanned by leaf 0 (the leaf that fills the budget).
+    Slot 2: elements scanned by leaf 1 (the leaf that must be aborted).
+    Slot 3: sentinel — a coordination wait timed out; the leaves never
+    provably overlapped, so the run proves nothing and the test skips.
+    """
+    counters = _budget_counters(desc)
+    if x < boundary:
+        counters[1] += 1
+        if x == 0:
+            # Leaf 0's first element: park until leaf 1 is running in the
+            # other worker, so the budget is satisfied while leaf 1 is
+            # provably mid-scan.
+            deadline = time.monotonic() + 10.0
+            while counters[0] == 0:
+                if time.monotonic() > deadline:
+                    counters[3] = 1
+                    break
+                time.sleep(0.001)
+        return x
+    counters[2] += 1
+    if x == boundary:
+        counters[0] = 1  # release leaf 0
+        # Park until the satisfied budget sets the run's SharedFlag, so
+        # this leaf is provably RUNNING (not pending) when cancelled.
+        flag = current_leaf_cancel()
+        deadline = time.monotonic() + 10.0
+        while flag is not None and not flag.is_set():
+            if time.monotonic() > deadline:
+                counters[3] = 1
+                break
+            time.sleep(0.001)
+    return x
+
+
+class TestCountedLimitAbort:
+    def test_satisfied_limit_aborts_running_sibling_mid_scan(self, executor):
+        """A satisfied counted ``limit`` must behave like a found match
+        witness: once the contiguous prefix of completed leaves has
+        produced the budget, the scatter stops and the run's SharedFlag
+        makes RUNNING sibling leaves abort at their next chunk boundary —
+        long before scanning their whole range.
+
+        Leaf 0 ([0, boundary)) passes the filter throughout, so its
+        counted kernel cuts after exactly ``budget`` elements.  Leaf 1
+        ([boundary, 2×boundary)) never passes the filter: nothing but the
+        shared flag can stop it before exhausting its range.
+        """
+        boundary = 1 << 18
+        budget = 64
+        # Warm both workers so the two leaf batches run concurrently.
+        executor.run_leaves(_noop_leaf, list(range(4)))
+        counters = shm.share_array(np.zeros(4, dtype=np.int64))
+        try:
+            probe = functools.partial(
+                _budget_probe, desc=shm.describe(counters), boundary=boundary
+            )
+            collector = Collector.of(
+                _new_list, _acc_append, _combine_extend, None,
+                CollectorCharacteristics.IDENTITY_FINISH,
+            )
+            got = pb.process_collect(
+                RangeSpliterator(0, 2 * boundary),
+                [MapOp(probe),
+                 FilterOp(functools.partial(_under, threshold=boundary))],
+                collector,
+                target_size=boundary, executor=executor, budget=budget,
+            )
+            assert got == list(range(budget))
+            if counters[3] == 1:
+                pytest.skip("leaf batches never overlapped in the workers")
+            scanned_by_prefix_leaf = int(counters[1])
+            scanned_by_aborted_leaf = int(counters[2])
+        finally:
+            shm.detach_all()
+            shm.release(counters)
+        # The prefix leaf's counted kernel cut its scan at the budget.
+        assert scanned_by_prefix_leaf == budget
+        # The sibling leaf aborted mid-scan at a chunk boundary: far less
+        # than its boundary-sized range (and of the whole source).
+        assert scanned_by_aborted_leaf < boundary // 2
+
+    def test_no_segments_leak_after_budgeted_collect(self, executor):
+        before = shm.active_segments()
+        collector = Collector.of(
+            _new_list, _acc_append, _combine_extend, None,
+            CollectorCharacteristics.IDENTITY_FINISH,
+        )
+        got = pb.process_collect(
+            RangeSpliterator(0, 1 << 12), [MapOp(_double)], collector,
+            target_size=1 << 10, executor=executor, budget=100,
+        )
+        # Each completed leaf contributes at most ``budget`` elements and
+        # the caller truncates; the global first-``budget`` prefix must be
+        # exact regardless of how many trailing leaves completed.
+        assert got[:100] == [x * 2 for x in range(100)]
+        assert shm.active_segments() == before
+
+    @pytest.mark.parametrize("budget", [0, 1, 7])
+    def test_budget_edge_parity_with_sequential(self, executor, budget):
+        collector = Collector.of(
+            _new_list, _acc_append, _combine_extend, None,
+            CollectorCharacteristics.IDENTITY_FINISH,
+        )
+        got = pb.process_collect(
+            RangeSpliterator(0, 256), [MapOp(_double)], collector,
+            target_size=32, executor=executor, budget=budget,
+        )
+        # Per-leaf truncation bounds the overshoot; the prefix is exact.
+        assert got[:budget] == [x * 2 for x in range(budget)]
+        assert len(got) <= max(budget, 1) * 8  # 8 leaves of 32
+
+    def test_stream_level_limit_on_process_backend(self):
+        # End to end through Stream._barrier_stateful: the limit barrier
+        # ships its count as the collect budget and truncates exactly.
+        got = (
+            Stream.range(0, 1 << 12)
+            .parallel()
+            .with_backend("process")
+            .map(_double)
+            .limit(37)
+            .to_list()
+        )
+        assert got == [x * 2 for x in range(37)]

@@ -86,7 +86,10 @@ class TestSequentialAttribution:
         # The terminal sees only what the filter let through.
         assert d["stages"]["1:terminal:AccumulatorSink"]["elements"] == 512
 
-    def test_short_circuit_mode_counted(self):
+    def test_counted_limit_rides_chunked_mode(self):
+        # A fused counted kernel absorbs the limit, so the chain takes
+        # the chunked path instead of per-element short-circuiting; the
+        # window still cuts the traversal at exactly 3 elements.
         with profiled(sample=1) as profile:
             assert Stream.range(0, 4096).map(_triple).limit(3).to_list() == [
                 0,
@@ -94,8 +97,29 @@ class TestSequentialAttribution:
                 6,
             ]
         d = profile.to_dict()
+        assert d["modes"]["chunked"] == 1
+        assert d["modes"]["short_circuit"] == 0
+        assert d["fused_kernels"] == 1
+        assert list(d["stages"]) == [
+            "0:fused(map|limit)",
+            "1:terminal:AccumulatorSink",
+        ]
+        # The kernel sees the raw source chunk (attribution counts stage
+        # *input*); the window cut means the terminal sees exactly 3.
+        assert d["stages"]["1:terminal:AccumulatorSink"]["elements"] == 3
+
+    def test_short_circuit_mode_counted(self):
+        # take_while cannot fuse into a counted kernel, so a genuine
+        # short-circuit traversal still happens (and is attributed).
+        with profiled(sample=1) as profile:
+            assert (
+                Stream.range(0, 4096)
+                .map(_triple)
+                .take_while(lambda x: x < 9)
+                .to_list()
+            ) == [0, 3, 6]
+        d = profile.to_dict()
         assert d["modes"]["short_circuit"] == 1
-        assert d["stages"]["0:map"]["elements"] == 3
 
     def test_profiled_run_matches_unprofiled_stats(self):
         """The profiled path must take the same traversal mode and fusion
